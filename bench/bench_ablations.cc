@@ -1,0 +1,187 @@
+// Ablation experiments for the design choices DESIGN.md §5 calls out:
+//   A1 — Greedy's batch amortization (Δl/Δn) vs single-client greedy
+//        (Δn ≡ 1) and the one-shot baselines;
+//   A2 — Distributed-Greedy's seed: Nearest-Server (the paper's choice)
+//        vs random vs Longest-First-Batch;
+//   A3 — Distributed-Greedy's restricted move set (critical clients only)
+//        vs unrestricted steepest-descent local search: quality given up
+//        for distributability, and the evaluation cost of each.
+//
+//   bench_ablations [--nodes=400] [--servers=20] [--runs=5] [--seed=S]
+#include <iostream>
+
+#include "bench_util/experiment.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "core/ablations.h"
+#include "core/distributed_greedy.h"
+#include "core/greedy.h"
+#include "core/longest_first_batch.h"
+#include "core/lower_bound.h"
+#include "core/metrics.h"
+#include "core/nearest_server.h"
+#include "core/random_assign.h"
+#include "data/synthetic.h"
+#include "placement/placement.h"
+
+namespace {
+using namespace diaca;
+}
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv, {"nodes", "servers", "runs", "seed"});
+  const auto nodes = static_cast<std::int32_t>(flags.GetInt("nodes", 400));
+  const auto num_servers = static_cast<std::int32_t>(flags.GetInt("servers", 20));
+  const auto runs = flags.GetInt("runs", 5);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 2011));
+
+  Timer timer;
+  data::SyntheticParams world;
+  world.num_nodes = nodes;
+  world.num_clusters = std::max(4, nodes / 40);
+  const net::LatencyMatrix matrix = data::GenerateSyntheticInternet(world, seed);
+
+  OnlineStats batched;
+  OnlineStats single;
+  OnlineStats lfb_stat;
+  OnlineStats one_server;
+  OnlineStats dg_nsa;
+  OnlineStats dg_random;
+  OnlineStats dg_lfb;
+  OnlineStats ls_stat;
+  OnlineStats sa_stat;
+  OnlineStats dg_moves;
+  OnlineStats ls_moves;
+  OnlineStats ls_evals;
+  OnlineStats sa_evals;
+
+  Rng rng(seed + 1);
+  for (std::int64_t run = 0; run < runs; ++run) {
+    const auto server_nodes =
+        placement::RandomPlacement(matrix, num_servers, rng);
+    const core::Problem problem =
+        core::Problem::WithClientsEverywhere(matrix, server_nodes);
+    const double lb = core::InteractivityLowerBound(problem);
+    auto norm = [lb](double d) { return core::NormalizedInteractivity(d, lb); };
+
+    // A1: batching.
+    batched.Add(norm(core::MaxInteractionPathLength(
+        problem, core::GreedyAssign(problem))));
+    single.Add(norm(core::MaxInteractionPathLength(
+        problem, core::SingleClientGreedyAssign(problem))));
+    lfb_stat.Add(norm(core::MaxInteractionPathLength(
+        problem, core::LongestFirstBatchAssign(problem))));
+    one_server.Add(norm(core::MaxInteractionPathLength(
+        problem, core::BestSingleServerAssign(problem))));
+
+    // A2: Distributed-Greedy seeds.
+    const core::Assignment nsa = core::NearestServerAssign(problem);
+    Rng arng = rng.Fork();
+    const core::Assignment random_seed = core::RandomAssign(problem, arng);
+    const core::Assignment lfb_seed = core::LongestFirstBatchAssign(problem);
+    const core::DgResult from_nsa =
+        core::DistributedGreedyAssign(problem, {}, &nsa);
+    dg_nsa.Add(norm(from_nsa.max_len));
+    dg_random.Add(
+        norm(core::DistributedGreedyAssign(problem, {}, &random_seed).max_len));
+    dg_lfb.Add(
+        norm(core::DistributedGreedyAssign(problem, {}, &lfb_seed).max_len));
+
+    // A3: unrestricted local search and simulated annealing from the same
+    // seed.
+    const core::LocalSearchResult ls =
+        core::FullLocalSearchAssign(problem, {}, &nsa);
+    ls_stat.Add(norm(ls.max_len));
+    dg_moves.Add(static_cast<double>(from_nsa.modifications.size()));
+    ls_moves.Add(static_cast<double>(ls.moves));
+    ls_evals.Add(static_cast<double>(ls.moves_evaluated));
+    core::SaParams sa_params;
+    sa_params.iterations = 20000;
+    Rng sa_rng = rng.Fork();
+    const core::SaResult sa =
+        core::SimulatedAnnealingAssign(problem, sa_params, sa_rng, &nsa);
+    sa_stat.Add(norm(sa.max_len));
+    sa_evals.Add(static_cast<double>(sa_params.iterations));
+  }
+
+  std::cout << "Ablations (" << nodes << " nodes, " << num_servers
+            << " random servers, avg over " << runs << " runs)\n\n";
+  std::cout << "A1: batch amortization in Greedy (normalized interactivity)\n";
+  Table a1({"algorithm", "avg normalized"});
+  a1.Row().Cell("Greedy (batched, paper)").Cell(batched.mean());
+  a1.Row().Cell("Greedy (single client)").Cell(single.mean());
+  a1.Row().Cell("Longest-First-Batch").Cell(lfb_stat.mean());
+  a1.Row().Cell("Best single server").Cell(one_server.mean());
+  a1.Print(std::cout);
+  benchutil::CheckShape(batched.mean() <= single.mean() * 1.1,
+                        "batch amortization does not hurt Greedy (within "
+                        "10% of the single-client variant or better)");
+  benchutil::CheckShape(batched.mean() < one_server.mean(),
+                        "Greedy beats the all-on-one-server strawman");
+
+  std::cout << "\nA2: Distributed-Greedy seed assignment\n";
+  Table a2({"seed", "avg normalized"});
+  a2.Row().Cell("Nearest-Server (paper)").Cell(dg_nsa.mean());
+  a2.Row().Cell("random").Cell(dg_random.mean());
+  a2.Row().Cell("Longest-First-Batch").Cell(dg_lfb.mean());
+  a2.Print(std::cout);
+  benchutil::CheckShape(dg_nsa.mean() <= dg_random.mean() * 1.1,
+                        "the paper's Nearest-Server seed is competitive "
+                        "with or better than a random seed");
+
+  std::cout << "\nA3: restricted (Distributed-Greedy) vs unrestricted local "
+               "search\n";
+  Table a3({"search", "avg normalized", "avg moves", "avg evaluations"});
+  a3.Row()
+      .Cell("Distributed-Greedy")
+      .Cell(dg_nsa.mean())
+      .Cell(dg_moves.mean(), 1)
+      .Cell("(critical clients only)");
+  a3.Row()
+      .Cell("full steepest descent")
+      .Cell(ls_stat.mean())
+      .Cell(ls_moves.mean(), 1)
+      .Cell(FormatDouble(ls_evals.mean(), 0));
+  a3.Row()
+      .Cell("simulated annealing")
+      .Cell(sa_stat.mean())
+      .Cell("-")
+      .Cell(FormatDouble(sa_evals.mean(), 0));
+  a3.Print(std::cout);
+  benchutil::CheckShape(
+      dg_nsa.mean() <= ls_stat.mean() * 1.15,
+      "Distributed-Greedy's cheap move set stays within 15% of full "
+      "steepest-descent local search");
+
+  // A4: does optimizing the worst pair ruin the typical pair? Compare the
+  // mean interaction path of the worst-pair-optimized assignments against
+  // the intuitive nearest-server one (which is mean-optimal client-side).
+  OnlineStats dg_mean_path;
+  OnlineStats nsa_mean_path;
+  Rng a4_rng(seed + 9);
+  for (std::int64_t run = 0; run < runs; ++run) {
+    const auto server_nodes =
+        placement::RandomPlacement(matrix, num_servers, a4_rng);
+    const core::Problem problem =
+        core::Problem::WithClientsEverywhere(matrix, server_nodes);
+    dg_mean_path.Add(core::MeanInteractionPathLength(
+        problem, core::DistributedGreedyAssign(problem).assignment));
+    nsa_mean_path.Add(core::MeanInteractionPathLength(
+        problem, core::NearestServerAssign(problem)));
+  }
+  std::cout << "\nA4: mean (typical-pair) interaction path of worst-pair "
+               "optimized assignments\n";
+  Table a4({"algorithm", "avg mean path (ms)"});
+  a4.Row().Cell("Distributed-Greedy").Cell(dg_mean_path.mean(), 1);
+  a4.Row().Cell("Nearest-Server").Cell(nsa_mean_path.mean(), 1);
+  a4.Print(std::cout);
+  benchutil::CheckShape(
+      dg_mean_path.mean() <= nsa_mean_path.mean() * 1.25,
+      "optimizing the worst pair costs at most 25% on the mean pair");
+  std::cout << "\ntotal time: " << FormatDouble(timer.ElapsedSeconds(), 1)
+            << "s\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Reproduces the paper's worked examples:
+//   * Fig. 4 — tightness of Nearest-Server Assignment's approximation
+//     ratio 3 (ratio -> 3 as eps -> 0);
+//   * Fig. 5 — Longest-First-Batch beating Nearest-Server (12 vs 9 on the
+//     client pair path; D = 10 under Definition 1, which includes the
+//     self path the figure's prose ignores).
+//
+//   bench_examples [--csv]
+#include <iostream>
+#include <vector>
+
+#include "bench_util/experiment.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/exact.h"
+#include "core/longest_first_batch.h"
+#include "core/metrics.h"
+#include "core/nearest_server.h"
+
+namespace {
+
+using namespace diaca;
+
+core::Problem Fig4Problem(double a, double eps, net::LatencyMatrix& storage) {
+  // Nodes: 0=s1, 1=s, 2=s2, 3=c1, 4=c2 (line topology of Fig. 4).
+  storage = net::LatencyMatrix(5);
+  storage.Set(0, 1, 2 * a - eps);
+  storage.Set(0, 2, 4 * a - 2 * eps);
+  storage.Set(1, 2, 2 * a - eps);
+  storage.Set(0, 3, a - eps);
+  storage.Set(1, 3, a);
+  storage.Set(2, 3, 3 * a - eps);
+  storage.Set(0, 4, 3 * a - eps);
+  storage.Set(1, 4, a);
+  storage.Set(2, 4, a - eps);
+  storage.Set(3, 4, 2 * a);
+  return core::Problem(storage, std::vector<net::NodeIndex>{0, 1, 2},
+                       std::vector<net::NodeIndex>{3, 4});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv, {"csv"});
+  const bool csv = flags.GetBool("csv", false);
+
+  std::cout << "== Fig. 4: tightness of the Nearest-Server 3-approximation "
+               "==\n";
+  Table fig4({"eps/a", "NSA D", "optimal D", "ratio"});
+  const double a = 10.0;
+  bool ratio_approaches_3 = true;
+  double last_ratio = 0.0;
+  for (double eps : {2.0, 1.0, 0.5, 0.1, 0.01}) {
+    net::LatencyMatrix storage(1);
+    const core::Problem p = Fig4Problem(a, eps, storage);
+    const double nsa = core::MaxInteractionPathLength(
+        p, core::NearestServerAssign(p));
+    const auto exact = core::ExactAssign(p);
+    const double opt = exact ? exact->max_len : -1.0;
+    const double ratio = nsa / opt;
+    fig4.Row().Cell(eps / a).Cell(nsa).Cell(opt).Cell(ratio);
+    ratio_approaches_3 = ratio_approaches_3 && ratio > last_ratio;
+    last_ratio = ratio;
+  }
+  if (csv) {
+    fig4.PrintCsv(std::cout);
+  } else {
+    fig4.Print(std::cout);
+  }
+  benchutil::CheckShape(ratio_approaches_3 && last_ratio > 2.99,
+                        "NSA/optimal ratio increases toward 3 as eps -> 0");
+
+  std::cout << "\n== Fig. 5: Longest-First-Batch vs Nearest-Server ==\n";
+  net::LatencyMatrix m(4);  // 0=s1, 1=s2, 2=c1, 3=c2
+  m.Set(0, 1, 4.0);
+  m.Set(0, 2, 5.0);
+  m.Set(1, 2, 7.0);
+  m.Set(0, 3, 4.0);
+  m.Set(1, 3, 3.0);
+  m.Set(2, 3, 9.0);
+  const core::Problem p(m, std::vector<net::NodeIndex>{0, 1},
+                        std::vector<net::NodeIndex>{2, 3});
+  const core::Assignment nsa = core::NearestServerAssign(p);
+  const core::Assignment lfb = core::LongestFirstBatchAssign(p);
+  Table fig5({"algorithm", "assignment", "c1-c2 path", "D (Def. 1)"});
+  auto describe = [&p](const core::Assignment& assignment) {
+    std::string out;
+    for (core::ClientIndex c = 0; c < p.num_clients(); ++c) {
+      if (c > 0) out += ", ";
+      out += "c" + std::to_string(c + 1) + "->s" +
+             std::to_string(assignment[c] + 1);
+    }
+    return out;
+  };
+  fig5.Row()
+      .Cell("Nearest-Server")
+      .Cell(describe(nsa))
+      .Cell(core::InteractionPathLength(p, nsa, 0, 1))
+      .Cell(core::MaxInteractionPathLength(p, nsa));
+  fig5.Row()
+      .Cell("Longest-First-Batch")
+      .Cell(describe(lfb))
+      .Cell(core::InteractionPathLength(p, lfb, 0, 1))
+      .Cell(core::MaxInteractionPathLength(p, lfb));
+  if (csv) {
+    fig5.PrintCsv(std::cout);
+  } else {
+    fig5.Print(std::cout);
+  }
+  benchutil::CheckShape(
+      core::InteractionPathLength(p, nsa, 0, 1) == 12.0 &&
+          core::InteractionPathLength(p, lfb, 0, 1) == 9.0,
+      "paper's Fig. 5 path lengths reproduced (12 vs 9)");
+  benchutil::CheckShape(core::MaxInteractionPathLength(p, lfb) <
+                            core::MaxInteractionPathLength(p, nsa),
+                        "LFB strictly beats NSA on the Fig. 5 instance");
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Reproduces Fig. 7 (and the MIT-data variant, §V-A): normalized
+// interactivity of the four assignment algorithms vs the number of
+// servers, under random / K-center-A / K-center-B placement.
+//
+//   bench_fig7_servers [--dataset=meridian|mit|small|waxman]
+//                      [--placement=all|...] [--runs=N] [--min-servers=20]
+//                      [--max-servers=100] [--step=10] [--seed=S] [--csv]
+//                      [--bound=pairwise|triple]
+//
+// Random placement averages normalized interactivity over --runs
+// placements (the paper used 1000; the default here is 5 for single-core
+// turnaround — the ordering of algorithms is stable far below that).
+#include <iostream>
+#include <vector>
+
+#include "bench_util/experiment.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "data/synthetic.h"
+
+namespace {
+
+using namespace diaca;
+using benchutil::AlgorithmOutcome;
+using benchutil::AverageOutcome;
+using benchutil::PlacementType;
+
+struct Config {
+  std::string dataset;
+  bool triple_bound;
+  std::int64_t runs;
+  std::int64_t min_servers;
+  std::int64_t max_servers;
+  std::int64_t step;
+  std::uint64_t seed;
+  bool csv;
+};
+
+AverageOutcome RunPoint(const net::LatencyMatrix& matrix,
+                        benchutil::PlacementFactory& factory,
+                        PlacementType placement, std::int32_t servers,
+                        const Config& config) {
+  const std::int64_t runs =
+      placement == PlacementType::kRandom ? config.runs : 1;
+  Rng rng(config.seed * 1000003 + static_cast<std::uint64_t>(servers));
+  std::vector<AlgorithmOutcome> outcomes;
+  outcomes.reserve(static_cast<std::size_t>(runs));
+  for (std::int64_t run = 0; run < runs; ++run) {
+    const auto nodes = factory.Make(placement, servers, rng);
+    outcomes.push_back(benchutil::EvaluateAlgorithms(
+        matrix, nodes, core::AssignOptions{}, config.triple_bound));
+  }
+  return benchutil::AverageNormalized(outcomes);
+}
+
+void RunPlacement(const net::LatencyMatrix& matrix,
+                  benchutil::PlacementFactory& factory,
+                  PlacementType placement, const Config& config) {
+  const char* fig = placement == PlacementType::kRandom      ? "Fig. 7(a)"
+                    : placement == PlacementType::kKCenterA  ? "Fig. 7(b)"
+                                                             : "Fig. 7(c)";
+  std::cout << "\n== " << fig << ": " << PlacementTypeName(placement)
+            << " placement, dataset=" << config.dataset
+            << (placement == PlacementType::kRandom
+                    ? " (avg over " + std::to_string(config.runs) + " runs)"
+                    : "")
+            << " ==\n";
+  Table table({"servers", "Nearest-Server", "Longest-First-Batch", "Greedy",
+               "Distributed-Greedy"});
+  std::vector<AverageOutcome> rows;
+  for (std::int64_t k = config.min_servers; k <= config.max_servers;
+       k += config.step) {
+    const AverageOutcome avg = RunPoint(matrix, factory, placement,
+                                        static_cast<std::int32_t>(k), config);
+    rows.push_back(avg);
+    table.Row()
+        .Cell(k)
+        .Cell(avg.nearest_server)
+        .Cell(avg.longest_first_batch)
+        .Cell(avg.greedy)
+        .Cell(avg.distributed_greedy);
+  }
+  if (config.csv) {
+    table.PrintCsv(std::cout);
+  } else {
+    table.Print(std::cout);
+  }
+
+  // Paper-shape assertions (§V-A / DESIGN.md §4).
+  bool greedy_close = true;
+  bool dg_not_worse_than_nsa = true;
+  bool nsa_worst_on_avg = true;
+  double nsa_sum = 0.0;
+  double lfb_sum = 0.0;
+  double greedy_sum = 0.0;
+  double dg_sum = 0.0;
+  for (const AverageOutcome& row : rows) {
+    greedy_close &= row.greedy <= 1.45;
+    dg_not_worse_than_nsa &= row.distributed_greedy <= row.nearest_server + 1e-9;
+    nsa_sum += row.nearest_server;
+    lfb_sum += row.longest_first_batch;
+    greedy_sum += row.greedy;
+    dg_sum += row.distributed_greedy;
+  }
+  nsa_worst_on_avg = nsa_sum >= lfb_sum - 1e-9 && nsa_sum >= greedy_sum &&
+                     nsa_sum >= dg_sum;
+  benchutil::CheckShape(greedy_close,
+                        "Greedy stays near the super-optimal lower bound "
+                        "(<= 1.45x) at every server count");
+  benchutil::CheckShape(dg_not_worse_than_nsa,
+                        "Distributed-Greedy never worse than Nearest-Server");
+  benchutil::CheckShape(nsa_worst_on_avg,
+                        "Nearest-Server is the worst algorithm on average");
+  benchutil::CheckShape(greedy_sum <= nsa_sum && dg_sum <= nsa_sum,
+                        "both greedy variants significantly improve on "
+                        "Nearest-Server in aggregate");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv,
+                    {"dataset", "placement", "runs", "min-servers",
+                     "max-servers", "step", "seed", "csv", "bound"});
+  Config config{
+      .dataset = flags.GetString("dataset", "meridian"),
+      .triple_bound = flags.GetString("bound", "pairwise") == "triple",
+      .runs = flags.GetInt("runs", 5),
+      .min_servers = flags.GetInt("min-servers", 20),
+      .max_servers = flags.GetInt("max-servers", 100),
+      .step = flags.GetInt("step", 10),
+      .seed = static_cast<std::uint64_t>(flags.GetInt("seed", 2011)),
+      .csv = flags.GetBool("csv", false),
+  };
+  const std::string placement = flags.GetString("placement", "all");
+
+  Timer timer;
+  const net::LatencyMatrix matrix =
+      data::MakeNamedDataset(config.dataset, config.seed);
+  std::cout << "dataset=" << config.dataset << " nodes=" << matrix.size()
+            << " (generated in " << FormatDouble(timer.ElapsedSeconds(), 1)
+            << "s)\n";
+  benchutil::PlacementFactory factory(
+      matrix, static_cast<std::int32_t>(config.max_servers));
+
+  if (placement == "all") {
+    for (auto type : {PlacementType::kRandom, PlacementType::kKCenterA,
+                      PlacementType::kKCenterB}) {
+      RunPlacement(matrix, factory, type, config);
+    }
+  } else {
+    RunPlacement(matrix, factory, benchutil::ParsePlacementType(placement),
+                 config);
+  }
+  std::cout << "\ntotal time: " << FormatDouble(timer.ElapsedSeconds(), 1)
+            << "s\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// dynamic_reassignment: client churn. §VI argues client assignment can be
+// adjusted promptly because it only changes software connections — this
+// example exercises that: players join in waves, and after each wave the
+// Distributed-Greedy protocol (the actual message-passing version over the
+// discrete-event simulator) repairs the assignment incrementally instead
+// of recomputing it from scratch.
+//
+//   ./dynamic_reassignment [--waves=4] [--wave-size=40] [--servers=6]
+//                          [--seed=11]
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/lower_bound.h"
+#include "core/metrics.h"
+#include "core/nearest_server.h"
+#include "data/synthetic.h"
+#include "placement/placement.h"
+#include "proto/dg_protocol.h"
+
+int main(int argc, char** argv) {
+  using namespace diaca;
+  const Flags flags(argc, argv, {"waves", "wave-size", "servers", "seed"});
+  const auto waves = static_cast<std::int32_t>(flags.GetInt("waves", 4));
+  const auto wave_size = static_cast<std::int32_t>(flags.GetInt("wave-size", 40));
+  const auto num_servers = static_cast<std::int32_t>(flags.GetInt("servers", 6));
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 11));
+
+  data::SyntheticParams world;
+  world.num_nodes = waves * wave_size + num_servers;
+  world.num_clusters = 6;
+  const net::LatencyMatrix matrix = data::GenerateSyntheticInternet(world, seed);
+  const auto server_nodes = placement::KCenterGreedy(matrix, num_servers);
+
+  // Client nodes: everything that is not a server site, shuffled into
+  // arrival order.
+  std::vector<net::NodeIndex> pool;
+  for (net::NodeIndex v = 0; v < matrix.size(); ++v) {
+    if (std::find(server_nodes.begin(), server_nodes.end(), v) ==
+        server_nodes.end()) {
+      pool.push_back(v);
+    }
+  }
+  Rng rng(seed + 1);
+  rng.Shuffle(std::span<net::NodeIndex>(pool));
+
+  Table table({"wave", "clients", "after NSA join", "after DG repair",
+               "moves", "protocol msgs"});
+  std::vector<net::NodeIndex> online;
+  // Assignment carried across waves, indexed like `online`.
+  std::vector<core::ServerIndex> carried;
+  for (std::int32_t wave = 0; wave < waves; ++wave) {
+    // New players join and are assigned greedily to their nearest shard —
+    // the cheap, local operation a live service would do at login.
+    for (std::int32_t i = 0; i < wave_size; ++i) {
+      online.push_back(pool[static_cast<std::size_t>(wave * wave_size + i)]);
+    }
+    const core::Problem problem(matrix, server_nodes, online);
+    core::Assignment assignment(online.size());
+    for (std::size_t c = 0; c < carried.size(); ++c) {
+      assignment[static_cast<core::ClientIndex>(c)] = carried[c];
+    }
+    for (std::size_t c = carried.size(); c < online.size(); ++c) {
+      assignment[static_cast<core::ClientIndex>(c)] = core::NearestServerOf(
+          problem, static_cast<core::ClientIndex>(c));
+    }
+    const double before = core::MaxInteractionPathLength(problem, assignment);
+
+    // Incremental repair with the distributed protocol, seeded by the
+    // current live assignment.
+    const proto::DgProtocolResult repaired =
+        proto::RunDistributedGreedyProtocol(matrix, problem, {}, &assignment);
+    const double lb = core::InteractivityLowerBound(problem);
+    table.Row()
+        .Cell(static_cast<std::int64_t>(wave + 1))
+        .Cell(static_cast<std::int64_t>(online.size()))
+        .Cell(FormatDouble(before, 1) + " ms (" +
+              FormatDouble(core::NormalizedInteractivity(before, lb), 2) + "x)")
+        .Cell(FormatDouble(repaired.max_len, 1) + " ms (" +
+              FormatDouble(core::NormalizedInteractivity(repaired.max_len, lb),
+                           2) +
+              "x)")
+        .Cell(static_cast<std::int64_t>(repaired.modifications))
+        .Cell(static_cast<std::int64_t>(repaired.messages_sent));
+
+    carried.assign(online.size(), core::kUnassigned);
+    for (std::size_t c = 0; c < online.size(); ++c) {
+      carried[c] = repaired.assignment[static_cast<core::ClientIndex>(c)];
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nOnly a handful of moves per wave keep interactivity near "
+               "optimal —\nthe paper's point that assignment adapts promptly "
+               "to system dynamics.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// failover_drill: a game operator's disaster drill. A session runs with
+// all shards healthy; one shard is killed mid-session; the epoch machinery
+// reassigns its players to survivors, resyncs them with a snapshot, and
+// the world history stays intact — at the cost of a higher interaction
+// time under the surviving topology.
+//
+//   ./failover_drill [--players=80] [--servers=4] [--kill=0]
+//                    [--at-ms=4000] [--seed=13]
+#include <iostream>
+#include <numeric>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "data/synthetic.h"
+#include "dia/dynamic_session.h"
+#include "placement/placement.h"
+
+int main(int argc, char** argv) {
+  using namespace diaca;
+  const Flags flags(argc, argv, {"players", "servers", "kill", "at-ms", "seed"});
+  const auto players = static_cast<std::int32_t>(flags.GetInt("players", 80));
+  const auto num_servers = static_cast<std::int32_t>(flags.GetInt("servers", 4));
+  const auto victim =
+      static_cast<core::ServerIndex>(flags.GetInt("kill", 0));
+  const double at_ms = flags.GetDouble("at-ms", 4000.0);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 13));
+
+  data::SyntheticParams world;
+  world.num_nodes = players;
+  world.num_clusters = 5;
+  const net::LatencyMatrix matrix = data::GenerateSyntheticInternet(world, seed);
+  const auto shard_sites = placement::KCenterGreedy(matrix, num_servers);
+  const core::Problem problem =
+      core::Problem::WithClientsEverywhere(matrix, shard_sites);
+  std::vector<core::ClientIndex> everyone(
+      static_cast<std::size_t>(problem.num_clients()));
+  std::iota(everyone.begin(), everyone.end(), 0);
+
+  dia::DynamicSessionParams params;
+  params.workload.duration_ms = 8000.0;
+  params.workload.ops_per_second = 1.0;
+  params.seed = seed + 1;
+
+  // Healthy baseline.
+  const dia::DynamicSessionReport healthy =
+      dia::DynamicDiaSession(matrix, problem, everyone, {}, params).Run();
+
+  // The drill: shard `victim` dies at at_ms.
+  std::vector<dia::ServerFailure> failures{{at_ms, victim}};
+  const dia::DynamicSessionReport drill =
+      dia::DynamicDiaSession(matrix, problem, everyone, {}, params, failures)
+          .Run();
+
+  Table table({"scenario", "interaction time (steady, ms)", "artifacts",
+               "resync ops", "history intact"});
+  table.Row()
+      .Cell("all shards healthy")
+      .Cell(healthy.final_epoch_delta, 1)
+      .Cell(static_cast<std::int64_t>(healthy.client_artifacts))
+      .Cell(std::int64_t{0})
+      .Cell(healthy.final_states_converged ? "yes" : "NO");
+  table.Row()
+      .Cell("shard " + std::to_string(victim) + " killed at " +
+            FormatDouble(at_ms / 1000.0, 1) + "s")
+      .Cell(drill.final_epoch_delta, 1)
+      .Cell(static_cast<std::int64_t>(drill.client_artifacts))
+      .Cell(static_cast<std::int64_t>(drill.snapshot_ops_transferred))
+      .Cell(drill.final_states_converged ? "yes" : "NO");
+  table.Print(std::cout);
+
+  std::cout << "\nFailover: " << drill.epochs - 1 << " reconfiguration, "
+            << drill.ops_ignored_by_dead_servers
+            << " messages hit the dead shard, "
+            << drill.late_server_executions
+            << " stragglers repaired, interaction time "
+            << FormatDouble(healthy.final_epoch_delta, 1) << " -> "
+            << FormatDouble(drill.final_epoch_delta, 1)
+            << " ms under the surviving shards.\n";
+  return drill.final_states_converged ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+// game_shard_picker: the workload from the paper's introduction — a
+// multiplayer online game with a geographically spread player base.
+//
+// Pipeline: synthesize an Internet-like world -> measure it King-style ->
+// place game servers with the greedy K-center heuristic -> compare the
+// intuitive nearest-server matchmaking against Distributed-Greedy -> run a
+// real play session on the discrete-event simulator with the minimal
+// synchronization schedule and show that every player sees every action
+// after exactly D milliseconds, with a consistent, fair world.
+//
+//   ./game_shard_picker [--players=150] [--servers=6] [--seed=7]
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/distributed_greedy.h"
+#include "core/lower_bound.h"
+#include "core/metrics.h"
+#include "core/nearest_server.h"
+#include "core/sync_schedule.h"
+#include "data/king.h"
+#include "data/synthetic.h"
+#include "dia/session.h"
+#include "placement/placement.h"
+
+int main(int argc, char** argv) {
+  using namespace diaca;
+  const Flags flags(argc, argv, {"players", "servers", "seed"});
+  const auto players = static_cast<std::int32_t>(flags.GetInt("players", 150));
+  const auto num_servers = static_cast<std::int32_t>(flags.GetInt("servers", 6));
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 7));
+
+  // A clustered world: metros on several continents.
+  data::SyntheticParams world;
+  world.num_nodes = players;
+  world.num_clusters = 6;
+  const net::LatencyMatrix truth = data::GenerateSyntheticInternet(world, seed);
+
+  // The operator cannot see true latencies; they run King measurements.
+  Rng king_rng(seed + 1);
+  const data::KingResult measured = data::SimulateKingMeasurement(
+      truth, {.failure_probability = 0.005, .noise_fraction = 0.03}, king_rng);
+  std::cout << "measured " << truth.size() << " player sites, kept "
+            << measured.matrix.size() << " after King cleaning\n";
+  const net::LatencyMatrix& matrix = measured.matrix;
+
+  // Shards sit at pre-existing datacenter sites (chosen long before this
+  // player base existed — §VI: placement is long-term, assignment is not).
+  Rng site_rng(seed + 2);
+  const auto shard_sites =
+      placement::RandomPlacement(matrix, num_servers, site_rng);
+  const core::Problem problem =
+      core::Problem::WithClientsEverywhere(matrix, shard_sites);
+  std::cout << "using " << num_servers << " legacy shard sites (K-center "
+            << "objective " << placement::KCenterObjective(matrix, shard_sites)
+            << " ms)\n\n";
+
+  // Matchmaking: intuitive vs interactivity-aware.
+  const double lb = core::InteractivityLowerBound(problem);
+  const core::Assignment naive = core::NearestServerAssign(problem);
+  const core::DgResult tuned = core::DistributedGreedyAssign(problem);
+  const double naive_d = core::MaxInteractionPathLength(problem, naive);
+
+  Table table({"matchmaking", "worst interaction (ms)", "vs lower bound"});
+  table.Row()
+      .Cell("nearest shard (intuitive)")
+      .Cell(naive_d, 1)
+      .Cell(core::NormalizedInteractivity(naive_d, lb));
+  table.Row()
+      .Cell("distributed-greedy")
+      .Cell(tuned.max_len, 1)
+      .Cell(core::NormalizedInteractivity(tuned.max_len, lb));
+  table.Print(std::cout);
+  std::cout << "reassigned " << tuned.modifications.size()
+            << " players to cut the worst-case action-to-screen delay by "
+            << FormatDouble((1.0 - tuned.max_len / naive_d) * 100.0, 1)
+            << "%\n\n";
+
+  // Play a session: every player fires ~1 action/s for 10 seconds.
+  const core::SyncSchedule schedule =
+      core::ComputeSyncSchedule(problem, tuned.assignment);
+  dia::SessionParams params;
+  params.workload.duration_ms = 10000.0;
+  params.workload.ops_per_second = 1.0;
+  params.seed = seed + 3;
+  const dia::DiaSession session(matrix, problem, tuned.assignment, schedule,
+                                params);
+  const dia::SessionReport report = session.Run();
+  std::cout << "session: " << report.ops_issued << " actions, "
+            << report.messages_sent << " messages\n";
+  std::cout << "every player saw every action after exactly "
+            << FormatDouble(report.interaction_time.max(), 3)
+            << " ms (analytic D = " << FormatDouble(tuned.max_len, 3)
+            << ")\n";
+  std::cout << "consistency probes: " << report.consistency_samples
+            << ", divergent: " << report.consistency_mismatches
+            << "; fairness violations: " << report.fairness_violations
+            << "\n";
+  return report.clean() ? 0 : 1;
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Reproduce every figure and extension experiment in one go.
+# Usage: scripts/run_all_experiments.sh [build-dir]
+set -euo pipefail
+BUILD="${1:-build}"
+for bench in "$BUILD"/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  echo "==================== $(basename "$bench") ===================="
+  "$bench"
+  echo
+done

@@ -1,0 +1,116 @@
+#include "bench_util/experiment.h"
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/error.h"
+#include "core/distributed_greedy.h"
+#include "core/greedy.h"
+#include "core/longest_first_batch.h"
+#include "core/lower_bound.h"
+#include "core/metrics.h"
+#include "core/nearest_server.h"
+#include "placement/placement.h"
+
+namespace diaca::benchutil {
+
+PlacementType ParsePlacementType(const std::string& name) {
+  if (name == "random") return PlacementType::kRandom;
+  if (name == "kcenter-a") return PlacementType::kKCenterA;
+  if (name == "kcenter-b") return PlacementType::kKCenterB;
+  throw Error("unknown placement '" + name +
+              "' (expected random|kcenter-a|kcenter-b)");
+}
+
+std::string PlacementTypeName(PlacementType type) {
+  switch (type) {
+    case PlacementType::kRandom:
+      return "random";
+    case PlacementType::kKCenterA:
+      return "kcenter-a";
+    case PlacementType::kKCenterB:
+      return "kcenter-b";
+  }
+  return "?";
+}
+
+PlacementFactory::PlacementFactory(const net::LatencyMatrix& matrix,
+                                   std::int32_t max_greedy_budget)
+    : matrix_(matrix) {
+  DIACA_CHECK(max_greedy_budget >= 1 && max_greedy_budget <= matrix.size());
+  greedy_order_ = placement::KCenterGreedy(matrix, max_greedy_budget);
+}
+
+std::vector<net::NodeIndex> PlacementFactory::Make(PlacementType type,
+                                                   std::int32_t k, Rng& rng) {
+  switch (type) {
+    case PlacementType::kRandom:
+      return placement::RandomPlacement(matrix_, k, rng);
+    case PlacementType::kKCenterA: {
+      auto it = hs_cache_.find(k);
+      if (it == hs_cache_.end()) {
+        it = hs_cache_.emplace(k, placement::KCenterHochbaumShmoys(matrix_, k))
+                 .first;
+      }
+      return it->second;
+    }
+    case PlacementType::kKCenterB: {
+      if (k > static_cast<std::int32_t>(greedy_order_.size())) {
+        greedy_order_ = placement::KCenterGreedy(matrix_, k);
+      }
+      return {greedy_order_.begin(), greedy_order_.begin() + k};
+    }
+  }
+  throw Error("unreachable placement type");
+}
+
+double AlgorithmOutcome::Normalized(double d) const {
+  return core::NormalizedInteractivity(d, lower_bound);
+}
+
+AlgorithmOutcome EvaluateAlgorithms(const net::LatencyMatrix& matrix,
+                                    std::span<const net::NodeIndex> servers,
+                                    const core::AssignOptions& options,
+                                    bool triple_bound) {
+  const core::Problem problem =
+      core::Problem::WithClientsEverywhere(matrix, servers);
+  AlgorithmOutcome out;
+  const core::Assignment nsa = core::NearestServerAssign(problem, options);
+  out.nearest_server = core::MaxInteractionPathLength(problem, nsa);
+  out.longest_first_batch = core::MaxInteractionPathLength(
+      problem, core::LongestFirstBatchAssign(problem, options));
+  out.greedy = core::MaxInteractionPathLength(
+      problem, core::GreedyAssign(problem, options));
+  out.distributed_greedy =
+      core::DistributedGreedyAssign(problem, options, &nsa).max_len;
+  out.lower_bound = triple_bound
+                        ? core::TripleEnhancedLowerBound(problem)
+                        : core::InteractivityLowerBound(problem);
+  return out;
+}
+
+AverageOutcome AverageNormalized(std::span<const AlgorithmOutcome> outcomes) {
+  AverageOutcome avg;
+  avg.runs = static_cast<std::int32_t>(outcomes.size());
+  if (outcomes.empty()) return avg;
+  for (const AlgorithmOutcome& o : outcomes) {
+    avg.nearest_server += o.Normalized(o.nearest_server);
+    avg.longest_first_batch += o.Normalized(o.longest_first_batch);
+    avg.greedy += o.Normalized(o.greedy);
+    avg.distributed_greedy += o.Normalized(o.distributed_greedy);
+  }
+  const auto n = static_cast<double>(outcomes.size());
+  avg.nearest_server /= n;
+  avg.longest_first_batch /= n;
+  avg.greedy /= n;
+  avg.distributed_greedy /= n;
+  return avg;
+}
+
+bool CheckShape(bool ok, const std::string& description) {
+  std::cout << "[SHAPE] " << (ok ? "PASS" : "FAIL") << " " << description
+            << "\n";
+  return ok;
+}
+
+}  // namespace diaca::benchutil

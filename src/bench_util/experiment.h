@@ -1,0 +1,89 @@
+// Shared experiment plumbing for the figure-reproduction benches (§V).
+//
+// The paper's evaluation grid is (data set) x (placement type) x
+// (number of servers | server capacity) x (assignment algorithm), with the
+// maximum interaction path length normalized by the theoretical lower
+// bound. This module provides the placement factory (with caching for the
+// deterministic K-center placements), the "run all four algorithms on one
+// placement" helper, and shape-check reporting.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/problem.h"
+#include "core/types.h"
+#include "net/latency_matrix.h"
+
+namespace diaca::benchutil {
+
+enum class PlacementType { kRandom, kKCenterA, kKCenterB };
+
+/// Parse "random" | "kcenter-a" | "kcenter-b". Throws on anything else.
+PlacementType ParsePlacementType(const std::string& name);
+std::string PlacementTypeName(PlacementType type);
+
+/// Placement factory. K-center placements are deterministic, so they are
+/// memoized per (type, k); the greedy K-center is computed once at the
+/// largest budget and served by prefix.
+class PlacementFactory {
+ public:
+  /// The matrix must outlive the factory. `max_greedy_budget` bounds the
+  /// K-center-B prefix precomputation (pass the largest k you will ask
+  /// for; asking beyond it recomputes).
+  PlacementFactory(const net::LatencyMatrix& matrix,
+                   std::int32_t max_greedy_budget);
+
+  /// Server nodes for the given placement. Random placements draw from
+  /// `rng` (pass a per-run fork); deterministic placements ignore it.
+  std::vector<net::NodeIndex> Make(PlacementType type, std::int32_t k,
+                                   Rng& rng);
+
+ private:
+  const net::LatencyMatrix& matrix_;
+  std::vector<net::NodeIndex> greedy_order_;  // K-center-B prefix order
+  std::map<std::int32_t, std::vector<net::NodeIndex>> hs_cache_;
+};
+
+/// Per-algorithm maximum interaction path lengths for one placement, plus
+/// the lower bound. Algorithm order matches the paper's figures.
+struct AlgorithmOutcome {
+  double nearest_server = 0.0;
+  double longest_first_batch = 0.0;
+  double greedy = 0.0;
+  double distributed_greedy = 0.0;
+  double lower_bound = 0.0;
+
+  double Normalized(double d) const;
+};
+
+inline constexpr const char* kAlgorithmNames[] = {
+    "Nearest-Server", "Longest-First-Batch", "Greedy", "Distributed-Greedy"};
+
+/// Run all four assignment algorithms (Distributed-Greedy seeded from the
+/// Nearest-Server result, as in the paper) on one placement and compute
+/// the lower bound. Clients sit at every node (§V setup). With
+/// `triple_bound` the extension bound (core::TripleEnhancedLowerBound)
+/// normalizes instead of the paper's pairwise bound.
+AlgorithmOutcome EvaluateAlgorithms(const net::LatencyMatrix& matrix,
+                                    std::span<const net::NodeIndex> servers,
+                                    const core::AssignOptions& options,
+                                    bool triple_bound = false);
+
+/// Mean of per-run normalized interactivity across runs, per algorithm.
+struct AverageOutcome {
+  double nearest_server = 0.0;
+  double longest_first_batch = 0.0;
+  double greedy = 0.0;
+  double distributed_greedy = 0.0;
+  std::int32_t runs = 0;
+};
+AverageOutcome AverageNormalized(std::span<const AlgorithmOutcome> outcomes);
+
+/// Print "[SHAPE] PASS|FAIL <description>" on stdout and return `ok`.
+/// Benches use this to assert the paper-shape expectations of DESIGN.md.
+bool CheckShape(bool ok, const std::string& description);
+
+}  // namespace diaca::benchutil

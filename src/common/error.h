@@ -1,0 +1,50 @@
+// Error handling primitives for libdiaca.
+//
+// Construction/IO failures throw diaca::Error (an std::runtime_error).
+// Internal invariants use DIACA_CHECK, which is active in all build types:
+// a violated invariant is a bug, and silently continuing would corrupt
+// experiment results.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace diaca {
+
+/// Exception type thrown by all libdiaca components on invalid input,
+/// malformed data files, or infeasible problem configurations.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void ThrowCheckFailure(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DIACA_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace diaca
+
+/// Always-on invariant check. Throws diaca::Error on failure.
+#define DIACA_CHECK(expr)                                               \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::diaca::detail::ThrowCheckFailure(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+/// Invariant check with a context message (streamed into a string).
+#define DIACA_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream diaca_check_os;                               \
+      diaca_check_os << msg;                                           \
+      ::diaca::detail::ThrowCheckFailure(#expr, __FILE__, __LINE__,    \
+                                         diaca_check_os.str());        \
+    }                                                                  \
+  } while (false)

@@ -1,0 +1,99 @@
+#include "common/flags.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/error.h"
+
+namespace diaca {
+
+namespace {
+
+bool LooksLikeFlag(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv, std::vector<std::string> spec) {
+  program_name_ = argc > 0 ? argv[0] : "";
+  auto known = [&spec](const std::string& name) {
+    return std::find(spec.begin(), spec.end(), name) != spec.end();
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!LooksLikeFlag(arg)) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    if (auto eq = body.find('='); eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      // --name value (if the next token is not itself a flag), else bare bool.
+      if (i + 1 < argc && !LooksLikeFlag(argv[i + 1])) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (!known(name)) {
+      throw Error("unknown flag --" + name + " (program " + program_name_ + ")");
+    }
+    values_[name] = std::move(value);
+  }
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::optional<std::string> Flags::Raw(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& default_value) const {
+  return Raw(name).value_or(default_value);
+}
+
+std::int64_t Flags::GetInt(const std::string& name,
+                           std::int64_t default_value) const {
+  auto raw = Raw(name);
+  if (!raw) return default_value;
+  std::int64_t out = 0;
+  auto [ptr, ec] = std::from_chars(raw->data(), raw->data() + raw->size(), out);
+  if (ec != std::errc{} || ptr != raw->data() + raw->size()) {
+    throw Error("flag --" + name + " expects an integer, got '" + *raw + "'");
+  }
+  return out;
+}
+
+double Flags::GetDouble(const std::string& name, double default_value) const {
+  auto raw = Raw(name);
+  if (!raw) return default_value;
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(*raw, &pos);
+    if (pos != raw->size()) throw std::invalid_argument("trailing chars");
+    return out;
+  } catch (const std::exception&) {
+    throw Error("flag --" + name + " expects a number, got '" + *raw + "'");
+  }
+}
+
+bool Flags::GetBool(const std::string& name, bool default_value) const {
+  auto raw = Raw(name);
+  if (!raw) return default_value;
+  if (*raw == "true" || *raw == "1" || *raw == "yes") return true;
+  if (*raw == "false" || *raw == "0" || *raw == "no") return false;
+  throw Error("flag --" + name + " expects a boolean, got '" + *raw + "'");
+}
+
+}  // namespace diaca

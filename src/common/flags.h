@@ -1,0 +1,41 @@
+// Minimal command-line flag parser for bench/example binaries.
+//
+// Supports --name=value, --name value, and bare boolean --name. Unknown
+// flags are an error (catches typos in experiment scripts). Positional
+// arguments are collected separately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace diaca {
+
+class Flags {
+ public:
+  /// Parse argv. Throws diaca::Error on malformed input. `spec` lists the
+  /// accepted flag names; passing an unlisted flag throws.
+  Flags(int argc, const char* const* argv, std::vector<std::string> spec);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  std::int64_t GetInt(const std::string& name, std::int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program_name() const { return program_name_; }
+
+ private:
+  std::optional<std::string> Raw(const std::string& name) const;
+
+  std::string program_name_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace diaca

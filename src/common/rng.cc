@@ -1,0 +1,110 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace diaca {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits → uniform in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  DIACA_CHECK(bound > 0);
+  // Debiased modulo via rejection (Lemire-style threshold).
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  DIACA_CHECK(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(Next());  // full range
+  return lo + static_cast<std::int64_t>(NextBounded(span));
+}
+
+double Rng::NextUniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  // Box–Muller; discards the second variate for statelessness.
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  const double u2 = NextDouble();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+double Rng::NextLogNormal(double mu, double sigma) {
+  return std::exp(mu + sigma * NextGaussian());
+}
+
+double Rng::NextExponential(double rate) {
+  DIACA_CHECK(rate > 0);
+  double u = NextDouble();
+  while (u <= 0.0) u = NextDouble();
+  return -std::log(u) / rate;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::vector<std::int32_t> Rng::SampleWithoutReplacement(std::int32_t n,
+                                                        std::int32_t k) {
+  DIACA_CHECK(k >= 0 && k <= n);
+  // Selection sampling over a shuffled prefix: build [0,n), partial shuffle.
+  std::vector<std::int32_t> pool(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) pool[static_cast<std::size_t>(i)] = i;
+  for (std::int32_t i = 0; i < k; ++i) {
+    const auto j =
+        i + static_cast<std::int32_t>(NextBounded(static_cast<std::uint64_t>(n - i)));
+    std::swap(pool[static_cast<std::size_t>(i)], pool[static_cast<std::size_t>(j)]);
+  }
+  pool.resize(static_cast<std::size_t>(k));
+  return pool;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace diaca

@@ -1,0 +1,55 @@
+// Descriptive statistics used by the experiment harness: online moments,
+// percentiles, and empirical CDFs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace diaca {
+
+/// Welford online accumulator for mean/variance/min/max.
+class OnlineStats {
+ public:
+  void Add(double x);
+  /// Merge another accumulator (parallel/Chan combination).
+  void Merge(const OnlineStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a sample; 0 for an empty span.
+double Mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1); 0 for fewer than two values.
+double Stddev(std::span<const double> xs);
+
+/// Linear-interpolation percentile, p in [0,100]. Sorts a copy.
+/// Throws diaca::Error on an empty sample.
+double Percentile(std::span<const double> xs, double p);
+
+/// Empirical CDF evaluated at the sorted sample points.
+/// Returns pairs (value, fraction <= value), suitable for plotting.
+struct CdfPoint {
+  double value;
+  double fraction;
+};
+std::vector<CdfPoint> EmpiricalCdf(std::span<const double> xs);
+
+/// Fraction of samples strictly greater than the threshold.
+double FractionAbove(std::span<const double> xs, double threshold);
+
+}  // namespace diaca

@@ -1,0 +1,38 @@
+// Aligned-table and CSV emission for experiment output. Bench binaries
+// print figure data as human-readable tables on stdout, optionally as CSV.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace diaca {
+
+/// Column-aligned text table with an optional title. Cells are strings;
+/// numeric helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Begin a new row. Subsequent Cell() calls fill it left to right.
+  Table& Row();
+  Table& Cell(const std::string& text);
+  Table& Cell(double value, int precision = 3);
+  Table& Cell(std::int64_t value);
+
+  /// Render as an aligned text table.
+  void Print(std::ostream& os) const;
+  /// Render as CSV (header + rows).
+  void PrintCsv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper shared with benches).
+std::string FormatDouble(double value, int precision = 3);
+
+}  // namespace diaca

@@ -1,0 +1,83 @@
+// Ablation and baseline algorithms that bracket the paper's heuristics.
+//
+// The paper motivates two design choices we quantify here:
+//   * §III intro: "assigning all clients to a single server eliminates
+//     inter-server latencies, but may remarkably increase client-server
+//     latencies" — BestSingleServerAssign is that strawman.
+//   * §IV-C amortizes the objective increase over a whole batch (Δl/Δn).
+//     SingleClientGreedyAssign drops the batching (Δn ≡ 1), isolating the
+//     value of amortization.
+//   * §IV-D restricts moves to clients on a longest path, evaluated against
+//     remote servers only. FullLocalSearchAssign is the unrestricted
+//     steepest-descent local search over *all* single-client moves; it
+//     bounds how much quality Distributed-Greedy gives up for its cheap,
+//     distributed-friendly move set.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "core/problem.h"
+#include "core/types.h"
+
+namespace diaca::core {
+
+/// All clients on the single server minimizing the resulting maximum
+/// interaction path (2 * max_c d(c, s)). Throws diaca::Error when a
+/// capacity constraint cannot hold all clients on one server.
+Assignment BestSingleServerAssign(const Problem& problem,
+                                  const AssignOptions& options = {});
+
+/// Greedy Assignment without batch amortization: each iteration assigns
+/// the single (client, server) pair with the smallest objective increase
+/// Δl. Supports capacities like GreedyAssign.
+Assignment SingleClientGreedyAssign(const Problem& problem,
+                                    const AssignOptions& options = {});
+
+struct LocalSearchOptions {
+  AssignOptions assign;
+  /// Stop after this many executed moves even if not locally optimal.
+  std::int32_t max_moves = 100000;
+};
+
+struct LocalSearchResult {
+  Assignment assignment;
+  double max_len = 0.0;
+  std::int32_t moves = 0;
+  /// Candidate (client, server) moves evaluated — the search's cost.
+  std::int64_t moves_evaluated = 0;
+  bool reached_local_optimum = false;
+};
+
+/// Steepest-descent local search over all single-client reassignments,
+/// seeded by `initial` (Nearest-Server when null).
+LocalSearchResult FullLocalSearchAssign(const Problem& problem,
+                                        const LocalSearchOptions& options = {},
+                                        const Assignment* initial = nullptr);
+
+/// Simulated annealing over single-client moves — a randomized global
+/// baseline that can escape the local optima the greedy methods stop at,
+/// at a much higher evaluation budget.
+struct SaParams {
+  AssignOptions assign;
+  std::int64_t iterations = 20000;
+  /// Initial temperature as a fraction of the seed assignment's D.
+  double initial_temperature_fraction = 0.05;
+  /// Final temperature as a fraction of the initial one.
+  double final_temperature_fraction = 1e-3;
+};
+
+struct SaResult {
+  Assignment assignment;  ///< best assignment seen
+  double max_len = 0.0;
+  std::int64_t accepted_moves = 0;
+};
+
+/// Throws diaca::Error on infeasible capacity. Seeded by `initial`
+/// (Nearest-Server when null); the returned assignment is the best ever
+/// visited, so it is never worse than the seed.
+SaResult SimulatedAnnealingAssign(const Problem& problem,
+                                  const SaParams& params, Rng& rng,
+                                  const Assignment* initial = nullptr);
+
+}  // namespace diaca::core

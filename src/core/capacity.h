@@ -1,0 +1,35 @@
+// Shared capacity-feasibility checking for the assignment algorithms
+// (§IV-E, plus the heterogeneous-capacity extension).
+#pragma once
+
+#include "common/error.h"
+#include "core/problem.h"
+#include "core/types.h"
+
+namespace diaca::core {
+
+/// Validate a capacitated options struct against a problem: positive
+/// capacities, correct per-server vector size, and total capacity covering
+/// all clients. No-op for uncapacitated options. Throws diaca::Error.
+inline void CheckCapacityFeasible(const Problem& problem,
+                                  const AssignOptions& options) {
+  if (!options.capacitated()) return;
+  if (!options.per_server_capacity.empty()) {
+    DIACA_CHECK_MSG(options.per_server_capacity.size() ==
+                        static_cast<std::size_t>(problem.num_servers()),
+                    "per-server capacity vector size "
+                        << options.per_server_capacity.size() << " != "
+                        << problem.num_servers() << " servers");
+  }
+  for (ServerIndex s = 0; s < problem.num_servers(); ++s) {
+    DIACA_CHECK_MSG(options.CapacityOf(s) > 0,
+                    "capacity of server " << s << " must be positive");
+  }
+  const std::int64_t total = options.TotalCapacity(problem.num_servers());
+  if (total < problem.num_clients()) {
+    throw Error("infeasible: total capacity " + std::to_string(total) +
+                " < " + std::to_string(problem.num_clients()) + " clients");
+  }
+}
+
+}  // namespace diaca::core

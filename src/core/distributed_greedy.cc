@@ -1,0 +1,132 @@
+#include "core/distributed_greedy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.h"
+#include "core/capacity.h"
+#include "core/metrics.h"
+#include "core/nearest_server.h"
+
+namespace diaca::core {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+std::vector<double> EccentricitiesExcluding(const Problem& problem,
+                                            const Assignment& a,
+                                            ClientIndex exclude) {
+  std::vector<double> far(static_cast<std::size_t>(problem.num_servers()), -1.0);
+  for (ClientIndex c = 0; c < problem.num_clients(); ++c) {
+    if (c == exclude) continue;
+    const ServerIndex s = a[c];
+    if (s == kUnassigned) continue;
+    far[static_cast<std::size_t>(s)] =
+        std::max(far[static_cast<std::size_t>(s)], problem.cs(c, s));
+  }
+  return far;
+}
+
+double PathLengthIfMoved(const Problem& problem, ClientIndex c,
+                         ServerIndex candidate,
+                         std::span<const double> far_excl) {
+  const double d = problem.cs(c, candidate);
+  // Self path: c -> candidate -> candidate -> c.
+  double best = 2.0 * d;
+  const double* row = problem.ss_row(candidate);
+  for (ServerIndex t = 0; t < problem.num_servers(); ++t) {
+    const double f = far_excl[static_cast<std::size_t>(t)];
+    if (f >= 0.0) best = std::max(best, d + row[t] + f);
+  }
+  return best;
+}
+
+DgResult DistributedGreedyAssign(const Problem& problem,
+                                 const AssignOptions& options,
+                                 const Assignment* initial) {
+  DgResult result;
+  if (initial != nullptr) {
+    DIACA_CHECK_MSG(initial->size() ==
+                        static_cast<std::size_t>(problem.num_clients()),
+                    "initial assignment size mismatch");
+    DIACA_CHECK_MSG(initial->IsComplete(), "initial assignment incomplete");
+    result.assignment = *initial;
+  } else {
+    result.assignment = NearestServerAssign(problem, options);
+  }
+  Assignment& a = result.assignment;
+
+  std::vector<std::int32_t> load(static_cast<std::size_t>(problem.num_servers()), 0);
+  for (ClientIndex c = 0; c < problem.num_clients(); ++c) {
+    ++load[static_cast<std::size_t>(a[c])];
+  }
+  if (options.capacitated()) {
+    CheckCapacityFeasible(problem, options);
+    for (ServerIndex s = 0; s < problem.num_servers(); ++s) {
+      DIACA_CHECK_MSG(load[static_cast<std::size_t>(s)] <=
+                          options.CapacityOf(s),
+                      "initial assignment violates capacity of server " << s);
+    }
+  }
+
+  double max_len = MaxInteractionPathLength(problem, a);
+  std::int32_t mod_count = 0;
+  // Safety valve: D is non-increasing and each round must strictly reduce
+  // it to continue, but guard against pathological float plateaus anyway.
+  const std::int64_t mod_limit =
+      64LL * (problem.num_clients() + problem.num_servers() + 64);
+
+  for (;;) {
+    const double round_start_len = max_len;
+    const std::vector<ClientIndex> critical = CriticalClients(problem, a, kEps);
+    for (ClientIndex c : critical) {
+      // The assignment may have changed since the critical set was taken;
+      // re-check that c still lies on a longest path.
+      const ServerIndex current = a[c];
+      {
+        const std::vector<double> far = ServerEccentricities(problem, a);
+        const double d = problem.cs(c, current);
+        const double via_c =
+            std::max(2.0 * d, d + MaxServerReach(problem, far, current));
+        if (via_c < max_len - kEps) continue;
+      }
+      const std::vector<double> far_excl =
+          EccentricitiesExcluding(problem, a, c);
+      double best_len = std::numeric_limits<double>::infinity();
+      ServerIndex best_server = kUnassigned;
+      for (ServerIndex s = 0; s < problem.num_servers(); ++s) {
+        if (s == current) continue;
+        if (options.capacitated() &&
+            load[static_cast<std::size_t>(s)] >= options.CapacityOf(s)) {
+          continue;
+        }
+        const double len = PathLengthIfMoved(problem, c, s, far_excl);
+        if (len < best_len) {
+          best_len = len;
+          best_server = s;
+        }
+      }
+      if (best_server == kUnassigned || best_len >= max_len - kEps) continue;
+
+      // Reassign c. Paths not involving c cannot grow, so D is
+      // non-increasing by construction.
+      --load[static_cast<std::size_t>(current)];
+      ++load[static_cast<std::size_t>(best_server)];
+      a[c] = best_server;
+      const double new_len = MaxInteractionPathLength(problem, a);
+      DIACA_CHECK_MSG(new_len <= max_len + kEps,
+                      "modification increased the objective");
+      max_len = new_len;
+      ++mod_count;
+      result.modifications.push_back(
+          {mod_count, c, current, best_server, max_len});
+      DIACA_CHECK_MSG(mod_count <= mod_limit, "modification limit exceeded");
+    }
+    if (max_len >= round_start_len - kEps) break;  // no strict reduction
+  }
+  result.max_len = max_len;
+  return result;
+}
+
+}  // namespace diaca::core

@@ -1,0 +1,132 @@
+#include "core/exact.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/error.h"
+#include "core/capacity.h"
+#include "core/greedy.h"
+#include "core/metrics.h"
+
+namespace diaca::core {
+
+namespace {
+
+class Search {
+ public:
+  Search(const Problem& problem, const ExactOptions& options)
+      : problem_(problem),
+        options_(options),
+        far_(static_cast<std::size_t>(problem.num_servers()), -1.0),
+        load_(static_cast<std::size_t>(problem.num_servers()), 0),
+        current_(static_cast<std::size_t>(problem.num_clients())) {
+    // Client order: hardest (largest nearest-server round trip) first for
+    // earlier pruning.
+    order_.resize(static_cast<std::size_t>(problem.num_clients()));
+    std::iota(order_.begin(), order_.end(), 0);
+    min_rtt_.resize(order_.size());
+    for (ClientIndex c = 0; c < problem.num_clients(); ++c) {
+      const double* row = problem.cs_row(c);
+      double best = row[0];
+      for (ServerIndex s = 1; s < problem.num_servers(); ++s) {
+        best = std::min(best, row[s]);
+      }
+      min_rtt_[static_cast<std::size_t>(c)] = 2.0 * best;
+    }
+    std::sort(order_.begin(), order_.end(), [this](ClientIndex a, ClientIndex b) {
+      return min_rtt_[static_cast<std::size_t>(a)] !=
+                     min_rtt_[static_cast<std::size_t>(b)]
+                 ? min_rtt_[static_cast<std::size_t>(a)] >
+                       min_rtt_[static_cast<std::size_t>(b)]
+                 : a < b;
+    });
+    // Suffix max of round-trip lower bounds over the unassigned tail.
+    suffix_bound_.assign(order_.size() + 1, 0.0);
+    for (std::size_t i = order_.size(); i-- > 0;) {
+      suffix_bound_[i] = std::max(suffix_bound_[i + 1],
+                                  min_rtt_[static_cast<std::size_t>(order_[i])]);
+    }
+    // Incumbent from the greedy heuristic.
+    best_assignment_ = GreedyAssign(problem, options.assign);
+    best_len_ = MaxInteractionPathLength(problem, best_assignment_);
+  }
+
+  bool Run() {
+    aborted_ = false;
+    Recurse(0, 0.0);
+    return !aborted_;
+  }
+
+  ExactResult TakeResult() && {
+    return {std::move(best_assignment_), best_len_, nodes_};
+  }
+
+ private:
+  void Recurse(std::size_t depth, double partial_len) {
+    if (aborted_) return;
+    if (++nodes_ > options_.node_limit) {
+      aborted_ = true;
+      return;
+    }
+    if (depth == order_.size()) {
+      if (partial_len < best_len_) {
+        best_len_ = partial_len;
+        best_assignment_ = current_;
+      }
+      return;
+    }
+    if (std::max(partial_len, suffix_bound_[depth]) >= best_len_) return;
+
+    const ClientIndex c = order_[depth];
+    const double* row = problem_.cs_row(c);
+    for (ServerIndex s = 0; s < problem_.num_servers(); ++s) {
+      if (options_.assign.capacitated() &&
+          load_[static_cast<std::size_t>(s)] >= options_.assign.CapacityOf(s)) {
+        continue;
+      }
+      const double d = row[s];
+      // Objective if c joins s: its self path plus its paths to every
+      // already-assigned client (through far()).
+      double len = std::max(partial_len, 2.0 * d);
+      if (len < best_len_) {
+        len = std::max(len, d + MaxServerReach(problem_, far_, s));
+      }
+      if (len >= best_len_) continue;
+
+      const double saved_far = far_[static_cast<std::size_t>(s)];
+      far_[static_cast<std::size_t>(s)] = std::max(saved_far, d);
+      ++load_[static_cast<std::size_t>(s)];
+      current_[c] = s;
+      Recurse(depth + 1, len);
+      current_[c] = kUnassigned;
+      --load_[static_cast<std::size_t>(s)];
+      far_[static_cast<std::size_t>(s)] = saved_far;
+    }
+  }
+
+  const Problem& problem_;
+  const ExactOptions& options_;
+  std::vector<ClientIndex> order_;
+  std::vector<double> min_rtt_;
+  std::vector<double> suffix_bound_;
+  std::vector<double> far_;
+  std::vector<std::int32_t> load_;
+  Assignment current_;
+  Assignment best_assignment_;
+  double best_len_ = std::numeric_limits<double>::infinity();
+  std::int64_t nodes_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+std::optional<ExactResult> ExactAssign(const Problem& problem,
+                                       const ExactOptions& options) {
+  CheckCapacityFeasible(problem, options.assign);
+  Search search(problem, options);
+  if (!search.Run()) return std::nullopt;
+  return std::move(search).TakeResult();
+}
+
+}  // namespace diaca::core

@@ -1,0 +1,35 @@
+// Exact branch-and-bound solver for small CAP instances.
+//
+// The problem is NP-complete (§III), so this is exponential in |C|; it
+// exists to quantify "close to the optimum" claims and to property-test
+// the heuristics (approximation ratios, LB <= OPT) on small instances.
+// Pruning: incremental objective maintenance, a seed incumbent from the
+// greedy heuristic, and per-client round-trip lower bounds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/problem.h"
+#include "core/types.h"
+
+namespace diaca::core {
+
+struct ExactOptions {
+  AssignOptions assign;
+  /// Abort (returning std::nullopt) after this many search nodes.
+  std::int64_t node_limit = 50'000'000;
+};
+
+struct ExactResult {
+  Assignment assignment;
+  double max_len = 0.0;
+  std::int64_t nodes_explored = 0;
+};
+
+/// Optimal assignment, or std::nullopt if the node limit was hit.
+/// Throws diaca::Error on infeasible capacity.
+std::optional<ExactResult> ExactAssign(const Problem& problem,
+                                       const ExactOptions& options = {});
+
+}  // namespace diaca::core

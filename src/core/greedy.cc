@@ -1,0 +1,106 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/error.h"
+#include "core/capacity.h"
+#include "core/metrics.h"
+
+namespace diaca::core {
+
+Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
+                        GreedyStats* stats) {
+  const std::int32_t num_clients = problem.num_clients();
+  const std::int32_t num_servers = problem.num_servers();
+  CheckCapacityFeasible(problem, options);
+
+  // Preprocessing: per-server client lists sorted by distance (ties by
+  // client index, making every later step deterministic).
+  std::vector<std::vector<ClientIndex>> lists(
+      static_cast<std::size_t>(num_servers));
+  for (ServerIndex s = 0; s < num_servers; ++s) {
+    auto& list = lists[static_cast<std::size_t>(s)];
+    list.resize(static_cast<std::size_t>(num_clients));
+    std::iota(list.begin(), list.end(), 0);
+    std::sort(list.begin(), list.end(),
+              [&problem, s](ClientIndex a, ClientIndex b) {
+                const double da = problem.cs(a, s);
+                const double db = problem.cs(b, s);
+                return da != db ? da < db : a < b;
+              });
+  }
+
+  Assignment a(static_cast<std::size_t>(num_clients));
+  std::vector<double> far(static_cast<std::size_t>(num_servers), -1.0);
+  std::vector<std::int32_t> remaining(static_cast<std::size_t>(num_servers));
+  for (ServerIndex s = 0; s < num_servers; ++s) {
+    remaining[static_cast<std::size_t>(s)] =
+        options.capacitated() ? options.CapacityOf(s)
+                              : std::numeric_limits<std::int32_t>::max();
+  }
+  double max_len = 0.0;
+  std::int32_t num_assigned = 0;
+
+  while (num_assigned < num_clients) {
+    double best_cost = std::numeric_limits<double>::infinity();
+    double best_len = 0.0;
+    ServerIndex best_server = kUnassigned;
+    std::size_t best_pos = 0;  // position of the chosen client in the list
+
+    for (ServerIndex s = 0; s < num_servers; ++s) {
+      if (remaining[static_cast<std::size_t>(s)] <= 0) continue;
+      // Shared part of Δl for server s: the farthest reach to an already
+      // assigned client through its server.
+      const double reach = MaxServerReach(problem, far, s);
+      const auto& list = lists[static_cast<std::size_t>(s)];
+      std::int32_t unassigned_prefix = 0;
+      for (std::size_t pos = 0; pos < list.size(); ++pos) {
+        const ClientIndex c = list[pos];
+        if (a[c] != kUnassigned) continue;
+        ++unassigned_prefix;
+        const double d = problem.cs(c, s);
+        const double len =
+            std::max({2.0 * d, num_assigned > 0 ? d + reach : 0.0, max_len});
+        const double delta_l = len - max_len;
+        const auto delta_n = std::min(
+            unassigned_prefix, remaining[static_cast<std::size_t>(s)]);
+        const double cost = delta_l / static_cast<double>(delta_n);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_len = len;
+          best_server = s;
+          best_pos = pos;
+        }
+      }
+    }
+    DIACA_CHECK_MSG(best_server != kUnassigned, "no assignable pair found");
+
+    // Batch: unassigned clients in the sorted prefix ending at the chosen
+    // client; truncated to the farthest `take` members under capacity.
+    const auto& list = lists[static_cast<std::size_t>(best_server)];
+    std::vector<ClientIndex> batch;
+    for (std::size_t pos = 0; pos <= best_pos; ++pos) {
+      if (a[list[pos]] == kUnassigned) batch.push_back(list[pos]);
+    }
+    auto& room = remaining[static_cast<std::size_t>(best_server)];
+    const auto take =
+        std::min<std::size_t>(batch.size(), static_cast<std::size_t>(room));
+    DIACA_CHECK(take >= 1);
+    for (std::size_t i = batch.size() - take; i < batch.size(); ++i) {
+      a[batch[i]] = best_server;
+      far[static_cast<std::size_t>(best_server)] =
+          std::max(far[static_cast<std::size_t>(best_server)],
+                   problem.cs(batch[i], best_server));
+      ++num_assigned;
+    }
+    if (options.capacitated()) room -= static_cast<std::int32_t>(take);
+    max_len = std::max(max_len, best_len);
+    if (stats != nullptr) ++stats->iterations;
+  }
+  return a;
+}
+
+}  // namespace diaca::core

@@ -1,0 +1,32 @@
+// Greedy Assignment (§IV-C, Fig. 6).
+//
+// Iteratively considers every (unassigned client c, server s) pair. Taking
+// the pair would batch-assign to s all unassigned clients no farther from
+// s than c; the pair minimizing the amortized objective increase
+// Δl/Δn — Δl the growth of the maximum interaction path length, Δn the
+// batch size — wins. Per-server client lists sorted by distance make Δn an
+// O(1) prefix count, and the max reach term of Δl is shared across all
+// clients of a server, giving O(|S||C|) per iteration as in the paper.
+//
+// Capacitated variant (§IV-E): saturated servers are skipped, Δn is capped
+// by the remaining capacity, and an overflowing batch is truncated to its
+// farthest members (which always include c; DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+
+#include "core/problem.h"
+#include "core/types.h"
+
+namespace diaca::core {
+
+struct GreedyStats {
+  std::int32_t iterations = 0;
+};
+
+/// Throws diaca::Error if the capacity makes the instance infeasible.
+Assignment GreedyAssign(const Problem& problem,
+                        const AssignOptions& options = {},
+                        GreedyStats* stats = nullptr);
+
+}  // namespace diaca::core

@@ -1,0 +1,122 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace diaca::core {
+
+IncrementalEvaluator::IncrementalEvaluator(const Problem& problem,
+                                           const Assignment& initial)
+    : problem_(problem), assignment_(initial) {
+  DIACA_CHECK_MSG(initial.IsComplete(),
+                  "incremental evaluator needs a complete assignment");
+  distances_.resize(static_cast<std::size_t>(problem.num_servers()));
+  for (ClientIndex c = 0; c < problem.num_clients(); ++c) {
+    distances_[static_cast<std::size_t>(assignment_[c])].insert(
+        problem.cs(c, assignment_[c]));
+  }
+  // Initial scan with a no-op "move".
+  max_pair_ = ScanAllPairs(/*c=*/0, assignment_[0], assignment_[0]);
+}
+
+double IncrementalEvaluator::EffectiveFar(ServerIndex s, ClientIndex c,
+                                          ServerIndex from,
+                                          ServerIndex to) const {
+  if (from == to) return Far(s);  // no-op move
+  if (s == from) {
+    const auto& set = distances_[static_cast<std::size_t>(from)];
+    const double d = problem_.cs(c, from);
+    // c leaves: if it holds the maximum, the survivor max is next.
+    if (d >= *set.rbegin()) {
+      auto it = set.rbegin();
+      ++it;
+      return it == set.rend() ? -1.0 : *it;
+    }
+    return *set.rbegin();
+  }
+  if (s == to) return std::max(Far(to), problem_.cs(c, to));
+  return Far(s);
+}
+
+IncrementalEvaluator::PairMax IncrementalEvaluator::ScanAllPairs(
+    ClientIndex c, ServerIndex from, ServerIndex to) const {
+  PairMax best;
+  const std::int32_t num_servers = problem_.num_servers();
+  for (ServerIndex s1 = 0; s1 < num_servers; ++s1) {
+    const double f1 = EffectiveFar(s1, c, from, to);
+    if (f1 < 0.0) continue;
+    const double* row = problem_.ss_row(s1);
+    for (ServerIndex s2 = s1; s2 < num_servers; ++s2) {
+      const double f2 = EffectiveFar(s2, c, from, to);
+      if (f2 < 0.0) continue;
+      const double value = f1 + row[s2] + f2;
+      if (value > best.value || best.a == kUnassigned) {
+        best = {value, s1, s2};
+      }
+    }
+  }
+  return best;
+}
+
+IncrementalEvaluator::PairMax IncrementalEvaluator::ScanTouching(
+    ClientIndex c, ServerIndex from, ServerIndex to) const {
+  PairMax best;
+  const std::int32_t num_servers = problem_.num_servers();
+  for (ServerIndex anchor : {from, to}) {
+    const double fa = EffectiveFar(anchor, c, from, to);
+    if (fa < 0.0) continue;
+    const double* row = problem_.ss_row(anchor);
+    for (ServerIndex s = 0; s < num_servers; ++s) {
+      const double fs = EffectiveFar(s, c, from, to);
+      if (fs < 0.0) continue;
+      const double value = fa + row[s] + fs;
+      if (value > best.value || best.a == kUnassigned) {
+        best = {value, std::min(anchor, s), std::max(anchor, s)};
+      }
+    }
+  }
+  return best;
+}
+
+IncrementalEvaluator::PairMax IncrementalEvaluator::Evaluate(
+    ClientIndex c, ServerIndex to, bool* used_full_rescan) const {
+  const ServerIndex from = assignment_[c];
+  if (to == from) {
+    if (used_full_rescan != nullptr) *used_full_rescan = false;
+    return max_pair_;
+  }
+  const bool max_pair_touched =
+      max_pair_.a == from || max_pair_.a == to || max_pair_.b == from ||
+      max_pair_.b == to;
+  if (!max_pair_touched) {
+    // Pairs avoiding {from, to} are unchanged; the cached maximum still
+    // stands among them. Only pairs touching a changed server can beat it.
+    if (used_full_rescan != nullptr) *used_full_rescan = false;
+    const PairMax touching = ScanTouching(c, from, to);
+    return touching.value > max_pair_.value ? touching : max_pair_;
+  }
+  if (used_full_rescan != nullptr) *used_full_rescan = true;
+  ++full_rescans_;
+  return ScanAllPairs(c, from, to);
+}
+
+double IncrementalEvaluator::EvaluateMove(ClientIndex c, ServerIndex to) const {
+  return Evaluate(c, to, nullptr).value;
+}
+
+double IncrementalEvaluator::ApplyMove(ClientIndex c, ServerIndex to) {
+  const ServerIndex from = assignment_[c];
+  if (to == from) return max_pair_.value;
+  const PairMax new_max = Evaluate(c, to, nullptr);
+  auto& from_set = distances_[static_cast<std::size_t>(from)];
+  const auto it = from_set.find(problem_.cs(c, from));
+  DIACA_CHECK(it != from_set.end());
+  from_set.erase(it);
+  distances_[static_cast<std::size_t>(to)].insert(problem_.cs(c, to));
+  assignment_[c] = to;
+  max_pair_ = new_max;
+  return max_pair_.value;
+}
+
+}  // namespace diaca::core

@@ -1,0 +1,87 @@
+// Incremental maintenance of the maximum interaction path length under
+// single-client moves.
+//
+// Local search methods (steepest descent, simulated annealing) evaluate
+// huge numbers of candidate moves; recomputing
+// D = max_{s1,s2} far(s1) + d(s1,s2) + far(s2) from scratch costs
+// O(|C| + |U|^2) each time. IncrementalEvaluator keeps a per-server
+// multiset of client distances plus the argmax server pair. A move changes
+// only far(from) and far(to), so:
+//   * if the cached argmax pair avoids both changed servers, the new
+//     objective is max(old maximum, best pair touching a changed server)
+//     — O(|S|);
+//   * otherwise the old maximum may fall, and a full O(|U|^2) rescan runs.
+// Random/local moves rarely touch the argmax pair, so evaluation is O(|S|)
+// in the common case (measured in the evaluator microbenchmark).
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "core/problem.h"
+#include "core/types.h"
+
+namespace diaca::core {
+
+class IncrementalEvaluator {
+ public:
+  /// Build from a complete assignment. O(|C| log |C| + |U|^2).
+  IncrementalEvaluator(const Problem& problem, const Assignment& initial);
+
+  /// Current maximum interaction path length.
+  double CurrentMax() const { return max_pair_.value; }
+
+  /// Objective if client c moved to server `to` (no state change).
+  double EvaluateMove(ClientIndex c, ServerIndex to) const;
+
+  /// Apply the move for real and return the new objective.
+  double ApplyMove(ClientIndex c, ServerIndex to);
+
+  /// Current assignment (kept in sync with the applied moves).
+  const Assignment& assignment() const { return assignment_; }
+
+  ServerIndex ServerOf(ClientIndex c) const { return assignment_[c]; }
+  std::int32_t LoadOf(ServerIndex s) const {
+    return static_cast<std::int32_t>(
+        distances_[static_cast<std::size_t>(s)].size());
+  }
+  /// Full O(|U|^2) rescans triggered so far (perf introspection).
+  std::int64_t full_rescans() const { return full_rescans_; }
+
+ private:
+  struct PairMax {
+    double value = 0.0;
+    ServerIndex a = kUnassigned;
+    ServerIndex b = kUnassigned;
+  };
+
+  /// far(s) from the distance multiset (-1 when empty).
+  double Far(ServerIndex s) const {
+    const auto& set = distances_[static_cast<std::size_t>(s)];
+    return set.empty() ? -1.0 : *set.rbegin();
+  }
+
+  /// Eccentricity with the move (c: from -> to) applied virtually.
+  double EffectiveFar(ServerIndex s, ClientIndex c, ServerIndex from,
+                      ServerIndex to) const;
+
+  /// Full scan over server pairs with the move applied virtually.
+  PairMax ScanAllPairs(ClientIndex c, ServerIndex from, ServerIndex to) const;
+
+  /// Best pair with at least one endpoint in {from, to}, move applied
+  /// virtually. O(|S|).
+  PairMax ScanTouching(ClientIndex c, ServerIndex from, ServerIndex to) const;
+
+  PairMax Evaluate(ClientIndex c, ServerIndex to,
+                   bool* used_full_rescan) const;
+
+  const Problem& problem_;
+  Assignment assignment_;
+  /// Per-server multiset of client distances (supports removing one
+  /// occurrence when a client leaves).
+  std::vector<std::multiset<double>> distances_;
+  PairMax max_pair_;
+  mutable std::int64_t full_rescans_ = 0;
+};
+
+}  // namespace diaca::core

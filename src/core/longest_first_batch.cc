@@ -1,0 +1,117 @@
+#include "core/longest_first_batch.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "core/capacity.h"
+#include "core/nearest_server.h"
+
+namespace diaca::core {
+
+namespace {
+
+struct Candidate {
+  ClientIndex client;
+  ServerIndex nearest;
+  double distance;
+};
+
+// Nearest server among those with remaining capacity; kUnassigned if none.
+ServerIndex NearestUnsaturated(const Problem& problem, ClientIndex c,
+                               std::span<const std::int32_t> remaining) {
+  const double* row = problem.cs_row(c);
+  ServerIndex best = kUnassigned;
+  for (ServerIndex s = 0; s < problem.num_servers(); ++s) {
+    if (remaining[static_cast<std::size_t>(s)] > 0 &&
+        (best == kUnassigned || row[s] < row[best])) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+Assignment Uncapacitated(const Problem& problem) {
+  const std::int32_t num_clients = problem.num_clients();
+  std::vector<Candidate> order;
+  order.reserve(static_cast<std::size_t>(num_clients));
+  for (ClientIndex c = 0; c < num_clients; ++c) {
+    const ServerIndex s = NearestServerOf(problem, c);
+    order.push_back({c, s, problem.cs(c, s)});
+  }
+  // Longest distance first; stable tie-break on client index.
+  std::sort(order.begin(), order.end(), [](const Candidate& a, const Candidate& b) {
+    return a.distance != b.distance ? a.distance > b.distance
+                                    : a.client < b.client;
+  });
+
+  Assignment a(static_cast<std::size_t>(num_clients));
+  for (const Candidate& lead : order) {
+    if (a[lead.client] != kUnassigned) continue;
+    // Batch: every unassigned client no farther from lead.nearest than lead.
+    for (ClientIndex c = 0; c < num_clients; ++c) {
+      if (a[c] == kUnassigned &&
+          problem.cs(c, lead.nearest) <= lead.distance) {
+        a[c] = lead.nearest;
+      }
+    }
+  }
+  return a;
+}
+
+Assignment Capacitated(const Problem& problem, const AssignOptions& options) {
+  const std::int32_t num_clients = problem.num_clients();
+  std::vector<std::int32_t> remaining(
+      static_cast<std::size_t>(problem.num_servers()));
+  for (ServerIndex s = 0; s < problem.num_servers(); ++s) {
+    remaining[static_cast<std::size_t>(s)] = options.CapacityOf(s);
+  }
+  Assignment a(static_cast<std::size_t>(num_clients));
+  std::int32_t unassigned = num_clients;
+
+  while (unassigned > 0) {
+    // Find the unassigned client whose distance to its nearest unsaturated
+    // server is longest.
+    Candidate lead{kUnassigned, kUnassigned, -1.0};
+    for (ClientIndex c = 0; c < num_clients; ++c) {
+      if (a[c] != kUnassigned) continue;
+      const ServerIndex s = NearestUnsaturated(problem, c, remaining);
+      DIACA_CHECK_MSG(s != kUnassigned, "all servers saturated early");
+      const double d = problem.cs(c, s);
+      if (d > lead.distance) lead = {c, s, d};
+    }
+    // Batch of unassigned clients within lead.distance of the server,
+    // farthest first so the lead client itself is always included.
+    std::vector<Candidate> batch;
+    for (ClientIndex c = 0; c < num_clients; ++c) {
+      if (a[c] == kUnassigned && problem.cs(c, lead.nearest) <= lead.distance) {
+        batch.push_back({c, lead.nearest, problem.cs(c, lead.nearest)});
+      }
+    }
+    std::sort(batch.begin(), batch.end(),
+              [](const Candidate& x, const Candidate& y) {
+                return x.distance != y.distance ? x.distance > y.distance
+                                                : x.client < y.client;
+              });
+    auto& room = remaining[static_cast<std::size_t>(lead.nearest)];
+    const auto take = std::min<std::size_t>(batch.size(),
+                                            static_cast<std::size_t>(room));
+    for (std::size_t i = 0; i < take; ++i) {
+      a[batch[i].client] = lead.nearest;
+      --room;
+      --unassigned;
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+Assignment LongestFirstBatchAssign(const Problem& problem,
+                                   const AssignOptions& options) {
+  if (!options.capacitated()) return Uncapacitated(problem);
+  CheckCapacityFeasible(problem, options);
+  return Capacitated(problem, options);
+}
+
+}  // namespace diaca::core

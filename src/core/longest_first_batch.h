@@ -1,0 +1,26 @@
+// Longest-First-Batch Assignment (§IV-B).
+//
+// Observation: if client c is assigned to server s, also assigning every
+// unassigned client no farther from s than c cannot increase the maximum
+// interaction path length. The algorithm therefore repeatedly takes the
+// unassigned client whose distance to its nearest server is longest,
+// assigns it to that server, and batches in all nearer unassigned clients.
+// Its D never exceeds Nearest-Server Assignment's, so it inherits the
+// 3-approximation under metric latencies.
+//
+// Capacitated variant (§IV-E): when a batch would overflow the server,
+// only a portion fills the server to capacity — here the batch's farthest
+// members, see DESIGN.md §5 — and the remaining clients recompute their
+// nearest servers among unsaturated servers.
+#pragma once
+
+#include "core/problem.h"
+#include "core/types.h"
+
+namespace diaca::core {
+
+/// Throws diaca::Error if the capacity makes the instance infeasible.
+Assignment LongestFirstBatchAssign(const Problem& problem,
+                                   const AssignOptions& options = {});
+
+}  // namespace diaca::core

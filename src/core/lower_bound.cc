@@ -1,0 +1,139 @@
+#include "core/lower_bound.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace diaca::core {
+
+namespace {
+
+LowerBoundDetail ComputePairwise(const Problem& problem) {
+  const std::int32_t num_clients = problem.num_clients();
+  const std::int32_t num_servers = problem.num_servers();
+  const auto sc = static_cast<std::size_t>(num_clients);
+  const auto ss = static_cast<std::size_t>(num_servers);
+
+  // m[c][s'] = min_s d(c,s) + d(s,s'): cheapest way for client c's
+  // operation to reach server s' through some ingress server s.
+  std::vector<double> m(sc * ss, std::numeric_limits<double>::infinity());
+  for (ClientIndex c = 0; c < num_clients; ++c) {
+    const double* cs_row = problem.cs_row(c);
+    double* m_row = m.data() + static_cast<std::size_t>(c) * ss;
+    for (ServerIndex s = 0; s < num_servers; ++s) {
+      const double dcs = cs_row[s];
+      const double* ss_row = problem.ss_row(s);
+      for (ServerIndex t = 0; t < num_servers; ++t) {
+        m_row[t] = std::min(m_row[t], dcs + ss_row[t]);
+      }
+    }
+  }
+
+  // LB = max_{c,c'} min_{s'} m[c][s'] + d(s',c'). The pair function is
+  // symmetric in (c, c'), so only ordered pairs c <= c' are scanned.
+  LowerBoundDetail detail;
+  for (ClientIndex c = 0; c < num_clients; ++c) {
+    const double* m_row = m.data() + static_cast<std::size_t>(c) * ss;
+    for (ClientIndex c2 = c; c2 < num_clients; ++c2) {
+      const double* cs_row = problem.cs_row(c2);
+      double best = std::numeric_limits<double>::infinity();
+      for (ServerIndex t = 0; t < num_servers; ++t) {
+        const double len = m_row[t] + cs_row[t];
+        best = std::min(best, len);
+      }
+      if (best > detail.value) {
+        detail.value = best;
+        detail.first = c;
+        detail.second = c2;
+      }
+    }
+  }
+  return detail;
+}
+
+/// min over (sa,sb,sc) of the worst interaction path within the triple,
+/// with `incumbent` for pruning (returns incumbent if no better).
+double TripleBound(const Problem& problem, ClientIndex a, ClientIndex b,
+                   ClientIndex c, double stop_above) {
+  const std::int32_t num_servers = problem.num_servers();
+  const double* da = problem.cs_row(a);
+  const double* db = problem.cs_row(b);
+  const double* dc = problem.cs_row(c);
+  double best = std::numeric_limits<double>::infinity();
+  for (ServerIndex sa = 0; sa < num_servers; ++sa) {
+    if (2.0 * da[sa] >= best) continue;
+    const double* row_a = problem.ss_row(sa);
+    for (ServerIndex sb = 0; sb < num_servers; ++sb) {
+      const double ab = da[sa] + row_a[sb] + db[sb];
+      const double partial = std::max({ab, 2.0 * da[sa], 2.0 * db[sb]});
+      if (partial >= best) continue;
+      const double* row_b = problem.ss_row(sb);
+      for (ServerIndex sc = 0; sc < num_servers; ++sc) {
+        const double ac = da[sa] + row_a[sc] + dc[sc];
+        const double bc = db[sb] + row_b[sc] + dc[sc];
+        const double worst = std::max({partial, ac, bc, 2.0 * dc[sc]});
+        if (worst < best) {
+          best = worst;
+          // The bound only needs to beat stop_above; once it cannot,
+          // further precision is wasted.
+          if (best <= stop_above) return best;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+LowerBoundDetail InteractivityLowerBoundDetailed(const Problem& problem) {
+  return ComputePairwise(problem);
+}
+
+double InteractivityLowerBound(const Problem& problem) {
+  return ComputePairwise(problem).value;
+}
+
+double TripleEnhancedLowerBound(const Problem& problem, std::int32_t samples,
+                                std::uint64_t seed) {
+  DIACA_CHECK(samples >= 0);
+  const LowerBoundDetail pairwise = ComputePairwise(problem);
+  const std::int32_t num_clients = problem.num_clients();
+  if (num_clients < 3) return pairwise.value;
+
+  double bound = pairwise.value;
+  Rng rng(seed);
+  // Targeted triples: the pairwise argmax pair plus each sampled third —
+  // the pair already forces the bound, a third client can only raise it.
+  for (std::int32_t i = 0; i < samples; ++i) {
+    const auto third = static_cast<ClientIndex>(
+        rng.NextBounded(static_cast<std::uint64_t>(num_clients)));
+    if (third == pairwise.first || third == pairwise.second) continue;
+    bound = std::max(bound, TripleBound(problem, pairwise.first,
+                                        pairwise.second, third, bound));
+  }
+  // Plus fully random triples (diversity against pathological instances).
+  for (std::int32_t i = 0; i < samples; ++i) {
+    const auto a = static_cast<ClientIndex>(
+        rng.NextBounded(static_cast<std::uint64_t>(num_clients)));
+    const auto b = static_cast<ClientIndex>(
+        rng.NextBounded(static_cast<std::uint64_t>(num_clients)));
+    const auto c = static_cast<ClientIndex>(
+        rng.NextBounded(static_cast<std::uint64_t>(num_clients)));
+    if (a == b || b == c || a == c) continue;
+    bound = std::max(bound, TripleBound(problem, a, b, c, bound));
+  }
+  return bound;
+}
+
+double NormalizedInteractivity(double max_path_length, double lower_bound) {
+  DIACA_CHECK_MSG(lower_bound >= 0.0, "negative lower bound");
+  if (lower_bound == 0.0) return max_path_length == 0.0 ? 1.0 :
+      std::numeric_limits<double>::infinity();
+  return max_path_length / lower_bound;
+}
+
+}  // namespace diaca::core

@@ -1,0 +1,124 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace diaca::core {
+
+double InteractionPathLength(const Problem& problem, const Assignment& a,
+                             ClientIndex ci, ClientIndex cj) {
+  const ServerIndex si = a[ci];
+  const ServerIndex sj = a[cj];
+  DIACA_CHECK_MSG(si != kUnassigned && sj != kUnassigned,
+                  "interaction path requires assigned clients");
+  return problem.cs(ci, si) + problem.ss(si, sj) + problem.cs(cj, sj);
+}
+
+std::vector<double> ServerEccentricities(const Problem& problem,
+                                         const Assignment& a) {
+  DIACA_CHECK(a.size() == static_cast<std::size_t>(problem.num_clients()));
+  std::vector<double> far(static_cast<std::size_t>(problem.num_servers()), -1.0);
+  for (ClientIndex c = 0; c < problem.num_clients(); ++c) {
+    const ServerIndex s = a[c];
+    if (s == kUnassigned) continue;
+    far[static_cast<std::size_t>(s)] =
+        std::max(far[static_cast<std::size_t>(s)], problem.cs(c, s));
+  }
+  return far;
+}
+
+double MaxInteractionPathLength(const Problem& problem, const Assignment& a) {
+  DIACA_CHECK_MSG(a.IsComplete(), "assignment must be complete");
+  const std::vector<double> far = ServerEccentricities(problem, a);
+  // Collect used servers.
+  std::vector<ServerIndex> used;
+  used.reserve(far.size());
+  for (ServerIndex s = 0; s < problem.num_servers(); ++s) {
+    if (far[static_cast<std::size_t>(s)] >= 0.0) used.push_back(s);
+  }
+  double best = 0.0;
+  for (std::size_t i = 0; i < used.size(); ++i) {
+    const ServerIndex s1 = used[i];
+    const double f1 = far[static_cast<std::size_t>(s1)];
+    const double* row = problem.ss_row(s1);
+    for (std::size_t j = i; j < used.size(); ++j) {
+      const ServerIndex s2 = used[j];
+      best = std::max(best, f1 + row[s2] + far[static_cast<std::size_t>(s2)]);
+    }
+  }
+  return best;
+}
+
+double MaxServerReach(const Problem& problem, std::span<const double> far,
+                      ServerIndex s) {
+  const double* row = problem.ss_row(s);
+  double best = 0.0;
+  for (ServerIndex t = 0; t < problem.num_servers(); ++t) {
+    const double f = far[static_cast<std::size_t>(t)];
+    if (f >= 0.0) best = std::max(best, row[t] + f);
+  }
+  return best;
+}
+
+std::vector<ClientIndex> CriticalClients(const Problem& problem,
+                                         const Assignment& a,
+                                         double tolerance) {
+  const double max_len = MaxInteractionPathLength(problem, a);
+  const std::vector<double> far = ServerEccentricities(problem, a);
+  std::vector<ClientIndex> critical;
+  for (ClientIndex c = 0; c < problem.num_clients(); ++c) {
+    const ServerIndex s = a[c];
+    const double dcs = problem.cs(c, s);
+    // c is an endpoint of a longest path iff its distance plus the longest
+    // reach from its server (or its own round trip) attains max_len.
+    const double reach = MaxServerReach(problem, far, s);
+    const double longest_via_c = std::max(2.0 * dcs, dcs + reach);
+    if (longest_via_c >= max_len - tolerance) critical.push_back(c);
+  }
+  return critical;
+}
+
+double MeanInteractionPathLength(const Problem& problem,
+                                 const Assignment& a) {
+  DIACA_CHECK_MSG(a.IsComplete(), "assignment must be complete");
+  const auto num_clients = static_cast<double>(problem.num_clients());
+  // Per-server aggregates: load n_s and total client distance t_s. The
+  // ordered-pair sum decomposes as
+  //   sum_{i,j} d(ci,si) + d(si,sj) + d(cj,sj)
+  //     = 2 |C| sum_i d(ci,si) + sum_{s1,s2} n_{s1} n_{s2} d(s1,s2).
+  std::vector<double> total_dist(static_cast<std::size_t>(problem.num_servers()),
+                                 0.0);
+  std::vector<double> load(static_cast<std::size_t>(problem.num_servers()), 0.0);
+  double client_sum = 0.0;
+  for (ClientIndex c = 0; c < problem.num_clients(); ++c) {
+    const ServerIndex s = a[c];
+    const double d = problem.cs(c, s);
+    total_dist[static_cast<std::size_t>(s)] += d;
+    load[static_cast<std::size_t>(s)] += 1.0;
+    client_sum += d;
+  }
+  double pair_sum = 2.0 * num_clients * client_sum;
+  for (ServerIndex s1 = 0; s1 < problem.num_servers(); ++s1) {
+    if (load[static_cast<std::size_t>(s1)] == 0.0) continue;
+    const double* row = problem.ss_row(s1);
+    for (ServerIndex s2 = 0; s2 < problem.num_servers(); ++s2) {
+      pair_sum += load[static_cast<std::size_t>(s1)] *
+                  load[static_cast<std::size_t>(s2)] * row[s2];
+    }
+  }
+  return pair_sum / (num_clients * num_clients);
+}
+
+std::int32_t MaxServerLoad(const Problem& problem, const Assignment& a) {
+  std::vector<std::int32_t> load(static_cast<std::size_t>(problem.num_servers()), 0);
+  std::int32_t best = 0;
+  for (ClientIndex c = 0; c < problem.num_clients(); ++c) {
+    const ServerIndex s = a[c];
+    if (s == kUnassigned) continue;
+    best = std::max(best, ++load[static_cast<std::size_t>(s)]);
+  }
+  return best;
+}
+
+}  // namespace diaca::core

@@ -1,0 +1,53 @@
+#include "core/nearest_server.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "core/capacity.h"
+
+namespace diaca::core {
+
+ServerIndex NearestServerOf(const Problem& problem, ClientIndex c) {
+  const double* row = problem.cs_row(c);
+  ServerIndex best = 0;
+  for (ServerIndex s = 1; s < problem.num_servers(); ++s) {
+    if (row[s] < row[best]) best = s;
+  }
+  return best;
+}
+
+Assignment NearestServerAssign(const Problem& problem,
+                               const AssignOptions& options) {
+  CheckCapacityFeasible(problem, options);
+  Assignment a(static_cast<std::size_t>(problem.num_clients()));
+
+  if (!options.capacitated()) {
+    for (ClientIndex c = 0; c < problem.num_clients(); ++c) {
+      a[c] = NearestServerOf(problem, c);
+    }
+    return a;
+  }
+
+  std::vector<std::int32_t> load(static_cast<std::size_t>(problem.num_servers()), 0);
+  std::vector<ServerIndex> order(static_cast<std::size_t>(problem.num_servers()));
+  for (ClientIndex c = 0; c < problem.num_clients(); ++c) {
+    // Rank servers by distance from c; take the nearest unsaturated one.
+    const double* row = problem.cs_row(c);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [row](ServerIndex x, ServerIndex y) {
+      return row[x] != row[y] ? row[x] < row[y] : x < y;
+    });
+    for (ServerIndex s : order) {
+      if (load[static_cast<std::size_t>(s)] < options.CapacityOf(s)) {
+        a[c] = s;
+        ++load[static_cast<std::size_t>(s)];
+        break;
+      }
+    }
+    DIACA_CHECK_MSG(a[c] != kUnassigned, "no unsaturated server for client " << c);
+  }
+  return a;
+}
+
+}  // namespace diaca::core

@@ -1,0 +1,24 @@
+// Nearest-Server Assignment (§IV-A).
+//
+// Each client picks the server with the lowest latency to itself. Under
+// metric latencies this is a 3-approximation of the optimal maximum
+// interaction path length (Theorem 2), and the bound is tight (Fig. 4).
+// With a capacity limit, a client falls back to its 2nd, 3rd, ... nearest
+// server until it finds one with room (§IV-E); clients choose in client-
+// index order.
+#pragma once
+
+#include "core/problem.h"
+#include "core/types.h"
+
+namespace diaca::core {
+
+/// Throws diaca::Error if the capacity makes the instance infeasible
+/// (capacity * |S| < |C|).
+Assignment NearestServerAssign(const Problem& problem,
+                               const AssignOptions& options = {});
+
+/// Index of the server nearest to client c (lowest index wins ties).
+ServerIndex NearestServerOf(const Problem& problem, ClientIndex c);
+
+}  // namespace diaca::core

@@ -1,0 +1,67 @@
+#include "core/problem.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace diaca::core {
+
+namespace {
+
+void CheckNodes(std::span<const net::NodeIndex> nodes, net::NodeIndex n,
+                const char* kind) {
+  DIACA_CHECK_MSG(!nodes.empty(), kind << " list must not be empty");
+  std::unordered_set<net::NodeIndex> seen;
+  for (net::NodeIndex v : nodes) {
+    DIACA_CHECK_MSG(v >= 0 && v < n,
+                    kind << " node " << v << " outside matrix of size " << n);
+    DIACA_CHECK_MSG(seen.insert(v).second, "duplicate " << kind << " node " << v);
+  }
+}
+
+}  // namespace
+
+Problem::Problem(const net::LatencyMatrix& matrix,
+                 std::span<const net::NodeIndex> server_nodes,
+                 std::span<const net::NodeIndex> client_nodes)
+    : num_servers_(static_cast<std::int32_t>(server_nodes.size())),
+      num_clients_(static_cast<std::int32_t>(client_nodes.size())),
+      server_nodes_(server_nodes.begin(), server_nodes.end()),
+      client_nodes_(client_nodes.begin(), client_nodes.end()) {
+  CheckNodes(server_nodes, matrix.size(), "server");
+  CheckNodes(client_nodes, matrix.size(), "client");
+
+  d_cs_.resize(static_cast<std::size_t>(num_clients_) *
+               static_cast<std::size_t>(num_servers_));
+  for (ClientIndex c = 0; c < num_clients_; ++c) {
+    const double* row = matrix.Row(client_nodes_[static_cast<std::size_t>(c)]);
+    double* out = d_cs_.data() + static_cast<std::size_t>(c) *
+                                     static_cast<std::size_t>(num_servers_);
+    for (ServerIndex s = 0; s < num_servers_; ++s) {
+      out[s] = row[server_nodes_[static_cast<std::size_t>(s)]];
+    }
+  }
+
+  d_ss_.resize(static_cast<std::size_t>(num_servers_) *
+               static_cast<std::size_t>(num_servers_));
+  for (ServerIndex a = 0; a < num_servers_; ++a) {
+    const double* row = matrix.Row(server_nodes_[static_cast<std::size_t>(a)]);
+    double* out = d_ss_.data() + static_cast<std::size_t>(a) *
+                                     static_cast<std::size_t>(num_servers_);
+    for (ServerIndex b = 0; b < num_servers_; ++b) {
+      out[b] = row[server_nodes_[static_cast<std::size_t>(b)]];
+    }
+  }
+}
+
+Problem Problem::WithClientsEverywhere(
+    const net::LatencyMatrix& matrix,
+    std::span<const net::NodeIndex> server_nodes) {
+  std::vector<net::NodeIndex> all(static_cast<std::size_t>(matrix.size()));
+  std::iota(all.begin(), all.end(), 0);
+  return Problem(matrix, server_nodes, all);
+}
+
+}  // namespace diaca::core

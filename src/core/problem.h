@@ -1,0 +1,80 @@
+// Problem instance of the client assignment problem (§II-D, Definition 1).
+//
+// A Problem is a view over a network latency matrix that fixes which nodes
+// are servers and which are clients (a node may be both, as in the paper's
+// evaluation where a client sits at every node). For cache-friendly hot
+// loops it pre-extracts the client-to-server block (|C| x |S|) and the
+// server-to-server block (|S| x |S|).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "net/latency_matrix.h"
+
+namespace diaca::core {
+
+class Problem {
+ public:
+  /// Build from a complete latency matrix and the node indices of servers
+  /// and clients. Throws diaca::Error if the lists are empty, contain
+  /// duplicates, or reference nodes outside the matrix.
+  Problem(const net::LatencyMatrix& matrix,
+          std::span<const net::NodeIndex> server_nodes,
+          std::span<const net::NodeIndex> client_nodes);
+
+  std::int32_t num_clients() const { return num_clients_; }
+  std::int32_t num_servers() const { return num_servers_; }
+
+  /// Client-to-server latency d(c, s).
+  double cs(ClientIndex c, ServerIndex s) const {
+    return d_cs_[static_cast<std::size_t>(c) * static_cast<std::size_t>(num_servers_) +
+                 static_cast<std::size_t>(s)];
+  }
+
+  /// Server-to-server latency d(s1, s2); zero when s1 == s2.
+  double ss(ServerIndex a, ServerIndex b) const {
+    return d_ss_[static_cast<std::size_t>(a) * static_cast<std::size_t>(num_servers_) +
+                 static_cast<std::size_t>(b)];
+  }
+
+  /// Row of client c's latencies to all servers (contiguous, |S| doubles).
+  const double* cs_row(ClientIndex c) const {
+    return d_cs_.data() +
+           static_cast<std::size_t>(c) * static_cast<std::size_t>(num_servers_);
+  }
+
+  /// Row of server a's latencies to all servers (contiguous, |S| doubles).
+  const double* ss_row(ServerIndex a) const {
+    return d_ss_.data() +
+           static_cast<std::size_t>(a) * static_cast<std::size_t>(num_servers_);
+  }
+
+  /// Original network node hosting server s / client c.
+  net::NodeIndex server_node(ServerIndex s) const {
+    return server_nodes_[static_cast<std::size_t>(s)];
+  }
+  net::NodeIndex client_node(ClientIndex c) const {
+    return client_nodes_[static_cast<std::size_t>(c)];
+  }
+
+  std::span<const net::NodeIndex> server_nodes() const { return server_nodes_; }
+  std::span<const net::NodeIndex> client_nodes() const { return client_nodes_; }
+
+  /// Convenience: a problem where every node hosts a client and the given
+  /// nodes host servers (the paper's experimental setup, §V).
+  static Problem WithClientsEverywhere(
+      const net::LatencyMatrix& matrix,
+      std::span<const net::NodeIndex> server_nodes);
+
+ private:
+  std::int32_t num_servers_;
+  std::int32_t num_clients_;
+  std::vector<net::NodeIndex> server_nodes_;
+  std::vector<net::NodeIndex> client_nodes_;
+  std::vector<double> d_cs_;  // row-major |C| x |S|
+  std::vector<double> d_ss_;  // row-major |S| x |S|
+};
+
+}  // namespace diaca::core

@@ -1,0 +1,68 @@
+#include "core/processing.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "core/metrics.h"
+
+namespace diaca::core {
+
+namespace {
+
+std::vector<std::int32_t> Loads(const Problem& problem, const Assignment& a) {
+  std::vector<std::int32_t> load(static_cast<std::size_t>(problem.num_servers()),
+                                 0);
+  for (ClientIndex c = 0; c < problem.num_clients(); ++c) {
+    ++load[static_cast<std::size_t>(a[c])];
+  }
+  return load;
+}
+
+}  // namespace
+
+double InteractionPathWithProcessing(const Problem& problem,
+                                     const Assignment& a, ClientIndex ci,
+                                     ClientIndex cj,
+                                     const ProcessingModel& model) {
+  const std::vector<std::int32_t> load = Loads(problem, a);
+  const ServerIndex si = a[ci];
+  const ServerIndex sj = a[cj];
+  DIACA_CHECK(si != kUnassigned && sj != kUnassigned);
+  return problem.cs(ci, si) + model.DelayOf(load[static_cast<std::size_t>(si)]) +
+         problem.ss(si, sj) + model.DelayOf(load[static_cast<std::size_t>(sj)]) +
+         problem.cs(cj, sj);
+}
+
+double MaxInteractionPathWithProcessing(const Problem& problem,
+                                        const Assignment& a,
+                                        const ProcessingModel& model) {
+  DIACA_CHECK_MSG(a.IsComplete(), "assignment must be complete");
+  const std::vector<double> far = ServerEccentricities(problem, a);
+  const std::vector<std::int32_t> load = Loads(problem, a);
+  // Fold the per-server processing delay into the eccentricity: the
+  // maximum over pairs of (far + p)(s1) + d(s1,s2) + (far + p)(s2).
+  std::vector<ServerIndex> used;
+  std::vector<double> weight(far.size());
+  for (ServerIndex s = 0; s < problem.num_servers(); ++s) {
+    if (far[static_cast<std::size_t>(s)] >= 0.0) {
+      used.push_back(s);
+      weight[static_cast<std::size_t>(s)] =
+          far[static_cast<std::size_t>(s)] +
+          model.DelayOf(load[static_cast<std::size_t>(s)]);
+    }
+  }
+  double best = 0.0;
+  for (std::size_t i = 0; i < used.size(); ++i) {
+    const ServerIndex s1 = used[i];
+    const double* row = problem.ss_row(s1);
+    for (std::size_t j = i; j < used.size(); ++j) {
+      const ServerIndex s2 = used[j];
+      best = std::max(best, weight[static_cast<std::size_t>(s1)] + row[s2] +
+                                weight[static_cast<std::size_t>(s2)]);
+    }
+  }
+  return best;
+}
+
+}  // namespace diaca::core

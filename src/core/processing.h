@@ -1,0 +1,50 @@
+// Server processing delays (§II-E "Further Considerations").
+//
+// The paper's formulation deliberately excludes processing delays, arguing
+// a busy server can be provisioned into a cluster — and offers capacity
+// constraints (§IV-E) as the lever when it cannot. This module closes the
+// loop: a load-dependent processing model lets experiments *evaluate* an
+// assignment's real interaction time including queueing at the endpoint
+// servers, quantifying when the capacitated algorithms' balancing actually
+// pays off.
+//
+// The processed interaction path between ci and cj is
+//
+//   d(ci,si) + p(si) + d(si,sj) + p(sj) + d(cj,sj),
+//
+// where p(s) = base_ms + per_client_ms * load(s): the issuing client's
+// server forwards after processing, and the observer's server executes and
+// publishes after its own (the intermediate forwarding fan-out adds no
+// extra serial hops in the §II-A interaction process).
+#pragma once
+
+#include "core/problem.h"
+#include "core/types.h"
+
+namespace diaca::core {
+
+struct ProcessingModel {
+  /// Fixed per-operation processing time at a server (ms).
+  double base_ms = 0.5;
+  /// Additional delay per client assigned to the server (queueing, state
+  /// fan-out) in ms.
+  double per_client_ms = 0.0;
+
+  double DelayOf(std::int32_t load) const {
+    return base_ms + per_client_ms * static_cast<double>(load);
+  }
+};
+
+/// Maximum processed interaction path length over all client pairs.
+/// O(|C| + |U|^2), like the pure-latency objective.
+double MaxInteractionPathWithProcessing(const Problem& problem,
+                                        const Assignment& a,
+                                        const ProcessingModel& model);
+
+/// Processed length of one pair's interaction path (reference/debugging).
+double InteractionPathWithProcessing(const Problem& problem,
+                                     const Assignment& a, ClientIndex ci,
+                                     ClientIndex cj,
+                                     const ProcessingModel& model);
+
+}  // namespace diaca::core

@@ -1,0 +1,31 @@
+#include "core/random_assign.h"
+
+#include "common/error.h"
+#include "core/capacity.h"
+
+namespace diaca::core {
+
+Assignment RandomAssign(const Problem& problem, Rng& rng,
+                        const AssignOptions& options) {
+  CheckCapacityFeasible(problem, options);
+  Assignment a(static_cast<std::size_t>(problem.num_clients()));
+  std::vector<std::int32_t> load(static_cast<std::size_t>(problem.num_servers()), 0);
+  // Unsaturated servers kept as a compact set for O(1) uniform draws.
+  std::vector<ServerIndex> open(static_cast<std::size_t>(problem.num_servers()));
+  for (ServerIndex s = 0; s < problem.num_servers(); ++s) {
+    open[static_cast<std::size_t>(s)] = s;
+  }
+  for (ClientIndex c = 0; c < problem.num_clients(); ++c) {
+    const auto pick = static_cast<std::size_t>(rng.NextBounded(open.size()));
+    const ServerIndex s = open[pick];
+    a[c] = s;
+    if (options.capacitated() &&
+        ++load[static_cast<std::size_t>(s)] >= options.CapacityOf(s)) {
+      open[pick] = open.back();
+      open.pop_back();
+    }
+  }
+  return a;
+}
+
+}  // namespace diaca::core

@@ -1,0 +1,18 @@
+// Uniform random assignment — a calibration baseline for experiments
+// (not in the paper; useful to show how much structure the heuristics
+// exploit).
+#pragma once
+
+#include "common/rng.h"
+#include "core/problem.h"
+#include "core/types.h"
+
+namespace diaca::core {
+
+/// Assign each client to a uniformly random server. With a capacity,
+/// servers are drawn from the unsaturated set. Throws diaca::Error on
+/// infeasible capacity.
+Assignment RandomAssign(const Problem& problem, Rng& rng,
+                        const AssignOptions& options = {});
+
+}  // namespace diaca::core

@@ -1,0 +1,55 @@
+// Simulation-time synchronization schedule (§II-C).
+//
+// Given an assignment with maximum interaction path length D, the paper
+// shows δ = D is achievable by synchronizing all clients' simulation times
+// (Δc,c' = 0) and offsetting each server s by
+//
+//   Δs,c = D − max_{c'} { d(c', A(c')) + d(A(c'), s) },
+//
+// i.e. each server runs ahead of the common client clock by D minus its
+// longest ingress distance. Under this schedule constraints (i) (every
+// operation reaches every server before execution) and (ii) (every state
+// update reaches its clients in time) hold, and every pair's interaction
+// time equals exactly D. SyncSchedule computes these offsets; the checker
+// verifies the constraints, and the dia/ simulator executes the schedule
+// for real.
+#pragma once
+
+#include <vector>
+
+#include "core/problem.h"
+#include "core/types.h"
+
+namespace diaca::core {
+
+struct SyncSchedule {
+  /// The constant execution lag δ (= D for the minimal schedule).
+  double delta = 0.0;
+  /// server_offset[s] = Δs,c for every client c (clients are mutually
+  /// synchronized, so the offset is per server). Positive: s runs ahead.
+  std::vector<double> server_offset;
+};
+
+/// Compute the minimal feasible schedule for a complete assignment.
+SyncSchedule ComputeSyncSchedule(const Problem& problem, const Assignment& a);
+
+/// Result of checking constraints (i) and (ii) against a schedule.
+struct SyncFeasibility {
+  bool feasible = true;
+  /// Worst slack of constraint (i): max over (c,s) of
+  /// d(c,A(c)) + d(A(c),s) + Δs,c − δ. Feasible iff <= 0.
+  double worst_operation_slack = 0.0;
+  /// Worst slack of constraint (ii): max over c of d(A(c),c) + Δc,A(c).
+  double worst_update_slack = 0.0;
+};
+
+/// Check a (possibly non-minimal) schedule against the assignment.
+SyncFeasibility CheckSyncSchedule(const Problem& problem, const Assignment& a,
+                                  const SyncSchedule& schedule,
+                                  double tolerance = 1e-9);
+
+/// Interaction time for cj to observe ci's operation under the schedule:
+/// δ + Δci,cj. With synchronized clients this is δ for every pair.
+double InteractionTime(const SyncSchedule& schedule);
+
+}  // namespace diaca::core

@@ -1,0 +1,88 @@
+#include "data/king.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace diaca::data {
+
+KingResult SimulateKingMeasurement(const net::LatencyMatrix& ground_truth,
+                                   const KingParams& params, Rng& rng) {
+  DIACA_CHECK(params.failure_probability >= 0.0 &&
+              params.failure_probability < 1.0);
+  DIACA_CHECK(params.noise_fraction >= 0.0);
+  const net::NodeIndex n = ground_truth.size();
+  const auto sn = static_cast<std::size_t>(n);
+
+  // Measured values; NaN marks an unavailable pair.
+  std::vector<double> measured(sn * sn, 0.0);
+  std::vector<std::int32_t> missing_count(sn, 0);
+  KingResult result{net::LatencyMatrix(1), {}, 0};
+  for (net::NodeIndex u = 0; u < n; ++u) {
+    for (net::NodeIndex v = u + 1; v < n; ++v) {
+      double value;
+      if (rng.NextBernoulli(params.failure_probability)) {
+        value = std::numeric_limits<double>::quiet_NaN();
+        ++result.failed_pairs;
+        ++missing_count[static_cast<std::size_t>(u)];
+        ++missing_count[static_cast<std::size_t>(v)];
+      } else {
+        value = ground_truth(u, v) *
+                std::max(0.01, 1.0 + params.noise_fraction * rng.NextGaussian());
+      }
+      measured[static_cast<std::size_t>(u) * sn + static_cast<std::size_t>(v)] = value;
+      measured[static_cast<std::size_t>(v) * sn + static_cast<std::size_t>(u)] = value;
+    }
+  }
+
+  // Cleaning: repeatedly drop the node with the most missing measurements.
+  std::vector<bool> alive(sn, true);
+  std::int32_t alive_count = n;
+  for (;;) {
+    net::NodeIndex worst = -1;
+    std::int32_t worst_missing = 0;
+    for (net::NodeIndex u = 0; u < n; ++u) {
+      if (alive[static_cast<std::size_t>(u)] &&
+          missing_count[static_cast<std::size_t>(u)] > worst_missing) {
+        worst = u;
+        worst_missing = missing_count[static_cast<std::size_t>(u)];
+      }
+    }
+    if (worst < 0) break;  // complete
+    alive[static_cast<std::size_t>(worst)] = false;
+    --alive_count;
+    // Removing `worst` repairs the missing counts of its partners.
+    for (net::NodeIndex v = 0; v < n; ++v) {
+      if (v != worst && alive[static_cast<std::size_t>(v)] &&
+          std::isnan(measured[static_cast<std::size_t>(worst) * sn +
+                              static_cast<std::size_t>(v)])) {
+        --missing_count[static_cast<std::size_t>(v)];
+      }
+    }
+    missing_count[static_cast<std::size_t>(worst)] = 0;
+  }
+  if (alive_count < 2) {
+    throw Error("King cleaning left fewer than two nodes");
+  }
+
+  result.kept_nodes.reserve(static_cast<std::size_t>(alive_count));
+  for (net::NodeIndex u = 0; u < n; ++u) {
+    if (alive[static_cast<std::size_t>(u)]) result.kept_nodes.push_back(u);
+  }
+  net::LatencyMatrix clean(alive_count);
+  for (std::size_t i = 0; i < result.kept_nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < result.kept_nodes.size(); ++j) {
+      const double value =
+          measured[static_cast<std::size_t>(result.kept_nodes[i]) * sn +
+                   static_cast<std::size_t>(result.kept_nodes[j])];
+      DIACA_CHECK(!std::isnan(value));
+      clean.Set(static_cast<net::NodeIndex>(i), static_cast<net::NodeIndex>(j),
+                value);
+    }
+  }
+  result.matrix = std::move(clean);
+  return result;
+}
+
+}  // namespace diaca::data

@@ -1,0 +1,44 @@
+// Simulation of the King measurement pipeline (§V data preparation).
+//
+// The paper's matrices come from King [13]: DNS-based latency estimation
+// where some pairs fail to measure; the paper then "discards the nodes
+// involved in unavailable measurements" to obtain a complete matrix
+// (2500 → 1796 nodes for Meridian). KingPipeline reproduces that path:
+// given a ground-truth matrix it (a) drops each pair's measurement with a
+// failure probability, (b) perturbs surviving measurements with estimation
+// noise, and (c) greedily removes the nodes with the most missing pairs
+// until the matrix is complete.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/latency_matrix.h"
+
+namespace diaca::data {
+
+struct KingParams {
+  /// Probability that a pair's measurement is unavailable.
+  double failure_probability = 0.1;
+  /// Relative estimation noise: measured = true * (1 + eps * N(0,1)),
+  /// clamped positive.
+  double noise_fraction = 0.05;
+};
+
+struct KingResult {
+  /// Complete matrix over the surviving nodes.
+  net::LatencyMatrix matrix;
+  /// Indices (into the ground-truth matrix) of the surviving nodes, in
+  /// ascending order.
+  std::vector<net::NodeIndex> kept_nodes;
+  /// Pairs whose measurement failed (before cleaning).
+  std::uint64_t failed_pairs = 0;
+};
+
+/// Run the measurement + cleaning pipeline. Throws diaca::Error if fewer
+/// than two nodes survive.
+KingResult SimulateKingMeasurement(const net::LatencyMatrix& ground_truth,
+                                   const KingParams& params, Rng& rng);
+
+}  // namespace diaca::data

@@ -1,0 +1,128 @@
+#include "data/loader.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "common/error.h"
+#include "common/log.h"
+
+namespace diaca::data {
+
+namespace {
+
+std::ifstream OpenForRead(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "' for reading");
+  return in;
+}
+
+}  // namespace
+
+net::LatencyMatrix LoadDenseMatrix(const std::string& path) {
+  std::ifstream in = OpenForRead(path);
+  std::int64_t n = 0;
+  if (!(in >> n) || n < 2) {
+    throw Error("dense matrix '" + path + "': bad node count");
+  }
+  const auto sn = static_cast<std::size_t>(n);
+  std::vector<double> values(sn * sn);
+  bool asymmetric = false;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!(in >> values[i])) {
+      throw Error("dense matrix '" + path + "': expected " +
+                  std::to_string(values.size()) + " entries, got " +
+                  std::to_string(i));
+    }
+  }
+  // Symmetrize by averaging; validate entries.
+  for (std::size_t u = 0; u < sn; ++u) {
+    if (values[u * sn + u] != 0.0) {
+      throw Error("dense matrix '" + path + "': non-zero diagonal at " +
+                  std::to_string(u));
+    }
+    for (std::size_t v = u + 1; v < sn; ++v) {
+      double a = values[u * sn + v];
+      double b = values[v * sn + u];
+      if (!std::isfinite(a) || !std::isfinite(b) || a <= 0.0 || b <= 0.0) {
+        throw Error("dense matrix '" + path + "': invalid entry at (" +
+                    std::to_string(u) + "," + std::to_string(v) + ")");
+      }
+      if (a != b) asymmetric = true;
+      const double avg = 0.5 * (a + b);
+      values[u * sn + v] = avg;
+      values[v * sn + u] = avg;
+    }
+  }
+  if (asymmetric) {
+    DIACA_LOG(kWarn) << "dense matrix '" << path
+                     << "' was asymmetric; symmetrized by averaging";
+  }
+  return net::LatencyMatrix(static_cast<net::NodeIndex>(n), values);
+}
+
+void SaveDenseMatrix(const net::LatencyMatrix& m, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  out.precision(9);
+  out << m.size() << "\n";
+  for (net::NodeIndex u = 0; u < m.size(); ++u) {
+    for (net::NodeIndex v = 0; v < m.size(); ++v) {
+      if (v > 0) out << " ";
+      out << m(u, v);
+    }
+    out << "\n";
+  }
+  if (!out) throw Error("write failed for '" + path + "'");
+}
+
+net::LatencyMatrix LoadTriplesMatrix(const std::string& path) {
+  std::ifstream in = OpenForRead(path);
+  struct Entry {
+    double sum = 0.0;
+    int count = 0;
+  };
+  std::vector<Entry> entries;
+  std::int64_t max_id = -1;
+  std::int64_t u = 0;
+  std::int64_t v = 0;
+  double latency = 0.0;
+  std::vector<std::tuple<std::int64_t, std::int64_t, double>> triples;
+  while (in >> u >> v >> latency) {
+    if (u < 0 || v < 0 || u == v || !std::isfinite(latency) || latency <= 0) {
+      throw Error("triples matrix '" + path + "': invalid line (" +
+                  std::to_string(u) + " " + std::to_string(v) + " " +
+                  std::to_string(latency) + ")");
+    }
+    max_id = std::max({max_id, u, v});
+    triples.emplace_back(u, v, latency);
+  }
+  if (max_id < 1) throw Error("triples matrix '" + path + "': no data");
+  const auto n = static_cast<std::size_t>(max_id + 1);
+  entries.resize(n * n);
+  for (const auto& [a, b, lat] : triples) {
+    const std::size_t lo = static_cast<std::size_t>(std::min(a, b));
+    const std::size_t hi = static_cast<std::size_t>(std::max(a, b));
+    Entry& e = entries[lo * n + hi];
+    e.sum += lat;
+    ++e.count;
+  }
+  net::LatencyMatrix m(static_cast<net::NodeIndex>(n));
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const Entry& e = entries[a * n + b];
+      if (e.count == 0) {
+        throw Error("triples matrix '" + path + "': missing pair (" +
+                    std::to_string(a) + "," + std::to_string(b) + ")");
+      }
+      m.Set(static_cast<net::NodeIndex>(a), static_cast<net::NodeIndex>(b),
+            e.sum / e.count);
+    }
+  }
+  return m;
+}
+
+}  // namespace diaca::data

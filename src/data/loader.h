@@ -1,0 +1,30 @@
+// On-disk latency matrix formats.
+//
+// Two formats are supported so the real Meridian/MIT matrices can be used
+// when available:
+//   * "dense": first token n, then n*n whitespace-separated latencies in
+//     row-major order (the p2psim King matrix layout). A non-positive or
+//     missing entry off the diagonal is an error.
+//   * "triples": lines of `u v latency_ms` with 0-based node ids; the node
+//     count is one more than the largest id seen. Pairs may appear in
+//     either or both orders (values averaged if both are present).
+// Asymmetric inputs are symmetrized by averaging; this is logged.
+#pragma once
+
+#include <string>
+
+#include "net/latency_matrix.h"
+
+namespace diaca::data {
+
+/// Load a dense-format matrix. Throws diaca::Error on IO or format errors.
+net::LatencyMatrix LoadDenseMatrix(const std::string& path);
+
+/// Save in dense format (row-major, one row per line).
+void SaveDenseMatrix(const net::LatencyMatrix& m, const std::string& path);
+
+/// Load a triples-format matrix. Throws diaca::Error on IO/format errors
+/// or if any pair is missing.
+net::LatencyMatrix LoadTriplesMatrix(const std::string& path);
+
+}  // namespace diaca::data

@@ -1,0 +1,124 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "data/waxman.h"
+
+namespace diaca::data {
+
+SyntheticParams SyntheticParams::MeridianLike() {
+  SyntheticParams p;
+  p.num_nodes = 1796;
+  p.num_clusters = 18;
+  p.cluster_spread_ms = 10.0;
+  p.noise_sigma = 0.12;
+  return p;
+}
+
+SyntheticParams SyntheticParams::MitLike() {
+  SyntheticParams p;
+  p.num_nodes = 1024;
+  p.num_clusters = 14;
+  p.cluster_spread_ms = 9.0;
+  p.noise_sigma = 0.15;
+  return p;
+}
+
+net::LatencyMatrix GenerateSyntheticInternet(const SyntheticParams& params,
+                                             std::uint64_t seed) {
+  DIACA_CHECK(params.num_nodes >= 2);
+  DIACA_CHECK(params.num_clusters >= 1);
+  DIACA_CHECK(params.dimensions >= 1);
+  Rng rng(seed);
+
+  const auto n = static_cast<std::size_t>(params.num_nodes);
+  const auto k = static_cast<std::size_t>(params.num_clusters);
+  const auto dims = static_cast<std::size_t>(params.dimensions);
+
+  // Cluster centres in the world box.
+  std::vector<double> centres(k * dims);
+  for (double& c : centres) {
+    c = rng.NextUniform(-params.world_extent_ms, params.world_extent_ms);
+  }
+
+  // Zipf-skewed cluster membership probabilities.
+  std::vector<double> weights(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), params.cluster_skew);
+  }
+  const double weight_sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+
+  // Node coordinates, per-node access delay, and routing pathology.
+  std::vector<double> coords(n * dims);
+  std::vector<double> access(n);
+  std::vector<bool> bad_node(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    bad_node[i] = rng.NextBernoulli(params.bad_node_fraction);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double pick = rng.NextDouble() * weight_sum;
+    std::size_t cluster = 0;
+    while (cluster + 1 < k && pick > weights[cluster]) {
+      pick -= weights[cluster];
+      ++cluster;
+    }
+    for (std::size_t d = 0; d < dims; ++d) {
+      coords[i * dims + d] = centres[cluster * dims + d] +
+                             params.cluster_spread_ms * rng.NextGaussian();
+    }
+    access[i] = rng.NextLogNormal(params.access_mu, params.access_sigma);
+  }
+
+  net::LatencyMatrix m(params.num_nodes);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = u + 1; v < n; ++v) {
+      double sq = 0.0;
+      for (std::size_t d = 0; d < dims; ++d) {
+        const double diff = coords[u * dims + d] - coords[v * dims + d];
+        sq += diff * diff;
+      }
+      double latency = std::sqrt(sq) + access[u] + access[v];
+      if (params.noise_sigma > 0.0) {
+        latency *= std::exp(params.noise_sigma * rng.NextGaussian());
+      }
+      if ((bad_node[u] || bad_node[v]) &&
+          rng.NextBernoulli(params.bad_route_probability)) {
+        latency *= rng.NextUniform(1.5, params.bad_route_multiplier_max);
+      }
+      latency = std::max(latency, params.min_latency_ms);
+      m.Set(static_cast<net::NodeIndex>(u), static_cast<net::NodeIndex>(v),
+            latency);
+    }
+  }
+  return m;
+}
+
+net::LatencyMatrix MakeNamedDataset(const std::string& name,
+                                    std::uint64_t seed) {
+  if (name == "meridian") {
+    return GenerateSyntheticInternet(SyntheticParams::MeridianLike(), seed);
+  }
+  if (name == "mit") {
+    return GenerateSyntheticInternet(SyntheticParams::MitLike(), seed);
+  }
+  if (name == "small") {
+    SyntheticParams p;
+    p.num_nodes = 300;
+    p.num_clusters = 10;
+    return GenerateSyntheticInternet(p, seed);
+  }
+  if (name == "waxman") {
+    WaxmanParams p;
+    p.num_nodes = 600;
+    return GenerateWaxmanMatrix(p, seed);
+  }
+  throw Error("unknown dataset '" + name +
+              "' (expected meridian|mit|small|waxman)");
+}
+
+}  // namespace diaca::data

@@ -1,0 +1,74 @@
+// Synthetic Internet-like latency matrices (substitution for the Meridian
+// and MIT King data sets, see DESIGN.md §3).
+//
+// Nodes live in a low-dimensional Euclidean "delay space" with clustered
+// structure (clusters play the role of continents/metro POPs). The latency
+// of a pair is
+//
+//   d(u,v) = [ euclidean(u,v) + access(u) + access(v) ] * noise(u,v)
+//
+// where access() is a heavy-tailed per-node last-mile delay and noise() is
+// a symmetric lognormal perturbation. The perturbation and the additive
+// access delays produce triangle-inequality violations at rates comparable
+// to those reported for King-style measurements, which is the property the
+// paper's evaluation depends on (NSA's 3-approximation does not bind).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/latency_matrix.h"
+
+namespace diaca::data {
+
+struct SyntheticParams {
+  std::int32_t num_nodes = 500;
+  std::int32_t num_clusters = 12;
+  std::int32_t dimensions = 3;
+  /// Half-width of the box cluster centres are drawn from, in milliseconds
+  /// of one-way delay (120 → transcontinental distances up to ~400ms).
+  double world_extent_ms = 120.0;
+  /// Standard deviation of node offsets around their cluster centre (ms).
+  double cluster_spread_ms = 8.0;
+  /// Lognormal parameters of the per-node access (last-mile) delay.
+  double access_mu = 1.3;     // median ~3.7 ms
+  double access_sigma = 0.8;  // heavy tail up to tens of ms
+  /// Sigma of the multiplicative lognormal pairwise noise. 0 disables.
+  double noise_sigma = 0.15;
+  /// Fraction of nodes with pathological routing (stub networks behind
+  /// policy detours or congested transit). A fraction of each such node's
+  /// paths is severely inflated. Node-centric pathology matches what
+  /// King-style measurements show, creates the large triangle-inequality
+  /// violations the paper's footnote relies on, and drives the heavy
+  /// Nearest-Server tail of Fig. 8 while leaving only a handful of
+  /// "problem clients" for Distributed-Greedy to relocate (Fig. 9).
+  /// 0 disables.
+  double bad_node_fraction = 0.01;
+  /// Probability that a path touching a bad node is inflated.
+  double bad_route_probability = 0.5;
+  /// Inflated paths multiply the latency by Uniform(1.5, this).
+  double bad_route_multiplier_max = 3.0;
+  /// Zipf skew of cluster sizes (0 = uniform; 1 ≈ natural city-size skew).
+  double cluster_skew = 0.8;
+  /// Floor on any pairwise latency (ms).
+  double min_latency_ms = 0.2;
+
+  /// Profile comparable to the paper's cleaned Meridian matrix (1796 nodes).
+  static SyntheticParams MeridianLike();
+  /// Profile comparable to the paper's MIT King matrix (1024 nodes).
+  static SyntheticParams MitLike();
+};
+
+/// Generate a complete symmetric latency matrix. Deterministic in (params,
+/// seed).
+net::LatencyMatrix GenerateSyntheticInternet(const SyntheticParams& params,
+                                             std::uint64_t seed);
+
+/// Resolve a dataset name used by benches/examples: "meridian", "mit",
+/// "small" (a 300-node profile for quick runs), or "waxman" (a 600-node
+/// router-level topology under shortest-path routing — exactly metric, see
+/// data/waxman.h). Throws on unknown names.
+net::LatencyMatrix MakeNamedDataset(const std::string& name,
+                                    std::uint64_t seed);
+
+}  // namespace diaca::data

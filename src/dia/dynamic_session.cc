@@ -1,0 +1,487 @@
+#include "dia/dynamic_session.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/error.h"
+#include "core/distributed_greedy.h"
+#include "core/metrics.h"
+#include "core/nearest_server.h"
+#include "dia/replicated_state.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace diaca::dia {
+
+namespace {
+constexpr double kEps = 1e-9;
+
+using core::Assignment;
+using core::ClientIndex;
+using core::Problem;
+using core::ServerIndex;
+
+/// One configuration epoch: member set, active servers, assignment and
+/// schedule. Clients and servers are addressed by their *global* ids
+/// (indices into the session-wide Problem); the per-epoch sub-problem's
+/// local indexing stays internal to this struct.
+struct Epoch {
+  double start = 0.0;  // issue-simtime boundary
+  std::vector<ClientIndex> members;       // global ids, ascending
+  std::vector<std::int32_t> local_of;     // global client -> local; -1 out
+  std::vector<ServerIndex> active;        // global server ids, ascending
+  std::vector<std::int32_t> server_local; // global server -> local; -1 dead
+  Problem problem;                        // over (active, members)
+  std::vector<ServerIndex> home;          // global server id per member slot
+  core::SyncSchedule schedule;            // offsets in local server index
+
+  bool IsMember(ClientIndex global) const {
+    return local_of[static_cast<std::size_t>(global)] >= 0;
+  }
+  bool IsActive(ServerIndex global) const {
+    return server_local[static_cast<std::size_t>(global)] >= 0;
+  }
+  ServerIndex HomeOf(ClientIndex global) const {
+    return home[static_cast<std::size_t>(
+        local_of[static_cast<std::size_t>(global)])];
+  }
+  double OffsetOf(ServerIndex global) const {
+    return schedule.server_offset[static_cast<std::size_t>(
+        server_local[static_cast<std::size_t>(global)])];
+  }
+};
+
+Epoch MakeEpoch(const net::LatencyMatrix& matrix, const Problem& full,
+                double start, std::vector<ClientIndex> members,
+                std::vector<ServerIndex> active, const Epoch* previous) {
+  std::sort(members.begin(), members.end());
+  std::sort(active.begin(), active.end());
+  DIACA_CHECK_MSG(!active.empty(), "no surviving servers");
+
+  std::vector<std::int32_t> local_of(
+      static_cast<std::size_t>(full.num_clients()), -1);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    local_of[static_cast<std::size_t>(members[i])] =
+        static_cast<std::int32_t>(i);
+  }
+  std::vector<std::int32_t> server_local(
+      static_cast<std::size_t>(full.num_servers()), -1);
+  std::vector<net::NodeIndex> server_nodes;
+  server_nodes.reserve(active.size());
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    server_local[static_cast<std::size_t>(active[i])] =
+        static_cast<std::int32_t>(i);
+    server_nodes.push_back(full.server_node(active[i]));
+  }
+  std::vector<net::NodeIndex> client_nodes;
+  client_nodes.reserve(members.size());
+  for (ClientIndex m : members) client_nodes.push_back(full.client_node(m));
+  Problem problem(matrix, server_nodes, client_nodes);
+
+  // Seed: carry over the previous epoch's homes where the server survived;
+  // newcomers and orphaned clients take their nearest surviving server.
+  Assignment seed(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const ClientIndex global = members[i];
+    ServerIndex local = core::kUnassigned;
+    if (previous != nullptr && previous->IsMember(global)) {
+      const ServerIndex old_home = previous->HomeOf(global);
+      local = server_local[static_cast<std::size_t>(old_home)];
+    }
+    if (local == core::kUnassigned || local < 0) {
+      local = core::NearestServerOf(problem, static_cast<ClientIndex>(i));
+    }
+    seed[static_cast<ClientIndex>(i)] = local;
+  }
+  const Assignment assignment =
+      core::DistributedGreedyAssign(problem, {}, &seed).assignment;
+  core::SyncSchedule schedule =
+      core::ComputeSyncSchedule(problem, assignment);
+
+  std::vector<ServerIndex> home(members.size());
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    home[i] = active[static_cast<std::size_t>(
+        assignment[static_cast<ClientIndex>(i)])];
+  }
+  return Epoch{start,
+               std::move(members),
+               std::move(local_of),
+               std::move(active),
+               std::move(server_local),
+               std::move(problem),
+               std::move(home),
+               std::move(schedule)};
+}
+
+struct ServerNode {
+  ReplicatedState state;
+  double death_wall = -1.0;  // < 0: alive forever
+  explicit ServerNode(std::int32_t entities) : state(entities) {}
+  bool AliveAt(double wall) const {
+    return death_wall < 0.0 || wall < death_wall - kEps;
+  }
+};
+
+struct ClientNode {
+  ReplicatedState state;
+  bool ready = false;  // initial member or snapshot received
+  explicit ClientNode(std::int32_t entities) : state(entities) {}
+};
+
+}  // namespace
+
+DynamicDiaSession::DynamicDiaSession(const net::LatencyMatrix& matrix,
+                                     const Problem& problem,
+                                     std::vector<ClientIndex> initial_members,
+                                     std::vector<MembershipEvent> events,
+                                     DynamicSessionParams params,
+                                     std::vector<ServerFailure> failures)
+    : matrix_(matrix),
+      problem_(problem),
+      initial_members_(std::move(initial_members)),
+      events_(std::move(events)),
+      params_(std::move(params)),
+      failures_(std::move(failures)) {
+  DIACA_CHECK_MSG(!initial_members_.empty(), "need at least one client");
+  double previous = 0.0;
+  std::vector<bool> member(static_cast<std::size_t>(problem.num_clients()),
+                           false);
+  std::size_t member_count = 0;
+  for (ClientIndex m : initial_members_) {
+    DIACA_CHECK(m >= 0 && m < problem.num_clients());
+    DIACA_CHECK_MSG(!member[static_cast<std::size_t>(m)], "duplicate member");
+    member[static_cast<std::size_t>(m)] = true;
+    ++member_count;
+  }
+  for (const MembershipEvent& event : events_) {
+    DIACA_CHECK_MSG(event.at_ms >= previous, "events must be time-sorted");
+    DIACA_CHECK(event.client >= 0 && event.client < problem.num_clients());
+    auto is_member =
+        static_cast<bool>(member[static_cast<std::size_t>(event.client)]);
+    if (event.kind == MembershipKind::kJoin) {
+      DIACA_CHECK_MSG(!is_member, "join of a current member");
+      member[static_cast<std::size_t>(event.client)] = true;
+      ++member_count;
+    } else {
+      DIACA_CHECK_MSG(is_member, "leave of a non-member");
+      member[static_cast<std::size_t>(event.client)] = false;
+      DIACA_CHECK_MSG(--member_count > 0, "membership may not become empty");
+    }
+    previous = event.at_ms;
+  }
+  previous = 0.0;
+  std::vector<bool> dead(static_cast<std::size_t>(problem.num_servers()),
+                         false);
+  std::int32_t alive = problem.num_servers();
+  for (const ServerFailure& failure : failures_) {
+    DIACA_CHECK_MSG(failure.at_ms >= previous, "failures must be time-sorted");
+    DIACA_CHECK(failure.server >= 0 && failure.server < problem.num_servers());
+    DIACA_CHECK_MSG(!dead[static_cast<std::size_t>(failure.server)],
+                    "server fails twice");
+    dead[static_cast<std::size_t>(failure.server)] = true;
+    DIACA_CHECK_MSG(--alive > 0, "all servers may not fail");
+    previous = failure.at_ms;
+  }
+}
+
+DynamicSessionReport DynamicDiaSession::Run() const {
+  const std::int32_t num_clients = problem_.num_clients();
+  const std::int32_t num_servers = problem_.num_servers();
+
+  // --- merge membership and failure events into the epoch timeline ------
+  struct Boundary {
+    double at_ms;
+    const MembershipEvent* membership;  // exactly one of the two set
+    const ServerFailure* failure;
+  };
+  std::vector<Boundary> boundaries;
+  for (const MembershipEvent& event : events_) {
+    boundaries.push_back({event.at_ms, &event, nullptr});
+  }
+  for (const ServerFailure& failure : failures_) {
+    boundaries.push_back({failure.at_ms, nullptr, &failure});
+  }
+  std::stable_sort(boundaries.begin(), boundaries.end(),
+                   [](const Boundary& a, const Boundary& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+
+  std::vector<Epoch> epochs;
+  {
+    std::vector<ServerIndex> all_servers(static_cast<std::size_t>(num_servers));
+    for (ServerIndex s = 0; s < num_servers; ++s) {
+      all_servers[static_cast<std::size_t>(s)] = s;
+    }
+    epochs.push_back(MakeEpoch(matrix_, problem_, 0.0, initial_members_,
+                               all_servers, nullptr));
+  }
+  for (const Boundary& boundary : boundaries) {
+    std::vector<ClientIndex> members = epochs.back().members;
+    std::vector<ServerIndex> active = epochs.back().active;
+    if (boundary.membership != nullptr) {
+      const MembershipEvent& event = *boundary.membership;
+      if (event.kind == MembershipKind::kJoin) {
+        members.push_back(event.client);
+      } else {
+        members.erase(
+            std::find(members.begin(), members.end(), event.client));
+      }
+    } else {
+      active.erase(
+          std::find(active.begin(), active.end(), boundary.failure->server));
+    }
+    epochs.push_back(MakeEpoch(matrix_, problem_, boundary.at_ms,
+                               std::move(members), std::move(active),
+                               &epochs.back()));
+  }
+  auto epoch_at = [&epochs](double issue_simtime) -> const Epoch& {
+    std::size_t lo = 0;
+    for (std::size_t e = 1; e < epochs.size(); ++e) {
+      if (epochs[e].start <= issue_simtime + kEps) lo = e;
+    }
+    return epochs[lo];
+  };
+  const Epoch& last_epoch = epochs.back();
+
+  sim::Simulator simulator;
+  sim::Network network(simulator, matrix_);
+  DynamicSessionReport report;
+  report.epochs = static_cast<std::int32_t>(epochs.size());
+  report.final_epoch_delta = last_epoch.schedule.delta;
+
+  std::vector<ServerNode> servers;
+  servers.reserve(static_cast<std::size_t>(num_servers));
+  for (ServerIndex s = 0; s < num_servers; ++s) {
+    servers.emplace_back(num_clients);
+  }
+  for (const ServerFailure& failure : failures_) {
+    servers[static_cast<std::size_t>(failure.server)].death_wall =
+        failure.at_ms;
+  }
+  std::vector<ClientNode> clients;
+  clients.reserve(static_cast<std::size_t>(num_clients));
+  for (ClientIndex c = 0; c < num_clients; ++c) clients.emplace_back(num_clients);
+  for (ClientIndex m : initial_members_) {
+    clients[static_cast<std::size_t>(m)].ready = true;
+  }
+
+  // --- delivery ----------------------------------------------------------
+  auto deliver_to = [&](ClientIndex m, ServerIndex from, const Operation& op,
+                        double exec_simtime) {
+    network.Send(problem_.server_node(from), problem_.client_node(m),
+                 [&, m, op, exec_simtime]() {
+                   ClientNode& client = clients[static_cast<std::size_t>(m)];
+                   if (client.state.Contains(op.id)) {
+                     ++report.duplicate_deliveries;
+                     return;
+                   }
+                   const double now = simulator.Now();
+                   if (client.ready) client.state.AdvanceWatermark(now);
+                   client.state.InsertOp(op, exec_simtime);
+                   const double presented = std::max(exec_simtime, now);
+                   report.interaction_time.Add(presented - op.issue_simtime);
+                   if (&epoch_at(op.issue_simtime) == &last_epoch) {
+                     report.final_epoch_interaction.Add(presented -
+                                                        op.issue_simtime);
+                   }
+                 });
+  };
+
+  auto execute_at_server = [&](ServerIndex s, const Operation& op,
+                               double exec_simtime, const Epoch& op_epoch) {
+    ServerNode& server = servers[static_cast<std::size_t>(s)];
+    if (!server.AliveAt(simulator.Now())) {
+      ++report.ops_ignored_by_dead_servers;
+      return;
+    }
+    server.state.InsertOp(op, exec_simtime);
+    server.state.AdvanceWatermark(exec_simtime);
+    // Recipients: the op's epoch members homed at s, plus the *current*
+    // epoch's members homed at s (handover/failover overlap; duplicates
+    // dedup at the client).
+    const Epoch& current = epoch_at(simulator.Now());
+    std::vector<bool> sent(static_cast<std::size_t>(num_clients), false);
+    for (const Epoch* epoch : {&op_epoch, &current}) {
+      for (ClientIndex m : epoch->members) {
+        if (epoch->HomeOf(m) == s && !sent[static_cast<std::size_t>(m)]) {
+          sent[static_cast<std::size_t>(m)] = true;
+          deliver_to(m, s, op, exec_simtime);
+        }
+      }
+    }
+  };
+
+  auto server_receive = [&](ServerIndex s, const Operation& op) {
+    if (!servers[static_cast<std::size_t>(s)].AliveAt(simulator.Now())) {
+      ++report.ops_ignored_by_dead_servers;
+      return;
+    }
+    const Epoch& op_epoch = epoch_at(op.issue_simtime);
+    if (!op_epoch.IsActive(s)) return;  // raced past its own epoch
+    const double exec_simtime = op.issue_simtime + op_epoch.schedule.delta;
+    const double exec_wall = exec_simtime - op_epoch.OffsetOf(s);
+    if (exec_wall >= simulator.Now() - kEps) {
+      simulator.At(std::max(exec_wall, simulator.Now()),
+                   [&, s, op, exec_simtime]() {
+                     execute_at_server(s, op, exec_simtime,
+                                       epoch_at(op.issue_simtime));
+                   });
+    } else {
+      // Straggler against a reconfigured offset: timewarp repair.
+      ++report.late_server_executions;
+      execute_at_server(s, op, exec_simtime, op_epoch);
+    }
+  };
+
+  // --- issuance ----------------------------------------------------------
+  const std::vector<ScheduledOp> schedule =
+      GenerateWorkload(num_clients, params_.workload, params_.seed);
+  for (const ScheduledOp& item : schedule) {
+    const ClientIndex issuer = item.op.issuer;
+    const Epoch& epoch = epoch_at(item.issue_wall_ms);
+    if (!epoch.IsMember(issuer)) continue;  // not joined yet / departed
+    ++report.ops_issued;
+    simulator.At(item.issue_wall_ms, [&, item]() {
+      Operation op = item.op;
+      op.issue_simtime = simulator.Now();
+      const Epoch& issue_epoch = epoch_at(op.issue_simtime);
+      const ServerIndex home = issue_epoch.HomeOf(op.issuer);
+      network.Send(problem_.client_node(op.issuer), problem_.server_node(home),
+                   [&, home, op]() {
+                     const Epoch& forward_epoch = epoch_at(op.issue_simtime);
+                     for (ServerIndex s : forward_epoch.active) {
+                       if (s == home) continue;
+                       network.Send(problem_.server_node(home),
+                                    problem_.server_node(s),
+                                    [&, s, op]() { server_receive(s, op); });
+                     }
+                     server_receive(home, op);
+                   });
+    });
+  }
+
+  // --- join bootstrap: snapshot from the new home -------------------------
+  for (const MembershipEvent& join : events_) {
+    if (join.kind != MembershipKind::kJoin) continue;
+    simulator.At(join.at_ms, [&, join]() {
+      const Epoch& epoch = epoch_at(join.at_ms + kEps);
+      const ServerIndex home = epoch.HomeOf(join.client);
+      // Snapshot request; the reply carries the server's current log.
+      network.Send(problem_.client_node(join.client),
+                   problem_.server_node(home), [&, join, home]() {
+                     const ServerNode& server =
+                         servers[static_cast<std::size_t>(home)];
+                     // Copy the log now (snapshot semantics).
+                     const auto log = server.state.log();
+                     report.snapshot_ops_transferred += log.size();
+                     network.Send(
+                         problem_.server_node(home),
+                         problem_.client_node(join.client), [&, join, log]() {
+                           ClientNode& client =
+                               clients[static_cast<std::size_t>(join.client)];
+                           for (const auto& entry : log) {
+                             client.state.InsertOp(entry.op,
+                                                   entry.exec_simtime);
+                           }
+                           client.ready = true;
+                         },
+                         64 + 32 * log.size());
+                   });
+    });
+  }
+
+  // --- failover bootstrap: orphaned clients resync from their new home ----
+  // An operation can be executed at the survivors just before the failure
+  // boundary, when the orphan's delivery still routed through the dead
+  // server. The post-failover snapshot repairs exactly that window
+  // (everything else is a duplicate and dedups away).
+  for (const ServerFailure& failure : failures_) {
+    simulator.At(failure.at_ms, [&, failure]() {
+      const Epoch& before = epoch_at(failure.at_ms - 1.0);
+      const Epoch& after = epoch_at(failure.at_ms + kEps);
+      for (ClientIndex m : after.members) {
+        if (!before.IsMember(m) || before.HomeOf(m) != failure.server) {
+          continue;
+        }
+        const ServerIndex home = after.HomeOf(m);
+        network.Send(problem_.client_node(m), problem_.server_node(home),
+                     [&, m, home]() {
+                       const ServerNode& server =
+                           servers[static_cast<std::size_t>(home)];
+                       const auto log = server.state.log();
+                       report.snapshot_ops_transferred += log.size();
+                       network.Send(problem_.server_node(home),
+                                    problem_.client_node(m), [&, m, log]() {
+                                      ClientNode& client = clients
+                                          [static_cast<std::size_t>(m)];
+                                      for (const auto& entry : log) {
+                                        client.state.InsertOp(
+                                            entry.op, entry.exec_simtime);
+                                      }
+                                    },
+                                    64 + 32 * log.size());
+                     });
+      }
+    });
+  }
+
+  // --- consistency probes --------------------------------------------------
+  const double horizon =
+      params_.workload.duration_ms + last_epoch.schedule.delta;
+  for (double t = params_.consistency_sample_interval_ms + 0.137; t < horizon;
+       t += params_.consistency_sample_interval_ms) {
+    simulator.At(t, [&]() {
+      const double now = simulator.Now();
+      const Epoch& epoch = epoch_at(now);
+      bool mismatch = false;
+      bool have_reference = false;
+      std::uint64_t reference = 0;
+      for (ClientIndex m : epoch.members) {
+        ClientNode& client = clients[static_cast<std::size_t>(m)];
+        if (!client.ready) continue;
+        client.state.AdvanceWatermark(now);
+        const std::uint64_t digest = client.state.Checksum(now);
+        if (!have_reference) {
+          reference = digest;
+          have_reference = true;
+        } else if (digest != reference) {
+          mismatch = true;
+        }
+      }
+      ++report.consistency_samples;
+      if (mismatch) ++report.consistency_mismatches;
+    });
+  }
+
+  simulator.Run();
+
+  for (const ServerNode& server : servers) {
+    report.server_artifacts += server.state.artifacts();
+  }
+  for (const ClientNode& client : clients) {
+    report.client_artifacts += client.state.artifacts();
+  }
+  report.messages_sent = network.messages_sent();
+
+  // Eventual consistency: with every message drained, all members of the
+  // final epoch must agree on the entire history.
+  report.final_states_converged = true;
+  bool have_reference = false;
+  std::uint64_t reference = 0;
+  const double far_future = 10.0 * horizon + 1.0;
+  for (ClientIndex m : last_epoch.members) {
+    const ClientNode& client = clients[static_cast<std::size_t>(m)];
+    if (!client.ready) continue;
+    const std::uint64_t digest = client.state.Checksum(far_future);
+    if (!have_reference) {
+      reference = digest;
+      have_reference = true;
+    } else if (digest != reference) {
+      report.final_states_converged = false;
+    }
+  }
+  return report;
+}
+
+}  // namespace diaca::dia

@@ -1,0 +1,124 @@
+// Live reconfiguration of a running continuous DIA (§VI: "client
+// assignment … can be adjusted promptly to adapt to system dynamics").
+//
+// A DynamicDiaSession runs the same replicated application as DiaSession,
+// but the client population and the assignment change mid-flight through
+// *epochs*. Each epoch e carries its own member set, assignment A_e and
+// synchronization schedule (δ_e, Δ_e); an operation belongs to the epoch
+// of its issue simulation time. Reconfigurations are announced
+// `reconfiguration_lead_ms` of simulation time before their epoch
+// boundary, so in-flight operations of the old epoch drain under the old
+// schedule while new-epoch operations already use the new one.
+//
+// Joining clients bootstrap with a state snapshot (their new home server's
+// op log) and then ride the normal update stream; clients whose home
+// changes receive updates from both the op's epoch assignment and their
+// current home (idempotent delivery — the replica dedups by op id), so no
+// operation is ever missed. What *can* happen during a transition is a
+// timewarp artifact: an old-epoch straggler executing against a server
+// whose new-epoch offset ran ahead. The session counts exactly that
+// disruption, which shrinks as the lead time grows — the knob the
+// reconfiguration bench sweeps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/problem.h"
+#include "core/sync_schedule.h"
+#include "core/types.h"
+#include "dia/workload.h"
+#include "net/latency_matrix.h"
+
+namespace diaca::dia {
+
+enum class MembershipKind { kJoin, kLeave };
+
+/// A membership change. Joins admit the client at the epoch boundary (its
+/// first operations come at or after `at_ms`, bootstrapped by a state
+/// snapshot); leaves remove it (it stops issuing; in-flight operations it
+/// issued earlier still reach everyone, and stragglers addressed to it per
+/// their op's epoch are still delivered — it was a participant then).
+struct MembershipEvent {
+  /// Wall-clock/simulation time of the epoch boundary.
+  double at_ms = 0.0;
+  /// Index into the session's potential-client list.
+  core::ClientIndex client = 0;
+  MembershipKind kind = MembershipKind::kJoin;
+};
+
+/// Backwards-friendly name for join-only scenarios.
+using JoinEvent = MembershipEvent;
+
+/// A server failing permanently at `at_ms`: it stops executing and
+/// delivering from that moment; the epoch starting at the same time
+/// reassigns its clients among the survivors. Operations already executed
+/// elsewhere still reach every client through the overlap delivery (each
+/// surviving server pushes to its *current* clients too), so a failure
+/// costs disruption, never lost history.
+struct ServerFailure {
+  double at_ms = 0.0;
+  core::ServerIndex server = 0;
+};
+
+struct DynamicSessionParams {
+  WorkloadParams workload;
+  double consistency_sample_interval_ms = 250.0;
+  std::uint64_t seed = 42;
+  /// Simulation-time lead between computing a reconfiguration and its
+  /// epoch boundary. The boundary is at join.at_ms; the announcement
+  /// (and the start of the overlap machinery) precedes it by this much.
+  /// Only used for reporting symmetry today: the boundary timing itself
+  /// comes from the events.
+  double reconfiguration_lead_ms = 400.0;
+};
+
+struct DynamicSessionReport {
+  std::int32_t epochs = 0;
+  std::uint64_t ops_issued = 0;
+  OnlineStats interaction_time;          ///< all epochs
+  OnlineStats final_epoch_interaction;   ///< steady state of the last epoch
+  double final_epoch_delta = 0.0;        ///< analytic δ of the last epoch
+  std::uint64_t late_server_executions = 0;
+  std::uint64_t server_artifacts = 0;
+  std::uint64_t client_artifacts = 0;
+  std::uint64_t duplicate_deliveries = 0;  ///< overlap-window redundancy
+  std::uint64_t snapshot_ops_transferred = 0;
+  /// Operations that reached a server after it failed (ignored there).
+  std::uint64_t ops_ignored_by_dead_servers = 0;
+  std::uint64_t consistency_samples = 0;
+  /// Probes that caught *transient* divergence (reconfiguration
+  /// disruption; shrinks with gentler transitions).
+  std::uint64_t consistency_mismatches = 0;
+  /// After the session drained: do all members agree on the full history?
+  /// The overlap-delivery design guarantees this (eventual consistency).
+  bool final_states_converged = false;
+  std::uint64_t messages_sent = 0;
+};
+
+class DynamicDiaSession {
+ public:
+  /// `problem` spans every potential client; `initial_members` lists the
+  /// clients active from time 0; `events` must be sorted by time. A join
+  /// must name a client that is not currently a member, a leave one that
+  /// is; the membership may never become empty.
+  DynamicDiaSession(const net::LatencyMatrix& matrix,
+                    const core::Problem& problem,
+                    std::vector<core::ClientIndex> initial_members,
+                    std::vector<MembershipEvent> events,
+                    DynamicSessionParams params,
+                    std::vector<ServerFailure> failures = {});
+
+  DynamicSessionReport Run() const;
+
+ private:
+  const net::LatencyMatrix& matrix_;
+  const core::Problem& problem_;
+  std::vector<core::ClientIndex> initial_members_;
+  std::vector<MembershipEvent> events_;
+  DynamicSessionParams params_;
+  std::vector<ServerFailure> failures_;
+};
+
+}  // namespace diaca::dia

@@ -1,0 +1,30 @@
+// User operations of the continuous DIA (§II-B).
+//
+// The demo application is a shared virtual world with one moving entity
+// per client; an operation sets an entity's velocity. The state is
+// continuous: between operations every entity's position advances with
+// time, so state at simulation time T depends on both the operations and
+// the passage of time — exactly the class of applications the paper
+// targets (games, distributed simulations, virtual environments).
+#pragma once
+
+#include <cstdint>
+
+namespace diaca::dia {
+
+using OpId = std::uint64_t;
+using EntityId = std::int32_t;
+
+struct Operation {
+  OpId id = 0;
+  /// Index of the issuing client (also the controlled entity).
+  std::int32_t issuer = 0;
+  EntityId entity = 0;
+  /// New velocity for the entity (units per millisecond of sim time).
+  double new_velocity = 0.0;
+  /// Simulation time at the issuing client when the op was issued (the
+  /// `t` of §II-C).
+  double issue_simtime = 0.0;
+};
+
+}  // namespace diaca::dia

@@ -1,0 +1,252 @@
+#include "dia/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/error.h"
+#include "dia/tss.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace diaca::dia {
+
+namespace {
+constexpr double kEps = 1e-9;
+
+struct ServerNode {
+  TssReplica replica;
+  double offset = 0.0;  // Δs,c relative to the common client clock
+  std::vector<core::ClientIndex> clients;
+  /// Issue simtimes in actual execution order, for the fairness check.
+  std::vector<double> executed_issue_times;
+  /// Operations awaiting their execution time, keyed by execution simtime
+  /// (bucket synchronization groups several ops under one key).
+  std::map<double, std::vector<Operation>> pending;
+
+  ServerNode(std::int32_t num_entities, std::vector<double> lags)
+      : replica(num_entities, std::move(lags)) {}
+};
+
+struct ClientNode {
+  ReplicatedState state;
+  explicit ClientNode(std::int32_t num_entities) : state(num_entities) {}
+};
+
+}  // namespace
+
+DiaSession::DiaSession(const net::LatencyMatrix& matrix,
+                       const core::Problem& problem,
+                       const core::Assignment& assignment,
+                       const core::SyncSchedule& schedule,
+                       SessionParams params)
+    : matrix_(matrix),
+      problem_(problem),
+      assignment_(assignment),
+      schedule_(schedule),
+      params_(std::move(params)) {
+  DIACA_CHECK_MSG(assignment_.IsComplete(),
+                  "session needs a complete assignment");
+  DIACA_CHECK(schedule_.server_offset.size() ==
+              static_cast<std::size_t>(problem_.num_servers()));
+  DIACA_CHECK_MSG(params_.bucket_ms >= 0.0, "bucket size must be >= 0");
+}
+
+SessionReport DiaSession::Run(const net::JitterModel* jitter) const {
+  const std::int32_t num_clients = problem_.num_clients();
+  const std::int32_t num_servers = problem_.num_servers();
+  const double delta = schedule_.delta;
+
+  sim::Simulator simulator;
+  sim::Network network = jitter != nullptr
+                             ? sim::Network(simulator, *jitter, params_.seed)
+                             : sim::Network(simulator, matrix_);
+  if (params_.loss_probability > 0.0) {
+    network.SetLossProbability(params_.loss_probability);
+  }
+
+  SessionReport report;
+  report.delta = delta;
+
+  // Timewarp is TSS with a single unbounded trailing state: every late op
+  // is absorbed, the rollback window is the lateness itself.
+  const std::vector<double> repair_lags =
+      params_.tss_lags.empty()
+          ? std::vector<double>{std::numeric_limits<double>::infinity()}
+          : params_.tss_lags;
+
+  std::vector<ServerNode> servers;
+  servers.reserve(static_cast<std::size_t>(num_servers));
+  for (core::ServerIndex s = 0; s < num_servers; ++s) {
+    servers.emplace_back(num_clients, repair_lags);
+    servers.back().offset = schedule_.server_offset[static_cast<std::size_t>(s)];
+  }
+  std::vector<ClientNode> clients;
+  clients.reserve(static_cast<std::size_t>(num_clients));
+  for (core::ClientIndex c = 0; c < num_clients; ++c) {
+    clients.emplace_back(num_clients);
+    servers[static_cast<std::size_t>(assignment_[c])].clients.push_back(c);
+  }
+
+  // Execution simulation time of an op issued at client simtime t: t + δ,
+  // rounded up to the next bucket boundary under bucket synchronization.
+  auto execution_simtime = [&](double issue_simtime) {
+    const double base = issue_simtime + delta;
+    if (params_.bucket_ms <= 0.0) return base;
+    return std::ceil(base / params_.bucket_ms - kEps) * params_.bucket_ms;
+  };
+
+  // --- server-side execution -------------------------------------------
+  auto deliver_update = [&](core::ServerIndex s, const Operation& op,
+                            double exec_simtime) {
+    ServerNode& server = servers[static_cast<std::size_t>(s)];
+    for (core::ClientIndex c : server.clients) {
+      network.Send(
+          problem_.server_node(s), problem_.client_node(c),
+          [&, c, op, exec_simtime]() {
+            ClientNode& client = clients[static_cast<std::size_t>(c)];
+            const double now = simulator.Now();  // == client simtime
+            client.state.AdvanceWatermark(now);
+            client.state.InsertOp(op, exec_simtime);
+            if (now > exec_simtime + kEps) ++report.late_client_presentations;
+            // The effect is presented when the observer's simulation time
+            // reaches the execution time — or on arrival if that is late.
+            const double presented_wall = std::max(exec_simtime, now);
+            report.interaction_time.Add(presented_wall - op.issue_simtime);
+          });
+    }
+  };
+
+  auto execute_on_time = [&](core::ServerIndex s, const Operation& op,
+                             double exec_simtime) {
+    ServerNode& server = servers[static_cast<std::size_t>(s)];
+    server.replica.OnOperation(op, exec_simtime, exec_simtime);
+    server.executed_issue_times.push_back(op.issue_simtime);
+    deliver_update(s, op, exec_simtime);
+  };
+
+  // An operation arriving at server s (wall time = Now()).
+  auto server_receive = [&](core::ServerIndex s, const Operation& op) {
+    ServerNode& server = servers[static_cast<std::size_t>(s)];
+    const double exec_simtime = execution_simtime(op.issue_simtime);
+    const double arrival_simtime = simulator.Now() + server.offset;
+    if (arrival_simtime <= exec_simtime + kEps) {
+      // On time: buffer until this server's simulation time reaches
+      // exec_simtime; ops sharing a bucket run together in issuance order.
+      auto [it, inserted] = server.pending.try_emplace(exec_simtime);
+      it->second.push_back(op);
+      if (inserted) {
+        const double exec_wall = exec_simtime - server.offset;
+        simulator.At(std::max(exec_wall, simulator.Now()),
+                     [&, s, exec_simtime]() {
+                       ServerNode& inner = servers[static_cast<std::size_t>(s)];
+                       auto node = inner.pending.extract(exec_simtime);
+                       DIACA_CHECK(!node.empty());
+                       std::vector<Operation>& batch = node.mapped();
+                       std::sort(batch.begin(), batch.end(),
+                                 [](const Operation& a, const Operation& b) {
+                                   if (a.issue_simtime != b.issue_simtime) {
+                                     return a.issue_simtime < b.issue_simtime;
+                                   }
+                                   return a.id < b.id;
+                                 });
+                       for (const Operation& queued : batch) {
+                         execute_on_time(s, queued, exec_simtime);
+                       }
+                     });
+      }
+    } else {
+      // Late: constraint (i) violated (jitter or loss-free schedules never
+      // reach here). The repair mechanism decides: timewarp always absorbs,
+      // TSS absorbs within its trailing window and drops beyond it.
+      ++report.late_server_executions;
+      const bool applied =
+          server.replica.OnOperation(op, exec_simtime, arrival_simtime);
+      if (applied) {
+        server.executed_issue_times.push_back(op.issue_simtime);
+        deliver_update(s, op, exec_simtime);
+      } else {
+        ++report.ops_dropped_at_servers;
+      }
+    }
+  };
+
+  // --- client issuance ---------------------------------------------------
+  const std::vector<ScheduledOp> schedule =
+      GenerateWorkload(num_clients, params_.workload, params_.seed);
+  report.ops_issued = schedule.size();
+  for (const ScheduledOp& item : schedule) {
+    simulator.At(item.issue_wall_ms, [&, item]() {
+      Operation op = item.op;
+      op.issue_simtime = simulator.Now();  // client simtime == wall
+      const core::ServerIndex home = assignment_[op.issuer];
+      network.Send(problem_.client_node(op.issuer), problem_.server_node(home),
+                   [&, home, op]() {
+                     // Home server: forward to all other servers, then
+                     // process locally.
+                     for (core::ServerIndex s = 0; s < num_servers; ++s) {
+                       if (s == home) continue;
+                       network.Send(problem_.server_node(home),
+                                    problem_.server_node(s),
+                                    [&, s, op]() { server_receive(s, op); });
+                     }
+                     server_receive(home, op);
+                   });
+    });
+  }
+
+  // --- consistency probes -------------------------------------------------
+  // At wall time T every client's simulation time is T; constraint (ii)
+  // guarantees each client already holds every op executing at simtime <= T,
+  // so the checksums must agree. The 0.137 offset avoids event-time ties.
+  const double horizon = params_.workload.duration_ms + delta;
+  for (double t = params_.consistency_sample_interval_ms + 0.137; t < horizon;
+       t += params_.consistency_sample_interval_ms) {
+    simulator.At(t, [&]() {
+      const double now = simulator.Now();
+      bool mismatch = false;
+      std::uint64_t reference = 0;
+      for (core::ClientIndex c = 0; c < num_clients; ++c) {
+        clients[static_cast<std::size_t>(c)].state.AdvanceWatermark(now);
+        const std::uint64_t digest =
+            clients[static_cast<std::size_t>(c)].state.Checksum(now);
+        if (c == 0) {
+          reference = digest;
+        } else if (digest != reference) {
+          mismatch = true;
+        }
+      }
+      ++report.consistency_samples;
+      if (mismatch) ++report.consistency_mismatches;
+    });
+  }
+
+  simulator.Run();
+
+  // --- post-run accounting -------------------------------------------------
+  for (const ServerNode& server : servers) {
+    DIACA_CHECK_MSG(server.pending.empty(), "unexecuted buffered operations");
+    report.server_artifacts += server.replica.state().artifacts();
+    report.repair_reexecuted_ops += server.replica.stats().reexecuted_ops;
+    // Fairness (§II-B): execution order must follow issuance simtime order.
+    double high_water = -1.0;
+    for (double issue : server.executed_issue_times) {
+      if (issue < high_water - kEps) {
+        ++report.fairness_violations;
+      } else {
+        high_water = std::max(high_water, issue);
+      }
+    }
+  }
+  for (const ClientNode& client : clients) {
+    report.client_artifacts += client.state.artifacts();
+  }
+  report.messages_sent = network.messages_sent();
+  report.bytes_sent = network.bytes_sent();
+  report.messages_lost = network.messages_lost();
+  return report;
+}
+
+}  // namespace diaca::dia

@@ -1,0 +1,110 @@
+// End-to-end continuous-DIA session on the discrete-event simulator.
+//
+// DiaSession executes the paper's interaction process (§II-A) literally:
+// a client issues an operation to its assigned server; the server forwards
+// it to all other servers; every server executes it at simulation time
+// t + δ (the constant lag, §II-C) and pushes a state update to its
+// clients. Server simulation-time offsets come from a core::SyncSchedule.
+//
+// The session *measures* what the paper *derives*:
+//   * every (operation, observer) interaction time — with the minimal
+//     schedule (δ = D) and no jitter, all equal D;
+//   * constraint (i) violations: operations reaching a server after their
+//     execution deadline (repaired timewarp-style, counted as artifacts);
+//   * constraint (ii) violations: updates reaching a client after the
+//     client's simulation time passed the execution time;
+//   * consistency: periodic cross-client state checksums at equal
+//     simulation times;
+//   * fairness: per-server execution order vs issuance order.
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "core/problem.h"
+#include "core/sync_schedule.h"
+#include "core/types.h"
+#include "dia/workload.h"
+#include "net/jitter.h"
+#include "net/latency_matrix.h"
+
+namespace diaca::dia {
+
+struct SessionParams {
+  WorkloadParams workload;
+  /// Wall-clock interval between cross-client consistency probes.
+  double consistency_sample_interval_ms = 250.0;
+  std::uint64_t seed = 42;
+  /// Bucket synchronization (Gautier et al. [12], §VI): operations execute
+  /// at the first bucket boundary at or after t + δ; ops sharing a bucket
+  /// execute in issuance order. 0 disables (pure local-lag execution).
+  double bucket_ms = 0.0;
+  /// Late-operation repair at servers: empty = timewarp [18] (unbounded
+  /// rollback, every late op repaired); non-empty = Trailing State
+  /// Synchronization [8] with these strictly increasing trailing lags —
+  /// ops later than the largest lag are dropped and replicas diverge.
+  std::vector<double> tss_lags;
+  /// Per-message loss probability (failure injection; exercises the
+  /// consistency checker's ability to detect divergence).
+  double loss_probability = 0.0;
+};
+
+struct SessionReport {
+  /// The constant lag δ the session ran with.
+  double delta = 0.0;
+  std::uint64_t ops_issued = 0;
+  /// Interaction time over every (operation, observing client) pair:
+  /// wall time from issuance to the effect being presented at the observer.
+  OnlineStats interaction_time;
+  /// Operations that reached some server after their execution deadline
+  /// (constraint (i) violations; repaired by timewarp).
+  std::uint64_t late_server_executions = 0;
+  /// Updates that reached a client after its simulation time had passed
+  /// the execution time (constraint (ii) violations).
+  std::uint64_t late_client_presentations = 0;
+  /// History rewrites (timewarp repairs) at servers / clients.
+  std::uint64_t server_artifacts = 0;
+  std::uint64_t client_artifacts = 0;
+  /// Cross-client consistency probes and how many found divergent state.
+  std::uint64_t consistency_samples = 0;
+  std::uint64_t consistency_mismatches = 0;
+  /// Operations executed at some server out of issuance order.
+  std::uint64_t fairness_violations = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_lost = 0;
+  /// Operations beyond the TSS trailing window (never under timewarp).
+  std::uint64_t ops_dropped_at_servers = 0;
+  /// Total operations re-executed during server-side rollbacks.
+  std::uint64_t repair_reexecuted_ops = 0;
+
+  bool clean() const {
+    return late_server_executions == 0 && late_client_presentations == 0 &&
+           consistency_mismatches == 0 && fairness_violations == 0 &&
+           ops_dropped_at_servers == 0 && messages_lost == 0;
+  }
+};
+
+class DiaSession {
+ public:
+  /// `matrix` is the full network latency matrix the problem was built
+  /// from (message latencies are looked up by node id). All references
+  /// must outlive the session.
+  DiaSession(const net::LatencyMatrix& matrix, const core::Problem& problem,
+             const core::Assignment& assignment,
+             const core::SyncSchedule& schedule, SessionParams params);
+
+  /// Run the whole session. With `jitter` non-null, message latencies are
+  /// sampled from it (the schedule is then typically computed from a
+  /// percentile matrix, §II-E).
+  SessionReport Run(const net::JitterModel* jitter = nullptr) const;
+
+ private:
+  const net::LatencyMatrix& matrix_;
+  const core::Problem& problem_;
+  const core::Assignment& assignment_;
+  const core::SyncSchedule& schedule_;
+  SessionParams params_;
+};
+
+}  // namespace diaca::dia

@@ -1,0 +1,59 @@
+#include "dia/tss.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace diaca::dia {
+
+TssReplica::TssReplica(std::int32_t num_entities,
+                       std::vector<double> trailing_lags)
+    : state_(num_entities), lags_(std::move(trailing_lags)) {
+  double previous = 0.0;
+  for (double lag : lags_) {
+    DIACA_CHECK_MSG(lag > previous,
+                    "trailing lags must be positive and strictly increasing");
+    previous = lag;
+  }
+  stats_.absorbed_per_lag.assign(lags_.size(), 0);
+}
+
+bool TssReplica::OnOperation(const Operation& op, double exec_simtime,
+                             double now_simtime) {
+  const double lateness = now_simtime - exec_simtime;
+  if (lateness <= 0.0) {
+    state_.InsertOp(op, exec_simtime);
+    state_.AdvanceWatermark(exec_simtime);
+    ++stats_.on_time_ops;
+    return true;
+  }
+  // Late: find the first trailing state still behind the op's execution
+  // time — it has not yet executed past exec_simtime and can replay.
+  std::size_t absorber = lags_.size();
+  for (std::size_t i = 0; i < lags_.size(); ++i) {
+    if (lateness <= lags_[i]) {
+      absorber = i;
+      break;
+    }
+  }
+  if (absorber == lags_.size()) {
+    ++stats_.dropped_ops;
+    return false;  // beyond the trailing window: unrepairable
+  }
+  ++stats_.absorbed_per_lag[absorber];
+  // Repair cost: every logged op inside the rollback window re-executes.
+  std::uint64_t replayed = 0;
+  for (const auto& entry : state_.log()) {
+    if (entry.exec_simtime >= exec_simtime &&
+        entry.exec_simtime <= now_simtime) {
+      ++replayed;
+    }
+  }
+  stats_.reexecuted_ops += replayed;
+  stats_.worst_rollback = std::max(stats_.worst_rollback, lateness);
+  state_.AdvanceWatermark(now_simtime);
+  state_.InsertOp(op, exec_simtime);  // counted as an artifact by the state
+  return true;
+}
+
+}  // namespace diaca::dia

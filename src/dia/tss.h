@@ -1,0 +1,63 @@
+// Trailing State Synchronization (TSS) — the repair mechanism of Cronin et
+// al. [8], referenced by the paper's §II-E as the alternative to timewarp.
+//
+// A TSS replica keeps the leading state plus trailing states lagging by
+// fixed amounts L1 < L2 < ... < Lk. An operation arriving `late` (its
+// execution simulation time already passed) is absorbed by the first
+// trailing state whose lag covers the lateness: the leading state rolls
+// back at most that lag and re-executes. Lateness beyond the largest lag
+// cannot be repaired — the operation is dropped and the replica diverges
+// permanently (the failure mode TSS trades for bounded rollback cost,
+// unlike timewarp's unbounded log replay).
+//
+// TssReplica wraps a ReplicatedState with exactly that accounting; the
+// DiaSession can run its servers in timewarp mode or TSS mode and the
+// sync-mechanism bench compares artifact visibility and repair cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dia/replicated_state.h"
+
+namespace diaca::dia {
+
+struct TssStats {
+  /// On-time operations executed normally.
+  std::uint64_t on_time_ops = 0;
+  /// Late operations absorbed per trailing state (index-aligned with lags).
+  std::vector<std::uint64_t> absorbed_per_lag;
+  /// Operations later than the largest lag: dropped, replica diverged.
+  std::uint64_t dropped_ops = 0;
+  /// Total operations re-executed during rollbacks (repair cost).
+  std::uint64_t reexecuted_ops = 0;
+  /// Worst rollback depth (simulation-time units).
+  double worst_rollback = 0.0;
+};
+
+class TssReplica {
+ public:
+  /// `trailing_lags` must be positive and strictly increasing; empty means
+  /// "leading state only" (every late op is dropped).
+  TssReplica(std::int32_t num_entities, std::vector<double> trailing_lags);
+
+  /// Handle an operation executing at `exec_simtime` while the replica's
+  /// simulation time is `now_simtime`. Returns true if the op was applied
+  /// (on time or absorbed), false if dropped.
+  bool OnOperation(const Operation& op, double exec_simtime,
+                   double now_simtime);
+
+  /// Advance the replica's rendered simulation time.
+  void AdvanceTo(double simtime) { state_.AdvanceWatermark(simtime); }
+
+  const ReplicatedState& state() const { return state_; }
+  const TssStats& stats() const { return stats_; }
+  const std::vector<double>& lags() const { return lags_; }
+
+ private:
+  ReplicatedState state_;
+  std::vector<double> lags_;
+  TssStats stats_;
+};
+
+}  // namespace diaca::dia

@@ -1,0 +1,46 @@
+#include "dia/workload.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace diaca::dia {
+
+std::vector<ScheduledOp> GenerateWorkload(std::int32_t num_clients,
+                                          const WorkloadParams& params,
+                                          std::uint64_t seed) {
+  DIACA_CHECK(num_clients > 0);
+  DIACA_CHECK(params.duration_ms > 0.0);
+  DIACA_CHECK(params.ops_per_second > 0.0);
+  Rng rng(seed);
+  std::vector<ScheduledOp> schedule;
+  const double rate_per_ms = params.ops_per_second / 1000.0;
+  for (std::int32_t c = 0; c < num_clients; ++c) {
+    Rng client_rng = rng.Fork();
+    double t = client_rng.NextExponential(rate_per_ms);
+    while (t < params.duration_ms) {
+      ScheduledOp item;
+      item.issue_wall_ms = t;
+      item.op.issuer = c;
+      item.op.entity = c;
+      item.op.new_velocity =
+          client_rng.NextUniform(-params.max_speed, params.max_speed);
+      schedule.push_back(item);
+      t += client_rng.NextExponential(rate_per_ms);
+    }
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const ScheduledOp& a, const ScheduledOp& b) {
+              if (a.issue_wall_ms != b.issue_wall_ms) {
+                return a.issue_wall_ms < b.issue_wall_ms;
+              }
+              return a.op.issuer < b.op.issuer;
+            });
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    schedule[i].op.id = i + 1;  // issuance order, 1-based
+  }
+  return schedule;
+}
+
+}  // namespace diaca::dia

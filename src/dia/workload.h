@@ -1,0 +1,33 @@
+// Operation workload generator for DIA sessions.
+//
+// Each client issues velocity-change operations as a Poisson process;
+// velocities are uniform in [-max_speed, max_speed]. The schedule is fully
+// determined by (params, seed) so sessions are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dia/op.h"
+
+namespace diaca::dia {
+
+struct WorkloadParams {
+  double duration_ms = 5000.0;
+  /// Mean operations per second per client.
+  double ops_per_second = 1.0;
+  double max_speed = 0.01;  // units per ms
+};
+
+struct ScheduledOp {
+  double issue_wall_ms = 0.0;
+  Operation op;
+};
+
+/// Schedule for all clients, sorted by issue time. Op ids are unique and
+/// encode issuance order.
+std::vector<ScheduledOp> GenerateWorkload(std::int32_t num_clients,
+                                          const WorkloadParams& params,
+                                          std::uint64_t seed);
+
+}  // namespace diaca::dia

@@ -1,0 +1,70 @@
+#include "net/graph.h"
+
+#include <cmath>
+#include <queue>
+
+#include "common/error.h"
+
+namespace diaca::net {
+
+Graph::Graph(NodeIndex num_nodes) : n_(num_nodes), adj_(static_cast<std::size_t>(num_nodes)) {
+  DIACA_CHECK_MSG(num_nodes > 0, "graph must have at least one node");
+}
+
+void Graph::AddEdge(NodeIndex u, NodeIndex v, double length) {
+  DIACA_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_);
+  DIACA_CHECK_MSG(u != v, "self-loops are not allowed");
+  DIACA_CHECK_MSG(std::isfinite(length) && length > 0.0,
+                  "link length must be positive, got " << length);
+  adj_[static_cast<std::size_t>(u)].push_back({v, length});
+  adj_[static_cast<std::size_t>(v)].push_back({u, length});
+  ++edge_count_;
+}
+
+std::vector<double> Graph::ShortestPathsFrom(NodeIndex source) const {
+  DIACA_CHECK(source >= 0 && source < n_);
+  std::vector<double> dist(static_cast<std::size_t>(n_), kInfinity);
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  using Item = std::pair<double, NodeIndex>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;  // stale entry
+    for (const Arc& arc : adj_[static_cast<std::size_t>(u)]) {
+      const double nd = d + arc.length;
+      if (nd < dist[static_cast<std::size_t>(arc.to)]) {
+        dist[static_cast<std::size_t>(arc.to)] = nd;
+        heap.emplace(nd, arc.to);
+      }
+    }
+  }
+  return dist;
+}
+
+LatencyMatrix Graph::AllPairsShortestPaths() const {
+  LatencyMatrix out(n_);
+  for (NodeIndex u = 0; u < n_; ++u) {
+    const std::vector<double> dist = ShortestPathsFrom(u);
+    for (NodeIndex v = u + 1; v < n_; ++v) {
+      const double d = dist[static_cast<std::size_t>(v)];
+      if (!std::isfinite(d)) {
+        throw Error("graph is disconnected: no path " + std::to_string(u) +
+                    " -> " + std::to_string(v));
+      }
+      out.Set(u, v, d);
+    }
+  }
+  return out;
+}
+
+bool Graph::IsConnected() const {
+  const std::vector<double> dist = ShortestPathsFrom(0);
+  for (double d : dist) {
+    if (!std::isfinite(d)) return false;
+  }
+  return true;
+}
+
+}  // namespace diaca::net

@@ -1,0 +1,54 @@
+// Sparse weighted graph with shortest-path routing (§II-A).
+//
+// The paper's formal model is a graph G=(V,E) with link lengths, with the
+// distance function extended to all pairs via routing paths. Graph builds
+// that extension: Dijkstra from every node yields the complete
+// LatencyMatrix that the assignment algorithms consume. The NP-completeness
+// reduction (§III) constructs such graphs directly.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "net/latency_matrix.h"
+
+namespace diaca::net {
+
+class Graph {
+ public:
+  explicit Graph(NodeIndex num_nodes);
+
+  NodeIndex size() const { return n_; }
+  std::size_t num_edges() const { return edge_count_; }
+
+  /// Add an undirected link of the given positive length. Parallel edges
+  /// are allowed (shortest wins during routing); self-loops are an error.
+  void AddEdge(NodeIndex u, NodeIndex v, double length);
+
+  /// Single-source shortest path lengths (Dijkstra, binary heap).
+  /// Unreachable nodes get +infinity.
+  std::vector<double> ShortestPathsFrom(NodeIndex source) const;
+
+  /// All-pairs shortest paths as a LatencyMatrix. Throws diaca::Error if
+  /// the graph is disconnected (the system model requires every pair of
+  /// nodes to be able to communicate).
+  LatencyMatrix AllPairsShortestPaths() const;
+
+  /// True if every node can reach every other node.
+  bool IsConnected() const;
+
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+ private:
+  struct Arc {
+    NodeIndex to;
+    double length;
+  };
+
+  NodeIndex n_;
+  std::size_t edge_count_ = 0;
+  std::vector<std::vector<Arc>> adj_;
+};
+
+}  // namespace diaca::net

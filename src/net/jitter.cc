@@ -1,0 +1,79 @@
+#include "net/jitter.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace diaca::net {
+
+namespace {
+
+// Inverse error function via Winitzki's approximation, adequate for
+// percentile planning (relative error < 1e-3 over the useful range).
+double ErfInv(double x) {
+  DIACA_CHECK(x > -1.0 && x < 1.0);
+  constexpr double a = 0.147;
+  const double ln1mx2 = std::log(1.0 - x * x);
+  const double term1 = 2.0 / (3.141592653589793 * a) + ln1mx2 / 2.0;
+  const double inner = term1 * term1 - ln1mx2 / a;
+  const double result = std::sqrt(std::sqrt(inner) - term1);
+  return x >= 0.0 ? result : -result;
+}
+
+// Standard normal quantile.
+double NormalQuantile(double p) {
+  DIACA_CHECK(p > 0.0 && p < 1.0);
+  return std::sqrt(2.0) * ErfInv(2.0 * p - 1.0);
+}
+
+// Standard normal CDF.
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+}  // namespace
+
+JitterModel::JitterModel(LatencyMatrix base, JitterParams params)
+    : base_(std::move(base)), params_(params) {
+  DIACA_CHECK_MSG(params_.spread >= 0.0, "jitter spread must be >= 0");
+  DIACA_CHECK_MSG(params_.sigma > 0.0, "jitter sigma must be > 0");
+}
+
+double JitterModel::Sample(NodeIndex u, NodeIndex v, Rng& rng) const {
+  const double base = base_(u, v);
+  if (u == v || params_.spread == 0.0) return base;
+  // Lognormal with median 1: multiplier = exp(sigma * N(0,1)).
+  const double multiplier = std::exp(params_.sigma * rng.NextGaussian());
+  return base + params_.spread * base * multiplier;
+}
+
+double JitterModel::MultiplierQuantile(double percentile) const {
+  DIACA_CHECK(percentile >= 0.0 && percentile <= 100.0);
+  if (percentile <= 0.0) return 0.0;
+  // Guard the open interval required by the normal quantile.
+  const double p = std::min(percentile / 100.0, 1.0 - 1e-12);
+  return std::exp(params_.sigma * NormalQuantile(p));
+}
+
+LatencyMatrix JitterModel::PercentileMatrix(double percentile) const {
+  const double q = params_.spread == 0.0 ? 0.0 : MultiplierQuantile(percentile);
+  LatencyMatrix out(base_.size());
+  for (NodeIndex u = 0; u < base_.size(); ++u) {
+    for (NodeIndex v = u + 1; v < base_.size(); ++v) {
+      const double base = base_(u, v);
+      out.Set(u, v, base + params_.spread * base * q);
+    }
+  }
+  return out;
+}
+
+double JitterModel::ExceedanceProbability(NodeIndex u, NodeIndex v,
+                                          double planned) const {
+  const double base = base_(u, v);
+  if (params_.spread == 0.0) return planned >= base ? 0.0 : 1.0;
+  const double excess = planned - base;
+  if (excess <= 0.0) return 1.0;
+  const double multiplier = excess / (params_.spread * base);
+  // P(exp(sigma Z) > m) = 1 - Phi(ln m / sigma).
+  return 1.0 - NormalCdf(std::log(multiplier) / params_.sigma);
+}
+
+}  // namespace diaca::net

@@ -1,0 +1,56 @@
+// Network jitter model (§II-E "Further Considerations").
+//
+// The paper notes that under jitter, d(u,v) can be set to any percentile of
+// the latency distribution, trading interactivity against consistency and
+// fairness. JitterModel attaches a per-pair latency distribution
+//
+//   latency(u,v) = base(u,v) + LogNormal(mu, sigma) * base(u,v) * spread
+//
+// to a base matrix: jitter is multiplicative (long paths jitter more, as
+// queueing delay accumulates per hop). It can (a) sample concrete message
+// latencies for the discrete-event simulator and (b) produce the percentile
+// matrix that the assignment algorithms plan with.
+#pragma once
+
+#include "common/rng.h"
+#include "net/latency_matrix.h"
+
+namespace diaca::net {
+
+struct JitterParams {
+  /// Scale of the multiplicative jitter term relative to base latency.
+  /// 0 disables jitter entirely.
+  double spread = 0.2;
+  /// Lognormal shape of the jitter multiplier (sigma of underlying normal).
+  double sigma = 0.8;
+};
+
+class JitterModel {
+ public:
+  JitterModel(LatencyMatrix base, JitterParams params);
+
+  const LatencyMatrix& base() const { return base_; }
+  const JitterParams& params() const { return params_; }
+
+  /// Draw one concrete latency for a message u -> v. Always >= a small
+  /// floor fraction of base (packets cannot beat the propagation delay).
+  double Sample(NodeIndex u, NodeIndex v, Rng& rng) const;
+
+  /// The `percentile`-quantile (in [0,100]) of the per-pair latency
+  /// distribution, as a matrix — the planning input of §II-E. Percentile 0
+  /// returns the base matrix.
+  LatencyMatrix PercentileMatrix(double percentile) const;
+
+  /// Probability that a sampled latency exceeds the given planned value
+  /// for pair (u,v). Analytic (from the lognormal CDF).
+  double ExceedanceProbability(NodeIndex u, NodeIndex v, double planned) const;
+
+ private:
+  /// Quantile of the lognormal jitter multiplier.
+  double MultiplierQuantile(double percentile) const;
+
+  LatencyMatrix base_;
+  JitterParams params_;
+};
+
+}  // namespace diaca::net

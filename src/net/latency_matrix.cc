@@ -1,0 +1,83 @@
+#include "net/latency_matrix.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace diaca::net {
+
+LatencyMatrix::LatencyMatrix(NodeIndex n)
+    : n_(n), d_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0) {
+  DIACA_CHECK_MSG(n > 0, "matrix size must be positive");
+}
+
+LatencyMatrix::LatencyMatrix(NodeIndex n, std::span<const double> row_major)
+    : LatencyMatrix(n) {
+  DIACA_CHECK_MSG(row_major.size() ==
+                      static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                  "buffer size mismatch");
+  std::copy(row_major.begin(), row_major.end(), d_.begin());
+  Validate();
+}
+
+void LatencyMatrix::Set(NodeIndex u, NodeIndex v, double value) {
+  DIACA_CHECK(u >= 0 && u < n_ && v >= 0 && v < n_);
+  DIACA_CHECK_MSG(u != v, "diagonal must stay zero");
+  DIACA_CHECK_MSG(std::isfinite(value) && value > 0.0,
+                  "latency must be positive and finite, got " << value);
+  d_[static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
+     static_cast<std::size_t>(v)] = value;
+  d_[static_cast<std::size_t>(v) * static_cast<std::size_t>(n_) +
+     static_cast<std::size_t>(u)] = value;
+}
+
+LatencyMatrix LatencyMatrix::Restrict(std::span<const NodeIndex> nodes) const {
+  LatencyMatrix out(static_cast<NodeIndex>(nodes.size()));
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    DIACA_CHECK(nodes[i] >= 0 && nodes[i] < n_);
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      out.Set(static_cast<NodeIndex>(i), static_cast<NodeIndex>(j),
+              (*this)(nodes[i], nodes[j]));
+    }
+  }
+  return out;
+}
+
+bool LatencyMatrix::IsComplete() const {
+  for (NodeIndex u = 0; u < n_; ++u) {
+    const double* row = Row(u);
+    for (NodeIndex v = 0; v < n_; ++v) {
+      if (u != v && row[v] <= 0.0) return false;
+    }
+  }
+  return true;
+}
+
+double LatencyMatrix::MaxEntry() const {
+  double best = 0.0;
+  for (double x : d_) best = std::max(best, x);
+  return best;
+}
+
+void LatencyMatrix::Validate() const {
+  for (NodeIndex u = 0; u < n_; ++u) {
+    const double* row = Row(u);
+    if (row[u] != 0.0) {
+      throw Error("non-zero diagonal at node " + std::to_string(u));
+    }
+    for (NodeIndex v = u + 1; v < n_; ++v) {
+      const double duv = row[v];
+      const double dvu = (*this)(v, u);
+      if (!std::isfinite(duv) || duv < 0.0) {
+        throw Error("invalid latency at (" + std::to_string(u) + "," +
+                    std::to_string(v) + "): " + std::to_string(duv));
+      }
+      if (std::abs(duv - dvu) > 1e-9) {
+        throw Error("asymmetric latency at (" + std::to_string(u) + "," +
+                    std::to_string(v) + ")");
+      }
+    }
+  }
+}
+
+}  // namespace diaca::net

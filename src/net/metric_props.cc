@@ -1,0 +1,91 @@
+#include "net/metric_props.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace diaca::net {
+
+namespace {
+
+void ExamineTriple(const LatencyMatrix& m, NodeIndex u, NodeIndex v,
+                   NodeIndex w, TriangleStats& stats) {
+  const double direct = m(u, w);
+  const double via = m(u, v) + m(v, w);
+  ++stats.triples_examined;
+  if (via > 0.0) {
+    const double ratio = direct / via;
+    stats.worst_ratio = std::max(stats.worst_ratio, ratio);
+    if (direct > via * (1.0 + 1e-12) + 1e-9) ++stats.violations;
+  }
+}
+
+}  // namespace
+
+TriangleStats MeasureTriangleViolations(const LatencyMatrix& m,
+                                        NodeIndex sample_limit,
+                                        std::uint64_t seed) {
+  TriangleStats stats;
+  const NodeIndex n = m.size();
+  if (n <= sample_limit) {
+    for (NodeIndex u = 0; u < n; ++u) {
+      for (NodeIndex v = 0; v < n; ++v) {
+        if (v == u) continue;
+        for (NodeIndex w = 0; w < n; ++w) {
+          if (w == u || w == v) continue;
+          ExamineTriple(m, u, v, w, stats);
+        }
+      }
+    }
+    return stats;
+  }
+  // Deterministic random triples: the same budget as the exhaustive check
+  // on a sample_limit-sized matrix.
+  Rng rng(seed);
+  const std::uint64_t budget = static_cast<std::uint64_t>(sample_limit) *
+                               sample_limit * (sample_limit - 2);
+  for (std::uint64_t i = 0; i < budget; ++i) {
+    const auto u = static_cast<NodeIndex>(rng.NextBounded(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<NodeIndex>(rng.NextBounded(static_cast<std::uint64_t>(n)));
+    const auto w = static_cast<NodeIndex>(rng.NextBounded(static_cast<std::uint64_t>(n)));
+    if (u == v || v == w || u == w) continue;
+    ExamineTriple(m, u, v, w, stats);
+  }
+  return stats;
+}
+
+bool IsMetric(const LatencyMatrix& m, double tolerance) {
+  const NodeIndex n = m.size();
+  for (NodeIndex u = 0; u < n; ++u) {
+    for (NodeIndex v = 0; v < n; ++v) {
+      if (v == u) continue;
+      for (NodeIndex w = 0; w < n; ++w) {
+        if (w == u || w == v) continue;
+        if (m(u, w) > m(u, v) + m(v, w) + tolerance) return false;
+      }
+    }
+  }
+  return true;
+}
+
+LatencyMatrix MetricClosure(const LatencyMatrix& m) {
+  const NodeIndex n = m.size();
+  std::vector<double> d(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  for (NodeIndex u = 0; u < n; ++u) {
+    for (NodeIndex v = 0; v < n; ++v) {
+      d[static_cast<std::size_t>(u) * n + v] = m(u, v);
+    }
+  }
+  for (NodeIndex k = 0; k < n; ++k) {
+    for (NodeIndex i = 0; i < n; ++i) {
+      const double dik = d[static_cast<std::size_t>(i) * n + k];
+      for (NodeIndex j = 0; j < n; ++j) {
+        double& dij = d[static_cast<std::size_t>(i) * n + j];
+        dij = std::min(dij, dik + d[static_cast<std::size_t>(k) * n + j]);
+      }
+    }
+  }
+  return LatencyMatrix(n, d);
+}
+
+}  // namespace diaca::net

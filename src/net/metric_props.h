@@ -1,0 +1,47 @@
+// Metric-property diagnostics for latency matrices.
+//
+// Real Internet latency data violates the triangle inequality (the paper
+// relies on this to explain why NSA's 3-approximation does not hold in its
+// experiments, §V-A footnote). These helpers measure violation rates and
+// produce the metric closure used by approximation-ratio property tests.
+#pragma once
+
+#include <cstdint>
+
+#include "net/latency_matrix.h"
+
+namespace diaca::net {
+
+struct TriangleStats {
+  /// Total ordered triples (u,v,w) with distinct nodes that were examined.
+  std::uint64_t triples_examined = 0;
+  /// Triples with d(u,w) > d(u,v) + d(v,w) beyond tolerance.
+  std::uint64_t violations = 0;
+  /// Worst multiplicative violation max d(u,w) / (d(u,v)+d(v,w)).
+  double worst_ratio = 0.0;
+
+  double violation_rate() const {
+    return triples_examined == 0
+               ? 0.0
+               : static_cast<double>(violations) /
+                     static_cast<double>(triples_examined);
+  }
+};
+
+/// Examine triangle-inequality violations. For matrices larger than
+/// `sample_limit` nodes, a deterministic subsample of triples (seeded by
+/// `seed`) is used so the check stays near-linear.
+TriangleStats MeasureTriangleViolations(const LatencyMatrix& m,
+                                        NodeIndex sample_limit = 256,
+                                        std::uint64_t seed = 1);
+
+/// True if the matrix satisfies the triangle inequality everywhere
+/// (exhaustive; intended for small matrices in tests).
+bool IsMetric(const LatencyMatrix& m, double tolerance = 1e-9);
+
+/// Metric closure: replace every entry with the shortest path through the
+/// complete graph defined by the matrix (Floyd–Warshall). The result is
+/// metric; used to build inputs for approximation-guarantee tests.
+LatencyMatrix MetricClosure(const LatencyMatrix& m);
+
+}  // namespace diaca::net

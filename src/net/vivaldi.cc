@@ -1,0 +1,141 @@
+#include "net/vivaldi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace diaca::net {
+
+VivaldiSystem::VivaldiSystem(std::int32_t num_nodes,
+                             const VivaldiParams& params, std::uint64_t seed)
+    : num_nodes_(num_nodes), params_(params), rng_(seed) {
+  DIACA_CHECK(num_nodes >= 2);
+  DIACA_CHECK(params.dimensions >= 1);
+  DIACA_CHECK(params.cc > 0.0 && params.cc <= 1.0);
+  DIACA_CHECK(params.ce > 0.0 && params.ce <= 1.0);
+  const auto dims = static_cast<std::size_t>(params.dimensions);
+  // Tiny random initial coordinates break the all-at-origin symmetry.
+  coords_.resize(static_cast<std::size_t>(num_nodes) * dims);
+  for (double& x : coords_) x = rng_.NextUniform(-0.1, 0.1);
+  height_.assign(static_cast<std::size_t>(num_nodes),
+                 params.use_height ? 0.1 : 0.0);
+  error_.assign(static_cast<std::size_t>(num_nodes), 1.0);
+}
+
+double VivaldiSystem::Predict(NodeIndex u, NodeIndex v) const {
+  if (u == v) return 0.0;
+  const auto dims = static_cast<std::size_t>(params_.dimensions);
+  const double* xu = coords_.data() + static_cast<std::size_t>(u) * dims;
+  const double* xv = coords_.data() + static_cast<std::size_t>(v) * dims;
+  double sq = 0.0;
+  for (std::size_t d = 0; d < dims; ++d) {
+    const double diff = xu[d] - xv[d];
+    sq += diff * diff;
+  }
+  const double prediction = std::sqrt(sq) +
+                            height_[static_cast<std::size_t>(u)] +
+                            height_[static_cast<std::size_t>(v)];
+  return std::max(prediction, params_.min_prediction_ms);
+}
+
+void VivaldiSystem::Observe(NodeIndex u, NodeIndex v,
+                            double measured_latency_ms) {
+  DIACA_CHECK(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_ && u != v);
+  DIACA_CHECK(measured_latency_ms > 0.0);
+  const auto dims = static_cast<std::size_t>(params_.dimensions);
+  double* xu = coords_.data() + static_cast<std::size_t>(u) * dims;
+  const double* xv = coords_.data() + static_cast<std::size_t>(v) * dims;
+
+  // Distance and direction in coordinate space.
+  double sq = 0.0;
+  for (std::size_t d = 0; d < dims; ++d) {
+    const double diff = xu[d] - xv[d];
+    sq += diff * diff;
+  }
+  double planar = std::sqrt(sq);
+  std::vector<double> unit(dims);
+  if (planar < 1e-9) {
+    // Coincident points: pick a random direction.
+    double norm = 0.0;
+    for (std::size_t d = 0; d < dims; ++d) {
+      unit[d] = rng_.NextGaussian();
+      norm += unit[d] * unit[d];
+    }
+    norm = std::sqrt(std::max(norm, 1e-12));
+    for (double& x : unit) x /= norm;
+    planar = 0.0;
+  } else {
+    for (std::size_t d = 0; d < dims; ++d) unit[d] = (xu[d] - xv[d]) / planar;
+  }
+
+  auto& eu = error_[static_cast<std::size_t>(u)];
+  const double ev = error_[static_cast<std::size_t>(v)];
+  const double predicted = planar + height_[static_cast<std::size_t>(u)] +
+                           height_[static_cast<std::size_t>(v)];
+
+  // Confidence weighting: trust the sample more when the remote node is
+  // confident and we are not.
+  const double w = eu / std::max(eu + ev, 1e-9);
+  const double relative_error =
+      std::abs(predicted - measured_latency_ms) / measured_latency_ms;
+  eu = relative_error * params_.ce * w + eu * (1.0 - params_.ce * w);
+  eu = std::clamp(eu, 0.01, 2.0);
+
+  // Spring force: move along the unit vector (and the height axis) by the
+  // adaptive timestep times the prediction error.
+  const double delta = params_.cc * w;
+  const double force = delta * (measured_latency_ms - predicted);
+  for (std::size_t d = 0; d < dims; ++d) xu[d] += force * unit[d];
+  if (params_.use_height) {
+    auto& hu = height_[static_cast<std::size_t>(u)];
+    hu = std::max(hu + force, 0.0);
+  }
+}
+
+void VivaldiSystem::RunGossip(const LatencyMatrix& truth, std::int32_t rounds,
+                              std::int32_t neighbors_per_round) {
+  DIACA_CHECK(truth.size() == num_nodes_);
+  DIACA_CHECK(rounds > 0 && neighbors_per_round > 0);
+  for (std::int32_t round = 0; round < rounds; ++round) {
+    for (NodeIndex u = 0; u < num_nodes_; ++u) {
+      for (std::int32_t k = 0; k < neighbors_per_round; ++k) {
+        auto v = static_cast<NodeIndex>(
+            rng_.NextBounded(static_cast<std::uint64_t>(num_nodes_ - 1)));
+        if (v >= u) ++v;  // uniform over peers != u
+        Observe(u, v, truth(u, v));
+      }
+    }
+  }
+}
+
+LatencyMatrix VivaldiSystem::PredictedMatrix() const {
+  LatencyMatrix out(num_nodes_);
+  for (NodeIndex u = 0; u < num_nodes_; ++u) {
+    for (NodeIndex v = u + 1; v < num_nodes_; ++v) {
+      out.Set(u, v, Predict(u, v));
+    }
+  }
+  return out;
+}
+
+double VivaldiSystem::MedianRelativeError(const LatencyMatrix& truth) const {
+  DIACA_CHECK(truth.size() == num_nodes_);
+  std::vector<double> errors;
+  // All pairs up to ~2M entries; beyond that a strided sample.
+  const std::uint64_t total_pairs =
+      static_cast<std::uint64_t>(num_nodes_) * (num_nodes_ - 1) / 2;
+  const std::uint64_t stride = std::max<std::uint64_t>(1, total_pairs / 2'000'000);
+  std::uint64_t index = 0;
+  for (NodeIndex u = 0; u < num_nodes_; ++u) {
+    for (NodeIndex v = u + 1; v < num_nodes_; ++v) {
+      if (index++ % stride != 0) continue;
+      const double actual = truth(u, v);
+      errors.push_back(std::abs(Predict(u, v) - actual) / actual);
+    }
+  }
+  return Percentile(errors, 50.0);
+}
+
+}  // namespace diaca::net

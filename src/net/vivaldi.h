@@ -1,0 +1,72 @@
+// Vivaldi decentralized network coordinates (Dabek et al., SIGCOMM'04).
+//
+// The paper obtains its latency matrices from active measurement (ping /
+// King [13]). At scale, systems commonly estimate latencies instead with
+// network coordinates; Vivaldi is the standard algorithm: every node keeps
+// a low-dimensional coordinate plus a "height" (modelling the access-link
+// delay), refines it with a spring-relaxation step on each latency sample,
+// and predicts d(u,v) = |x_u - x_v| + h_u + h_v. This module provides the
+// substrate for the coordinate-planning experiment: how much interactivity
+// the assignment algorithms lose when they plan on estimated rather than
+// measured latencies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/latency_matrix.h"
+
+namespace diaca::net {
+
+struct VivaldiParams {
+  std::int32_t dimensions = 3;
+  bool use_height = true;
+  /// Adaptive timestep constant (the paper's c_c).
+  double cc = 0.25;
+  /// Error-estimate adaptation constant (the paper's c_e).
+  double ce = 0.25;
+  /// Floor for predicted latencies (ms).
+  double min_prediction_ms = 0.2;
+};
+
+class VivaldiSystem {
+ public:
+  VivaldiSystem(std::int32_t num_nodes, const VivaldiParams& params,
+                std::uint64_t seed);
+
+  /// One spring-relaxation step at node u from a latency sample to v.
+  /// Both endpoints keep their own coordinates; only u moves (as in the
+  /// deployed protocol, where the sample is taken by u).
+  void Observe(NodeIndex u, NodeIndex v, double measured_latency_ms);
+
+  /// Gossip simulation: `rounds` rounds in which every node samples
+  /// `neighbors_per_round` random peers from the ground-truth matrix.
+  void RunGossip(const LatencyMatrix& truth, std::int32_t rounds,
+                 std::int32_t neighbors_per_round);
+
+  /// Predicted latency between two nodes.
+  double Predict(NodeIndex u, NodeIndex v) const;
+
+  /// Full predicted matrix (floored at min_prediction_ms).
+  LatencyMatrix PredictedMatrix() const;
+
+  /// Median of |predicted - true| / true over a deterministic sample of
+  /// pairs (all pairs for small n).
+  double MedianRelativeError(const LatencyMatrix& truth) const;
+
+  /// Current confidence-weighting error estimate of a node (starts at 1).
+  double NodeError(NodeIndex u) const {
+    return error_[static_cast<std::size_t>(u)];
+  }
+
+ private:
+  std::int32_t num_nodes_;
+  VivaldiParams params_;
+  Rng rng_;
+  std::vector<double> coords_;  // row-major n x dims
+  std::vector<double> height_;
+  std::vector<double> error_;
+};
+
+}  // namespace diaca::net

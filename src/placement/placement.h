@@ -1,0 +1,46 @@
+// Server placement strategies (§V experimental setup).
+//
+// The paper evaluates client assignment under three placements:
+//   * random placement,
+//   * "K-center-A": a 2-approximate minimum-K-center algorithm
+//     (Hochbaum–Shmoys parametric pruning, as presented in Vazirani [24]),
+//   * "K-center-B": the greedy K-center heuristic used for mirror
+//     placement by Jamin et al. [14] (add the centre that most reduces the
+//     maximum node-to-nearest-centre distance).
+// Placement is orthogonal to assignment: these functions return the node
+// ids that host servers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/latency_matrix.h"
+
+namespace diaca::placement {
+
+/// k distinct uniformly random nodes. Requires 1 <= k <= n.
+std::vector<net::NodeIndex> RandomPlacement(const net::LatencyMatrix& m,
+                                            std::int32_t k, Rng& rng);
+
+/// Hochbaum–Shmoys 2-approximation of minimum K-center ("K-center-A").
+/// Binary-searches the bottleneck radius over the sorted distance values;
+/// for each radius a maximal independent set of the square graph is the
+/// candidate centre set. If the MIS has fewer than k nodes, the set is
+/// padded to exactly k by farthest-point additions (which can only help).
+std::vector<net::NodeIndex> KCenterHochbaumShmoys(const net::LatencyMatrix& m,
+                                                  std::int32_t k);
+
+/// Greedy K-center heuristic of Jamin et al. ("K-center-B"): repeatedly
+/// add the node whose addition minimizes max_u min_center d(u, center).
+/// Deterministic (ties broken toward the lower node id). The result for
+/// budget k is a prefix of the result for any larger budget.
+std::vector<net::NodeIndex> KCenterGreedy(const net::LatencyMatrix& m,
+                                          std::int32_t k);
+
+/// max_u min_{c in centers} d(u, c) — the K-center objective, used to
+/// compare placements and in tests.
+double KCenterObjective(const net::LatencyMatrix& m,
+                        std::span<const net::NodeIndex> centers);
+
+}  // namespace diaca::placement

@@ -1,0 +1,57 @@
+// Distributed-Greedy Assignment as a message-passing protocol (§IV-D).
+//
+// The paper describes Distributed-Greedy operationally: servers measure
+// their distances, broadcast their longest client distance l(s) and the
+// inter-server distances, detect whether they host a client on a longest
+// interaction path, query the other servers for the resulting path length
+// L(s') of a candidate move, and reassign when min L(s') < D — all under a
+// concurrency-control mechanism so only one modification happens at a
+// time. This module implements exactly that over the discrete-event
+// simulator: a token circulating the server ring serializes modifications,
+// and every piece of remote information travels in a simulated message
+// (QUERY / REPLY / REASSIGN / ANNOUNCE). src/core/distributed_greedy.*
+// is the sequential emulation of the same search; tests cross-check the
+// two and benches report the protocol's message/latency overhead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problem.h"
+#include "core/types.h"
+#include "net/latency_matrix.h"
+
+namespace diaca::proto {
+
+/// Transport configuration for the protocol run. The protocol's control
+/// messages must be reliable; under loss every message uses a
+/// retransmission channel, so the *decisions* (and the final assignment)
+/// are identical to a loss-free run — only the traffic and convergence
+/// time grow.
+struct ProtocolTransport {
+  double loss_probability = 0.0;
+  double rto_ms = 250.0;
+};
+
+struct DgProtocolResult {
+  core::Assignment assignment;
+  double max_len = 0.0;
+  std::int32_t modifications = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  /// Simulated wall-clock time until the protocol terminated (ms).
+  double convergence_time_ms = 0.0;
+  /// D after each modification, for convergence traces.
+  std::vector<double> max_len_trace;
+};
+
+/// Run the protocol starting from the (capacitated) Nearest-Server
+/// assignment, or from `initial` when provided. Throws diaca::Error on
+/// infeasible capacity.
+DgProtocolResult RunDistributedGreedyProtocol(
+    const net::LatencyMatrix& matrix, const core::Problem& problem,
+    const core::AssignOptions& options = {},
+    const core::Assignment* initial = nullptr,
+    const ProtocolTransport& transport = {});
+
+}  // namespace diaca::proto

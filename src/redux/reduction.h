@@ -1,0 +1,61 @@
+// The Theorem 1 reduction: minimum set cover → client assignment (§III).
+//
+// Given a set cover instance R with n elements and m subsets and a budget
+// K, the reduction builds a network with n clients (one per element) and
+// m*K servers (K groups, the j-th server of each group standing for
+// subset Q_j). Client c_i links to server s^l_j iff element p_i ∈ Q_j;
+// servers in different groups are fully interconnected; all links have
+// length 1, with shortest-path routing. Then R has a cover of size <= K
+// iff the CAP instance admits an assignment with maximum interaction path
+// length <= 3 — this equivalence is what the property tests exercise, and
+// the Fig. 3 example is reproduced verbatim in the test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problem.h"
+#include "core/types.h"
+#include "net/graph.h"
+#include "net/latency_matrix.h"
+#include "redux/set_cover.h"
+
+namespace diaca::redux {
+
+/// The constructed CAP instance.
+struct CapInstance {
+  /// The reduction network (unit-length links).
+  net::Graph graph;
+  /// All-pairs shortest paths of `graph` (the routing-extended d of §II-A).
+  net::LatencyMatrix distances;
+  /// The CAP problem view: clients then servers as in the construction.
+  core::Problem problem;
+  std::int32_t num_elements = 0;
+  std::int32_t num_subsets = 0;
+  std::int32_t budget_k = 0;
+
+  /// Server index (into problem's server list) of the j-th server of
+  /// group l.
+  core::ServerIndex ServerOf(std::int32_t group, std::int32_t subset) const {
+    return group * num_subsets + subset;
+  }
+};
+
+/// Build the Theorem 1 network. Requires budget_k >= 2 (with a single
+/// group the construction can be disconnected) and a validated instance.
+/// Throws diaca::Error otherwise.
+CapInstance BuildCapInstance(const SetCoverInstance& instance,
+                             std::int32_t budget_k);
+
+/// Forward direction of the proof: turn a cover of size <= K into an
+/// assignment with maximum interaction path length <= 3.
+core::Assignment AssignmentFromCover(const CapInstance& cap,
+                                     std::span<const std::int32_t> cover);
+
+/// Backward direction: turn an assignment with maximum interaction path
+/// length <= 3 into a cover of size <= K (the subsets whose servers are
+/// used). Throws diaca::Error if the assignment's objective exceeds 3.
+std::vector<std::int32_t> CoverFromAssignment(const CapInstance& cap,
+                                              const core::Assignment& a);
+
+}  // namespace diaca::redux

@@ -1,0 +1,191 @@
+#include "redux/set_cover.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace diaca::redux {
+
+void SetCoverInstance::Validate() const {
+  DIACA_CHECK(num_elements > 0);
+  DIACA_CHECK(!subsets.empty());
+  std::vector<bool> covered(static_cast<std::size_t>(num_elements), false);
+  for (std::size_t i = 0; i < subsets.size(); ++i) {
+    DIACA_CHECK_MSG(!subsets[i].empty(), "subset " << i << " is empty");
+    std::unordered_set<std::int32_t> seen;
+    for (std::int32_t e : subsets[i]) {
+      DIACA_CHECK_MSG(e >= 0 && e < num_elements,
+                      "subset " << i << " has out-of-range element " << e);
+      DIACA_CHECK_MSG(seen.insert(e).second,
+                      "subset " << i << " repeats element " << e);
+      covered[static_cast<std::size_t>(e)] = true;
+    }
+  }
+  for (std::int32_t e = 0; e < num_elements; ++e) {
+    DIACA_CHECK_MSG(covered[static_cast<std::size_t>(e)],
+                    "element " << e << " is uncoverable");
+  }
+}
+
+bool IsCover(const SetCoverInstance& instance,
+             std::span<const std::int32_t> chosen) {
+  std::vector<bool> covered(static_cast<std::size_t>(instance.num_elements),
+                            false);
+  for (std::int32_t j : chosen) {
+    DIACA_CHECK(j >= 0 && j < static_cast<std::int32_t>(instance.subsets.size()));
+    for (std::int32_t e : instance.subsets[static_cast<std::size_t>(j)]) {
+      covered[static_cast<std::size_t>(e)] = true;
+    }
+  }
+  return std::all_of(covered.begin(), covered.end(), [](bool b) { return b; });
+}
+
+std::vector<std::int32_t> GreedySetCover(const SetCoverInstance& instance) {
+  instance.Validate();
+  std::vector<bool> covered(static_cast<std::size_t>(instance.num_elements),
+                            false);
+  std::int32_t remaining = instance.num_elements;
+  std::vector<std::int32_t> chosen;
+  while (remaining > 0) {
+    std::int32_t best = -1;
+    std::int32_t best_gain = 0;
+    for (std::size_t j = 0; j < instance.subsets.size(); ++j) {
+      std::int32_t gain = 0;
+      for (std::int32_t e : instance.subsets[j]) {
+        if (!covered[static_cast<std::size_t>(e)]) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = static_cast<std::int32_t>(j);
+      }
+    }
+    DIACA_CHECK(best >= 0);  // Validate() guarantees coverability
+    chosen.push_back(best);
+    for (std::int32_t e : instance.subsets[static_cast<std::size_t>(best)]) {
+      if (!covered[static_cast<std::size_t>(e)]) {
+        covered[static_cast<std::size_t>(e)] = true;
+        --remaining;
+      }
+    }
+  }
+  return chosen;
+}
+
+namespace {
+
+class CoverSearch {
+ public:
+  CoverSearch(const SetCoverInstance& instance, std::int64_t node_limit)
+      : instance_(instance), node_limit_(node_limit) {
+    // Seed incumbent from greedy.
+    best_ = GreedySetCover(instance);
+    covers_of_.resize(static_cast<std::size_t>(instance.num_elements));
+    for (std::size_t j = 0; j < instance.subsets.size(); ++j) {
+      for (std::int32_t e : instance.subsets[j]) {
+        covers_of_[static_cast<std::size_t>(e)].push_back(
+            static_cast<std::int32_t>(j));
+      }
+    }
+    covered_.assign(static_cast<std::size_t>(instance.num_elements), 0);
+  }
+
+  bool Run() {
+    current_.clear();
+    Recurse();
+    return !aborted_;
+  }
+
+  std::vector<std::int32_t> best() const { return best_; }
+
+ private:
+  void Recurse() {
+    if (aborted_) return;
+    if (++nodes_ > node_limit_) {
+      aborted_ = true;
+      return;
+    }
+    // First uncovered element; branch on the subsets containing it.
+    std::int32_t uncovered = -1;
+    for (std::int32_t e = 0; e < instance_.num_elements; ++e) {
+      if (covered_[static_cast<std::size_t>(e)] == 0) {
+        uncovered = e;
+        break;
+      }
+    }
+    if (uncovered < 0) {
+      if (current_.size() < best_.size()) best_ = current_;
+      return;
+    }
+    if (current_.size() + 1 >= best_.size()) return;  // cannot improve
+    for (std::int32_t j : covers_of_[static_cast<std::size_t>(uncovered)]) {
+      current_.push_back(j);
+      for (std::int32_t e : instance_.subsets[static_cast<std::size_t>(j)]) {
+        ++covered_[static_cast<std::size_t>(e)];
+      }
+      Recurse();
+      for (std::int32_t e : instance_.subsets[static_cast<std::size_t>(j)]) {
+        --covered_[static_cast<std::size_t>(e)];
+      }
+      current_.pop_back();
+    }
+  }
+
+  const SetCoverInstance& instance_;
+  std::int64_t node_limit_;
+  std::int64_t nodes_ = 0;
+  bool aborted_ = false;
+  std::vector<std::int32_t> best_;
+  std::vector<std::int32_t> current_;
+  std::vector<std::int32_t> covered_;
+  std::vector<std::vector<std::int32_t>> covers_of_;
+};
+
+}  // namespace
+
+std::optional<std::vector<std::int32_t>> ExactSetCover(
+    const SetCoverInstance& instance, std::int64_t node_limit) {
+  instance.Validate();
+  CoverSearch search(instance, node_limit);
+  if (!search.Run()) return std::nullopt;
+  return search.best();
+}
+
+SetCoverInstance RandomSetCoverInstance(std::int32_t num_elements,
+                                        std::int32_t num_subsets,
+                                        double membership_probability,
+                                        Rng& rng) {
+  DIACA_CHECK(num_elements > 0 && num_subsets > 0);
+  DIACA_CHECK(membership_probability > 0.0 && membership_probability <= 1.0);
+  SetCoverInstance instance;
+  instance.num_elements = num_elements;
+  instance.subsets.resize(static_cast<std::size_t>(num_subsets));
+  for (auto& subset : instance.subsets) {
+    for (std::int32_t e = 0; e < num_elements; ++e) {
+      if (rng.NextBernoulli(membership_probability)) subset.push_back(e);
+    }
+  }
+  // Repair: ensure no empty subset and full coverability.
+  for (auto& subset : instance.subsets) {
+    if (subset.empty()) {
+      subset.push_back(static_cast<std::int32_t>(
+          rng.NextBounded(static_cast<std::uint64_t>(num_elements))));
+    }
+  }
+  std::vector<bool> covered(static_cast<std::size_t>(num_elements), false);
+  for (const auto& subset : instance.subsets) {
+    for (std::int32_t e : subset) covered[static_cast<std::size_t>(e)] = true;
+  }
+  for (std::int32_t e = 0; e < num_elements; ++e) {
+    if (!covered[static_cast<std::size_t>(e)]) {
+      auto& subset = instance.subsets[static_cast<std::size_t>(
+          rng.NextBounded(static_cast<std::uint64_t>(num_subsets)))];
+      subset.push_back(e);
+      std::sort(subset.begin(), subset.end());
+    }
+  }
+  instance.Validate();
+  return instance;
+}
+
+}  // namespace diaca::redux

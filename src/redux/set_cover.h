@@ -1,0 +1,44 @@
+// Minimum set cover instances and solvers — the source problem of the
+// paper's NP-completeness reduction (§III, Theorem 1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace diaca::redux {
+
+/// A set cover instance: a universe {0, .., num_elements-1} and a
+/// collection of subsets.
+struct SetCoverInstance {
+  std::int32_t num_elements = 0;
+  std::vector<std::vector<std::int32_t>> subsets;
+
+  /// Throws diaca::Error if malformed (out-of-range or duplicate elements
+  /// within a subset, empty subsets, or elements not covered by any
+  /// subset).
+  void Validate() const;
+};
+
+/// True if the given subset indices cover the universe.
+bool IsCover(const SetCoverInstance& instance,
+             std::span<const std::int32_t> chosen);
+
+/// Classic greedy ln(n)-approximation: repeatedly pick the subset covering
+/// the most uncovered elements. Returns chosen subset indices.
+std::vector<std::int32_t> GreedySetCover(const SetCoverInstance& instance);
+
+/// Exact minimum cover via branch and bound; intended for small instances
+/// (tests). Returns std::nullopt if the node limit is exceeded.
+std::optional<std::vector<std::int32_t>> ExactSetCover(
+    const SetCoverInstance& instance, std::int64_t node_limit = 10'000'000);
+
+/// Random instance where every element is covered by at least one subset.
+SetCoverInstance RandomSetCoverInstance(std::int32_t num_elements,
+                                        std::int32_t num_subsets,
+                                        double membership_probability,
+                                        Rng& rng);
+
+}  // namespace diaca::redux

@@ -1,0 +1,69 @@
+#include "sim/network.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace diaca::sim {
+
+Network::Network(Simulator& simulator, const net::LatencyMatrix& latencies)
+    : simulator_(simulator), latencies_(latencies), rng_(0) {}
+
+Network::Network(Simulator& simulator, const net::JitterModel& jitter,
+                 std::uint64_t seed)
+    : simulator_(simulator),
+      latencies_(jitter.base()),
+      jitter_(&jitter),
+      rng_(seed) {}
+
+void Network::SetLossProbability(double probability) {
+  DIACA_CHECK_MSG(probability >= 0.0 && probability < 1.0,
+                  "loss probability must be in [0, 1)");
+  loss_probability_ = probability;
+}
+
+void Network::Send(net::NodeIndex from, net::NodeIndex to,
+                   std::function<void()> on_delivery, std::uint64_t bytes) {
+  DIACA_CHECK(from >= 0 && from < latencies_.size());
+  DIACA_CHECK(to >= 0 && to < latencies_.size());
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  if (from != to && loss_probability_ > 0.0 &&
+      rng_.NextBernoulli(loss_probability_)) {
+    ++messages_lost_;
+    return;
+  }
+  const double latency = jitter_ != nullptr && from != to
+                             ? jitter_->Sample(from, to, rng_)
+                             : latencies_(from, to);
+  simulator_.After(latency, std::move(on_delivery));
+}
+
+void Network::SendReliable(net::NodeIndex from, net::NodeIndex to,
+                           std::function<void()> on_delivery,
+                           std::uint64_t bytes, double rto_ms) {
+  DIACA_CHECK(from >= 0 && from < latencies_.size());
+  DIACA_CHECK(to >= 0 && to < latencies_.size());
+  DIACA_CHECK_MSG(rto_ms > 0.0, "retransmission timeout must be positive");
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  if (from != to && loss_probability_ > 0.0 &&
+      rng_.NextBernoulli(loss_probability_)) {
+    ++messages_lost_;
+    simulator_.After(rto_ms, [this, from, to, bytes, rto_ms,
+                              on_delivery = std::move(on_delivery)]() mutable {
+      SendReliable(from, to, std::move(on_delivery), bytes, rto_ms);
+    });
+    return;
+  }
+  const double latency = jitter_ != nullptr && from != to
+                             ? jitter_->Sample(from, to, rng_)
+                             : latencies_(from, to);
+  simulator_.After(latency, std::move(on_delivery));
+}
+
+double Network::BaseLatency(net::NodeIndex from, net::NodeIndex to) const {
+  return latencies_(from, to);
+}
+
+}  // namespace diaca::sim

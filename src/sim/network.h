@@ -1,0 +1,67 @@
+// Simulated message fabric over a latency matrix.
+//
+// Send(u, v, handler) delivers `handler` at Now() + latency(u, v); with a
+// JitterModel attached, per-message latencies are sampled from it instead
+// of the base matrix. Message and byte counters support protocol-overhead
+// accounting (e.g. the Distributed-Greedy protocol bench).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "net/jitter.h"
+#include "net/latency_matrix.h"
+#include "sim/simulator.h"
+
+namespace diaca::sim {
+
+class Network {
+ public:
+  /// Fixed latencies from the matrix. The matrix must outlive the network.
+  Network(Simulator& simulator, const net::LatencyMatrix& latencies);
+
+  /// Jittered latencies: each message samples JitterModel::Sample with the
+  /// given seed stream. The model must outlive the network.
+  Network(Simulator& simulator, const net::JitterModel& jitter,
+          std::uint64_t seed);
+
+  /// Enable lossy transport: each non-local message is independently
+  /// dropped with the given probability (failure injection for the DIA
+  /// checkers). Off by default.
+  void SetLossProbability(double probability);
+
+  /// Deliver `on_delivery` after the (possibly sampled) network latency
+  /// from node `from` to node `to`. Local delivery (from == to) has zero
+  /// latency but still goes through the event queue. `bytes` feeds the
+  /// traffic counters only. A lost message is counted but never delivered.
+  void Send(net::NodeIndex from, net::NodeIndex to,
+            std::function<void()> on_delivery, std::uint64_t bytes = 64);
+
+  /// Reliable send: on loss, retransmit after `rto_ms` until delivered —
+  /// an ack/retransmission channel modelled without simulating the acks
+  /// (each attempt counts in the traffic statistics). With loss disabled
+  /// this is exactly Send().
+  void SendReliable(net::NodeIndex from, net::NodeIndex to,
+                    std::function<void()> on_delivery, std::uint64_t bytes,
+                    double rto_ms);
+
+  /// The planning latency between two nodes (base matrix, no jitter).
+  double BaseLatency(net::NodeIndex from, net::NodeIndex to) const;
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t messages_lost() const { return messages_lost_; }
+
+ private:
+  Simulator& simulator_;
+  const net::LatencyMatrix& latencies_;
+  const net::JitterModel* jitter_ = nullptr;
+  Rng rng_;
+  double loss_probability_ = 0.0;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_lost_ = 0;
+};
+
+}  // namespace diaca::sim

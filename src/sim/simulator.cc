@@ -1,0 +1,45 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace diaca::sim {
+
+void Simulator::At(double when, Callback fn) {
+  DIACA_CHECK_MSG(when >= now_, "cannot schedule in the past (" << when
+                                << " < " << now_ << ")");
+  queue_.push({when, next_seq_++, std::move(fn)});
+}
+
+void Simulator::After(double delay, Callback fn) {
+  DIACA_CHECK_MSG(delay >= 0.0, "negative delay " << delay);
+  At(now_ + delay, std::move(fn));
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the callback is moved out via const_cast,
+  // which is safe because the element is popped immediately after.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.time;
+  ++events_processed_;
+  event.fn();
+  return true;
+}
+
+void Simulator::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulator::RunUntil(double until) {
+  DIACA_CHECK(until >= now_);
+  while (!queue_.empty() && queue_.top().time <= until) {
+    Step();
+  }
+  now_ = until;
+}
+
+}  // namespace diaca::sim

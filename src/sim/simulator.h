@@ -1,0 +1,62 @@
+// Discrete-event simulation engine.
+//
+// A deterministic single-threaded event loop over (time, sequence) ordered
+// callbacks. Simulated time is wall-clock milliseconds. Ties are broken by
+// scheduling order, so runs are exactly reproducible. This is the substrate
+// for the continuous-DIA runtime (src/dia/) and the distributed assignment
+// protocol (src/proto/).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace diaca::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated wall-clock time (ms).
+  double Now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `when` (>= Now(), enforced).
+  void At(double when, Callback fn);
+
+  /// Schedule `fn` after a non-negative delay.
+  void After(double delay, Callback fn);
+
+  /// Run a single event. Returns false when the queue is empty.
+  bool Step();
+
+  /// Run until the queue is empty.
+  void Run();
+
+  /// Run events with time <= `until`; later events stay queued, and Now()
+  /// advances to `until`.
+  void RunUntil(double until);
+
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace diaca::sim

@@ -1,0 +1,87 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace diaca {
+namespace {
+
+Flags Parse(std::vector<const char*> argv, std::vector<std::string> spec) {
+  return Flags(static_cast<int>(argv.size()), argv.data(), std::move(spec));
+}
+
+TEST(FlagsTest, EqualsForm) {
+  const Flags f = Parse({"prog", "--runs=12"}, {"runs"});
+  EXPECT_EQ(f.GetInt("runs", 0), 12);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  const Flags f = Parse({"prog", "--dataset", "mit"}, {"dataset"});
+  EXPECT_EQ(f.GetString("dataset", ""), "mit");
+}
+
+TEST(FlagsTest, BareBoolean) {
+  const Flags f = Parse({"prog", "--csv"}, {"csv"});
+  EXPECT_TRUE(f.GetBool("csv", false));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const Flags f = Parse({"prog"}, {"runs", "scale", "csv", "name"});
+  EXPECT_EQ(f.GetInt("runs", 7), 7);
+  EXPECT_DOUBLE_EQ(f.GetDouble("scale", 1.5), 1.5);
+  EXPECT_FALSE(f.GetBool("csv", false));
+  EXPECT_EQ(f.GetString("name", "x"), "x");
+  EXPECT_FALSE(f.Has("runs"));
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  const Flags f = Parse({"prog", "--scale=2.25"}, {"scale"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("scale", 0.0), 2.25);
+}
+
+TEST(FlagsTest, NegativeInteger) {
+  const Flags f = Parse({"prog", "--offset=-5"}, {"offset"});
+  EXPECT_EQ(f.GetInt("offset", 0), -5);
+}
+
+TEST(FlagsTest, BooleanSpellings) {
+  EXPECT_TRUE(Parse({"p", "--x=yes"}, {"x"}).GetBool("x", false));
+  EXPECT_TRUE(Parse({"p", "--x=1"}, {"x"}).GetBool("x", false));
+  EXPECT_FALSE(Parse({"p", "--x=no"}, {"x"}).GetBool("x", true));
+  EXPECT_FALSE(Parse({"p", "--x=0"}, {"x"}).GetBool("x", true));
+}
+
+TEST(FlagsTest, UnknownFlagThrows) {
+  EXPECT_THROW(Parse({"prog", "--tyop=1"}, {"typo"}), Error);
+}
+
+TEST(FlagsTest, BadIntegerThrows) {
+  const Flags f = Parse({"prog", "--runs=abc"}, {"runs"});
+  EXPECT_THROW(f.GetInt("runs", 0), Error);
+}
+
+TEST(FlagsTest, BadDoubleThrows) {
+  const Flags f = Parse({"prog", "--scale=1.5x"}, {"scale"});
+  EXPECT_THROW(f.GetDouble("scale", 0.0), Error);
+}
+
+TEST(FlagsTest, BadBoolThrows) {
+  const Flags f = Parse({"prog", "--csv=maybe"}, {"csv"});
+  EXPECT_THROW(f.GetBool("csv", false), Error);
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  const Flags f = Parse({"prog", "input.txt", "--runs=3", "out.txt"}, {"runs"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "out.txt");
+}
+
+TEST(FlagsTest, LastValueWins) {
+  const Flags f = Parse({"prog", "--runs=1", "--runs=2"}, {"runs"});
+  EXPECT_EQ(f.GetInt("runs", 0), 2);
+}
+
+}  // namespace
+}  // namespace diaca

@@ -1,0 +1,119 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace diaca {
+namespace {
+
+TEST(OnlineStatsTest, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStatsTest, SingleValue) {
+  OnlineStats s;
+  s.Add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(OnlineStatsTest, KnownMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations is 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStatsTest, MergeMatchesSequential) {
+  OnlineStats whole;
+  OnlineStats left;
+  OnlineStats right;
+  const std::vector<double> xs{1.5, -2.0, 3.25, 8.0, 0.0, -4.5, 2.0};
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    whole.Add(xs[i]);
+    (i < 3 ? left : right).Add(xs[i]);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStatsTest, MergeWithEmpty) {
+  OnlineStats a;
+  a.Add(1.0);
+  a.Add(2.0);
+  OnlineStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  OnlineStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(StatsTest, MeanAndStddev) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(xs), 2.5);
+  EXPECT_NEAR(Stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_EQ(Mean({}), 0.0);
+}
+
+TEST(PercentileTest, InterpolatesLinearly) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 25.0);
+  EXPECT_NEAR(Percentile(xs, 90.0), 37.0, 1e-12);
+}
+
+TEST(PercentileTest, UnsortedInput) {
+  const std::vector<double> xs{30.0, 10.0, 40.0, 20.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 25.0);
+}
+
+TEST(PercentileTest, SingleValue) {
+  const std::vector<double> xs{5.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 37.0), 5.0);
+}
+
+TEST(PercentileTest, EmptyThrows) {
+  EXPECT_THROW(Percentile({}, 50.0), Error);
+}
+
+TEST(CdfTest, StepFractions) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  const auto cdf = EmpiricalCdf(xs);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_NEAR(cdf[0].fraction, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[2].fraction, 1.0);
+}
+
+TEST(FractionAboveTest, CountsStrictlyGreater) {
+  const std::vector<double> xs{1.0, 2.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(FractionAbove(xs, 2.0), 0.25);
+  EXPECT_DOUBLE_EQ(FractionAbove(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(FractionAbove(xs, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(FractionAbove({}, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace diaca

@@ -1,0 +1,81 @@
+#include "common/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace diaca {
+namespace {
+
+TEST(TableTest, AlignedOutputContainsCells) {
+  Table t({"name", "value"});
+  t.Row().Cell("alpha").Cell(1.25, 2);
+  t.Row().Cell("b").Cell(std::int64_t{42});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.25"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAligned) {
+  Table t({"a", "b"});
+  t.Row().Cell("xxxxxx").Cell("1");
+  t.Row().Cell("y").Cell("2");
+  std::ostringstream os;
+  t.Print(os);
+  std::istringstream in(os.str());
+  std::string header;
+  std::string separator;
+  std::string row1;
+  std::string row2;
+  std::getline(in, header);
+  std::getline(in, separator);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  // The second column starts at the same offset in both rows.
+  EXPECT_EQ(row1.find('1'), row2.find('2'));
+}
+
+TEST(TableTest, CsvFormat) {
+  Table t({"x", "y"});
+  t.Row().Cell("1").Cell("2");
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(TableTest, CellBeforeRowThrows) {
+  Table t({"x"});
+  EXPECT_THROW(t.Cell("oops"), Error);
+}
+
+TEST(TableTest, RowWiderThanHeaderThrows) {
+  Table t({"x"});
+  t.Row().Cell("1");
+  EXPECT_THROW(t.Cell("2"), Error);
+}
+
+TEST(TableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(FormatDoubleTest, FixedPrecision) {
+  EXPECT_EQ(FormatDouble(1.23456, 3), "1.235");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+}
+
+TEST(TableTest, NumRows) {
+  Table t({"x"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.Row().Cell("1");
+  t.Row().Cell("2");
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+}  // namespace
+}  // namespace diaca

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/ablations.h"
+#include "core/metrics.h"
+#include "core/nearest_server.h"
+#include "core/random_assign.h"
+#include "../testutil.h"
+
+namespace diaca::core {
+namespace {
+
+SaParams QuickParams() {
+  SaParams params;
+  params.iterations = 3000;
+  return params;
+}
+
+TEST(SimulatedAnnealingTest, NeverWorseThanSeed) {
+  Rng rng(1);
+  const Problem p = test::RandomProblem(20, 5, rng);
+  const Assignment nsa = NearestServerAssign(p);
+  const double initial = MaxInteractionPathLength(p, nsa);
+  Rng sa_rng(2);
+  const SaResult result =
+      SimulatedAnnealingAssign(p, QuickParams(), sa_rng, &nsa);
+  EXPECT_LE(result.max_len, initial + 1e-9);
+  EXPECT_NEAR(result.max_len, MaxInteractionPathLength(p, result.assignment),
+              1e-9);
+}
+
+TEST(SimulatedAnnealingTest, ImprovesBadRandomStart) {
+  Rng rng(3);
+  const Problem p = test::RandomProblem(25, 5, rng);
+  Rng arng(4);
+  const Assignment random_start = RandomAssign(p, arng);
+  const double initial = MaxInteractionPathLength(p, random_start);
+  Rng sa_rng(5);
+  const SaResult result =
+      SimulatedAnnealingAssign(p, QuickParams(), sa_rng, &random_start);
+  EXPECT_LT(result.max_len, initial);
+  EXPECT_GT(result.accepted_moves, 0);
+}
+
+TEST(SimulatedAnnealingTest, DeterministicInRngSeed) {
+  Rng rng(6);
+  const Problem p = test::RandomProblem(15, 4, rng);
+  Rng a_rng(7);
+  Rng b_rng(7);
+  const SaResult a = SimulatedAnnealingAssign(p, QuickParams(), a_rng);
+  const SaResult b = SimulatedAnnealingAssign(p, QuickParams(), b_rng);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.max_len, b.max_len);
+}
+
+TEST(SimulatedAnnealingTest, CapacityRespected) {
+  Rng rng(8);
+  const Problem p = test::RandomProblem(24, 6, rng);
+  SaParams params = QuickParams();
+  params.assign.capacity = 4;  // tight
+  Rng sa_rng(9);
+  const SaResult result = SimulatedAnnealingAssign(p, params, sa_rng);
+  EXPECT_TRUE(result.assignment.IsComplete());
+  EXPECT_LE(MaxServerLoad(p, result.assignment), 4);
+}
+
+TEST(SimulatedAnnealingTest, MoreIterationsNotWorseOnAverage) {
+  double short_sum = 0.0;
+  double long_sum = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed * 11);
+    const Problem p = test::RandomProblem(20, 5, rng);
+    SaParams short_run = QuickParams();
+    short_run.iterations = 200;
+    SaParams long_run = QuickParams();
+    long_run.iterations = 8000;
+    Rng a_rng(seed * 13);
+    Rng b_rng(seed * 13);
+    short_sum += SimulatedAnnealingAssign(p, short_run, a_rng).max_len;
+    long_sum += SimulatedAnnealingAssign(p, long_run, b_rng).max_len;
+  }
+  EXPECT_LE(long_sum, short_sum + 1e-9);
+}
+
+TEST(SimulatedAnnealingTest, RejectsBadParams) {
+  Rng rng(10);
+  const Problem p = test::RandomProblem(6, 2, rng);
+  Rng sa_rng(11);
+  SaParams params = QuickParams();
+  params.iterations = 0;
+  EXPECT_THROW(SimulatedAnnealingAssign(p, params, sa_rng), Error);
+  params = QuickParams();
+  params.initial_temperature_fraction = 0.0;
+  EXPECT_THROW(SimulatedAnnealingAssign(p, params, sa_rng), Error);
+}
+
+}  // namespace
+}  // namespace diaca::core

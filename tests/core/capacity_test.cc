@@ -1,0 +1,127 @@
+// Cross-algorithm capacitated properties (§IV-E / Fig. 10 shape at small
+// scale): every algorithm must respect capacity for every feasible value,
+// and behave sanely at the extremes.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/distributed_greedy.h"
+#include "core/greedy.h"
+#include "core/longest_first_batch.h"
+#include "core/lower_bound.h"
+#include "core/metrics.h"
+#include "core/nearest_server.h"
+#include "core/random_assign.h"
+#include "../testutil.h"
+
+namespace diaca::core {
+namespace {
+
+struct AlgoCase {
+  const char* name;
+  Assignment (*run)(const Problem&, const AssignOptions&);
+};
+
+Assignment RunNsa(const Problem& p, const AssignOptions& o) {
+  return NearestServerAssign(p, o);
+}
+Assignment RunLfb(const Problem& p, const AssignOptions& o) {
+  return LongestFirstBatchAssign(p, o);
+}
+Assignment RunGreedy(const Problem& p, const AssignOptions& o) {
+  return GreedyAssign(p, o);
+}
+Assignment RunDg(const Problem& p, const AssignOptions& o) {
+  return DistributedGreedyAssign(p, o).assignment;
+}
+
+constexpr AlgoCase kAlgos[] = {
+    {"nearest-server", RunNsa},
+    {"longest-first-batch", RunLfb},
+    {"greedy", RunGreedy},
+    {"distributed-greedy", RunDg},
+};
+
+class CapacitySweepTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::int32_t>> {
+};
+
+TEST_P(CapacitySweepTest, AllAlgorithmsRespectCapacity) {
+  const auto [seed, capacity] = GetParam();
+  Rng rng(seed);
+  const Problem p = test::RandomProblem(24, 6, rng);
+  AssignOptions options;
+  options.capacity = capacity;
+  for (const AlgoCase& algo : kAlgos) {
+    const Assignment a = algo.run(p, options);
+    EXPECT_TRUE(a.IsComplete()) << algo.name;
+    EXPECT_LE(MaxServerLoad(p, a), capacity) << algo.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndCapacities, CapacitySweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(4, 6, 12, 24)));
+
+TEST(CapacityTest, HugeCapacityEqualsUncapacitated) {
+  Rng rng(5);
+  const Problem p = test::RandomProblem(20, 4, rng);
+  AssignOptions loose;
+  loose.capacity = 1000;
+  EXPECT_EQ(NearestServerAssign(p, loose), NearestServerAssign(p));
+  EXPECT_EQ(LongestFirstBatchAssign(p, loose), LongestFirstBatchAssign(p));
+  EXPECT_EQ(GreedyAssign(p, loose), GreedyAssign(p));
+  EXPECT_EQ(DistributedGreedyAssign(p, loose).assignment,
+            DistributedGreedyAssign(p).assignment);
+}
+
+TEST(CapacityTest, TightCapacityBalancesPerfectly) {
+  Rng rng(6);
+  const Problem p = test::RandomProblem(18, 6, rng);
+  AssignOptions tight;
+  tight.capacity = 3;  // 6 * 3 == 18: perfect balance forced
+  for (const AlgoCase& algo : kAlgos) {
+    const Assignment a = algo.run(p, tight);
+    std::vector<std::int32_t> load(6, 0);
+    for (ClientIndex c = 0; c < p.num_clients(); ++c) {
+      ++load[static_cast<std::size_t>(a[c])];
+    }
+    for (std::int32_t l : load) EXPECT_EQ(l, 3) << algo.name;
+  }
+}
+
+TEST(CapacityTest, ObjectiveDegradesMonotonicallyForDgOnAverage) {
+  // Fig. 10 shape: interactivity gets worse (weakly) as capacity shrinks.
+  // Averaged over seeds to wash out heuristic noise; Distributed-Greedy
+  // only (the paper notes LFB/Greedy can be non-monotone).
+  double loose_sum = 0.0;
+  double tight_sum = 0.0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    const Problem p = test::RandomProblem(24, 6, rng);
+    AssignOptions loose;
+    loose.capacity = 24;
+    AssignOptions tight;
+    tight.capacity = 4;
+    loose_sum += DistributedGreedyAssign(p, loose).max_len;
+    tight_sum += DistributedGreedyAssign(p, tight).max_len;
+  }
+  EXPECT_LE(loose_sum, tight_sum * 1.02);
+}
+
+TEST(CapacityTest, LowerBoundUnaffectedByCapacity) {
+  // The paper computes one lower bound regardless of capacity; the API
+  // reflects that (the bound takes no capacity input). This documents it.
+  Rng rng(7);
+  const Problem p = test::RandomProblem(15, 3, rng);
+  const double lb = InteractivityLowerBound(p);
+  AssignOptions tight;
+  tight.capacity = 5;
+  for (const AlgoCase& algo : kAlgos) {
+    EXPECT_GE(MaxInteractionPathLength(p, algo.run(p, tight)), lb - 1e-9)
+        << algo.name;
+  }
+}
+
+}  // namespace
+}  // namespace diaca::core

@@ -1,0 +1,135 @@
+#include "core/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/metrics.h"
+#include "core/nearest_server.h"
+#include "core/random_assign.h"
+#include "../testutil.h"
+
+namespace diaca::core {
+namespace {
+
+TEST(IncrementalTest, InitialMaxMatchesReference) {
+  Rng rng(1);
+  const Problem p = test::RandomProblem(20, 5, rng);
+  const Assignment a = NearestServerAssign(p);
+  const IncrementalEvaluator evaluator(p, a);
+  EXPECT_NEAR(evaluator.CurrentMax(), MaxInteractionPathLength(p, a), 1e-9);
+}
+
+TEST(IncrementalTest, EvaluateMoveDoesNotMutate) {
+  Rng rng(2);
+  const Problem p = test::RandomProblem(15, 4, rng);
+  const Assignment a = NearestServerAssign(p);
+  IncrementalEvaluator evaluator(p, a);
+  const double before = evaluator.CurrentMax();
+  (void)evaluator.EvaluateMove(0, (a[0] + 1) % p.num_servers());
+  EXPECT_DOUBLE_EQ(evaluator.CurrentMax(), before);
+  EXPECT_EQ(evaluator.assignment(), a);
+}
+
+TEST(IncrementalTest, NoOpMoveIsIdentity) {
+  Rng rng(3);
+  const Problem p = test::RandomProblem(10, 3, rng);
+  const Assignment a = NearestServerAssign(p);
+  IncrementalEvaluator evaluator(p, a);
+  EXPECT_DOUBLE_EQ(evaluator.EvaluateMove(0, a[0]), evaluator.CurrentMax());
+  EXPECT_DOUBLE_EQ(evaluator.ApplyMove(0, a[0]), evaluator.CurrentMax());
+  EXPECT_EQ(evaluator.assignment(), a);
+}
+
+class IncrementalPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalPropertyTest, RandomMoveSequenceTracksReference) {
+  // Differential test: a long random sequence of evaluate/apply operations
+  // must always agree with the from-scratch computation, including through
+  // history-carrying states (tied distances, emptied servers).
+  Rng rng(GetParam());
+  const Problem p = test::RandomProblem(18, 4, rng);
+  Rng arng(GetParam() + 50);
+  const Assignment start = RandomAssign(p, arng);
+  IncrementalEvaluator evaluator(p, start);
+  Assignment mirror = start;
+  Rng move_rng(GetParam() + 99);
+  for (int step = 0; step < 300; ++step) {
+    const auto c = static_cast<ClientIndex>(
+        move_rng.NextBounded(static_cast<std::uint64_t>(p.num_clients())));
+    const auto s = static_cast<ServerIndex>(
+        move_rng.NextBounded(static_cast<std::uint64_t>(p.num_servers())));
+    // Preview must equal the reference of the hypothetical assignment.
+    Assignment preview = mirror;
+    preview[c] = s;
+    EXPECT_NEAR(evaluator.EvaluateMove(c, s),
+                MaxInteractionPathLength(p, preview), 1e-9)
+        << "step " << step;
+    if (move_rng.NextBernoulli(0.6)) {
+      evaluator.ApplyMove(c, s);
+      mirror[c] = s;
+      EXPECT_NEAR(evaluator.CurrentMax(),
+                  MaxInteractionPathLength(p, mirror), 1e-9)
+          << "step " << step;
+      EXPECT_EQ(evaluator.assignment(), mirror);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(IncrementalTest, FastPathAvoidsFullRescans) {
+  // Moves among servers far from the critical pair should mostly take the
+  // O(|S|) path.
+  Rng rng(9);
+  const Problem p = test::RandomProblem(100, 10, rng);
+  IncrementalEvaluator evaluator(p, NearestServerAssign(p));
+  Rng move_rng(10);
+  constexpr int kMoves = 500;
+  for (int i = 0; i < kMoves; ++i) {
+    const auto c = static_cast<ClientIndex>(
+        move_rng.NextBounded(static_cast<std::uint64_t>(p.num_clients())));
+    const auto s = static_cast<ServerIndex>(
+        move_rng.NextBounded(static_cast<std::uint64_t>(p.num_servers())));
+    (void)evaluator.EvaluateMove(c, s);
+  }
+  EXPECT_LT(evaluator.full_rescans(), kMoves / 2);
+}
+
+TEST(IncrementalTest, EmptyingAServerHandled) {
+  // Two servers, two clients; move both clients to server 1, emptying 0.
+  net::LatencyMatrix m(4);
+  m.Set(0, 1, 10.0);
+  m.Set(0, 2, 1.0);
+  m.Set(1, 2, 9.0);
+  m.Set(0, 3, 8.0);
+  m.Set(1, 3, 2.0);
+  m.Set(2, 3, 7.0);
+  const Problem p(m, std::vector<net::NodeIndex>{0, 1},
+                  std::vector<net::NodeIndex>{2, 3});
+  Assignment a(2);
+  a[0] = 0;
+  a[1] = 0;
+  IncrementalEvaluator evaluator(p, a);
+  evaluator.ApplyMove(0, 1);
+  evaluator.ApplyMove(1, 1);
+  Assignment expect(2);
+  expect[0] = 1;
+  expect[1] = 1;
+  EXPECT_NEAR(evaluator.CurrentMax(), MaxInteractionPathLength(p, expect),
+              1e-9);
+  EXPECT_EQ(evaluator.LoadOf(0), 0);
+  EXPECT_EQ(evaluator.LoadOf(1), 2);
+}
+
+TEST(IncrementalTest, RejectsIncompleteAssignment) {
+  Rng rng(11);
+  const Problem p = test::RandomProblem(5, 2, rng);
+  Assignment partial(static_cast<std::size_t>(p.num_clients()));
+  EXPECT_THROW(IncrementalEvaluator(p, partial), Error);
+}
+
+}  // namespace
+}  // namespace diaca::core

@@ -1,0 +1,108 @@
+#include "core/lower_bound.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/exact.h"
+#include "core/metrics.h"
+#include "../testutil.h"
+
+namespace diaca::core {
+namespace {
+
+double BruteForceLowerBound(const Problem& p) {
+  double lb = 0.0;
+  for (ClientIndex c = 0; c < p.num_clients(); ++c) {
+    for (ClientIndex c2 = 0; c2 < p.num_clients(); ++c2) {
+      double best = std::numeric_limits<double>::infinity();
+      for (ServerIndex s = 0; s < p.num_servers(); ++s) {
+        for (ServerIndex t = 0; t < p.num_servers(); ++t) {
+          best = std::min(best, p.cs(c, s) + p.ss(s, t) + p.cs(c2, t));
+        }
+      }
+      lb = std::max(lb, best);
+    }
+  }
+  return lb;
+}
+
+TEST(LowerBoundTest, HandComputedTwoServers) {
+  // Nodes: 0=s0, 1=s1, 2=c0, 3=c1.
+  net::LatencyMatrix m(4);
+  m.Set(0, 1, 10.0);
+  m.Set(0, 2, 1.0);
+  m.Set(0, 3, 8.0);
+  m.Set(1, 2, 20.0);
+  m.Set(1, 3, 2.0);
+  m.Set(2, 3, 25.0);
+  const Problem p(m, std::vector<net::NodeIndex>{0, 1},
+                  std::vector<net::NodeIndex>{2, 3});
+  // Pair (c0,c1): min over ingress/egress servers of
+  // d(c0,s)+d(s,t)+d(t,c1): {1+0+8, 1+10+2, 20+10+8, 20+0+2} -> 9.
+  // Pair (c0,c0): 2*1 = 2; (c1,c1): 2*2 = 4. LB = 9.
+  EXPECT_DOUBLE_EQ(InteractivityLowerBound(p), 9.0);
+}
+
+TEST(LowerBoundTest, SingleServerIsExact) {
+  Rng rng(1);
+  const Problem p = test::RandomProblem(10, 1, rng);
+  Assignment a(static_cast<std::size_t>(p.num_clients()));
+  for (ClientIndex c = 0; c < p.num_clients(); ++c) a[c] = 0;
+  EXPECT_NEAR(InteractivityLowerBound(p), MaxInteractionPathLength(p, a), 1e-9);
+}
+
+class LowerBoundPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LowerBoundPropertyTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const Problem p = test::RandomProblem(14, 4, rng);
+  EXPECT_NEAR(InteractivityLowerBound(p), BruteForceLowerBound(p), 1e-9);
+}
+
+TEST_P(LowerBoundPropertyTest, NeverExceedsOptimal) {
+  Rng rng(GetParam() + 500);
+  const Problem p = test::RandomProblem(7, 3, rng);
+  const double lb = InteractivityLowerBound(p);
+  const double opt = test::BruteForceOptimal(p);
+  EXPECT_LE(lb, opt + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LowerBoundPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(LowerBoundTest, CanBeStrictlyBelowOptimal) {
+  // The bound lets a client use different servers per interaction, so it
+  // is a super-optimum. Construct a case where that freedom wins:
+  // two clients, two servers; each client is close to "its" server but
+  // the servers are far apart, while a middle server is moderately far
+  // from both.
+  net::LatencyMatrix m(5);
+  // 0=sA, 1=sB, 2=sM, 3=cA, 4=cB.
+  m.Set(0, 1, 100.0);
+  m.Set(0, 2, 40.0);
+  m.Set(1, 2, 40.0);
+  m.Set(0, 3, 1.0);
+  m.Set(1, 3, 99.0);
+  m.Set(2, 3, 45.0);
+  m.Set(0, 4, 99.0);
+  m.Set(1, 4, 1.0);
+  m.Set(2, 4, 45.0);
+  m.Set(3, 4, 120.0);
+  const Problem p(m, std::vector<net::NodeIndex>{0, 1, 2},
+                  std::vector<net::NodeIndex>{3, 4});
+  const double lb = InteractivityLowerBound(p);
+  const double opt = test::BruteForceOptimal(p);
+  EXPECT_LT(lb, opt - 1e-9);
+}
+
+TEST(NormalizedInteractivityTest, Basics) {
+  EXPECT_DOUBLE_EQ(NormalizedInteractivity(15.0, 10.0), 1.5);
+  EXPECT_DOUBLE_EQ(NormalizedInteractivity(0.0, 0.0), 1.0);
+  EXPECT_TRUE(std::isinf(NormalizedInteractivity(5.0, 0.0)));
+}
+
+}  // namespace
+}  // namespace diaca::core

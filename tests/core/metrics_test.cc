@@ -1,0 +1,188 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/random_assign.h"
+#include "../testutil.h"
+
+namespace diaca::core {
+namespace {
+
+// The Fig. 2 scenario: two servers, three clients; c1, c2 on s1 and c3 on
+// s2. Node layout: 0=s1, 1=s2, 2=c1, 3=c2, 4=c3.
+struct Fig2 {
+  net::LatencyMatrix m = net::LatencyMatrix(5);
+  Problem problem;
+  Assignment a;
+
+  Fig2()
+      : m(BuildMatrix()),
+        problem(m, std::vector<net::NodeIndex>{0, 1},
+                std::vector<net::NodeIndex>{2, 3, 4}),
+        a(3) {
+    a[0] = 0;
+    a[1] = 0;
+    a[2] = 1;
+  }
+
+  static net::LatencyMatrix BuildMatrix() {
+    net::LatencyMatrix m(5);
+    m.Set(0, 1, 40.0);  // s1 - s2
+    m.Set(0, 2, 10.0);  // s1 - c1
+    m.Set(0, 3, 15.0);  // s1 - c2
+    m.Set(0, 4, 60.0);
+    m.Set(1, 2, 70.0);
+    m.Set(1, 3, 70.0);
+    m.Set(1, 4, 20.0);  // s2 - c3
+    m.Set(2, 3, 30.0);
+    m.Set(2, 4, 80.0);
+    m.Set(3, 4, 80.0);
+    return m;
+  }
+};
+
+TEST(MetricsTest, InteractionPathLengthsOnFig2) {
+  const Fig2 f;
+  // c1-c2 via s1 only: 10 + 0 + 15.
+  EXPECT_DOUBLE_EQ(InteractionPathLength(f.problem, f.a, 0, 1), 25.0);
+  // c1-c3 via s1 and s2: 10 + 40 + 20.
+  EXPECT_DOUBLE_EQ(InteractionPathLength(f.problem, f.a, 0, 2), 70.0);
+  // Self path of c1: round trip to s1.
+  EXPECT_DOUBLE_EQ(InteractionPathLength(f.problem, f.a, 0, 0), 20.0);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(InteractionPathLength(f.problem, f.a, 2, 0),
+                   InteractionPathLength(f.problem, f.a, 0, 2));
+}
+
+TEST(MetricsTest, MaxInteractionPathOnFig2) {
+  const Fig2 f;
+  // Pairs: (c1,c2)=25, (c1,c3)=70, (c2,c3)=75, selfs 20,30,40.
+  EXPECT_DOUBLE_EQ(MaxInteractionPathLength(f.problem, f.a), 75.0);
+}
+
+TEST(MetricsTest, ServerEccentricitiesOnFig2) {
+  const Fig2 f;
+  const auto far = ServerEccentricities(f.problem, f.a);
+  EXPECT_DOUBLE_EQ(far[0], 15.0);  // c2 is the farthest client of s1
+  EXPECT_DOUBLE_EQ(far[1], 20.0);
+}
+
+TEST(MetricsTest, UnusedServerHasNegativeEccentricity) {
+  const Fig2 f;
+  Assignment all_s1(3);
+  all_s1[0] = all_s1[1] = all_s1[2] = 0;
+  const auto far = ServerEccentricities(f.problem, all_s1);
+  EXPECT_DOUBLE_EQ(far[0], 60.0);
+  EXPECT_LT(far[1], 0.0);
+  // With one server, D = 2 * far (the two farthest clients… here the
+  // farthest pair c3-c3 self path dominates: 2*60).
+  EXPECT_DOUBLE_EQ(MaxInteractionPathLength(f.problem, all_s1), 120.0);
+}
+
+TEST(MetricsTest, SelfPairCanBeTheMaximum) {
+  // One distant client alone on its server: its round trip dominates.
+  net::LatencyMatrix m(3);
+  m.Set(0, 1, 1.0);   // s0 - c near
+  m.Set(0, 2, 50.0);  // s0 - c far
+  m.Set(1, 2, 50.0);
+  const Problem p(m, std::vector<net::NodeIndex>{0},
+                  std::vector<net::NodeIndex>{1, 2});
+  Assignment a(2);
+  a[0] = 0;
+  a[1] = 0;
+  EXPECT_DOUBLE_EQ(MaxInteractionPathLength(p, a), 100.0);
+}
+
+TEST(MetricsTest, IncompleteAssignmentThrows) {
+  const Fig2 f;
+  Assignment partial(3);
+  partial[0] = 0;
+  EXPECT_THROW(MaxInteractionPathLength(f.problem, partial), Error);
+  EXPECT_THROW(InteractionPathLength(f.problem, partial, 0, 1), Error);
+}
+
+TEST(MetricsTest, CriticalClientsOnFig2) {
+  const Fig2 f;
+  // Longest path is c2-c3 (75): both endpoints critical, c1 not.
+  const auto critical = CriticalClients(f.problem, f.a);
+  EXPECT_EQ(critical, (std::vector<ClientIndex>{1, 2}));
+}
+
+TEST(MetricsTest, MaxServerLoadCounts) {
+  const Fig2 f;
+  EXPECT_EQ(MaxServerLoad(f.problem, f.a), 2);
+}
+
+class MetricsPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetricsPropertyTest, FastMaxPathMatchesBruteForce) {
+  Rng rng(GetParam());
+  const Problem p = test::RandomProblem(20, 5, rng);
+  Rng arng(GetParam() + 1000);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Assignment a = RandomAssign(p, arng);
+    EXPECT_NEAR(MaxInteractionPathLength(p, a), test::BruteForceMaxPath(p, a),
+                1e-9);
+  }
+}
+
+TEST_P(MetricsPropertyTest, CriticalClientsExactlyTheLongestPathEndpoints) {
+  Rng rng(GetParam() + 77);
+  const Problem p = test::RandomProblem(15, 4, rng);
+  Rng arng(GetParam() + 2000);
+  const Assignment a = RandomAssign(p, arng);
+  const double max_len = MaxInteractionPathLength(p, a);
+  // Reference: endpoints of any pair attaining the maximum.
+  std::vector<bool> expected(static_cast<std::size_t>(p.num_clients()), false);
+  for (ClientIndex i = 0; i < p.num_clients(); ++i) {
+    for (ClientIndex j = i; j < p.num_clients(); ++j) {
+      if (InteractionPathLength(p, a, i, j) >= max_len - 1e-9) {
+        expected[static_cast<std::size_t>(i)] = true;
+        expected[static_cast<std::size_t>(j)] = true;
+      }
+    }
+  }
+  std::vector<ClientIndex> want;
+  for (ClientIndex c = 0; c < p.num_clients(); ++c) {
+    if (expected[static_cast<std::size_t>(c)]) want.push_back(c);
+  }
+  EXPECT_EQ(CriticalClients(p, a), want);
+}
+
+TEST_P(MetricsPropertyTest, MeanPathMatchesBruteForce) {
+  Rng rng(GetParam() + 333);
+  const Problem p = test::RandomProblem(18, 4, rng);
+  Rng arng(GetParam() + 444);
+  const Assignment a = RandomAssign(p, arng);
+  double sum = 0.0;
+  for (ClientIndex i = 0; i < p.num_clients(); ++i) {
+    for (ClientIndex j = 0; j < p.num_clients(); ++j) {
+      sum += InteractionPathLength(p, a, i, j);
+    }
+  }
+  const double expected = sum / (static_cast<double>(p.num_clients()) *
+                                 static_cast<double>(p.num_clients()));
+  EXPECT_NEAR(MeanInteractionPathLength(p, a), expected, 1e-9);
+}
+
+TEST(MetricsTest, MeanNeverExceedsMax) {
+  Rng rng(55);
+  const Problem p = test::RandomProblem(20, 5, rng);
+  Rng arng(56);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Assignment a = RandomAssign(p, arng);
+    EXPECT_LE(MeanInteractionPathLength(p, a),
+              MaxInteractionPathLength(p, a) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace diaca::core

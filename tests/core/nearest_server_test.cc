@@ -1,0 +1,140 @@
+#include "core/nearest_server.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/metrics.h"
+#include "net/metric_props.h"
+#include "../testutil.h"
+
+namespace diaca::core {
+namespace {
+
+TEST(NearestServerTest, PicksLowestLatencyServer) {
+  net::LatencyMatrix m(4);  // 0,1 servers; 2,3 clients
+  m.Set(0, 1, 10.0);
+  m.Set(0, 2, 5.0);
+  m.Set(1, 2, 3.0);
+  m.Set(0, 3, 2.0);
+  m.Set(1, 3, 9.0);
+  m.Set(2, 3, 1.0);
+  const Problem p(m, std::vector<net::NodeIndex>{0, 1},
+                  std::vector<net::NodeIndex>{2, 3});
+  const Assignment a = NearestServerAssign(p);
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(a[1], 0);
+  EXPECT_EQ(NearestServerOf(p, 0), 1);
+}
+
+TEST(NearestServerTest, TieGoesToLowerIndex) {
+  net::LatencyMatrix m(3);
+  m.Set(0, 1, 7.0);
+  m.Set(0, 2, 4.0);
+  m.Set(1, 2, 4.0);
+  const Problem p(m, std::vector<net::NodeIndex>{0, 1},
+                  std::vector<net::NodeIndex>{2});
+  EXPECT_EQ(NearestServerAssign(p)[0], 0);
+}
+
+TEST(NearestServerTest, Fig4TightnessExample) {
+  // Fig. 4: NSA reaches 3x the optimum as ε -> 0.
+  const double a = 10.0;
+  const double eps = 0.01;
+  // Nodes: 0=s1, 1=s, 2=s2, 3=c1, 4=c2. Distances per the figure, with
+  // remaining pairs set via the induced line topology.
+  net::LatencyMatrix m(5);
+  m.Set(0, 1, 2 * a - eps);   // s1 - s
+  m.Set(0, 2, 4 * a - 2 * eps);  // s1 - s2
+  m.Set(1, 2, 2 * a - eps);   // s - s2
+  m.Set(0, 3, a - eps);       // s1 - c1
+  m.Set(1, 3, a);             // s  - c1
+  m.Set(2, 3, 3 * a - eps);   // s2 - c1
+  m.Set(0, 4, 3 * a - eps);   // s1 - c2
+  m.Set(1, 4, a);             // s  - c2
+  m.Set(2, 4, a - eps);       // s2 - c2
+  m.Set(3, 4, 2 * a);         // c1 - c2
+  const Problem p(m, std::vector<net::NodeIndex>{0, 1, 2},
+                  std::vector<net::NodeIndex>{3, 4});
+  const Assignment nsa = NearestServerAssign(p);
+  EXPECT_EQ(nsa[0], 0);  // c1 -> s1 (a - eps < a)
+  EXPECT_EQ(nsa[1], 2);  // c2 -> s2
+  const double nsa_len = MaxInteractionPathLength(p, nsa);
+  EXPECT_NEAR(nsa_len, 6 * a - 4 * eps, 1e-9);
+  const double opt = test::BruteForceOptimal(p);
+  EXPECT_NEAR(opt, 2 * a, 1e-9);  // both clients on s
+  EXPECT_GT(nsa_len / opt, 2.9);
+  EXPECT_LE(nsa_len / opt, 3.0);
+}
+
+class NsaApproxTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NsaApproxTest, ThreeApproxOnMetricInstances) {
+  // Theorem 2 requires the triangle inequality; random matrices are run
+  // through the metric closure first.
+  Rng rng(GetParam());
+  const net::LatencyMatrix raw = test::RandomMatrix(9, rng);
+  const net::LatencyMatrix m = net::MetricClosure(raw);
+  const std::vector<net::NodeIndex> servers{0, 1, 2};
+  const Problem p = Problem::WithClientsEverywhere(m, servers);
+  const double nsa_len =
+      MaxInteractionPathLength(p, NearestServerAssign(p));
+  const double opt = test::BruteForceOptimal(p);
+  EXPECT_LE(nsa_len, 3.0 * opt + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NsaApproxTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12));
+
+TEST(NearestServerTest, CapacityForcesSpillToSecondNearest) {
+  net::LatencyMatrix m(4);  // 0,1 servers; 2,3 clients (both nearest to 0)
+  m.Set(0, 1, 10.0);
+  m.Set(0, 2, 1.0);
+  m.Set(1, 2, 5.0);
+  m.Set(0, 3, 2.0);
+  m.Set(1, 3, 6.0);
+  m.Set(2, 3, 1.0);
+  const Problem p(m, std::vector<net::NodeIndex>{0, 1},
+                  std::vector<net::NodeIndex>{2, 3});
+  AssignOptions options;
+  options.capacity = 1;
+  const Assignment a = NearestServerAssign(p, options);
+  EXPECT_EQ(a[0], 0);  // first client takes the nearest
+  EXPECT_EQ(a[1], 1);  // second spills to its second-nearest
+  EXPECT_LE(MaxServerLoad(p, a), 1);
+}
+
+TEST(NearestServerTest, InfeasibleCapacityThrows) {
+  Rng rng(5);
+  const Problem p = test::RandomProblem(10, 2, rng);
+  AssignOptions options;
+  options.capacity = 4;  // 2 servers * 4 < 10 clients
+  EXPECT_THROW(NearestServerAssign(p, options), Error);
+  options.capacity = 0;
+  EXPECT_THROW(NearestServerAssign(p, options), Error);
+}
+
+TEST(NearestServerTest, CapacityRespectedOnRandomInstances) {
+  Rng rng(6);
+  const Problem p = test::RandomProblem(30, 5, rng);
+  AssignOptions options;
+  options.capacity = 7;
+  const Assignment a = NearestServerAssign(p, options);
+  EXPECT_TRUE(a.IsComplete());
+  EXPECT_LE(MaxServerLoad(p, a), 7);
+}
+
+TEST(NearestServerTest, UncapacitatedMinimizesClientServerDistance) {
+  Rng rng(7);
+  const Problem p = test::RandomProblem(25, 6, rng);
+  const Assignment a = NearestServerAssign(p);
+  for (ClientIndex c = 0; c < p.num_clients(); ++c) {
+    for (ServerIndex s = 0; s < p.num_servers(); ++s) {
+      EXPECT_LE(p.cs(c, a[c]), p.cs(c, s) + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace diaca::core

@@ -1,0 +1,121 @@
+#include "core/problem.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "../testutil.h"
+
+namespace diaca::core {
+namespace {
+
+TEST(ProblemTest, ExtractsBlocksCorrectly) {
+  Rng rng(1);
+  const auto m = test::RandomMatrix(10, rng);
+  const std::vector<net::NodeIndex> servers{2, 5, 7};
+  const std::vector<net::NodeIndex> clients{0, 1, 3, 9};
+  const Problem p(m, servers, clients);
+  EXPECT_EQ(p.num_servers(), 3);
+  EXPECT_EQ(p.num_clients(), 4);
+  EXPECT_DOUBLE_EQ(p.cs(0, 0), m(0, 2));
+  EXPECT_DOUBLE_EQ(p.cs(3, 2), m(9, 7));
+  EXPECT_DOUBLE_EQ(p.ss(0, 1), m(2, 5));
+  EXPECT_DOUBLE_EQ(p.ss(2, 2), 0.0);
+  EXPECT_EQ(p.server_node(1), 5);
+  EXPECT_EQ(p.client_node(2), 3);
+}
+
+TEST(ProblemTest, RowAccessorsMatchElements) {
+  Rng rng(2);
+  const auto m = test::RandomMatrix(8, rng);
+  const std::vector<net::NodeIndex> servers{1, 4};
+  const std::vector<net::NodeIndex> clients{0, 2, 6};
+  const Problem p(m, servers, clients);
+  for (ClientIndex c = 0; c < p.num_clients(); ++c) {
+    const double* row = p.cs_row(c);
+    for (ServerIndex s = 0; s < p.num_servers(); ++s) {
+      EXPECT_DOUBLE_EQ(row[s], p.cs(c, s));
+    }
+  }
+  for (ServerIndex a = 0; a < p.num_servers(); ++a) {
+    const double* row = p.ss_row(a);
+    for (ServerIndex b = 0; b < p.num_servers(); ++b) {
+      EXPECT_DOUBLE_EQ(row[b], p.ss(a, b));
+    }
+  }
+}
+
+TEST(ProblemTest, NodeMayBeBothServerAndClient) {
+  Rng rng(3);
+  const auto m = test::RandomMatrix(5, rng);
+  const std::vector<net::NodeIndex> servers{0, 1};
+  const std::vector<net::NodeIndex> clients{0, 1, 2, 3, 4};
+  const Problem p(m, servers, clients);
+  // A colocated client-server pair has distance zero.
+  EXPECT_DOUBLE_EQ(p.cs(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(p.cs(1, 1), 0.0);
+  EXPECT_GT(p.cs(1, 0), 0.0);
+}
+
+TEST(ProblemTest, WithClientsEverywhere) {
+  Rng rng(4);
+  const auto m = test::RandomMatrix(6, rng);
+  const std::vector<net::NodeIndex> servers{2, 4};
+  const Problem p = Problem::WithClientsEverywhere(m, servers);
+  EXPECT_EQ(p.num_clients(), 6);
+  EXPECT_EQ(p.num_servers(), 2);
+  for (ClientIndex c = 0; c < 6; ++c) {
+    EXPECT_EQ(p.client_node(c), c);
+  }
+}
+
+TEST(ProblemTest, RejectsEmptyLists) {
+  Rng rng(5);
+  const auto m = test::RandomMatrix(4, rng);
+  const std::vector<net::NodeIndex> empty;
+  const std::vector<net::NodeIndex> some{0};
+  EXPECT_THROW(Problem(m, empty, some), Error);
+  EXPECT_THROW(Problem(m, some, empty), Error);
+}
+
+TEST(ProblemTest, RejectsDuplicatesAndOutOfRange) {
+  Rng rng(6);
+  const auto m = test::RandomMatrix(4, rng);
+  const std::vector<net::NodeIndex> dup{1, 1};
+  const std::vector<net::NodeIndex> oob{0, 7};
+  const std::vector<net::NodeIndex> ok{0, 1};
+  EXPECT_THROW(Problem(m, dup, ok), Error);
+  EXPECT_THROW(Problem(m, ok, dup), Error);
+  EXPECT_THROW(Problem(m, oob, ok), Error);
+  EXPECT_THROW(Problem(m, ok, oob), Error);
+}
+
+TEST(AssignmentTest, CompletenessAndEquality) {
+  Assignment a(3);
+  EXPECT_FALSE(a.IsComplete());
+  a[0] = 1;
+  a[1] = 0;
+  EXPECT_FALSE(a.IsComplete());
+  a[2] = 1;
+  EXPECT_TRUE(a.IsComplete());
+  Assignment b(3);
+  b[0] = 1;
+  b[1] = 0;
+  b[2] = 1;
+  EXPECT_EQ(a, b);
+  b[2] = 0;
+  EXPECT_NE(a, b);
+}
+
+TEST(AssignOptionsTest, CapacitatedFlag) {
+  AssignOptions unlimited;
+  EXPECT_FALSE(unlimited.capacitated());
+  AssignOptions capped;
+  capped.capacity = 10;
+  EXPECT_TRUE(capped.capacitated());
+}
+
+}  // namespace
+}  // namespace diaca::core

@@ -1,0 +1,113 @@
+#include "core/sync_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/greedy.h"
+#include "core/metrics.h"
+#include "core/nearest_server.h"
+#include "core/random_assign.h"
+#include "../testutil.h"
+
+namespace diaca::core {
+namespace {
+
+TEST(SyncScheduleTest, DeltaEqualsMaxInteractionPath) {
+  Rng rng(1);
+  const Problem p = test::RandomProblem(12, 3, rng);
+  const Assignment a = NearestServerAssign(p);
+  const SyncSchedule schedule = ComputeSyncSchedule(p, a);
+  EXPECT_DOUBLE_EQ(schedule.delta, MaxInteractionPathLength(p, a));
+  EXPECT_DOUBLE_EQ(InteractionTime(schedule), schedule.delta);
+}
+
+TEST(SyncScheduleTest, MinimalScheduleIsFeasible) {
+  Rng rng(2);
+  const Problem p = test::RandomProblem(15, 4, rng);
+  const Assignment a = GreedyAssign(p);
+  const SyncSchedule schedule = ComputeSyncSchedule(p, a);
+  const SyncFeasibility feas = CheckSyncSchedule(p, a, schedule);
+  EXPECT_TRUE(feas.feasible);
+  EXPECT_LE(feas.worst_operation_slack, 1e-9);
+  EXPECT_LE(feas.worst_update_slack, 1e-9);
+}
+
+TEST(SyncScheduleTest, ConstraintsAreTight) {
+  // The paper's offsets make some constraint bind exactly (the minimum
+  // achievable interaction time): worst slack must be 0, not negative.
+  Rng rng(3);
+  const Problem p = test::RandomProblem(12, 3, rng);
+  const Assignment a = NearestServerAssign(p);
+  const SyncSchedule schedule = ComputeSyncSchedule(p, a);
+  const SyncFeasibility feas = CheckSyncSchedule(p, a, schedule);
+  EXPECT_NEAR(feas.worst_operation_slack, 0.0, 1e-9);
+  EXPECT_NEAR(feas.worst_update_slack, 0.0, 1e-9);
+}
+
+TEST(SyncScheduleTest, SmallerDeltaInfeasible) {
+  // δ below D cannot satisfy both constraints (Theorem of §II-C).
+  Rng rng(4);
+  const Problem p = test::RandomProblem(12, 3, rng);
+  const Assignment a = NearestServerAssign(p);
+  SyncSchedule schedule = ComputeSyncSchedule(p, a);
+  schedule.delta *= 0.9;
+  const SyncFeasibility feas = CheckSyncSchedule(p, a, schedule);
+  EXPECT_FALSE(feas.feasible);
+}
+
+TEST(SyncScheduleTest, LargerDeltaStaysFeasibleWithRecomputedOffsets) {
+  Rng rng(5);
+  const Problem p = test::RandomProblem(12, 3, rng);
+  const Assignment a = NearestServerAssign(p);
+  SyncSchedule schedule = ComputeSyncSchedule(p, a);
+  // Add slack to delta and shift every server offset by the same amount:
+  // the offset formula is Δs,c = δ − max_ingress, so offsets grow with δ.
+  const double extra = 25.0;
+  schedule.delta += extra;
+  for (double& offset : schedule.server_offset) offset += extra;
+  const SyncFeasibility feas = CheckSyncSchedule(p, a, schedule);
+  EXPECT_TRUE(feas.feasible);
+}
+
+TEST(SyncScheduleTest, OffsetFormulaMatchesPaper) {
+  Rng rng(6);
+  const Problem p = test::RandomProblem(10, 3, rng);
+  const Assignment a = NearestServerAssign(p);
+  const SyncSchedule schedule = ComputeSyncSchedule(p, a);
+  const double max_path = MaxInteractionPathLength(p, a);
+  for (ServerIndex s = 0; s < p.num_servers(); ++s) {
+    double longest_ingress = 0.0;
+    for (ClientIndex c = 0; c < p.num_clients(); ++c) {
+      longest_ingress =
+          std::max(longest_ingress, p.cs(c, a[c]) + p.ss(a[c], s));
+    }
+    EXPECT_NEAR(schedule.server_offset[static_cast<std::size_t>(s)],
+                max_path - longest_ingress, 1e-9);
+  }
+}
+
+TEST(SyncScheduleTest, IncompleteAssignmentThrows) {
+  Rng rng(7);
+  const Problem p = test::RandomProblem(5, 2, rng);
+  Assignment partial(static_cast<std::size_t>(p.num_clients()));
+  EXPECT_THROW(ComputeSyncSchedule(p, partial), Error);
+}
+
+class SchedulePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulePropertyTest, FeasibleForRandomAssignments) {
+  Rng rng(GetParam());
+  const Problem p = test::RandomProblem(12, 4, rng);
+  Rng arng(GetParam() + 99);
+  const Assignment a = RandomAssign(p, arng);
+  const SyncSchedule schedule = ComputeSyncSchedule(p, a);
+  EXPECT_TRUE(CheckSyncSchedule(p, a, schedule).feasible);
+  EXPECT_DOUBLE_EQ(schedule.delta, MaxInteractionPathLength(p, a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace diaca::core

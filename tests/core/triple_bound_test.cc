@@ -1,0 +1,112 @@
+// Tests for the triple-enhanced lower bound (beyond the paper): validity
+// (never exceeds the optimum), dominance over the pairwise bound, and a
+// constructed instance where it is strictly tighter.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/lower_bound.h"
+#include "core/metrics.h"
+#include "../testutil.h"
+
+namespace diaca::core {
+namespace {
+
+TEST(TripleBoundTest, DetailedBoundReportsArgmaxPair) {
+  Rng rng(1);
+  const Problem p = test::RandomProblem(15, 4, rng);
+  const LowerBoundDetail detail = InteractivityLowerBoundDetailed(p);
+  EXPECT_DOUBLE_EQ(detail.value, InteractivityLowerBound(p));
+  // Recompute the pair's own bound and confirm it attains the maximum.
+  double pair_bound = std::numeric_limits<double>::infinity();
+  for (ServerIndex s = 0; s < p.num_servers(); ++s) {
+    for (ServerIndex t = 0; t < p.num_servers(); ++t) {
+      pair_bound = std::min(pair_bound, p.cs(detail.first, s) + p.ss(s, t) +
+                                            p.cs(detail.second, t));
+    }
+  }
+  EXPECT_NEAR(pair_bound, detail.value, 1e-9);
+}
+
+class TripleBoundPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TripleBoundPropertyTest, DominatesPairwiseBound) {
+  Rng rng(GetParam());
+  const Problem p = test::RandomProblem(20, 4, rng);
+  EXPECT_GE(TripleEnhancedLowerBound(p, 32, GetParam()),
+            InteractivityLowerBound(p) - 1e-12);
+}
+
+TEST_P(TripleBoundPropertyTest, NeverExceedsOptimum) {
+  Rng rng(GetParam() + 70);
+  const Problem p = test::RandomProblem(8, 3, rng);
+  const double lb3 = TripleEnhancedLowerBound(p, 64, GetParam());
+  EXPECT_LE(lb3, test::BruteForceOptimal(p) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TripleBoundPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(TripleBoundTest, StrictlyTighterOnConflictInstance) {
+  // Three clients, three "private" servers far apart plus no good shared
+  // one: pairwise bounds let each pair meet at the two private servers of
+  // its endpoints, but a triple cannot have each client commit to a server
+  // that is simultaneously good for both of its pairs.
+  //
+  // Geometry: clients c0,c1,c2 each 1ms from their private server
+  // s0,s1,s2; servers are mutually 10ms apart; a client is 11ms from a
+  // foreign server; clients are mutually 12ms apart (irrelevant).
+  net::LatencyMatrix m(6);  // 0,1,2 = servers; 3,4,5 = clients
+  for (net::NodeIndex i = 0; i < 3; ++i) {
+    for (net::NodeIndex j = i + 1; j < 3; ++j) m.Set(i, j, 10.0);
+  }
+  for (net::NodeIndex c = 3; c < 6; ++c) {
+    for (net::NodeIndex s = 0; s < 3; ++s) {
+      m.Set(s, c, (c - 3 == s) ? 1.0 : 11.0);
+    }
+  }
+  m.Set(3, 4, 12.0);
+  m.Set(3, 5, 12.0);
+  m.Set(4, 5, 12.0);
+  const Problem p(m, std::vector<net::NodeIndex>{0, 1, 2},
+                  std::vector<net::NodeIndex>{3, 4, 5});
+  const double lb2 = InteractivityLowerBound(p);
+  const double lb3 = TripleEnhancedLowerBound(p, 64, 1);
+  const double opt = test::BruteForceOptimal(p);
+  // Pairwise: every pair meets over its private servers: 1 + 10 + 1 = 12.
+  EXPECT_DOUBLE_EQ(lb2, 12.0);
+  EXPECT_GE(lb3, lb2);
+  EXPECT_LE(lb3, opt + 1e-9);
+  // Here the private-server assignment is feasible for the triple too, so
+  // the bounds coincide — now make one pair's meeting servers conflict by
+  // stretching s1-s2 only.
+  net::LatencyMatrix m2 = m;
+  m2.Set(1, 2, 30.0);
+  const Problem p2(m2, std::vector<net::NodeIndex>{0, 1, 2},
+                   std::vector<net::NodeIndex>{3, 4, 5});
+  const double lb2b = InteractivityLowerBound(p2);
+  const double lb3b = TripleEnhancedLowerBound(p2, 64, 1);
+  const double optb = test::BruteForceOptimal(p2);
+  EXPECT_GT(lb3b, lb2b + 1e-9);  // strictly tighter
+  EXPECT_LE(lb3b, optb + 1e-9);
+}
+
+TEST(TripleBoundTest, TwoClientInstanceFallsBack) {
+  Rng rng(2);
+  const net::LatencyMatrix m = test::RandomMatrix(5, rng);
+  const std::vector<net::NodeIndex> servers{0, 1, 2};
+  const std::vector<net::NodeIndex> clients{3, 4};
+  const Problem p(m, servers, clients);
+  EXPECT_DOUBLE_EQ(TripleEnhancedLowerBound(p, 16, 3),
+                   InteractivityLowerBound(p));
+}
+
+TEST(TripleBoundTest, ZeroSamplesEqualsPairwise) {
+  Rng rng(3);
+  const Problem p = test::RandomProblem(12, 3, rng);
+  EXPECT_DOUBLE_EQ(TripleEnhancedLowerBound(p, 0, 4),
+                   InteractivityLowerBound(p));
+}
+
+}  // namespace
+}  // namespace diaca::core

@@ -1,0 +1,105 @@
+#include "data/king.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "../testutil.h"
+
+namespace diaca::data {
+namespace {
+
+TEST(KingTest, NoFailuresKeepsAllNodes) {
+  Rng rng(1);
+  const auto truth = test::RandomMatrix(30, rng);
+  Rng measure_rng(2);
+  const KingResult result = SimulateKingMeasurement(
+      truth, {.failure_probability = 0.0, .noise_fraction = 0.0}, measure_rng);
+  EXPECT_EQ(result.kept_nodes.size(), 30u);
+  EXPECT_EQ(result.failed_pairs, 0u);
+  for (net::NodeIndex u = 0; u < 30; ++u) {
+    for (net::NodeIndex v = 0; v < 30; ++v) {
+      EXPECT_DOUBLE_EQ(result.matrix(u, v), truth(u, v));
+    }
+  }
+}
+
+TEST(KingTest, NoiseStaysProportional) {
+  Rng rng(3);
+  const auto truth = test::RandomMatrix(20, rng);
+  Rng measure_rng(4);
+  const KingResult result = SimulateKingMeasurement(
+      truth, {.failure_probability = 0.0, .noise_fraction = 0.05}, measure_rng);
+  for (net::NodeIndex u = 0; u < 20; ++u) {
+    for (net::NodeIndex v = u + 1; v < 20; ++v) {
+      EXPECT_NEAR(result.matrix(u, v) / truth(u, v), 1.0, 0.5);
+    }
+  }
+}
+
+TEST(KingTest, FailuresAreCleanedToCompleteMatrix) {
+  Rng rng(5);
+  const auto truth = test::RandomMatrix(60, rng);
+  Rng measure_rng(6);
+  const KingResult result = SimulateKingMeasurement(
+      truth, {.failure_probability = 0.15, .noise_fraction = 0.0}, measure_rng);
+  EXPECT_GT(result.failed_pairs, 0u);
+  EXPECT_LT(result.kept_nodes.size(), 60u);
+  EXPECT_GE(result.kept_nodes.size(), 2u);
+  EXPECT_TRUE(result.matrix.IsComplete());
+  result.matrix.Validate();
+  // Surviving entries match the ground truth (noise disabled).
+  for (std::size_t i = 0; i < result.kept_nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < result.kept_nodes.size(); ++j) {
+      EXPECT_DOUBLE_EQ(
+          result.matrix(static_cast<net::NodeIndex>(i),
+                        static_cast<net::NodeIndex>(j)),
+          truth(result.kept_nodes[i], result.kept_nodes[j]));
+    }
+  }
+}
+
+TEST(KingTest, KeptNodesSortedAndUnique) {
+  Rng rng(7);
+  const auto truth = test::RandomMatrix(40, rng);
+  Rng measure_rng(8);
+  const KingResult result = SimulateKingMeasurement(
+      truth, {.failure_probability = 0.2, .noise_fraction = 0.02}, measure_rng);
+  EXPECT_TRUE(std::is_sorted(result.kept_nodes.begin(), result.kept_nodes.end()));
+  EXPECT_EQ(std::adjacent_find(result.kept_nodes.begin(),
+                               result.kept_nodes.end()),
+            result.kept_nodes.end());
+}
+
+TEST(KingTest, MirrorsPaperAttritionShape) {
+  // Meridian: 2500 measured -> 1796 complete. A moderate failure rate must
+  // lose a substantial but not catastrophic share of nodes.
+  Rng rng(9);
+  const auto truth = test::RandomMatrix(120, rng);
+  Rng measure_rng(10);
+  const KingResult result = SimulateKingMeasurement(
+      truth, {.failure_probability = 0.05, .noise_fraction = 0.0}, measure_rng);
+  const double survival =
+      static_cast<double>(result.kept_nodes.size()) / 120.0;
+  EXPECT_GT(survival, 0.3);
+  EXPECT_LT(survival, 1.0);
+}
+
+TEST(KingTest, RejectsInvalidParams) {
+  Rng rng(11);
+  const auto truth = test::RandomMatrix(5, rng);
+  Rng measure_rng(12);
+  EXPECT_THROW(SimulateKingMeasurement(
+                   truth, {.failure_probability = 1.0, .noise_fraction = 0.0},
+                   measure_rng),
+               Error);
+  EXPECT_THROW(SimulateKingMeasurement(
+                   truth, {.failure_probability = -0.1, .noise_fraction = 0.0},
+                   measure_rng),
+               Error);
+}
+
+}  // namespace
+}  // namespace diaca::data

@@ -1,0 +1,118 @@
+#include "data/loader.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "../testutil.h"
+
+namespace diaca::data {
+namespace {
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("diaca_loader_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  void WriteFile(const std::string& name, const std::string& content) const {
+    std::ofstream out(Path(name));
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(LoaderTest, DenseRoundTrip) {
+  Rng rng(1);
+  const auto m = test::RandomMatrix(12, rng);
+  SaveDenseMatrix(m, Path("m.txt"));
+  const auto loaded = LoadDenseMatrix(Path("m.txt"));
+  ASSERT_EQ(loaded.size(), m.size());
+  for (net::NodeIndex u = 0; u < m.size(); ++u) {
+    for (net::NodeIndex v = 0; v < m.size(); ++v) {
+      EXPECT_NEAR(loaded(u, v), m(u, v), 1e-6);
+    }
+  }
+}
+
+TEST_F(LoaderTest, DenseAsymmetricIsAveraged) {
+  WriteFile("asym.txt", "2\n0 10\n20 0\n");
+  const auto m = LoadDenseMatrix(Path("asym.txt"));
+  EXPECT_DOUBLE_EQ(m(0, 1), 15.0);
+}
+
+TEST_F(LoaderTest, DenseRejectsMissingEntries) {
+  WriteFile("short.txt", "2\n0 10 10\n");
+  EXPECT_THROW(LoadDenseMatrix(Path("short.txt")), Error);
+}
+
+TEST_F(LoaderTest, DenseRejectsNonZeroDiagonal) {
+  WriteFile("diag.txt", "2\n5 10\n10 0\n");
+  EXPECT_THROW(LoadDenseMatrix(Path("diag.txt")), Error);
+}
+
+TEST_F(LoaderTest, DenseRejectsNonPositiveOffDiagonal) {
+  WriteFile("neg.txt", "2\n0 -1\n-1 0\n");
+  EXPECT_THROW(LoadDenseMatrix(Path("neg.txt")), Error);
+}
+
+TEST_F(LoaderTest, DenseRejectsBadNodeCount) {
+  WriteFile("count.txt", "1\n0\n");
+  EXPECT_THROW(LoadDenseMatrix(Path("count.txt")), Error);
+}
+
+TEST_F(LoaderTest, MissingFileThrows) {
+  EXPECT_THROW(LoadDenseMatrix(Path("nope.txt")), Error);
+  EXPECT_THROW(LoadTriplesMatrix(Path("nope.txt")), Error);
+}
+
+TEST_F(LoaderTest, TriplesBasic) {
+  WriteFile("t.txt", "0 1 10\n0 2 20\n1 2 30\n");
+  const auto m = LoadTriplesMatrix(Path("t.txt"));
+  EXPECT_EQ(m.size(), 3);
+  EXPECT_DOUBLE_EQ(m(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(m(2, 1), 30.0);
+}
+
+TEST_F(LoaderTest, TriplesBothDirectionsAveraged) {
+  WriteFile("t2.txt", "0 1 10\n1 0 30\n");
+  const auto m = LoadTriplesMatrix(Path("t2.txt"));
+  EXPECT_DOUBLE_EQ(m(0, 1), 20.0);
+}
+
+TEST_F(LoaderTest, TriplesMissingPairThrows) {
+  WriteFile("t3.txt", "0 1 10\n0 2 20\n");  // pair (1,2) absent
+  EXPECT_THROW(LoadTriplesMatrix(Path("t3.txt")), Error);
+}
+
+TEST_F(LoaderTest, TriplesRejectsSelfPair) {
+  WriteFile("t4.txt", "0 0 10\n");
+  EXPECT_THROW(LoadTriplesMatrix(Path("t4.txt")), Error);
+}
+
+TEST_F(LoaderTest, TriplesRejectsNonPositiveLatency) {
+  WriteFile("t5.txt", "0 1 0\n");
+  EXPECT_THROW(LoadTriplesMatrix(Path("t5.txt")), Error);
+}
+
+TEST_F(LoaderTest, SaveToUnwritablePathThrows) {
+  Rng rng(1);
+  const auto m = test::RandomMatrix(3, rng);
+  EXPECT_THROW(SaveDenseMatrix(m, (dir_ / "no_dir" / "m.txt").string()), Error);
+}
+
+}  // namespace
+}  // namespace diaca::data

@@ -1,0 +1,110 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "net/metric_props.h"
+
+namespace diaca::data {
+namespace {
+
+SyntheticParams TinyParams() {
+  SyntheticParams p;
+  p.num_nodes = 60;
+  p.num_clusters = 4;
+  return p;
+}
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  const auto a = GenerateSyntheticInternet(TinyParams(), 42);
+  const auto b = GenerateSyntheticInternet(TinyParams(), 42);
+  for (net::NodeIndex u = 0; u < a.size(); ++u) {
+    for (net::NodeIndex v = 0; v < a.size(); ++v) {
+      EXPECT_DOUBLE_EQ(a(u, v), b(u, v));
+    }
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  const auto a = GenerateSyntheticInternet(TinyParams(), 1);
+  const auto b = GenerateSyntheticInternet(TinyParams(), 2);
+  EXPECT_NE(a(0, 1), b(0, 1));
+}
+
+TEST(SyntheticTest, CompleteSymmetricPositive) {
+  const auto m = GenerateSyntheticInternet(TinyParams(), 7);
+  EXPECT_EQ(m.size(), 60);
+  EXPECT_TRUE(m.IsComplete());
+  m.Validate();  // symmetry + zero diagonal
+}
+
+TEST(SyntheticTest, RespectsLatencyFloor) {
+  SyntheticParams p = TinyParams();
+  p.min_latency_ms = 5.0;
+  p.cluster_spread_ms = 0.01;  // force tiny intra-cluster distances
+  p.access_mu = -5.0;          // negligible access delay
+  const auto m = GenerateSyntheticInternet(p, 3);
+  for (net::NodeIndex u = 0; u < m.size(); ++u) {
+    for (net::NodeIndex v = u + 1; v < m.size(); ++v) {
+      EXPECT_GE(m(u, v), 5.0);
+    }
+  }
+}
+
+TEST(SyntheticTest, HasTriangleViolationsLikeInternetData) {
+  // The paper's footnote relies on real latency data violating the
+  // triangle inequality; the generator must reproduce that.
+  SyntheticParams p;
+  p.num_nodes = 120;
+  p.num_clusters = 8;
+  const auto m = GenerateSyntheticInternet(p, 11);
+  const auto stats = net::MeasureTriangleViolations(m, 120);
+  EXPECT_GT(stats.violation_rate(), 0.001);
+  EXPECT_LT(stats.violation_rate(), 0.35);
+}
+
+TEST(SyntheticTest, NoNoiseNoAccessIsNearMetric) {
+  SyntheticParams p = TinyParams();
+  p.noise_sigma = 0.0;
+  p.bad_node_fraction = 0.0;
+  p.access_mu = -20.0;  // access delay ~ 0: pure Euclidean embedding
+  p.access_sigma = 0.01;
+  const auto m = GenerateSyntheticInternet(p, 5);
+  const auto stats = net::MeasureTriangleViolations(m, 60);
+  EXPECT_EQ(stats.violations, 0u);
+}
+
+TEST(SyntheticTest, ClusteringMakesNearAndFarPairs) {
+  const auto m = GenerateSyntheticInternet(SyntheticParams::MitLike(), 13);
+  double lo = m.MaxEntry();
+  for (net::NodeIndex u = 0; u < 50; ++u) {
+    for (net::NodeIndex v = u + 1; v < 50; ++v) {
+      lo = std::min(lo, m(u, v));
+    }
+  }
+  // Intercontinental vs metro spread of at least one order of magnitude.
+  EXPECT_GT(m.MaxEntry() / lo, 10.0);
+}
+
+TEST(SyntheticTest, PresetSizesMatchPaper) {
+  EXPECT_EQ(SyntheticParams::MeridianLike().num_nodes, 1796);
+  EXPECT_EQ(SyntheticParams::MitLike().num_nodes, 1024);
+}
+
+TEST(SyntheticTest, NamedDatasets) {
+  const auto small = MakeNamedDataset("small", 1);
+  EXPECT_EQ(small.size(), 300);
+  EXPECT_THROW(MakeNamedDataset("bogus", 1), Error);
+}
+
+TEST(SyntheticTest, RejectsBadParams) {
+  SyntheticParams p = TinyParams();
+  p.num_nodes = 1;
+  EXPECT_THROW(GenerateSyntheticInternet(p, 1), Error);
+  p = TinyParams();
+  p.num_clusters = 0;
+  EXPECT_THROW(GenerateSyntheticInternet(p, 1), Error);
+}
+
+}  // namespace
+}  // namespace diaca::data

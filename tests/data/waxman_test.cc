@@ -1,0 +1,100 @@
+#include "data/waxman.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "data/synthetic.h"
+#include "net/metric_props.h"
+
+namespace diaca::data {
+namespace {
+
+WaxmanParams TinyParams() {
+  WaxmanParams p;
+  p.num_nodes = 60;
+  return p;
+}
+
+TEST(WaxmanTest, TopologyConnectedAndSparse) {
+  const net::Graph g = GenerateWaxmanTopology(TinyParams(), 1);
+  EXPECT_TRUE(g.IsConnected());
+  // Router-level graphs are sparse: far below the complete n(n-1)/2.
+  const std::size_t complete = 60u * 59u / 2u;
+  EXPECT_LT(g.num_edges(), complete / 3);
+  EXPECT_GE(g.num_edges(), 59u);  // at least a spanning structure
+}
+
+TEST(WaxmanTest, MatrixIsCompleteAndValid) {
+  const net::LatencyMatrix m = GenerateWaxmanMatrix(TinyParams(), 2);
+  EXPECT_EQ(m.size(), 60);
+  EXPECT_TRUE(m.IsComplete());
+  m.Validate();
+}
+
+TEST(WaxmanTest, ShortestPathMatrixIsMetric) {
+  // Shortest-path routing cannot violate the triangle inequality — the
+  // property this substrate exists to isolate.
+  const net::LatencyMatrix m = GenerateWaxmanMatrix(TinyParams(), 3);
+  EXPECT_TRUE(net::IsMetric(m));
+}
+
+TEST(WaxmanTest, DeterministicInSeed) {
+  const net::LatencyMatrix a = GenerateWaxmanMatrix(TinyParams(), 4);
+  const net::LatencyMatrix b = GenerateWaxmanMatrix(TinyParams(), 4);
+  for (net::NodeIndex u = 0; u < a.size(); ++u) {
+    for (net::NodeIndex v = 0; v < a.size(); ++v) {
+      EXPECT_DOUBLE_EQ(a(u, v), b(u, v));
+    }
+  }
+  const net::LatencyMatrix c = GenerateWaxmanMatrix(TinyParams(), 5);
+  EXPECT_NE(a(0, 1), c(0, 1));
+}
+
+TEST(WaxmanTest, MoreAlphaMeansMoreEdges) {
+  WaxmanParams dense = TinyParams();
+  dense.alpha = 0.5;
+  WaxmanParams sparse = TinyParams();
+  sparse.alpha = 0.05;
+  EXPECT_GT(GenerateWaxmanTopology(dense, 6).num_edges(),
+            GenerateWaxmanTopology(sparse, 6).num_edges());
+}
+
+TEST(WaxmanTest, HopCostPenalizesMultiHopPaths) {
+  WaxmanParams cheap = TinyParams();
+  cheap.hop_cost_ms = 0.0;
+  WaxmanParams costly = TinyParams();
+  costly.hop_cost_ms = 5.0;
+  const net::LatencyMatrix a = GenerateWaxmanMatrix(cheap, 7);
+  const net::LatencyMatrix b = GenerateWaxmanMatrix(costly, 7);
+  // Same topology (same seed & probabilities), higher per-hop cost.
+  double sum_a = 0.0;
+  double sum_b = 0.0;
+  for (net::NodeIndex u = 0; u < a.size(); ++u) {
+    for (net::NodeIndex v = u + 1; v < a.size(); ++v) {
+      sum_a += a(u, v);
+      sum_b += b(u, v);
+    }
+  }
+  EXPECT_GT(sum_b, sum_a);
+}
+
+TEST(WaxmanTest, NamedDatasetResolves) {
+  const net::LatencyMatrix m = MakeNamedDataset("waxman", 1);
+  EXPECT_EQ(m.size(), 600);
+  EXPECT_TRUE(m.IsComplete());
+}
+
+TEST(WaxmanTest, RejectsBadParams) {
+  WaxmanParams p = TinyParams();
+  p.alpha = 0.0;
+  EXPECT_THROW(GenerateWaxmanTopology(p, 1), Error);
+  p = TinyParams();
+  p.num_nodes = 1;
+  EXPECT_THROW(GenerateWaxmanTopology(p, 1), Error);
+  p = TinyParams();
+  p.beta = 1.5;
+  EXPECT_THROW(GenerateWaxmanTopology(p, 1), Error);
+}
+
+}  // namespace
+}  // namespace diaca::data

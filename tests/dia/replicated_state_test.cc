@@ -1,0 +1,126 @@
+#include "dia/replicated_state.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace diaca::dia {
+namespace {
+
+Operation Op(OpId id, EntityId entity, double velocity, double issue = 0.0) {
+  Operation op;
+  op.id = id;
+  op.entity = entity;
+  op.new_velocity = velocity;
+  op.issue_simtime = issue;
+  return op;
+}
+
+TEST(ReplicatedStateTest, InitialStateAtOrigin) {
+  ReplicatedState state(3);
+  EXPECT_DOUBLE_EQ(state.PositionAt(0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(state.PositionAt(2, 1e6), 0.0);
+}
+
+TEST(ReplicatedStateTest, LinearMotionAfterOp) {
+  ReplicatedState state(1);
+  state.InsertOp(Op(1, 0, 2.0), 10.0);
+  EXPECT_DOUBLE_EQ(state.PositionAt(0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(state.PositionAt(0, 15.0), 10.0);  // 5 ms at v=2
+  EXPECT_DOUBLE_EQ(state.PositionAt(0, 5.0), 0.0);    // before exec
+}
+
+TEST(ReplicatedStateTest, VelocityChangesCompose) {
+  ReplicatedState state(1);
+  state.InsertOp(Op(1, 0, 1.0), 0.0);
+  state.InsertOp(Op(2, 0, -2.0), 10.0);
+  // 10 ms at v=1 then 5 ms at v=-2: 10 - 10 = 0.
+  EXPECT_DOUBLE_EQ(state.PositionAt(0, 15.0), 0.0);
+}
+
+TEST(ReplicatedStateTest, EntitiesAreIndependent) {
+  ReplicatedState state(2);
+  state.InsertOp(Op(1, 0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(state.PositionAt(0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(state.PositionAt(1, 10.0), 0.0);
+}
+
+TEST(ReplicatedStateTest, OutOfOrderInsertSameResult) {
+  // State depends on the log contents, not insertion order (timewarp).
+  ReplicatedState in_order(1);
+  in_order.InsertOp(Op(1, 0, 1.0), 0.0);
+  in_order.InsertOp(Op(2, 0, 3.0), 10.0);
+  ReplicatedState reversed(1);
+  reversed.InsertOp(Op(2, 0, 3.0), 10.0);
+  reversed.InsertOp(Op(1, 0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(in_order.PositionAt(0, 20.0), reversed.PositionAt(0, 20.0));
+  EXPECT_EQ(in_order.Checksum(20.0), reversed.Checksum(20.0));
+}
+
+TEST(ReplicatedStateTest, SameSimtimeOrderedByOpId) {
+  ReplicatedState a(1);
+  a.InsertOp(Op(1, 0, 5.0), 10.0);
+  a.InsertOp(Op(2, 0, 7.0), 10.0);
+  ReplicatedState b(1);
+  b.InsertOp(Op(2, 0, 7.0), 10.0);
+  b.InsertOp(Op(1, 0, 5.0), 10.0);
+  // Both logs execute op 1 then op 2 at simtime 10 -> final velocity 7.
+  EXPECT_DOUBLE_EQ(a.PositionAt(0, 11.0), 7.0);
+  EXPECT_DOUBLE_EQ(b.PositionAt(0, 11.0), 7.0);
+  EXPECT_EQ(a.Checksum(11.0), b.Checksum(11.0));
+}
+
+TEST(ReplicatedStateTest, WatermarkDetectsHistoryRewrite) {
+  ReplicatedState state(1);
+  state.InsertOp(Op(1, 0, 1.0), 0.0);
+  state.AdvanceWatermark(20.0);
+  EXPECT_EQ(state.artifacts(), 0u);
+  // Late op executing at simtime 10 < watermark 20: timewarp artifact.
+  EXPECT_TRUE(state.InsertOp(Op(2, 0, -1.0), 10.0));
+  EXPECT_EQ(state.artifacts(), 1u);
+  // The repaired history is applied: 10 ms at +1, then -1.
+  EXPECT_DOUBLE_EQ(state.PositionAt(0, 20.0), 0.0);
+}
+
+TEST(ReplicatedStateTest, OnTimeInsertIsNotArtifact) {
+  ReplicatedState state(1);
+  state.AdvanceWatermark(5.0);
+  EXPECT_FALSE(state.InsertOp(Op(1, 0, 1.0), 10.0));
+  EXPECT_EQ(state.artifacts(), 0u);
+}
+
+TEST(ReplicatedStateTest, WatermarkNeverMovesBackwards) {
+  ReplicatedState state(1);
+  state.AdvanceWatermark(10.0);
+  state.AdvanceWatermark(5.0);
+  EXPECT_DOUBLE_EQ(state.watermark(), 10.0);
+}
+
+TEST(ReplicatedStateTest, ChecksumDiffersForDifferentStates) {
+  ReplicatedState a(1);
+  a.InsertOp(Op(1, 0, 1.0), 0.0);
+  ReplicatedState b(1);
+  b.InsertOp(Op(1, 0, 2.0), 0.0);
+  EXPECT_NE(a.Checksum(10.0), b.Checksum(10.0));
+}
+
+TEST(ReplicatedStateTest, ChecksumEqualBeforeDivergencePoint) {
+  ReplicatedState a(1);
+  a.InsertOp(Op(1, 0, 1.0), 0.0);
+  ReplicatedState b(1);
+  b.InsertOp(Op(1, 0, 1.0), 0.0);
+  b.InsertOp(Op(2, 0, 9.0), 50.0);
+  // At simtime 40 the extra future op has not executed yet.
+  EXPECT_EQ(a.Checksum(40.0), b.Checksum(40.0));
+  EXPECT_NE(a.Checksum(60.0), b.Checksum(60.0));
+}
+
+TEST(ReplicatedStateTest, RejectsBadEntity) {
+  ReplicatedState state(2);
+  EXPECT_THROW(state.InsertOp(Op(1, 5, 1.0), 0.0), Error);
+  EXPECT_THROW(state.PositionAt(-1, 0.0), Error);
+  EXPECT_THROW(ReplicatedState(0), Error);
+}
+
+}  // namespace
+}  // namespace diaca::dia

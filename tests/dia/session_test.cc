@@ -1,0 +1,215 @@
+// Behavioral validation of §II-C: running the replicated application with
+// the computed synchronization schedule must (a) violate neither
+// constraint, (b) keep all replicas consistent, (c) execute fairly, and
+// (d) make every measured interaction time equal the analytic minimum D.
+#include "dia/session.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/greedy.h"
+#include "core/metrics.h"
+#include "core/nearest_server.h"
+#include "../testutil.h"
+
+namespace diaca::dia {
+namespace {
+
+struct Fixture {
+  net::LatencyMatrix matrix;
+  core::Problem problem;
+  core::Assignment assignment;
+  core::SyncSchedule schedule;
+
+  explicit Fixture(std::uint64_t seed, std::int32_t nodes = 12,
+                   std::int32_t servers = 3)
+      : matrix(MakeMatrix(seed, nodes)),
+        problem(MakeProblem(matrix, servers)),
+        assignment(core::GreedyAssign(problem)),
+        schedule(core::ComputeSyncSchedule(problem, assignment)) {}
+
+  static net::LatencyMatrix MakeMatrix(std::uint64_t seed, std::int32_t nodes) {
+    Rng rng(seed);
+    return test::RandomMatrix(nodes, rng, 5.0, 60.0);
+  }
+  static core::Problem MakeProblem(const net::LatencyMatrix& m,
+                                   std::int32_t servers) {
+    std::vector<net::NodeIndex> server_nodes(
+        static_cast<std::size_t>(servers));
+    std::iota(server_nodes.begin(), server_nodes.end(), 0);
+    return core::Problem::WithClientsEverywhere(m, server_nodes);
+  }
+
+  SessionParams Params() const {
+    SessionParams params;
+    params.workload.duration_ms = 3000.0;
+    params.workload.ops_per_second = 1.0;
+    params.seed = 99;
+    return params;
+  }
+};
+
+TEST(SessionTest, MinimalScheduleRunsClean) {
+  const Fixture f(1);
+  const DiaSession session(f.matrix, f.problem, f.assignment, f.schedule,
+                           f.Params());
+  const SessionReport report = session.Run();
+  EXPECT_GT(report.ops_issued, 0u);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.late_server_executions, 0u);
+  EXPECT_EQ(report.late_client_presentations, 0u);
+  EXPECT_EQ(report.server_artifacts, 0u);
+  EXPECT_EQ(report.client_artifacts, 0u);
+  EXPECT_EQ(report.fairness_violations, 0u);
+  EXPECT_GT(report.consistency_samples, 0u);
+  EXPECT_EQ(report.consistency_mismatches, 0u);
+}
+
+TEST(SessionTest, EveryInteractionTimeEqualsD) {
+  // §II-C: with synchronized clients all pairwise interaction times equal
+  // D exactly — not just on average.
+  const Fixture f(2);
+  const double max_path =
+      core::MaxInteractionPathLength(f.problem, f.assignment);
+  const DiaSession session(f.matrix, f.problem, f.assignment, f.schedule,
+                           f.Params());
+  const SessionReport report = session.Run();
+  EXPECT_DOUBLE_EQ(report.delta, max_path);
+  ASSERT_GT(report.interaction_time.count(), 0u);
+  EXPECT_NEAR(report.interaction_time.min(), max_path, 1e-6);
+  EXPECT_NEAR(report.interaction_time.max(), max_path, 1e-6);
+  EXPECT_NEAR(report.interaction_time.mean(), max_path, 1e-6);
+}
+
+TEST(SessionTest, ObserverCountMatchesClientFanout) {
+  // Every op is observed by every client (including the issuer).
+  const Fixture f(3, /*nodes=*/8, /*servers=*/2);
+  const DiaSession session(f.matrix, f.problem, f.assignment, f.schedule,
+                           f.Params());
+  const SessionReport report = session.Run();
+  EXPECT_EQ(report.interaction_time.count(),
+            report.ops_issued * static_cast<std::uint64_t>(
+                                    f.problem.num_clients()));
+}
+
+TEST(SessionTest, DeltaBelowMinimumViolatesConstraints) {
+  // The theory says δ = D is minimal: shrinking δ (offsets rescaled per
+  // the same formula) must produce late executions or late presentations.
+  const Fixture f(4);
+  core::SyncSchedule squeezed = f.schedule;
+  const double cut = 0.8;
+  const double reduction = squeezed.delta * (1.0 - cut);
+  squeezed.delta *= cut;
+  for (double& offset : squeezed.server_offset) offset -= reduction;
+  const DiaSession session(f.matrix, f.problem, f.assignment, squeezed,
+                           f.Params());
+  const SessionReport report = session.Run();
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(SessionTest, GenerousDeltaAlsoClean) {
+  // δ above D with consistently shifted offsets stays feasible (larger
+  // interaction time, same guarantees).
+  const Fixture f(5);
+  core::SyncSchedule generous = f.schedule;
+  generous.delta += 50.0;
+  for (double& offset : generous.server_offset) offset += 50.0;
+  const DiaSession session(f.matrix, f.problem, f.assignment, generous,
+                           f.Params());
+  const SessionReport report = session.Run();
+  EXPECT_TRUE(report.clean());
+  EXPECT_NEAR(report.interaction_time.max(), generous.delta, 1e-6);
+}
+
+TEST(SessionTest, JitterCausesArtifactsWhenPlanningAtBase) {
+  // Planning with the base matrix under jitter must mis-schedule some
+  // messages (§II-E), producing violations/artifacts.
+  const Fixture f(6);
+  const net::JitterModel jitter(f.matrix, {.spread = 0.6, .sigma = 1.0});
+  const DiaSession session(f.matrix, f.problem, f.assignment, f.schedule,
+                           f.Params());
+  const SessionReport report = session.Run(&jitter);
+  EXPECT_GT(report.late_server_executions + report.late_client_presentations,
+            0u);
+}
+
+TEST(SessionTest, HighPercentilePlanningSuppressesArtifacts) {
+  // Planning with the 99.9th percentile matrix under the same jitter keeps
+  // the violation rate very low — the paper's trade-off knob.
+  const Fixture f(7);
+  const net::JitterModel jitter(f.matrix, {.spread = 0.3, .sigma = 0.8});
+  const net::LatencyMatrix planning = jitter.PercentileMatrix(99.9);
+  const core::Problem planned_problem = core::Problem::WithClientsEverywhere(
+      planning, f.problem.server_nodes());
+  const core::Assignment assignment = core::GreedyAssign(planned_problem);
+  const core::SyncSchedule schedule =
+      core::ComputeSyncSchedule(planned_problem, assignment);
+  const DiaSession session(f.matrix, planned_problem, assignment, schedule,
+                           f.Params());
+  const SessionReport report = session.Run(&jitter);
+  const double total_deliveries =
+      static_cast<double>(report.ops_issued) *
+      static_cast<double>(planned_problem.num_clients());
+  EXPECT_LT(static_cast<double>(report.late_client_presentations) /
+                total_deliveries,
+            0.02);
+}
+
+TEST(SessionTest, SingleServerDegenerateCase) {
+  const Fixture f(8, /*nodes=*/6, /*servers=*/1);
+  const DiaSession session(f.matrix, f.problem, f.assignment, f.schedule,
+                           f.Params());
+  const SessionReport report = session.Run();
+  EXPECT_TRUE(report.clean());
+}
+
+TEST(SessionTest, MessageAccountingMatchesTopology) {
+  // Per op: 1 client->home + (|S|-1) forwards + per-server client fanout =
+  // |C| updates. Plus no other traffic in the no-jitter run.
+  const Fixture f(9, /*nodes=*/10, /*servers=*/3);
+  const DiaSession session(f.matrix, f.problem, f.assignment, f.schedule,
+                           f.Params());
+  const SessionReport report = session.Run();
+  const std::uint64_t per_op =
+      1 + static_cast<std::uint64_t>(f.problem.num_servers()) - 1 +
+      static_cast<std::uint64_t>(f.problem.num_clients());
+  EXPECT_EQ(report.messages_sent, report.ops_issued * per_op);
+}
+
+TEST(SessionTest, DeterministicAcrossRuns) {
+  const Fixture f(10);
+  const DiaSession session(f.matrix, f.problem, f.assignment, f.schedule,
+                           f.Params());
+  const SessionReport a = session.Run();
+  const SessionReport b = session.Run();
+  EXPECT_EQ(a.ops_issued, b.ops_issued);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_DOUBLE_EQ(a.interaction_time.mean(), b.interaction_time.mean());
+}
+
+class SessionPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SessionPropertyTest, CleanAndExactForAnyAssignmentAlgorithm) {
+  Rng rng(GetParam());
+  const net::LatencyMatrix matrix = test::RandomMatrix(10, rng, 5.0, 80.0);
+  std::vector<net::NodeIndex> servers{0, 1, 2};
+  const core::Problem problem =
+      core::Problem::WithClientsEverywhere(matrix, servers);
+  const core::Assignment assignment = core::NearestServerAssign(problem);
+  const core::SyncSchedule schedule =
+      core::ComputeSyncSchedule(problem, assignment);
+  SessionParams params;
+  params.workload.duration_ms = 1500.0;
+  params.seed = GetParam() * 31;
+  const DiaSession session(matrix, problem, assignment, schedule, params);
+  const SessionReport report = session.Run();
+  EXPECT_TRUE(report.clean());
+  EXPECT_NEAR(report.interaction_time.max(),
+              core::MaxInteractionPathLength(problem, assignment), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace diaca::dia

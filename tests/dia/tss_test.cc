@@ -1,0 +1,98 @@
+#include "dia/tss.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace diaca::dia {
+namespace {
+
+Operation Op(OpId id, double velocity) {
+  Operation op;
+  op.id = id;
+  op.entity = 0;
+  op.new_velocity = velocity;
+  return op;
+}
+
+TEST(TssTest, OnTimeOpsExecuteNormally) {
+  TssReplica replica(1, {100.0});
+  EXPECT_TRUE(replica.OnOperation(Op(1, 2.0), 10.0, 5.0));
+  EXPECT_EQ(replica.stats().on_time_ops, 1u);
+  EXPECT_EQ(replica.state().artifacts(), 0u);
+  EXPECT_DOUBLE_EQ(replica.state().PositionAt(0, 15.0), 10.0);
+}
+
+TEST(TssTest, LateOpAbsorbedByFirstCoveringLag) {
+  TssReplica replica(1, {50.0, 200.0});
+  replica.AdvanceTo(100.0);
+  // Lateness 30 <= 50: absorbed by the first trailing state.
+  EXPECT_TRUE(replica.OnOperation(Op(1, 1.0), 70.0, 100.0));
+  EXPECT_EQ(replica.stats().absorbed_per_lag[0], 1u);
+  EXPECT_EQ(replica.stats().absorbed_per_lag[1], 0u);
+  // Lateness 120 needs the second trailing state.
+  EXPECT_TRUE(replica.OnOperation(Op(2, -1.0), 30.0, 150.0));
+  EXPECT_EQ(replica.stats().absorbed_per_lag[1], 1u);
+  EXPECT_EQ(replica.state().artifacts(), 2u);
+}
+
+TEST(TssTest, LatenessBeyondWindowDropsOp) {
+  TssReplica replica(1, {50.0});
+  EXPECT_FALSE(replica.OnOperation(Op(1, 1.0), 0.0, 100.0));
+  EXPECT_EQ(replica.stats().dropped_ops, 1u);
+  // The state never saw the op.
+  EXPECT_EQ(replica.state().num_ops(), 0u);
+  EXPECT_DOUBLE_EQ(replica.state().PositionAt(0, 200.0), 0.0);
+}
+
+TEST(TssTest, NoTrailingStatesDropEveryLateOp) {
+  TssReplica replica(1, {});
+  EXPECT_TRUE(replica.OnOperation(Op(1, 1.0), 10.0, 5.0));
+  EXPECT_FALSE(replica.OnOperation(Op(2, 1.0), 10.0, 20.0));
+  EXPECT_EQ(replica.stats().dropped_ops, 1u);
+}
+
+TEST(TssTest, InfiniteLagAbsorbsEverything) {
+  TssReplica replica(1, {std::numeric_limits<double>::infinity()});
+  EXPECT_TRUE(replica.OnOperation(Op(1, 1.0), 0.0, 1e9));
+  EXPECT_EQ(replica.stats().dropped_ops, 0u);
+  EXPECT_EQ(replica.stats().absorbed_per_lag[0], 1u);
+}
+
+TEST(TssTest, ReexecutionCostCountsWindowOps) {
+  TssReplica replica(1, {1000.0});
+  // Three on-time ops at simtimes 10, 20, 30.
+  replica.OnOperation(Op(1, 1.0), 10.0, 10.0);
+  replica.OnOperation(Op(2, 2.0), 20.0, 20.0);
+  replica.OnOperation(Op(3, 3.0), 30.0, 30.0);
+  // Late op executing at 15 arriving at 35: ops at 20 and 30 replay.
+  EXPECT_TRUE(replica.OnOperation(Op(4, 9.0), 15.0, 35.0));
+  EXPECT_EQ(replica.stats().reexecuted_ops, 2u);
+  EXPECT_DOUBLE_EQ(replica.stats().worst_rollback, 20.0);
+}
+
+TEST(TssTest, RepairedStateMatchesIdealExecution) {
+  // After absorption the replica state must equal a replica that received
+  // everything on time (the whole point of the repair).
+  TssReplica repaired(1, {500.0});
+  repaired.OnOperation(Op(1, 1.0), 10.0, 10.0);
+  repaired.AdvanceTo(60.0);
+  repaired.OnOperation(Op(2, -2.0), 30.0, 60.0);  // late by 30
+
+  ReplicatedState ideal(1);
+  ideal.InsertOp(Op(1, 1.0), 10.0);
+  ideal.InsertOp(Op(2, -2.0), 30.0);
+  EXPECT_EQ(repaired.state().Checksum(100.0), ideal.Checksum(100.0));
+}
+
+TEST(TssTest, RejectsNonIncreasingLags) {
+  EXPECT_THROW(TssReplica(1, {50.0, 50.0}), Error);
+  EXPECT_THROW(TssReplica(1, {50.0, 20.0}), Error);
+  EXPECT_THROW(TssReplica(1, {0.0}), Error);
+  EXPECT_THROW(TssReplica(1, {-5.0}), Error);
+}
+
+}  // namespace
+}  // namespace diaca::dia

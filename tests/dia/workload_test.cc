@@ -1,0 +1,102 @@
+#include "dia/workload.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace diaca::dia {
+namespace {
+
+TEST(WorkloadTest, DeterministicInSeed) {
+  WorkloadParams params;
+  params.duration_ms = 2000.0;
+  const auto a = GenerateWorkload(10, params, 42);
+  const auto b = GenerateWorkload(10, params, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].issue_wall_ms, b[i].issue_wall_ms);
+    EXPECT_EQ(a[i].op.issuer, b[i].op.issuer);
+    EXPECT_DOUBLE_EQ(a[i].op.new_velocity, b[i].op.new_velocity);
+  }
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer) {
+  WorkloadParams params;
+  const auto a = GenerateWorkload(10, params, 1);
+  const auto b = GenerateWorkload(10, params, 2);
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].issue_wall_ms != b[i].issue_wall_ms;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(WorkloadTest, SortedByIssueTime) {
+  const auto schedule = GenerateWorkload(20, {}, 7);
+  EXPECT_TRUE(std::is_sorted(schedule.begin(), schedule.end(),
+                             [](const ScheduledOp& a, const ScheduledOp& b) {
+                               return a.issue_wall_ms < b.issue_wall_ms;
+                             }));
+}
+
+TEST(WorkloadTest, AllWithinDuration) {
+  WorkloadParams params;
+  params.duration_ms = 1234.0;
+  for (const auto& item : GenerateWorkload(15, params, 9)) {
+    EXPECT_GE(item.issue_wall_ms, 0.0);
+    EXPECT_LT(item.issue_wall_ms, params.duration_ms);
+  }
+}
+
+TEST(WorkloadTest, OpIdsUniqueAndIssuanceOrdered) {
+  const auto schedule = GenerateWorkload(12, {}, 11);
+  std::set<OpId> ids;
+  OpId previous = 0;
+  for (const auto& item : schedule) {
+    EXPECT_TRUE(ids.insert(item.op.id).second);
+    EXPECT_GT(item.op.id, previous);
+    previous = item.op.id;
+  }
+}
+
+TEST(WorkloadTest, IssuerControlsOwnEntity) {
+  for (const auto& item : GenerateWorkload(8, {}, 13)) {
+    EXPECT_EQ(item.op.entity, item.op.issuer);
+    EXPECT_GE(item.op.issuer, 0);
+    EXPECT_LT(item.op.issuer, 8);
+  }
+}
+
+TEST(WorkloadTest, RateRoughlyMatches) {
+  WorkloadParams params;
+  params.duration_ms = 20000.0;
+  params.ops_per_second = 2.0;
+  const auto schedule = GenerateWorkload(50, params, 17);
+  // Expected ops: 50 clients * 2 ops/s * 20 s = 2000.
+  EXPECT_NEAR(static_cast<double>(schedule.size()), 2000.0, 200.0);
+}
+
+TEST(WorkloadTest, VelocitiesBounded) {
+  WorkloadParams params;
+  params.max_speed = 0.5;
+  for (const auto& item : GenerateWorkload(10, params, 19)) {
+    EXPECT_GE(item.op.new_velocity, -0.5);
+    EXPECT_LE(item.op.new_velocity, 0.5);
+  }
+}
+
+TEST(WorkloadTest, RejectsBadParams) {
+  WorkloadParams params;
+  params.duration_ms = 0.0;
+  EXPECT_THROW(GenerateWorkload(5, params, 1), Error);
+  params = {};
+  params.ops_per_second = 0.0;
+  EXPECT_THROW(GenerateWorkload(5, params, 1), Error);
+  EXPECT_THROW(GenerateWorkload(0, {}, 1), Error);
+}
+
+}  // namespace
+}  // namespace diaca::dia

@@ -1,0 +1,118 @@
+#include "bench_util/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "placement/placement.h"
+
+namespace diaca::benchutil {
+namespace {
+
+net::LatencyMatrix SmallWorld(std::uint64_t seed) {
+  data::SyntheticParams params;
+  params.num_nodes = 60;
+  params.num_clusters = 4;
+  return data::GenerateSyntheticInternet(params, seed);
+}
+
+TEST(PlacementTypeTest, ParseRoundTrip) {
+  for (auto type : {PlacementType::kRandom, PlacementType::kKCenterA,
+                    PlacementType::kKCenterB}) {
+    EXPECT_EQ(ParsePlacementType(PlacementTypeName(type)), type);
+  }
+  EXPECT_THROW(ParsePlacementType("bogus"), Error);
+}
+
+TEST(PlacementFactoryTest, ProducesRequestedSizes) {
+  const auto matrix = SmallWorld(1);
+  PlacementFactory factory(matrix, 12);
+  Rng rng(2);
+  for (auto type : {PlacementType::kRandom, PlacementType::kKCenterA,
+                    PlacementType::kKCenterB}) {
+    const auto servers = factory.Make(type, 6, rng);
+    EXPECT_EQ(servers.size(), 6u) << PlacementTypeName(type);
+  }
+}
+
+TEST(PlacementFactoryTest, DeterministicPlacementsAreCached) {
+  const auto matrix = SmallWorld(3);
+  PlacementFactory factory(matrix, 10);
+  Rng rng(4);
+  const auto a = factory.Make(PlacementType::kKCenterA, 5, rng);
+  const auto b = factory.Make(PlacementType::kKCenterA, 5, rng);
+  EXPECT_EQ(a, b);
+  const auto g1 = factory.Make(PlacementType::kKCenterB, 4, rng);
+  const auto g2 = factory.Make(PlacementType::kKCenterB, 8, rng);
+  for (std::size_t i = 0; i < g1.size(); ++i) EXPECT_EQ(g1[i], g2[i]);
+}
+
+TEST(PlacementFactoryTest, GreedyBudgetExtendsOnDemand) {
+  const auto matrix = SmallWorld(5);
+  PlacementFactory factory(matrix, 3);
+  Rng rng(6);
+  EXPECT_EQ(factory.Make(PlacementType::kKCenterB, 7, rng).size(), 7u);
+}
+
+TEST(EvaluateAlgorithmsTest, OutcomesBoundedByLowerBound) {
+  const auto matrix = SmallWorld(7);
+  PlacementFactory factory(matrix, 8);
+  Rng rng(8);
+  const auto servers = factory.Make(PlacementType::kRandom, 6, rng);
+  const AlgorithmOutcome outcome =
+      EvaluateAlgorithms(matrix, servers, core::AssignOptions{});
+  EXPECT_GT(outcome.lower_bound, 0.0);
+  for (double d : {outcome.nearest_server, outcome.longest_first_batch,
+                   outcome.greedy, outcome.distributed_greedy}) {
+    EXPECT_GE(d, outcome.lower_bound - 1e-9);
+    EXPECT_GE(outcome.Normalized(d), 1.0 - 1e-9);
+  }
+  // Ordering relations the algorithms guarantee.
+  EXPECT_LE(outcome.longest_first_batch, outcome.nearest_server + 1e-9);
+  EXPECT_LE(outcome.distributed_greedy, outcome.nearest_server + 1e-9);
+}
+
+TEST(EvaluateAlgorithmsTest, CapacitatedVariantRespectsBound) {
+  const auto matrix = SmallWorld(9);
+  Rng rng(10);
+  PlacementFactory factory(matrix, 8);
+  const auto servers = factory.Make(PlacementType::kRandom, 6, rng);
+  core::AssignOptions options;
+  options.capacity = 12;
+  const AlgorithmOutcome outcome =
+      EvaluateAlgorithms(matrix, servers, options);
+  EXPECT_GE(outcome.greedy, outcome.lower_bound - 1e-9);
+}
+
+TEST(AverageNormalizedTest, AveragesCorrectly) {
+  AlgorithmOutcome a;
+  a.lower_bound = 10.0;
+  a.nearest_server = 20.0;
+  a.longest_first_batch = 15.0;
+  a.greedy = 12.0;
+  a.distributed_greedy = 11.0;
+  AlgorithmOutcome b = a;
+  b.lower_bound = 5.0;
+  b.nearest_server = 5.0;
+  b.longest_first_batch = 5.0;
+  b.greedy = 5.0;
+  b.distributed_greedy = 5.0;
+  const std::vector<AlgorithmOutcome> outcomes{a, b};
+  const AverageOutcome avg = AverageNormalized(outcomes);
+  EXPECT_EQ(avg.runs, 2);
+  EXPECT_DOUBLE_EQ(avg.nearest_server, (2.0 + 1.0) / 2.0);
+  EXPECT_DOUBLE_EQ(avg.greedy, (1.2 + 1.0) / 2.0);
+}
+
+TEST(AverageNormalizedTest, EmptyInput) {
+  EXPECT_EQ(AverageNormalized({}).runs, 0);
+}
+
+TEST(CheckShapeTest, ReturnsItsArgument) {
+  EXPECT_TRUE(CheckShape(true, "always true"));
+  EXPECT_FALSE(CheckShape(false, "always false"));
+}
+
+}  // namespace
+}  // namespace diaca::benchutil

@@ -1,0 +1,149 @@
+// Full-pipeline integration tests: synthetic Internet -> King measurement
+// -> server placement -> client assignment -> synchronization schedule ->
+// discrete-event DIA session. Each stage's output feeds the next, as it
+// would in a deployment of the paper's system.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/distributed_greedy.h"
+#include "core/greedy.h"
+#include "core/longest_first_batch.h"
+#include "core/lower_bound.h"
+#include "core/metrics.h"
+#include "core/nearest_server.h"
+#include "core/sync_schedule.h"
+#include "data/king.h"
+#include "data/synthetic.h"
+#include "dia/session.h"
+#include "placement/placement.h"
+#include "proto/dg_protocol.h"
+
+namespace diaca {
+namespace {
+
+data::SyntheticParams SmallWorld() {
+  data::SyntheticParams params;
+  params.num_nodes = 80;
+  params.num_clusters = 5;
+  return params;
+}
+
+TEST(EndToEndTest, FullPipelineRunsCleanlyForAllAlgorithms) {
+  const net::LatencyMatrix world = data::GenerateSyntheticInternet(SmallWorld(), 7);
+
+  // Measurement: King with failures, then cleaning.
+  Rng king_rng(8);
+  const data::KingResult measured = data::SimulateKingMeasurement(
+      world, {.failure_probability = 0.05, .noise_fraction = 0.02}, king_rng);
+  const net::LatencyMatrix& matrix = measured.matrix;
+  ASSERT_GE(matrix.size(), 20);
+
+  // Placement: greedy K-center with 4 servers.
+  const auto servers = placement::KCenterGreedy(matrix, 4);
+  const core::Problem problem =
+      core::Problem::WithClientsEverywhere(matrix, servers);
+  const double lb = core::InteractivityLowerBound(problem);
+
+  const std::vector<std::pair<const char*, core::Assignment>> assignments = {
+      {"nearest-server", core::NearestServerAssign(problem)},
+      {"longest-first-batch", core::LongestFirstBatchAssign(problem)},
+      {"greedy", core::GreedyAssign(problem)},
+      {"distributed-greedy", core::DistributedGreedyAssign(problem).assignment},
+  };
+
+  for (const auto& [name, assignment] : assignments) {
+    const double max_path =
+        core::MaxInteractionPathLength(problem, assignment);
+    EXPECT_GE(max_path, lb - 1e-9) << name;
+
+    const core::SyncSchedule schedule =
+        core::ComputeSyncSchedule(problem, assignment);
+    EXPECT_TRUE(core::CheckSyncSchedule(problem, assignment, schedule).feasible)
+        << name;
+
+    dia::SessionParams params;
+    params.workload.duration_ms = 800.0;
+    params.workload.ops_per_second = 0.5;
+    params.seed = 123;
+    const dia::DiaSession session(matrix, problem, assignment, schedule,
+                                  params);
+    const dia::SessionReport report = session.Run();
+    EXPECT_TRUE(report.clean()) << name;
+    if (report.interaction_time.count() > 0) {
+      EXPECT_NEAR(report.interaction_time.max(), max_path, 1e-6) << name;
+    }
+  }
+}
+
+TEST(EndToEndTest, GreedyBeatsNearestServerOnClusteredWorld) {
+  // The paper's headline: greedy assignment significantly reduces the
+  // interaction time vs Nearest-Server. On a clustered synthetic world
+  // with random placement this must hold on average.
+  double nsa_sum = 0.0;
+  double greedy_sum = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const net::LatencyMatrix matrix =
+        data::GenerateSyntheticInternet(SmallWorld(), seed);
+    Rng prng(seed * 13);
+    const auto servers = placement::RandomPlacement(matrix, 8, prng);
+    const core::Problem problem =
+        core::Problem::WithClientsEverywhere(matrix, servers);
+    nsa_sum += core::MaxInteractionPathLength(
+        problem, core::NearestServerAssign(problem));
+    greedy_sum +=
+        core::MaxInteractionPathLength(problem, core::GreedyAssign(problem));
+  }
+  EXPECT_LT(greedy_sum, nsa_sum);
+}
+
+TEST(EndToEndTest, ProtocolAndEmulationAgreeOnPipelineInstance) {
+  const net::LatencyMatrix matrix =
+      data::GenerateSyntheticInternet(SmallWorld(), 21);
+  const auto servers = placement::KCenterHochbaumShmoys(matrix, 5);
+  const core::Problem problem =
+      core::Problem::WithClientsEverywhere(matrix, servers);
+  const proto::DgProtocolResult protocol =
+      proto::RunDistributedGreedyProtocol(matrix, problem);
+  const core::DgResult emulation = core::DistributedGreedyAssign(problem);
+  const double nsa = core::MaxInteractionPathLength(
+      problem, core::NearestServerAssign(problem));
+  EXPECT_LE(protocol.max_len, nsa + 1e-9);
+  EXPECT_LE(emulation.max_len, nsa + 1e-9);
+  EXPECT_NEAR(protocol.max_len, emulation.max_len,
+              0.2 * std::max(protocol.max_len, emulation.max_len));
+}
+
+TEST(EndToEndTest, PercentilePlanningTradeoffMonotone) {
+  // §II-E: planning at a higher latency percentile yields a larger planned
+  // interaction time but fewer violations under jitter.
+  const net::LatencyMatrix base =
+      data::GenerateSyntheticInternet(SmallWorld(), 31);
+  const net::JitterModel jitter(base, {.spread = 0.4, .sigma = 0.9});
+  Rng prng(32);
+  const auto servers = placement::RandomPlacement(base, 4, prng);
+
+  double previous_delta = 0.0;
+  std::uint64_t previous_violations = std::numeric_limits<std::uint64_t>::max();
+  for (const double percentile : {50.0, 99.5}) {
+    const net::LatencyMatrix planning = jitter.PercentileMatrix(percentile);
+    const core::Problem problem =
+        core::Problem::WithClientsEverywhere(planning, servers);
+    const core::Assignment assignment = core::GreedyAssign(problem);
+    const core::SyncSchedule schedule =
+        core::ComputeSyncSchedule(problem, assignment);
+    dia::SessionParams params;
+    params.workload.duration_ms = 1500.0;
+    params.seed = 33;
+    const dia::DiaSession session(base, problem, assignment, schedule, params);
+    const dia::SessionReport report = session.Run(&jitter);
+    EXPECT_GT(schedule.delta, previous_delta);
+    EXPECT_LE(report.late_client_presentations + report.late_server_executions,
+              previous_violations);
+    previous_delta = schedule.delta;
+    previous_violations =
+        report.late_client_presentations + report.late_server_executions;
+  }
+}
+
+}  // namespace
+}  // namespace diaca

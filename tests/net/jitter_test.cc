@@ -1,0 +1,106 @@
+#include "net/jitter.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "../testutil.h"
+
+namespace diaca::net {
+namespace {
+
+LatencyMatrix SmallBase() {
+  LatencyMatrix m(3);
+  m.Set(0, 1, 10.0);
+  m.Set(0, 2, 50.0);
+  m.Set(1, 2, 100.0);
+  return m;
+}
+
+TEST(JitterTest, ZeroSpreadIsDeterministic) {
+  JitterModel model(SmallBase(), {.spread = 0.0, .sigma = 0.8});
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(model.Sample(0, 1, rng), 10.0);
+  }
+  const LatencyMatrix p90 = model.PercentileMatrix(90.0);
+  EXPECT_DOUBLE_EQ(p90(0, 1), 10.0);
+}
+
+TEST(JitterTest, SamplesExceedBase) {
+  JitterModel model(SmallBase(), {.spread = 0.3, .sigma = 0.8});
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(model.Sample(0, 1, rng), 10.0);
+  }
+}
+
+TEST(JitterTest, PercentileMatrixMonotoneInPercentile) {
+  JitterModel model(SmallBase(), {.spread = 0.2, .sigma = 0.8});
+  const LatencyMatrix p50 = model.PercentileMatrix(50.0);
+  const LatencyMatrix p90 = model.PercentileMatrix(90.0);
+  const LatencyMatrix p99 = model.PercentileMatrix(99.0);
+  for (NodeIndex u = 0; u < 3; ++u) {
+    for (NodeIndex v = u + 1; v < 3; ++v) {
+      EXPECT_LT(p50(u, v), p90(u, v));
+      EXPECT_LT(p90(u, v), p99(u, v));
+      EXPECT_GT(p50(u, v), model.base()(u, v));
+    }
+  }
+}
+
+TEST(JitterTest, PercentileZeroIsBase) {
+  JitterModel model(SmallBase(), {.spread = 0.2, .sigma = 0.8});
+  const LatencyMatrix p0 = model.PercentileMatrix(0.0);
+  EXPECT_DOUBLE_EQ(p0(0, 1), 10.0);
+}
+
+TEST(JitterTest, PercentileMatchesEmpiricalQuantile) {
+  JitterModel model(SmallBase(), {.spread = 0.25, .sigma = 0.7});
+  Rng rng(5);
+  std::vector<double> samples;
+  constexpr int kN = 40000;
+  samples.reserve(kN);
+  for (int i = 0; i < kN; ++i) samples.push_back(model.Sample(1, 2, rng));
+  const double empirical_p90 = Percentile(samples, 90.0);
+  const double planned_p90 = model.PercentileMatrix(90.0)(1, 2);
+  EXPECT_NEAR(planned_p90 / empirical_p90, 1.0, 0.03);
+}
+
+TEST(JitterTest, ExceedanceProbabilityCalibrated) {
+  JitterModel model(SmallBase(), {.spread = 0.25, .sigma = 0.7});
+  const double planned_p90 = model.PercentileMatrix(90.0)(1, 2);
+  EXPECT_NEAR(model.ExceedanceProbability(1, 2, planned_p90), 0.10, 0.01);
+  // Planning below base is always exceeded; far above never.
+  EXPECT_DOUBLE_EQ(model.ExceedanceProbability(1, 2, 50.0), 1.0);
+  EXPECT_LT(model.ExceedanceProbability(1, 2, 1e6), 1e-6);
+}
+
+TEST(JitterTest, ExceedanceMatchesEmpiricalRate) {
+  JitterModel model(SmallBase(), {.spread = 0.3, .sigma = 0.9});
+  const double planned = model.PercentileMatrix(95.0)(0, 2);
+  Rng rng(6);
+  int exceed = 0;
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    if (model.Sample(0, 2, rng) > planned) ++exceed;
+  }
+  EXPECT_NEAR(static_cast<double>(exceed) / kN, 0.05, 0.01);
+}
+
+TEST(JitterTest, RejectsInvalidParams) {
+  EXPECT_THROW(JitterModel(SmallBase(), {.spread = -0.1, .sigma = 0.8}), Error);
+  EXPECT_THROW(JitterModel(SmallBase(), {.spread = 0.1, .sigma = 0.0}), Error);
+}
+
+TEST(JitterTest, SelfLatencyStaysZero) {
+  JitterModel model(SmallBase(), {.spread = 0.3, .sigma = 0.8});
+  Rng rng(7);
+  EXPECT_DOUBLE_EQ(model.Sample(1, 1, rng), 0.0);
+}
+
+}  // namespace
+}  // namespace diaca::net

@@ -1,0 +1,107 @@
+#include "net/latency_matrix.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace diaca::net {
+namespace {
+
+TEST(LatencyMatrixTest, ZeroInitialized) {
+  LatencyMatrix m(3);
+  EXPECT_EQ(m.size(), 3);
+  for (NodeIndex u = 0; u < 3; ++u) {
+    for (NodeIndex v = 0; v < 3; ++v) {
+      EXPECT_EQ(m(u, v), 0.0);
+    }
+  }
+  EXPECT_FALSE(m.IsComplete());
+}
+
+TEST(LatencyMatrixTest, SetIsSymmetric) {
+  LatencyMatrix m(3);
+  m.Set(0, 1, 5.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 5.0);
+}
+
+TEST(LatencyMatrixTest, CompleteAfterAllPairsSet) {
+  LatencyMatrix m(3);
+  m.Set(0, 1, 1.0);
+  m.Set(0, 2, 2.0);
+  m.Set(1, 2, 3.0);
+  EXPECT_TRUE(m.IsComplete());
+  EXPECT_DOUBLE_EQ(m.MaxEntry(), 3.0);
+}
+
+TEST(LatencyMatrixTest, SetRejectsDiagonal) {
+  LatencyMatrix m(2);
+  EXPECT_THROW(m.Set(1, 1, 1.0), Error);
+}
+
+TEST(LatencyMatrixTest, SetRejectsNonPositive) {
+  LatencyMatrix m(2);
+  EXPECT_THROW(m.Set(0, 1, 0.0), Error);
+  EXPECT_THROW(m.Set(0, 1, -1.0), Error);
+}
+
+TEST(LatencyMatrixTest, SetRejectsOutOfRange) {
+  LatencyMatrix m(2);
+  EXPECT_THROW(m.Set(0, 2, 1.0), Error);
+  EXPECT_THROW(m.Set(-1, 0, 1.0), Error);
+}
+
+TEST(LatencyMatrixTest, BufferConstructorValidates) {
+  // Asymmetric buffer must throw.
+  const std::vector<double> bad{0.0, 1.0, 2.0, 0.0};
+  EXPECT_THROW(LatencyMatrix(2, bad), Error);
+  // Non-zero diagonal must throw.
+  const std::vector<double> diag{1.0, 2.0, 2.0, 0.0};
+  EXPECT_THROW(LatencyMatrix(2, diag), Error);
+  // Size mismatch must throw.
+  const std::vector<double> short_buf{0.0, 1.0};
+  EXPECT_THROW(LatencyMatrix(2, short_buf), Error);
+  // A valid buffer round-trips.
+  const std::vector<double> good{0.0, 3.0, 3.0, 0.0};
+  const LatencyMatrix m(2, good);
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.0);
+}
+
+TEST(LatencyMatrixTest, RowPointerMatchesOperator) {
+  LatencyMatrix m(3);
+  m.Set(0, 1, 1.5);
+  m.Set(0, 2, 2.5);
+  m.Set(1, 2, 3.5);
+  const double* row = m.Row(1);
+  EXPECT_DOUBLE_EQ(row[0], m(1, 0));
+  EXPECT_DOUBLE_EQ(row[2], m(1, 2));
+}
+
+TEST(LatencyMatrixTest, RestrictExtractsSubmatrix) {
+  LatencyMatrix m(4);
+  m.Set(0, 1, 1.0);
+  m.Set(0, 2, 2.0);
+  m.Set(0, 3, 3.0);
+  m.Set(1, 2, 4.0);
+  m.Set(1, 3, 5.0);
+  m.Set(2, 3, 6.0);
+  const std::vector<NodeIndex> nodes{3, 1};
+  const LatencyMatrix sub = m.Restrict(nodes);
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_DOUBLE_EQ(sub(0, 1), 5.0);  // d(3,1)
+}
+
+TEST(LatencyMatrixTest, RestrictRejectsOutOfRange) {
+  LatencyMatrix m(2);
+  const std::vector<NodeIndex> nodes{0, 5};
+  EXPECT_THROW(m.Restrict(nodes), Error);
+}
+
+TEST(LatencyMatrixTest, NonPositiveSizeThrows) {
+  EXPECT_THROW(LatencyMatrix(0), Error);
+}
+
+}  // namespace
+}  // namespace diaca::net

@@ -1,0 +1,100 @@
+#include "net/metric_props.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "../testutil.h"
+
+namespace diaca::net {
+namespace {
+
+LatencyMatrix MetricTriangle() {
+  LatencyMatrix m(3);
+  m.Set(0, 1, 3.0);
+  m.Set(1, 2, 4.0);
+  m.Set(0, 2, 5.0);
+  return m;
+}
+
+LatencyMatrix ViolatingTriangle() {
+  LatencyMatrix m(3);
+  m.Set(0, 1, 1.0);
+  m.Set(1, 2, 1.0);
+  m.Set(0, 2, 10.0);  // 10 > 1 + 1
+  return m;
+}
+
+TEST(MetricPropsTest, DetectsMetricMatrix) {
+  EXPECT_TRUE(IsMetric(MetricTriangle()));
+}
+
+TEST(MetricPropsTest, DetectsViolation) {
+  EXPECT_FALSE(IsMetric(ViolatingTriangle()));
+}
+
+TEST(MetricPropsTest, ViolationStatsOnCleanMatrix) {
+  const auto stats = MeasureTriangleViolations(MetricTriangle());
+  EXPECT_EQ(stats.violations, 0u);
+  EXPECT_GT(stats.triples_examined, 0u);
+  EXPECT_LE(stats.worst_ratio, 1.0 + 1e-12);
+}
+
+TEST(MetricPropsTest, ViolationStatsOnViolatingMatrix) {
+  const auto stats = MeasureTriangleViolations(ViolatingTriangle());
+  EXPECT_GT(stats.violations, 0u);
+  EXPECT_NEAR(stats.worst_ratio, 5.0, 1e-12);  // 10 / (1+1)
+  EXPECT_GT(stats.violation_rate(), 0.0);
+}
+
+TEST(MetricPropsTest, MetricClosureFixesViolations) {
+  const LatencyMatrix closed = MetricClosure(ViolatingTriangle());
+  EXPECT_TRUE(IsMetric(closed));
+  EXPECT_DOUBLE_EQ(closed(0, 2), 2.0);  // rerouted through node 1
+  EXPECT_DOUBLE_EQ(closed(0, 1), 1.0);  // unchanged
+}
+
+TEST(MetricPropsTest, ClosureIsIdempotent) {
+  Rng rng(99);
+  const LatencyMatrix m = test::RandomMatrix(12, rng);
+  const LatencyMatrix once = MetricClosure(m);
+  const LatencyMatrix twice = MetricClosure(once);
+  for (NodeIndex u = 0; u < m.size(); ++u) {
+    for (NodeIndex v = 0; v < m.size(); ++v) {
+      EXPECT_DOUBLE_EQ(once(u, v), twice(u, v));
+    }
+  }
+}
+
+TEST(MetricPropsTest, ClosureNeverIncreasesDistances) {
+  Rng rng(7);
+  const LatencyMatrix m = test::RandomMatrix(10, rng);
+  const LatencyMatrix closed = MetricClosure(m);
+  for (NodeIndex u = 0; u < m.size(); ++u) {
+    for (NodeIndex v = 0; v < m.size(); ++v) {
+      EXPECT_LE(closed(u, v), m(u, v) + 1e-12);
+    }
+  }
+  EXPECT_TRUE(IsMetric(closed));
+}
+
+TEST(MetricPropsTest, SampledModeRunsOnLargeMatrix) {
+  Rng rng(3);
+  const LatencyMatrix m = test::RandomMatrix(300, rng);
+  // sample_limit below the size triggers the sampled path.
+  const auto stats = MeasureTriangleViolations(m, /*sample_limit=*/32);
+  EXPECT_GT(stats.triples_examined, 0u);
+}
+
+class MetricClosureParamTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetricClosureParamTest, ClosureOfRandomMatrixIsMetric) {
+  Rng rng(GetParam());
+  const LatencyMatrix m = test::RandomMatrix(15, rng, 1.0, 50.0);
+  EXPECT_TRUE(IsMetric(MetricClosure(m)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricClosureParamTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace diaca::net

@@ -1,0 +1,112 @@
+#include "net/vivaldi.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "../testutil.h"
+
+namespace diaca::net {
+namespace {
+
+/// Embeddable ground truth: clustered Euclidean world without pairwise
+/// noise (coordinates can represent it well).
+LatencyMatrix EmbeddableWorld(std::int32_t nodes, std::uint64_t seed) {
+  data::SyntheticParams params;
+  params.num_nodes = nodes;
+  params.num_clusters = 4;
+  params.noise_sigma = 0.0;
+  params.bad_node_fraction = 0.0;
+  return data::GenerateSyntheticInternet(params, seed);
+}
+
+TEST(VivaldiTest, ConvergesOnEmbeddableWorld) {
+  const LatencyMatrix truth = EmbeddableWorld(60, 1);
+  VivaldiSystem vivaldi(60, {}, /*seed=*/2);
+  vivaldi.RunGossip(truth, /*rounds=*/60, /*neighbors_per_round=*/8);
+  EXPECT_LT(vivaldi.MedianRelativeError(truth), 0.12);
+}
+
+TEST(VivaldiTest, ErrorDecreasesWithMoreGossip) {
+  const LatencyMatrix truth = EmbeddableWorld(50, 3);
+  VivaldiSystem early(50, {}, 4);
+  early.RunGossip(truth, 3, 4);
+  VivaldiSystem late(50, {}, 4);
+  late.RunGossip(truth, 80, 4);
+  EXPECT_LT(late.MedianRelativeError(truth),
+            early.MedianRelativeError(truth));
+}
+
+TEST(VivaldiTest, PredictionsAreSymmetricNonNegative) {
+  const LatencyMatrix truth = EmbeddableWorld(30, 5);
+  VivaldiSystem vivaldi(30, {}, 6);
+  vivaldi.RunGossip(truth, 20, 4);
+  for (NodeIndex u = 0; u < 30; ++u) {
+    EXPECT_DOUBLE_EQ(vivaldi.Predict(u, u), 0.0);
+    for (NodeIndex v = 0; v < 30; ++v) {
+      if (u == v) continue;
+      EXPECT_DOUBLE_EQ(vivaldi.Predict(u, v), vivaldi.Predict(v, u));
+      EXPECT_GT(vivaldi.Predict(u, v), 0.0);
+    }
+  }
+  // The matrix view is a valid LatencyMatrix.
+  vivaldi.PredictedMatrix().Validate();
+}
+
+TEST(VivaldiTest, DeterministicInSeed) {
+  const LatencyMatrix truth = EmbeddableWorld(25, 7);
+  VivaldiSystem a(25, {}, 8);
+  VivaldiSystem b(25, {}, 8);
+  a.RunGossip(truth, 10, 4);
+  b.RunGossip(truth, 10, 4);
+  for (NodeIndex u = 0; u < 25; ++u) {
+    for (NodeIndex v = u + 1; v < 25; ++v) {
+      EXPECT_DOUBLE_EQ(a.Predict(u, v), b.Predict(u, v));
+    }
+  }
+}
+
+TEST(VivaldiTest, HeightCapturesAccessDelay) {
+  // A node with a huge access delay cannot be represented in the plane;
+  // the height component must absorb it.
+  data::SyntheticParams params;
+  params.num_nodes = 40;
+  params.num_clusters = 3;
+  params.noise_sigma = 0.0;
+  params.bad_node_fraction = 0.0;
+  params.access_mu = 3.5;  // median ~33 ms access delay everywhere
+  const LatencyMatrix truth =
+      data::GenerateSyntheticInternet(params, 9);
+  VivaldiParams with_height;
+  VivaldiParams without_height;
+  without_height.use_height = false;
+  VivaldiSystem tall(40, with_height, 10);
+  VivaldiSystem flat(40, without_height, 10);
+  tall.RunGossip(truth, 60, 6);
+  flat.RunGossip(truth, 60, 6);
+  EXPECT_LT(tall.MedianRelativeError(truth),
+            flat.MedianRelativeError(truth));
+}
+
+TEST(VivaldiTest, NodeErrorConvergesBelowOne) {
+  const LatencyMatrix truth = EmbeddableWorld(40, 11);
+  VivaldiSystem vivaldi(40, {}, 12);
+  vivaldi.RunGossip(truth, 50, 6);
+  for (NodeIndex u = 0; u < 40; ++u) {
+    EXPECT_LT(vivaldi.NodeError(u), 0.7);
+  }
+}
+
+TEST(VivaldiTest, RejectsInvalidUse) {
+  EXPECT_THROW(VivaldiSystem(1, {}, 1), Error);
+  VivaldiSystem vivaldi(5, {}, 1);
+  EXPECT_THROW(vivaldi.Observe(0, 0, 10.0), Error);
+  EXPECT_THROW(vivaldi.Observe(0, 1, 0.0), Error);
+  Rng rng(1);
+  const LatencyMatrix wrong_size = test::RandomMatrix(4, rng);
+  EXPECT_THROW(vivaldi.RunGossip(wrong_size, 1, 1), Error);
+}
+
+}  // namespace
+}  // namespace diaca::net

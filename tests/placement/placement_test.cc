@@ -1,0 +1,170 @@
+#include "placement/placement.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "net/metric_props.h"
+#include "../testutil.h"
+
+namespace diaca::placement {
+namespace {
+
+/// Exhaustive optimal K-center objective for tiny instances.
+double OptimalKCenter(const net::LatencyMatrix& m, std::int32_t k) {
+  const net::NodeIndex n = m.size();
+  std::vector<std::int32_t> choice(static_cast<std::size_t>(k), 0);
+  // Enumerate all k-combinations via odometer over sorted tuples.
+  std::vector<net::NodeIndex> centers(static_cast<std::size_t>(k));
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<std::int32_t> idx(static_cast<std::size_t>(k));
+  for (std::int32_t i = 0; i < k; ++i) idx[static_cast<std::size_t>(i)] = i;
+  for (;;) {
+    for (std::int32_t i = 0; i < k; ++i) {
+      centers[static_cast<std::size_t>(i)] = idx[static_cast<std::size_t>(i)];
+    }
+    best = std::min(best, KCenterObjective(m, centers));
+    // next combination
+    std::int32_t pos = k - 1;
+    while (pos >= 0 && idx[static_cast<std::size_t>(pos)] == n - k + pos) --pos;
+    if (pos < 0) break;
+    ++idx[static_cast<std::size_t>(pos)];
+    for (std::int32_t i = pos + 1; i < k; ++i) {
+      idx[static_cast<std::size_t>(i)] = idx[static_cast<std::size_t>(i - 1)] + 1;
+    }
+  }
+  return best;
+}
+
+TEST(RandomPlacementTest, DistinctSortedInRange) {
+  Rng rng(1);
+  const auto m = test::RandomMatrix(30, rng);
+  Rng prng(2);
+  const auto servers = RandomPlacement(m, 10, prng);
+  EXPECT_EQ(servers.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(servers.begin(), servers.end()));
+  std::set<net::NodeIndex> unique(servers.begin(), servers.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (auto s : servers) {
+    EXPECT_GE(s, 0);
+    EXPECT_LT(s, 30);
+  }
+}
+
+TEST(RandomPlacementTest, BudgetValidation) {
+  Rng rng(1);
+  const auto m = test::RandomMatrix(5, rng);
+  Rng prng(2);
+  EXPECT_THROW(RandomPlacement(m, 0, prng), Error);
+  EXPECT_THROW(RandomPlacement(m, 6, prng), Error);
+  EXPECT_EQ(RandomPlacement(m, 5, prng).size(), 5u);
+}
+
+TEST(KCenterObjectiveTest, HandComputed) {
+  // Line metric: nodes at 0, 1, 10.
+  net::LatencyMatrix m(3);
+  m.Set(0, 1, 1.0);
+  m.Set(0, 2, 10.0);
+  m.Set(1, 2, 9.0);
+  const std::vector<net::NodeIndex> centers{0};
+  EXPECT_DOUBLE_EQ(KCenterObjective(m, centers), 10.0);
+  const std::vector<net::NodeIndex> two{1, 2};
+  EXPECT_DOUBLE_EQ(KCenterObjective(m, two), 1.0);
+}
+
+TEST(KCenterHsTest, SizeAndUniqueness) {
+  Rng rng(3);
+  const auto m = test::RandomMatrix(40, rng);
+  const auto centers = KCenterHochbaumShmoys(m, 7);
+  EXPECT_EQ(centers.size(), 7u);
+  std::set<net::NodeIndex> unique(centers.begin(), centers.end());
+  EXPECT_EQ(unique.size(), 7u);
+}
+
+class KCenterApproxTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KCenterApproxTest, HsWithinTwiceOptimalOnMetricInstances) {
+  // The 2-approximation guarantee needs the triangle inequality; use the
+  // metric closure of a random matrix.
+  Rng rng(GetParam());
+  const auto m = net::MetricClosure(test::RandomMatrix(12, rng));
+  for (std::int32_t k : {2, 3}) {
+    const auto centers = KCenterHochbaumShmoys(m, k);
+    const double approx = KCenterObjective(m, centers);
+    const double optimal = OptimalKCenter(m, k);
+    EXPECT_LE(approx, 2.0 * optimal + 1e-9)
+        << "k=" << k << " approx=" << approx << " opt=" << optimal;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KCenterApproxTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(KCenterGreedyTest, PrefixProperty) {
+  Rng rng(5);
+  const auto m = test::RandomMatrix(50, rng);
+  const auto big = KCenterGreedy(m, 12);
+  const auto small = KCenterGreedy(m, 5);
+  ASSERT_EQ(big.size(), 12u);
+  ASSERT_EQ(small.size(), 5u);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i], big[i]);
+  }
+}
+
+TEST(KCenterGreedyTest, ObjectiveMonotoneInBudget) {
+  Rng rng(7);
+  const auto m = test::RandomMatrix(60, rng);
+  const auto centers = KCenterGreedy(m, 15);
+  double previous = std::numeric_limits<double>::infinity();
+  for (std::int32_t k = 1; k <= 15; ++k) {
+    const double obj = KCenterObjective(
+        m, std::span<const net::NodeIndex>(centers.data(),
+                                           static_cast<std::size_t>(k)));
+    EXPECT_LE(obj, previous + 1e-12);
+    previous = obj;
+  }
+}
+
+TEST(KCenterGreedyTest, BeatsRandomPlacementOnClusteredData) {
+  data::SyntheticParams p;
+  p.num_nodes = 150;
+  p.num_clusters = 6;
+  const auto m = data::GenerateSyntheticInternet(p, 17);
+  const auto greedy = KCenterGreedy(m, 6);
+  const double greedy_obj = KCenterObjective(m, greedy);
+  Rng prng(19);
+  double random_sum = 0.0;
+  constexpr int kRuns = 10;
+  for (int i = 0; i < kRuns; ++i) {
+    random_sum += KCenterObjective(m, RandomPlacement(m, 6, prng));
+  }
+  EXPECT_LT(greedy_obj, random_sum / kRuns);
+}
+
+TEST(KCenterGreedyTest, FullBudgetCoversEverything) {
+  Rng rng(23);
+  const auto m = test::RandomMatrix(10, rng);
+  const auto centers = KCenterGreedy(m, 10);
+  EXPECT_DOUBLE_EQ(KCenterObjective(m, centers), 0.0);
+}
+
+TEST(KCenterHsTest, OneCenterIsGraphCenter) {
+  // With k = n the objective must be 0; with k = 1 it must equal the
+  // 1-center optimum (HS is exact when the MIS is a single node at the
+  // right radius... verify against brute force instead).
+  Rng rng(29);
+  const auto m = net::MetricClosure(test::RandomMatrix(10, rng));
+  const auto centers = KCenterHochbaumShmoys(m, 1);
+  ASSERT_EQ(centers.size(), 1u);
+  EXPECT_LE(KCenterObjective(m, centers), 2.0 * OptimalKCenter(m, 1) + 1e-9);
+}
+
+}  // namespace
+}  // namespace diaca::placement

@@ -1,0 +1,80 @@
+// The Distributed-Greedy protocol over a lossy network: decisions ride on
+// a reliable (retransmitting) channel, so the outcome must be *identical*
+// to a loss-free run — only traffic and convergence time may grow.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "proto/dg_protocol.h"
+#include "../testutil.h"
+
+namespace diaca::proto {
+namespace {
+
+struct Instance {
+  net::LatencyMatrix matrix;
+  core::Problem problem;
+
+  Instance(std::uint64_t seed, std::int32_t nodes, std::int32_t servers)
+      : matrix(Make(seed, nodes)), problem(MakeProblem(matrix, servers)) {}
+
+  static net::LatencyMatrix Make(std::uint64_t seed, std::int32_t nodes) {
+    Rng rng(seed);
+    return test::RandomMatrix(nodes, rng);
+  }
+  static core::Problem MakeProblem(const net::LatencyMatrix& m,
+                                   std::int32_t servers) {
+    std::vector<net::NodeIndex> nodes(static_cast<std::size_t>(servers));
+    std::iota(nodes.begin(), nodes.end(), 0);
+    return core::Problem::WithClientsEverywhere(m, nodes);
+  }
+};
+
+TEST(LossyProtocolTest, SameAssignmentAsLossFreeRun) {
+  const Instance inst(21, 25, 5);
+  const DgProtocolResult clean =
+      RunDistributedGreedyProtocol(inst.matrix, inst.problem);
+  ProtocolTransport lossy;
+  lossy.loss_probability = 0.2;
+  const DgProtocolResult noisy = RunDistributedGreedyProtocol(
+      inst.matrix, inst.problem, {}, nullptr, lossy);
+  EXPECT_EQ(noisy.assignment, clean.assignment);
+  EXPECT_DOUBLE_EQ(noisy.max_len, clean.max_len);
+  EXPECT_EQ(noisy.modifications, clean.modifications);
+}
+
+TEST(LossyProtocolTest, LossCostsTrafficAndTime) {
+  const Instance inst(22, 30, 6);
+  const DgProtocolResult clean =
+      RunDistributedGreedyProtocol(inst.matrix, inst.problem);
+  ProtocolTransport lossy;
+  lossy.loss_probability = 0.25;
+  lossy.rto_ms = 300.0;
+  const DgProtocolResult noisy = RunDistributedGreedyProtocol(
+      inst.matrix, inst.problem, {}, nullptr, lossy);
+  EXPECT_GT(noisy.messages_sent, clean.messages_sent);
+  EXPECT_GE(noisy.convergence_time_ms, clean.convergence_time_ms);
+}
+
+TEST(LossyProtocolTest, SurvivesHeavyLoss) {
+  const Instance inst(23, 20, 4);
+  ProtocolTransport heavy;
+  heavy.loss_probability = 0.6;
+  heavy.rto_ms = 100.0;
+  const DgProtocolResult result = RunDistributedGreedyProtocol(
+      inst.matrix, inst.problem, {}, nullptr, heavy);
+  EXPECT_TRUE(result.assignment.IsComplete());
+}
+
+TEST(LossyProtocolTest, ZeroLossTransportIsIdentity) {
+  const Instance inst(24, 20, 4);
+  const DgProtocolResult a =
+      RunDistributedGreedyProtocol(inst.matrix, inst.problem);
+  const DgProtocolResult b = RunDistributedGreedyProtocol(
+      inst.matrix, inst.problem, {}, nullptr, ProtocolTransport{});
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_DOUBLE_EQ(a.convergence_time_ms, b.convergence_time_ms);
+}
+
+}  // namespace
+}  // namespace diaca::proto

@@ -1,0 +1,124 @@
+// Property tests of the Theorem 1 reduction (§III): a set cover of size at
+// most K exists iff the constructed CAP instance admits an assignment with
+// maximum interaction path length at most 3.
+#include "redux/reduction.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "core/exact.h"
+#include "core/metrics.h"
+
+namespace diaca::redux {
+namespace {
+
+SetCoverInstance PaperExample() {
+  SetCoverInstance instance;
+  instance.num_elements = 4;
+  instance.subsets = {{0}, {1}, {2, 3}};
+  return instance;
+}
+
+TEST(ReductionTest, Fig3NetworkShape) {
+  const CapInstance cap = BuildCapInstance(PaperExample(), 3);
+  EXPECT_EQ(cap.num_elements, 4);
+  EXPECT_EQ(cap.num_subsets, 3);
+  EXPECT_EQ(cap.problem.num_clients(), 4);
+  EXPECT_EQ(cap.problem.num_servers(), 9);  // 3 groups x 3 subsets
+  // Client c1 (element 0) links only to the subset-1 servers: distance 1.
+  for (std::int32_t l = 0; l < 3; ++l) {
+    EXPECT_DOUBLE_EQ(cap.problem.cs(0, cap.ServerOf(l, 0)), 1.0);
+    EXPECT_GE(cap.problem.cs(0, cap.ServerOf(l, 1)), 2.0);
+  }
+  // Servers in different groups are adjacent; same group: distance 2.
+  EXPECT_DOUBLE_EQ(cap.problem.ss(cap.ServerOf(0, 0), cap.ServerOf(1, 2)), 1.0);
+  EXPECT_DOUBLE_EQ(cap.problem.ss(cap.ServerOf(0, 0), cap.ServerOf(0, 1)), 2.0);
+}
+
+TEST(ReductionTest, Fig3CoverYieldsAssignmentWithinThree) {
+  const CapInstance cap = BuildCapInstance(PaperExample(), 3);
+  const std::vector<std::int32_t> cover{0, 1, 2};
+  const core::Assignment a = AssignmentFromCover(cap, cover);
+  EXPECT_LE(core::MaxInteractionPathLength(cap.problem, a), 3.0 + 1e-9);
+  // The proof's construction: one server per group.
+  EXPECT_EQ(a[0], cap.ServerOf(0, 0));
+  EXPECT_EQ(a[1], cap.ServerOf(1, 1));
+  EXPECT_EQ(a[2], cap.ServerOf(2, 2));
+  EXPECT_EQ(a[3], cap.ServerOf(2, 2));
+}
+
+TEST(ReductionTest, Fig3AssignmentYieldsCover) {
+  const CapInstance cap = BuildCapInstance(PaperExample(), 3);
+  const core::Assignment a =
+      AssignmentFromCover(cap, std::vector<std::int32_t>{0, 1, 2});
+  const auto cover = CoverFromAssignment(cap, a);
+  EXPECT_TRUE(IsCover(PaperExample(), cover));
+  EXPECT_LE(cover.size(), 3u);
+}
+
+TEST(ReductionTest, OversizedCoverRejected) {
+  const CapInstance cap = BuildCapInstance(PaperExample(), 2);
+  EXPECT_THROW(
+      AssignmentFromCover(cap, std::vector<std::int32_t>{0, 1, 2}), Error);
+}
+
+TEST(ReductionTest, CoverFromBadAssignmentRejected) {
+  const CapInstance cap = BuildCapInstance(PaperExample(), 3);
+  // Assign a client to a non-adjacent server: its self path is >= 4.
+  core::Assignment a =
+      AssignmentFromCover(cap, std::vector<std::int32_t>{0, 1, 2});
+  a[0] = cap.ServerOf(0, 1);  // element 0 not in subset 1
+  EXPECT_THROW(CoverFromAssignment(cap, a), Error);
+}
+
+TEST(ReductionTest, RequiresKAtLeastTwo) {
+  EXPECT_THROW(BuildCapInstance(PaperExample(), 1), Error);
+}
+
+class ReductionEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReductionEquivalenceTest, CoverExistsIffAssignmentWithinThree) {
+  Rng rng(GetParam());
+  const SetCoverInstance instance = RandomSetCoverInstance(
+      /*num_elements=*/5, /*num_subsets=*/4, /*membership=*/0.35, rng);
+  const auto optimum = ExactSetCover(instance);
+  ASSERT_TRUE(optimum.has_value());
+
+  for (std::int32_t k = 2; k <= 4; ++k) {
+    const CapInstance cap = BuildCapInstance(instance, k);
+    core::ExactOptions options;
+    options.node_limit = 20'000'000;
+    const auto cap_opt = core::ExactAssign(cap.problem, options);
+    ASSERT_TRUE(cap_opt.has_value()) << "k=" << k;
+    const bool cover_fits = static_cast<std::int32_t>(optimum->size()) <= k;
+    const bool assignment_fits = cap_opt->max_len <= 3.0 + 1e-9;
+    EXPECT_EQ(cover_fits, assignment_fits)
+        << "k=" << k << " cover=" << optimum->size()
+        << " D=" << cap_opt->max_len;
+    if (cover_fits) {
+      // Round-trip both directions of the proof.
+      const core::Assignment a = AssignmentFromCover(cap, *optimum);
+      EXPECT_LE(core::MaxInteractionPathLength(cap.problem, a), 3.0 + 1e-9);
+      const auto back = CoverFromAssignment(cap, cap_opt->assignment);
+      EXPECT_TRUE(IsCover(instance, back));
+      EXPECT_LE(static_cast<std::int32_t>(back.size()), k);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionEquivalenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ReductionTest, AssignmentDistanceIsOneForLinkedPairsOnly) {
+  const CapInstance cap = BuildCapInstance(PaperExample(), 2);
+  // Element 2 belongs to subset 2 only.
+  for (std::int32_t l = 0; l < 2; ++l) {
+    EXPECT_DOUBLE_EQ(cap.problem.cs(2, cap.ServerOf(l, 2)), 1.0);
+    EXPECT_GE(cap.problem.cs(2, cap.ServerOf(l, 0)), 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace diaca::redux

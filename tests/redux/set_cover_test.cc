@@ -1,0 +1,117 @@
+#include "redux/set_cover.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace diaca::redux {
+namespace {
+
+SetCoverInstance PaperExample() {
+  // The Fig. 3 instance: P = {p1..p4}, Q1 = {p1}, Q2 = {p2}, Q3 = {p3,p4}.
+  SetCoverInstance instance;
+  instance.num_elements = 4;
+  instance.subsets = {{0}, {1}, {2, 3}};
+  return instance;
+}
+
+TEST(SetCoverTest, ValidateAcceptsPaperExample) {
+  EXPECT_NO_THROW(PaperExample().Validate());
+}
+
+TEST(SetCoverTest, ValidateRejectsMalformed) {
+  SetCoverInstance bad = PaperExample();
+  bad.subsets.push_back({});  // empty subset
+  EXPECT_THROW(bad.Validate(), Error);
+
+  bad = PaperExample();
+  bad.subsets[0] = {0, 0};  // duplicate element
+  EXPECT_THROW(bad.Validate(), Error);
+
+  bad = PaperExample();
+  bad.subsets[0] = {9};  // out of range
+  EXPECT_THROW(bad.Validate(), Error);
+
+  bad = PaperExample();
+  bad.num_elements = 5;  // element 4 uncoverable
+  EXPECT_THROW(bad.Validate(), Error);
+}
+
+TEST(SetCoverTest, IsCoverChecks) {
+  const SetCoverInstance instance = PaperExample();
+  EXPECT_TRUE(IsCover(instance, std::vector<std::int32_t>{0, 1, 2}));
+  EXPECT_FALSE(IsCover(instance, std::vector<std::int32_t>{0, 1}));
+  EXPECT_FALSE(IsCover(instance, std::vector<std::int32_t>{}));
+}
+
+TEST(SetCoverTest, GreedyProducesACover) {
+  const SetCoverInstance instance = PaperExample();
+  const auto cover = GreedySetCover(instance);
+  EXPECT_TRUE(IsCover(instance, cover));
+  EXPECT_EQ(cover.size(), 3u);  // all three subsets are needed
+}
+
+TEST(SetCoverTest, GreedyPicksLargestFirst) {
+  SetCoverInstance instance;
+  instance.num_elements = 4;
+  instance.subsets = {{0}, {0, 1, 2, 3}, {2}};
+  const auto cover = GreedySetCover(instance);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], 1);
+}
+
+TEST(SetCoverTest, ExactFindsMinimum) {
+  // Greedy is suboptimal here: universe {0..5}; greedy takes the size-4
+  // subset then needs two more; optimum is the two size-3 subsets.
+  SetCoverInstance instance;
+  instance.num_elements = 6;
+  instance.subsets = {{0, 1, 2, 3}, {0, 1, 4}, {2, 3, 5}, {4}, {5}};
+  const auto greedy = GreedySetCover(instance);
+  EXPECT_EQ(greedy.size(), 3u);
+  const auto exact = ExactSetCover(instance);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_EQ(exact->size(), 2u);
+  EXPECT_TRUE(IsCover(instance, *exact));
+}
+
+TEST(SetCoverTest, ExactNodeLimitAborts) {
+  Rng rng(1);
+  const SetCoverInstance instance = RandomSetCoverInstance(20, 20, 0.3, rng);
+  EXPECT_FALSE(ExactSetCover(instance, /*node_limit=*/3).has_value());
+}
+
+class SetCoverPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SetCoverPropertyTest, RandomInstancesValidAndSolvable) {
+  Rng rng(GetParam());
+  const SetCoverInstance instance = RandomSetCoverInstance(10, 6, 0.25, rng);
+  EXPECT_NO_THROW(instance.Validate());
+  const auto greedy = GreedySetCover(instance);
+  EXPECT_TRUE(IsCover(instance, greedy));
+  const auto exact = ExactSetCover(instance);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_TRUE(IsCover(instance, *exact));
+  EXPECT_LE(exact->size(), greedy.size());
+}
+
+TEST_P(SetCoverPropertyTest, GreedyWithinLogFactorOfOptimum) {
+  // Classic guarantee: |greedy| <= H(n) * |OPT| <= (ln n + 1) * |OPT|.
+  Rng rng(GetParam() + 77);
+  const SetCoverInstance instance = RandomSetCoverInstance(12, 8, 0.3, rng);
+  const auto greedy = GreedySetCover(instance);
+  const auto exact = ExactSetCover(instance);
+  ASSERT_TRUE(exact.has_value());
+  const double harmonic_bound =
+      std::log(static_cast<double>(instance.num_elements)) + 1.0;
+  EXPECT_LE(static_cast<double>(greedy.size()),
+            harmonic_bound * static_cast<double>(exact->size()) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetCoverPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace diaca::redux

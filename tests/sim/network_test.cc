@@ -1,0 +1,186 @@
+#include "sim/network.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "net/jitter.h"
+#include "../testutil.h"
+
+namespace diaca::sim {
+namespace {
+
+net::LatencyMatrix ThreeNodes() {
+  net::LatencyMatrix m(3);
+  m.Set(0, 1, 10.0);
+  m.Set(0, 2, 25.0);
+  m.Set(1, 2, 40.0);
+  return m;
+}
+
+TEST(NetworkTest, DeliversAfterMatrixLatency) {
+  Simulator simulator;
+  const auto m = ThreeNodes();
+  Network network(simulator, m);
+  double delivered_at = -1.0;
+  network.Send(0, 2, [&] { delivered_at = simulator.Now(); });
+  simulator.Run();
+  EXPECT_DOUBLE_EQ(delivered_at, 25.0);
+}
+
+TEST(NetworkTest, LocalDeliveryIsImmediateButAsync) {
+  Simulator simulator;
+  const auto m = ThreeNodes();
+  Network network(simulator, m);
+  bool delivered = false;
+  network.Send(1, 1, [&] { delivered = true; });
+  EXPECT_FALSE(delivered);  // still queued
+  simulator.Run();
+  EXPECT_TRUE(delivered);
+  EXPECT_DOUBLE_EQ(simulator.Now(), 0.0);
+}
+
+TEST(NetworkTest, CountsMessagesAndBytes) {
+  Simulator simulator;
+  const auto m = ThreeNodes();
+  Network network(simulator, m);
+  network.Send(0, 1, [] {}, 100);
+  network.Send(1, 2, [] {}, 50);
+  simulator.Run();
+  EXPECT_EQ(network.messages_sent(), 2u);
+  EXPECT_EQ(network.bytes_sent(), 150u);
+}
+
+TEST(NetworkTest, RejectsOutOfRangeNodes) {
+  Simulator simulator;
+  const auto m = ThreeNodes();
+  Network network(simulator, m);
+  EXPECT_THROW(network.Send(0, 3, [] {}), Error);
+  EXPECT_THROW(network.Send(-1, 0, [] {}), Error);
+}
+
+TEST(NetworkTest, BaseLatencyExposesMatrix) {
+  Simulator simulator;
+  const auto m = ThreeNodes();
+  Network network(simulator, m);
+  EXPECT_DOUBLE_EQ(network.BaseLatency(1, 2), 40.0);
+}
+
+TEST(NetworkTest, JitteredLatencyExceedsBase) {
+  Simulator simulator;
+  const auto base = ThreeNodes();
+  net::JitterModel jitter(base, {.spread = 0.5, .sigma = 0.8});
+  Network network(simulator, jitter, /*seed=*/7);
+  double delivered_at = -1.0;
+  network.Send(0, 1, [&] { delivered_at = simulator.Now(); });
+  simulator.Run();
+  EXPECT_GT(delivered_at, 10.0);
+}
+
+TEST(NetworkTest, JitterStreamsDifferPerSeed) {
+  const auto base = ThreeNodes();
+  net::JitterModel jitter(base, {.spread = 0.5, .sigma = 0.8});
+  auto one_delivery = [&](std::uint64_t seed) {
+    Simulator simulator;
+    Network network(simulator, jitter, seed);
+    double at = -1.0;
+    network.Send(0, 1, [&] { at = simulator.Now(); });
+    simulator.Run();
+    return at;
+  };
+  EXPECT_NE(one_delivery(1), one_delivery(2));
+  EXPECT_DOUBLE_EQ(one_delivery(3), one_delivery(3));  // reproducible
+}
+
+TEST(NetworkTest, LossDropsSomeMessages) {
+  Simulator simulator;
+  const auto m = ThreeNodes();
+  Network network(simulator, m);
+  network.SetLossProbability(0.5);
+  int delivered = 0;
+  constexpr int kSent = 200;
+  for (int i = 0; i < kSent; ++i) {
+    network.Send(0, 1, [&] { ++delivered; });
+  }
+  simulator.Run();
+  EXPECT_EQ(network.messages_lost(), kSent - static_cast<std::uint64_t>(delivered));
+  EXPECT_GT(network.messages_lost(), 50u);
+  EXPECT_GT(delivered, 50);
+}
+
+TEST(NetworkTest, LocalDeliveryNeverLost) {
+  Simulator simulator;
+  const auto m = ThreeNodes();
+  Network network(simulator, m);
+  network.SetLossProbability(0.9);
+  int delivered = 0;
+  for (int i = 0; i < 50; ++i) {
+    network.Send(1, 1, [&] { ++delivered; });
+  }
+  simulator.Run();
+  EXPECT_EQ(delivered, 50);
+}
+
+TEST(NetworkTest, ReliableSendAlwaysDelivers) {
+  Simulator simulator;
+  const auto m = ThreeNodes();
+  Network network(simulator, m);
+  network.SetLossProbability(0.7);
+  int delivered = 0;
+  constexpr int kSent = 100;
+  for (int i = 0; i < kSent; ++i) {
+    network.SendReliable(0, 1, [&] { ++delivered; }, 64, /*rto_ms=*/50.0);
+  }
+  simulator.Run();
+  EXPECT_EQ(delivered, kSent);
+  // Retransmissions show up in the traffic counters.
+  EXPECT_GT(network.messages_sent(), static_cast<std::uint64_t>(kSent));
+  EXPECT_EQ(network.messages_sent() - network.messages_lost(),
+            static_cast<std::uint64_t>(kSent));
+}
+
+TEST(NetworkTest, ReliableSendDelaysByRtoPerLoss) {
+  Simulator simulator;
+  const auto m = ThreeNodes();
+  Network network(simulator, m);
+  network.SetLossProbability(0.5);
+  std::vector<double> arrivals;
+  for (int i = 0; i < 100; ++i) {
+    network.SendReliable(0, 1, [&] { arrivals.push_back(simulator.Now()); },
+                         64, /*rto_ms=*/25.0);
+  }
+  simulator.Run();
+  ASSERT_EQ(arrivals.size(), 100u);
+  for (double at : arrivals) {
+    // base latency 10 plus a whole number of 25 ms timeouts.
+    const double extra = at - 10.0;
+    EXPECT_GE(extra, -1e-9);
+    EXPECT_NEAR(extra / 25.0, std::round(extra / 25.0), 1e-9);
+  }
+}
+
+TEST(NetworkTest, RejectsBadLossProbability) {
+  Simulator simulator;
+  const auto m = ThreeNodes();
+  Network network(simulator, m);
+  EXPECT_THROW(network.SetLossProbability(-0.1), Error);
+  EXPECT_THROW(network.SetLossProbability(1.0), Error);
+  EXPECT_THROW(network.SendReliable(0, 1, [] {}, 64, 0.0), Error);
+}
+
+TEST(NetworkTest, ManyMessagesPreserveCausalOrderPerPair) {
+  // Fixed latencies: messages sent earlier on the same pair arrive earlier.
+  Simulator simulator;
+  const auto m = ThreeNodes();
+  Network network(simulator, m);
+  std::vector<int> arrivals;
+  simulator.At(0.0, [&] { network.Send(0, 1, [&] { arrivals.push_back(1); }); });
+  simulator.At(1.0, [&] { network.Send(0, 1, [&] { arrivals.push_back(2); }); });
+  simulator.At(2.0, [&] { network.Send(0, 1, [&] { arrivals.push_back(3); }); });
+  simulator.Run();
+  EXPECT_EQ(arrivals, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace diaca::sim

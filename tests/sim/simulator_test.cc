@@ -1,0 +1,95 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace diaca::sim {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.At(5.0, [&] { order.push_back(2); });
+  simulator.At(1.0, [&] { order.push_back(1); });
+  simulator.At(9.0, [&] { order.push_back(3); });
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(simulator.Now(), 9.0);
+  EXPECT_EQ(simulator.events_processed(), 3u);
+}
+
+TEST(SimulatorTest, TiesRunInSchedulingOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    simulator.At(3.0, [&order, i] { order.push_back(i); });
+  }
+  simulator.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulatorTest, AfterSchedulesRelative) {
+  Simulator simulator;
+  double fired_at = -1.0;
+  simulator.At(4.0, [&] {
+    simulator.After(2.5, [&] { fired_at = simulator.Now(); });
+  });
+  simulator.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 6.5);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator simulator;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) simulator.After(1.0, chain);
+  };
+  simulator.After(1.0, chain);
+  simulator.Run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(simulator.Now(), 5.0);
+}
+
+TEST(SimulatorTest, SchedulingInThePastThrows) {
+  Simulator simulator;
+  simulator.At(5.0, [] {});
+  simulator.Run();
+  EXPECT_THROW(simulator.At(4.0, [] {}), Error);
+  EXPECT_THROW(simulator.After(-1.0, [] {}), Error);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator simulator;
+  EXPECT_FALSE(simulator.Step());
+  simulator.At(1.0, [] {});
+  EXPECT_TRUE(simulator.Step());
+  EXPECT_FALSE(simulator.Step());
+}
+
+TEST(SimulatorTest, RunUntilLeavesLaterEventsQueued) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.At(1.0, [&] { ++fired; });
+  simulator.At(2.0, [&] { ++fired; });
+  simulator.At(10.0, [&] { ++fired; });
+  simulator.RunUntil(5.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(simulator.Now(), 5.0);
+  EXPECT_EQ(simulator.pending_events(), 1u);
+  simulator.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, RunUntilBoundaryInclusive) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.At(5.0, [&] { ++fired; });
+  simulator.RunUntil(5.0);
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace diaca::sim

@@ -1,0 +1,91 @@
+// Shared helpers for the diaca test suite: tiny matrix builders, random
+// instances, and brute-force reference implementations that the optimized
+// library code is checked against.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/metrics.h"
+#include "core/problem.h"
+#include "core/types.h"
+#include "net/latency_matrix.h"
+
+namespace diaca::test {
+
+/// Matrix from a row-major initializer (must be symmetric, zero diagonal).
+inline net::LatencyMatrix MatrixFrom(std::int32_t n,
+                                     std::initializer_list<double> values) {
+  return net::LatencyMatrix(n, std::vector<double>(values));
+}
+
+/// Random complete symmetric matrix with entries in [lo, hi).
+inline net::LatencyMatrix RandomMatrix(std::int32_t n, Rng& rng,
+                                       double lo = 1.0, double hi = 100.0) {
+  net::LatencyMatrix m(n);
+  for (net::NodeIndex u = 0; u < n; ++u) {
+    for (net::NodeIndex v = u + 1; v < n; ++v) {
+      m.Set(u, v, rng.NextUniform(lo, hi));
+    }
+  }
+  return m;
+}
+
+/// A random problem: first `num_servers` nodes are servers, all nodes are
+/// clients.
+inline core::Problem RandomProblem(std::int32_t num_nodes,
+                                   std::int32_t num_servers, Rng& rng) {
+  const net::LatencyMatrix m = RandomMatrix(num_nodes, rng);
+  std::vector<net::NodeIndex> servers(static_cast<std::size_t>(num_servers));
+  std::iota(servers.begin(), servers.end(), 0);
+  return core::Problem::WithClientsEverywhere(m, servers);
+}
+
+/// O(|C|^2) reference for the maximum interaction path length.
+inline double BruteForceMaxPath(const core::Problem& p,
+                                const core::Assignment& a) {
+  double best = 0.0;
+  for (core::ClientIndex i = 0; i < p.num_clients(); ++i) {
+    for (core::ClientIndex j = i; j < p.num_clients(); ++j) {
+      best = std::max(best, core::InteractionPathLength(p, a, i, j));
+    }
+  }
+  return best;
+}
+
+/// Exhaustive optimal assignment by full enumeration (|S|^|C| — tiny
+/// instances only).
+inline double BruteForceOptimal(const core::Problem& p,
+                                std::int32_t capacity = -1) {
+  const auto num_clients = p.num_clients();
+  const auto num_servers = p.num_servers();
+  core::Assignment a(static_cast<std::size_t>(num_clients));
+  std::vector<std::int32_t> choice(static_cast<std::size_t>(num_clients), 0);
+  double best = std::numeric_limits<double>::infinity();
+  for (;;) {
+    std::vector<std::int32_t> load(static_cast<std::size_t>(num_servers), 0);
+    bool ok = true;
+    for (core::ClientIndex c = 0; c < num_clients; ++c) {
+      a[c] = choice[static_cast<std::size_t>(c)];
+      if (capacity > 0 && ++load[static_cast<std::size_t>(a[c])] > capacity) {
+        ok = false;
+      }
+    }
+    if (ok) best = std::min(best, BruteForceMaxPath(p, a));
+    // Odometer increment.
+    std::int32_t pos = 0;
+    while (pos < num_clients) {
+      if (++choice[static_cast<std::size_t>(pos)] < num_servers) break;
+      choice[static_cast<std::size_t>(pos)] = 0;
+      ++pos;
+    }
+    if (pos == num_clients) break;
+  }
+  return best;
+}
+
+}  // namespace diaca::test

@@ -1,0 +1,48 @@
+# End-to-end smoke test of the diaca CLI: generate -> place -> assign ->
+# evaluate -> schedule over real files. Run via ctest (see CMakeLists.txt).
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_step)
+  execute_process(COMMAND ${ARGV}
+                  WORKING_DIRECTORY ${WORK_DIR}
+                  RESULT_VARIABLE code
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "step failed (${code}): ${ARGV}\n${out}\n${err}")
+  endif()
+  message(STATUS "${out}")
+endfunction()
+
+run_step(${DIACA_BIN} generate --nodes=80 --clusters=5 --seed=3
+         --out=world.txt)
+run_step(${DIACA_BIN} place --matrix=world.txt --method=kcenter-b
+         --servers=5 --out=servers.txt)
+run_step(${DIACA_BIN} assign --matrix=world.txt --servers=servers.txt
+         --algorithm=greedy --out=assignment.txt)
+run_step(${DIACA_BIN} evaluate --matrix=world.txt --servers=servers.txt
+         --assignment=assignment.txt)
+run_step(${DIACA_BIN} schedule --matrix=world.txt --servers=servers.txt
+         --assignment=assignment.txt)
+
+# Capacitated + distributed-greedy path.
+run_step(${DIACA_BIN} assign --matrix=world.txt --servers=servers.txt
+         --algorithm=dg --capacity=20 --out=assignment_dg.txt)
+run_step(${DIACA_BIN} evaluate --matrix=world.txt --servers=servers.txt
+         --assignment=assignment_dg.txt)
+
+# A bad invocation must fail loudly.
+execute_process(COMMAND ${DIACA_BIN} assign --matrix=missing.txt
+                        --servers=servers.txt --algorithm=greedy
+                        --out=x.txt
+                WORKING_DIRECTORY ${WORK_DIR}
+                RESULT_VARIABLE code
+                OUTPUT_QUIET ERROR_QUIET)
+if(code EQUAL 0)
+  message(FATAL_ERROR "missing-matrix invocation unexpectedly succeeded")
+endif()
+
+# Simulate the session end to end from the produced files.
+run_step(${DIACA_BIN} simulate --matrix=world.txt --servers=servers.txt
+         --assignment=assignment.txt --duration-ms=1500)

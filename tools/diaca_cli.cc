@@ -1,0 +1,309 @@
+// diaca — command-line front end to libdiaca.
+//
+// Subcommands compose into the paper's pipeline over plain text files:
+//
+//   diaca generate --dataset=meridian --seed=1 --out=world.txt
+//   diaca place    --matrix=world.txt --method=kcenter-b --servers=80 \
+//                  --out=servers.txt
+//   diaca assign   --matrix=world.txt --servers=servers.txt \
+//                  --algorithm=greedy [--capacity=N] --out=assignment.txt
+//   diaca evaluate --matrix=world.txt --servers=servers.txt \
+//                  --assignment=assignment.txt
+//   diaca schedule --matrix=world.txt --servers=servers.txt \
+//                  --assignment=assignment.txt
+//
+// Matrices use the dense format of data/loader.h; a server file lists the
+// server node ids; an assignment file has one `client_node server_node`
+// pair per line. Clients sit at every node (the paper's §V setup).
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "core/ablations.h"
+#include "core/distributed_greedy.h"
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "core/longest_first_batch.h"
+#include "core/lower_bound.h"
+#include "core/metrics.h"
+#include "core/nearest_server.h"
+#include "core/sync_schedule.h"
+#include "data/loader.h"
+#include "dia/session.h"
+#include "data/synthetic.h"
+#include "placement/placement.h"
+
+namespace {
+
+using namespace diaca;
+
+int Usage() {
+  std::cerr <<
+      "usage: diaca <generate|place|assign|evaluate|schedule|simulate>\n"
+      "             [flags]\n"
+      "  generate --out=FILE [--dataset=meridian|mit|small] [--nodes=N]\n"
+      "           [--clusters=K] [--seed=S]\n"
+      "  place    --matrix=FILE --servers=K --out=FILE\n"
+      "           [--method=random|kcenter-a|kcenter-b] [--seed=S]\n"
+      "  assign   --matrix=FILE --servers=FILE --out=FILE\n"
+      "           [--algorithm=nearest|lfb|greedy|dg|single|exact]\n"
+      "           [--capacity=N]\n"
+      "  evaluate --matrix=FILE --servers=FILE --assignment=FILE\n"
+      "  schedule --matrix=FILE --servers=FILE --assignment=FILE\n"
+      "  simulate --matrix=FILE --servers=FILE --assignment=FILE\n"
+      "           [--duration-ms=T] [--ops-per-second=R] [--seed=S]\n";
+  return 2;
+}
+
+std::vector<net::NodeIndex> LoadNodeList(const std::string& path,
+                                         net::NodeIndex limit) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "'");
+  std::vector<net::NodeIndex> nodes;
+  std::int64_t v = 0;
+  while (in >> v) {
+    DIACA_CHECK_MSG(v >= 0 && v < limit, "node id " << v << " out of range");
+    nodes.push_back(static_cast<net::NodeIndex>(v));
+  }
+  DIACA_CHECK_MSG(!nodes.empty(), "empty node list in '" << path << "'");
+  return nodes;
+}
+
+core::Assignment LoadAssignment(const std::string& path,
+                                const core::Problem& problem) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "'");
+  // Map client node -> server list index.
+  std::map<net::NodeIndex, core::ServerIndex> server_index;
+  for (core::ServerIndex s = 0; s < problem.num_servers(); ++s) {
+    server_index[problem.server_node(s)] = s;
+  }
+  core::Assignment a(static_cast<std::size_t>(problem.num_clients()));
+  std::int64_t client_node = 0;
+  std::int64_t server_node = 0;
+  while (in >> client_node >> server_node) {
+    DIACA_CHECK_MSG(client_node >= 0 && client_node < problem.num_clients(),
+                    "client node " << client_node << " out of range");
+    const auto it = server_index.find(static_cast<net::NodeIndex>(server_node));
+    DIACA_CHECK_MSG(it != server_index.end(),
+                    "node " << server_node << " is not a server");
+    a[static_cast<core::ClientIndex>(client_node)] = it->second;
+  }
+  DIACA_CHECK_MSG(a.IsComplete(), "assignment file misses some clients");
+  return a;
+}
+
+void SaveAssignment(const std::string& path, const core::Problem& problem,
+                    const core::Assignment& a) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  for (core::ClientIndex c = 0; c < problem.num_clients(); ++c) {
+    out << problem.client_node(c) << " " << problem.server_node(a[c]) << "\n";
+  }
+}
+
+int CmdGenerate(const Flags& flags) {
+  const std::string out = flags.GetString("out", "");
+  DIACA_CHECK_MSG(!out.empty(), "--out is required");
+  net::LatencyMatrix matrix(1);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  if (flags.Has("nodes")) {
+    data::SyntheticParams params;
+    params.num_nodes = static_cast<std::int32_t>(flags.GetInt("nodes", 300));
+    params.num_clusters =
+        static_cast<std::int32_t>(flags.GetInt("clusters", 10));
+    matrix = data::GenerateSyntheticInternet(params, seed);
+  } else {
+    matrix = data::MakeNamedDataset(flags.GetString("dataset", "small"), seed);
+  }
+  data::SaveDenseMatrix(matrix, out);
+  std::cout << "wrote " << matrix.size() << "-node matrix to " << out << "\n";
+  return 0;
+}
+
+int CmdPlace(const Flags& flags) {
+  const net::LatencyMatrix matrix =
+      data::LoadDenseMatrix(flags.GetString("matrix", ""));
+  const auto k = static_cast<std::int32_t>(flags.GetInt("servers", 10));
+  const std::string method = flags.GetString("method", "kcenter-b");
+  const std::string out = flags.GetString("out", "");
+  DIACA_CHECK_MSG(!out.empty(), "--out is required");
+  std::vector<net::NodeIndex> servers;
+  if (method == "random") {
+    Rng rng(static_cast<std::uint64_t>(flags.GetInt("seed", 1)));
+    servers = placement::RandomPlacement(matrix, k, rng);
+  } else if (method == "kcenter-a") {
+    servers = placement::KCenterHochbaumShmoys(matrix, k);
+  } else if (method == "kcenter-b") {
+    servers = placement::KCenterGreedy(matrix, k);
+  } else {
+    throw Error("unknown placement method '" + method + "'");
+  }
+  std::ofstream file(out);
+  if (!file) throw Error("cannot open '" + out + "' for writing");
+  for (net::NodeIndex s : servers) file << s << "\n";
+  std::cout << "placed " << k << " servers (" << method
+            << "), K-center objective "
+            << placement::KCenterObjective(matrix, servers) << " ms\n";
+  return 0;
+}
+
+int CmdAssign(const Flags& flags) {
+  const net::LatencyMatrix matrix =
+      data::LoadDenseMatrix(flags.GetString("matrix", ""));
+  const auto servers =
+      LoadNodeList(flags.GetString("servers", ""), matrix.size());
+  const std::string out = flags.GetString("out", "");
+  DIACA_CHECK_MSG(!out.empty(), "--out is required");
+  const core::Problem problem =
+      core::Problem::WithClientsEverywhere(matrix, servers);
+  core::AssignOptions options;
+  options.capacity = static_cast<std::int32_t>(flags.GetInt(
+      "capacity", core::AssignOptions::kUnlimitedCapacity));
+
+  const std::string algorithm = flags.GetString("algorithm", "greedy");
+  core::Assignment a;
+  if (algorithm == "nearest") {
+    a = core::NearestServerAssign(problem, options);
+  } else if (algorithm == "lfb") {
+    a = core::LongestFirstBatchAssign(problem, options);
+  } else if (algorithm == "greedy") {
+    a = core::GreedyAssign(problem, options);
+  } else if (algorithm == "dg") {
+    a = core::DistributedGreedyAssign(problem, options).assignment;
+  } else if (algorithm == "single") {
+    a = core::BestSingleServerAssign(problem, options);
+  } else if (algorithm == "exact") {
+    core::ExactOptions exact_options;
+    exact_options.assign = options;
+    const auto result = core::ExactAssign(problem, exact_options);
+    if (!result) throw Error("exact solver hit its node limit");
+    a = result->assignment;
+  } else {
+    throw Error("unknown algorithm '" + algorithm + "'");
+  }
+  SaveAssignment(out, problem, a);
+  std::cout << algorithm << ": max interaction path "
+            << core::MaxInteractionPathLength(problem, a) << " ms\n";
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags) {
+  const net::LatencyMatrix matrix =
+      data::LoadDenseMatrix(flags.GetString("matrix", ""));
+  const auto servers =
+      LoadNodeList(flags.GetString("servers", ""), matrix.size());
+  const core::Problem problem =
+      core::Problem::WithClientsEverywhere(matrix, servers);
+  const core::Assignment a =
+      LoadAssignment(flags.GetString("assignment", ""), problem);
+  const double d = core::MaxInteractionPathLength(problem, a);
+  const double lb = core::InteractivityLowerBound(problem);
+  const double lb3 = core::TripleEnhancedLowerBound(problem);
+  Table table({"metric", "value"});
+  table.Row().Cell("max interaction path (ms)").Cell(d);
+  table.Row().Cell("mean interaction path (ms)").Cell(
+      core::MeanInteractionPathLength(problem, a));
+  table.Row().Cell("pairwise lower bound (ms)").Cell(lb);
+  table.Row().Cell("triple-enhanced bound (ms)").Cell(lb3);
+  table.Row().Cell("normalized interactivity").Cell(
+      core::NormalizedInteractivity(d, lb));
+  table.Row().Cell("normalized vs triple bound").Cell(
+      core::NormalizedInteractivity(d, lb3));
+  table.Row().Cell("max server load").Cell(
+      static_cast<std::int64_t>(core::MaxServerLoad(problem, a)));
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdSimulate(const Flags& flags) {
+  const net::LatencyMatrix matrix =
+      data::LoadDenseMatrix(flags.GetString("matrix", ""));
+  const auto servers =
+      LoadNodeList(flags.GetString("servers", ""), matrix.size());
+  const core::Problem problem =
+      core::Problem::WithClientsEverywhere(matrix, servers);
+  const core::Assignment a =
+      LoadAssignment(flags.GetString("assignment", ""), problem);
+  const core::SyncSchedule schedule = core::ComputeSyncSchedule(problem, a);
+
+  dia::SessionParams params;
+  params.workload.duration_ms = flags.GetDouble("duration-ms", 5000.0);
+  params.workload.ops_per_second = flags.GetDouble("ops-per-second", 1.0);
+  params.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  const dia::DiaSession session(matrix, problem, a, schedule, params);
+  const dia::SessionReport report = session.Run();
+
+  Table table({"metric", "value"});
+  table.Row().Cell("delta / interaction time (ms)").Cell(report.delta);
+  table.Row().Cell("operations issued").Cell(
+      static_cast<std::int64_t>(report.ops_issued));
+  table.Row().Cell("measured interaction min (ms)").Cell(
+      report.interaction_time.min());
+  table.Row().Cell("measured interaction max (ms)").Cell(
+      report.interaction_time.max());
+  table.Row().Cell("consistency probes").Cell(
+      static_cast<std::int64_t>(report.consistency_samples));
+  table.Row().Cell("divergent probes").Cell(
+      static_cast<std::int64_t>(report.consistency_mismatches));
+  table.Row().Cell("fairness violations").Cell(
+      static_cast<std::int64_t>(report.fairness_violations));
+  table.Row().Cell("messages").Cell(
+      static_cast<std::int64_t>(report.messages_sent));
+  table.Print(std::cout);
+  std::cout << (report.clean() ? "session clean\n"
+                               : "session saw violations\n");
+  return report.clean() ? 0 : 1;
+}
+
+int CmdSchedule(const Flags& flags) {
+  const net::LatencyMatrix matrix =
+      data::LoadDenseMatrix(flags.GetString("matrix", ""));
+  const auto servers =
+      LoadNodeList(flags.GetString("servers", ""), matrix.size());
+  const core::Problem problem =
+      core::Problem::WithClientsEverywhere(matrix, servers);
+  const core::Assignment a =
+      LoadAssignment(flags.GetString("assignment", ""), problem);
+  const core::SyncSchedule schedule = core::ComputeSyncSchedule(problem, a);
+  std::cout << "delta (interaction time for every pair): " << schedule.delta
+            << " ms\n";
+  Table table({"server node", "offset vs client clock (ms)"});
+  for (core::ServerIndex s = 0; s < problem.num_servers(); ++s) {
+    table.Row()
+        .Cell(static_cast<std::int64_t>(problem.server_node(s)))
+        .Cell(schedule.server_offset[static_cast<std::size_t>(s)]);
+  }
+  table.Print(std::cout);
+  const auto feasibility = core::CheckSyncSchedule(problem, a, schedule);
+  std::cout << "feasible: " << (feasibility.feasible ? "yes" : "no") << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags(argc - 1, argv + 1,
+                    {"out", "dataset", "nodes", "clusters", "seed", "matrix",
+                     "servers", "method", "algorithm", "capacity",
+                     "assignment", "duration-ms", "ops-per-second"});
+  try {
+    if (command == "generate") return CmdGenerate(flags);
+    if (command == "place") return CmdPlace(flags);
+    if (command == "assign") return CmdAssign(flags);
+    if (command == "evaluate") return CmdEvaluate(flags);
+    if (command == "schedule") return CmdSchedule(flags);
+    if (command == "simulate") return CmdSimulate(flags);
+    return Usage();
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
