@@ -44,14 +44,15 @@ AverageOutcome RunPoint(const net::LatencyMatrix& matrix,
                         const Config& config) {
   const std::int64_t runs =
       placement == PlacementType::kRandom ? config.runs : 1;
-  Rng rng(config.seed * 1000003 + static_cast<std::uint64_t>(servers));
-  std::vector<AlgorithmOutcome> outcomes;
-  outcomes.reserve(static_cast<std::size_t>(runs));
-  for (std::int64_t run = 0; run < runs; ++run) {
-    const auto nodes = factory.Make(placement, servers, rng);
-    outcomes.push_back(benchutil::EvaluateAlgorithms(
-        matrix, nodes, core::AssignOptions{}, config.triple_bound));
-  }
+  // Trials fan out across the thread pool; trial i seeds its own RNG from
+  // base + i, so the figures are identical at every --threads value.
+  const std::uint64_t base =
+      config.seed * 1000003 + static_cast<std::uint64_t>(servers);
+  const std::vector<AlgorithmOutcome> outcomes =
+      benchutil::RunIndependentTrials(matrix, factory, placement, servers,
+                                      base, static_cast<std::int32_t>(runs),
+                                      core::AssignOptions{},
+                                      config.triple_bound);
   return benchutil::AverageNormalized(outcomes);
 }
 

@@ -1,0 +1,138 @@
+// Parallel assignment-engine speedup report: wall-clock for the greedy
+// and longest-first-batch assignments at --threads=1 (exact serial path)
+// vs the full pool, on one deterministic synthetic instance.
+//
+//   bench_parallel [--nodes=1796] [--servers=50] [--capacity=0]
+//                  [--reps=3] [--seed=S] [--threads=N]
+//
+// --threads caps the sweep (default: hardware concurrency); --capacity=0
+// derives a mildly tight uniform capacity (1.2 |C|/|S|). Every parallel
+// run's assignment is checked element-wise against the serial one — the
+// engine's determinism contract — and at >= 8 threads on >= 8 hardware
+// cores the greedy speedup is SHAPE-checked against the 4x bar.
+#include <algorithm>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "bench_util/experiment.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "core/greedy.h"
+#include "core/longest_first_batch.h"
+#include "core/problem.h"
+#include "data/synthetic.h"
+#include "placement/placement.h"
+
+namespace {
+
+using namespace diaca;
+
+double TimeBestOf(std::int64_t reps, core::Assignment* out,
+                  const std::function<core::Assignment()>& run) {
+  double best_ms = std::numeric_limits<double>::infinity();
+  for (std::int64_t rep = 0; rep < reps; ++rep) {
+    Timer timer;
+    core::Assignment a = run();
+    best_ms = std::min(best_ms, timer.ElapsedMillis());
+    *out = std::move(a);
+  }
+  return best_ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv,
+                    {"nodes", "servers", "capacity", "reps", "seed"});
+  const auto nodes = static_cast<std::int32_t>(flags.GetInt("nodes", 1796));
+  const auto servers = static_cast<std::int32_t>(flags.GetInt("servers", 50));
+  const std::int64_t reps = flags.GetInt("reps", 3);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 2011));
+  std::int32_t capacity = static_cast<std::int32_t>(flags.GetInt("capacity", 0));
+  if (capacity <= 0) {
+    capacity = std::max<std::int32_t>(1, (nodes * 12) / (servers * 10));
+  }
+  const int max_threads = GlobalThreads();  // set by built-in --threads
+
+  data::SyntheticParams params;
+  params.num_nodes = nodes;
+  params.num_clusters = std::max(4, nodes / 30);
+  Timer setup;
+  const net::LatencyMatrix matrix = data::GenerateSyntheticInternet(params, seed);
+  const auto server_nodes = placement::KCenterGreedy(matrix, servers);
+  const core::Problem problem =
+      core::Problem::WithClientsEverywhere(matrix, server_nodes);
+  std::cout << "instance: " << nodes << " nodes, " << servers
+            << " servers, capacity " << capacity << " (setup "
+            << FormatDouble(setup.ElapsedSeconds(), 1) << "s), max threads "
+            << max_threads << "\n";
+
+  core::AssignOptions capacitated;
+  capacitated.capacity = capacity;
+  struct Workload {
+    const char* name;
+    std::function<core::Assignment()> run;
+  };
+  const std::vector<Workload> workloads = {
+      {"greedy", [&] { return core::GreedyAssign(problem); }},
+      {"greedy-capacitated",
+       [&] { return core::GreedyAssign(problem, capacitated); }},
+      {"longest-first-batch-capacitated",
+       [&] { return core::LongestFirstBatchAssign(problem, capacitated); }},
+  };
+
+  std::vector<int> counts{1};
+  for (int c : {2, 4, max_threads}) {
+    if (c > 1 && c <= max_threads && c != counts.back()) counts.push_back(c);
+  }
+
+  bool all_identical = true;
+  double greedy_speedup_at_max = 1.0;
+  Table table({"workload", "threads", "best-ms", "speedup", "identical"});
+  for (const Workload& w : workloads) {
+    core::Assignment serial;
+    double serial_ms = 0.0;
+    for (int threads : counts) {
+      SetGlobalThreads(threads);
+      core::Assignment a;
+      const double ms = TimeBestOf(reps, &a, w.run);
+      const bool identical = threads == 1 || a == serial;
+      if (threads == 1) {
+        serial = std::move(a);
+        serial_ms = ms;
+      }
+      all_identical &= identical;
+      const double speedup = serial_ms / ms;
+      if (w.name == std::string("greedy") && threads == max_threads) {
+        greedy_speedup_at_max = speedup;
+      }
+      table.Row()
+          .Cell(w.name)
+          .Cell(static_cast<std::int64_t>(threads))
+          .Cell(FormatDouble(ms, 2))
+          .Cell(FormatDouble(speedup, 2))
+          .Cell(identical ? "yes" : "NO");
+    }
+  }
+  table.Print(std::cout);
+
+  benchutil::CheckShape(all_identical,
+                        "assignments at every thread count are element-wise "
+                        "identical to --threads=1");
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (max_threads >= 8 && hw >= 8) {
+    benchutil::CheckShape(greedy_speedup_at_max >= 4.0,
+                          "greedy >= 4x speedup at " +
+                              std::to_string(max_threads) + " threads");
+  } else {
+    std::cout << "[SHAPE] SKIP greedy 4x speedup bar (needs >= 8 threads on "
+                 ">= 8 hardware cores; have "
+              << max_threads << " threads, " << hw << " cores)\n";
+  }
+  return all_identical ? 0 : 1;
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the concurrency tests
+# (thread pool + parallel determinism grid) again under ThreadSanitizer.
+# Usage: scripts/tier1.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+if [ "${1:-}" != "--skip-tsan" ]; then
+  cmake -B build-tsan -S . -DDIACA_SANITIZE=thread
+  cmake --build build-tsan -j --target parallel_test
+  ctest --test-dir build-tsan -L tsan --output-on-failure
+fi

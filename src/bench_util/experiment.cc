@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "core/distributed_greedy.h"
 #include "core/greedy.h"
 #include "core/longest_first_batch.h"
@@ -87,6 +88,34 @@ AlgorithmOutcome EvaluateAlgorithms(const net::LatencyMatrix& matrix,
                         ? core::TripleEnhancedLowerBound(problem)
                         : core::InteractivityLowerBound(problem);
   return out;
+}
+
+std::vector<AlgorithmOutcome> RunIndependentTrials(
+    const net::LatencyMatrix& matrix, PlacementFactory& factory,
+    PlacementType type, std::int32_t k, std::uint64_t seed,
+    std::int32_t trials, const core::AssignOptions& options,
+    bool triple_bound) {
+  DIACA_CHECK(trials >= 0);
+  // Placements first, serially: deterministic per trial (seed + index) and
+  // the factory caches are single-threaded.
+  std::vector<std::vector<net::NodeIndex>> placements;
+  placements.reserve(static_cast<std::size_t>(trials));
+  for (std::int32_t trial = 0; trial < trials; ++trial) {
+    Rng rng(seed + static_cast<std::uint64_t>(trial));
+    placements.push_back(factory.Make(type, k, rng));
+  }
+  // Evaluations are independent; each writes only its own slot. (The
+  // assignment algorithms inside also use the pool — nested fan-out is
+  // fine, the pool caps total parallelism.)
+  std::vector<AlgorithmOutcome> outcomes(static_cast<std::size_t>(trials));
+  GlobalPool().ParallelFor(0, trials, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t trial = b; trial < e; ++trial) {
+      outcomes[static_cast<std::size_t>(trial)] =
+          EvaluateAlgorithms(matrix, placements[static_cast<std::size_t>(trial)],
+                             options, triple_bound);
+    }
+  });
+  return outcomes;
 }
 
 AverageOutcome AverageNormalized(std::span<const AlgorithmOutcome> outcomes) {

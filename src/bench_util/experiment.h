@@ -72,6 +72,18 @@ AlgorithmOutcome EvaluateAlgorithms(const net::LatencyMatrix& matrix,
                                     const core::AssignOptions& options,
                                     bool triple_bound = false);
 
+/// Run `trials` independent placement+evaluation trials and return one
+/// outcome per trial, in trial order. Trial i draws its placement from a
+/// fresh Rng(seed + i), so trial streams never depend on each other; the
+/// placements are drawn serially (the factory's caches are not
+/// thread-safe) and the expensive evaluations then fan out across the
+/// global thread pool. Results are bit-identical at every thread count.
+std::vector<AlgorithmOutcome> RunIndependentTrials(
+    const net::LatencyMatrix& matrix, PlacementFactory& factory,
+    PlacementType type, std::int32_t k, std::uint64_t seed,
+    std::int32_t trials, const core::AssignOptions& options,
+    bool triple_bound = false);
+
 /// Mean of per-run normalized interactivity across runs, per algorithm.
 struct AverageOutcome {
   double nearest_server = 0.0;

@@ -4,6 +4,7 @@
 #include <charconv>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace diaca {
 
@@ -13,10 +14,13 @@ bool LooksLikeFlag(const std::string& arg) {
   return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
 }
 
+constexpr const char* kThreadsFlag = "threads";
+
 }  // namespace
 
 Flags::Flags(int argc, const char* const* argv, std::vector<std::string> spec) {
   program_name_ = argc > 0 ? argv[0] : "";
+  spec.push_back(kThreadsFlag);  // built-in: thread-pool size
   auto known = [&spec](const std::string& name) {
     return std::find(spec.begin(), spec.end(), name) != spec.end();
   };
@@ -45,6 +49,13 @@ Flags::Flags(int argc, const char* const* argv, std::vector<std::string> spec) {
       throw Error("unknown flag --" + name + " (program " + program_name_ + ")");
     }
     values_[name] = std::move(value);
+  }
+  if (Has(kThreadsFlag)) {
+    const std::int64_t threads = GetInt(kThreadsFlag, 0);
+    if (threads < 0) {
+      throw Error("flag --threads must be >= 0 (0 = hardware concurrency)");
+    }
+    SetGlobalThreads(static_cast<int>(threads));
   }
 }
 

@@ -3,6 +3,12 @@
 // Supports --name=value, --name value, and bare boolean --name. Unknown
 // flags are an error (catches typos in experiment scripts). Positional
 // arguments are collected separately.
+//
+// `--threads=N` is a built-in flag every binary accepts without listing
+// it: parsing it configures the process-wide thread pool (see
+// common/thread_pool.h; N=1 is the exact serial path, 0 or absent means
+// hardware concurrency), so all benches, examples, and tools honor it
+// uniformly.
 #pragma once
 
 #include <cstdint>

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "core/capacity.h"
 #include "core/metrics.h"
 #include "core/nearest_server.h"
@@ -93,20 +94,24 @@ DgResult DistributedGreedyAssign(const Problem& problem,
       }
       const std::vector<double> far_excl =
           EccentricitiesExcluding(problem, a, c);
-      double best_len = std::numeric_limits<double>::infinity();
-      ServerIndex best_server = kUnassigned;
-      for (ServerIndex s = 0; s < problem.num_servers(); ++s) {
-        if (s == current) continue;
-        if (options.capacitated() &&
-            load[static_cast<std::size_t>(s)] >= options.CapacityOf(s)) {
-          continue;
-        }
-        const double len = PathLengthIfMoved(problem, c, s, far_excl);
-        if (len < best_len) {
-          best_len = len;
-          best_server = s;
-        }
-      }
+      // Candidate servers are scored independently (O(|S|) each), so the
+      // scan fans out across the pool; the deterministic min-reduce keeps
+      // the lowest-index server on ties, exactly like the serial ascending
+      // scan with a strict `<`.
+      const ThreadPool::Extremum best_move = GlobalPool().ParallelMinReduce(
+          0, problem.num_servers(), 4, [&](std::int64_t si) {
+            const auto s = static_cast<ServerIndex>(si);
+            if (s == current) return std::numeric_limits<double>::infinity();
+            if (options.capacitated() &&
+                load[static_cast<std::size_t>(s)] >= options.CapacityOf(s)) {
+              return std::numeric_limits<double>::infinity();
+            }
+            return PathLengthIfMoved(problem, c, s, far_excl);
+          });
+      const double best_len = best_move.value;
+      const ServerIndex best_server =
+          best_move.index < 0 ? kUnassigned
+                              : static_cast<ServerIndex>(best_move.index);
       if (best_server == kUnassigned || best_len >= max_len - kEps) continue;
 
       // Reassign c. Paths not involving c cannot grow, so D is

@@ -6,32 +6,49 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "core/capacity.h"
 #include "core/metrics.h"
 
 namespace diaca::core {
+
+namespace {
+
+// Per-server outcome of one round's candidate scan (written only by the
+// task that owns the server, read after the reduction).
+struct ServerBest {
+  double len = 0.0;
+  std::int64_t pos = -1;  // position of the chosen client in the list
+};
+
+}  // namespace
 
 Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
                         GreedyStats* stats) {
   const std::int32_t num_clients = problem.num_clients();
   const std::int32_t num_servers = problem.num_servers();
   CheckCapacityFeasible(problem, options);
+  ThreadPool& pool = GlobalPool();
 
   // Preprocessing: per-server client lists sorted by distance (ties by
-  // client index, making every later step deterministic).
+  // client index, making every later step deterministic). The sorts are
+  // independent, so they fan out across the pool.
   std::vector<std::vector<ClientIndex>> lists(
       static_cast<std::size_t>(num_servers));
-  for (ServerIndex s = 0; s < num_servers; ++s) {
-    auto& list = lists[static_cast<std::size_t>(s)];
-    list.resize(static_cast<std::size_t>(num_clients));
-    std::iota(list.begin(), list.end(), 0);
-    std::sort(list.begin(), list.end(),
-              [&problem, s](ClientIndex a, ClientIndex b) {
-                const double da = problem.cs(a, s);
-                const double db = problem.cs(b, s);
-                return da != db ? da < db : a < b;
-              });
-  }
+  pool.ParallelFor(0, num_servers, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t si = b; si < e; ++si) {
+      const auto s = static_cast<ServerIndex>(si);
+      auto& list = lists[static_cast<std::size_t>(s)];
+      list.resize(static_cast<std::size_t>(num_clients));
+      std::iota(list.begin(), list.end(), 0);
+      std::sort(list.begin(), list.end(),
+                [&problem, s](ClientIndex a, ClientIndex b2) {
+                  const double da = problem.cs(a, s);
+                  const double db = problem.cs(b2, s);
+                  return da != db ? da < db : a < b2;
+                });
+    }
+  });
 
   Assignment a(static_cast<std::size_t>(num_clients));
   std::vector<double> far(static_cast<std::size_t>(num_servers), -1.0);
@@ -41,63 +58,93 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
         options.capacitated() ? options.CapacityOf(s)
                               : std::numeric_limits<std::int32_t>::max();
   }
+  // Cached reach[s] = MaxServerReach(problem, far, s). Eccentricities only
+  // grow (clients are only ever added), so after a batch lands on server b
+  // the whole cache refreshes with one max per server — O(|S|) per round
+  // instead of the O(|S|^2) full recomputation. `max` over doubles is
+  // exact, so the cached values are bit-identical to a fresh scan.
+  std::vector<double> reach(static_cast<std::size_t>(num_servers), 0.0);
+  std::vector<ServerBest> bests(static_cast<std::size_t>(num_servers));
   double max_len = 0.0;
   std::int32_t num_assigned = 0;
 
   while (num_assigned < num_clients) {
-    double best_cost = std::numeric_limits<double>::infinity();
-    double best_len = 0.0;
-    ServerIndex best_server = kUnassigned;
-    std::size_t best_pos = 0;  // position of the chosen client in the list
-
-    for (ServerIndex s = 0; s < num_servers; ++s) {
-      if (remaining[static_cast<std::size_t>(s)] <= 0) continue;
-      // Shared part of Δl for server s: the farthest reach to an already
-      // assigned client through its server.
-      const double reach = MaxServerReach(problem, far, s);
-      const auto& list = lists[static_cast<std::size_t>(s)];
-      std::int32_t unassigned_prefix = 0;
+    // One task per server: compact the sorted list in place (dropping
+    // clients assigned in earlier rounds, so each assignment is skipped
+    // once and never rescanned — amortized O(1) per assigned client),
+    // then scan the survivors for the best Δl/Δn candidate. The
+    // deterministic min-reduce resolves cost ties by server index, and
+    // the in-server scan keeps the first minimal position, matching the
+    // serial (server, position) iteration order exactly.
+    const auto scan_server = [&](std::int64_t si) -> double {
+      const auto s = static_cast<ServerIndex>(si);
+      auto& best = bests[static_cast<std::size_t>(si)];
+      best = ServerBest{};
+      if (remaining[static_cast<std::size_t>(si)] <= 0) {
+        return std::numeric_limits<double>::infinity();
+      }
+      auto& list = lists[static_cast<std::size_t>(si)];
+      std::size_t write = 0;
       for (std::size_t pos = 0; pos < list.size(); ++pos) {
         const ClientIndex c = list[pos];
-        if (a[c] != kUnassigned) continue;
-        ++unassigned_prefix;
-        const double d = problem.cs(c, s);
-        const double len =
-            std::max({2.0 * d, num_assigned > 0 ? d + reach : 0.0, max_len});
+        if (a[c] == kUnassigned) list[write++] = c;
+      }
+      list.resize(write);
+
+      const double server_reach = reach[static_cast<std::size_t>(si)];
+      const std::int32_t room = remaining[static_cast<std::size_t>(si)];
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (std::size_t pos = 0; pos < list.size(); ++pos) {
+        const double d = problem.cs(list[pos], s);
+        const double len = std::max(
+            {2.0 * d, num_assigned > 0 ? d + server_reach : 0.0, max_len});
         const double delta_l = len - max_len;
-        const auto delta_n = std::min(
-            unassigned_prefix, remaining[static_cast<std::size_t>(s)]);
+        // The compacted prefix [0, pos] is entirely unassigned, so the
+        // batch size is pos + 1 — no re-count, no prefix re-walk.
+        const auto delta_n =
+            std::min(static_cast<std::int32_t>(pos) + 1, room);
         const double cost = delta_l / static_cast<double>(delta_n);
         if (cost < best_cost) {
           best_cost = cost;
-          best_len = len;
-          best_server = s;
-          best_pos = pos;
+          best.len = len;
+          best.pos = static_cast<std::int64_t>(pos);
         }
       }
-    }
-    DIACA_CHECK_MSG(best_server != kUnassigned, "no assignable pair found");
+      return best_cost;
+    };
+    const ThreadPool::Extremum chosen =
+        pool.ParallelMinReduce(0, num_servers, 1, scan_server);
+    DIACA_CHECK_MSG(chosen.index >= 0, "no assignable pair found");
+    const auto best_server = static_cast<ServerIndex>(chosen.index);
+    const ServerBest& best = bests[static_cast<std::size_t>(best_server)];
 
-    // Batch: unassigned clients in the sorted prefix ending at the chosen
-    // client; truncated to the farthest `take` members under capacity.
-    const auto& list = lists[static_cast<std::size_t>(best_server)];
-    std::vector<ClientIndex> batch;
-    for (std::size_t pos = 0; pos <= best_pos; ++pos) {
-      if (a[list[pos]] == kUnassigned) batch.push_back(list[pos]);
-    }
+    // Batch: the compacted prefix ending at the chosen client — all
+    // unassigned by construction; truncated to the farthest `take`
+    // members under capacity.
+    auto& list = lists[static_cast<std::size_t>(best_server)];
     auto& room = remaining[static_cast<std::size_t>(best_server)];
+    const auto batch_size = static_cast<std::size_t>(best.pos) + 1;
     const auto take =
-        std::min<std::size_t>(batch.size(), static_cast<std::size_t>(room));
+        std::min<std::size_t>(batch_size, static_cast<std::size_t>(room));
     DIACA_CHECK(take >= 1);
-    for (std::size_t i = batch.size() - take; i < batch.size(); ++i) {
-      a[batch[i]] = best_server;
+    for (std::size_t i = batch_size - take; i < batch_size; ++i) {
+      a[list[i]] = best_server;
       far[static_cast<std::size_t>(best_server)] =
           std::max(far[static_cast<std::size_t>(best_server)],
-                   problem.cs(batch[i], best_server));
+                   problem.cs(list[i], best_server));
       ++num_assigned;
     }
     if (options.capacitated()) room -= static_cast<std::int32_t>(take);
-    max_len = std::max(max_len, best_len);
+    max_len = std::max(max_len, best.len);
+
+    // Only far(best_server) changed, and it only grew: fold it into every
+    // server's cached reach.
+    const double fb = far[static_cast<std::size_t>(best_server)];
+    for (ServerIndex s = 0; s < num_servers; ++s) {
+      reach[static_cast<std::size_t>(s)] =
+          std::max(reach[static_cast<std::size_t>(s)],
+                   problem.ss(s, best_server) + fb);
+    }
     if (stats != nullptr) ++stats->iterations;
   }
   return a;

@@ -1,8 +1,10 @@
 #include "core/incremental.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace diaca::core {
 
@@ -41,22 +43,36 @@ double IncrementalEvaluator::EffectiveFar(ServerIndex s, ClientIndex c,
 
 IncrementalEvaluator::PairMax IncrementalEvaluator::ScanAllPairs(
     ClientIndex c, ServerIndex from, ServerIndex to) const {
-  PairMax best;
   const std::int32_t num_servers = problem_.num_servers();
-  for (ServerIndex s1 = 0; s1 < num_servers; ++s1) {
-    const double f1 = EffectiveFar(s1, c, from, to);
-    if (f1 < 0.0) continue;
-    const double* row = problem_.ss_row(s1);
-    for (ServerIndex s2 = s1; s2 < num_servers; ++s2) {
-      const double f2 = EffectiveFar(s2, c, from, to);
-      if (f2 < 0.0) continue;
-      const double value = f1 + row[s2] + f2;
-      if (value > best.value || best.a == kUnassigned) {
-        best = {value, s1, s2};
-      }
-    }
-  }
-  return best;
+  // The rows of the pair scan are independent, so the full O(|U|^2)
+  // rescan fans out across the pool by anchor server s1. Each row task
+  // records its best partner s2 (first one on value ties, like the serial
+  // strict `>` scan); the deterministic max-reduce then keeps the
+  // lowest s1 on cross-row ties — together that reproduces the serial
+  // lexicographically-first argmax pair exactly.
+  std::vector<ServerIndex> best_s2(static_cast<std::size_t>(num_servers),
+                                   kUnassigned);
+  const ThreadPool::Extremum row_best = GlobalPool().ParallelMaxReduce(
+      0, num_servers, 8, [&](std::int64_t si) {
+        const auto s1 = static_cast<ServerIndex>(si);
+        const double f1 = EffectiveFar(s1, c, from, to);
+        if (f1 < 0.0) return -std::numeric_limits<double>::infinity();
+        const double* row = problem_.ss_row(s1);
+        double local = -std::numeric_limits<double>::infinity();
+        for (ServerIndex s2 = s1; s2 < num_servers; ++s2) {
+          const double f2 = EffectiveFar(s2, c, from, to);
+          if (f2 < 0.0) continue;
+          const double value = f1 + row[s2] + f2;
+          if (value > local) {
+            local = value;
+            best_s2[static_cast<std::size_t>(si)] = s2;
+          }
+        }
+        return local;
+      });
+  if (row_best.index < 0) return PairMax{};
+  const auto s1 = static_cast<ServerIndex>(row_best.index);
+  return {row_best.value, s1, best_s2[static_cast<std::size_t>(row_best.index)]};
 }
 
 IncrementalEvaluator::PairMax IncrementalEvaluator::ScanTouching(

@@ -1,9 +1,11 @@
 #include "core/longest_first_batch.h"
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "core/capacity.h"
 #include "core/nearest_server.h"
 
@@ -33,12 +35,18 @@ ServerIndex NearestUnsaturated(const Problem& problem, ClientIndex c,
 
 Assignment Uncapacitated(const Problem& problem) {
   const std::int32_t num_clients = problem.num_clients();
-  std::vector<Candidate> order;
-  order.reserve(static_cast<std::size_t>(num_clients));
-  for (ClientIndex c = 0; c < num_clients; ++c) {
-    const ServerIndex s = NearestServerOf(problem, c);
-    order.push_back({c, s, problem.cs(c, s)});
-  }
+  std::vector<Candidate> order(static_cast<std::size_t>(num_clients));
+  // Per-client nearest-server lookups are independent O(|S|) scans — fan
+  // them out; each task writes only its own slots.
+  GlobalPool().ParallelFor(0, num_clients, 256,
+                           [&](std::int64_t b, std::int64_t e) {
+                             for (std::int64_t ci = b; ci < e; ++ci) {
+                               const auto c = static_cast<ClientIndex>(ci);
+                               const ServerIndex s = NearestServerOf(problem, c);
+                               order[static_cast<std::size_t>(ci)] = {
+                                   c, s, problem.cs(c, s)};
+                             }
+                           });
   // Longest distance first; stable tie-break on client index.
   std::sort(order.begin(), order.end(), [](const Candidate& a, const Candidate& b) {
     return a.distance != b.distance ? a.distance > b.distance
@@ -67,19 +75,31 @@ Assignment Capacitated(const Problem& problem, const AssignOptions& options) {
     remaining[static_cast<std::size_t>(s)] = options.CapacityOf(s);
   }
   Assignment a(static_cast<std::size_t>(num_clients));
+  std::vector<ServerIndex> nearest(static_cast<std::size_t>(num_clients),
+                                   kUnassigned);
   std::int32_t unassigned = num_clients;
 
   while (unassigned > 0) {
     // Find the unassigned client whose distance to its nearest unsaturated
-    // server is longest.
-    Candidate lead{kUnassigned, kUnassigned, -1.0};
-    for (ClientIndex c = 0; c < num_clients; ++c) {
-      if (a[c] != kUnassigned) continue;
-      const ServerIndex s = NearestUnsaturated(problem, c, remaining);
-      DIACA_CHECK_MSG(s != kUnassigned, "all servers saturated early");
-      const double d = problem.cs(c, s);
-      if (d > lead.distance) lead = {c, s, d};
-    }
+    // server is longest. Each client is scored independently; the
+    // deterministic max-reduce keeps the lowest client index on distance
+    // ties, exactly like the serial ascending scan with a strict `>`.
+    const ThreadPool::Extremum lead_pick = GlobalPool().ParallelMaxReduce(
+        0, num_clients, 64, [&](std::int64_t ci) {
+          const auto c = static_cast<ClientIndex>(ci);
+          if (a[c] != kUnassigned) {
+            return -std::numeric_limits<double>::infinity();
+          }
+          const ServerIndex s = NearestUnsaturated(problem, c, remaining);
+          DIACA_CHECK_MSG(s != kUnassigned, "all servers saturated early");
+          nearest[static_cast<std::size_t>(ci)] = s;
+          return problem.cs(c, s);
+        });
+    DIACA_CHECK(lead_pick.index >= 0);
+    const Candidate lead{
+        static_cast<ClientIndex>(lead_pick.index),
+        nearest[static_cast<std::size_t>(lead_pick.index)],
+        lead_pick.value};
     // Batch of unassigned clients within lead.distance of the server,
     // farthest first so the lead client itself is always included.
     std::vector<Candidate> batch;

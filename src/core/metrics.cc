@@ -1,10 +1,20 @@
 #include "core/metrics.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace diaca::core {
+
+namespace {
+
+// Below this many clients the chunked parallel paths fall back to plain
+// loops — the work wouldn't cover the fan-out cost.
+constexpr std::int64_t kClientGrain = 2048;
+
+}  // namespace
 
 double InteractionPathLength(const Problem& problem, const Assignment& a,
                              ClientIndex ci, ClientIndex cj) {
@@ -18,13 +28,38 @@ double InteractionPathLength(const Problem& problem, const Assignment& a,
 std::vector<double> ServerEccentricities(const Problem& problem,
                                          const Assignment& a) {
   DIACA_CHECK(a.size() == static_cast<std::size_t>(problem.num_clients()));
+  const std::int32_t num_clients = problem.num_clients();
   std::vector<double> far(static_cast<std::size_t>(problem.num_servers()), -1.0);
-  for (ClientIndex c = 0; c < problem.num_clients(); ++c) {
-    const ServerIndex s = a[c];
-    if (s == kUnassigned) continue;
-    far[static_cast<std::size_t>(s)] =
-        std::max(far[static_cast<std::size_t>(s)], problem.cs(c, s));
+  ThreadPool& pool = GlobalPool();
+  if (pool.num_threads() == 1 || num_clients <= kClientGrain) {
+    for (ClientIndex c = 0; c < num_clients; ++c) {
+      const ServerIndex s = a[c];
+      if (s == kUnassigned) continue;
+      far[static_cast<std::size_t>(s)] =
+          std::max(far[static_cast<std::size_t>(s)], problem.cs(c, s));
+    }
+    return far;
   }
+  // Chunked max-merge: each chunk folds its clients into a private array,
+  // then merges under a lock. `max` is exact, so the merged eccentricities
+  // are bit-identical to the serial scan whatever the interleaving.
+  std::mutex mu;
+  pool.ParallelFor(0, num_clients, kClientGrain,
+                   [&](std::int64_t b, std::int64_t e) {
+                     std::vector<double> local(
+                         static_cast<std::size_t>(problem.num_servers()), -1.0);
+                     for (std::int64_t c = b; c < e; ++c) {
+                       const ServerIndex s = a[static_cast<ClientIndex>(c)];
+                       if (s == kUnassigned) continue;
+                       local[static_cast<std::size_t>(s)] = std::max(
+                           local[static_cast<std::size_t>(s)],
+                           problem.cs(static_cast<ClientIndex>(c), s));
+                     }
+                     std::lock_guard<std::mutex> lock(mu);
+                     for (std::size_t s = 0; s < far.size(); ++s) {
+                       far[s] = std::max(far[s], local[s]);
+                     }
+                   });
   return far;
 }
 
@@ -66,15 +101,40 @@ std::vector<ClientIndex> CriticalClients(const Problem& problem,
                                          double tolerance) {
   const double max_len = MaxInteractionPathLength(problem, a);
   const std::vector<double> far = ServerEccentricities(problem, a);
+  const std::int32_t num_clients = problem.num_clients();
+  const std::int32_t num_servers = problem.num_servers();
+  ThreadPool& pool = GlobalPool();
+  // The reach term depends only on the server, so compute it once per
+  // server (fanned out across the pool) instead of once per client.
+  std::vector<double> reach(static_cast<std::size_t>(num_servers), 0.0);
+  pool.ParallelFor(0, num_servers, 8, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t s = b; s < e; ++s) {
+      reach[static_cast<std::size_t>(s)] =
+          MaxServerReach(problem, far, static_cast<ServerIndex>(s));
+    }
+  });
+  // Flag clients in parallel, collect in index order: the result is the
+  // same ascending list the serial loop produced.
+  std::vector<char> is_critical(static_cast<std::size_t>(num_clients), 0);
+  pool.ParallelFor(0, num_clients, kClientGrain,
+                   [&](std::int64_t b, std::int64_t e) {
+                     for (std::int64_t ci = b; ci < e; ++ci) {
+                       const auto c = static_cast<ClientIndex>(ci);
+                       const ServerIndex s = a[c];
+                       const double dcs = problem.cs(c, s);
+                       // c is an endpoint of a longest path iff its distance
+                       // plus the longest reach from its server (or its own
+                       // round trip) attains max_len.
+                       const double longest_via_c = std::max(
+                           2.0 * dcs, dcs + reach[static_cast<std::size_t>(s)]);
+                       if (longest_via_c >= max_len - tolerance) {
+                         is_critical[static_cast<std::size_t>(ci)] = 1;
+                       }
+                     }
+                   });
   std::vector<ClientIndex> critical;
-  for (ClientIndex c = 0; c < problem.num_clients(); ++c) {
-    const ServerIndex s = a[c];
-    const double dcs = problem.cs(c, s);
-    // c is an endpoint of a longest path iff its distance plus the longest
-    // reach from its server (or its own round trip) attains max_len.
-    const double reach = MaxServerReach(problem, far, s);
-    const double longest_via_c = std::max(2.0 * dcs, dcs + reach);
-    if (longest_via_c >= max_len - tolerance) critical.push_back(c);
+  for (ClientIndex c = 0; c < num_clients; ++c) {
+    if (is_critical[static_cast<std::size_t>(c)] != 0) critical.push_back(c);
   }
   return critical;
 }
@@ -98,11 +158,18 @@ double MeanInteractionPathLength(const Problem& problem,
     load[static_cast<std::size_t>(s)] += 1.0;
     client_sum += d;
   }
+  // Only used servers contribute (a zero-load endpoint zeroes the term),
+  // so the pair sum runs over the used set just like
+  // MaxInteractionPathLength — O(|U|^2) instead of O(|S|^2).
+  std::vector<ServerIndex> used;
+  used.reserve(static_cast<std::size_t>(problem.num_servers()));
+  for (ServerIndex s = 0; s < problem.num_servers(); ++s) {
+    if (load[static_cast<std::size_t>(s)] > 0.0) used.push_back(s);
+  }
   double pair_sum = 2.0 * num_clients * client_sum;
-  for (ServerIndex s1 = 0; s1 < problem.num_servers(); ++s1) {
-    if (load[static_cast<std::size_t>(s1)] == 0.0) continue;
+  for (const ServerIndex s1 : used) {
     const double* row = problem.ss_row(s1);
-    for (ServerIndex s2 = 0; s2 < problem.num_servers(); ++s2) {
+    for (const ServerIndex s2 : used) {
       pair_sum += load[static_cast<std::size_t>(s1)] *
                   load[static_cast<std::size_t>(s2)] * row[s2];
     }

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace diaca::net {
 
@@ -45,17 +46,25 @@ std::vector<double> Graph::ShortestPathsFrom(NodeIndex source) const {
 
 LatencyMatrix Graph::AllPairsShortestPaths() const {
   LatencyMatrix out(n_);
-  for (NodeIndex u = 0; u < n_; ++u) {
-    const std::vector<double> dist = ShortestPathsFrom(u);
-    for (NodeIndex v = u + 1; v < n_; ++v) {
-      const double d = dist[static_cast<std::size_t>(v)];
-      if (!std::isfinite(d)) {
-        throw Error("graph is disconnected: no path " + std::to_string(u) +
-                    " -> " + std::to_string(v));
+  // One Dijkstra per source, fanned out across the pool. Source u writes
+  // exactly the cells {(u,v), (v,u) : v > u}, so no two sources touch the
+  // same entry; the per-source results don't depend on scheduling, so the
+  // matrix is bit-identical at every thread count. A disconnected-graph
+  // error propagates out of the pool like the serial throw did.
+  GlobalPool().ParallelFor(0, n_, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t ui = b; ui < e; ++ui) {
+      const auto u = static_cast<NodeIndex>(ui);
+      const std::vector<double> dist = ShortestPathsFrom(u);
+      for (NodeIndex v = u + 1; v < n_; ++v) {
+        const double d = dist[static_cast<std::size_t>(v)];
+        if (!std::isfinite(d)) {
+          throw Error("graph is disconnected: no path " + std::to_string(u) +
+                      " -> " + std::to_string(v));
+        }
+        out.Set(u, v, d);
       }
-      out.Set(u, v, d);
     }
-  }
+  });
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace diaca {
 namespace {
@@ -81,6 +82,17 @@ TEST(FlagsTest, PositionalArguments) {
 TEST(FlagsTest, LastValueWins) {
   const Flags f = Parse({"prog", "--runs=1", "--runs=2"}, {"runs"});
   EXPECT_EQ(f.GetInt("runs", 0), 2);
+}
+
+TEST(FlagsTest, ThreadsIsBuiltInAndConfiguresThePool) {
+  // --threads needs no spec entry and resizes the global pool as a side
+  // effect of parsing.
+  const Flags f = Parse({"prog", "--threads=2"}, {});
+  EXPECT_EQ(f.GetInt("threads", 0), 2);
+  EXPECT_EQ(GlobalThreads(), 2);
+  Parse({"prog", "--threads=1"}, {"runs"});
+  EXPECT_EQ(GlobalThreads(), 1);
+  EXPECT_THROW(Parse({"prog", "--threads=-3"}, {}), Error);
 }
 
 }  // namespace

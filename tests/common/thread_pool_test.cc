@@ -1,0 +1,195 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/error.h"
+
+namespace diaca {
+namespace {
+
+TEST(ThreadPoolTest, StartupAndShutdown) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    // Destructor joins all workers without work ever being submitted.
+  }
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, NegativeThreadCountThrows) {
+  EXPECT_THROW(ThreadPool(-1), Error);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    for (std::int64_t n : {0, 1, 7, 64, 1000}) {
+      std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+      pool.ParallelFor(0, n, 3, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) {
+          hits[static_cast<std::size_t>(i)].fetch_add(1);
+        }
+      });
+      for (std::int64_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+            << "threads=" << threads << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRespectsGrainBounds) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::int64_t> sizes;
+  pool.ParallelFor(10, 110, 7, [&](std::int64_t b, std::int64_t e) {
+    ASSERT_LT(b, e);
+    std::lock_guard<std::mutex> lock(mu);
+    sizes.push_back(e - b);
+  });
+  std::int64_t total = 0;
+  for (std::int64_t s : sizes) {
+    EXPECT_LE(s, 7);
+    total += s;
+  }
+  EXPECT_EQ(total, 100);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesExceptions) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.ParallelFor(0, 100, 1,
+                         [](std::int64_t b, std::int64_t) {
+                           if (b == 42) throw Error("boom at 42");
+                         }),
+        Error);
+    // The pool survives the exception and accepts further work.
+    std::atomic<std::int64_t> sum{0};
+    pool.ParallelFor(0, 10, 1, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) sum.fetch_add(i);
+    });
+    EXPECT_EQ(sum.load(), 45);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesNonDiacaExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 8, 1,
+                                [](std::int64_t, std::int64_t) {
+                                  throw std::runtime_error("other");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, MinReduceFindsGlobalMinimum) {
+  const std::vector<double> values{5.0, 3.0, 9.0, 1.0, 4.0, 1.5};
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    const auto r = pool.ParallelMinReduce(
+        0, static_cast<std::int64_t>(values.size()), 2,
+        [&](std::int64_t i) { return values[static_cast<std::size_t>(i)]; });
+    EXPECT_EQ(r.index, 3);
+    EXPECT_EQ(r.value, 1.0);
+  }
+}
+
+TEST(ThreadPoolTest, MinReduceBreaksTiesByLowestIndex) {
+  // Equal minima at several indices: the lowest index must win at every
+  // thread count and grain, mirroring a serial ascending strict-< scan.
+  const std::vector<double> values{7.0, 2.0, 5.0, 2.0, 2.0, 8.0};
+  for (int threads : {1, 2, 3, 8}) {
+    ThreadPool pool(threads);
+    for (std::int64_t grain : {1, 2, 4, 100}) {
+      const auto r = pool.ParallelMinReduce(
+          0, static_cast<std::int64_t>(values.size()), grain,
+          [&](std::int64_t i) { return values[static_cast<std::size_t>(i)]; });
+      EXPECT_EQ(r.index, 1) << "threads=" << threads << " grain=" << grain;
+      EXPECT_EQ(r.value, 2.0);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, MaxReduceBreaksTiesByLowestIndex) {
+  const std::vector<double> values{7.0, 9.0, 5.0, 9.0, 2.0};
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    for (std::int64_t grain : {1, 3}) {
+      const auto r = pool.ParallelMaxReduce(
+          0, static_cast<std::int64_t>(values.size()), grain,
+          [&](std::int64_t i) { return values[static_cast<std::size_t>(i)]; });
+      EXPECT_EQ(r.index, 1) << "threads=" << threads << " grain=" << grain;
+      EXPECT_EQ(r.value, 9.0);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ReduceIgnoresInfiniteScores) {
+  ThreadPool pool(4);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const auto skip_all = pool.ParallelMinReduce(
+      0, 16, 2, [](std::int64_t) { return kInf; });
+  EXPECT_EQ(skip_all.index, -1);
+  const auto skip_some = pool.ParallelMinReduce(0, 16, 2, [](std::int64_t i) {
+    return i % 2 == 0 ? kInf : static_cast<double>(i);
+  });
+  EXPECT_EQ(skip_some.index, 1);
+  const auto empty = pool.ParallelMinReduce(
+      5, 5, 1, [](std::int64_t) { return 0.0; });
+  EXPECT_EQ(empty.index, -1);
+}
+
+TEST(ThreadPoolTest, NestedSubmitDoesNotDeadlock) {
+  // Every outer task issues an inner ParallelFor on the same pool. The
+  // caller of each level participates in its own job, so this completes
+  // even when all workers are tied up in outer tasks.
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  pool.ParallelFor(0, 16, 1, [&](std::int64_t ob, std::int64_t oe) {
+    for (std::int64_t o = ob; o < oe; ++o) {
+      pool.ParallelFor(0, 8, 1, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i) total.fetch_add(1);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 16 * 8);
+}
+
+TEST(ThreadPoolTest, NestedReduceInsideForIsDeterministic) {
+  ThreadPool pool(4);
+  std::vector<std::int64_t> winner(4, -1);
+  pool.ParallelFor(0, 4, 1, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t o = b; o < e; ++o) {
+      const auto r = pool.ParallelMinReduce(0, 64, 4, [o](std::int64_t i) {
+        return std::fabs(static_cast<double>(i) - 13.0 * static_cast<double>(o + 1));
+      });
+      winner[static_cast<std::size_t>(o)] = r.index;
+    }
+  });
+  EXPECT_EQ(winner, (std::vector<std::int64_t>{13, 26, 39, 52}));
+}
+
+TEST(GlobalPoolTest, SetGlobalThreadsReconfigures) {
+  SetGlobalThreads(3);
+  EXPECT_EQ(GlobalThreads(), 3);
+  EXPECT_EQ(GlobalPool().num_threads(), 3);
+  SetGlobalThreads(1);
+  EXPECT_EQ(GlobalThreads(), 1);
+  SetGlobalThreads(0);  // hardware concurrency
+  EXPECT_GE(GlobalThreads(), 1);
+  EXPECT_THROW(SetGlobalThreads(-2), Error);
+  SetGlobalThreads(1);
+}
+
+}  // namespace
+}  // namespace diaca

@@ -1,0 +1,121 @@
+// Determinism contract of the parallel assignment engine: for any thread
+// count, every algorithm must produce assignments element-wise identical
+// to the --threads=1 serial path. The engine achieves this with pure
+// per-index scoring plus lexicographic (value, index) reductions, so this
+// grid is the regression net for that design.
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/distributed_greedy.h"
+#include "core/greedy.h"
+#include "core/longest_first_batch.h"
+#include "core/metrics.h"
+#include "core/problem.h"
+#include "data/synthetic.h"
+#include "placement/placement.h"
+
+namespace diaca::core {
+namespace {
+
+struct GridCase {
+  std::int32_t nodes;
+  std::int32_t servers;
+  std::int32_t capacity;  // 0 = uncapacitated
+  std::uint64_t seed;
+};
+
+class ParallelDeterminismTest : public ::testing::TestWithParam<GridCase> {
+ protected:
+  void TearDown() override { SetGlobalThreads(1); }
+};
+
+Problem MakeProblem(const GridCase& g) {
+  data::SyntheticParams params;
+  params.num_nodes = g.nodes;
+  params.num_clusters = std::max(3, g.nodes / 40);
+  const net::LatencyMatrix matrix =
+      data::GenerateSyntheticInternet(params, g.seed);
+  const auto server_nodes = placement::KCenterGreedy(matrix, g.servers);
+  return Problem::WithClientsEverywhere(matrix, server_nodes);
+}
+
+AssignOptions OptionsOf(const GridCase& g) {
+  AssignOptions options;
+  if (g.capacity > 0) options.capacity = g.capacity;
+  return options;
+}
+
+TEST_P(ParallelDeterminismTest, GreedyMatchesSerialAtEveryThreadCount) {
+  const GridCase g = GetParam();
+  const Problem p = MakeProblem(g);
+  const AssignOptions options = OptionsOf(g);
+  SetGlobalThreads(1);
+  const Assignment serial = GreedyAssign(p, options);
+  for (int threads : {2, 8}) {
+    SetGlobalThreads(threads);
+    const Assignment parallel = GreedyAssign(p, options);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (ClientIndex c = 0; c < p.num_clients(); ++c) {
+      ASSERT_EQ(parallel[c], serial[c])
+          << "threads=" << threads << " client=" << c;
+    }
+  }
+}
+
+TEST_P(ParallelDeterminismTest, LongestFirstBatchMatchesSerial) {
+  const GridCase g = GetParam();
+  const Problem p = MakeProblem(g);
+  const AssignOptions options = OptionsOf(g);
+  SetGlobalThreads(1);
+  const Assignment serial = LongestFirstBatchAssign(p, options);
+  for (int threads : {2, 8}) {
+    SetGlobalThreads(threads);
+    const Assignment parallel = LongestFirstBatchAssign(p, options);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (ClientIndex c = 0; c < p.num_clients(); ++c) {
+      ASSERT_EQ(parallel[c], serial[c])
+          << "threads=" << threads << " client=" << c;
+    }
+  }
+}
+
+TEST_P(ParallelDeterminismTest, DistributedGreedyMatchesSerial) {
+  const GridCase g = GetParam();
+  const Problem p = MakeProblem(g);
+  const AssignOptions options = OptionsOf(g);
+  SetGlobalThreads(1);
+  const DgResult serial = DistributedGreedyAssign(p, options);
+  for (int threads : {2, 8}) {
+    SetGlobalThreads(threads);
+    const DgResult parallel = DistributedGreedyAssign(p, options);
+    EXPECT_EQ(parallel.assignment, serial.assignment) << "threads=" << threads;
+    EXPECT_EQ(parallel.max_len, serial.max_len);
+    EXPECT_EQ(parallel.modifications.size(), serial.modifications.size());
+  }
+}
+
+TEST_P(ParallelDeterminismTest, ObjectiveMetricsMatchSerial) {
+  const GridCase g = GetParam();
+  const Problem p = MakeProblem(g);
+  SetGlobalThreads(1);
+  const Assignment a = GreedyAssign(p, OptionsOf(g));
+  const double serial_max = MaxInteractionPathLength(p, a);
+  const auto serial_far = ServerEccentricities(p, a);
+  const auto serial_critical = CriticalClients(p, a);
+  for (int threads : {2, 8}) {
+    SetGlobalThreads(threads);
+    EXPECT_EQ(MaxInteractionPathLength(p, a), serial_max);
+    EXPECT_EQ(ServerEccentricities(p, a), serial_far);
+    EXPECT_EQ(CriticalClients(p, a), serial_critical);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ParallelDeterminismTest,
+    ::testing::Values(GridCase{60, 4, 0, 1}, GridCase{60, 4, 20, 2},
+                      GridCase{120, 8, 0, 3}, GridCase{120, 8, 18, 4},
+                      GridCase{200, 12, 0, 5}, GridCase{200, 12, 20, 6},
+                      GridCase{200, 3, 80, 7}, GridCase{90, 10, 9, 8}));
+
+}  // namespace
+}  // namespace diaca::core

@@ -290,11 +290,11 @@ int CmdSchedule(const Flags& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
-  const Flags flags(argc - 1, argv + 1,
-                    {"out", "dataset", "nodes", "clusters", "seed", "matrix",
-                     "servers", "method", "algorithm", "capacity",
-                     "assignment", "duration-ms", "ops-per-second"});
   try {
+    const Flags flags(argc - 1, argv + 1,
+                      {"out", "dataset", "nodes", "clusters", "seed", "matrix",
+                       "servers", "method", "algorithm", "capacity",
+                       "assignment", "duration-ms", "ops-per-second"});
     if (command == "generate") return CmdGenerate(flags);
     if (command == "place") return CmdPlace(flags);
     if (command == "assign") return CmdAssign(flags);
