@@ -1,0 +1,26 @@
+# Validate that a file parses as JSON using CMake's built-in parser — no
+# external dependency. Usage:
+#
+#   cmake -DJSON_FILE=path/to/file.json -P scripts/check_json.cmake
+#
+# Fails (non-zero exit) on unreadable files or malformed JSON. string(JSON)
+# needs CMake >= 3.19; older CMakes skip the check with a notice so the
+# callers (tier1.sh, cli_smoke.cmake) degrade instead of breaking.
+if(CMAKE_VERSION VERSION_LESS 3.19)
+  message(STATUS "CMake ${CMAKE_VERSION} < 3.19: skipping JSON validation")
+  return()
+endif()
+
+if(NOT DEFINED JSON_FILE)
+  message(FATAL_ERROR "pass -DJSON_FILE=<path>")
+endif()
+if(NOT EXISTS ${JSON_FILE})
+  message(FATAL_ERROR "no such file: ${JSON_FILE}")
+endif()
+
+file(READ ${JSON_FILE} _content)
+string(JSON _type ERROR_VARIABLE _err TYPE "${_content}")
+if(NOT _err STREQUAL "NOTFOUND")
+  message(FATAL_ERROR "invalid JSON in ${JSON_FILE}: ${_err}")
+endif()
+message(STATUS "${JSON_FILE}: valid JSON (top-level ${_type})")

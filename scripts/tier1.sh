@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, then the concurrency tests
-# (thread pool + parallel determinism grid) again under ThreadSanitizer.
+# Tier-1 verification: full build + test suite, an observability-artifact
+# smoke (one bench run with --metrics-out/--trace-out, outputs validated
+# as JSON), then the concurrency tests (thread pool + parallel
+# determinism grid) again under ThreadSanitizer.
 # Usage: scripts/tier1.sh [--skip-tsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -8,6 +10,16 @@ cd "$(dirname "$0")/.."
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
+
+# A real bench must emit parseable observability artifacts (small
+# instance; the JSON check uses CMake's own parser — no new deps).
+obs_dir=build/obs_smoke
+mkdir -p "$obs_dir"
+./build/bench/bench_parallel --nodes=150 --servers=10 --reps=1 --threads=4 \
+  --metrics-out="$obs_dir/metrics.json" --trace-out="$obs_dir/trace.json" \
+  > "$obs_dir/bench.log"
+cmake -DJSON_FILE="$obs_dir/metrics.json" -P scripts/check_json.cmake
+cmake -DJSON_FILE="$obs_dir/trace.json" -P scripts/check_json.cmake
 
 if [ "${1:-}" != "--skip-tsan" ]; then
   cmake -B build-tsan -S . -DDIACA_SANITIZE=thread

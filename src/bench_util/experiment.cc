@@ -5,12 +5,10 @@
 
 #include "common/error.h"
 #include "common/thread_pool.h"
-#include "core/distributed_greedy.h"
-#include "core/greedy.h"
-#include "core/longest_first_batch.h"
 #include "core/lower_bound.h"
 #include "core/metrics.h"
-#include "core/nearest_server.h"
+#include "core/solver_registry.h"
+#include "obs/obs.h"
 #include "placement/placement.h"
 
 namespace diaca::benchutil {
@@ -73,17 +71,22 @@ AlgorithmOutcome EvaluateAlgorithms(const net::LatencyMatrix& matrix,
                                     std::span<const net::NodeIndex> servers,
                                     const core::AssignOptions& options,
                                     bool triple_bound) {
+  DIACA_OBS_SPAN("bench.evaluate_algorithms");
   const core::Problem problem =
       core::Problem::WithClientsEverywhere(matrix, servers);
   AlgorithmOutcome out;
-  const core::Assignment nsa = core::NearestServerAssign(problem, options);
-  out.nearest_server = core::MaxInteractionPathLength(problem, nsa);
-  out.longest_first_batch = core::MaxInteractionPathLength(
-      problem, core::LongestFirstBatchAssign(problem, options));
-  out.greedy = core::MaxInteractionPathLength(
-      problem, core::GreedyAssign(problem, options));
-  out.distributed_greedy =
-      core::DistributedGreedyAssign(problem, options, &nsa).max_len;
+  core::SolveOptions solve_options;
+  solve_options.assign = options;
+  const core::SolveResult nearest =
+      core::Solve("nearest", problem, solve_options);
+  out.nearest_server = nearest.stats.max_len;
+  out.longest_first_batch =
+      core::Solve("lfb", problem, solve_options).stats.max_len;
+  out.greedy = core::Solve("greedy", problem, solve_options).stats.max_len;
+  // Distributed-Greedy is seeded from the Nearest-Server result, as in the
+  // paper's experiments.
+  solve_options.initial = &nearest.assignment;
+  out.distributed_greedy = core::Solve("dg", problem, solve_options).stats.max_len;
   out.lower_bound = triple_bound
                         ? core::TripleEnhancedLowerBound(problem)
                         : core::InteractivityLowerBound(problem);

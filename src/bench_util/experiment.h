@@ -66,7 +66,8 @@ inline constexpr const char* kAlgorithmNames[] = {
 /// Nearest-Server result, as in the paper) on one placement and compute
 /// the lower bound. Clients sit at every node (§V setup). With
 /// `triple_bound` the extension bound (core::TripleEnhancedLowerBound)
-/// normalizes instead of the paper's pairwise bound.
+/// normalizes instead of the paper's pairwise bound. All solves go
+/// through core::SolverRegistry, so --metrics-out/--trace-out cover them.
 AlgorithmOutcome EvaluateAlgorithms(const net::LatencyMatrix& matrix,
                                     std::span<const net::NodeIndex> servers,
                                     const core::AssignOptions& options,

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/thread_pool.h"
+#include "obs/obs.h"
 
 namespace diaca {
 
@@ -15,12 +16,16 @@ bool LooksLikeFlag(const std::string& arg) {
 }
 
 constexpr const char* kThreadsFlag = "threads";
+constexpr const char* kMetricsOutFlag = "metrics-out";
+constexpr const char* kTraceOutFlag = "trace-out";
 
 }  // namespace
 
 Flags::Flags(int argc, const char* const* argv, std::vector<std::string> spec) {
   program_name_ = argc > 0 ? argv[0] : "";
-  spec.push_back(kThreadsFlag);  // built-in: thread-pool size
+  spec.push_back(kThreadsFlag);     // built-in: thread-pool size
+  spec.push_back(kMetricsOutFlag);  // built-in: metrics JSON at exit
+  spec.push_back(kTraceOutFlag);    // built-in: Chrome trace at exit
   auto known = [&spec](const std::string& name) {
     return std::find(spec.begin(), spec.end(), name) != spec.end();
   };
@@ -56,6 +61,18 @@ Flags::Flags(int argc, const char* const* argv, std::vector<std::string> spec) {
       throw Error("flag --threads must be >= 0 (0 = hardware concurrency)");
     }
     SetGlobalThreads(static_cast<int>(threads));
+  }
+  if (Has(kMetricsOutFlag)) {
+    const std::string path = GetString(kMetricsOutFlag, "");
+    if (path.empty()) throw Error("flag --metrics-out expects a file path");
+    obs::SetMetricsEnabled(true);
+    obs::WriteMetricsJsonAtExit(path);
+  }
+  if (Has(kTraceOutFlag)) {
+    const std::string path = GetString(kTraceOutFlag, "");
+    if (path.empty()) throw Error("flag --trace-out expects a file path");
+    obs::SetTracingEnabled(true);
+    obs::WriteChromeTraceAtExit(path);
   }
 }
 

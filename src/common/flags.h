@@ -9,6 +9,12 @@
 // common/thread_pool.h; N=1 is the exact serial path, 0 or absent means
 // hardware concurrency), so all benches, examples, and tools honor it
 // uniformly.
+//
+// `--metrics-out=FILE` and `--trace-out=FILE` are likewise built in:
+// they switch on the obs/ metric and trace collection respectively and
+// register an exit-time export (JSON metrics snapshot / Chrome-trace
+// file loadable in chrome://tracing or Perfetto). Without the flags the
+// instrumentation stays off and costs one relaxed atomic load per site.
 #pragma once
 
 #include <cstdint>

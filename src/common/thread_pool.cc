@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "common/error.h"
+#include "obs/obs.h"
 
 namespace diaca {
 
@@ -58,19 +59,27 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stopping and drained
       job = std::move(queue_.front());
       queue_.pop_front();
+      DIACA_OBS_GAUGE_SET("pool.queue_depth", static_cast<std::int64_t>(queue_.size()));
     }
-    RunChunks(*job);
+    DIACA_OBS_COUNT("pool.worker_wakeups", 1);
+    RunChunks(*job, /*worker=*/true);
   }
 }
 
-void ThreadPool::RunChunks(Job& job) {
+void ThreadPool::RunChunks(Job& job, bool worker) {
+  std::int64_t chunks_run = 0;
   for (;;) {
     const std::int64_t chunk = job.next_chunk.fetch_add(1);
-    if (chunk >= job.num_chunks) return;
+    if (chunk >= job.num_chunks) break;
+    ++chunks_run;
     if (!job.cancelled.load(std::memory_order_relaxed)) {
       const std::int64_t b = job.begin + chunk * job.grain;
       const std::int64_t e = job.begin + std::min(job.total, (chunk + 1) * job.grain);
       try {
+        // One span per chunk puts the pool's work on every worker lane of
+        // the trace; chunks are coarse, so the cost is per-chunk, not
+        // per-index.
+        DIACA_OBS_SPAN("pool.chunk");
         (*job.body)(b, e);
       } catch (...) {
         std::lock_guard<std::mutex> lock(job.mu);
@@ -83,6 +92,15 @@ void ThreadPool::RunChunks(Job& job) {
       // cannot race with the caller checking the predicate and leaving.
       std::lock_guard<std::mutex> lock(job.mu);
       job.done_cv.notify_all();
+    }
+  }
+  if (chunks_run > 0) {
+    // "Stolen" chunks ran on a pool worker; "inline" ones on the calling
+    // thread while it waited. Emitted once per drain, not per chunk.
+    if (worker) {
+      DIACA_OBS_COUNT("pool.chunks_stolen", chunks_run);
+    } else {
+      DIACA_OBS_COUNT("pool.chunks_inline", chunks_run);
     }
   }
 }
@@ -116,6 +134,7 @@ void ThreadPool::ParallelFor(
     {
       std::lock_guard<std::mutex> lock(mu_);
       for (std::int64_t i = 0; i < helpers; ++i) queue_.push_back(job);
+      DIACA_OBS_GAUGE_SET("pool.queue_depth", static_cast<std::int64_t>(queue_.size()));
     }
     if (helpers == 1) {
       cv_.notify_one();
@@ -126,12 +145,15 @@ void ThreadPool::ParallelFor(
 
   // The caller drains chunks too, so completion never depends on a free
   // worker — a nested ParallelFor issued from a pool task cannot deadlock.
-  RunChunks(*job);
+  RunChunks(*job, /*worker=*/false);
   {
     std::unique_lock<std::mutex> lock(job->mu);
-    job->done_cv.wait(lock, [&job] {
-      return job->done_chunks.load() == job->num_chunks;
-    });
+    if (job->done_chunks.load() != job->num_chunks) {
+      DIACA_OBS_COUNT("pool.caller_waits", 1);
+      job->done_cv.wait(lock, [&job] {
+        return job->done_chunks.load() == job->num_chunks;
+      });
+    }
   }
   if (job->first_exception) std::rethrow_exception(job->first_exception);
 }

@@ -76,8 +76,9 @@ class ThreadPool {
  private:
   struct Job;
 
-  /// Claim and run chunks of `job` until none remain.
-  static void RunChunks(Job& job);
+  /// Claim and run chunks of `job` until none remain. `worker` only tags
+  /// the pool.chunks_stolen / pool.chunks_inline metric split.
+  static void RunChunks(Job& job, bool worker);
   void WorkerLoop();
 
   int num_threads_;

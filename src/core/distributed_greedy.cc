@@ -8,6 +8,7 @@
 #include "core/capacity.h"
 #include "core/metrics.h"
 #include "core/nearest_server.h"
+#include "obs/obs.h"
 
 namespace diaca::core {
 
@@ -46,6 +47,7 @@ double PathLengthIfMoved(const Problem& problem, ClientIndex c,
 DgResult DistributedGreedyAssign(const Problem& problem,
                                  const AssignOptions& options,
                                  const Assignment* initial) {
+  DIACA_OBS_SPAN("core.dg.solve");
   DgResult result;
   if (initial != nullptr) {
     DIACA_CHECK_MSG(initial->size() ==
@@ -79,8 +81,13 @@ DgResult DistributedGreedyAssign(const Problem& problem,
       64LL * (problem.num_clients() + problem.num_servers() + 64);
 
   for (;;) {
+    DIACA_OBS_SPAN("core.dg.round");
+    ++result.rounds;
+    DIACA_OBS_COUNT("core.dg.rounds", 1);
     const double round_start_len = max_len;
     const std::vector<ClientIndex> critical = CriticalClients(problem, a, kEps);
+    DIACA_OBS_OBSERVE("core.dg.critical_set_size",
+                      static_cast<double>(critical.size()));
     for (ClientIndex c : critical) {
       // The assignment may have changed since the critical set was taken;
       // re-check that c still lies on a longest path.
@@ -124,6 +131,7 @@ DgResult DistributedGreedyAssign(const Problem& problem,
                       "modification increased the objective");
       max_len = new_len;
       ++mod_count;
+      DIACA_OBS_COUNT("core.dg.modifications", 1);
       result.modifications.push_back(
           {mod_count, c, current, best_server, max_len});
       DIACA_CHECK_MSG(mod_count <= mod_limit, "modification limit exceeded");

@@ -39,6 +39,9 @@ struct DgModification {
 struct DgResult {
   Assignment assignment;
   double max_len = 0.0;
+  /// Full sweeps over the critical-client set (SolveStats::iterations
+  /// when solved through the registry).
+  std::int32_t rounds = 0;
   std::vector<DgModification> modifications;
 };
 

@@ -8,6 +8,7 @@
 #include "core/capacity.h"
 #include "core/greedy.h"
 #include "core/metrics.h"
+#include "obs/obs.h"
 
 namespace diaca::core {
 
@@ -123,10 +124,14 @@ class Search {
 
 std::optional<ExactResult> ExactAssign(const Problem& problem,
                                        const ExactOptions& options) {
+  DIACA_OBS_SPAN("core.exact.solve");
   CheckCapacityFeasible(problem, options.assign);
   Search search(problem, options);
-  if (!search.Run()) return std::nullopt;
-  return std::move(search).TakeResult();
+  const bool finished = search.Run();
+  ExactResult result = std::move(search).TakeResult();
+  DIACA_OBS_COUNT("core.exact.nodes_explored", result.nodes_explored);
+  if (!finished) return std::nullopt;
+  return result;
 }
 
 }  // namespace diaca::core

@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "core/capacity.h"
 #include "core/metrics.h"
+#include "obs/obs.h"
 
 namespace diaca::core {
 
@@ -24,7 +25,8 @@ struct ServerBest {
 }  // namespace
 
 Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
-                        GreedyStats* stats) {
+                        SolveStats* stats) {
+  DIACA_OBS_SPAN("core.greedy.solve");
   const std::int32_t num_clients = problem.num_clients();
   const std::int32_t num_servers = problem.num_servers();
   CheckCapacityFeasible(problem, options);
@@ -69,6 +71,7 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
   std::int32_t num_assigned = 0;
 
   while (num_assigned < num_clients) {
+    DIACA_OBS_SPAN("core.greedy.iteration");
     // One task per server: compact the sorted list in place (dropping
     // clients assigned in earlier rounds, so each assignment is skipped
     // once and never rescanned — amortized O(1) per assigned client),
@@ -146,6 +149,9 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
                    problem.ss(s, best_server) + fb);
     }
     if (stats != nullptr) ++stats->iterations;
+    DIACA_OBS_COUNT("core.greedy.iterations", 1);
+    DIACA_OBS_COUNT("core.greedy.reach_cache.refreshes", 1);
+    DIACA_OBS_OBSERVE("core.greedy.batch_size", take);
   }
   return a;
 }

@@ -16,17 +16,21 @@
 #include <cstdint>
 
 #include "core/problem.h"
+#include "core/solve_stats.h"
 #include "core/types.h"
 
 namespace diaca::core {
 
-struct GreedyStats {
-  std::int32_t iterations = 0;
-};
+/// Deprecated alias kept for one PR: per-solver stats folded into the
+/// shared SolveStats (core/solve_stats.h).
+using GreedyStats [[deprecated("use core::SolveStats")]] = SolveStats;
 
 /// Throws diaca::Error if the capacity makes the instance infeasible.
+/// When `stats` is non-null, fills SolveStats::iterations with the number
+/// of batch rounds. Prefer SolverRegistry::Solve("greedy", ...) — the
+/// registry adds tracing/metrics and the canonical max_len.
 Assignment GreedyAssign(const Problem& problem,
                         const AssignOptions& options = {},
-                        GreedyStats* stats = nullptr);
+                        SolveStats* stats = nullptr);
 
 }  // namespace diaca::core

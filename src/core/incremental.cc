@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/thread_pool.h"
+#include "obs/obs.h"
 
 namespace diaca::core {
 
@@ -109,11 +110,13 @@ IncrementalEvaluator::PairMax IncrementalEvaluator::Evaluate(
     // Pairs avoiding {from, to} are unchanged; the cached maximum still
     // stands among them. Only pairs touching a changed server can beat it.
     if (used_full_rescan != nullptr) *used_full_rescan = false;
+    DIACA_OBS_COUNT("core.incremental.cache_hits", 1);
     const PairMax touching = ScanTouching(c, from, to);
     return touching.value > max_pair_.value ? touching : max_pair_;
   }
   if (used_full_rescan != nullptr) *used_full_rescan = true;
   ++full_rescans_;
+  DIACA_OBS_COUNT("core.incremental.cache_misses", 1);
   return ScanAllPairs(c, from, to);
 }
 

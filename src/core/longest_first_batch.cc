@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "core/capacity.h"
 #include "core/nearest_server.h"
+#include "obs/obs.h"
 
 namespace diaca::core {
 
@@ -33,7 +34,7 @@ ServerIndex NearestUnsaturated(const Problem& problem, ClientIndex c,
   return best;
 }
 
-Assignment Uncapacitated(const Problem& problem) {
+Assignment Uncapacitated(const Problem& problem, SolveStats* stats) {
   const std::int32_t num_clients = problem.num_clients();
   std::vector<Candidate> order(static_cast<std::size_t>(num_clients));
   // Per-client nearest-server lookups are independent O(|S|) scans — fan
@@ -56,18 +57,25 @@ Assignment Uncapacitated(const Problem& problem) {
   Assignment a(static_cast<std::size_t>(num_clients));
   for (const Candidate& lead : order) {
     if (a[lead.client] != kUnassigned) continue;
+    DIACA_OBS_SPAN("core.lfb.batch");
     // Batch: every unassigned client no farther from lead.nearest than lead.
+    std::int32_t batch_size = 0;
     for (ClientIndex c = 0; c < num_clients; ++c) {
       if (a[c] == kUnassigned &&
           problem.cs(c, lead.nearest) <= lead.distance) {
         a[c] = lead.nearest;
+        ++batch_size;
       }
     }
+    if (stats != nullptr) ++stats->iterations;
+    DIACA_OBS_COUNT("core.lfb.batches", 1);
+    DIACA_OBS_OBSERVE("core.lfb.batch_size", batch_size);
   }
   return a;
 }
 
-Assignment Capacitated(const Problem& problem, const AssignOptions& options) {
+Assignment Capacitated(const Problem& problem, const AssignOptions& options,
+                       SolveStats* stats) {
   const std::int32_t num_clients = problem.num_clients();
   std::vector<std::int32_t> remaining(
       static_cast<std::size_t>(problem.num_servers()));
@@ -80,6 +88,7 @@ Assignment Capacitated(const Problem& problem, const AssignOptions& options) {
   std::int32_t unassigned = num_clients;
 
   while (unassigned > 0) {
+    DIACA_OBS_SPAN("core.lfb.batch");
     // Find the unassigned client whose distance to its nearest unsaturated
     // server is longest. Each client is scored independently; the
     // deterministic max-reduce keeps the lowest client index on distance
@@ -121,6 +130,9 @@ Assignment Capacitated(const Problem& problem, const AssignOptions& options) {
       --room;
       --unassigned;
     }
+    if (stats != nullptr) ++stats->iterations;
+    DIACA_OBS_COUNT("core.lfb.batches", 1);
+    DIACA_OBS_OBSERVE("core.lfb.batch_size", take);
   }
   return a;
 }
@@ -128,10 +140,12 @@ Assignment Capacitated(const Problem& problem, const AssignOptions& options) {
 }  // namespace
 
 Assignment LongestFirstBatchAssign(const Problem& problem,
-                                   const AssignOptions& options) {
-  if (!options.capacitated()) return Uncapacitated(problem);
+                                   const AssignOptions& options,
+                                   SolveStats* stats) {
+  DIACA_OBS_SPAN("core.lfb.solve");
+  if (!options.capacitated()) return Uncapacitated(problem, stats);
   CheckCapacityFeasible(problem, options);
-  return Capacitated(problem, options);
+  return Capacitated(problem, options, stats);
 }
 
 }  // namespace diaca::core

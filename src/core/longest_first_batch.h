@@ -15,12 +15,16 @@
 #pragma once
 
 #include "core/problem.h"
+#include "core/solve_stats.h"
 #include "core/types.h"
 
 namespace diaca::core {
 
 /// Throws diaca::Error if the capacity makes the instance infeasible.
+/// When `stats` is non-null, fills SolveStats::iterations with the number
+/// of batches taken. Prefer SolverRegistry::Solve("lfb", ...).
 Assignment LongestFirstBatchAssign(const Problem& problem,
-                                   const AssignOptions& options = {});
+                                   const AssignOptions& options = {},
+                                   SolveStats* stats = nullptr);
 
 }  // namespace diaca::core

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "core/capacity.h"
+#include "obs/obs.h"
 
 namespace diaca::core {
 
@@ -19,6 +20,7 @@ ServerIndex NearestServerOf(const Problem& problem, ClientIndex c) {
 
 Assignment NearestServerAssign(const Problem& problem,
                                const AssignOptions& options) {
+  DIACA_OBS_SPAN("core.nearest.solve");
   CheckCapacityFeasible(problem, options);
   Assignment a(static_cast<std::size_t>(problem.num_clients()));
 

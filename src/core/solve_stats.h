@@ -1,0 +1,37 @@
+// Solver-independent result and statistics vocabulary.
+//
+// Every assignment solver reports into the same SolveStats shape, so
+// callers (CLI, benches, tests) compare heuristics without including
+// solver-private headers. Fields a solver has nothing to say about stay
+// at their zero defaults.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace diaca::core {
+
+/// Per-solve statistics, folded from the solvers' former private structs
+/// (GreedyStats::iterations, DgResult rounds/modifications,
+/// ExactResult::nodes_explored).
+struct SolveStats {
+  /// Outer-loop rounds: greedy batch iterations, longest-first batches,
+  /// distributed-greedy sweeps. 1 for the one-shot solvers.
+  std::int32_t iterations = 0;
+  /// Executed single-client reassignments (distributed-greedy).
+  std::int32_t modifications = 0;
+  /// Branch-and-bound search nodes (exact solver).
+  std::int64_t nodes_explored = 0;
+  /// Maximum interaction path length of the returned assignment (ms),
+  /// as computed by core::MaxInteractionPathLength.
+  double max_len = 0.0;
+};
+
+/// What SolverRegistry::Solve returns for every algorithm.
+struct SolveResult {
+  Assignment assignment;
+  SolveStats stats;
+};
+
+}  // namespace diaca::core

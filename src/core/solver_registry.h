@@ -1,0 +1,96 @@
+// SolverRegistry — the single public solve entry point.
+//
+// Maps algorithm names to solvers and returns the unified
+// SolveResult{Assignment, SolveStats}, replacing the per-consumer
+// `if (algorithm == "greedy") ...` chains the CLI and benches used to
+// carry. The default registry knows the paper's algorithms plus the
+// bracketing baselines:
+//
+//   nearest — Nearest-Server Assignment (§IV-A)
+//   lfb     — Longest-First-Batch Assignment (§IV-B)
+//   greedy  — Greedy Assignment (§IV-C)
+//   dg      — Distributed-Greedy Assignment (§IV-D)
+//   single  — best single server (§III strawman)
+//   exact   — branch-and-bound optimum (small instances)
+//
+// Solve() wraps every run in a "solver.<name>" trace span and, when
+// metrics are enabled, records per-solver counters and timing histograms
+// (see docs/observability.md), so instrumentation is wired once here
+// instead of once per consumer. The registry adds nothing to the
+// algorithms themselves: Solve(name, ...) returns an assignment
+// bit-identical to the direct call it wraps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/problem.h"
+#include "core/solve_stats.h"
+#include "core/types.h"
+#include "obs/metrics.h"
+
+namespace diaca::core {
+
+/// Options accepted by every registered solver. Solvers ignore the
+/// fields that don't apply to them.
+struct SolveOptions {
+  AssignOptions assign;
+  /// Seed assignment for iterative solvers ("dg"; must be complete and
+  /// respect the capacity). Solvers without a seed concept ignore it.
+  const Assignment* initial = nullptr;
+  /// Node budget for "exact"; Solve throws diaca::Error when exceeded.
+  std::int64_t exact_node_limit = 50'000'000;
+};
+
+class SolverRegistry {
+ public:
+  using SolverFn =
+      std::function<SolveResult(const Problem&, const SolveOptions&)>;
+
+  /// Empty registry; most callers want Default() instead.
+  SolverRegistry() = default;
+  SolverRegistry(const SolverRegistry&) = delete;
+  SolverRegistry& operator=(const SolverRegistry&) = delete;
+
+  /// The process-wide registry, pre-populated with the built-ins above.
+  static SolverRegistry& Default();
+
+  /// Register `fn` under `name`. Throws diaca::Error on duplicates.
+  void Register(const std::string& name, SolverFn fn);
+
+  bool Has(const std::string& name) const;
+
+  /// Registered names, sorted (for error messages and sweeps).
+  std::vector<std::string> Names() const;
+
+  /// "nearest|lfb|greedy|dg|single|exact" style join of Names().
+  std::string NamesJoined(const std::string& separator = "|") const;
+
+  /// Run the named solver. SolveStats::max_len is always filled.
+  /// `metrics` selects the target registry for the solver-level metrics:
+  /// nullptr means obs::Registry::Default() gated on obs::MetricsEnabled();
+  /// a non-null registry is recorded into unconditionally. Throws
+  /// diaca::Error for unknown names (listing the valid set), on
+  /// infeasible capacities, and when "exact" exhausts its node budget.
+  SolveResult Solve(const std::string& name, const Problem& problem,
+                    const SolveOptions& options = {},
+                    obs::Registry* metrics = nullptr) const;
+
+ private:
+  struct Entry {
+    SolverFn fn;
+    std::string span_label;  // "solver.<name>"; stable storage for spans
+  };
+  // std::map: node stability lets trace spans reference span_label.c_str().
+  std::map<std::string, Entry> solvers_;
+};
+
+/// Convenience forwarder to SolverRegistry::Default().Solve(...).
+SolveResult Solve(const std::string& name, const Problem& problem,
+                  const SolveOptions& options = {},
+                  obs::Registry* metrics = nullptr);
+
+}  // namespace diaca::core

@@ -5,6 +5,7 @@
 
 #include "common/error.h"
 #include "common/thread_pool.h"
+#include "obs/obs.h"
 
 namespace diaca::net {
 
@@ -45,6 +46,7 @@ std::vector<double> Graph::ShortestPathsFrom(NodeIndex source) const {
 }
 
 LatencyMatrix Graph::AllPairsShortestPaths() const {
+  DIACA_OBS_SPAN("net.graph.apsp");
   LatencyMatrix out(n_);
   // One Dijkstra per source, fanned out across the pool. Source u writes
   // exactly the cells {(u,v), (v,u) : v > u}, so no two sources touch the
@@ -54,6 +56,7 @@ LatencyMatrix Graph::AllPairsShortestPaths() const {
   GlobalPool().ParallelFor(0, n_, 1, [&](std::int64_t b, std::int64_t e) {
     for (std::int64_t ui = b; ui < e; ++ui) {
       const auto u = static_cast<NodeIndex>(ui);
+      DIACA_OBS_COUNT("net.graph.dijkstra_runs", 1);
       const std::vector<double> dist = ShortestPathsFrom(u);
       for (NodeIndex v = u + 1; v < n_; ++v) {
         const double d = dist[static_cast<std::size_t>(v)];

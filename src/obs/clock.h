@@ -1,0 +1,19 @@
+// Monotonic observability clock: nanoseconds since the first use in this
+// process. Trace timestamps and scoped timers all read this one clock so
+// spans from different threads line up on a common axis.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace diaca::obs {
+
+inline std::int64_t NowNs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              epoch)
+      .count();
+}
+
+}  // namespace diaca::obs

@@ -1,0 +1,62 @@
+// Minimal JSON writing helpers shared by the metric and trace exporters.
+// Writing only — the subsystem never parses JSON (validation lives in the
+// tests and in scripts/check_json.cmake).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+namespace diaca::obs::internal {
+
+/// Write `s` as a quoted, escaped JSON string.
+inline void AppendJsonString(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Write a double as a valid JSON number (JSON has no inf/nan: infinities
+/// clamp to +/-1e308, nan becomes 0).
+inline void AppendJsonNumber(std::ostream& os, double v) {
+  if (std::isnan(v)) {
+    os << 0;
+    return;
+  }
+  if (std::isinf(v)) {
+    os << (v > 0 ? "1e308" : "-1e308");
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace diaca::obs::internal

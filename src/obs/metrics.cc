@@ -1,0 +1,187 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.h"
+#include "obs/json.h"
+
+namespace diaca::obs {
+
+namespace internal {
+
+namespace {
+std::atomic<std::size_t> g_next_shard{0};
+}  // namespace
+
+std::size_t ShardIndex() {
+  // Threads take shard slots round-robin on first use; the slot is stable
+  // for the thread's lifetime, so all its writes land on the same cache
+  // line. With kShards >= pool size there is no sharing at all; beyond
+  // that, collisions only cost an occasional shared fetch_add.
+  thread_local const std::size_t slot =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+}  // namespace internal
+
+void Histogram::Record(double v) {
+  Shard& s = shards_[internal::ShardIndex()];
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  internal::AtomicAddDouble(s.sum, v);
+  internal::AtomicMinDouble(s.min, v);
+  internal::AtomicMaxDouble(s.max, v);
+  s.buckets[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t Histogram::BucketOf(double v) {
+  if (!(v > 0.0) || !std::isfinite(v)) return 0;  // <= 0 and NaN underflow
+  const int exp = std::ilogb(v);  // floor(log2(v))
+  const long idx = static_cast<long>(exp) - kMinExponent + 1;
+  if (idx < 1) return 0;
+  if (idx > static_cast<long>(kNumBuckets) - 1) return kNumBuckets - 1;
+  return static_cast<std::size_t>(idx);
+}
+
+double Histogram::BucketUpperBound(std::size_t i) {
+  if (i + 1 >= kNumBuckets) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, kMinExponent + static_cast<int>(i));
+}
+
+Histogram::Snapshot Histogram::Aggregate() const {
+  Snapshot out;
+  bool any = false;
+  for (const Shard& s : shards_) {
+    const std::int64_t n = s.count.load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    out.count += n;
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    const double mn = s.min.load(std::memory_order_relaxed);
+    const double mx = s.max.load(std::memory_order_relaxed);
+    if (!any) {
+      out.min = mn;
+      out.max = mx;
+      any = true;
+    } else {
+      out.min = std::min(out.min, mn);
+      out.max = std::max(out.max, mx);
+    }
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0.0, std::memory_order_relaxed);
+    s.min.store(std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+    s.max.store(-std::numeric_limits<double>::infinity(),
+                std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+Registry& Registry::Default() {
+  static Registry* registry = new Registry();  // never destroyed: metric
+  return *registry;  // references cached by macros must outlive atexit
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>(name)).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>(name)).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, std::make_unique<Histogram>(name)).first;
+  }
+  return *it->second;
+}
+
+void Registry::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    os << (first ? "\n" : ",\n") << "    ";
+    internal::AppendJsonString(os, name);
+    os << ": " << counter->Value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    ";
+    internal::AppendJsonString(os, name);
+    os << ": {\"value\": " << gauge->Value() << ", \"max\": " << gauge->Max()
+       << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    const Histogram::Snapshot snap = hist->Aggregate();
+    os << (first ? "\n" : ",\n") << "    ";
+    internal::AppendJsonString(os, name);
+    os << ": {\"count\": " << snap.count << ", \"sum\": ";
+    internal::AppendJsonNumber(os, snap.sum);
+    os << ", \"min\": ";
+    internal::AppendJsonNumber(os, snap.min);
+    os << ", \"max\": ";
+    internal::AppendJsonNumber(os, snap.max);
+    os << ", \"mean\": ";
+    internal::AppendJsonNumber(
+        os, snap.count > 0 ? snap.sum / static_cast<double>(snap.count) : 0.0);
+    os << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (snap.buckets[i] == 0) continue;
+      if (!first_bucket) os << ", ";
+      os << "{\"le\": ";
+      internal::AppendJsonNumber(os, Histogram::BucketUpperBound(i));
+      os << ", \"count\": " << snap.buckets[i] << "}";
+      first_bucket = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void Registry::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  WriteJson(out);
+}
+
+void Registry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace diaca::obs

@@ -1,0 +1,213 @@
+// Lock-free metric primitives and the metric registry.
+//
+// Hot paths record into Counter / Gauge / Histogram objects; every write
+// is a relaxed atomic on a per-thread shard (threads hash onto
+// cache-line-padded slots), so the thread pool's workers never contend on
+// a metric. Aggregation happens only when a snapshot is taken
+// (Registry::WriteJson), which sums the shards.
+//
+// Metric objects are created on first use through Registry::GetCounter /
+// GetGauge / GetHistogram and live for the rest of the process (the
+// registry is append-only), so call sites may cache references — the
+// DIACA_OBS_* macros in obs.h do exactly that. Names follow the
+// `<module>.<subsystem>.<what>` scheme documented in
+// docs/observability.md.
+//
+// Whether anything is recorded at all is controlled by the runtime switch
+// in obs.h (obs::MetricsEnabled); the macros check it before touching a
+// metric, so a disabled binary pays one relaxed atomic load per site.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace diaca::obs {
+
+namespace internal {
+
+/// Stable per-thread shard slot in [0, kShards).
+inline constexpr std::size_t kShards = 16;
+std::size_t ShardIndex();
+
+/// Relaxed add for atomic doubles (portable CAS loop; atomic<double>::
+/// fetch_add is not guaranteed lock-free everywhere).
+inline void AtomicAddDouble(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void AtomicMinDouble(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+inline void AtomicMaxDouble(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(std::int64_t delta) {
+    shards_[internal::ShardIndex()].value.fetch_add(delta,
+                                                    std::memory_order_relaxed);
+  }
+
+  /// Sum over shards (snapshot; concurrent adds may or may not be seen).
+  std::int64_t Value() const {
+    std::int64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> value{0};
+  };
+  std::string name_;
+  std::array<Shard, internal::kShards> shards_;
+};
+
+/// Last-set instantaneous value, with a high-water mark. Writers race by
+/// design (last store wins); use it for levels like queue depth.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(std::int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    std::int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  std::int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+
+  void Reset() {
+    value_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Distribution of non-negative samples in power-of-two buckets:
+/// bucket 0 holds v < 2^kMinExponent, the last bucket is overflow, and
+/// bucket i in between holds [2^(kMinExponent+i-1), 2^(kMinExponent+i)).
+/// Tracks count/sum/min/max exactly; bucket bounds are fixed so snapshots
+/// from different runs are comparable.
+class Histogram {
+ public:
+  static constexpr int kMinExponent = -10;  // first bound: 2^-10 ~ 1e-3
+  static constexpr std::size_t kNumBuckets = 48;
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double v);
+
+  /// Aggregated view (sums the shards; taken under no lock).
+  struct Snapshot {
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when count == 0
+    double max = 0.0;
+    std::array<std::int64_t, kNumBuckets> buckets{};
+  };
+  Snapshot Aggregate() const;
+
+  /// Inclusive upper bound of bucket i (+infinity for the overflow bucket).
+  static double BucketUpperBound(std::size_t i);
+
+  void Reset();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  static std::size_t BucketOf(double v);
+
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> count{0};
+    // min/max start at the reduce identities so Record is a plain
+    // atomic-min/atomic-max; they are read only when count > 0.
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+    std::array<std::atomic<std::int64_t>, kNumBuckets> buckets{};
+  };
+  std::string name_;
+  std::array<Shard, internal::kShards> shards_;
+};
+
+/// Append-only collection of named metrics. Lookup takes a mutex (call
+/// sites cache the returned reference — see the obs.h macros); recording
+/// into the returned objects is lock-free. A process-wide Default()
+/// instance backs the macros; solver-level code can target a private
+/// registry instead (core::SolverRegistry::Solve takes one).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& Default();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// Metrics snapshot as one JSON object, keys sorted:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  void WriteJson(std::ostream& os) const;
+  /// WriteJson to `path`; throws diaca::Error when the file can't open.
+  void WriteJsonFile(const std::string& path) const;
+
+  /// Zero every metric's value. Objects (and cached references) stay
+  /// valid — this is for tests, not for production snapshots.
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace diaca::obs

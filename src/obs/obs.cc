@@ -1,0 +1,70 @@
+#include "obs/obs.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <string>
+
+namespace diaca::obs {
+
+namespace internal {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace internal
+
+void SetMetricsEnabled(bool enabled) {
+  internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace {
+
+// Exit-time export targets. The singletons are touched *before*
+// std::atexit registration: function-local statics are destroyed in
+// reverse order of construction interleaved with atexit handlers, so
+// constructing them first guarantees they are still alive when the
+// handler runs (and the registries themselves are intentionally leaked —
+// see their Default() definitions — making this belt-and-braces).
+std::mutex g_export_mu;
+std::string g_metrics_path;
+std::string g_trace_path;
+
+void ExportAtExit() {
+  std::lock_guard<std::mutex> lock(g_export_mu);
+  try {
+    if (!g_metrics_path.empty()) {
+      Registry::Default().WriteJsonFile(g_metrics_path);
+      std::cerr << "obs: wrote metrics snapshot to " << g_metrics_path << "\n";
+    }
+    if (!g_trace_path.empty()) {
+      Tracer::Default().WriteChromeTraceFile(g_trace_path);
+      std::cerr << "obs: wrote Chrome trace to " << g_trace_path << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "obs: export failed: " << e.what() << "\n";
+  }
+}
+
+void RegisterExportHandlerOnce() {
+  static const bool registered = [] {
+    Registry::Default();  // construct before registration (see above)
+    Tracer::Default();
+    std::atexit(ExportAtExit);
+    return true;
+  }();
+  static_cast<void>(registered);
+}
+
+}  // namespace
+
+void WriteMetricsJsonAtExit(std::string path) {
+  RegisterExportHandlerOnce();
+  std::lock_guard<std::mutex> lock(g_export_mu);
+  g_metrics_path = std::move(path);
+}
+
+void WriteChromeTraceAtExit(std::string path) {
+  RegisterExportHandlerOnce();
+  std::lock_guard<std::mutex> lock(g_export_mu);
+  g_trace_path = std::move(path);
+}
+
+}  // namespace diaca::obs

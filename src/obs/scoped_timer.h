@@ -1,0 +1,30 @@
+// ScopedTimer: record the wall-clock duration of a scope, in
+// milliseconds, into a Histogram on destruction. The histogram reference
+// is resolved by the caller (cache it — see the DIACA_OBS_TIMER macro in
+// obs.h), so the per-scope cost is two clock reads and one lock-free
+// Record.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
+namespace diaca::obs {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram)
+      : histogram_(&histogram), start_ns_(NowNs()) {}
+  ~ScopedTimer() {
+    histogram_->Record(static_cast<double>(NowNs() - start_ns_) / 1e6);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::int64_t start_ns_;
+};
+
+}  // namespace diaca::obs

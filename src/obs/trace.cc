@@ -1,0 +1,133 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "common/error.h"
+#include "obs/json.h"
+
+namespace diaca::obs {
+
+namespace internal {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace internal
+
+void SetTracingEnabled(bool enabled) {
+  internal::g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();  // never destroyed: worker threads
+  return *tracer;  // may still record while atexit exporters run
+}
+
+Tracer::Buffer& Tracer::LocalBuffer() {
+  // One buffer per (thread, process): registered globally on the thread's
+  // first span, shared ownership so the events outlive the thread (the
+  // pool is rebuilt on every SetGlobalThreads).
+  thread_local const std::shared_ptr<Buffer> local = [this] {
+    auto buffer = std::make_shared<Buffer>();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer->tid = static_cast<int>(buffers_.size());
+    buffers_.push_back(buffer);
+    return buffer;
+  }();
+  return *local;
+}
+
+void Tracer::RecordComplete(const char* name, std::int64_t start_ns,
+                            std::int64_t duration_ns) {
+  Buffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);  // uncontended except export
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.events.push_back({name, start_ns, duration_ns});
+}
+
+void Tracer::WriteChromeTrace(std::ostream& os) const {
+  struct Row {
+    int tid;
+    Event event;
+  };
+  std::vector<Row> rows;
+  std::vector<int> tids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      tids.push_back(buffer->tid);
+      for (const Event& event : buffer->events) {
+        rows.push_back({buffer->tid, event});
+      }
+    }
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.event.start_ns != b.event.start_ns) {
+      return a.event.start_ns < b.event.start_ns;
+    }
+    // Longer span first at equal start so parents precede children.
+    if (a.event.duration_ns != b.event.duration_ns) {
+      return a.event.duration_ns > b.event.duration_ns;
+    }
+    return a.tid < b.tid;
+  });
+
+  os << "{\"traceEvents\": [\n";
+  bool first = true;
+  for (int tid : tids) {
+    os << (first ? "" : ",\n")
+       << "  {\"ph\": \"M\", \"pid\": 1, \"tid\": " << tid
+       << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
+       << (tid == 0 ? "main" : "worker-" + std::to_string(tid)) << "\"}}";
+    first = false;
+  }
+  for (const Row& row : rows) {
+    os << (first ? "" : ",\n") << "  {\"ph\": \"X\", \"pid\": 1, \"tid\": "
+       << row.tid << ", \"name\": ";
+    internal::AppendJsonString(os, row.event.name);
+    os << ", \"cat\": \"diaca\", \"ts\": ";
+    internal::AppendJsonNumber(
+        os, static_cast<double>(row.event.start_ns) / 1000.0);
+    os << ", \"dur\": ";
+    internal::AppendJsonNumber(
+        os, static_cast<double>(row.event.duration_ns) / 1000.0);
+    os << "}";
+    first = false;
+  }
+  os << "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {\"droppedEvents\": "
+     << num_dropped() << "}}\n";
+}
+
+void Tracer::WriteChromeTraceFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  WriteChromeTrace(out);
+}
+
+std::int64_t Tracer::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    total += static_cast<std::int64_t>(buffer->events.size());
+  }
+  return total;
+}
+
+std::int64_t Tracer::num_dropped() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+void Tracer::ClearForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace diaca::obs

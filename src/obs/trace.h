@@ -1,0 +1,121 @@
+// Nestable trace spans with Chrome-trace export.
+//
+// A TraceSpan marks the wall-clock extent of a scope. Spans record into a
+// per-thread buffer (one uncontended mutex acquisition per span — spans
+// mark coarse units like a solver iteration, not inner-loop work), carry
+// the recording thread's id, and nest naturally: Chrome's trace viewer
+// and Perfetto reconstruct the stack per thread from the timestamps of
+// "X" (complete) events.
+//
+// Export (Tracer::WriteChromeTrace) produces the Chrome trace-event JSON
+// format: load the file in https://ui.perfetto.dev or chrome://tracing.
+// Timestamps are wall-clock by nature; nothing in the repo's tests
+// asserts on them — tests check only names, nesting, and schema.
+//
+// Span names must be pointers that outlive the export — string literals,
+// or strings owned by a live registry (core::SolverRegistry keeps its
+// span labels alive for this reason). Buffers survive their thread
+// (shared ownership), so pool rebuilds via SetGlobalThreads lose nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace diaca::obs {
+
+namespace internal {
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace internal
+
+/// Runtime switch for span recording. Off by default; the --trace-out
+/// built-in flag (common/flags.h) turns it on.
+inline bool TracingEnabled() {
+  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+void SetTracingEnabled(bool enabled);
+
+class Tracer {
+ public:
+  static Tracer& Default();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Record a completed span [start_ns, start_ns + duration_ns) on the
+  /// calling thread. `name` must outlive the export (see file comment).
+  void RecordComplete(const char* name, std::int64_t start_ns,
+                      std::int64_t duration_ns);
+
+  /// Chrome trace-event JSON: {"traceEvents": [...], ...}. Thread
+  /// metadata events name each lane; span events are sorted by start
+  /// time so the output is stable for a deterministic single-threaded
+  /// run.
+  void WriteChromeTrace(std::ostream& os) const;
+  /// WriteChromeTrace to `path`; throws diaca::Error when it can't open.
+  void WriteChromeTraceFile(const std::string& path) const;
+
+  /// Total spans recorded (all threads) and spans dropped to the
+  /// per-thread buffer cap.
+  std::int64_t num_events() const;
+  std::int64_t num_dropped() const;
+
+  /// Discard all recorded spans (buffers stay registered). Tests only.
+  void ClearForTest();
+
+  /// Spans beyond this many per thread are counted but not stored.
+  static constexpr std::size_t kMaxEventsPerThread = 1 << 20;
+
+ private:
+  Tracer() = default;
+
+  struct Event {
+    const char* name;
+    std::int64_t start_ns;
+    std::int64_t duration_ns;
+  };
+  struct Buffer {
+    std::mutex mu;
+    int tid = 0;
+    std::vector<Event> events;
+  };
+
+  Buffer& LocalBuffer();
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Buffer>> buffers_;
+  std::atomic<std::int64_t> dropped_{0};
+};
+
+/// RAII span: records [construction, destruction) into Tracer::Default()
+/// when tracing is enabled. When disabled, construction is one relaxed
+/// atomic load. Prefer the DIACA_OBS_SPAN macro (obs.h), which compiles
+/// out entirely under DIACA_OBS=0.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TracingEnabled()) {
+      name_ = name;
+      start_ns_ = NowNs();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      Tracer::Default().RecordComplete(name_, start_ns_, NowNs() - start_ns_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // nullptr: tracing was off at entry
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace diaca::obs

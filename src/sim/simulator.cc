@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "obs/obs.h"
 
 namespace diaca::sim {
 
@@ -23,8 +24,13 @@ bool Simulator::Step() {
   // which is safe because the element is popped immediately after.
   Event event = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
+  // Drift between consecutive events in simulated time: deterministic, so
+  // the histogram is reproducible run to run.
+  DIACA_OBS_OBSERVE("sim.event_gap_ms", event.time - now_);
   now_ = event.time;
   ++events_processed_;
+  DIACA_OBS_COUNT("sim.events_processed", 1);
+  DIACA_OBS_GAUGE_SET("sim.queue_depth", static_cast<std::int64_t>(queue_.size()));
   event.fn();
   return true;
 }

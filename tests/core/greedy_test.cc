@@ -73,7 +73,7 @@ TEST(GreedyTest, SplitsWhenServersClose) {
 TEST(GreedyTest, IterationCountBounded) {
   Rng rng(2);
   const Problem p = test::RandomProblem(30, 6, rng);
-  GreedyStats stats;
+  SolveStats stats;
   const Assignment a = GreedyAssign(p, {}, &stats);
   EXPECT_TRUE(a.IsComplete());
   EXPECT_GE(stats.iterations, 1);

@@ -1,0 +1,155 @@
+// SolverRegistry round-trip: every registered name solves a small
+// instance and matches the direct call bit for bit, so the registry is a
+// pure dispatch layer with no behavioral surface of its own.
+#include "core/solver_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/ablations.h"
+#include "core/distributed_greedy.h"
+#include "core/exact.h"
+#include "core/greedy.h"
+#include "core/longest_first_batch.h"
+#include "core/metrics.h"
+#include "core/nearest_server.h"
+#include "obs/obs.h"
+
+#include "../testutil.h"
+
+namespace diaca::core {
+namespace {
+
+TEST(SolverRegistryTest, KnowsTheBuiltins) {
+  const SolverRegistry& registry = SolverRegistry::Default();
+  for (const char* name : {"nearest", "lfb", "greedy", "dg", "single", "exact"}) {
+    EXPECT_TRUE(registry.Has(name)) << name;
+  }
+  EXPECT_FALSE(registry.Has("annealing"));
+  EXPECT_EQ(registry.NamesJoined(), "dg|exact|greedy|lfb|nearest|single");
+}
+
+TEST(SolverRegistryTest, UnknownNameListsValidSet) {
+  Rng rng(1);
+  const Problem p = test::RandomProblem(6, 2, rng);
+  try {
+    Solve("gredy", p);
+    FAIL() << "expected diaca::Error";
+  } catch (const Error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("gredy"), std::string::npos) << message;
+    EXPECT_NE(message.find("dg|exact|greedy|lfb|nearest|single"),
+              std::string::npos)
+        << message;
+  }
+}
+
+TEST(SolverRegistryTest, EveryNameMatchesDirectCallBitForBit) {
+  Rng rng(7);
+  const Problem p = test::RandomProblem(20, 4, rng);
+
+  EXPECT_EQ(Solve("nearest", p).assignment, NearestServerAssign(p));
+  EXPECT_EQ(Solve("lfb", p).assignment, LongestFirstBatchAssign(p));
+  EXPECT_EQ(Solve("greedy", p).assignment, GreedyAssign(p));
+  EXPECT_EQ(Solve("dg", p).assignment, DistributedGreedyAssign(p).assignment);
+  EXPECT_EQ(Solve("single", p).assignment, BestSingleServerAssign(p));
+}
+
+TEST(SolverRegistryTest, ExactMatchesDirectCall) {
+  Rng rng(9);
+  const Problem p = test::RandomProblem(7, 3, rng);
+  const auto direct = ExactAssign(p, {});
+  ASSERT_TRUE(direct.has_value());
+  const SolveResult via_registry = Solve("exact", p);
+  EXPECT_EQ(via_registry.assignment, direct->assignment);
+  EXPECT_DOUBLE_EQ(via_registry.stats.max_len, direct->max_len);
+  EXPECT_EQ(via_registry.stats.nodes_explored, direct->nodes_explored);
+}
+
+TEST(SolverRegistryTest, MaxLenMatchesCanonicalMetric) {
+  Rng rng(11);
+  const Problem p = test::RandomProblem(25, 5, rng);
+  for (const std::string& name : SolverRegistry::Default().Names()) {
+    if (name == "exact") continue;  // covered above; slow on 25 clients
+    const SolveResult result = Solve(name, p);
+    EXPECT_DOUBLE_EQ(result.stats.max_len,
+                     MaxInteractionPathLength(p, result.assignment))
+        << name;
+  }
+}
+
+TEST(SolverRegistryTest, StatsArePopulated) {
+  Rng rng(13);
+  const Problem p = test::RandomProblem(20, 4, rng);
+
+  const SolveResult greedy = Solve("greedy", p);
+  EXPECT_GE(greedy.stats.iterations, 1);
+  EXPECT_LE(greedy.stats.iterations, p.num_clients());
+
+  const SolveResult lfb = Solve("lfb", p);
+  EXPECT_GE(lfb.stats.iterations, 1);
+  EXPECT_LE(lfb.stats.iterations, p.num_clients());
+
+  const SolveResult dg = Solve("dg", p);
+  EXPECT_GE(dg.stats.iterations, 1);  // at least one sweep before converging
+}
+
+TEST(SolverRegistryTest, DgHonorsInitialSeed) {
+  Rng rng(17);
+  const Problem p = test::RandomProblem(20, 4, rng);
+  const Assignment seed = NearestServerAssign(p);
+  SolveOptions options;
+  options.initial = &seed;
+  EXPECT_EQ(Solve("dg", p, options).assignment,
+            DistributedGreedyAssign(p, {}, &seed).assignment);
+}
+
+TEST(SolverRegistryTest, CapacityPropagates) {
+  Rng rng(19);
+  const Problem p = test::RandomProblem(12, 3, rng);
+  SolveOptions options;
+  options.assign.capacity = 4;  // 12 clients over 3 servers: exactly tight
+  for (const std::string& name : {std::string("nearest"), std::string("lfb"),
+                                  std::string("greedy"), std::string("dg")}) {
+    const SolveResult result = Solve(name, p, options);
+    EXPECT_LE(MaxServerLoad(p, result.assignment), 4) << name;
+    EXPECT_TRUE(result.assignment.IsComplete()) << name;
+  }
+}
+
+TEST(SolverRegistryTest, ExactNodeLimitThrows) {
+  Rng rng(23);
+  const Problem p = test::RandomProblem(10, 4, rng);
+  SolveOptions options;
+  options.exact_node_limit = 3;
+  EXPECT_THROW(Solve("exact", p, options), Error);
+}
+
+TEST(SolverRegistryTest, ExplicitMetricsRegistryRecordsSolves) {
+  Rng rng(29);
+  const Problem p = test::RandomProblem(10, 3, rng);
+  obs::Registry metrics;
+  Solve("greedy", p, {}, &metrics);
+  Solve("greedy", p, {}, &metrics);
+  EXPECT_EQ(metrics.GetCounter("solver.greedy.solves").Value(), 2);
+  EXPECT_GE(metrics.GetCounter("solver.greedy.iterations").Value(), 2);
+  EXPECT_EQ(metrics.GetHistogram("solver.greedy.solve_ms").Aggregate().count, 2);
+}
+
+TEST(SolverRegistryTest, DuplicateRegistrationThrows) {
+  SolverRegistry registry;
+  registry.Register("custom", [](const Problem& p, const SolveOptions&) {
+    SolveResult r;
+    r.assignment = NearestServerAssign(p);
+    return r;
+  });
+  EXPECT_THROW(
+      registry.Register("custom",
+                        [](const Problem&, const SolveOptions&) {
+                          return SolveResult{};
+                        }),
+      Error);
+}
+
+}  // namespace
+}  // namespace diaca::core

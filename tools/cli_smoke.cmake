@@ -32,6 +32,44 @@ run_step(${DIACA_BIN} assign --matrix=world.txt --servers=servers.txt
 run_step(${DIACA_BIN} evaluate --matrix=world.txt --servers=servers.txt
          --assignment=assignment_dg.txt)
 
+# Observability artifacts: the same assign with --metrics-out/--trace-out
+# must produce files that parse as JSON (CMake's own parser, >= 3.19) and
+# an assignment byte-identical to the uninstrumented run.
+run_step(${DIACA_BIN} assign --matrix=world.txt --servers=servers.txt
+         --algorithm=greedy --out=assignment_obs.txt
+         --metrics-out=metrics.json --trace-out=trace.json)
+foreach(artifact metrics.json trace.json)
+  if(NOT EXISTS ${WORK_DIR}/${artifact})
+    message(FATAL_ERROR "assign did not write ${artifact}")
+  endif()
+  if(NOT CMAKE_VERSION VERSION_LESS 3.19)
+    file(READ ${WORK_DIR}/${artifact} content)
+    string(JSON type ERROR_VARIABLE json_err TYPE "${content}")
+    if(NOT json_err STREQUAL "NOTFOUND")
+      message(FATAL_ERROR "${artifact} is not valid JSON: ${json_err}")
+    endif()
+  endif()
+endforeach()
+if(NOT CMAKE_VERSION VERSION_LESS 3.19)
+  file(READ ${WORK_DIR}/trace.json trace_content)
+  string(JSON events ERROR_VARIABLE json_err GET "${trace_content}"
+         traceEvents)
+  if(NOT json_err STREQUAL "NOTFOUND")
+    message(FATAL_ERROR "trace.json has no traceEvents array: ${json_err}")
+  endif()
+  string(JSON num_events LENGTH "${trace_content}" traceEvents)
+  if(num_events LESS 2)
+    message(FATAL_ERROR "trace.json has only ${num_events} events")
+  endif()
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${WORK_DIR}/assignment.txt
+                        ${WORK_DIR}/assignment_obs.txt
+                RESULT_VARIABLE code)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "instrumented assignment differs from plain run")
+endif()
+
 # A bad invocation must fail loudly.
 execute_process(COMMAND ${DIACA_BIN} assign --matrix=missing.txt
                         --servers=servers.txt --algorithm=greedy
@@ -41,6 +79,21 @@ execute_process(COMMAND ${DIACA_BIN} assign --matrix=missing.txt
                 OUTPUT_QUIET ERROR_QUIET)
 if(code EQUAL 0)
   message(FATAL_ERROR "missing-matrix invocation unexpectedly succeeded")
+endif()
+
+# An unknown algorithm must fail fast and list the valid names.
+execute_process(COMMAND ${DIACA_BIN} assign --matrix=world.txt
+                        --servers=servers.txt --algorithm=bogus
+                        --out=x.txt
+                WORKING_DIRECTORY ${WORK_DIR}
+                RESULT_VARIABLE code
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(code EQUAL 0)
+  message(FATAL_ERROR "bogus-algorithm invocation unexpectedly succeeded")
+endif()
+if(NOT "${out}${err}" MATCHES "nearest")
+  message(FATAL_ERROR "algorithm error does not list the valid set:\n${err}")
 endif()
 
 # Simulate the session end to end from the produced files.

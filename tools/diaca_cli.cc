@@ -24,14 +24,9 @@
 #include "common/error.h"
 #include "common/flags.h"
 #include "common/table.h"
-#include "core/ablations.h"
-#include "core/distributed_greedy.h"
-#include "core/exact.h"
-#include "core/greedy.h"
-#include "core/longest_first_batch.h"
 #include "core/lower_bound.h"
 #include "core/metrics.h"
-#include "core/nearest_server.h"
+#include "core/solver_registry.h"
 #include "core/sync_schedule.h"
 #include "data/loader.h"
 #include "dia/session.h"
@@ -56,7 +51,9 @@ int Usage() {
       "  evaluate --matrix=FILE --servers=FILE --assignment=FILE\n"
       "  schedule --matrix=FILE --servers=FILE --assignment=FILE\n"
       "  simulate --matrix=FILE --servers=FILE --assignment=FILE\n"
-      "           [--duration-ms=T] [--ops-per-second=R] [--seed=S]\n";
+      "           [--duration-ms=T] [--ops-per-second=R] [--seed=S]\n"
+      "  every command also accepts --threads=N, --metrics-out=FILE\n"
+      "  (metrics JSON at exit) and --trace-out=FILE (Chrome trace)\n";
   return 2;
 }
 
@@ -154,6 +151,14 @@ int CmdPlace(const Flags& flags) {
 }
 
 int CmdAssign(const Flags& flags) {
+  // Validate the algorithm name before the (possibly large) matrix load,
+  // so a typo fails fast with the valid set.
+  const std::string algorithm = flags.GetString("algorithm", "greedy");
+  const core::SolverRegistry& registry = core::SolverRegistry::Default();
+  if (!registry.Has(algorithm)) {
+    throw Error("unknown algorithm '" + algorithm + "' (expected " +
+                registry.NamesJoined() + ")");
+  }
   const net::LatencyMatrix matrix =
       data::LoadDenseMatrix(flags.GetString("matrix", ""));
   const auto servers =
@@ -162,34 +167,14 @@ int CmdAssign(const Flags& flags) {
   DIACA_CHECK_MSG(!out.empty(), "--out is required");
   const core::Problem problem =
       core::Problem::WithClientsEverywhere(matrix, servers);
-  core::AssignOptions options;
-  options.capacity = static_cast<std::int32_t>(flags.GetInt(
+  core::SolveOptions options;
+  options.assign.capacity = static_cast<std::int32_t>(flags.GetInt(
       "capacity", core::AssignOptions::kUnlimitedCapacity));
 
-  const std::string algorithm = flags.GetString("algorithm", "greedy");
-  core::Assignment a;
-  if (algorithm == "nearest") {
-    a = core::NearestServerAssign(problem, options);
-  } else if (algorithm == "lfb") {
-    a = core::LongestFirstBatchAssign(problem, options);
-  } else if (algorithm == "greedy") {
-    a = core::GreedyAssign(problem, options);
-  } else if (algorithm == "dg") {
-    a = core::DistributedGreedyAssign(problem, options).assignment;
-  } else if (algorithm == "single") {
-    a = core::BestSingleServerAssign(problem, options);
-  } else if (algorithm == "exact") {
-    core::ExactOptions exact_options;
-    exact_options.assign = options;
-    const auto result = core::ExactAssign(problem, exact_options);
-    if (!result) throw Error("exact solver hit its node limit");
-    a = result->assignment;
-  } else {
-    throw Error("unknown algorithm '" + algorithm + "'");
-  }
-  SaveAssignment(out, problem, a);
-  std::cout << algorithm << ": max interaction path "
-            << core::MaxInteractionPathLength(problem, a) << " ms\n";
+  const core::SolveResult result = registry.Solve(algorithm, problem, options);
+  SaveAssignment(out, problem, result.assignment);
+  std::cout << algorithm << ": max interaction path " << result.stats.max_len
+            << " ms\n";
   return 0;
 }
 
