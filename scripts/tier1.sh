@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification: full build + test suite, an observability-artifact
-# smoke (one bench run with --metrics-out/--trace-out, outputs validated
-# as JSON), then the concurrency tests (thread pool + parallel
-# determinism grid) again under ThreadSanitizer.
+# Tier-1 verification: full build + test suite (portable-SIMD kernels), an
+# observability-artifact smoke (one bench run with
+# --metrics-out/--trace-out, outputs validated as JSON), the kernel
+# property suite + determinism grid again under the AVX2 build with a
+# bench_kernels smoke (JSON-validated), then the concurrency tests (thread
+# pool + parallel determinism grid) again under ThreadSanitizer.
 # Usage: scripts/tier1.sh [--skip-tsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -20,6 +22,20 @@ mkdir -p "$obs_dir"
   > "$obs_dir/bench.log"
 cmake -DJSON_FILE="$obs_dir/metrics.json" -P scripts/check_json.cmake
 cmake -DJSON_FILE="$obs_dir/trace.json" -P scripts/check_json.cmake
+
+# Vectorized build: the kernel property suite and the backend/thread
+# determinism grid must also pass with the AVX2 code paths compiled in
+# (they auto-fall back to portable when the CPU lacks AVX2), and
+# bench_kernels must emit a parseable JSON report.
+cmake -B build-avx2 -S . -DDIACA_AVX2=ON -DDIACA_NATIVE=ON
+cmake --build build-avx2 -j --target kernels_test parallel_test bench_kernels
+ctest --test-dir build-avx2 -L simd --output-on-failure
+ctest --test-dir build-avx2 -L tsan -R Determinism --output-on-failure
+./build-avx2/bench/bench_kernels --nodes=150 --servers=10 --reps=1 \
+  --json-out=build-avx2/bench_kernels_smoke.json \
+  > build-avx2/bench_kernels_smoke.log
+cmake -DJSON_FILE=build-avx2/bench_kernels_smoke.json \
+  -P scripts/check_json.cmake
 
 if [ "${1:-}" != "--skip-tsan" ]; then
   cmake -B build-tsan -S . -DDIACA_SANITIZE=thread

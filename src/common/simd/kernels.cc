@@ -1,0 +1,479 @@
+#include "common/simd/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/simd/kernels_internal.h"
+#include "obs/obs.h"
+
+// The portable backend relies on `#pragma omp simd` (activated by
+// -fopenmp-simd, added in the top-level CMakeLists when the compiler
+// supports it; without the flag the pragmas are inert and the loops still
+// autovectorize where the cost model allows). Reductions under the pragma
+// are only used for max/min — exact under any association — never for
+// sums, so re-association by the vectorizer cannot change results.
+
+namespace diaca::simd {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// -1 = unresolved; resolved lazily to BestBackend() on first use so the
+// value never depends on static-initialization order.
+std::atomic<int> g_backend{-1};
+
+constexpr bool Avx2Compiled() {
+#if DIACA_KERNELS_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+void CountScan(std::size_t bytes) {
+  DIACA_OBS_COUNT("simd.kernels.calls", 1);
+  DIACA_OBS_COUNT("simd.kernels.bytes_scanned",
+                  static_cast<std::int64_t>(bytes));
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference backend: the naive serial loops every vector path is
+// tested against (tests/common/kernels_test.cc, determinism grid).
+
+double MaxPlusReduceScalar(const double* row, const double* far,
+                           std::size_t n, double base) {
+  double best = -kInf;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (far[i] >= 0.0) best = std::max(best, (base + row[i]) + far[i]);
+  }
+  return best;
+}
+
+void MaxAccumulatePlusScalar(double* acc, const double* row, double add,
+                             std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    acc[i] = std::max(acc[i], row[i] + add);
+  }
+}
+
+void MinPlusAccumulateScalar(double* acc, const double* row, double add,
+                             std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    acc[i] = std::min(acc[i], row[i] + add);
+  }
+}
+
+double MinPlusReduceScalar(const double* a, const double* b, std::size_t n) {
+  double best = kInf;
+  for (std::size_t i = 0; i < n; ++i) best = std::min(best, a[i] + b[i]);
+  return best;
+}
+
+ArgResult ArgMinFirstScalar(const double* v, std::size_t n) {
+  ArgResult best{kInf, -1};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (v[i] < best.value || best.index < 0) {
+      best = {v[i], static_cast<std::int64_t>(i)};
+    }
+  }
+  if (best.index >= 0 && best.value == kInf) best = {kInf, -1};
+  return best;
+}
+
+ArgResult ArgMinPlusFirstScalar(const double* a, const double* b,
+                                std::size_t n) {
+  ArgResult best{kInf, -1};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = a[i] + b[i];
+    if (t < best.value) best = {t, static_cast<std::int64_t>(i)};
+  }
+  return best;
+}
+
+ArgResult ArgMaxPlusFirstScalar(const double* row, const double* far,
+                                std::size_t n, double base) {
+  ArgResult best{-kInf, -1};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (far[i] < 0.0) continue;
+    const double t = (base + row[i]) + far[i];
+    if (t > best.value) best = {t, static_cast<std::int64_t>(i)};
+  }
+  return best;
+}
+
+double DotProductScalar(const double* a, const double* b, std::size_t n) {
+  // Fixed 4-accumulator association (see kernels.h): lane j sums the
+  // elements with i ≡ j (mod 4), combined as (l0 + l1) + (l2 + l3).
+  double acc[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc[0] += a[i] * b[i];
+    acc[1] += a[i + 1] * b[i + 1];
+    acc[2] += a[i + 2] * b[i + 2];
+    acc[3] += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) acc[i % 4] += a[i] * b[i];
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+CandidateResult BestCandidateScalar(const double* dists, std::size_t n,
+                                    double reach, double max_len,
+                                    std::int32_t room) {
+  const double room_d = static_cast<double>(room);
+  CandidateResult best;
+  best.cost = kInf;
+  for (std::size_t p = 0; p < n; ++p) {
+    const double d = dists[p];
+    const double len = std::max(std::max(2.0 * d, d + reach), max_len);
+    const double dn = std::min(static_cast<double>(p) + 1.0, room_d);
+    const double cost = (len - max_len) / dn;
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.len = len;
+      best.pos = static_cast<std::int64_t>(p);
+    }
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Portable vector backend: pragma-omp-simd loops the compiler can widen to
+// whatever the target ISA offers. Arg-reductions run in two passes — an
+// exact vector min/max of the per-lane values, then a scalar scan for the
+// first index attaining it. The per-lane term is the same IEEE expression
+// in both passes (no accumulation, no fused multiply-add candidates), so
+// the equality in pass two is exact.
+
+double MaxPlusReducePortable(const double* row, const double* far,
+                             std::size_t n, double base) {
+  double best = -kInf;
+#pragma omp simd reduction(max : best)
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = far[i] < 0.0 ? -kInf : (base + row[i]) + far[i];
+    best = std::max(best, t);
+  }
+  return best;
+}
+
+void MaxAccumulatePlusPortable(double* acc, const double* row, double add,
+                               std::size_t n) {
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) {
+    acc[i] = std::max(acc[i], row[i] + add);
+  }
+}
+
+void MinPlusAccumulatePortable(double* acc, const double* row, double add,
+                               std::size_t n) {
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) {
+    acc[i] = std::min(acc[i], row[i] + add);
+  }
+}
+
+double MinPlusReducePortable(const double* a, const double* b,
+                             std::size_t n) {
+  double best = kInf;
+#pragma omp simd reduction(min : best)
+  for (std::size_t i = 0; i < n; ++i) {
+    best = std::min(best, a[i] + b[i]);
+  }
+  return best;
+}
+
+ArgResult ArgMinFirstPortable(const double* v, std::size_t n) {
+  double best = kInf;
+#pragma omp simd reduction(min : best)
+  for (std::size_t i = 0; i < n; ++i) best = std::min(best, v[i]);
+  if (best == kInf) return {kInf, -1};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (v[i] == best) return {best, static_cast<std::int64_t>(i)};
+  }
+  return {kInf, -1};
+}
+
+ArgResult ArgMinPlusFirstPortable(const double* a, const double* b,
+                                  std::size_t n) {
+  double best = kInf;
+#pragma omp simd reduction(min : best)
+  for (std::size_t i = 0; i < n; ++i) best = std::min(best, a[i] + b[i]);
+  if (best == kInf) return {kInf, -1};
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] + b[i] == best) return {best, static_cast<std::int64_t>(i)};
+  }
+  return {kInf, -1};
+}
+
+ArgResult ArgMaxPlusFirstPortable(const double* row, const double* far,
+                                  std::size_t n, double base) {
+  double best = -kInf;
+#pragma omp simd reduction(max : best)
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = far[i] < 0.0 ? -kInf : (base + row[i]) + far[i];
+    best = std::max(best, t);
+  }
+  if (best == -kInf) return {-kInf, -1};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = far[i] < 0.0 ? -kInf : (base + row[i]) + far[i];
+    if (t == best) return {best, static_cast<std::int64_t>(i)};
+  }
+  return {-kInf, -1};
+}
+
+double DotProductPortable(const double* a, const double* b, std::size_t n) {
+  // Same fixed pattern as the scalar reference; the explicit 4-lane body
+  // is what the vectorizer widens, keeping the per-lane add sequences.
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  double acc[4] = {acc0, acc1, acc2, acc3};
+  for (; i < n; ++i) acc[i % 4] += a[i] * b[i];
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+CandidateResult BestCandidatePortable(const double* dists, std::size_t n,
+                                      double reach, double max_len,
+                                      std::int32_t room) {
+  const double room_d = static_cast<double>(room);
+  double best_cost = kInf;
+#pragma omp simd reduction(min : best_cost)
+  for (std::size_t p = 0; p < n; ++p) {
+    const double d = dists[p];
+    const double len = std::max(std::max(2.0 * d, d + reach), max_len);
+    const double dn = std::min(static_cast<double>(p) + 1.0, room_d);
+    best_cost = std::min(best_cost, (len - max_len) / dn);
+  }
+  CandidateResult best;
+  best.cost = kInf;
+  if (n == 0) return best;
+  for (std::size_t p = 0; p < n; ++p) {
+    const double d = dists[p];
+    const double len = std::max(std::max(2.0 * d, d + reach), max_len);
+    const double dn = std::min(static_cast<double>(p) + 1.0, room_d);
+    if ((len - max_len) / dn == best_cost) {
+      best.cost = best_cost;
+      best.len = len;
+      best.pos = static_cast<std::int64_t>(p);
+      return best;
+    }
+  }
+  return best;
+}
+
+Backend Resolve() {
+  int b = g_backend.load(std::memory_order_relaxed);
+  if (b < 0) {
+    b = static_cast<int>(BestBackend());
+    g_backend.store(b, std::memory_order_relaxed);
+  }
+  return static_cast<Backend>(b);
+}
+
+}  // namespace
+
+Backend ActiveBackend() { return Resolve(); }
+
+void SetBackend(Backend backend) {
+  if (backend == Backend::kAvx2 && !Avx2Available()) {
+    backend = Backend::kPortable;
+  }
+  g_backend.store(static_cast<int>(backend), std::memory_order_relaxed);
+}
+
+Backend BestBackend() {
+  return Avx2Available() ? Backend::kAvx2 : Backend::kPortable;
+}
+
+bool Avx2Available() { return Avx2Compiled() && CpuHasAvx2(); }
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kPortable:
+      return "portable";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch. The AVX2 calls only exist when the intrinsics TU is compiled
+// in (DIACA_KERNELS_AVX2); SetBackend never hands out kAvx2 otherwise.
+
+#if DIACA_KERNELS_AVX2
+#define DIACA_SIMD_DISPATCH(call_scalar, call_portable, call_avx2) \
+  switch (Resolve()) {                                             \
+    case Backend::kScalar:                                         \
+      return call_scalar;                                          \
+    case Backend::kAvx2:                                           \
+      return call_avx2;                                            \
+    case Backend::kPortable:                                       \
+    default:                                                       \
+      return call_portable;                                        \
+  }
+#else
+#define DIACA_SIMD_DISPATCH(call_scalar, call_portable, call_avx2) \
+  switch (Resolve()) {                                             \
+    case Backend::kScalar:                                         \
+      return call_scalar;                                          \
+    case Backend::kAvx2:                                           \
+    case Backend::kPortable:                                       \
+    default:                                                       \
+      return call_portable;                                        \
+  }
+#endif
+
+double MaxPlusReduce(const double* row, const double* far, std::size_t n,
+                     double base) {
+  CountScan(16 * n);
+  DIACA_SIMD_DISPATCH(MaxPlusReduceScalar(row, far, n, base),
+                      MaxPlusReducePortable(row, far, n, base),
+                      avx2::MaxPlusReduce(row, far, n, base));
+}
+
+void MaxAccumulatePlus(double* acc, const double* row, double add,
+                       std::size_t n) {
+  CountScan(24 * n);
+  DIACA_SIMD_DISPATCH(MaxAccumulatePlusScalar(acc, row, add, n),
+                      MaxAccumulatePlusPortable(acc, row, add, n),
+                      avx2::MaxAccumulatePlus(acc, row, add, n));
+}
+
+void MinPlusAccumulate(double* acc, const double* row, double add,
+                       std::size_t n) {
+  CountScan(24 * n);
+  DIACA_SIMD_DISPATCH(MinPlusAccumulateScalar(acc, row, add, n),
+                      MinPlusAccumulatePortable(acc, row, add, n),
+                      avx2::MinPlusAccumulate(acc, row, add, n));
+}
+
+double MinPlusReduce(const double* a, const double* b, std::size_t n) {
+  CountScan(16 * n);
+  DIACA_SIMD_DISPATCH(MinPlusReduceScalar(a, b, n),
+                      MinPlusReducePortable(a, b, n),
+                      avx2::MinPlusReduce(a, b, n));
+}
+
+ArgResult ArgMinFirst(const double* v, std::size_t n) {
+  CountScan(8 * n);
+  DIACA_SIMD_DISPATCH(ArgMinFirstScalar(v, n), ArgMinFirstPortable(v, n),
+                      avx2::ArgMinFirst(v, n));
+}
+
+ArgResult ArgMinPlusFirst(const double* a, const double* b, std::size_t n) {
+  CountScan(16 * n);
+  DIACA_SIMD_DISPATCH(ArgMinPlusFirstScalar(a, b, n),
+                      ArgMinPlusFirstPortable(a, b, n),
+                      avx2::ArgMinPlusFirst(a, b, n));
+}
+
+ArgResult ArgMaxPlusFirst(const double* row, const double* far, std::size_t n,
+                          double base) {
+  CountScan(16 * n);
+  DIACA_SIMD_DISPATCH(ArgMaxPlusFirstScalar(row, far, n, base),
+                      ArgMaxPlusFirstPortable(row, far, n, base),
+                      avx2::ArgMaxPlusFirst(row, far, n, base));
+}
+
+double DotProduct(const double* a, const double* b, std::size_t n) {
+  CountScan(16 * n);
+  DIACA_SIMD_DISPATCH(DotProductScalar(a, b, n), DotProductPortable(a, b, n),
+                      avx2::DotProduct(a, b, n));
+}
+
+CandidateResult BestCandidate(const double* dists, std::size_t n,
+                              double reach, double max_len,
+                              std::int32_t room) {
+  CountScan(8 * n);
+  DIACA_SIMD_DISPATCH(BestCandidateScalar(dists, n, reach, max_len, room),
+                      BestCandidatePortable(dists, n, reach, max_len, room),
+                      avx2::BestCandidate(dists, n, reach, max_len, room));
+}
+
+#undef DIACA_SIMD_DISPATCH
+
+void MaxAbsorbScatter(double* far, const std::int32_t* assign,
+                      const double* cs, std::size_t cs_stride,
+                      std::int64_t c_begin, std::int64_t c_end) {
+  CountScan(12 * static_cast<std::size_t>(
+                     c_end > c_begin ? c_end - c_begin : 0));
+  // Scatter with write conflicts — scalar in every backend (kernels.h).
+  for (std::int64_t c = c_begin; c < c_end; ++c) {
+    const std::int32_t s = assign[c];
+    if (s < 0) continue;
+    const double d = cs[static_cast<std::size_t>(c) * cs_stride +
+                        static_cast<std::size_t>(s)];
+    far[s] = std::max(far[s], d);
+  }
+}
+
+void RadixSortDistIndex(double* dist, std::int32_t* idx, std::size_t n) {
+  if (n < 2) return;
+  // 16-byte entries keep key and payload on one cache line through the
+  // scatter passes. No floating-point arithmetic happens here, so the
+  // result is exact on every backend by construction.
+  struct Entry {
+    std::uint64_t key;
+    std::uint64_t val;
+  };
+  std::vector<Entry> ping(n);
+  std::vector<Entry> pong(n);
+  // One read pass builds the histograms for all eight digit positions at
+  // once; digit histograms are order-independent, so they stay valid for
+  // every later pass regardless of how earlier passes permuted.
+  std::uint32_t hist[8][256] = {};
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t k;
+    std::memcpy(&k, &dist[i], sizeof(k));
+    ping[i] = {k, static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                      idx[i]))};
+    for (int p = 0; p < 8; ++p) ++hist[p][(k >> (8 * p)) & 0xff];
+  }
+  Entry* src = ping.data();
+  Entry* dst = pong.data();
+  std::size_t passes_run = 0;
+  for (int p = 0; p < 8; ++p) {
+    const std::uint32_t* h = hist[p];
+    // A pass where every key shares one digit is the identity permutation.
+    if (h[(src[0].key >> (8 * p)) & 0xff] == n) continue;
+    ++passes_run;
+    std::uint32_t offsets[256];
+    std::uint32_t sum = 0;
+    for (int d = 0; d < 256; ++d) {
+      offsets[d] = sum;
+      sum += h[d];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[offsets[(src[i].key >> (8 * p)) & 0xff]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memcpy(&dist[i], &src[i].key, sizeof(double));
+    idx[i] = static_cast<std::int32_t>(static_cast<std::uint32_t>(src[i].val));
+  }
+  CountScan((16 + 16 + 32 * passes_run) * n);
+}
+
+}  // namespace diaca::simd

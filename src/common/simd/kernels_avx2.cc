@@ -1,0 +1,233 @@
+// AVX2 backend of the max-plus kernels. Compiled only when DIACA_AVX2=ON
+// (the `avx2` CMake preset), with -mavx2 on this translation unit alone;
+// the dispatcher (kernels.cc) only routes here after
+// __builtin_cpu_supports("avx2") confirms the CPU at runtime.
+//
+// Exactness: the vector lanes perform the same per-element IEEE ops as
+// the scalar reference (max/min/add/mul/div — no FMA, no re-associated
+// sums), and max/min reductions are exact under any association, so every
+// result is bit-identical to the scalar backend. Arg-reductions use the
+// same two-pass scheme as the portable backend: exact vector extremum,
+// then a scalar first-index scan recomputing the identical expression.
+#include "common/simd/kernels_internal.h"
+
+#ifndef __AVX2__
+#error "kernels_avx2.cc must be compiled with -mavx2 (DIACA_AVX2=ON)"
+#endif
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <limits>
+
+namespace diaca::simd::avx2 {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+inline double HorizontalMax(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d m = _mm_max_pd(lo, hi);
+  const __m128d s = _mm_max_sd(m, _mm_unpackhi_pd(m, m));
+  return _mm_cvtsd_f64(s);
+}
+
+inline double HorizontalMin(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d m = _mm_min_pd(lo, hi);
+  const __m128d s = _mm_min_sd(m, _mm_unpackhi_pd(m, m));
+  return _mm_cvtsd_f64(s);
+}
+
+// (base + row[i]) + far[i], with lanes where far[i] < 0 blended to -inf.
+inline __m256d MaxPlusTerm(__m256d row, __m256d far, __m256d base,
+                           __m256d neg_inf, __m256d zero) {
+  const __m256d t = _mm256_add_pd(_mm256_add_pd(base, row), far);
+  const __m256d unused = _mm256_cmp_pd(far, zero, _CMP_LT_OQ);
+  return _mm256_blendv_pd(t, neg_inf, unused);
+}
+
+}  // namespace
+
+double MaxPlusReduce(const double* row, const double* far, std::size_t n,
+                     double base) {
+  const __m256d vbase = _mm256_set1_pd(base);
+  const __m256d vninf = _mm256_set1_pd(-kInf);
+  const __m256d vzero = _mm256_setzero_pd();
+  __m256d vbest = vninf;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d t = MaxPlusTerm(_mm256_loadu_pd(row + i),
+                                  _mm256_loadu_pd(far + i), vbase, vninf,
+                                  vzero);
+    vbest = _mm256_max_pd(vbest, t);
+  }
+  double best = HorizontalMax(vbest);
+  for (; i < n; ++i) {
+    if (far[i] >= 0.0) best = std::max(best, (base + row[i]) + far[i]);
+  }
+  return best;
+}
+
+void MaxAccumulatePlus(double* acc, const double* row, double add,
+                       std::size_t n) {
+  const __m256d vadd = _mm256_set1_pd(add);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d t = _mm256_add_pd(_mm256_loadu_pd(row + i), vadd);
+    _mm256_storeu_pd(acc + i, _mm256_max_pd(_mm256_loadu_pd(acc + i), t));
+  }
+  for (; i < n; ++i) acc[i] = std::max(acc[i], row[i] + add);
+}
+
+void MinPlusAccumulate(double* acc, const double* row, double add,
+                       std::size_t n) {
+  const __m256d vadd = _mm256_set1_pd(add);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d t = _mm256_add_pd(_mm256_loadu_pd(row + i), vadd);
+    _mm256_storeu_pd(acc + i, _mm256_min_pd(_mm256_loadu_pd(acc + i), t));
+  }
+  for (; i < n; ++i) acc[i] = std::min(acc[i], row[i] + add);
+}
+
+double MinPlusReduce(const double* a, const double* b, std::size_t n) {
+  __m256d vbest = _mm256_set1_pd(kInf);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d t =
+        _mm256_add_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    vbest = _mm256_min_pd(vbest, t);
+  }
+  double best = HorizontalMin(vbest);
+  for (; i < n; ++i) best = std::min(best, a[i] + b[i]);
+  return best;
+}
+
+ArgResult ArgMinFirst(const double* v, std::size_t n) {
+  __m256d vbest = _mm256_set1_pd(kInf);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vbest = _mm256_min_pd(vbest, _mm256_loadu_pd(v + i));
+  }
+  double best = HorizontalMin(vbest);
+  for (; i < n; ++i) best = std::min(best, v[i]);
+  if (best == kInf) return {kInf, -1};
+  for (std::size_t j = 0; j < n; ++j) {
+    if (v[j] == best) return {best, static_cast<std::int64_t>(j)};
+  }
+  return {kInf, -1};
+}
+
+ArgResult ArgMinPlusFirst(const double* a, const double* b, std::size_t n) {
+  __m256d vbest = _mm256_set1_pd(kInf);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d t =
+        _mm256_add_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    vbest = _mm256_min_pd(vbest, t);
+  }
+  double best = HorizontalMin(vbest);
+  for (; i < n; ++i) best = std::min(best, a[i] + b[i]);
+  if (best == kInf) return {kInf, -1};
+  for (std::size_t j = 0; j < n; ++j) {
+    if (a[j] + b[j] == best) return {best, static_cast<std::int64_t>(j)};
+  }
+  return {kInf, -1};
+}
+
+ArgResult ArgMaxPlusFirst(const double* row, const double* far, std::size_t n,
+                          double base) {
+  const __m256d vbase = _mm256_set1_pd(base);
+  const __m256d vninf = _mm256_set1_pd(-kInf);
+  const __m256d vzero = _mm256_setzero_pd();
+  __m256d vbest = vninf;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d t = MaxPlusTerm(_mm256_loadu_pd(row + i),
+                                  _mm256_loadu_pd(far + i), vbase, vninf,
+                                  vzero);
+    vbest = _mm256_max_pd(vbest, t);
+  }
+  double best = HorizontalMax(vbest);
+  for (; i < n; ++i) {
+    if (far[i] >= 0.0) best = std::max(best, (base + row[i]) + far[i]);
+  }
+  if (best == -kInf) return {-kInf, -1};
+  for (std::size_t j = 0; j < n; ++j) {
+    if (far[j] < 0.0) continue;
+    if ((base + row[j]) + far[j] == best) {
+      return {best, static_cast<std::int64_t>(j)};
+    }
+  }
+  return {-kInf, -1};
+}
+
+double DotProduct(const double* a, const double* b, std::size_t n) {
+  // Fixed 4-accumulator pattern (kernels.h): lane j sums i ≡ j (mod 4).
+  // Explicit mul + add — no FMA — so every backend matches bit-for-bit in
+  // builds without global FP contraction.
+  __m256d vacc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d t =
+        _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    vacc = _mm256_add_pd(vacc, t);
+  }
+  alignas(32) double acc[4];
+  _mm256_store_pd(acc, vacc);
+  for (; i < n; ++i) acc[i % 4] += a[i] * b[i];
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+CandidateResult BestCandidate(const double* dists, std::size_t n,
+                              double reach, double max_len,
+                              std::int32_t room) {
+  const double room_d = static_cast<double>(room);
+  const __m256d vreach = _mm256_set1_pd(reach);
+  const __m256d vmax_len = _mm256_set1_pd(max_len);
+  const __m256d vroom = _mm256_set1_pd(room_d);
+  const __m256d vtwo = _mm256_set1_pd(2.0);
+  const __m256d vfour = _mm256_set1_pd(4.0);
+  // dn lanes start at p + 1 = [1, 2, 3, 4].
+  __m256d vpos1 = _mm256_set_pd(4.0, 3.0, 2.0, 1.0);
+  __m256d vbest = _mm256_set1_pd(kInf);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d = _mm256_loadu_pd(dists + i);
+    const __m256d len = _mm256_max_pd(
+        _mm256_max_pd(_mm256_mul_pd(vtwo, d), _mm256_add_pd(d, vreach)),
+        vmax_len);
+    const __m256d dn = _mm256_min_pd(vpos1, vroom);
+    const __m256d cost = _mm256_div_pd(_mm256_sub_pd(len, vmax_len), dn);
+    vbest = _mm256_min_pd(vbest, cost);
+    vpos1 = _mm256_add_pd(vpos1, vfour);
+  }
+  double best_cost = HorizontalMin(vbest);
+  for (; i < n; ++i) {
+    const double d = dists[i];
+    const double len = std::max(std::max(2.0 * d, d + reach), max_len);
+    const double dn = std::min(static_cast<double>(i) + 1.0, room_d);
+    best_cost = std::min(best_cost, (len - max_len) / dn);
+  }
+  CandidateResult best;
+  best.cost = kInf;
+  if (n == 0) return best;
+  for (std::size_t p = 0; p < n; ++p) {
+    const double d = dists[p];
+    const double len = std::max(std::max(2.0 * d, d + reach), max_len);
+    const double dn = std::min(static_cast<double>(p) + 1.0, room_d);
+    if ((len - max_len) / dn == best_cost) {
+      best.cost = best_cost;
+      best.len = len;
+      best.pos = static_cast<std::int64_t>(p);
+      return best;
+    }
+  }
+  return best;
+}
+
+}  // namespace diaca::simd::avx2

@@ -1,0 +1,29 @@
+// Internal backend entry points shared between kernels.cc (dispatch) and
+// kernels_avx2.cc (the intrinsics translation unit, compiled only with
+// DIACA_AVX2=ON — see CMakeLists.txt). Not part of the public API.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/simd/kernels.h"
+
+namespace diaca::simd::avx2 {
+
+double MaxPlusReduce(const double* row, const double* far, std::size_t n,
+                     double base);
+void MaxAccumulatePlus(double* acc, const double* row, double add,
+                       std::size_t n);
+void MinPlusAccumulate(double* acc, const double* row, double add,
+                       std::size_t n);
+double MinPlusReduce(const double* a, const double* b, std::size_t n);
+ArgResult ArgMinFirst(const double* v, std::size_t n);
+ArgResult ArgMinPlusFirst(const double* a, const double* b, std::size_t n);
+ArgResult ArgMaxPlusFirst(const double* row, const double* far, std::size_t n,
+                          double base);
+double DotProduct(const double* a, const double* b, std::size_t n);
+CandidateResult BestCandidate(const double* dists, std::size_t n,
+                              double reach, double max_len,
+                              std::int32_t room);
+
+}  // namespace diaca::simd::avx2

@@ -1,0 +1,60 @@
+// SIMD-friendly layout contract shared by the matrix storage and the
+// max-plus kernels (common/simd/kernels.h).
+//
+// Every dense latency row (net::LatencyMatrix, core::Problem) is padded to
+// a multiple of kPadWidth doubles — one cache line — so rows start on a
+// predictable boundary and a vector loop never straddles two logical rows.
+// The padding sentinels are chosen so padded lanes are inert:
+//   * matrix rows pad with 0.0  (cannot perturb a sum against a 0 weight,
+//     cannot win a max against a non-negative entry),
+//   * companion "far"/eccentricity buffers pad with -1.0 / -infinity (the
+//     kernels treat far < 0 as "server unused", so a padded lane can never
+//     win a max-plus reduction).
+//
+// The kernels themselves take explicit element counts and handle remainder
+// lanes internally, so callers may pass either the logical width n or the
+// padded stride when the companion buffer's sentinels make the tail inert.
+#pragma once
+
+#include <cstddef>
+
+namespace diaca::simd {
+
+/// Doubles per padded row quantum: one 64-byte cache line, two AVX2
+/// vectors. Every padded row stride is a multiple of this.
+inline constexpr std::size_t kPadWidth = 8;
+
+/// Smallest multiple of kPadWidth that is >= n (n = 0 maps to 0).
+constexpr std::size_t PaddedStride(std::size_t n) {
+  return (n + kPadWidth - 1) / kPadWidth * kPadWidth;
+}
+
+/// Kernel implementation selected at runtime. kScalar is the reference
+/// the vector paths are tested against; kPortable is the
+/// autovectorizable pragma-omp-simd path; kAvx2 the intrinsics path
+/// (available only when compiled in — see DIACA_AVX2 in CMakeLists.txt —
+/// and the CPU supports AVX2).
+enum class Backend { kScalar = 0, kPortable = 1, kAvx2 = 2 };
+
+/// The backend new kernel calls dispatch to. Defaults to the best
+/// compiled-and-supported backend; see SetBackend.
+Backend ActiveBackend();
+
+/// Override the dispatch backend (tests and benches use this to compare
+/// the scalar reference against the vector paths in-process). Requesting
+/// kAvx2 when it is not available falls back to kPortable. Call from one
+/// thread while no kernels are in flight.
+void SetBackend(Backend backend);
+
+/// Best backend this binary can run here: kAvx2 when the AVX2 translation
+/// unit was compiled in (DIACA_AVX2=ON) and the CPU supports it, else
+/// kPortable.
+Backend BestBackend();
+
+/// True when the AVX2 kernels are compiled in and the CPU supports AVX2.
+bool Avx2Available();
+
+/// Human-readable backend name ("scalar" | "portable" | "avx2").
+const char* BackendName(Backend backend);
+
+}  // namespace diaca::simd

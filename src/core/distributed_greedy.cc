@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "common/simd/kernels.h"
 #include "common/thread_pool.h"
 #include "core/capacity.h"
 #include "core/metrics.h"
@@ -20,13 +21,14 @@ std::vector<double> EccentricitiesExcluding(const Problem& problem,
                                             const Assignment& a,
                                             ClientIndex exclude) {
   std::vector<double> far(static_cast<std::size_t>(problem.num_servers()), -1.0);
-  for (ClientIndex c = 0; c < problem.num_clients(); ++c) {
-    if (c == exclude) continue;
-    const ServerIndex s = a[c];
-    if (s == kUnassigned) continue;
-    far[static_cast<std::size_t>(s)] =
-        std::max(far[static_cast<std::size_t>(s)], problem.cs(c, s));
-  }
+  // The eccentricity fold, split around the excluded client.
+  const double* cs = problem.cs_row(0);
+  const std::size_t stride = problem.server_stride();
+  simd::MaxAbsorbScatter(far.data(), a.server_of.data(), cs, stride, 0,
+                         exclude);
+  simd::MaxAbsorbScatter(far.data(), a.server_of.data(), cs, stride,
+                         static_cast<std::int64_t>(exclude) + 1,
+                         problem.num_clients());
   return far;
 }
 
@@ -34,14 +36,12 @@ double PathLengthIfMoved(const Problem& problem, ClientIndex c,
                          ServerIndex candidate,
                          std::span<const double> far_excl) {
   const double d = problem.cs(c, candidate);
-  // Self path: c -> candidate -> candidate -> c.
-  double best = 2.0 * d;
-  const double* row = problem.ss_row(candidate);
-  for (ServerIndex t = 0; t < problem.num_servers(); ++t) {
-    const double f = far_excl[static_cast<std::size_t>(t)];
-    if (f >= 0.0) best = std::max(best, d + row[t] + f);
-  }
-  return best;
+  // Self path 2d: c -> candidate -> candidate -> c; the fold adds the
+  // best path through a used server, (d + row[t]) + far[t] — the same
+  // association the former serial loop carried.
+  return std::max(2.0 * d,
+                  simd::MaxPlusReduce(problem.ss_row(candidate),
+                                      far_excl.data(), far_excl.size(), d));
 }
 
 DgResult DistributedGreedyAssign(const Problem& problem,

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <limits>
-#include <numeric>
 #include <vector>
 
 #include "common/error.h"
+#include "common/simd/kernels.h"
 #include "common/thread_pool.h"
 #include "core/capacity.h"
 #include "core/metrics.h"
@@ -33,22 +33,32 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
   ThreadPool& pool = GlobalPool();
 
   // Preprocessing: per-server client lists sorted by distance (ties by
-  // client index, making every later step deterministic). The sorts are
-  // independent, so they fan out across the pool.
+  // client index, making every later step deterministic). Alongside each
+  // list a contiguous array of the distances themselves, compacted in
+  // lockstep — the candidate scan then streams plain doubles instead of
+  // gathering cs(list[pos], s) per element. The sorts are independent, so
+  // they fan out across the pool.
   std::vector<std::vector<ClientIndex>> lists(
+      static_cast<std::size_t>(num_servers));
+  std::vector<std::vector<double>> dist_lists(
       static_cast<std::size_t>(num_servers));
   pool.ParallelFor(0, num_servers, 1, [&](std::int64_t b, std::int64_t e) {
     for (std::int64_t si = b; si < e; ++si) {
       const auto s = static_cast<ServerIndex>(si);
-      auto& list = lists[static_cast<std::size_t>(s)];
+      auto& list = lists[static_cast<std::size_t>(si)];
+      auto& dist = dist_lists[static_cast<std::size_t>(si)];
       list.resize(static_cast<std::size_t>(num_clients));
-      std::iota(list.begin(), list.end(), 0);
-      std::sort(list.begin(), list.end(),
-                [&problem, s](ClientIndex a, ClientIndex b2) {
-                  const double da = problem.cs(a, s);
-                  const double db = problem.cs(b2, s);
-                  return da != db ? da < db : a < b2;
-                });
+      dist.resize(static_cast<std::size_t>(num_clients));
+      for (ClientIndex c = 0; c < num_clients; ++c) {
+        dist[static_cast<std::size_t>(c)] = problem.cs(c, s);
+        list[static_cast<std::size_t>(c)] = c;
+      }
+      // Stable radix sort with idx arriving ascending == lexicographic
+      // (distance, client index): the exact tie-break of the former
+      // comparator-on-indices sort, without the comparison-sort cost that
+      // used to dominate the whole solve.
+      simd::RadixSortDistIndex(dist.data(), list.data(),
+                               static_cast<std::size_t>(num_clients));
     }
   });
 
@@ -72,48 +82,43 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
 
   while (num_assigned < num_clients) {
     DIACA_OBS_SPAN("core.greedy.iteration");
-    // One task per server: compact the sorted list in place (dropping
-    // clients assigned in earlier rounds, so each assignment is skipped
-    // once and never rescanned — amortized O(1) per assigned client),
-    // then scan the survivors for the best Δl/Δn candidate. The
-    // deterministic min-reduce resolves cost ties by server index, and
-    // the in-server scan keeps the first minimal position, matching the
-    // serial (server, position) iteration order exactly.
+    // One task per server: compact the sorted list (and its distance
+    // array) in place, dropping clients assigned in earlier rounds — each
+    // assignment is skipped once and never rescanned, amortized O(1) per
+    // assigned client — then run the fused candidate kernel over the
+    // surviving distances. The deterministic min-reduce resolves cost
+    // ties by server index, and the kernel keeps the first minimal
+    // position, matching the serial (server, position) iteration order
+    // exactly. In the first round no server is used yet, so the reach
+    // term is dropped via reach = -infinity (2*d >= 0 always wins).
     const auto scan_server = [&](std::int64_t si) -> double {
-      const auto s = static_cast<ServerIndex>(si);
       auto& best = bests[static_cast<std::size_t>(si)];
       best = ServerBest{};
       if (remaining[static_cast<std::size_t>(si)] <= 0) {
         return std::numeric_limits<double>::infinity();
       }
       auto& list = lists[static_cast<std::size_t>(si)];
+      auto& dist = dist_lists[static_cast<std::size_t>(si)];
       std::size_t write = 0;
       for (std::size_t pos = 0; pos < list.size(); ++pos) {
         const ClientIndex c = list[pos];
-        if (a[c] == kUnassigned) list[write++] = c;
-      }
-      list.resize(write);
-
-      const double server_reach = reach[static_cast<std::size_t>(si)];
-      const std::int32_t room = remaining[static_cast<std::size_t>(si)];
-      double best_cost = std::numeric_limits<double>::infinity();
-      for (std::size_t pos = 0; pos < list.size(); ++pos) {
-        const double d = problem.cs(list[pos], s);
-        const double len = std::max(
-            {2.0 * d, num_assigned > 0 ? d + server_reach : 0.0, max_len});
-        const double delta_l = len - max_len;
-        // The compacted prefix [0, pos] is entirely unassigned, so the
-        // batch size is pos + 1 — no re-count, no prefix re-walk.
-        const auto delta_n =
-            std::min(static_cast<std::int32_t>(pos) + 1, room);
-        const double cost = delta_l / static_cast<double>(delta_n);
-        if (cost < best_cost) {
-          best_cost = cost;
-          best.len = len;
-          best.pos = static_cast<std::int64_t>(pos);
+        if (a[c] == kUnassigned) {
+          dist[write] = dist[pos];
+          list[write++] = c;
         }
       }
-      return best_cost;
+      list.resize(write);
+      dist.resize(write);
+
+      const double server_reach =
+          num_assigned > 0 ? reach[static_cast<std::size_t>(si)]
+                           : -std::numeric_limits<double>::infinity();
+      const simd::CandidateResult r = simd::BestCandidate(
+          dist.data(), write, server_reach, max_len,
+          remaining[static_cast<std::size_t>(si)]);
+      best.len = r.len;
+      best.pos = r.pos;
+      return r.cost;
     };
     const ThreadPool::Extremum chosen =
         pool.ParallelMinReduce(0, num_servers, 1, scan_server);
@@ -125,29 +130,26 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
     // unassigned by construction; truncated to the farthest `take`
     // members under capacity.
     auto& list = lists[static_cast<std::size_t>(best_server)];
+    const auto& dist = dist_lists[static_cast<std::size_t>(best_server)];
     auto& room = remaining[static_cast<std::size_t>(best_server)];
     const auto batch_size = static_cast<std::size_t>(best.pos) + 1;
     const auto take =
         std::min<std::size_t>(batch_size, static_cast<std::size_t>(room));
     DIACA_CHECK(take >= 1);
+    double& far_b = far[static_cast<std::size_t>(best_server)];
     for (std::size_t i = batch_size - take; i < batch_size; ++i) {
       a[list[i]] = best_server;
-      far[static_cast<std::size_t>(best_server)] =
-          std::max(far[static_cast<std::size_t>(best_server)],
-                   problem.cs(list[i], best_server));
+      far_b = std::max(far_b, dist[i]);
       ++num_assigned;
     }
     if (options.capacitated()) room -= static_cast<std::int32_t>(take);
     max_len = std::max(max_len, best.len);
 
     // Only far(best_server) changed, and it only grew: fold it into every
-    // server's cached reach.
-    const double fb = far[static_cast<std::size_t>(best_server)];
-    for (ServerIndex s = 0; s < num_servers; ++s) {
-      reach[static_cast<std::size_t>(s)] =
-          std::max(reach[static_cast<std::size_t>(s)],
-                   problem.ss(s, best_server) + fb);
-    }
+    // server's cached reach (ss is symmetric, so the column over s is the
+    // best server's row).
+    simd::MaxAccumulatePlus(reach.data(), problem.ss_row(best_server), far_b,
+                            static_cast<std::size_t>(num_servers));
     if (stats != nullptr) ++stats->iterations;
     DIACA_OBS_COUNT("core.greedy.iterations", 1);
     DIACA_OBS_COUNT("core.greedy.reach_cache.refreshes", 1);

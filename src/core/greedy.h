@@ -21,10 +21,6 @@
 
 namespace diaca::core {
 
-/// Deprecated alias kept for one PR: per-solver stats folded into the
-/// shared SolveStats (core/solve_stats.h).
-using GreedyStats [[deprecated("use core::SolveStats")]] = SolveStats;
-
 /// Throws diaca::Error if the capacity makes the instance infeasible.
 /// When `stats` is non-null, fills SolveStats::iterations with the number
 /// of batch rounds. Prefer SolverRegistry::Solve("greedy", ...) — the

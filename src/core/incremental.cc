@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "common/simd/kernels.h"
 #include "common/thread_pool.h"
 #include "obs/obs.h"
 
@@ -42,34 +43,42 @@ double IncrementalEvaluator::EffectiveFar(ServerIndex s, ClientIndex c,
   return Far(s);
 }
 
+std::span<const double> IncrementalEvaluator::MaterializeEffectiveFar(
+    ClientIndex c, ServerIndex from, ServerIndex to) const {
+  const auto num_servers = static_cast<std::size_t>(problem_.num_servers());
+  eff_buf_.resize(num_servers);
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    eff_buf_[s] = EffectiveFar(static_cast<ServerIndex>(s), c, from, to);
+  }
+  return eff_buf_;
+}
+
 IncrementalEvaluator::PairMax IncrementalEvaluator::ScanAllPairs(
     ClientIndex c, ServerIndex from, ServerIndex to) const {
   const std::int32_t num_servers = problem_.num_servers();
   // The rows of the pair scan are independent, so the full O(|U|^2)
-  // rescan fans out across the pool by anchor server s1. Each row task
-  // records its best partner s2 (first one on value ties, like the serial
-  // strict `>` scan); the deterministic max-reduce then keeps the
-  // lowest s1 on cross-row ties — together that reproduces the serial
-  // lexicographically-first argmax pair exactly.
+  // rescan fans out across the pool by anchor server s1. Each row runs
+  // the masked max-plus kernel over its s2 >= s1 subrange (first partner
+  // on value ties, like the serial strict `>` scan, with the same
+  // (f1 + d) + f2 association); the deterministic max-reduce then keeps
+  // the lowest s1 on cross-row ties — together that reproduces the serial
+  // lexicographically-first argmax pair exactly. Effective eccentricities
+  // are materialized once, not looked up per pair.
+  const std::span<const double> eff = MaterializeEffectiveFar(c, from, to);
   std::vector<ServerIndex> best_s2(static_cast<std::size_t>(num_servers),
                                    kUnassigned);
   const ThreadPool::Extremum row_best = GlobalPool().ParallelMaxReduce(
       0, num_servers, 8, [&](std::int64_t si) {
         const auto s1 = static_cast<ServerIndex>(si);
-        const double f1 = EffectiveFar(s1, c, from, to);
+        const double f1 = eff[static_cast<std::size_t>(si)];
         if (f1 < 0.0) return -std::numeric_limits<double>::infinity();
-        const double* row = problem_.ss_row(s1);
-        double local = -std::numeric_limits<double>::infinity();
-        for (ServerIndex s2 = s1; s2 < num_servers; ++s2) {
-          const double f2 = EffectiveFar(s2, c, from, to);
-          if (f2 < 0.0) continue;
-          const double value = f1 + row[s2] + f2;
-          if (value > local) {
-            local = value;
-            best_s2[static_cast<std::size_t>(si)] = s2;
-          }
-        }
-        return local;
+        const simd::ArgResult r = simd::ArgMaxPlusFirst(
+            problem_.ss_row(s1) + s1, eff.data() + si,
+            static_cast<std::size_t>(num_servers - s1), f1);
+        if (r.index < 0) return -std::numeric_limits<double>::infinity();
+        best_s2[static_cast<std::size_t>(si)] =
+            s1 + static_cast<ServerIndex>(r.index);
+        return r.value;
       });
   if (row_best.index < 0) return PairMax{};
   const auto s1 = static_cast<ServerIndex>(row_best.index);
@@ -79,18 +88,17 @@ IncrementalEvaluator::PairMax IncrementalEvaluator::ScanAllPairs(
 IncrementalEvaluator::PairMax IncrementalEvaluator::ScanTouching(
     ClientIndex c, ServerIndex from, ServerIndex to) const {
   PairMax best;
-  const std::int32_t num_servers = problem_.num_servers();
+  const auto num_servers = static_cast<std::size_t>(problem_.num_servers());
+  const std::span<const double> eff = MaterializeEffectiveFar(c, from, to);
   for (ServerIndex anchor : {from, to}) {
-    const double fa = EffectiveFar(anchor, c, from, to);
+    const double fa = eff[static_cast<std::size_t>(anchor)];
     if (fa < 0.0) continue;
-    const double* row = problem_.ss_row(anchor);
-    for (ServerIndex s = 0; s < num_servers; ++s) {
-      const double fs = EffectiveFar(s, c, from, to);
-      if (fs < 0.0) continue;
-      const double value = fa + row[s] + fs;
-      if (value > best.value || best.a == kUnassigned) {
-        best = {value, std::min(anchor, s), std::max(anchor, s)};
-      }
+    const simd::ArgResult r = simd::ArgMaxPlusFirst(
+        problem_.ss_row(anchor), eff.data(), num_servers, fa);
+    if (r.index < 0) continue;
+    const auto s = static_cast<ServerIndex>(r.index);
+    if (r.value > best.value || best.a == kUnassigned) {
+      best = {r.value, std::min(anchor, s), std::max(anchor, s)};
     }
   }
   return best;

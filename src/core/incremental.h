@@ -16,6 +16,7 @@
 #pragma once
 
 #include <set>
+#include <span>
 #include <vector>
 
 #include "core/problem.h"
@@ -65,6 +66,13 @@ class IncrementalEvaluator {
   double EffectiveFar(ServerIndex s, ClientIndex c, ServerIndex from,
                       ServerIndex to) const;
 
+  /// Fill eff_buf_ with EffectiveFar(s, ...) for every server and return
+  /// it: the pair scans then fold contiguous doubles instead of paying a
+  /// multiset lookup per (s1, s2) pair.
+  std::span<const double> MaterializeEffectiveFar(ClientIndex c,
+                                                  ServerIndex from,
+                                                  ServerIndex to) const;
+
   /// Full scan over server pairs with the move applied virtually.
   PairMax ScanAllPairs(ClientIndex c, ServerIndex from, ServerIndex to) const;
 
@@ -80,6 +88,9 @@ class IncrementalEvaluator {
   /// Per-server multiset of client distances (supports removing one
   /// occurrence when a client leaves).
   std::vector<std::multiset<double>> distances_;
+  /// Scratch for MaterializeEffectiveFar, reused across evaluations (the
+  /// evaluator is single-caller by contract, like the rest of its state).
+  mutable std::vector<double> eff_buf_;
   PairMax max_pair_;
   mutable std::int64_t full_rescans_ = 0;
 };

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/simd/kernels.h"
 #include "common/thread_pool.h"
 #include "core/capacity.h"
 #include "core/nearest_server.h"
@@ -14,24 +15,25 @@ namespace diaca::core {
 
 namespace {
 
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
 struct Candidate {
   ClientIndex client;
   ServerIndex nearest;
   double distance;
 };
 
-// Nearest server among those with remaining capacity; kUnassigned if none.
+// Nearest server among those with remaining capacity, given the saturation
+// mask (0.0 = open, +infinity = saturated); kUnassigned if none. The
+// masked min-plus scan keeps the first minimum — row[s] + 0.0 is exactly
+// row[s] — so it matches the former "first strict improvement over open
+// servers" loop bit-for-bit.
 ServerIndex NearestUnsaturated(const Problem& problem, ClientIndex c,
-                               std::span<const std::int32_t> remaining) {
-  const double* row = problem.cs_row(c);
-  ServerIndex best = kUnassigned;
-  for (ServerIndex s = 0; s < problem.num_servers(); ++s) {
-    if (remaining[static_cast<std::size_t>(s)] > 0 &&
-        (best == kUnassigned || row[s] < row[best])) {
-      best = s;
-    }
-  }
-  return best;
+                               std::span<const double> avail) {
+  const simd::ArgResult best =
+      simd::ArgMinPlusFirst(problem.cs_row(c), avail.data(), avail.size());
+  return best.index < 0 ? kUnassigned
+                        : static_cast<ServerIndex>(best.index);
 }
 
 Assignment Uncapacitated(const Problem& problem, SolveStats* stats) {
@@ -85,10 +87,16 @@ Assignment Capacitated(const Problem& problem, const AssignOptions& options,
   Assignment a(static_cast<std::size_t>(num_clients));
   std::vector<ServerIndex> nearest(static_cast<std::size_t>(num_clients),
                                    kUnassigned);
+  std::vector<double> avail(static_cast<std::size_t>(problem.num_servers()));
   std::int32_t unassigned = num_clients;
 
   while (unassigned > 0) {
     DIACA_OBS_SPAN("core.lfb.batch");
+    // Saturation mask for this round (capacities only shrink between
+    // rounds, never during the scan).
+    for (std::size_t s = 0; s < avail.size(); ++s) {
+      avail[s] = remaining[s] > 0 ? 0.0 : kInf;
+    }
     // Find the unassigned client whose distance to its nearest unsaturated
     // server is longest. Each client is scored independently; the
     // deterministic max-reduce keeps the lowest client index on distance
@@ -99,7 +107,7 @@ Assignment Capacitated(const Problem& problem, const AssignOptions& options,
           if (a[c] != kUnassigned) {
             return -std::numeric_limits<double>::infinity();
           }
-          const ServerIndex s = NearestUnsaturated(problem, c, remaining);
+          const ServerIndex s = NearestUnsaturated(problem, c, avail);
           DIACA_CHECK_MSG(s != kUnassigned, "all servers saturated early");
           nearest[static_cast<std::size_t>(ci)] = s;
           return problem.cs(c, s);

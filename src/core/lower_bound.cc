@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/simd/kernels.h"
 
 namespace diaca::core {
 
@@ -18,17 +19,18 @@ LowerBoundDetail ComputePairwise(const Problem& problem) {
   const auto ss = static_cast<std::size_t>(num_servers);
 
   // m[c][s'] = min_s d(c,s) + d(s,s'): cheapest way for client c's
-  // operation to reach server s' through some ingress server s.
-  std::vector<double> m(sc * ss, std::numeric_limits<double>::infinity());
+  // operation to reach server s' through some ingress server s. Rows use
+  // the problem's padded server stride so the min-plus kernels stream
+  // aligned spans; the pad lanes keep their +infinity fill (the kernels
+  // run over the |S| valid lanes only — a relaxed pad lane would hold
+  // stale finite junk and could win the reduce below).
+  const std::size_t stride = problem.server_stride();
+  std::vector<double> m(sc * stride, std::numeric_limits<double>::infinity());
   for (ClientIndex c = 0; c < num_clients; ++c) {
     const double* cs_row = problem.cs_row(c);
-    double* m_row = m.data() + static_cast<std::size_t>(c) * ss;
+    double* m_row = m.data() + static_cast<std::size_t>(c) * stride;
     for (ServerIndex s = 0; s < num_servers; ++s) {
-      const double dcs = cs_row[s];
-      const double* ss_row = problem.ss_row(s);
-      for (ServerIndex t = 0; t < num_servers; ++t) {
-        m_row[t] = std::min(m_row[t], dcs + ss_row[t]);
-      }
+      simd::MinPlusAccumulate(m_row, problem.ss_row(s), cs_row[s], ss);
     }
   }
 
@@ -36,14 +38,9 @@ LowerBoundDetail ComputePairwise(const Problem& problem) {
   // symmetric in (c, c'), so only ordered pairs c <= c' are scanned.
   LowerBoundDetail detail;
   for (ClientIndex c = 0; c < num_clients; ++c) {
-    const double* m_row = m.data() + static_cast<std::size_t>(c) * ss;
+    const double* m_row = m.data() + static_cast<std::size_t>(c) * stride;
     for (ClientIndex c2 = c; c2 < num_clients; ++c2) {
-      const double* cs_row = problem.cs_row(c2);
-      double best = std::numeric_limits<double>::infinity();
-      for (ServerIndex t = 0; t < num_servers; ++t) {
-        const double len = m_row[t] + cs_row[t];
-        best = std::min(best, len);
-      }
+      const double best = simd::MinPlusReduce(m_row, problem.cs_row(c2), ss);
       if (best > detail.value) {
         detail.value = best;
         detail.first = c;

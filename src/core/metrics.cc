@@ -1,9 +1,9 @@
 #include "core/metrics.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "common/error.h"
+#include "common/simd/kernels.h"
 #include "common/thread_pool.h"
 
 namespace diaca::core {
@@ -13,6 +13,28 @@ namespace {
 // Below this many clients the chunked parallel paths fall back to plain
 // loops — the work wouldn't cover the fan-out cost.
 constexpr std::int64_t kClientGrain = 2048;
+
+// max over used pairs (s1, s2) of far(s1) + d(s1, s2) + far(s2), from an
+// eccentricity array already in hand. Shared by MaxInteractionPathLength
+// and CriticalClients so the eccentricities are computed exactly once per
+// caller. The subrange fold over s2 >= s1 walks the same upper triangle
+// as the former nested loop, with the same (f1 + d) + f2 association, so
+// the value is bit-identical to it.
+double MaxPathFromEccentricities(const Problem& problem,
+                                 std::span<const double> far) {
+  const std::int32_t num_servers = problem.num_servers();
+  double best = 0.0;
+  for (ServerIndex s1 = 0; s1 < num_servers; ++s1) {
+    const double f1 = far[static_cast<std::size_t>(s1)];
+    if (f1 < 0.0) continue;
+    best = std::max(
+        best, simd::MaxPlusReduce(
+                  problem.ss_row(s1) + s1,
+                  far.data() + static_cast<std::size_t>(s1),
+                  static_cast<std::size_t>(num_servers - s1), f1));
+  }
+  return best;
+}
 
 }  // namespace
 
@@ -29,78 +51,63 @@ std::vector<double> ServerEccentricities(const Problem& problem,
                                          const Assignment& a) {
   DIACA_CHECK(a.size() == static_cast<std::size_t>(problem.num_clients()));
   const std::int32_t num_clients = problem.num_clients();
-  std::vector<double> far(static_cast<std::size_t>(problem.num_servers()), -1.0);
+  const auto num_servers = static_cast<std::size_t>(problem.num_servers());
+  std::vector<double> far(num_servers, -1.0);
+  const double* cs = problem.cs_row(0);
+  const std::size_t cs_stride = problem.server_stride();
   ThreadPool& pool = GlobalPool();
   if (pool.num_threads() == 1 || num_clients <= kClientGrain) {
-    for (ClientIndex c = 0; c < num_clients; ++c) {
-      const ServerIndex s = a[c];
-      if (s == kUnassigned) continue;
-      far[static_cast<std::size_t>(s)] =
-          std::max(far[static_cast<std::size_t>(s)], problem.cs(c, s));
-    }
+    simd::MaxAbsorbScatter(far.data(), a.server_of.data(), cs, cs_stride, 0,
+                           num_clients);
     return far;
   }
-  // Chunked max-merge: each chunk folds its clients into a private array,
-  // then merges under a lock. `max` is exact, so the merged eccentricities
-  // are bit-identical to the serial scan whatever the interleaving.
-  std::mutex mu;
+  // Chunked max-merge: each chunk folds its clients into a private buffer
+  // owned by its chunk slot; the buffers are merged after the fork-join,
+  // in chunk order, with no lock anywhere. `max` is exact, so the merged
+  // eccentricities are bit-identical to the serial scan regardless.
+  const std::size_t num_chunks = static_cast<std::size_t>(
+      (num_clients + kClientGrain - 1) / kClientGrain);
+  std::vector<std::vector<double>> locals(num_chunks);
   pool.ParallelFor(0, num_clients, kClientGrain,
                    [&](std::int64_t b, std::int64_t e) {
-                     std::vector<double> local(
-                         static_cast<std::size_t>(problem.num_servers()), -1.0);
-                     for (std::int64_t c = b; c < e; ++c) {
-                       const ServerIndex s = a[static_cast<ClientIndex>(c)];
-                       if (s == kUnassigned) continue;
-                       local[static_cast<std::size_t>(s)] = std::max(
-                           local[static_cast<std::size_t>(s)],
-                           problem.cs(static_cast<ClientIndex>(c), s));
-                     }
-                     std::lock_guard<std::mutex> lock(mu);
-                     for (std::size_t s = 0; s < far.size(); ++s) {
-                       far[s] = std::max(far[s], local[s]);
-                     }
+                     auto& local = locals[static_cast<std::size_t>(
+                         b / kClientGrain)];
+                     local.assign(num_servers, -1.0);
+                     simd::MaxAbsorbScatter(local.data(), a.server_of.data(),
+                                            cs, cs_stride, b, e);
                    });
+  for (const std::vector<double>& local : locals) {
+    for (std::size_t s = 0; s < num_servers; ++s) {
+      far[s] = std::max(far[s], local[s]);
+    }
+  }
   return far;
 }
 
 double MaxInteractionPathLength(const Problem& problem, const Assignment& a) {
   DIACA_CHECK_MSG(a.IsComplete(), "assignment must be complete");
   const std::vector<double> far = ServerEccentricities(problem, a);
-  // Collect used servers.
-  std::vector<ServerIndex> used;
-  used.reserve(far.size());
-  for (ServerIndex s = 0; s < problem.num_servers(); ++s) {
-    if (far[static_cast<std::size_t>(s)] >= 0.0) used.push_back(s);
-  }
-  double best = 0.0;
-  for (std::size_t i = 0; i < used.size(); ++i) {
-    const ServerIndex s1 = used[i];
-    const double f1 = far[static_cast<std::size_t>(s1)];
-    const double* row = problem.ss_row(s1);
-    for (std::size_t j = i; j < used.size(); ++j) {
-      const ServerIndex s2 = used[j];
-      best = std::max(best, f1 + row[s2] + far[static_cast<std::size_t>(s2)]);
-    }
-  }
-  return best;
+  return MaxPathFromEccentricities(problem, far);
 }
 
 double MaxServerReach(const Problem& problem, std::span<const double> far,
                       ServerIndex s) {
-  const double* row = problem.ss_row(s);
-  double best = 0.0;
-  for (ServerIndex t = 0; t < problem.num_servers(); ++t) {
-    const double f = far[static_cast<std::size_t>(t)];
-    if (f >= 0.0) best = std::max(best, row[t] + f);
-  }
-  return best;
+  // (0 + row[t]) + far[t] == row[t] + far[t] bit-for-bit: latencies are
+  // non-negative, so 0.0 + row[t] is exactly row[t].
+  return std::max(0.0, simd::MaxPlusReduce(
+                           problem.ss_row(s), far.data(),
+                           static_cast<std::size_t>(problem.num_servers())));
 }
 
 std::vector<ClientIndex> CriticalClients(const Problem& problem,
                                          const Assignment& a,
                                          double tolerance) {
-  const double max_len = MaxInteractionPathLength(problem, a);
+  DIACA_CHECK_MSG(a.IsComplete(), "assignment must be complete");
+  // One eccentricity scan feeds both the objective and the reach terms
+  // (the former code recomputed it via MaxInteractionPathLength and then
+  // again directly).
   const std::vector<double> far = ServerEccentricities(problem, a);
+  const double max_len = MaxPathFromEccentricities(problem, far);
   const std::int32_t num_clients = problem.num_clients();
   const std::int32_t num_servers = problem.num_servers();
   ThreadPool& pool = GlobalPool();
@@ -158,21 +165,16 @@ double MeanInteractionPathLength(const Problem& problem,
     load[static_cast<std::size_t>(s)] += 1.0;
     client_sum += d;
   }
-  // Only used servers contribute (a zero-load endpoint zeroes the term),
-  // so the pair sum runs over the used set just like
-  // MaxInteractionPathLength — O(|U|^2) instead of O(|S|^2).
-  std::vector<ServerIndex> used;
-  used.reserve(static_cast<std::size_t>(problem.num_servers()));
-  for (ServerIndex s = 0; s < problem.num_servers(); ++s) {
-    if (load[static_cast<std::size_t>(s)] > 0.0) used.push_back(s);
-  }
+  // The inner sum over s2 is a dot product of the s1 row with the load
+  // vector: unused servers carry load 0.0, whose products vanish exactly,
+  // so the full-range kernel equals the former used-set pair loop. Only
+  // used s1 rows contribute (a zero-load endpoint zeroes the whole row).
+  const auto num_servers = static_cast<std::size_t>(problem.num_servers());
   double pair_sum = 2.0 * num_clients * client_sum;
-  for (const ServerIndex s1 : used) {
-    const double* row = problem.ss_row(s1);
-    for (const ServerIndex s2 : used) {
-      pair_sum += load[static_cast<std::size_t>(s1)] *
-                  load[static_cast<std::size_t>(s2)] * row[s2];
-    }
+  for (ServerIndex s1 = 0; s1 < problem.num_servers(); ++s1) {
+    if (load[static_cast<std::size_t>(s1)] <= 0.0) continue;
+    pair_sum += load[static_cast<std::size_t>(s1)] *
+                simd::DotProduct(problem.ss_row(s1), load.data(), num_servers);
   }
   return pair_sum / (num_clients * num_clients);
 }

@@ -4,18 +4,17 @@
 #include <numeric>
 
 #include "common/error.h"
+#include "common/simd/kernels.h"
 #include "core/capacity.h"
 #include "obs/obs.h"
 
 namespace diaca::core {
 
 ServerIndex NearestServerOf(const Problem& problem, ClientIndex c) {
-  const double* row = problem.cs_row(c);
-  ServerIndex best = 0;
-  for (ServerIndex s = 1; s < problem.num_servers(); ++s) {
-    if (row[s] < row[best]) best = s;
-  }
-  return best;
+  // First minimum == the serial ascending scan with a strict `<`.
+  const simd::ArgResult best = simd::ArgMinFirst(
+      problem.cs_row(c), static_cast<std::size_t>(problem.num_servers()));
+  return static_cast<ServerIndex>(best.index);
 }
 
 Assignment NearestServerAssign(const Problem& problem,

@@ -28,28 +28,26 @@ Problem::Problem(const net::LatencyMatrix& matrix,
                  std::span<const net::NodeIndex> client_nodes)
     : num_servers_(static_cast<std::int32_t>(server_nodes.size())),
       num_clients_(static_cast<std::int32_t>(client_nodes.size())),
+      server_stride_(
+          simd::PaddedStride(static_cast<std::size_t>(server_nodes.size()))),
       server_nodes_(server_nodes.begin(), server_nodes.end()),
       client_nodes_(client_nodes.begin(), client_nodes.end()) {
   CheckNodes(server_nodes, matrix.size(), "server");
   CheckNodes(client_nodes, matrix.size(), "client");
 
-  d_cs_.resize(static_cast<std::size_t>(num_clients_) *
-               static_cast<std::size_t>(num_servers_));
+  d_cs_.assign(static_cast<std::size_t>(num_clients_) * server_stride_, 0.0);
   for (ClientIndex c = 0; c < num_clients_; ++c) {
     const double* row = matrix.Row(client_nodes_[static_cast<std::size_t>(c)]);
-    double* out = d_cs_.data() + static_cast<std::size_t>(c) *
-                                     static_cast<std::size_t>(num_servers_);
+    double* out = d_cs_.data() + static_cast<std::size_t>(c) * server_stride_;
     for (ServerIndex s = 0; s < num_servers_; ++s) {
       out[s] = row[server_nodes_[static_cast<std::size_t>(s)]];
     }
   }
 
-  d_ss_.resize(static_cast<std::size_t>(num_servers_) *
-               static_cast<std::size_t>(num_servers_));
+  d_ss_.assign(static_cast<std::size_t>(num_servers_) * server_stride_, 0.0);
   for (ServerIndex a = 0; a < num_servers_; ++a) {
     const double* row = matrix.Row(server_nodes_[static_cast<std::size_t>(a)]);
-    double* out = d_ss_.data() + static_cast<std::size_t>(a) *
-                                     static_cast<std::size_t>(num_servers_);
+    double* out = d_ss_.data() + static_cast<std::size_t>(a) * server_stride_;
     for (ServerIndex b = 0; b < num_servers_; ++b) {
       out[b] = row[server_nodes_[static_cast<std::size_t>(b)]];
     }

@@ -7,9 +7,11 @@
 // server-to-server block (|S| x |S|).
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <vector>
 
+#include "common/simd/simd.h"
 #include "core/types.h"
 #include "net/latency_matrix.h"
 
@@ -27,28 +29,34 @@ class Problem {
   std::int32_t num_clients() const { return num_clients_; }
   std::int32_t num_servers() const { return num_servers_; }
 
+  /// Storage distance between consecutive cs/ss rows, in doubles. Rows
+  /// are padded to a multiple of simd::kPadWidth (>= num_servers()); the
+  /// pad lanes hold 0.0, which is inert for maxima and sums over the
+  /// non-negative latency data (see common/simd/simd.h).
+  std::size_t server_stride() const { return server_stride_; }
+
   /// Client-to-server latency d(c, s).
   double cs(ClientIndex c, ServerIndex s) const {
-    return d_cs_[static_cast<std::size_t>(c) * static_cast<std::size_t>(num_servers_) +
+    return d_cs_[static_cast<std::size_t>(c) * server_stride_ +
                  static_cast<std::size_t>(s)];
   }
 
   /// Server-to-server latency d(s1, s2); zero when s1 == s2.
   double ss(ServerIndex a, ServerIndex b) const {
-    return d_ss_[static_cast<std::size_t>(a) * static_cast<std::size_t>(num_servers_) +
+    return d_ss_[static_cast<std::size_t>(a) * server_stride_ +
                  static_cast<std::size_t>(b)];
   }
 
-  /// Row of client c's latencies to all servers (contiguous, |S| doubles).
+  /// Row of client c's latencies to all servers (num_servers() valid
+  /// doubles, then server_stride() - num_servers() zero pad lanes).
   const double* cs_row(ClientIndex c) const {
-    return d_cs_.data() +
-           static_cast<std::size_t>(c) * static_cast<std::size_t>(num_servers_);
+    return d_cs_.data() + static_cast<std::size_t>(c) * server_stride_;
   }
 
-  /// Row of server a's latencies to all servers (contiguous, |S| doubles).
+  /// Row of server a's latencies to all servers (num_servers() valid
+  /// doubles, then server_stride() - num_servers() zero pad lanes).
   const double* ss_row(ServerIndex a) const {
-    return d_ss_.data() +
-           static_cast<std::size_t>(a) * static_cast<std::size_t>(num_servers_);
+    return d_ss_.data() + static_cast<std::size_t>(a) * server_stride_;
   }
 
   /// Original network node hosting server s / client c.
@@ -71,10 +79,11 @@ class Problem {
  private:
   std::int32_t num_servers_;
   std::int32_t num_clients_;
+  std::size_t server_stride_;  // simd::PaddedStride(num_servers_)
   std::vector<net::NodeIndex> server_nodes_;
   std::vector<net::NodeIndex> client_nodes_;
-  std::vector<double> d_cs_;  // row-major |C| x |S|
-  std::vector<double> d_ss_;  // row-major |S| x |S|
+  std::vector<double> d_cs_;  // |C| rows of server_stride_ doubles, pads 0.0
+  std::vector<double> d_ss_;  // |S| rows of server_stride_ doubles, pads 0.0
 };
 
 }  // namespace diaca::core

@@ -13,7 +13,7 @@
 namespace diaca::core {
 
 /// Per-solve statistics, folded from the solvers' former private structs
-/// (GreedyStats::iterations, DgResult rounds/modifications,
+/// (greedy iteration counts, DgResult rounds/modifications,
 /// ExactResult::nodes_explored).
 struct SolveStats {
   /// Outer-loop rounds: greedy batch iterations, longest-first batches,

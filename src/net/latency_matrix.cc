@@ -1,5 +1,6 @@
 #include "net/latency_matrix.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
@@ -7,7 +8,9 @@
 namespace diaca::net {
 
 LatencyMatrix::LatencyMatrix(NodeIndex n)
-    : n_(n), d_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0) {
+    : n_(n),
+      stride_(simd::PaddedStride(static_cast<std::size_t>(n > 0 ? n : 0))),
+      d_(static_cast<std::size_t>(n > 0 ? n : 0) * stride_, 0.0) {
   DIACA_CHECK_MSG(n > 0, "matrix size must be positive");
 }
 
@@ -16,7 +19,14 @@ LatencyMatrix::LatencyMatrix(NodeIndex n, std::span<const double> row_major)
   DIACA_CHECK_MSG(row_major.size() ==
                       static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
                   "buffer size mismatch");
-  std::copy(row_major.begin(), row_major.end(), d_.begin());
+  // Unpadded n*n input, copied row by row into the padded storage.
+  for (NodeIndex u = 0; u < n; ++u) {
+    const double* src = row_major.data() +
+                        static_cast<std::size_t>(u) * static_cast<std::size_t>(n);
+    std::copy(src, src + static_cast<std::size_t>(n),
+              d_.begin() + static_cast<std::ptrdiff_t>(
+                               static_cast<std::size_t>(u) * stride_));
+  }
   Validate();
 }
 
@@ -25,10 +35,10 @@ void LatencyMatrix::Set(NodeIndex u, NodeIndex v, double value) {
   DIACA_CHECK_MSG(u != v, "diagonal must stay zero");
   DIACA_CHECK_MSG(std::isfinite(value) && value > 0.0,
                   "latency must be positive and finite, got " << value);
-  d_[static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
-     static_cast<std::size_t>(v)] = value;
-  d_[static_cast<std::size_t>(v) * static_cast<std::size_t>(n_) +
-     static_cast<std::size_t>(u)] = value;
+  d_[static_cast<std::size_t>(u) * stride_ + static_cast<std::size_t>(v)] =
+      value;
+  d_[static_cast<std::size_t>(v) * stride_ + static_cast<std::size_t>(u)] =
+      value;
 }
 
 LatencyMatrix LatencyMatrix::Restrict(std::span<const NodeIndex> nodes) const {
@@ -54,6 +64,8 @@ bool LatencyMatrix::IsComplete() const {
 }
 
 double LatencyMatrix::MaxEntry() const {
+  // Pad lanes hold 0.0 and entries are non-negative, so scanning the full
+  // padded buffer cannot change the maximum.
   double best = 0.0;
   for (double x : d_) best = std::max(best, x);
   return best;
@@ -75,6 +87,12 @@ void LatencyMatrix::Validate() const {
       if (std::abs(duv - dvu) > 1e-9) {
         throw Error("asymmetric latency at (" + std::to_string(u) + "," +
                     std::to_string(v) + ")");
+      }
+    }
+    for (std::size_t p = static_cast<std::size_t>(n_); p < stride_; ++p) {
+      if (row[p] != 0.0) {
+        throw Error("corrupted padding lane " + std::to_string(p) +
+                    " in row " + std::to_string(u));
       }
     }
   }

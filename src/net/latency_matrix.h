@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "common/simd/simd.h"
+
 namespace diaca::net {
 
 /// Index of a node in a latency matrix.
@@ -30,9 +32,15 @@ class LatencyMatrix {
 
   NodeIndex size() const { return n_; }
 
+  /// Storage distance between consecutive rows, in doubles. Rows are
+  /// padded to a multiple of simd::kPadWidth (stride() >= size()); the
+  /// padded lanes hold 0.0, the sum/max-inert sentinel for non-negative
+  /// latency data (see common/simd/simd.h).
+  std::size_t stride() const { return stride_; }
+
   /// Latency between u and v in milliseconds. O(1).
   double operator()(NodeIndex u, NodeIndex v) const {
-    return d_[static_cast<std::size_t>(u) * static_cast<std::size_t>(n_) +
+    return d_[static_cast<std::size_t>(u) * stride_ +
               static_cast<std::size_t>(v)];
   }
 
@@ -40,9 +48,10 @@ class LatencyMatrix {
   /// finite.
   void Set(NodeIndex u, NodeIndex v, double value);
 
-  /// Pointer to row u (n contiguous doubles). For hot loops.
+  /// Pointer to row u (n valid doubles, then stride() - n zero pad
+  /// lanes). For hot loops.
   const double* Row(NodeIndex u) const {
-    return d_.data() + static_cast<std::size_t>(u) * static_cast<std::size_t>(n_);
+    return d_.data() + static_cast<std::size_t>(u) * stride_;
   }
 
   /// Submatrix restricted to `nodes` (in the given order). Useful for
@@ -56,13 +65,15 @@ class LatencyMatrix {
   /// Largest off-diagonal entry.
   double MaxEntry() const;
 
-  /// Validate invariants (symmetry, zero diagonal, non-negative entries).
-  /// Throws diaca::Error with a description on violation.
+  /// Validate invariants (symmetry, zero diagonal, non-negative entries,
+  /// intact zero padding lanes). Throws diaca::Error with a description
+  /// on violation.
   void Validate() const;
 
  private:
   NodeIndex n_;
-  std::vector<double> d_;
+  std::size_t stride_;  // simd::PaddedStride(n_)
+  std::vector<double> d_;  // n_ rows of stride_ doubles, pad lanes 0.0
 };
 
 }  // namespace diaca::net

@@ -1,15 +1,19 @@
 // Determinism contract of the parallel assignment engine: for any thread
-// count, every algorithm must produce assignments element-wise identical
-// to the --threads=1 serial path. The engine achieves this with pure
-// per-index scoring plus lexicographic (value, index) reductions, so this
-// grid is the regression net for that design.
+// count AND any kernel backend, every algorithm must produce assignments
+// element-wise identical to the --threads=1 scalar-reference path. The
+// engine achieves this with pure per-index scoring, lexicographic
+// (value, index) reductions, and kernels whose vector lanes perform the
+// exact scalar IEEE expressions (common/simd/kernels.h), so this grid is
+// the regression net for both designs.
 #include <gtest/gtest.h>
 
+#include "common/simd/simd.h"
 #include "common/thread_pool.h"
 #include "core/distributed_greedy.h"
 #include "core/greedy.h"
 #include "core/longest_first_batch.h"
 #include "core/metrics.h"
+#include "core/nearest_server.h"
 #include "core/problem.h"
 #include "data/synthetic.h"
 #include "placement/placement.h"
@@ -24,9 +28,19 @@ struct GridCase {
   std::uint64_t seed;
 };
 
+std::vector<simd::Backend> TestableBackends() {
+  std::vector<simd::Backend> backends{simd::Backend::kScalar,
+                                      simd::Backend::kPortable};
+  if (simd::Avx2Available()) backends.push_back(simd::Backend::kAvx2);
+  return backends;
+}
+
 class ParallelDeterminismTest : public ::testing::TestWithParam<GridCase> {
  protected:
-  void TearDown() override { SetGlobalThreads(1); }
+  void TearDown() override {
+    SetGlobalThreads(1);
+    simd::SetBackend(simd::BestBackend());
+  }
 };
 
 Problem MakeProblem(const GridCase& g) {
@@ -107,6 +121,40 @@ TEST_P(ParallelDeterminismTest, ObjectiveMetricsMatchSerial) {
     EXPECT_EQ(MaxInteractionPathLength(p, a), serial_max);
     EXPECT_EQ(ServerEccentricities(p, a), serial_far);
     EXPECT_EQ(CriticalClients(p, a), serial_critical);
+  }
+}
+
+TEST_P(ParallelDeterminismTest, BackendsMatchScalarReferenceAtEveryThreadCount) {
+  const GridCase g = GetParam();
+  const Problem p = MakeProblem(g);
+  const AssignOptions options = OptionsOf(g);
+  // Baseline: scalar kernels, one thread — the naive serial solver.
+  SetGlobalThreads(1);
+  simd::SetBackend(simd::Backend::kScalar);
+  const Assignment greedy_ref = GreedyAssign(p, options);
+  const Assignment lfb_ref = LongestFirstBatchAssign(p, options);
+  const Assignment nsa_ref = NearestServerAssign(p, options);
+  const DgResult dg_ref = DistributedGreedyAssign(p, options);
+  const double max_ref = MaxInteractionPathLength(p, greedy_ref);
+  for (const simd::Backend backend : TestableBackends()) {
+    for (const int threads : {1, 2, 8}) {
+      SetGlobalThreads(threads);
+      simd::SetBackend(backend);
+      const char* ctx = simd::BackendName(backend);
+      EXPECT_EQ(GreedyAssign(p, options), greedy_ref)
+          << "backend=" << ctx << " threads=" << threads;
+      EXPECT_EQ(LongestFirstBatchAssign(p, options), lfb_ref)
+          << "backend=" << ctx << " threads=" << threads;
+      EXPECT_EQ(NearestServerAssign(p, options), nsa_ref)
+          << "backend=" << ctx << " threads=" << threads;
+      const DgResult dg = DistributedGreedyAssign(p, options);
+      EXPECT_EQ(dg.assignment, dg_ref.assignment)
+          << "backend=" << ctx << " threads=" << threads;
+      EXPECT_EQ(dg.max_len, dg_ref.max_len)
+          << "backend=" << ctx << " threads=" << threads;
+      EXPECT_EQ(MaxInteractionPathLength(p, greedy_ref), max_ref)
+          << "backend=" << ctx << " threads=" << threads;
+    }
   }
 }
 

@@ -47,6 +47,34 @@ TEST(ProblemTest, RowAccessorsMatchElements) {
   }
 }
 
+TEST(ProblemTest, RowsArePaddedToServerStride) {
+  Rng rng(7);
+  const auto m = test::RandomMatrix(12, rng);
+  const std::vector<net::NodeIndex> servers{0, 3, 5, 8, 11};
+  const Problem p = Problem::WithClientsEverywhere(m, servers);
+  EXPECT_EQ(p.server_stride(), simd::PaddedStride(5));
+  EXPECT_GT(p.server_stride(), static_cast<std::size_t>(p.num_servers()));
+  // Pad lanes beyond |S| hold the 0.0 sentinel on every cs and ss row.
+  for (ClientIndex c = 0; c < p.num_clients(); ++c) {
+    const double* row = p.cs_row(c);
+    for (std::size_t lane = static_cast<std::size_t>(p.num_servers());
+         lane < p.server_stride(); ++lane) {
+      EXPECT_EQ(row[lane], 0.0) << "cs row " << c << " lane " << lane;
+    }
+  }
+  for (ServerIndex a = 0; a < p.num_servers(); ++a) {
+    const double* row = p.ss_row(a);
+    for (std::size_t lane = static_cast<std::size_t>(p.num_servers());
+         lane < p.server_stride(); ++lane) {
+      EXPECT_EQ(row[lane], 0.0) << "ss row " << a << " lane " << lane;
+    }
+  }
+  // Consecutive rows are stride apart, so Row(c+1) starts exactly at the
+  // end of row c's padded span.
+  EXPECT_EQ(p.cs_row(1), p.cs_row(0) + p.server_stride());
+  EXPECT_EQ(p.ss_row(1), p.ss_row(0) + p.server_stride());
+}
+
 TEST(ProblemTest, NodeMayBeBothServerAndClient) {
   Rng rng(3);
   const auto m = test::RandomMatrix(5, rng);

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "common/simd/simd.h"
 
 namespace diaca::net {
 namespace {
@@ -101,6 +102,66 @@ TEST(LatencyMatrixTest, RestrictRejectsOutOfRange) {
 
 TEST(LatencyMatrixTest, NonPositiveSizeThrows) {
   EXPECT_THROW(LatencyMatrix(0), Error);
+}
+
+TEST(LatencyMatrixTest, RowsArePaddedToVectorStride) {
+  // 3 < kPadWidth: the stride must round up, not equal the size.
+  LatencyMatrix m(3);
+  EXPECT_EQ(m.stride(), simd::PaddedStride(3));
+  EXPECT_GT(m.stride(), static_cast<std::size_t>(m.size()));
+  m.Set(0, 1, 1.0);
+  m.Set(0, 2, 2.0);
+  m.Set(1, 2, 3.0);
+  // Pad lanes beyond the logical width stay 0.0 on every row.
+  for (NodeIndex u = 0; u < m.size(); ++u) {
+    const double* row = m.Row(u);
+    for (std::size_t p = static_cast<std::size_t>(m.size()); p < m.stride();
+         ++p) {
+      EXPECT_EQ(row[p], 0.0) << "row " << u << " lane " << p;
+    }
+  }
+  EXPECT_NO_THROW(m.Validate());
+  // An exact-multiple size keeps stride == size.
+  const LatencyMatrix exact(static_cast<NodeIndex>(simd::kPadWidth));
+  EXPECT_EQ(exact.stride(), simd::kPadWidth);
+}
+
+TEST(LatencyMatrixTest, BufferConstructorRepacksUnpaddedRows) {
+  // The span constructor takes a dense (unpadded) n*n buffer; entries must
+  // land at stride-based offsets with intact padding.
+  const std::vector<double> buf{0.0, 1.0, 2.0,   // row 0
+                                1.0, 0.0, 4.0,   // row 1
+                                2.0, 4.0, 0.0};  // row 2
+  const LatencyMatrix m(3, buf);
+  EXPECT_EQ(m(0, 2), 2.0);
+  EXPECT_EQ(m(1, 2), 4.0);
+  EXPECT_EQ(m.Row(1)[0], 1.0);
+  EXPECT_NO_THROW(m.Validate());
+  EXPECT_DOUBLE_EQ(m.MaxEntry(), 4.0);
+}
+
+TEST(LatencyMatrixTest, RestrictValidateRoundTripKeepsPadding) {
+  // Restrict writes through Set into padded storage; the result must
+  // validate (including its own pad lanes) and preserve entries.
+  LatencyMatrix m(10);
+  for (NodeIndex u = 0; u < 10; ++u) {
+    for (NodeIndex v = u + 1; v < 10; ++v) {
+      m.Set(u, v, static_cast<double>(u + v + 1));
+    }
+  }
+  EXPECT_NO_THROW(m.Validate());
+  const std::vector<NodeIndex> nodes{9, 4, 7, 0, 2};
+  const LatencyMatrix sub = m.Restrict(nodes);
+  EXPECT_EQ(sub.size(), 5);
+  EXPECT_EQ(sub.stride(), simd::PaddedStride(5));
+  EXPECT_NO_THROW(sub.Validate());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = 0; j < nodes.size(); ++j) {
+      EXPECT_EQ(sub(static_cast<NodeIndex>(i), static_cast<NodeIndex>(j)),
+                m(nodes[i], nodes[j]))
+          << "i=" << i << " j=" << j;
+    }
+  }
 }
 
 }  // namespace
