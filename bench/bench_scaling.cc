@@ -4,6 +4,9 @@
 // computation O(|C||S|^2 + |C|^2|S|).
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <tuple>
+
 #include "common/rng.h"
 #include "core/distributed_greedy.h"
 #include "core/greedy.h"
@@ -11,6 +14,8 @@
 #include "core/lower_bound.h"
 #include "core/nearest_server.h"
 #include "data/synthetic.h"
+#include "data/waxman.h"
+#include "net/apsp.h"
 #include "placement/placement.h"
 
 namespace {
@@ -21,19 +26,36 @@ core::Problem MakeProblem(std::int32_t nodes, std::int32_t servers) {
   data::SyntheticParams params;
   params.num_nodes = nodes;
   params.num_clusters = std::max(4, nodes / 30);
-  static std::map<std::pair<std::int32_t, std::int32_t>, core::Problem>*
-      cache = new std::map<std::pair<std::int32_t, std::int32_t>,
-                           core::Problem>();
-  const auto key = std::make_pair(nodes, servers);
-  auto it = cache->find(key);
-  if (it == cache->end()) {
+  // Function-local static (destroyed at exit, no leak), keyed on every
+  // generator parameter that shapes the instance — num_clusters is
+  // derived from nodes today, but keying it explicitly keeps the cache
+  // correct if a benchmark ever varies it independently.
+  static std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t>,
+                  core::Problem>
+      cache;
+  const auto key = std::make_tuple(nodes, params.num_clusters, servers);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
     const net::LatencyMatrix matrix =
         data::GenerateSyntheticInternet(params, 1);
     Rng rng(2);
     const auto server_nodes = placement::RandomPlacement(matrix, servers, rng);
-    it = cache->emplace(key, core::Problem::WithClientsEverywhere(
-                                 matrix, server_nodes))
+    it = cache
+             .emplace(key, core::Problem::WithClientsEverywhere(matrix,
+                                                                server_nodes))
              .first;
+  }
+  return it->second;
+}
+
+const net::Graph& MakeWaxman(std::int32_t nodes) {
+  static std::map<std::int32_t, net::Graph> cache;
+  auto it = cache.find(nodes);
+  if (it == cache.end()) {
+    data::WaxmanParams params;
+    params.num_nodes = nodes;
+    params.alpha = 0.8;  // dense-ish: where the engine crossover lives
+    it = cache.emplace(nodes, data::GenerateWaxmanTopology(params, 7)).first;
   }
   return it->second;
 }
@@ -114,6 +136,33 @@ void BM_KCenterGreedyPlacement(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KCenterGreedyPlacement)->Args({200, 10})->Args({400, 10});
+
+// APSP size scaling: the same Waxman substrate through both engines, so
+// the O(n^3 / B) blocked vs O(n (m + n log n)) Dijkstra crossover is
+// measurable from one report.
+void BM_ApspDijkstra(benchmark::State& state) {
+  const net::Graph& graph = MakeWaxman(static_cast<std::int32_t>(state.range(0)));
+  net::ApspOptions options;
+  options.backend = net::ApspBackend::kDijkstra;
+  const net::ApspEngine engine(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Solve(graph));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ApspDijkstra)->Arg(256)->Arg(512)->Arg(1024)->Complexity();
+
+void BM_ApspBlocked(benchmark::State& state) {
+  const net::Graph& graph = MakeWaxman(static_cast<std::int32_t>(state.range(0)));
+  net::ApspOptions options;
+  options.backend = net::ApspBackend::kBlocked;
+  const net::ApspEngine engine(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Solve(graph));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ApspBlocked)->Arg(256)->Arg(512)->Arg(1024)->Complexity();
 
 }  // namespace
 

@@ -23,13 +23,22 @@ mkdir -p "$obs_dir"
 cmake -DJSON_FILE="$obs_dir/metrics.json" -P scripts/check_json.cmake
 cmake -DJSON_FILE="$obs_dir/trace.json" -P scripts/check_json.cmake
 
-# Vectorized build: the kernel property suite and the backend/thread
-# determinism grid must also pass with the AVX2 code paths compiled in
-# (they auto-fall back to portable when the CPU lacks AVX2), and
-# bench_kernels must emit a parseable JSON report.
+# APSP-engine smoke on a small instance: both backends compared (legacy
+# vs engine Dijkstra bitwise, blocked vs Dijkstra to 1e-9) and the JSON
+# report validated.
+./build/bench/bench_apsp --nodes=256 --servers=10 --reps=1 --tile=32 \
+  --json-out="$obs_dir/bench_apsp_smoke.json" > "$obs_dir/bench_apsp.log"
+cmake -DJSON_FILE="$obs_dir/bench_apsp_smoke.json" -P scripts/check_json.cmake
+
+# Vectorized build: the kernel property suite, the APSP engine suite, and
+# the backend/thread determinism grid must also pass with the AVX2 code
+# paths compiled in (they auto-fall back to portable when the CPU lacks
+# AVX2), and bench_kernels must emit a parseable JSON report.
 cmake -B build-avx2 -S . -DDIACA_AVX2=ON -DDIACA_NATIVE=ON
-cmake --build build-avx2 -j --target kernels_test parallel_test bench_kernels
+cmake --build build-avx2 -j --target kernels_test parallel_test \
+  apsp_test bench_apsp bench_kernels
 ctest --test-dir build-avx2 -L simd --output-on-failure
+ctest --test-dir build-avx2 -L apsp --output-on-failure
 ctest --test-dir build-avx2 -L tsan -R Determinism --output-on-failure
 ./build-avx2/bench/bench_kernels --nodes=150 --servers=10 --reps=1 \
   --json-out=build-avx2/bench_kernels_smoke.json \

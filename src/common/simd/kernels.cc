@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <utility>
@@ -130,6 +131,25 @@ double DotProductScalar(const double* a, const double* b, std::size_t n) {
   return (acc[0] + acc[1]) + (acc[2] + acc[3]);
 }
 
+void MinPlusTileUpdateScalar(double* c, std::size_t c_stride, const double* a,
+                             std::size_t a_stride, const double* b,
+                             std::size_t b_stride, std::size_t rows,
+                             std::size_t cols, std::size_t depth) {
+  for (std::size_t k = 0; k < depth; ++k) {
+    const double* brow = b + k * b_stride;
+    for (std::size_t i = 0; i < rows; ++i) {
+      const double aik = a[i * a_stride + k];
+      // Value-preserving: inf + x == inf and min(c, inf) == c for the
+      // non-negative-or-inf entries the contract allows.
+      if (std::isinf(aik)) continue;
+      double* crow = c + i * c_stride;
+      for (std::size_t j = 0; j < cols; ++j) {
+        crow[j] = std::min(crow[j], aik + brow[j]);
+      }
+    }
+  }
+}
+
 CandidateResult BestCandidateScalar(const double* dists, std::size_t n,
                                     double reach, double max_len,
                                     std::int32_t room) {
@@ -250,33 +270,93 @@ double DotProductPortable(const double* a, const double* b, std::size_t n) {
   return (acc[0] + acc[1]) + (acc[2] + acc[3]);
 }
 
+// Block size of the pruned BestCandidate scans. Small enough that the
+// per-block bound stays tight, large enough to amortize the bound's one
+// division over many skipped elements.
+constexpr std::size_t kCandidateBlock = 512;
+
+// Lower bound on every cost in [p0, p1): delta(p) is non-decreasing for
+// ascending dists (kernels.h precondition) and dn(p) <= min(p1, room), so
+// cost(p) = rnd(delta(p) / dn(p)) >= rnd(delta(p0) / min(p1, room)) by
+// monotonicity of correctly-rounded division in both arguments.
+inline double CandidateBlockBound(const double* dists, std::size_t p0,
+                                  std::size_t p1, double reach,
+                                  double max_len, double room_d) {
+  const double d0 = dists[p0];
+  const double delta0 =
+      std::max(std::max(2.0 * d0, d0 + reach), max_len) - max_len;
+  return delta0 / std::min(static_cast<double>(p1), room_d);
+}
+
 CandidateResult BestCandidatePortable(const double* dists, std::size_t n,
                                       double reach, double max_len,
                                       std::int32_t room) {
   const double room_d = static_cast<double>(room);
   double best_cost = kInf;
-#pragma omp simd reduction(min : best_cost)
-  for (std::size_t p = 0; p < n; ++p) {
-    const double d = dists[p];
-    const double len = std::max(std::max(2.0 * d, d + reach), max_len);
-    const double dn = std::min(static_cast<double>(p) + 1.0, room_d);
-    best_cost = std::min(best_cost, (len - max_len) / dn);
+  for (std::size_t p0 = 0; p0 < n; p0 += kCandidateBlock) {
+    const std::size_t p1 = std::min(n, p0 + kCandidateBlock);
+    if (CandidateBlockBound(dists, p0, p1, reach, max_len, room_d) >=
+        best_cost) {
+      // No strict improvement possible in this block. Once dn is capped at
+      // room, costs are non-decreasing from here on, so nothing later can
+      // improve either.
+      if (static_cast<double>(p0) + 1.0 >= room_d) break;
+      continue;
+    }
+    double blk = kInf;
+#pragma omp simd reduction(min : blk)
+    for (std::size_t p = p0; p < p1; ++p) {
+      const double d = dists[p];
+      const double len = std::max(std::max(2.0 * d, d + reach), max_len);
+      const double dn = std::min(static_cast<double>(p) + 1.0, room_d);
+      blk = std::min(blk, (len - max_len) / dn);
+    }
+    best_cost = std::min(best_cost, blk);
   }
   CandidateResult best;
   best.cost = kInf;
   if (n == 0) return best;
-  for (std::size_t p = 0; p < n; ++p) {
-    const double d = dists[p];
-    const double len = std::max(std::max(2.0 * d, d + reach), max_len);
-    const double dn = std::min(static_cast<double>(p) + 1.0, room_d);
-    if ((len - max_len) / dn == best_cost) {
-      best.cost = best_cost;
-      best.len = len;
-      best.pos = static_cast<std::int64_t>(p);
-      return best;
+  // First-index rescan; a block whose bound exceeds best_cost strictly
+  // cannot contain the (exact) match.
+  for (std::size_t p0 = 0; p0 < n; p0 += kCandidateBlock) {
+    const std::size_t p1 = std::min(n, p0 + kCandidateBlock);
+    if (CandidateBlockBound(dists, p0, p1, reach, max_len, room_d) >
+        best_cost) {
+      if (static_cast<double>(p0) + 1.0 >= room_d) break;
+      continue;
+    }
+    for (std::size_t p = p0; p < p1; ++p) {
+      const double d = dists[p];
+      const double len = std::max(std::max(2.0 * d, d + reach), max_len);
+      const double dn = std::min(static_cast<double>(p) + 1.0, room_d);
+      if ((len - max_len) / dn == best_cost) {
+        best.cost = best_cost;
+        best.len = len;
+        best.pos = static_cast<std::int64_t>(p);
+        return best;
+      }
     }
   }
   return best;
+}
+
+void MinPlusTileUpdatePortable(double* c, std::size_t c_stride,
+                               const double* a, std::size_t a_stride,
+                               const double* b, std::size_t b_stride,
+                               std::size_t rows, std::size_t cols,
+                               std::size_t depth) {
+  for (std::size_t k = 0; k < depth; ++k) {
+    const double* brow = b + k * b_stride;
+    for (std::size_t i = 0; i < rows; ++i) {
+      const double aik = a[i * a_stride + k];
+      if (std::isinf(aik)) continue;
+      double* crow = c + i * c_stride;
+#pragma omp simd
+      for (std::size_t j = 0; j < cols; ++j) {
+        crow[j] = std::min(crow[j], aik + brow[j]);
+      }
+    }
+  }
 }
 
 Backend Resolve() {
@@ -409,6 +489,20 @@ CandidateResult BestCandidate(const double* dists, std::size_t n,
   DIACA_SIMD_DISPATCH(BestCandidateScalar(dists, n, reach, max_len, room),
                       BestCandidatePortable(dists, n, reach, max_len, room),
                       avx2::BestCandidate(dists, n, reach, max_len, room));
+}
+
+void MinPlusTileUpdate(double* c, std::size_t c_stride, const double* a,
+                       std::size_t a_stride, const double* b,
+                       std::size_t b_stride, std::size_t rows,
+                       std::size_t cols, std::size_t depth) {
+  CountScan(24 * rows * cols * depth);
+  DIACA_SIMD_DISPATCH(
+      MinPlusTileUpdateScalar(c, c_stride, a, a_stride, b, b_stride, rows,
+                              cols, depth),
+      MinPlusTileUpdatePortable(c, c_stride, a, a_stride, b, b_stride, rows,
+                                cols, depth),
+      avx2::MinPlusTileUpdate(c, c_stride, a, a_stride, b, b_stride, rows,
+                              cols, depth));
 }
 
 #undef DIACA_SIMD_DISPATCH

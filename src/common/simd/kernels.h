@@ -89,9 +89,36 @@ double DotProduct(const double* a, const double* b, std::size_t n);
 /// Returns the first position minimizing cost (serial ascending scan with
 /// strict <), its cost and len. Pass reach = -infinity to drop the reach
 /// term (first round: no server used yet). room >= 1.
+///
+/// The ascending order is a real precondition, not just a hint: the
+/// vectorized backends prune whole blocks via the bound
+/// cost(p) >= rnd(delta(p0) / dn_max) — valid because delta(p) is
+/// non-decreasing in p for sorted dists and correctly-rounded division is
+/// monotone in both arguments, so skipped blocks provably contain no
+/// strict improvement (and in the first-index rescan, no exact match).
 CandidateResult BestCandidate(const double* dists, std::size_t n,
                               double reach, double max_len,
                               std::int32_t room);
+
+/// Blocked min-plus (tropical) tile update, the inner kernel of the
+/// cache-blocked Floyd–Warshall engine (net::ApspEngine):
+///   for k in [0, depth):            // k OUTERMOST — the FW dependence
+///     for i in [0, rows):
+///       aik = a[i*a_stride + k]     // hoisted once per (k, i)
+///       for j in [0, cols):
+///         c[i*c_stride + j] = min(c[i*c_stride + j], aik + b[k*b_stride + j])
+/// Each candidate is a single rounded add folded with exact min, so every
+/// backend is bit-identical for any input. Aliasing c == a, c == b and
+/// c == a == b is supported (the diagonal / panel phases of blocked FW);
+/// the backends then reproduce the literal loop order above exactly.
+/// Entries must be >= 0 or +infinity (never -infinity / NaN): lanes with
+/// aik == +infinity are skipped, which is value-preserving under that
+/// precondition, and +infinity sentinel columns (matrix pad lanes during
+/// FW) stay +infinity.
+void MinPlusTileUpdate(double* c, std::size_t c_stride, const double* a,
+                       std::size_t a_stride, const double* b,
+                       std::size_t b_stride, std::size_t rows,
+                       std::size_t cols, std::size_t depth);
 
 /// Eccentricity fold ("max-absorb scatter"): for c in [c_begin, c_end)
 /// with assign[c] >= 0, far[assign[c]] = max(far[assign[c]],

@@ -18,6 +18,7 @@
 #include <immintrin.h>
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 namespace diaca::simd::avx2 {
@@ -183,6 +184,26 @@ double DotProduct(const double* a, const double* b, std::size_t n) {
   return (acc[0] + acc[1]) + (acc[2] + acc[3]);
 }
 
+namespace {
+
+// Block size of the pruned BestCandidate scans; matches the portable
+// backend (the pruning decisions are value-identical either way, the
+// shared size just keeps the two paths easy to reason about together).
+constexpr std::size_t kCandidateBlock = 512;
+
+// Lower bound on every cost in [p0, p1) — see CandidateBlockBound in
+// kernels.cc: delta is non-decreasing over an ascending distance list and
+// correctly-rounded division is monotone in both arguments.
+inline double BlockBound(const double* dists, std::size_t p0, std::size_t p1,
+                         double reach, double max_len, double room_d) {
+  const double d0 = dists[p0];
+  const double delta0 =
+      std::max(std::max(2.0 * d0, d0 + reach), max_len) - max_len;
+  return delta0 / std::min(static_cast<double>(p1), room_d);
+}
+
+}  // namespace
+
 CandidateResult BestCandidate(const double* dists, std::size_t n,
                               double reach, double max_len,
                               std::int32_t room) {
@@ -192,42 +213,152 @@ CandidateResult BestCandidate(const double* dists, std::size_t n,
   const __m256d vroom = _mm256_set1_pd(room_d);
   const __m256d vtwo = _mm256_set1_pd(2.0);
   const __m256d vfour = _mm256_set1_pd(4.0);
-  // dn lanes start at p + 1 = [1, 2, 3, 4].
-  __m256d vpos1 = _mm256_set_pd(4.0, 3.0, 2.0, 1.0);
-  __m256d vbest = _mm256_set1_pd(kInf);
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    const __m256d d = _mm256_loadu_pd(dists + i);
-    const __m256d len = _mm256_max_pd(
-        _mm256_max_pd(_mm256_mul_pd(vtwo, d), _mm256_add_pd(d, vreach)),
-        vmax_len);
-    const __m256d dn = _mm256_min_pd(vpos1, vroom);
-    const __m256d cost = _mm256_div_pd(_mm256_sub_pd(len, vmax_len), dn);
-    vbest = _mm256_min_pd(vbest, cost);
-    vpos1 = _mm256_add_pd(vpos1, vfour);
-  }
-  double best_cost = HorizontalMin(vbest);
-  for (; i < n; ++i) {
-    const double d = dists[i];
-    const double len = std::max(std::max(2.0 * d, d + reach), max_len);
-    const double dn = std::min(static_cast<double>(i) + 1.0, room_d);
-    best_cost = std::min(best_cost, (len - max_len) / dn);
+  const __m256d vlane1 = _mm256_set_pd(4.0, 3.0, 2.0, 1.0);
+  double best_cost = kInf;
+  for (std::size_t p0 = 0; p0 < n; p0 += kCandidateBlock) {
+    const std::size_t p1 = std::min(n, p0 + kCandidateBlock);
+    if (BlockBound(dists, p0, p1, reach, max_len, room_d) >= best_cost) {
+      // Nothing in this block can strictly improve; once dn is capped at
+      // room, costs are non-decreasing, so later blocks cannot either.
+      if (static_cast<double>(p0) + 1.0 >= room_d) break;
+      continue;
+    }
+    // dn lanes start at p + 1 = [p0+1, p0+2, p0+3, p0+4] (exact integer
+    // adds in double).
+    __m256d vpos1 =
+        _mm256_add_pd(vlane1, _mm256_set1_pd(static_cast<double>(p0)));
+    __m256d vbest = _mm256_set1_pd(kInf);
+    std::size_t p = p0;
+    for (; p + 4 <= p1; p += 4) {
+      const __m256d d = _mm256_loadu_pd(dists + p);
+      const __m256d len = _mm256_max_pd(
+          _mm256_max_pd(_mm256_mul_pd(vtwo, d), _mm256_add_pd(d, vreach)),
+          vmax_len);
+      const __m256d dn = _mm256_min_pd(vpos1, vroom);
+      const __m256d cost = _mm256_div_pd(_mm256_sub_pd(len, vmax_len), dn);
+      vbest = _mm256_min_pd(vbest, cost);
+      vpos1 = _mm256_add_pd(vpos1, vfour);
+    }
+    double blk = HorizontalMin(vbest);
+    for (; p < p1; ++p) {
+      const double d = dists[p];
+      const double len = std::max(std::max(2.0 * d, d + reach), max_len);
+      const double dn = std::min(static_cast<double>(p) + 1.0, room_d);
+      blk = std::min(blk, (len - max_len) / dn);
+    }
+    best_cost = std::min(best_cost, blk);
   }
   CandidateResult best;
   best.cost = kInf;
   if (n == 0) return best;
-  for (std::size_t p = 0; p < n; ++p) {
-    const double d = dists[p];
-    const double len = std::max(std::max(2.0 * d, d + reach), max_len);
-    const double dn = std::min(static_cast<double>(p) + 1.0, room_d);
-    if ((len - max_len) / dn == best_cost) {
-      best.cost = best_cost;
-      best.len = len;
-      best.pos = static_cast<std::int64_t>(p);
-      return best;
+  // First-index rescan: the serial-divide pass that used to dominate this
+  // kernel; a block whose bound strictly exceeds best_cost cannot contain
+  // the match, so almost all of it is skipped.
+  for (std::size_t p0 = 0; p0 < n; p0 += kCandidateBlock) {
+    const std::size_t p1 = std::min(n, p0 + kCandidateBlock);
+    if (BlockBound(dists, p0, p1, reach, max_len, room_d) > best_cost) {
+      if (static_cast<double>(p0) + 1.0 >= room_d) break;
+      continue;
+    }
+    for (std::size_t p = p0; p < p1; ++p) {
+      const double d = dists[p];
+      const double len = std::max(std::max(2.0 * d, d + reach), max_len);
+      const double dn = std::min(static_cast<double>(p) + 1.0, room_d);
+      if ((len - max_len) / dn == best_cost) {
+        best.cost = best_cost;
+        best.len = len;
+        best.pos = static_cast<std::int64_t>(p);
+        return best;
+      }
     }
   }
   return best;
+}
+
+namespace {
+
+// One (k, i) row of the min-plus tile update: crow[j] = min(crow[j],
+// aik + brow[j]). Elementwise, so crow == brow (the i == k row of an
+// aliased tile) is safe. The +inf skip is value-preserving for the
+// non-negative-or-inf entries the kernel contract allows.
+inline void MinPlusUpdateRow(double* crow, double aik, const double* brow,
+                             std::size_t cols) {
+  if (std::isinf(aik)) return;
+  const __m256d va = _mm256_set1_pd(aik);
+  std::size_t j = 0;
+  for (; j + 4 <= cols; j += 4) {
+    const __m256d t = _mm256_add_pd(va, _mm256_loadu_pd(brow + j));
+    _mm256_storeu_pd(crow + j,
+                     _mm256_min_pd(_mm256_loadu_pd(crow + j), t));
+  }
+  for (; j < cols; ++j) crow[j] = std::min(crow[j], aik + brow[j]);
+}
+
+}  // namespace
+
+void MinPlusTileUpdate(double* c, std::size_t c_stride, const double* a,
+                       std::size_t a_stride, const double* b,
+                       std::size_t b_stride, std::size_t rows,
+                       std::size_t cols, std::size_t depth) {
+  for (std::size_t k = 0; k < depth; ++k) {
+    const double* brow = b + k * b_stride;
+    std::size_t i = 0;
+    // Register-block four c rows per b-row load. Two cases fall back to
+    // the sequential per-row order (identical to the scalar reference by
+    // construction): the b row aliasing one of the four c rows — rows past
+    // the aliased one must see its updated values, exactly as the scalar
+    // row order produces — and any +inf a-lane, where skipping whole rows
+    // is the profitable sparse-early-iteration path.
+    for (; i + 4 <= rows; i += 4) {
+      double* c0 = c + (i + 0) * c_stride;
+      double* c1 = c + (i + 1) * c_stride;
+      double* c2 = c + (i + 2) * c_stride;
+      double* c3 = c + (i + 3) * c_stride;
+      const double a0 = a[(i + 0) * a_stride + k];
+      const double a1 = a[(i + 1) * a_stride + k];
+      const double a2 = a[(i + 2) * a_stride + k];
+      const double a3 = a[(i + 3) * a_stride + k];
+      if (brow == c0 || brow == c1 || brow == c2 || brow == c3 ||
+          std::isinf(a0) || std::isinf(a1) || std::isinf(a2) ||
+          std::isinf(a3)) {
+        MinPlusUpdateRow(c0, a0, brow, cols);
+        MinPlusUpdateRow(c1, a1, brow, cols);
+        MinPlusUpdateRow(c2, a2, brow, cols);
+        MinPlusUpdateRow(c3, a3, brow, cols);
+        continue;
+      }
+      const __m256d va0 = _mm256_set1_pd(a0);
+      const __m256d va1 = _mm256_set1_pd(a1);
+      const __m256d va2 = _mm256_set1_pd(a2);
+      const __m256d va3 = _mm256_set1_pd(a3);
+      std::size_t j = 0;
+      for (; j + 4 <= cols; j += 4) {
+        const __m256d vb = _mm256_loadu_pd(brow + j);
+        _mm256_storeu_pd(
+            c0 + j, _mm256_min_pd(_mm256_loadu_pd(c0 + j),
+                                  _mm256_add_pd(va0, vb)));
+        _mm256_storeu_pd(
+            c1 + j, _mm256_min_pd(_mm256_loadu_pd(c1 + j),
+                                  _mm256_add_pd(va1, vb)));
+        _mm256_storeu_pd(
+            c2 + j, _mm256_min_pd(_mm256_loadu_pd(c2 + j),
+                                  _mm256_add_pd(va2, vb)));
+        _mm256_storeu_pd(
+            c3 + j, _mm256_min_pd(_mm256_loadu_pd(c3 + j),
+                                  _mm256_add_pd(va3, vb)));
+      }
+      for (; j < cols; ++j) {
+        const double bj = brow[j];
+        c0[j] = std::min(c0[j], a0 + bj);
+        c1[j] = std::min(c1[j], a1 + bj);
+        c2[j] = std::min(c2[j], a2 + bj);
+        c3[j] = std::min(c3[j], a3 + bj);
+      }
+    }
+    for (; i < rows; ++i) {
+      MinPlusUpdateRow(c + i * c_stride, a[i * a_stride + k], brow, cols);
+    }
+  }
 }
 
 }  // namespace diaca::simd::avx2

@@ -25,5 +25,9 @@ double DotProduct(const double* a, const double* b, std::size_t n);
 CandidateResult BestCandidate(const double* dists, std::size_t n,
                               double reach, double max_len,
                               std::int32_t room);
+void MinPlusTileUpdate(double* c, std::size_t c_stride, const double* a,
+                       std::size_t a_stride, const double* b,
+                       std::size_t b_stride, std::size_t rows,
+                       std::size_t cols, std::size_t depth);
 
 }  // namespace diaca::simd::avx2

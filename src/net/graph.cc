@@ -4,7 +4,7 @@
 #include <queue>
 
 #include "common/error.h"
-#include "common/thread_pool.h"
+#include "net/apsp.h"
 #include "obs/obs.h"
 
 namespace diaca::net {
@@ -47,28 +47,14 @@ std::vector<double> Graph::ShortestPathsFrom(NodeIndex source) const {
 
 LatencyMatrix Graph::AllPairsShortestPaths() const {
   DIACA_OBS_SPAN("net.graph.apsp");
-  LatencyMatrix out(n_);
-  // One Dijkstra per source, fanned out across the pool. Source u writes
-  // exactly the cells {(u,v), (v,u) : v > u}, so no two sources touch the
-  // same entry; the per-source results don't depend on scheduling, so the
-  // matrix is bit-identical at every thread count. A disconnected-graph
-  // error propagates out of the pool like the serial throw did.
-  GlobalPool().ParallelFor(0, n_, 1, [&](std::int64_t b, std::int64_t e) {
-    for (std::int64_t ui = b; ui < e; ++ui) {
-      const auto u = static_cast<NodeIndex>(ui);
-      DIACA_OBS_COUNT("net.graph.dijkstra_runs", 1);
-      const std::vector<double> dist = ShortestPathsFrom(u);
-      for (NodeIndex v = u + 1; v < n_; ++v) {
-        const double d = dist[static_cast<std::size_t>(v)];
-        if (!std::isfinite(d)) {
-          throw Error("graph is disconnected: no path " + std::to_string(u) +
-                      " -> " + std::to_string(v));
-        }
-        out.Set(u, v, d);
-      }
-    }
-  });
-  return out;
+  // Routed through the APSP engine: the process-default backend (kAuto
+  // unless --apsp overrode it) picks between the pooled multi-source
+  // Dijkstra and the blocked SIMD Floyd–Warshall. Below
+  // ApspEngine::kBlockedFloor the auto choice is always Dijkstra, whose
+  // output is bit-identical to the historical per-source code here.
+  ApspOptions options;
+  options.backend = DefaultApspBackend();
+  return ApspEngine(options).Solve(*this);
 }
 
 bool Graph::IsConnected() const {

@@ -17,10 +17,23 @@ namespace diaca::net {
 
 class Graph {
  public:
+  /// One directed half of an undirected link, as stored in the adjacency
+  /// list (every AddEdge(u, v, l) appends an Arc both ways).
+  struct Arc {
+    NodeIndex to;
+    double length;
+  };
+
   explicit Graph(NodeIndex num_nodes);
 
   NodeIndex size() const { return n_; }
   std::size_t num_edges() const { return edge_count_; }
+
+  /// Arcs leaving u, for external traversals (the APSP engine, streaming
+  /// matrix seeding).
+  const std::vector<Arc>& OutArcs(NodeIndex u) const {
+    return adj_[static_cast<std::size_t>(u)];
+  }
 
   /// Add an undirected link of the given positive length. Parallel edges
   /// are allowed (shortest wins during routing); self-loops are an error.
@@ -41,11 +54,6 @@ class Graph {
   static constexpr double kInfinity = std::numeric_limits<double>::infinity();
 
  private:
-  struct Arc {
-    NodeIndex to;
-    double length;
-  };
-
   NodeIndex n_;
   std::size_t edge_count_ = 0;
   std::vector<std::vector<Arc>> adj_;

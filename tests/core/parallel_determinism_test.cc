@@ -16,6 +16,8 @@
 #include "core/nearest_server.h"
 #include "core/problem.h"
 #include "data/synthetic.h"
+#include "data/waxman.h"
+#include "net/apsp.h"
 #include "placement/placement.h"
 
 namespace diaca::core {
@@ -154,6 +156,56 @@ TEST_P(ParallelDeterminismTest, BackendsMatchScalarReferenceAtEveryThreadCount) 
           << "backend=" << ctx << " threads=" << threads;
       EXPECT_EQ(MaxInteractionPathLength(p, greedy_ref), max_ref)
           << "backend=" << ctx << " threads=" << threads;
+    }
+  }
+}
+
+TEST_P(ParallelDeterminismTest, ApspEnginesDeterministicAcrossGrid) {
+  // Both APSP backends must be bit-identical to their own 1-thread scalar
+  // run at every thread count and SIMD backend; across the two engines
+  // only ~1e-9 relative agreement is promised (different associations).
+  const GridCase g = GetParam();
+  data::WaxmanParams params;
+  params.num_nodes = g.nodes;
+  params.alpha = 0.6;
+  const net::Graph graph = data::GenerateWaxmanTopology(params, g.seed);
+  net::ApspOptions dij;
+  dij.backend = net::ApspBackend::kDijkstra;
+  net::ApspOptions blk;
+  blk.backend = net::ApspBackend::kBlocked;
+  blk.tile = 32;
+  SetGlobalThreads(1);
+  simd::SetBackend(simd::Backend::kScalar);
+  const net::LatencyMatrix dij_ref = net::ApspEngine(dij).Solve(graph);
+  const net::LatencyMatrix blk_ref = net::ApspEngine(blk).Solve(graph);
+  for (net::NodeIndex u = 0; u < graph.size(); ++u) {
+    for (net::NodeIndex v = 0; v < graph.size(); ++v) {
+      const double scale = std::max(1.0, dij_ref(u, v));
+      ASSERT_NEAR(dij_ref(u, v), blk_ref(u, v), 1e-9 * scale)
+          << "cross-engine (" << u << "," << v << ")";
+    }
+  }
+  for (const simd::Backend backend : TestableBackends()) {
+    for (const int threads : {1, 2, 8}) {
+      SetGlobalThreads(threads);
+      simd::SetBackend(backend);
+      const char* ctx = simd::BackendName(backend);
+      const net::LatencyMatrix d = net::ApspEngine(dij).Solve(graph);
+      const net::LatencyMatrix b = net::ApspEngine(blk).Solve(graph);
+      for (net::NodeIndex u = 0; u < graph.size(); ++u) {
+        const double* dr = d.Row(u);
+        const double* dref = dij_ref.Row(u);
+        const double* br = b.Row(u);
+        const double* bref = blk_ref.Row(u);
+        for (std::size_t j = 0; j < d.stride(); ++j) {
+          ASSERT_EQ(dr[j], dref[j]) << "dijkstra backend=" << ctx
+                                    << " threads=" << threads << " u=" << u
+                                    << " j=" << j;
+          ASSERT_EQ(br[j], bref[j]) << "blocked backend=" << ctx
+                                    << " threads=" << threads << " u=" << u
+                                    << " j=" << j;
+        }
+      }
     }
   }
 }

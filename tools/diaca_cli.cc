@@ -30,6 +30,7 @@
 #include "core/sync_schedule.h"
 #include "data/loader.h"
 #include "dia/session.h"
+#include "net/apsp.h"
 #include "data/synthetic.h"
 #include "placement/placement.h"
 
@@ -52,8 +53,10 @@ int Usage() {
       "  schedule --matrix=FILE --servers=FILE --assignment=FILE\n"
       "  simulate --matrix=FILE --servers=FILE --assignment=FILE\n"
       "           [--duration-ms=T] [--ops-per-second=R] [--seed=S]\n"
-      "  every command also accepts --threads=N, --metrics-out=FILE\n"
-      "  (metrics JSON at exit) and --trace-out=FILE (Chrome trace)\n";
+      "  every command also accepts --threads=N,\n"
+      "  --apsp=auto|dijkstra|blocked (all-pairs shortest-path backend\n"
+      "  for graph substrates), --metrics-out=FILE (metrics JSON at\n"
+      "  exit) and --trace-out=FILE (Chrome trace)\n";
   return 2;
 }
 
@@ -279,7 +282,9 @@ int main(int argc, char** argv) {
     const Flags flags(argc - 1, argv + 1,
                       {"out", "dataset", "nodes", "clusters", "seed", "matrix",
                        "servers", "method", "algorithm", "capacity",
-                       "assignment", "duration-ms", "ops-per-second"});
+                       "assignment", "duration-ms", "ops-per-second", "apsp"});
+    net::SetDefaultApspBackend(
+        net::ParseApspBackend(flags.GetString("apsp", "auto")));
     if (command == "generate") return CmdGenerate(flags);
     if (command == "place") return CmdPlace(flags);
     if (command == "assign") return CmdAssign(flags);
