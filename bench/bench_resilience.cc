@@ -1,0 +1,415 @@
+// Resilience experiment: what does a server failure cost, and how much of
+// that cost does the repair solver recover?
+//
+// Two sweeps:
+//
+//  1. Failover solver sweep (failure count x strategy) on the three
+//     substrates (synthetic Meridian-like 1796, MIT/King-like 1024,
+//     Waxman router-level): wall-clock and objective of the "repair"
+//     solver against a full greedy re-solve over the survivors (the
+//     paper's §IV-C algorithm from scratch), against the session's
+//     pre-repair failover path (nearest seed + Distributed-Greedy), and
+//     against the naive nearest-survivor patch. Repair must be strictly
+//     faster than the full greedy re-solve at >= 1024 clients while
+//     never losing to the nearest patch on quality.
+//
+//  2. Session degradation sweep (failure rate x strategy) on a small
+//     substrate: full DynamicDiaSession runs under seeded random fault
+//     plans (recovering crashes), reporting the graceful-degradation
+//     metrics — minimum intact-path fraction, time-to-restore,
+//     interaction-time inflation, lost ops — per strategy.
+//
+//   bench_resilience [--servers=20] [--reps=3] [--nodes=120]
+//                    [--duration-ms=5000] [--seed=2011] [--json-out=path]
+//                    [--skip-large] [--faults=SPEC]
+//
+// --skip-large drops the two >= 1024-client substrates (smoke tests).
+// --json-out writes the machine-readable report committed as
+// BENCH_resilience.json. A --faults spec, when given, is attached to every
+// session of sweep 2 *in addition to* the per-run random plan.
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench_util/experiment.h"
+#include "common/error.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "core/distributed_greedy.h"
+#include "core/greedy.h"
+#include "core/metrics.h"
+#include "core/nearest_server.h"
+#include "core/repair.h"
+#include "data/synthetic.h"
+#include "dia/dynamic_session.h"
+#include "obs/json.h"
+#include "placement/placement.h"
+#include "sim/faults.h"
+
+namespace {
+
+using namespace diaca;
+
+struct SolverCase {
+  std::string dataset;
+  std::int32_t clients = 0;
+  std::int32_t servers = 0;
+  std::int32_t failures = 0;
+  std::int32_t orphans = 0;
+  double base_len = 0.0;
+  double repair_ms = 0.0;
+  double repair_len = 0.0;
+  double greedy_ms = 0.0;
+  double greedy_len = 0.0;
+  double resolve_ms = 0.0;
+  double resolve_len = 0.0;
+  double nearest_ms = 0.0;
+  double nearest_len = 0.0;
+};
+
+struct SessionCase {
+  std::string strategy;
+  std::int32_t crashes = 0;
+  bool converged = false;
+  double min_intact = 1.0;
+  double time_to_restore_ms = 0.0;
+  double inflation = 1.0;
+  double solve_wall_ms = 0.0;
+  std::uint64_t ops_lost = 0;
+  std::uint64_t messages_cut = 0;
+  std::uint64_t snapshot_retries = 0;
+};
+
+double BestOfMs(std::int32_t reps, const std::function<void()>& body) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::int32_t r = 0; r < reps; ++r) {
+    Timer timer;
+    body();
+    best = std::min(best, timer.ElapsedMillis());
+  }
+  return best;
+}
+
+core::Assignment NearestSurvivorPatch(const core::Problem& p,
+                                      const core::Assignment& current,
+                                      const std::vector<char>& down) {
+  core::Assignment out = current;
+  for (core::ClientIndex c = 0; c < p.num_clients(); ++c) {
+    if (down[static_cast<std::size_t>(current[c])] == 0) continue;
+    core::ServerIndex best = core::kUnassigned;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (core::ServerIndex s = 0; s < p.num_servers(); ++s) {
+      if (down[static_cast<std::size_t>(s)] != 0) continue;
+      if (p.cs(c, s) < best_d) {
+        best_d = p.cs(c, s);
+        best = s;
+      }
+    }
+    out[c] = best;
+  }
+  return out;
+}
+
+void WriteJson(const std::string& path, std::uint64_t seed,
+               std::int32_t servers, const std::vector<SolverCase>& solver,
+               const std::vector<SessionCase>& sessions) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  const auto num = [&out](double v) { obs::internal::AppendJsonNumber(out, v); };
+  out << "{\n  \"seed\": " << seed << ",\n  \"servers\": " << servers
+      << ",\n  \"solver_sweep\": [\n";
+  for (std::size_t i = 0; i < solver.size(); ++i) {
+    const SolverCase& c = solver[i];
+    out << "    {\"dataset\": \"" << c.dataset
+        << "\", \"clients\": " << c.clients << ", \"servers\": " << c.servers
+        << ", \"failures\": " << c.failures << ", \"orphans\": " << c.orphans
+        << ",\n     \"base_len\": ";
+    num(c.base_len);
+    out << ", \"repair_ms\": ";
+    num(c.repair_ms);
+    out << ", \"repair_len\": ";
+    num(c.repair_len);
+    out << ", \"greedy_ms\": ";
+    num(c.greedy_ms);
+    out << ", \"greedy_len\": ";
+    num(c.greedy_len);
+    out << ", \"resolve_ms\": ";
+    num(c.resolve_ms);
+    out << ", \"resolve_len\": ";
+    num(c.resolve_len);
+    out << ", \"nearest_ms\": ";
+    num(c.nearest_ms);
+    out << ", \"nearest_len\": ";
+    num(c.nearest_len);
+    out << "}" << (i + 1 < solver.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"session_sweep\": [\n";
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    const SessionCase& c = sessions[i];
+    out << "    {\"strategy\": \"" << c.strategy
+        << "\", \"crashes\": " << c.crashes << ", \"converged\": "
+        << (c.converged ? "true" : "false") << ", \"min_intact_fraction\": ";
+    num(c.min_intact);
+    out << ",\n     \"time_to_restore_ms\": ";
+    num(c.time_to_restore_ms);
+    out << ", \"interaction_inflation\": ";
+    num(c.inflation);
+    out << ", \"failover_solve_ms\": ";
+    num(c.solve_wall_ms);
+    out << ", \"ops_lost\": " << c.ops_lost
+        << ", \"messages_cut\": " << c.messages_cut
+        << ", \"snapshot_retries\": " << c.snapshot_retries << "}"
+        << (i + 1 < sessions.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  if (!out) throw Error("write failed for '" + path + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv,
+                    {"servers", "reps", "nodes", "duration-ms", "seed",
+                     "json-out", "skip-large"});
+  const auto num_servers =
+      static_cast<std::int32_t>(flags.GetInt("servers", 20));
+  const auto reps = static_cast<std::int32_t>(flags.GetInt("reps", 3));
+  const auto session_nodes =
+      static_cast<std::int32_t>(flags.GetInt("nodes", 120));
+  const double duration = flags.GetDouble("duration-ms", 5000.0);
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 2011));
+  const std::string json_out = flags.GetString("json-out", "");
+  const bool skip_large = flags.GetBool("skip-large", false);
+
+  bool ok = true;
+
+  // --- Sweep 1: failover solvers on the evaluation substrates -------------
+  std::vector<SolverCase> solver_cases;
+  std::vector<std::string> datasets{"waxman"};
+  if (!skip_large) {
+    datasets.insert(datasets.begin(), {"meridian", "mit"});
+  }
+  Table solver_table({"dataset", "clients", "failed", "orphans", "repair-ms",
+                      "greedy-ms", "resolve-ms", "nearest-ms", "repair-len",
+                      "greedy-len", "resolve-len", "nearest-len"});
+  for (const std::string& dataset : datasets) {
+    const net::LatencyMatrix matrix = data::MakeNamedDataset(dataset, seed);
+    const auto server_nodes =
+        placement::KCenterGreedy(matrix, num_servers);
+    const core::Problem problem =
+        core::Problem::WithClientsEverywhere(matrix, server_nodes);
+    // The live assignment a failure would interrupt: seeded DG, exactly
+    // what the session runs.
+    const core::Assignment base =
+        core::DistributedGreedyAssign(problem).assignment;
+    for (const std::int32_t failures : {1, 2, 4}) {
+      SolverCase c;
+      c.dataset = dataset;
+      c.clients = problem.num_clients();
+      c.servers = num_servers;
+      c.failures = failures;
+      c.base_len = core::MaxInteractionPathLength(problem, base);
+      Rng pick_rng(seed + static_cast<std::uint64_t>(failures));
+      const std::vector<std::int32_t> picks =
+          pick_rng.SampleWithoutReplacement(num_servers, failures);
+      std::vector<core::ServerIndex> failed(picks.begin(), picks.end());
+      std::sort(failed.begin(), failed.end());
+      std::vector<char> down(static_cast<std::size_t>(num_servers), 0);
+      for (const core::ServerIndex s : failed) {
+        down[static_cast<std::size_t>(s)] = 1;
+      }
+      for (core::ClientIndex cl = 0; cl < problem.num_clients(); ++cl) {
+        if (down[static_cast<std::size_t>(base[cl])] != 0) ++c.orphans;
+      }
+
+      core::RepairOptions repair_options;
+      repair_options.failed = failed;
+      core::RepairResult repaired;
+      c.repair_ms = BestOfMs(
+          reps, [&] { repaired = RepairAssign(problem, base, repair_options); });
+      c.repair_len = repaired.stats.max_len;
+
+      std::vector<net::NodeIndex> survivor_nodes;
+      for (core::ServerIndex s = 0; s < num_servers; ++s) {
+        if (down[static_cast<std::size_t>(s)] == 0) {
+          survivor_nodes.push_back(server_nodes[static_cast<std::size_t>(s)]);
+        }
+      }
+      const core::Problem survivors =
+          core::Problem::WithClientsEverywhere(matrix, survivor_nodes);
+
+      // Full greedy re-solve over the survivors: the paper's §IV-C
+      // algorithm from scratch, as if no assignment existed.
+      core::Assignment greedy_resolved;
+      c.greedy_ms =
+          BestOfMs(reps, [&] { greedy_resolved = core::GreedyAssign(survivors); });
+      c.greedy_len = core::MaxInteractionPathLength(survivors, greedy_resolved);
+
+      // The session's pre-repair failover path (nearest seed +
+      // Distributed-Greedy on the survivor subproblem) — the parallel
+      // engine, included for scale.
+      core::Assignment resolved;
+      c.resolve_ms = BestOfMs(reps, [&] {
+        const core::Assignment seeded = core::NearestServerAssign(survivors);
+        resolved =
+            core::DistributedGreedyAssign(survivors, {}, &seeded).assignment;
+      });
+      c.resolve_len = core::MaxInteractionPathLength(survivors, resolved);
+
+      core::Assignment patched;
+      c.nearest_ms = BestOfMs(
+          reps, [&] { patched = NearestSurvivorPatch(problem, base, down); });
+      c.nearest_len = core::MaxInteractionPathLength(problem, patched);
+
+      solver_cases.push_back(c);
+      solver_table.Row()
+          .Cell(dataset)
+          .Cell(static_cast<std::int64_t>(c.clients))
+          .Cell(static_cast<std::int64_t>(failures))
+          .Cell(static_cast<std::int64_t>(c.orphans))
+          .Cell(c.repair_ms, 2)
+          .Cell(c.greedy_ms, 2)
+          .Cell(c.resolve_ms, 2)
+          .Cell(c.nearest_ms, 2)
+          .Cell(c.repair_len, 1)
+          .Cell(c.greedy_len, 1)
+          .Cell(c.resolve_len, 1)
+          .Cell(c.nearest_len, 1);
+    }
+  }
+  std::cout << "Failover solver sweep (failed servers drawn per failure "
+               "count; best of "
+            << reps << " reps):\n";
+  solver_table.Print(std::cout);
+
+  for (const SolverCase& c : solver_cases) {
+    if (c.clients >= 1024) {
+      ok &= benchutil::CheckShape(
+          c.repair_ms < c.greedy_ms,
+          c.dataset + " x" + std::to_string(c.failures) +
+              ": repair is strictly faster than the full greedy re-solve");
+    }
+    ok &= benchutil::CheckShape(
+        c.repair_len <= c.nearest_len + 1e-9,
+        c.dataset + " x" + std::to_string(c.failures) +
+            ": repair never loses to the nearest-survivor patch on quality");
+  }
+
+  // --- Sweep 2: session degradation under seeded random fault plans -------
+  data::SyntheticParams world;
+  world.num_nodes = session_nodes;
+  world.num_clusters = 5;
+  const net::LatencyMatrix session_matrix =
+      data::GenerateSyntheticInternet(world, seed + 100);
+  const auto session_servers = placement::KCenterGreedy(session_matrix, 5);
+  const core::Problem session_problem =
+      core::Problem::WithClientsEverywhere(session_matrix, session_servers);
+  std::vector<core::ClientIndex> members(
+      static_cast<std::size_t>(session_problem.num_clients()));
+  std::iota(members.begin(), members.end(), 0);
+
+  std::vector<SessionCase> session_cases;
+  Table session_table({"strategy", "crashes", "min intact", "restore-ms",
+                       "inflation", "solve-ms", "ops lost", "cut",
+                       "converged"});
+  for (const std::int32_t crashes : {1, 2}) {
+    sim::RandomFaultParams fault_params;
+    fault_params.horizon_ms = duration;
+    fault_params.crashes = crashes;
+    fault_params.recovery_fraction = 1.0;  // recovering crashes: the
+    fault_params.mean_outage_ms = 1200.0;  // session must converge
+    sim::FaultPlan plan = sim::MakeRandomFaultPlan(
+        fault_params, session_servers, seed + static_cast<std::uint64_t>(crashes));
+    if (const sim::FaultPlan* global = sim::GlobalFaultPlan()) {
+      // A --faults spec composes with the random scenario.
+      for (const auto& w : global->crashes()) {
+        plan.Crash(w.node, w.start_ms, w.end_ms);
+      }
+      for (const auto& w : global->spikes()) {
+        plan.Spike(w.start_ms, w.end_ms, w.multiplier, w.node);
+      }
+      for (const auto& w : global->losses()) {
+        plan.LossBurst(w.start_ms, w.end_ms, w.probability);
+      }
+      for (const auto& w : global->partitions()) {
+        plan.Partition(w.start_ms, w.end_ms, w.a, w.b);
+      }
+    }
+    for (const dia::FailoverStrategy strategy :
+         {dia::FailoverStrategy::kRepair, dia::FailoverStrategy::kFullResolve,
+          dia::FailoverStrategy::kNearest}) {
+      dia::DynamicSessionParams params;
+      params.workload.duration_ms = duration;
+      params.workload.ops_per_second = 1.0;
+      params.seed = seed + 7;
+      params.failover = strategy;
+      params.faults = &plan;
+      const dia::DynamicDiaSession session(session_matrix, session_problem,
+                                           members, {}, params);
+      const dia::DynamicSessionReport report = session.Run();
+      SessionCase c;
+      c.strategy = dia::FailoverStrategyName(strategy);
+      c.crashes = crashes;
+      c.converged = report.final_states_converged;
+      c.min_intact = report.min_intact_fraction;
+      c.ops_lost = report.ops_lost;
+      c.messages_cut = report.messages_cut;
+      c.snapshot_retries = report.snapshot_retries;
+      double inflation_sum = 0.0;
+      for (const dia::FailoverRecord& f : report.failovers) {
+        c.time_to_restore_ms =
+            std::max(c.time_to_restore_ms, f.time_to_restore_ms);
+        c.solve_wall_ms += f.solve_wall_ms;
+        inflation_sum += f.interaction_inflation;
+      }
+      if (!report.failovers.empty()) {
+        c.inflation =
+            inflation_sum / static_cast<double>(report.failovers.size());
+      }
+      session_cases.push_back(c);
+      session_table.Row()
+          .Cell(c.strategy)
+          .Cell(static_cast<std::int64_t>(crashes))
+          .Cell(c.min_intact, 3)
+          .Cell(c.time_to_restore_ms, 1)
+          .Cell(c.inflation, 3)
+          .Cell(c.solve_wall_ms, 2)
+          .Cell(static_cast<std::int64_t>(c.ops_lost))
+          .Cell(static_cast<std::int64_t>(c.messages_cut))
+          .Cell(c.converged ? "yes" : "NO");
+    }
+  }
+  std::cout << "\nSession degradation sweep (" << session_nodes
+            << " clients, 5 servers, seeded recovering-crash plans):\n";
+  session_table.Print(std::cout);
+
+  bool all_converged = true;
+  bool all_degraded = true;
+  std::uint64_t total_lost = 0;
+  for (const SessionCase& c : session_cases) {
+    all_converged &= c.converged;
+    all_degraded &= c.min_intact < 1.0;
+    total_lost += c.ops_lost;
+  }
+  ok &= benchutil::CheckShape(all_converged,
+                              "every faulted session converges (recovering "
+                              "crashes + reliable transport lose no history)");
+  ok &= benchutil::CheckShape(all_degraded,
+                              "every crash shows up in the degradation "
+                              "timeline (min intact fraction < 1)");
+  ok &= benchutil::CheckShape(total_lost == 0,
+                              "no acknowledged operation is ever lost");
+
+  if (!json_out.empty()) {
+    WriteJson(json_out, seed, num_servers, solver_cases, session_cases);
+    std::cout << "wrote " << json_out << "\n";
+  }
+  return ok ? 0 : 1;
+}

@@ -4,8 +4,11 @@
 # --metrics-out/--trace-out, outputs validated as JSON), the kernel
 # property suite + determinism grid again under the AVX2 build with a
 # bench_kernels smoke (JSON-validated), then the concurrency tests (thread
-# pool + parallel determinism grid) again under ThreadSanitizer.
-# Usage: scripts/tier1.sh [--skip-tsan]
+# pool + parallel determinism grid) again under ThreadSanitizer, and
+# finally the fault-tolerance suite (`resilience` label: fault plans,
+# repair solver, resilient sessions, malformed-corpus loaders) again under
+# AddressSanitizer+UBSan.
+# Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,8 +49,30 @@ ctest --test-dir build-avx2 -L tsan -R Determinism --output-on-failure
 cmake -DJSON_FILE=build-avx2/bench_kernels_smoke.json \
   -P scripts/check_json.cmake
 
-if [ "${1:-}" != "--skip-tsan" ]; then
+skip_tsan=false
+skip_asan=false
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) skip_tsan=true ;;
+    --skip-asan) skip_asan=true ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+if ! $skip_tsan; then
   cmake -B build-tsan -S . -DDIACA_SANITIZE=thread
-  cmake --build build-tsan -j --target parallel_test
+  cmake --build build-tsan -j --target parallel_test resilience_test
   ctest --test-dir build-tsan -L tsan --output-on-failure
+  # The fault-injection suite under TSan: faulted sessions must stay
+  # bit-deterministic across thread counts without data races.
+  ctest --test-dir build-tsan -L resilience -E smoke_ --output-on-failure
+fi
+
+# ASan+UBSan lane: the fault-tolerance suite exercises the failure paths
+# (orphan reassignment, watchdog retries, malformed input) where lifetime
+# bugs would hide.
+if ! $skip_asan; then
+  cmake -B build-asan -S . -DDIACA_SANITIZE=address
+  cmake --build build-asan -j --target resilience_test
+  ctest --test-dir build-asan -L resilience -E smoke_ --output-on-failure
 fi

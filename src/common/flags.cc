@@ -18,6 +18,12 @@ bool LooksLikeFlag(const std::string& arg) {
 constexpr const char* kThreadsFlag = "threads";
 constexpr const char* kMetricsOutFlag = "metrics-out";
 constexpr const char* kTraceOutFlag = "trace-out";
+constexpr const char* kFaultsFlag = "faults";
+
+std::string& GlobalFaultSpecStorage() {
+  static std::string spec;
+  return spec;
+}
 
 }  // namespace
 
@@ -26,6 +32,7 @@ Flags::Flags(int argc, const char* const* argv, std::vector<std::string> spec) {
   spec.push_back(kThreadsFlag);     // built-in: thread-pool size
   spec.push_back(kMetricsOutFlag);  // built-in: metrics JSON at exit
   spec.push_back(kTraceOutFlag);    // built-in: Chrome trace at exit
+  spec.push_back(kFaultsFlag);      // built-in: fault-injection spec
   auto known = [&spec](const std::string& name) {
     return std::find(spec.begin(), spec.end(), name) != spec.end();
   };
@@ -74,6 +81,11 @@ Flags::Flags(int argc, const char* const* argv, std::vector<std::string> spec) {
     obs::SetTracingEnabled(true);
     obs::WriteChromeTraceAtExit(path);
   }
+  if (Has(kFaultsFlag)) {
+    const std::string fault_spec = GetString(kFaultsFlag, "");
+    if (fault_spec.empty()) throw Error("flag --faults expects a fault spec");
+    SetGlobalFaultSpec(fault_spec);
+  }
 }
 
 bool Flags::Has(const std::string& name) const {
@@ -115,6 +127,12 @@ double Flags::GetDouble(const std::string& name, double default_value) const {
     throw Error("flag --" + name + " expects a number, got '" + *raw + "'");
   }
 }
+
+void SetGlobalFaultSpec(std::string spec) {
+  GlobalFaultSpecStorage() = std::move(spec);
+}
+
+const std::string& GlobalFaultSpec() { return GlobalFaultSpecStorage(); }
 
 bool Flags::GetBool(const std::string& name, bool default_value) const {
   auto raw = Raw(name);

@@ -15,6 +15,12 @@
 // register an exit-time export (JSON metrics snapshot / Chrome-trace
 // file loadable in chrome://tracing or Perfetto). Without the flags the
 // instrumentation stays off and costs one relaxed atomic load per site.
+//
+// `--faults=SPEC` is the last built-in: it stores a fault-injection spec
+// string process-wide (grammar in docs/resilience.md). The common layer
+// only holds the raw string; sim::GlobalFaultPlan() parses it on demand,
+// and fault-aware binaries (diaca_cli simulate, bench_resilience) attach
+// the resulting plan to their simulated network/session.
 #pragma once
 
 #include <cstdint>
@@ -49,5 +55,12 @@ class Flags {
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };
+
+/// Raw value of the built-in --faults flag (empty when unset). Stored here
+/// so the flag parser needs no dependency on sim/; consumed by
+/// sim::GlobalFaultPlan(). SetGlobalFaultSpec exists for tests and for
+/// embedding binaries that configure faults programmatically.
+void SetGlobalFaultSpec(std::string spec);
+const std::string& GlobalFaultSpec();
 
 }  // namespace diaca

@@ -42,6 +42,11 @@ class IncrementalEvaluator {
   const Assignment& assignment() const { return assignment_; }
 
   ServerIndex ServerOf(ClientIndex c) const { return assignment_[c]; }
+  /// Endpoint servers of the cached argmax interaction pair (kUnassigned
+  /// when no server holds a client). The bounded-migration phase of the
+  /// repair solver relocates these servers' witness clients.
+  ServerIndex MaxPairFirst() const { return max_pair_.a; }
+  ServerIndex MaxPairSecond() const { return max_pair_.b; }
   std::int32_t LoadOf(ServerIndex s) const {
     return static_cast<std::int32_t>(
         distances_[static_cast<std::size_t>(s)].size());

@@ -1,0 +1,68 @@
+// Failover repair assignment: reassign only what a failure broke.
+//
+// When servers crash mid-session, the clients they hosted (the orphans)
+// need a new home immediately; re-solving the whole instance from scratch
+// both costs full-solve time and gratuitously moves clients the failure
+// never touched. RepairAssign takes the pre-failure assignment and the
+// failed-server set, and greedily re-homes the orphans — hardest first —
+// using an IncrementalEvaluator over the surviving servers, so each
+// candidate placement is scored against the true objective
+// (max interaction path length) in O(|S|) per evaluation in the common
+// case. Capacities, when set, are respected throughout: a placement is
+// only considered on survivors with remaining room, and survivor-only
+// feasibility is checked up front.
+//
+// An optional bounded-migration mode then spends `migration_budget` moves
+// of *unaffected* clients on the post-repair bottleneck: the argmax
+// interaction pair's witness clients are relocated while each move
+// strictly improves the objective. Budget 0 (the default) means the
+// failure's blast radius is exactly the orphan set.
+//
+// Registered in core::SolverRegistry as "repair" (options.initial = the
+// pre-failure assignment, options.failed_servers = the crash set).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/problem.h"
+#include "core/solve_stats.h"
+#include "core/types.h"
+
+namespace diaca::core {
+
+struct RepairOptions {
+  AssignOptions assign;
+  /// Servers that failed (indices into the problem's server list). May be
+  /// empty, in which case the current assignment is returned unchanged.
+  std::vector<ServerIndex> failed;
+  /// How many unaffected clients may be moved after the orphans are
+  /// re-homed (bounded-migration mode). Orphan moves never count here.
+  std::int32_t migration_budget = 0;
+};
+
+struct RepairStats {
+  std::int32_t orphans = 0;          ///< clients that lost their server
+  std::int32_t orphan_improvements = 0;  ///< orphans moved off their seed
+  std::int32_t migrations = 0;       ///< unaffected clients moved
+  std::int64_t evaluations = 0;      ///< candidate placements scored
+};
+
+struct RepairResult {
+  /// Complete assignment over the original problem's server indexing with
+  /// no client on a failed server.
+  Assignment assignment;
+  /// iterations = orphans processed, modifications = all moves applied,
+  /// max_len = objective over the surviving servers.
+  SolveStats stats;
+  RepairStats repair;
+};
+
+/// Repair `current` after the failures in `options.failed`. Throws
+/// diaca::Error when `current` is incomplete or mis-sized, a failed index
+/// is invalid or duplicated, every server failed, or (capacitated) the
+/// survivors cannot hold all clients or already exceed their capacity.
+RepairResult RepairAssign(const Problem& problem, const Assignment& current,
+                          const RepairOptions& options);
+
+}  // namespace diaca::core

@@ -10,6 +10,7 @@
 #include "core/longest_first_batch.h"
 #include "core/metrics.h"
 #include "core/nearest_server.h"
+#include "core/repair.h"
 #include "obs/obs.h"
 
 namespace diaca::core {
@@ -47,6 +48,21 @@ SolverRegistry& SolverRegistry::Default() {
       SolveResult result;
       result.assignment = BestSingleServerAssign(problem, o.assign);
       result.stats.iterations = 1;
+      return result;
+    });
+    r->Register("repair", [](const Problem& problem, const SolveOptions& o) {
+      if (o.initial == nullptr) {
+        throw Error(
+            "repair needs options.initial (the pre-failure assignment)");
+      }
+      RepairOptions repair_options;
+      repair_options.assign = o.assign;
+      repair_options.failed = o.failed_servers;
+      repair_options.migration_budget = o.repair_migration_budget;
+      RepairResult repaired = RepairAssign(problem, *o.initial, repair_options);
+      SolveResult result;
+      result.assignment = std::move(repaired.assignment);
+      result.stats = repaired.stats;
       return result;
     });
     r->Register("exact", [](const Problem& problem, const SolveOptions& o) {

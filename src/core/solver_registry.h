@@ -12,6 +12,8 @@
 //   dg      — Distributed-Greedy Assignment (§IV-D)
 //   single  — best single server (§III strawman)
 //   exact   — branch-and-bound optimum (small instances)
+//   repair  — failover repair of a prior assignment (core/repair.h;
+//             needs `initial` + `failed_servers`)
 //
 // Solve() wraps every run in a "solver.<name>" trace span and, when
 // metrics are enabled, records per-solver counters and timing histograms
@@ -39,10 +41,17 @@ namespace diaca::core {
 struct SolveOptions {
   AssignOptions assign;
   /// Seed assignment for iterative solvers ("dg"; must be complete and
-  /// respect the capacity). Solvers without a seed concept ignore it.
+  /// respect the capacity). For "repair" it is required: the pre-failure
+  /// assignment being repaired. Solvers without a seed concept ignore it.
   const Assignment* initial = nullptr;
   /// Node budget for "exact"; Solve throws diaca::Error when exceeded.
   std::int64_t exact_node_limit = 50'000'000;
+  /// Crashed servers for "repair" (indices into the problem's server
+  /// list); their clients are the orphans it re-homes.
+  std::vector<ServerIndex> failed_servers;
+  /// Bounded-migration budget for "repair": how many unaffected clients
+  /// it may additionally move (0 = only orphans move).
+  std::int32_t repair_migration_budget = 0;
 };
 
 class SolverRegistry {

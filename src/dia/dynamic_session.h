@@ -19,9 +19,21 @@
 // whose new-epoch offset ran ahead. The session counts exactly that
 // disruption, which shrinks as the lead time grows — the knob the
 // reconfiguration bench sweeps.
+//
+// Fault tolerance: server crashes — explicit ServerFailure events or
+// crash windows of an attached sim::FaultPlan — trigger an *emergency*
+// reconfiguration (lead time 0) whose assignment comes from the selected
+// FailoverStrategy (default: the core "repair" solver, which re-homes
+// only the orphans). The session records a degradation timeline (the
+// fraction of members with an intact interaction path), per-failover
+// repair statistics, and time-to-restore; with a plan attached the
+// transport switches to reliable (retransmitting) sends so transient
+// faults cost latency and traffic, never acknowledged history. Without a
+// plan, behavior and traces are bit-identical to the fault-free session.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/stats.h"
@@ -30,6 +42,7 @@
 #include "core/types.h"
 #include "dia/workload.h"
 #include "net/latency_matrix.h"
+#include "sim/faults.h"
 
 namespace diaca::dia {
 
@@ -62,6 +75,23 @@ struct ServerFailure {
   core::ServerIndex server = 0;
 };
 
+/// How a failure epoch's assignment is produced.
+enum class FailoverStrategy {
+  /// core::RepairAssign over the pre-failure assignment: only orphans
+  /// move (plus an optional bounded-migration budget). The default.
+  kRepair,
+  /// Full re-solve (seed + DistributedGreedyAssign) — the pre-repair
+  /// behavior of this session, kept as the quality/cost baseline.
+  kFullResolve,
+  /// Orphans to their nearest surviving server, nobody else moves — the
+  /// cheapest possible failover, quality floor.
+  kNearest,
+};
+
+/// Parse "repair" | "resolve" | "nearest" (throws diaca::Error otherwise).
+FailoverStrategy ParseFailoverStrategy(const std::string& name);
+const char* FailoverStrategyName(FailoverStrategy strategy);
+
 struct DynamicSessionParams {
   WorkloadParams workload;
   double consistency_sample_interval_ms = 250.0;
@@ -72,6 +102,55 @@ struct DynamicSessionParams {
   /// Only used for reporting symmetry today: the boundary timing itself
   /// comes from the events.
   double reconfiguration_lead_ms = 400.0;
+  /// Assignment policy for server-failure epochs.
+  FailoverStrategy failover = FailoverStrategy::kRepair;
+  /// Bounded-migration budget handed to the repair solver: how many
+  /// unaffected clients a failover may additionally move.
+  std::int32_t repair_migration_budget = 0;
+  /// Half-width of the window around each crash used for the
+  /// interaction-time-inflation degradation metric.
+  double recovery_window_ms = 750.0;
+  /// Retransmission timeout of the reliable transport and the client-side
+  /// retry cadence for snapshots whose source crashed. Only used when
+  /// `faults` is attached.
+  double retry_ms = 150.0;
+  /// Optional fault plan (must outlive the session). Crash windows naming
+  /// *server* nodes become failure/recovery epochs (the server process
+  /// crashes; a colocated client keeps running); spikes, loss bursts and
+  /// partitions act on the message transport, which switches to reliable
+  /// sends. nullptr: fault-free transport, bit-identical to pre-fault
+  /// builds.
+  const sim::FaultPlan* faults = nullptr;
+};
+
+/// One server crash and the emergency reconfiguration that answered it.
+struct FailoverRecord {
+  double at_ms = 0.0;
+  core::ServerIndex server = 0;  ///< global server index that crashed
+  std::int32_t orphans = 0;      ///< clients that lost their home
+  /// Unaffected clients whose home changed at the boundary (0 for the
+  /// repair strategy unless a migration budget is set).
+  std::int32_t moved_unaffected = 0;
+  /// Wall-clock time of the failover assignment computation.
+  double solve_wall_ms = 0.0;
+  double delta_before = 0.0;  ///< schedule δ of the pre-crash epoch
+  double delta_after = 0.0;   ///< schedule δ of the emergency epoch
+  /// Simulation time from the crash until the last orphan finished its
+  /// resync snapshot (0 when the crash orphaned nobody).
+  double time_to_restore_ms = 0.0;
+  /// Mean interaction time in (at_ms, at_ms + recovery_window_ms] divided
+  /// by the mean in [at_ms - recovery_window_ms, at_ms] (1 when either
+  /// window saw no deliveries).
+  double interaction_inflation = 1.0;
+};
+
+/// Point on the graceful-degradation timeline.
+struct DegradationSample {
+  double at_ms = 0.0;
+  /// Fraction of current members whose interaction path is intact: they
+  /// are bootstrapped, not awaiting a failover resync, and their home is
+  /// alive and unpartitioned from them.
+  double intact_fraction = 1.0;
 };
 
 struct DynamicSessionReport {
@@ -95,6 +174,19 @@ struct DynamicSessionReport {
   /// The overlap-delivery design guarantees this (eventual consistency).
   bool final_states_converged = false;
   std::uint64_t messages_sent = 0;
+
+  // --- fault-tolerance telemetry (empty/zero without failures) ----------
+  std::vector<FailoverRecord> failovers;
+  std::vector<DegradationSample> degradation;
+  double min_intact_fraction = 1.0;
+  /// Issued operations that never made it into the converged history
+  /// (their carrier was severed before any server executed them). Never
+  /// counts acknowledged operations.
+  std::uint64_t ops_lost = 0;
+  /// Client-side snapshot re-requests after a source crashed mid-transfer.
+  std::uint64_t snapshot_retries = 0;
+  /// Messages the fault plan severed on this session's transport.
+  std::uint64_t messages_cut = 0;
 };
 
 class DynamicDiaSession {
@@ -102,7 +194,10 @@ class DynamicDiaSession {
   /// `problem` spans every potential client; `initial_members` lists the
   /// clients active from time 0; `events` must be sorted by time. A join
   /// must name a client that is not currently a member, a leave one that
-  /// is; the membership may never become empty.
+  /// is; the membership may never become empty. Explicit `failures` and
+  /// the fault plan's server-node crash windows merge into one failure
+  /// timeline; a server may only die while active, and the active set may
+  /// never become empty.
   DynamicDiaSession(const net::LatencyMatrix& matrix,
                     const core::Problem& problem,
                     std::vector<core::ClientIndex> initial_members,
@@ -113,12 +208,22 @@ class DynamicDiaSession {
   DynamicSessionReport Run() const;
 
  private:
+  /// Server lifecycle boundaries merged from explicit failures and plan
+  /// crash windows, time-sorted. Built and validated at construction.
+  struct ServerEvent {
+    double at_ms = 0.0;
+    core::ServerIndex server = 0;
+    bool recovery = false;  ///< false: crash; true: the server comes back
+    bool permanent = false; ///< crash with no recovery scheduled
+  };
+
   const net::LatencyMatrix& matrix_;
   const core::Problem& problem_;
   std::vector<core::ClientIndex> initial_members_;
   std::vector<MembershipEvent> events_;
   DynamicSessionParams params_;
   std::vector<ServerFailure> failures_;
+  std::vector<ServerEvent> server_events_;
 };
 
 }  // namespace diaca::dia

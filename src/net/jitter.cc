@@ -42,7 +42,9 @@ double JitterModel::Sample(NodeIndex u, NodeIndex v, Rng& rng) const {
   if (u == v || params_.spread == 0.0) return base;
   // Lognormal with median 1: multiplier = exp(sigma * N(0,1)).
   const double multiplier = std::exp(params_.sigma * rng.NextGaussian());
-  return base + params_.spread * base * multiplier;
+  // Clamp at the source: a sampled latency is a physical delay and must
+  // never be negative, whatever distribution future models plug in here.
+  return std::max(0.0, base + params_.spread * base * multiplier);
 }
 
 double JitterModel::MultiplierQuantile(double percentile) const {

@@ -1,0 +1,172 @@
+// Deterministic fault injection for the discrete-event simulator.
+//
+// A FaultPlan is a fixed, declarative schedule of adverse events — server
+// crash/recovery windows, latency-spike windows with multipliers, loss
+// bursts, and pairwise partitions — decided before the simulation starts.
+// sim::Network consults the attached plan at Simulator::Now() for every
+// message, so the exact same faults hit the exact same messages on every
+// run: reproducibility comes from the simulator clock, not from wall time
+// or thread scheduling, and is therefore independent of --threads.
+//
+// Determinism contract: with no plan attached the network's code path and
+// RNG draw sequence are bit-identical to a fault-free build; with a plan
+// attached the only additional randomness is the per-message loss draw
+// during a burst window, which consumes the same deterministic stream.
+//
+// Plans come from three sources: the builder API below (tests, sessions),
+// ParseFaultSpec() for the global `--faults <spec>` CLI flag (grammar in
+// docs/resilience.md), and MakeRandomFaultPlan() for seeded random
+// scenarios in bench_resilience.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/latency_matrix.h"
+
+namespace diaca::sim {
+
+/// Node outage: down for wall times in [start_ms, end_ms). An infinite
+/// end_ms is a permanent crash.
+struct CrashWindow {
+  net::NodeIndex node = 0;
+  double start_ms = 0.0;
+  double end_ms = std::numeric_limits<double>::infinity();
+};
+
+/// Latency multiplier active in [start_ms, end_ms). Scoped to one node's
+/// incident paths, or to every path when node == FaultPlan::kAllNodes.
+/// Overlapping spikes compound multiplicatively.
+struct SpikeWindow {
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  double multiplier = 1.0;
+  net::NodeIndex node = -1;
+};
+
+/// Extra message-loss probability active in [start_ms, end_ms).
+/// Overlapping bursts (and any base loss probability) combine as
+/// independent drop chances: p = 1 - prod(1 - p_i).
+struct LossWindow {
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  double probability = 0.0;
+};
+
+/// Pair of nodes that cannot exchange messages in [start_ms, end_ms).
+struct PartitionWindow {
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  net::NodeIndex a = 0;
+  net::NodeIndex b = 0;
+};
+
+class FaultPlan {
+ public:
+  /// Spike scope meaning "every path".
+  static constexpr net::NodeIndex kAllNodes = -1;
+  static constexpr double kNever = std::numeric_limits<double>::infinity();
+
+  /// Crash `node` at `at_ms`; it recovers at `recover_ms` (default: never).
+  FaultPlan& Crash(net::NodeIndex node, double at_ms, double recover_ms = kNever);
+
+  /// Multiply latencies by `multiplier` during [start_ms, end_ms), on all
+  /// paths or only paths incident to `node`.
+  FaultPlan& Spike(double start_ms, double end_ms, double multiplier,
+                   net::NodeIndex node = kAllNodes);
+
+  /// Add `probability` of independent message loss during [start_ms, end_ms).
+  FaultPlan& LossBurst(double start_ms, double end_ms, double probability);
+
+  /// Disconnect nodes `a` and `b` (both directions) during [start_ms, end_ms).
+  FaultPlan& Partition(double start_ms, double end_ms, net::NodeIndex a,
+                       net::NodeIndex b);
+
+  bool empty() const {
+    return crashes_.empty() && spikes_.empty() && losses_.empty() &&
+           partitions_.empty();
+  }
+
+  const std::vector<CrashWindow>& crashes() const { return crashes_; }
+  const std::vector<SpikeWindow>& spikes() const { return spikes_; }
+  const std::vector<LossWindow>& losses() const { return losses_; }
+  const std::vector<PartitionWindow>& partitions() const { return partitions_; }
+
+  /// Whether `node` is up at wall time `at_ms` (down in [start, end)).
+  bool NodeUp(net::NodeIndex node, double at_ms) const;
+
+  /// Whether `node` is up at, or ever after, wall time `from_ms` — false
+  /// only when a permanent crash has already taken effect. Reliable sends
+  /// use this to stop retransmitting into a grave.
+  bool NodeUpEver(net::NodeIndex node, double from_ms) const;
+
+  /// Product of active spike multipliers on the path from->to at `at_ms`.
+  double LatencyMultiplier(net::NodeIndex from, net::NodeIndex to,
+                           double at_ms) const;
+
+  /// Combined burst-loss probability at `at_ms` (0 outside every window).
+  double LossProbability(double at_ms) const;
+
+  /// Whether the pair (a, b) is partitioned at `at_ms`.
+  bool Partitioned(net::NodeIndex a, net::NodeIndex b, double at_ms) const;
+
+  /// Whether a message sent from->to at `send_ms`, arriving at `arrive_ms`,
+  /// is severed by a crash or partition: the sender must be up at send
+  /// time, the receiver up at arrival time, and the pair unpartitioned at
+  /// send time.
+  bool Cut(net::NodeIndex from, net::NodeIndex to, double send_ms,
+           double arrive_ms) const;
+
+  /// Throws diaca::Error if any referenced node is outside [0, num_nodes).
+  void ValidateNodes(net::NodeIndex num_nodes) const;
+
+ private:
+  std::vector<CrashWindow> crashes_;
+  std::vector<SpikeWindow> spikes_;
+  std::vector<LossWindow> losses_;
+  std::vector<PartitionWindow> partitions_;
+};
+
+/// Parse the `--faults` spec grammar (full grammar in docs/resilience.md):
+///
+///   spec := item (';' item)*
+///   item := "crash@" T ["-" T] ":n" N          crash (optional recovery)
+///         | "spike@" T "-" T ":x" F [":n" N]   latency spike (node-scoped
+///                                              with the :n suffix)
+///         | "loss@"  T "-" T ":p" F            loss burst
+///         | "part@"  T "-" T ":n" N "," N      pairwise partition
+///
+/// with T a wall time in ms, N a node index, F a double. Example:
+///   "crash@2000:n3;spike@1000-2500:x4;loss@500-900:p0.25;part@100-300:n4,n7"
+/// Throws diaca::Error on malformed input; an empty spec is an empty plan.
+FaultPlan ParseFaultSpec(const std::string& spec);
+
+/// Seeded random fault scenario over the given crash candidates (typically
+/// the server nodes). Used by bench_resilience to sweep failure rates.
+struct RandomFaultParams {
+  double horizon_ms = 10000.0;       ///< faults occur in (0, horizon_ms)
+  std::int32_t crashes = 1;          ///< crashed nodes (<= candidates)
+  double recovery_fraction = 0.0;    ///< fraction of crashes that recover
+  double mean_outage_ms = 2000.0;    ///< mean outage for recovering crashes
+  std::int32_t spikes = 0;           ///< global latency-spike windows
+  double spike_multiplier = 3.0;
+  double mean_spike_ms = 500.0;
+  std::int32_t loss_bursts = 0;
+  double burst_probability = 0.2;
+  double mean_burst_ms = 500.0;
+};
+
+FaultPlan MakeRandomFaultPlan(const RandomFaultParams& params,
+                              std::span<const net::NodeIndex> crash_candidates,
+                              std::uint64_t seed);
+
+/// The process-global plan parsed from the built-in `--faults` flag
+/// (common/flags.h stores the raw spec; this parses it on demand and
+/// caches the result). Returns nullptr when no spec is set. Binaries that
+/// support global fault injection pass this to their session/network.
+const FaultPlan* GlobalFaultPlan();
+
+}  // namespace diaca::sim

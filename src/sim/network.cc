@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "obs/obs.h"
 
 namespace diaca::sim {
 
@@ -17,9 +18,23 @@ Network::Network(Simulator& simulator, const net::JitterModel& jitter,
       rng_(seed) {}
 
 void Network::SetLossProbability(double probability) {
-  DIACA_CHECK_MSG(probability >= 0.0 && probability < 1.0,
-                  "loss probability must be in [0, 1)");
+  DIACA_CHECK_MSG(probability >= 0.0 && probability <= 1.0,
+                  "loss probability must be in [0, 1]");
   loss_probability_ = probability;
+}
+
+void Network::AttachFaultPlan(const FaultPlan* plan) {
+  if (plan != nullptr) plan->ValidateNodes(latencies_.size());
+  fault_plan_ = plan;
+}
+
+double Network::LossProbabilityNow(double now) const {
+  double p = loss_probability_;
+  if (fault_plan_ != nullptr) {
+    const double burst = fault_plan_->LossProbability(now);
+    if (burst > 0.0) p = 1.0 - (1.0 - p) * (1.0 - burst);
+  }
+  return p;
 }
 
 void Network::Send(net::NodeIndex from, net::NodeIndex to,
@@ -28,14 +43,28 @@ void Network::Send(net::NodeIndex from, net::NodeIndex to,
   DIACA_CHECK(to >= 0 && to < latencies_.size());
   ++messages_sent_;
   bytes_sent_ += bytes;
-  if (from != to && loss_probability_ > 0.0 &&
-      rng_.NextBernoulli(loss_probability_)) {
+  const double now = simulator_.Now();
+  const double loss = LossProbabilityNow(now);
+  if (from != to && loss > 0.0 && rng_.NextBernoulli(loss)) {
     ++messages_lost_;
+    DIACA_OBS_COUNT("sim.net.dropped", 1);
     return;
   }
-  const double latency = jitter_ != nullptr && from != to
-                             ? jitter_->Sample(from, to, rng_)
-                             : latencies_(from, to);
+  double latency = jitter_ != nullptr && from != to
+                       ? jitter_->Sample(from, to, rng_)
+                       : latencies_(from, to);
+  if (fault_plan_ != nullptr) {
+    latency *= fault_plan_->LatencyMultiplier(from, to, now);
+    if (fault_plan_->Cut(from, to, now, now + latency)) {
+      ++messages_lost_;
+      ++messages_cut_;
+      DIACA_OBS_COUNT("sim.net.dropped", 1);
+      DIACA_OBS_COUNT("fault.net.cut", 1);
+      return;
+    }
+  }
+  bytes_delivered_ += bytes;
+  DIACA_OBS_COUNT("sim.net.bytes", bytes);
   simulator_.After(latency, std::move(on_delivery));
 }
 
@@ -45,20 +74,48 @@ void Network::SendReliable(net::NodeIndex from, net::NodeIndex to,
   DIACA_CHECK(from >= 0 && from < latencies_.size());
   DIACA_CHECK(to >= 0 && to < latencies_.size());
   DIACA_CHECK_MSG(rto_ms > 0.0, "retransmission timeout must be positive");
+  DIACA_CHECK_MSG(loss_probability_ < 1.0 || from == to,
+                  "SendReliable cannot make progress with loss probability 1");
   ++messages_sent_;
   bytes_sent_ += bytes;
-  if (from != to && loss_probability_ > 0.0 &&
-      rng_.NextBernoulli(loss_probability_)) {
+  const double now = simulator_.Now();
+  const double loss = LossProbabilityNow(now);
+  if (from != to && loss > 0.0 && rng_.NextBernoulli(loss)) {
     ++messages_lost_;
+    DIACA_OBS_COUNT("sim.net.dropped", 1);
     simulator_.After(rto_ms, [this, from, to, bytes, rto_ms,
                               on_delivery = std::move(on_delivery)]() mutable {
       SendReliable(from, to, std::move(on_delivery), bytes, rto_ms);
     });
     return;
   }
-  const double latency = jitter_ != nullptr && from != to
-                             ? jitter_->Sample(from, to, rng_)
-                             : latencies_(from, to);
+  double latency = jitter_ != nullptr && from != to
+                       ? jitter_->Sample(from, to, rng_)
+                       : latencies_(from, to);
+  if (fault_plan_ != nullptr) {
+    latency *= fault_plan_->LatencyMultiplier(from, to, now);
+    if (fault_plan_->Cut(from, to, now, now + latency)) {
+      ++messages_lost_;
+      ++messages_cut_;
+      DIACA_OBS_COUNT("sim.net.dropped", 1);
+      DIACA_OBS_COUNT("fault.net.cut", 1);
+      // Ride out transient windows; stop retransmitting only once an
+      // endpoint can never come back.
+      if (fault_plan_->NodeUpEver(from, now + rto_ms) &&
+          fault_plan_->NodeUpEver(to, now + rto_ms)) {
+        simulator_.After(
+            rto_ms, [this, from, to, bytes, rto_ms,
+                     on_delivery = std::move(on_delivery)]() mutable {
+              SendReliable(from, to, std::move(on_delivery), bytes, rto_ms);
+            });
+      } else {
+        DIACA_OBS_COUNT("fault.net.abandoned", 1);
+      }
+      return;
+    }
+  }
+  bytes_delivered_ += bytes;
+  DIACA_OBS_COUNT("sim.net.bytes", bytes);
   simulator_.After(latency, std::move(on_delivery));
 }
 

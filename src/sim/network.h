@@ -4,6 +4,12 @@
 // JitterModel attached, per-message latencies are sampled from it instead
 // of the base matrix. Message and byte counters support protocol-overhead
 // accounting (e.g. the Distributed-Greedy protocol bench).
+//
+// AttachFaultPlan injects deterministic adversity (sim/faults.h): crashed
+// or partitioned endpoints sever messages, spike windows multiply
+// latencies, and loss bursts add drop probability on top of any base loss.
+// Without a plan attached the code path and RNG draw sequence are
+// bit-identical to the fault-free network.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +18,7 @@
 #include "common/rng.h"
 #include "net/jitter.h"
 #include "net/latency_matrix.h"
+#include "sim/faults.h"
 #include "sim/simulator.h"
 
 namespace diaca::sim {
@@ -28,8 +35,16 @@ class Network {
 
   /// Enable lossy transport: each non-local message is independently
   /// dropped with the given probability (failure injection for the DIA
-  /// checkers). Off by default.
+  /// checkers). Off by default. Accepts the full [0, 1] range; p = 1 is a
+  /// total outage (SendReliable refuses it — it could never deliver).
   void SetLossProbability(double probability);
+
+  /// Subject every message to the plan's faults (crashes, partitions,
+  /// spikes, loss bursts), evaluated at the simulator clock. The plan must
+  /// outlive the network; nullptr detaches. Node indices in the plan must
+  /// fit this network's matrix.
+  void AttachFaultPlan(const FaultPlan* plan);
+  const FaultPlan* fault_plan() const { return fault_plan_; }
 
   /// Deliver `on_delivery` after the (possibly sampled) network latency
   /// from node `from` to node `to`. Local delivery (from == to) has zero
@@ -41,7 +56,9 @@ class Network {
   /// Reliable send: on loss, retransmit after `rto_ms` until delivered —
   /// an ack/retransmission channel modelled without simulating the acks
   /// (each attempt counts in the traffic statistics). With loss disabled
-  /// this is exactly Send().
+  /// this is exactly Send(). Retransmission stops (the message is lost for
+  /// good) only when the fault plan says an endpoint is permanently down —
+  /// transient crash, partition, and burst windows are ridden out.
   void SendReliable(net::NodeIndex from, net::NodeIndex to,
                     std::function<void()> on_delivery, std::uint64_t bytes,
                     double rto_ms);
@@ -51,17 +68,28 @@ class Network {
 
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t bytes_sent() const { return bytes_sent_; }
+  /// All drops: random loss plus fault severances.
   std::uint64_t messages_lost() const { return messages_lost_; }
+  /// Drops caused by the fault plan cutting an endpoint (crash/partition).
+  std::uint64_t messages_cut_by_faults() const { return messages_cut_; }
+  /// Bytes of messages actually handed to the event queue for delivery.
+  std::uint64_t bytes_delivered() const { return bytes_delivered_; }
 
  private:
+  /// Drop probability for one message at `now` (base loss + burst loss).
+  double LossProbabilityNow(double now) const;
+
   Simulator& simulator_;
   const net::LatencyMatrix& latencies_;
   const net::JitterModel* jitter_ = nullptr;
+  const FaultPlan* fault_plan_ = nullptr;
   Rng rng_;
   double loss_probability_ = 0.0;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_lost_ = 0;
+  std::uint64_t messages_cut_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
 };
 
 }  // namespace diaca::sim

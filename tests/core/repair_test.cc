@@ -1,0 +1,195 @@
+// RepairAssign: orphans of failed servers are re-homed onto survivors,
+// capacity stays feasible, budget 0 never moves an unaffected client, and
+// the result is never worse than the nearest-survivor patch.
+#include "core/repair.h"
+
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/greedy.h"
+#include "core/metrics.h"
+#include "core/nearest_server.h"
+#include "core/solver_registry.h"
+#include "../testutil.h"
+
+namespace diaca::core {
+namespace {
+
+// The naive failover baseline: every orphan jumps to its nearest
+// surviving server, nobody else moves.
+Assignment NearestSurvivorPatch(const Problem& p, const Assignment& current,
+                                const std::vector<ServerIndex>& failed) {
+  std::vector<char> down(static_cast<std::size_t>(p.num_servers()), 0);
+  for (const ServerIndex s : failed) down[static_cast<std::size_t>(s)] = 1;
+  Assignment out = current;
+  for (ClientIndex c = 0; c < p.num_clients(); ++c) {
+    if (down[static_cast<std::size_t>(current[c])] == 0) continue;
+    ServerIndex best = kUnassigned;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (ServerIndex s = 0; s < p.num_servers(); ++s) {
+      if (down[static_cast<std::size_t>(s)] != 0) continue;
+      if (p.cs(c, s) < best_d) {
+        best_d = p.cs(c, s);
+        best = s;
+      }
+    }
+    out[c] = best;
+  }
+  return out;
+}
+
+TEST(RepairTest, ReassignsEveryOrphanOntoSurvivors) {
+  Rng rng(31);
+  const Problem p = test::RandomProblem(30, 5, rng);
+  const Assignment before = GreedyAssign(p);
+  RepairOptions options;
+  options.failed = {1, 3};
+  const RepairResult result = RepairAssign(p, before, options);
+  ASSERT_TRUE(result.assignment.IsComplete());
+  std::int32_t expected_orphans = 0;
+  for (ClientIndex c = 0; c < p.num_clients(); ++c) {
+    EXPECT_NE(result.assignment[c], 1);
+    EXPECT_NE(result.assignment[c], 3);
+    if (before[c] == 1 || before[c] == 3) ++expected_orphans;
+  }
+  EXPECT_EQ(result.repair.orphans, expected_orphans);
+  EXPECT_GT(expected_orphans, 0);
+  EXPECT_DOUBLE_EQ(result.stats.max_len,
+                   MaxInteractionPathLength(p, result.assignment));
+}
+
+TEST(RepairTest, BudgetZeroOnlyMovesOrphans) {
+  Rng rng(37);
+  const Problem p = test::RandomProblem(40, 6, rng);
+  const Assignment before = GreedyAssign(p);
+  RepairOptions options;
+  options.failed = {2};
+  const RepairResult result = RepairAssign(p, before, options);
+  EXPECT_EQ(result.repair.migrations, 0);
+  for (ClientIndex c = 0; c < p.num_clients(); ++c) {
+    if (before[c] != 2) {
+      EXPECT_EQ(result.assignment[c], before[c]) << "client " << c;
+    }
+  }
+}
+
+TEST(RepairTest, NeverWorseThanNearestSurvivorPatch) {
+  for (std::uint64_t seed : {41u, 43u, 47u, 53u}) {
+    Rng rng(seed);
+    const Problem p = test::RandomProblem(35, 5, rng);
+    const Assignment before = GreedyAssign(p);
+    RepairOptions options;
+    options.failed = {0};
+    const RepairResult repaired = RepairAssign(p, before, options);
+    const Assignment naive = NearestSurvivorPatch(p, before, options.failed);
+    EXPECT_LE(repaired.stats.max_len,
+              MaxInteractionPathLength(p, naive) + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(RepairTest, MigrationBudgetNeverHurts) {
+  Rng rng(59);
+  const Problem p = test::RandomProblem(40, 6, rng);
+  const Assignment before = GreedyAssign(p);
+  double previous = std::numeric_limits<double>::infinity();
+  for (std::int32_t budget : {0, 2, 8}) {
+    RepairOptions options;
+    options.failed = {1};
+    options.migration_budget = budget;
+    const RepairResult result = RepairAssign(p, before, options);
+    EXPECT_LE(result.stats.max_len, previous + 1e-9) << "budget " << budget;
+    EXPECT_LE(result.repair.migrations, budget);
+    previous = result.stats.max_len;
+  }
+}
+
+TEST(RepairTest, RespectsCapacities) {
+  Rng rng(61);
+  const Problem p = test::RandomProblem(24, 4, rng);  // 24 clients
+  RepairOptions assign_caps;
+  assign_caps.assign.capacity = 8;
+  const Assignment before = GreedyAssign(p, assign_caps.assign);
+  RepairOptions options;
+  options.assign.capacity = 8;  // 3 survivors x 8 = 24: exactly tight
+  options.failed = {3};
+  options.migration_budget = 4;
+  const RepairResult result = RepairAssign(p, before, options);
+  EXPECT_LE(MaxServerLoad(p, result.assignment), 8);
+  for (ClientIndex c = 0; c < p.num_clients(); ++c) {
+    EXPECT_NE(result.assignment[c], 3);
+  }
+}
+
+TEST(RepairTest, ThrowsWhenSurvivorsCannotHoldEveryone) {
+  Rng rng(67);
+  const Problem p = test::RandomProblem(24, 4, rng);
+  RepairOptions caps;
+  caps.assign.capacity = 8;
+  const Assignment before = GreedyAssign(p, caps.assign);
+  RepairOptions options;
+  options.assign.capacity = 8;
+  options.failed = {2, 3};  // 2 survivors x 8 = 16 < 24 clients
+  EXPECT_THROW(RepairAssign(p, before, options), Error);
+}
+
+TEST(RepairTest, ValidatesInputs) {
+  Rng rng(71);
+  const Problem p = test::RandomProblem(12, 3, rng);
+  const Assignment before = GreedyAssign(p);
+  RepairOptions out_of_range;
+  out_of_range.failed = {5};
+  EXPECT_THROW(RepairAssign(p, before, out_of_range), Error);
+  RepairOptions duplicated;
+  duplicated.failed = {1, 1};
+  EXPECT_THROW(RepairAssign(p, before, duplicated), Error);
+  RepairOptions all_down;
+  all_down.failed = {0, 1, 2};
+  EXPECT_THROW(RepairAssign(p, before, all_down), Error);
+  Assignment incomplete(p.num_clients());
+  RepairOptions options;
+  options.failed = {0};
+  EXPECT_THROW(RepairAssign(p, incomplete, options), Error);
+}
+
+TEST(RepairTest, NoFailuresIsIdentity) {
+  Rng rng(73);
+  const Problem p = test::RandomProblem(15, 3, rng);
+  const Assignment before = GreedyAssign(p);
+  const RepairResult result = RepairAssign(p, before, {});
+  EXPECT_EQ(result.assignment, before);
+  EXPECT_EQ(result.repair.orphans, 0);
+}
+
+TEST(RepairTest, DeterministicAcrossRuns) {
+  Rng rng(79);
+  const Problem p = test::RandomProblem(50, 7, rng);
+  const Assignment before = GreedyAssign(p);
+  RepairOptions options;
+  options.failed = {0, 4};
+  options.migration_budget = 3;
+  const RepairResult a = RepairAssign(p, before, options);
+  const RepairResult b = RepairAssign(p, before, options);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.repair.evaluations, b.repair.evaluations);
+}
+
+TEST(RepairTest, RegistryRequiresInitialAndFailedSet) {
+  Rng rng(83);
+  const Problem p = test::RandomProblem(12, 3, rng);
+  EXPECT_THROW(Solve("repair", p), Error);  // no initial assignment
+  const Assignment before = GreedyAssign(p);
+  SolveOptions options;
+  options.initial = &before;
+  options.failed_servers = {0};
+  const SolveResult via_registry = Solve("repair", p, options);
+  RepairOptions direct;
+  direct.failed = {0};
+  EXPECT_EQ(via_registry.assignment, RepairAssign(p, before, direct).assignment);
+}
+
+}  // namespace
+}  // namespace diaca::core

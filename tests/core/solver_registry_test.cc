@@ -22,11 +22,12 @@ namespace {
 
 TEST(SolverRegistryTest, KnowsTheBuiltins) {
   const SolverRegistry& registry = SolverRegistry::Default();
-  for (const char* name : {"nearest", "lfb", "greedy", "dg", "single", "exact"}) {
+  for (const char* name :
+       {"nearest", "lfb", "greedy", "dg", "single", "exact", "repair"}) {
     EXPECT_TRUE(registry.Has(name)) << name;
   }
   EXPECT_FALSE(registry.Has("annealing"));
-  EXPECT_EQ(registry.NamesJoined(), "dg|exact|greedy|lfb|nearest|single");
+  EXPECT_EQ(registry.NamesJoined(), "dg|exact|greedy|lfb|nearest|repair|single");
 }
 
 TEST(SolverRegistryTest, UnknownNameListsValidSet) {
@@ -38,7 +39,7 @@ TEST(SolverRegistryTest, UnknownNameListsValidSet) {
   } catch (const Error& e) {
     const std::string message = e.what();
     EXPECT_NE(message.find("gredy"), std::string::npos) << message;
-    EXPECT_NE(message.find("dg|exact|greedy|lfb|nearest|single"),
+    EXPECT_NE(message.find("dg|exact|greedy|lfb|nearest|repair|single"),
               std::string::npos)
         << message;
   }
@@ -69,9 +70,15 @@ TEST(SolverRegistryTest, ExactMatchesDirectCall) {
 TEST(SolverRegistryTest, MaxLenMatchesCanonicalMetric) {
   Rng rng(11);
   const Problem p = test::RandomProblem(25, 5, rng);
+  const Assignment base = GreedyAssign(p);
   for (const std::string& name : SolverRegistry::Default().Names()) {
     if (name == "exact") continue;  // covered above; slow on 25 clients
-    const SolveResult result = Solve(name, p);
+    SolveOptions options;
+    if (name == "repair") {  // needs a pre-failure assignment to repair
+      options.initial = &base;
+      options.failed_servers = {0};
+    }
+    const SolveResult result = Solve(name, p, options);
     EXPECT_DOUBLE_EQ(result.stats.max_len,
                      MaxInteractionPathLength(p, result.assignment))
         << name;

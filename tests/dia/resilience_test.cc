@@ -1,0 +1,257 @@
+// Fault-tolerant dynamic sessions: failover strategies, the degradation
+// timeline, fault-plan-driven crashes with recovery, and the churn+crash
+// edge cases (leave at the failure instant; snapshot source crashing
+// mid-transfer). Everything must converge, terminate, and be
+// bit-deterministic across thread counts.
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "dia/dynamic_session.h"
+#include "sim/faults.h"
+#include "../testutil.h"
+
+namespace diaca::dia {
+namespace {
+
+struct Fixture {
+  net::LatencyMatrix matrix;
+  core::Problem problem;
+
+  explicit Fixture(std::uint64_t seed, std::int32_t nodes = 15,
+                   std::int32_t servers = 3)
+      : matrix(Make(seed, nodes)), problem(MakeProblem(matrix, servers)) {}
+
+  static net::LatencyMatrix Make(std::uint64_t seed, std::int32_t nodes) {
+    Rng rng(seed);
+    return test::RandomMatrix(nodes, rng, 5.0, 60.0);
+  }
+  static core::Problem MakeProblem(const net::LatencyMatrix& m,
+                                   std::int32_t servers) {
+    std::vector<net::NodeIndex> server_nodes(
+        static_cast<std::size_t>(servers));
+    std::iota(server_nodes.begin(), server_nodes.end(), 0);
+    return core::Problem::WithClientsEverywhere(m, server_nodes);
+  }
+
+  std::vector<core::ClientIndex> AllClients() const {
+    std::vector<core::ClientIndex> all(
+        static_cast<std::size_t>(problem.num_clients()));
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+
+  DynamicSessionParams Params() const {
+    DynamicSessionParams params;
+    params.workload.duration_ms = 4000.0;
+    params.workload.ops_per_second = 1.5;
+    params.seed = 23;
+    return params;
+  }
+};
+
+// Every deterministic field of a report, for bitwise comparisons.
+// solve_wall_ms is wall-clock and deliberately excluded.
+std::string Fingerprint(const DynamicSessionReport& r) {
+  std::ostringstream out;
+  out.precision(17);
+  out << r.epochs << '|' << r.ops_issued << '|' << r.interaction_time.count()
+      << '|' << r.interaction_time.mean() << '|' << r.messages_sent << '|'
+      << r.duplicate_deliveries << '|' << r.snapshot_ops_transferred << '|'
+      << r.ops_lost << '|' << r.snapshot_retries << '|' << r.messages_cut
+      << '|' << r.min_intact_fraction << '|' << r.final_states_converged;
+  for (const FailoverRecord& f : r.failovers) {
+    out << "|F" << f.at_ms << ',' << f.server << ',' << f.orphans << ','
+        << f.moved_unaffected << ',' << f.delta_before << ',' << f.delta_after
+        << ',' << f.time_to_restore_ms << ',' << f.interaction_inflation;
+  }
+  for (const DegradationSample& d : r.degradation) {
+    out << "|D" << d.at_ms << ',' << d.intact_fraction;
+  }
+  return out.str();
+}
+
+TEST(ResilienceTest, StrategyNamesRoundTrip) {
+  EXPECT_EQ(ParseFailoverStrategy("repair"), FailoverStrategy::kRepair);
+  EXPECT_EQ(ParseFailoverStrategy("resolve"), FailoverStrategy::kFullResolve);
+  EXPECT_EQ(ParseFailoverStrategy("nearest"), FailoverStrategy::kNearest);
+  EXPECT_THROW(ParseFailoverStrategy("panic"), Error);
+  EXPECT_STREQ(FailoverStrategyName(FailoverStrategy::kRepair), "repair");
+}
+
+TEST(ResilienceTest, EveryStrategyConvergesAndRecordsTheFailover) {
+  const Fixture f(11, /*nodes=*/18, /*servers=*/3);
+  for (const FailoverStrategy strategy :
+       {FailoverStrategy::kRepair, FailoverStrategy::kFullResolve,
+        FailoverStrategy::kNearest}) {
+    DynamicSessionParams params = f.Params();
+    params.failover = strategy;
+    std::vector<ServerFailure> failures{{1800.0, 1}};
+    const DynamicDiaSession session(f.matrix, f.problem, f.AllClients(), {},
+                                    params, failures);
+    const DynamicSessionReport report = session.Run();
+    EXPECT_TRUE(report.final_states_converged)
+        << FailoverStrategyName(strategy);
+    ASSERT_EQ(report.failovers.size(), 1u) << FailoverStrategyName(strategy);
+    const FailoverRecord& record = report.failovers[0];
+    EXPECT_DOUBLE_EQ(record.at_ms, 1800.0);
+    EXPECT_EQ(record.server, 1);
+    ASSERT_GT(record.orphans, 0);  // clients everywhere: 1 hosted someone
+    if (strategy != FailoverStrategy::kFullResolve) {
+      // Repair at budget 0 and nearest only ever move the orphans.
+      EXPECT_EQ(record.moved_unaffected, 0)
+          << FailoverStrategyName(strategy);
+    }
+    // Orphans had to resync, so restoration took simulated time.
+    EXPECT_GT(record.time_to_restore_ms, 0.0)
+        << FailoverStrategyName(strategy);
+    EXPECT_GT(record.delta_after, 0.0);
+    EXPECT_FALSE(report.degradation.empty());
+    // The crash knocked paths out until the resync finished.
+    EXPECT_LT(report.min_intact_fraction, 1.0)
+        << FailoverStrategyName(strategy);
+    EXPECT_EQ(report.ops_lost, 0u);  // explicit failures sever no carriers
+  }
+}
+
+TEST(ResilienceTest, PlanCrashWindowBecomesFailureAndRecoveryEpochs) {
+  const Fixture f(13, /*nodes=*/16, /*servers=*/3);
+  sim::FaultPlan plan;
+  plan.Crash(/*node=*/2, /*start=*/1500.0, /*end=*/2600.0);
+  DynamicSessionParams params = f.Params();
+  params.faults = &plan;
+  const DynamicDiaSession session(f.matrix, f.problem, f.AllClients(), {},
+                                  params);
+  const DynamicSessionReport report = session.Run();
+  EXPECT_EQ(report.epochs, 3);  // initial, crash, recovery
+  EXPECT_TRUE(report.final_states_converged);
+  ASSERT_EQ(report.failovers.size(), 1u);
+  EXPECT_EQ(report.failovers[0].server, 2);
+  EXPECT_LT(report.min_intact_fraction, 1.0);
+}
+
+TEST(ResilienceTest, PlanCrashOfNonServerNodeIsRejected) {
+  const Fixture f(14, /*nodes=*/12, /*servers=*/3);
+  sim::FaultPlan plan;
+  plan.Crash(/*node=*/7, 1000.0);  // node 7 hosts only a client
+  DynamicSessionParams params = f.Params();
+  params.faults = &plan;
+  EXPECT_THROW(
+      DynamicDiaSession(f.matrix, f.problem, f.AllClients(), {}, params),
+      Error);
+}
+
+TEST(ResilienceTest, PartitionDegradesIntactFractionWithoutKillingAnyone) {
+  const Fixture f(15, /*nodes=*/12, /*servers=*/3);
+  sim::FaultPlan plan;
+  // Sever client node 7 from every possible home for a whole second.
+  plan.Partition(1000.0, 2000.0, 7, 0);
+  plan.Partition(1000.0, 2000.0, 7, 1);
+  plan.Partition(1000.0, 2000.0, 7, 2);
+  DynamicSessionParams params = f.Params();
+  params.faults = &plan;
+  const DynamicDiaSession session(f.matrix, f.problem, f.AllClients(), {},
+                                  params);
+  const DynamicSessionReport report = session.Run();
+  EXPECT_EQ(report.epochs, 1);  // nobody died: no failover epochs
+  EXPECT_TRUE(report.failovers.empty());
+  EXPECT_TRUE(report.final_states_converged);  // reliable sends ride it out
+  EXPECT_LT(report.min_intact_fraction, 1.0);
+  EXPECT_GT(report.messages_cut, 0u);
+}
+
+TEST(ResilienceTest, LeaveAtTheInstantItsHomeFails) {
+  // Half the members leave at exactly the failure time — whichever of
+  // them was hosted by the dying server exercises the leave+orphan
+  // overlap. No deadlock, no divergence.
+  const Fixture f(16, /*nodes=*/14, /*servers=*/3);
+  std::vector<MembershipEvent> events;
+  for (core::ClientIndex c = 3; c < 10; ++c) {
+    events.push_back({2000.0, c, MembershipKind::kLeave});
+  }
+  std::vector<ServerFailure> failures{{2000.0, 0}};
+  const DynamicDiaSession session(f.matrix, f.problem, f.AllClients(), events,
+                                  f.Params(), failures);
+  const DynamicSessionReport report = session.Run();
+  EXPECT_TRUE(report.final_states_converged);
+  EXPECT_EQ(report.ops_lost, 0u);
+  ASSERT_EQ(report.failovers.size(), 1u);
+}
+
+TEST(ResilienceTest, SnapshotSourceCrashingMidTransferRetriesElsewhere) {
+  // A client joins and, before its bootstrap snapshot can arrive, every
+  // plausible source crashes transiently. The join must neither deadlock
+  // nor lose acknowledged operations: the retry watchdog re-pulls until a
+  // live (or recovered) server answers.
+  const Fixture f(17, /*nodes=*/14, /*servers=*/3);
+  auto members = f.AllClients();
+  const core::ClientIndex joiner = members.back();
+  members.pop_back();
+  std::vector<MembershipEvent> events{{1000.0, joiner}};
+  for (const net::NodeIndex victim : {0, 1, 2}) {
+    sim::FaultPlan plan;
+    // Crash 2 ms after the join: the snapshot request (min latency 5 ms)
+    // is still in flight, so the reply is swallowed by the alive check.
+    plan.Crash(victim, 1002.0, 1900.0);
+    DynamicSessionParams params = f.Params();
+    params.faults = &plan;
+    const DynamicDiaSession session(f.matrix, f.problem, members, events,
+                                    params);
+    const DynamicSessionReport report = session.Run();
+    EXPECT_TRUE(report.final_states_converged) << "victim " << victim;
+    EXPECT_EQ(report.ops_lost, 0u) << "victim " << victim;
+  }
+}
+
+TEST(ResilienceTest, FaultSessionsAreDeterministicAcrossThreadCounts) {
+  const Fixture f(19, /*nodes=*/16, /*servers=*/4);
+  sim::FaultPlan plan;
+  plan.Crash(/*node=*/1, 1400.0);
+  plan.Spike(500.0, 1200.0, 2.0);
+  plan.LossBurst(2000.0, 2400.0, 0.2);
+  const auto run = [&] {
+    DynamicSessionParams params = f.Params();
+    params.faults = &plan;
+    params.repair_migration_budget = 2;
+    const DynamicDiaSession session(f.matrix, f.problem, f.AllClients(), {},
+                                    params);
+    return Fingerprint(session.Run());
+  };
+  const int saved = GlobalThreads();
+  SetGlobalThreads(1);
+  const std::string single = run();
+  SetGlobalThreads(4);
+  const std::string pooled = run();
+  SetGlobalThreads(saved);
+  EXPECT_EQ(single, pooled);
+  EXPECT_EQ(single, run());  // and across repeated runs
+}
+
+TEST(ResilienceTest, RepairSessionMatchesItselfAndBeatsNearestOnQuality) {
+  // Not a strict theorem, but on this instance the repair epoch's δ must
+  // be no worse than the nearest-survivor epoch's δ: repair starts from
+  // the nearest-survivor seed and only improves the objective.
+  const Fixture f(21, /*nodes=*/20, /*servers=*/4);
+  const auto delta_after = [&](FailoverStrategy strategy) {
+    DynamicSessionParams params = f.Params();
+    params.failover = strategy;
+    std::vector<ServerFailure> failures{{1800.0, 2}};
+    const DynamicDiaSession session(f.matrix, f.problem, f.AllClients(), {},
+                                    params, failures);
+    const DynamicSessionReport report = session.Run();
+    EXPECT_TRUE(report.final_states_converged);
+    EXPECT_EQ(report.failovers.size(), 1u);
+    return report.failovers.empty() ? 0.0
+                                    : report.failovers[0].delta_after;
+  };
+  EXPECT_LE(delta_after(FailoverStrategy::kRepair),
+            delta_after(FailoverStrategy::kNearest) + 1e-9);
+}
+
+}  // namespace
+}  // namespace diaca::dia

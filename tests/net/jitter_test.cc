@@ -96,6 +96,25 @@ TEST(JitterTest, RejectsInvalidParams) {
   EXPECT_THROW(JitterModel(SmallBase(), {.spread = 0.1, .sigma = 0.0}), Error);
 }
 
+TEST(JitterTest, SamplesAreNeverNegative) {
+  // Property: whatever the spread/sigma and however extreme the draw, a
+  // sampled latency is a physical delay — clamped at zero.
+  for (const double spread : {0.1, 1.0, 10.0}) {
+    for (const double sigma : {0.5, 2.0, 5.0}) {
+      JitterModel model(SmallBase(), {.spread = spread, .sigma = sigma});
+      Rng rng(static_cast<std::uint64_t>(spread * 100 + sigma * 10));
+      for (int i = 0; i < 5000; ++i) {
+        for (NodeIndex u = 0; u < 3; ++u) {
+          for (NodeIndex v = 0; v < 3; ++v) {
+            ASSERT_GE(model.Sample(u, v, rng), 0.0)
+                << "spread " << spread << " sigma " << sigma;
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(JitterTest, SelfLatencyStaysZero) {
   JitterModel model(SmallBase(), {.spread = 0.3, .sigma = 0.8});
   Rng rng(7);

@@ -1,0 +1,315 @@
+// FaultPlan semantics, the --faults spec grammar, and fault injection on
+// the simulated network: the same plan must hit the same messages on every
+// run, and reliable sends must ride out transient windows.
+#include "sim/faults.h"
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/flags.h"
+#include "net/latency_matrix.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+#include "../testutil.h"
+
+namespace diaca::sim {
+namespace {
+
+net::LatencyMatrix ThreeNodes() {
+  net::LatencyMatrix m(3);
+  m.Set(0, 1, 10.0);
+  m.Set(0, 2, 25.0);
+  m.Set(1, 2, 40.0);
+  return m;
+}
+
+TEST(FaultPlanTest, CrashWindowIsHalfOpen) {
+  FaultPlan plan;
+  plan.Crash(1, 100.0, 200.0);
+  EXPECT_TRUE(plan.NodeUp(1, 99.9));
+  EXPECT_FALSE(plan.NodeUp(1, 100.0));  // down at the instant of the crash
+  EXPECT_FALSE(plan.NodeUp(1, 199.9));
+  EXPECT_TRUE(plan.NodeUp(1, 200.0));  // up again at the recovery instant
+  EXPECT_TRUE(plan.NodeUp(0, 150.0));  // other nodes unaffected
+}
+
+TEST(FaultPlanTest, PermanentCrashNeverRecovers) {
+  FaultPlan plan;
+  plan.Crash(2, 50.0);
+  EXPECT_FALSE(plan.NodeUp(2, 1e12));
+  EXPECT_TRUE(plan.NodeUpEver(2, 49.0));   // not yet struck
+  EXPECT_FALSE(plan.NodeUpEver(2, 50.0));  // in the grave forever
+  FaultPlan transient;
+  transient.Crash(2, 50.0, 60.0);
+  EXPECT_TRUE(transient.NodeUpEver(2, 55.0));  // will come back
+}
+
+TEST(FaultPlanTest, SpikesCompoundMultiplicatively) {
+  FaultPlan plan;
+  plan.Spike(0.0, 100.0, 2.0);
+  plan.Spike(50.0, 100.0, 3.0, 1);
+  EXPECT_DOUBLE_EQ(plan.LatencyMultiplier(0, 2, 25.0), 2.0);
+  EXPECT_DOUBLE_EQ(plan.LatencyMultiplier(0, 1, 75.0), 6.0);  // both active
+  EXPECT_DOUBLE_EQ(plan.LatencyMultiplier(0, 2, 75.0), 2.0);  // 1 not on path
+  EXPECT_DOUBLE_EQ(plan.LatencyMultiplier(0, 1, 100.0), 1.0);  // expired
+}
+
+TEST(FaultPlanTest, LossWindowsCombineAsIndependentDrops) {
+  FaultPlan plan;
+  plan.LossBurst(0.0, 100.0, 0.5);
+  plan.LossBurst(50.0, 100.0, 0.5);
+  EXPECT_DOUBLE_EQ(plan.LossProbability(25.0), 0.5);
+  EXPECT_DOUBLE_EQ(plan.LossProbability(75.0), 0.75);  // 1 - 0.5 * 0.5
+  EXPECT_DOUBLE_EQ(plan.LossProbability(100.0), 0.0);
+}
+
+TEST(FaultPlanTest, PartitionIsSymmetricAndWindowed) {
+  FaultPlan plan;
+  plan.Partition(10.0, 20.0, 0, 2);
+  EXPECT_TRUE(plan.Partitioned(0, 2, 15.0));
+  EXPECT_TRUE(plan.Partitioned(2, 0, 15.0));
+  EXPECT_FALSE(plan.Partitioned(0, 1, 15.0));
+  EXPECT_FALSE(plan.Partitioned(0, 2, 20.0));
+}
+
+TEST(FaultPlanTest, CutChecksSendAndArrivalEndpoints) {
+  FaultPlan plan;
+  plan.Crash(1, 100.0, 200.0);
+  // Receiver down at arrival even though up at send: cut.
+  EXPECT_TRUE(plan.Cut(0, 1, 95.0, 105.0));
+  // Arrives after the recovery: delivered.
+  EXPECT_FALSE(plan.Cut(0, 1, 195.0, 205.0));
+  // Sender down at send: cut.
+  EXPECT_TRUE(plan.Cut(1, 0, 150.0, 160.0));
+}
+
+TEST(FaultPlanTest, BuilderRejectsBadWindows) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.Crash(-1, 10.0), Error);
+  EXPECT_THROW(plan.Crash(0, 10.0, 5.0), Error);
+  EXPECT_THROW(plan.Spike(10.0, 5.0, 2.0), Error);
+  EXPECT_THROW(plan.Spike(0.0, FaultPlan::kNever, 2.0), Error);
+  EXPECT_THROW(plan.LossBurst(0.0, 10.0, 1.5), Error);
+  EXPECT_THROW(plan.Partition(0.0, 10.0, 1, 1), Error);
+}
+
+TEST(FaultPlanTest, ValidateNodesCatchesOutOfRange) {
+  FaultPlan plan;
+  plan.Crash(7, 10.0);
+  EXPECT_THROW(plan.ValidateNodes(3), Error);
+  FaultPlan ok;
+  ok.Crash(2, 10.0).Spike(0.0, 5.0, 2.0).Partition(0.0, 5.0, 0, 1);
+  EXPECT_NO_THROW(ok.ValidateNodes(3));
+}
+
+// --- spec grammar ----------------------------------------------------------
+
+TEST(FaultSpecTest, ParsesEveryKind) {
+  const FaultPlan plan = ParseFaultSpec(
+      "crash@2000:n3; crash@100-900:n1; spike@1000-2500:x4; "
+      "spike@50-60:x2:n0; loss@500-900:p0.25; part@100-300:n4,n7");
+  ASSERT_EQ(plan.crashes().size(), 2u);
+  EXPECT_EQ(plan.crashes()[0].node, 3);
+  EXPECT_DOUBLE_EQ(plan.crashes()[0].start_ms, 2000.0);
+  EXPECT_TRUE(std::isinf(plan.crashes()[0].end_ms));
+  EXPECT_DOUBLE_EQ(plan.crashes()[1].end_ms, 900.0);
+  ASSERT_EQ(plan.spikes().size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.spikes()[0].multiplier, 4.0);
+  EXPECT_EQ(plan.spikes()[0].node, FaultPlan::kAllNodes);
+  EXPECT_EQ(plan.spikes()[1].node, 0);
+  ASSERT_EQ(plan.losses().size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.losses()[0].probability, 0.25);
+  ASSERT_EQ(plan.partitions().size(), 1u);
+  EXPECT_EQ(plan.partitions()[0].a, 4);
+  EXPECT_EQ(plan.partitions()[0].b, 7);
+}
+
+TEST(FaultSpecTest, EmptySpecIsEmptyPlan) {
+  EXPECT_TRUE(ParseFaultSpec("").empty());
+  EXPECT_TRUE(ParseFaultSpec(" ; ; ").empty());
+}
+
+TEST(FaultSpecTest, MalformedItemsNameTheItem) {
+  for (const char* bad :
+       {"crash", "crash@", "crash@abc:n1", "crash@100:x1", "crash@100:n-2",
+        "spike@100-50:x2", "spike@1-2:p3", "loss@1-2:x0.5", "loss@1-2:p1.5",
+        "part@1-2:n1", "part@1-2:n1,n1", "boom@1-2:n1", "crash@100:n1:n2"}) {
+    try {
+      ParseFaultSpec(bad);
+      FAIL() << "expected Error for '" << bad << "'";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find("bad --faults item"),
+                std::string::npos)
+          << bad << " -> " << e.what();
+    }
+  }
+}
+
+TEST(FaultSpecTest, GlobalPlanFollowsTheFlagStore) {
+  SetGlobalFaultSpec("");
+  EXPECT_EQ(GlobalFaultPlan(), nullptr);
+  SetGlobalFaultSpec("crash@100:n1");
+  const FaultPlan* plan = GlobalFaultPlan();
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->crashes().size(), 1u);
+  SetGlobalFaultSpec("loss@1-2:p0.5");
+  const FaultPlan* updated = GlobalFaultPlan();
+  ASSERT_NE(updated, nullptr);
+  EXPECT_TRUE(updated->crashes().empty());
+  EXPECT_EQ(updated->losses().size(), 1u);
+  SetGlobalFaultSpec("");
+  EXPECT_EQ(GlobalFaultPlan(), nullptr);
+}
+
+// --- random scenarios ------------------------------------------------------
+
+TEST(RandomFaultPlanTest, SeededAndWithinHorizon) {
+  RandomFaultParams params;
+  params.horizon_ms = 1000.0;
+  params.crashes = 2;
+  params.recovery_fraction = 1.0;
+  params.spikes = 1;
+  params.loss_bursts = 1;
+  const std::vector<net::NodeIndex> candidates = {0, 1, 2, 3, 4};
+  const FaultPlan a = MakeRandomFaultPlan(params, candidates, 7);
+  const FaultPlan b = MakeRandomFaultPlan(params, candidates, 7);
+  const FaultPlan c = MakeRandomFaultPlan(params, candidates, 8);
+  ASSERT_EQ(a.crashes().size(), 2u);
+  EXPECT_EQ(a.crashes()[0].node, b.crashes()[0].node);
+  EXPECT_DOUBLE_EQ(a.crashes()[0].start_ms, b.crashes()[0].start_ms);
+  EXPECT_NE(a.crashes()[0].start_ms, c.crashes()[0].start_ms);
+  for (const CrashWindow& w : a.crashes()) {
+    EXPECT_GE(w.start_ms, 0.1 * params.horizon_ms);
+    EXPECT_LE(w.start_ms, 0.7 * params.horizon_ms);
+    EXPECT_TRUE(std::isfinite(w.end_ms));  // recovery_fraction = 1
+  }
+  EXPECT_THROW(
+      MakeRandomFaultPlan(params, std::span<const net::NodeIndex>(
+                                      candidates.data(), 1),
+                          7),
+      Error);
+}
+
+// --- network integration ---------------------------------------------------
+
+TEST(FaultNetworkTest, CrashSeversInFlightAndInWindowMessages) {
+  Simulator simulator;
+  const auto m = ThreeNodes();
+  Network network(simulator, m);
+  FaultPlan plan;
+  plan.Crash(1, 5.0, 50.0);  // 0->1 takes 10ms
+  network.AttachFaultPlan(&plan);
+  int delivered = 0;
+  // Sent at t=0, arrives t=10 inside the window: cut mid-flight.
+  network.Send(0, 1, [&] { ++delivered; });
+  // Sent at t=45, arrives t=55 after recovery: delivered.
+  simulator.At(45.0, [&] { network.Send(0, 1, [&] { ++delivered; }); });
+  simulator.Run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(network.messages_cut_by_faults(), 1u);
+  EXPECT_EQ(network.messages_lost(), 1u);
+}
+
+TEST(FaultNetworkTest, SpikeStretchesLatency) {
+  Simulator simulator;
+  const auto m = ThreeNodes();
+  Network network(simulator, m);
+  FaultPlan plan;
+  plan.Spike(0.0, 1.0, 4.0);
+  network.AttachFaultPlan(&plan);
+  double at = -1.0;
+  network.Send(0, 1, [&] { at = simulator.Now(); });  // base 10ms
+  double late_at = -1.0;
+  simulator.At(2.0, [&] {  // after the spike window: base latency again
+    network.Send(0, 1, [&] { late_at = simulator.Now(); });
+  });
+  simulator.Run();
+  EXPECT_DOUBLE_EQ(at, 40.0);
+  EXPECT_DOUBLE_EQ(late_at, 12.0);
+}
+
+TEST(FaultNetworkTest, ReliableSendRidesOutATransientCrash) {
+  Simulator simulator;
+  const auto m = ThreeNodes();
+  Network network(simulator, m);
+  FaultPlan plan;
+  plan.Crash(1, 0.0, 100.0);
+  network.AttachFaultPlan(&plan);
+  double at = -1.0;
+  network.SendReliable(0, 1, [&] { at = simulator.Now(); }, 64,
+                       /*rto_ms=*/20.0);
+  simulator.Run();
+  // Retransmitted every 20ms until one attempt arrives past the recovery.
+  EXPECT_GE(at, 100.0);
+  EXPECT_GT(network.messages_cut_by_faults(), 0u);
+}
+
+TEST(FaultNetworkTest, ReliableSendAbandonsPermanentCrash) {
+  Simulator simulator;
+  const auto m = ThreeNodes();
+  Network network(simulator, m);
+  FaultPlan plan;
+  plan.Crash(1, 0.0);
+  network.AttachFaultPlan(&plan);
+  bool delivered = false;
+  network.SendReliable(0, 1, [&] { delivered = true; }, 64, /*rto_ms=*/20.0);
+  simulator.Run();  // must terminate: no retransmission into a grave
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(network.messages_cut_by_faults(), 1u);
+}
+
+TEST(FaultNetworkTest, PartitionCutsBothDirectionsDuringWindow) {
+  Simulator simulator;
+  const auto m = ThreeNodes();
+  Network network(simulator, m);
+  FaultPlan plan;
+  plan.Partition(0.0, 30.0, 0, 1);
+  network.AttachFaultPlan(&plan);
+  int delivered = 0;
+  network.Send(0, 1, [&] { ++delivered; });
+  network.Send(1, 0, [&] { ++delivered; });
+  network.Send(0, 2, [&] { ++delivered; });  // different pair: unaffected
+  simulator.At(30.0, [&] { network.Send(0, 1, [&] { ++delivered; }); });
+  simulator.Run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(network.messages_cut_by_faults(), 2u);
+}
+
+TEST(FaultNetworkTest, BurstLossIsDeterministicPerSeedStream) {
+  const auto run = [] {
+    Simulator simulator;
+    const auto m = ThreeNodes();
+    Network network(simulator, m);
+    FaultPlan plan;
+    plan.LossBurst(0.0, 1000.0, 0.4);
+    network.AttachFaultPlan(&plan);
+    std::vector<int> delivered;
+    for (int i = 0; i < 100; ++i) {
+      simulator.At(static_cast<double>(i), [&network, &delivered, i] {
+        network.Send(0, 1, [&delivered, i] { delivered.push_back(i); });
+      });
+    }
+    simulator.Run();
+    return delivered;
+  };
+  const std::vector<int> first = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_LT(first.size(), 100u);  // some were dropped
+  EXPECT_EQ(first, run());        // and identically so on every run
+}
+
+TEST(FaultNetworkTest, AttachValidatesNodeRange) {
+  Simulator simulator;
+  const auto m = ThreeNodes();
+  Network network(simulator, m);
+  FaultPlan plan;
+  plan.Crash(9, 1.0);
+  EXPECT_THROW(network.AttachFaultPlan(&plan), Error);
+}
+
+}  // namespace
+}  // namespace diaca::sim

@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "net/jitter.h"
+#include "obs/obs.h"
 #include "../testutil.h"
 
 namespace diaca::sim {
@@ -98,15 +99,38 @@ TEST(NetworkTest, LossDropsSomeMessages) {
   const auto m = ThreeNodes();
   Network network(simulator, m);
   network.SetLossProbability(0.5);
+#if DIACA_OBS
+  obs::SetMetricsEnabled(true);
+  const std::int64_t obs_dropped_before =
+      obs::Registry::Default().GetCounter("sim.net.dropped").Value();
+  const std::int64_t obs_bytes_before =
+      obs::Registry::Default().GetCounter("sim.net.bytes").Value();
+#endif
   int delivered = 0;
   constexpr int kSent = 200;
   for (int i = 0; i < kSent; ++i) {
     network.Send(0, 1, [&] { ++delivered; });
   }
   simulator.Run();
+#if DIACA_OBS
+  obs::SetMetricsEnabled(false);
+  // The transport publishes its drop/byte counters through obs too.
+  EXPECT_EQ(obs::Registry::Default().GetCounter("sim.net.dropped").Value() -
+                obs_dropped_before,
+            static_cast<std::int64_t>(network.messages_lost()));
+  EXPECT_EQ(obs::Registry::Default().GetCounter("sim.net.bytes").Value() -
+                obs_bytes_before,
+            static_cast<std::int64_t>(network.bytes_delivered()));
+#endif
   EXPECT_EQ(network.messages_lost(), kSent - static_cast<std::uint64_t>(delivered));
   EXPECT_GT(network.messages_lost(), 50u);
   EXPECT_GT(delivered, 50);
+  // The drop/delivery split is mirrored in the byte counters: only
+  // messages handed to the event queue count as delivered bytes.
+  EXPECT_EQ(network.bytes_sent(), 64u * kSent);
+  EXPECT_EQ(network.bytes_delivered(),
+            64u * static_cast<std::uint64_t>(delivered));
+  EXPECT_EQ(network.messages_cut_by_faults(), 0u);  // loss, not faults
 }
 
 TEST(NetworkTest, LocalDeliveryNeverLost) {
@@ -165,7 +189,12 @@ TEST(NetworkTest, RejectsBadLossProbability) {
   const auto m = ThreeNodes();
   Network network(simulator, m);
   EXPECT_THROW(network.SetLossProbability(-0.1), Error);
-  EXPECT_THROW(network.SetLossProbability(1.0), Error);
+  EXPECT_THROW(network.SetLossProbability(1.1), Error);
+  // A total outage is a valid setting — but a reliable send refuses it
+  // (it could never deliver), and the rto must be positive.
+  network.SetLossProbability(1.0);
+  EXPECT_THROW(network.SendReliable(0, 1, [] {}, 64, 5.0), Error);
+  network.SetLossProbability(0.5);
   EXPECT_THROW(network.SendReliable(0, 1, [] {}, 64, 0.0), Error);
 }
 

@@ -18,6 +18,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -29,10 +30,12 @@
 #include "core/solver_registry.h"
 #include "core/sync_schedule.h"
 #include "data/loader.h"
+#include "dia/dynamic_session.h"
 #include "dia/session.h"
 #include "net/apsp.h"
 #include "data/synthetic.h"
 #include "placement/placement.h"
+#include "sim/faults.h"
 
 namespace {
 
@@ -53,10 +56,14 @@ int Usage() {
       "  schedule --matrix=FILE --servers=FILE --assignment=FILE\n"
       "  simulate --matrix=FILE --servers=FILE --assignment=FILE\n"
       "           [--duration-ms=T] [--ops-per-second=R] [--seed=S]\n"
+      "           [--failover=repair|resolve|nearest]\n"
       "  every command also accepts --threads=N,\n"
       "  --apsp=auto|dijkstra|blocked (all-pairs shortest-path backend\n"
-      "  for graph substrates), --metrics-out=FILE (metrics JSON at\n"
-      "  exit) and --trace-out=FILE (Chrome trace)\n";
+      "  for graph substrates), --faults=SPEC (inject server crashes,\n"
+      "  latency spikes, loss bursts, and partitions — see\n"
+      "  docs/resilience.md; simulate then runs the fault-aware session\n"
+      "  and reports the degradation timeline), --metrics-out=FILE\n"
+      "  (metrics JSON at exit) and --trace-out=FILE (Chrome trace)\n";
   return 2;
 }
 
@@ -209,6 +216,51 @@ int CmdEvaluate(const Flags& flags) {
   return 0;
 }
 
+// Fault-injected simulate: a --faults plan needs failover epochs, the
+// repair solver, and degradation sampling, so the run goes through the
+// dynamic session (which derives its own initial assignment the same way
+// a live session would).
+int CmdSimulateFaulted(const Flags& flags, const net::LatencyMatrix& matrix,
+                       const core::Problem& problem,
+                       const sim::FaultPlan& plan) {
+  dia::DynamicSessionParams params;
+  params.workload.duration_ms = flags.GetDouble("duration-ms", 5000.0);
+  params.workload.ops_per_second = flags.GetDouble("ops-per-second", 1.0);
+  params.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  params.failover =
+      dia::ParseFailoverStrategy(flags.GetString("failover", "repair"));
+  params.faults = &plan;
+  std::vector<core::ClientIndex> members(
+      static_cast<std::size_t>(problem.num_clients()));
+  std::iota(members.begin(), members.end(), 0);
+  const dia::DynamicDiaSession session(matrix, problem, members, {}, params);
+  const dia::DynamicSessionReport report = session.Run();
+
+  Table table({"metric", "value"});
+  table.Row().Cell("epochs").Cell(static_cast<std::int64_t>(report.epochs));
+  table.Row().Cell("server crashes").Cell(
+      static_cast<std::int64_t>(report.failovers.size()));
+  table.Row().Cell("operations issued").Cell(
+      static_cast<std::int64_t>(report.ops_issued));
+  table.Row().Cell("min intact-path fraction").Cell(
+      report.min_intact_fraction);
+  double restore = 0.0;
+  for (const dia::FailoverRecord& f : report.failovers) {
+    restore = std::max(restore, f.time_to_restore_ms);
+  }
+  table.Row().Cell("max time to restore (ms)").Cell(restore);
+  table.Row().Cell("operations lost").Cell(
+      static_cast<std::int64_t>(report.ops_lost));
+  table.Row().Cell("messages cut by faults").Cell(
+      static_cast<std::int64_t>(report.messages_cut));
+  table.Row().Cell("snapshot retries").Cell(
+      static_cast<std::int64_t>(report.snapshot_retries));
+  table.Print(std::cout);
+  std::cout << (report.final_states_converged ? "session converged\n"
+                                              : "session DIVERGED\n");
+  return report.final_states_converged ? 0 : 1;
+}
+
 int CmdSimulate(const Flags& flags) {
   const net::LatencyMatrix matrix =
       data::LoadDenseMatrix(flags.GetString("matrix", ""));
@@ -216,6 +268,9 @@ int CmdSimulate(const Flags& flags) {
       LoadNodeList(flags.GetString("servers", ""), matrix.size());
   const core::Problem problem =
       core::Problem::WithClientsEverywhere(matrix, servers);
+  if (const sim::FaultPlan* plan = sim::GlobalFaultPlan()) {
+    return CmdSimulateFaulted(flags, matrix, problem, *plan);
+  }
   const core::Assignment a =
       LoadAssignment(flags.GetString("assignment", ""), problem);
   const core::SyncSchedule schedule = core::ComputeSyncSchedule(problem, a);
@@ -282,7 +337,8 @@ int main(int argc, char** argv) {
     const Flags flags(argc - 1, argv + 1,
                       {"out", "dataset", "nodes", "clusters", "seed", "matrix",
                        "servers", "method", "algorithm", "capacity",
-                       "assignment", "duration-ms", "ops-per-second", "apsp"});
+                       "assignment", "duration-ms", "ops-per-second", "apsp",
+                       "failover"});
     net::SetDefaultApspBackend(
         net::ParseApspBackend(flags.GetString("apsp", "auto")));
     if (command == "generate") return CmdGenerate(flags);
