@@ -17,8 +17,6 @@
 // case the blocked engine clears the 3x bar against the legacy baseline.
 // --json-out writes the machine-readable report committed as
 // BENCH_apsp.json.
-#include <sys/resource.h>
-
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -30,6 +28,7 @@
 #include <vector>
 
 #include "bench_util/experiment.h"
+#include "bench_util/rss.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/simd/simd.h"
@@ -83,12 +82,6 @@ struct CaseResult {
   bool identical = true;     // engine Dijkstra vs legacy, bitwise
   double max_rel_err = 0.0;  // blocked vs engine Dijkstra
 };
-
-double PeakRssMb() {
-  rusage usage{};
-  getrusage(RUSAGE_SELF, &usage);
-  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB
-}
 
 double TimeBestOfMs(std::int64_t reps,
                     const std::function<net::LatencyMatrix()>& run,
@@ -172,18 +165,26 @@ void WriteJson(const std::string& path, std::uint64_t seed, std::size_t tile,
     AppendJsonNumber(os, c.spec.beta);
     os << ", \"auto_backend\": ";
     AppendJsonString(os, c.auto_backend);
-    os << ",\n     \"legacy_ms\": ";
-    AppendJsonNumber(os, c.legacy_ms);
+    // The legacy baseline is skipped on large cases; a skipped run gets
+    // "legacy": "skipped" and NO legacy_ms / speedup fields, instead of
+    // the misleading zeros the old schema emitted.
+    if (c.legacy_ms > 0.0) {
+      os << ",\n     \"legacy\": \"run\", \"legacy_ms\": ";
+      AppendJsonNumber(os, c.legacy_ms);
+    } else {
+      os << ",\n     \"legacy\": \"skipped\"";
+    }
     os << ", \"dijkstra_ms\": ";
     AppendJsonNumber(os, c.dijkstra_ms);
     os << ", \"blocked_ms\": ";
     AppendJsonNumber(os, c.blocked_ms);
-    os << ",\n     \"blocked_speedup_vs_legacy\": ";
-    AppendJsonNumber(os, c.legacy_ms > 0.0 ? c.legacy_ms / c.blocked_ms : 0.0);
-    os << ", \"dijkstra_speedup_vs_legacy\": ";
-    AppendJsonNumber(os,
-                     c.legacy_ms > 0.0 ? c.legacy_ms / c.dijkstra_ms : 0.0);
-    os << ", \"identical\": " << (c.identical ? "true" : "false")
+    if (c.legacy_ms > 0.0) {
+      os << ",\n     \"blocked_speedup_vs_legacy\": ";
+      AppendJsonNumber(os, c.legacy_ms / c.blocked_ms);
+      os << ", \"dijkstra_speedup_vs_legacy\": ";
+      AppendJsonNumber(os, c.legacy_ms / c.dijkstra_ms);
+    }
+    os << ",\n     \"identical\": " << (c.identical ? "true" : "false")
        << ", \"max_rel_err\": ";
     AppendJsonNumber(os, c.max_rel_err);
     os << "}" << (i + 1 < cases.size() ? "," : "") << "\n";
@@ -265,7 +266,7 @@ int main(int argc, char** argv) {
                     static_cast<double>(matrix.stride()) * 8.0 / (1024 * 1024);
     if (assignment.size() == 0) return 1;  // keep the solve live
   }
-  e2e.peak_rss_mb = PeakRssMb();
+  e2e.peak_rss_mb = benchutil::PeakRssMb();
   std::cout << "end-to-end " << largest.nodes
             << " nodes: generate+apsp "
             << FormatDouble(e2e.generate_apsp_ms / 1e3, 1) << "s, solve "

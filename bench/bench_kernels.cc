@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench_util/experiment.h"
+#include "bench_util/rss.h"
 #include "common/flags.h"
 #include "common/rng.h"
 #include "common/simd/kernels.h"
@@ -242,7 +243,10 @@ void WriteJson(const std::string& path, std::int32_t nodes,
   AppendJsonNumber(os, simd_ms);
   os << ", \"speedup\": ";
   AppendJsonNumber(os, speedup);
-  os << ", \"identical\": " << (identical ? "true" : "false") << "}\n}\n";
+  os << ", \"identical\": " << (identical ? "true" : "false")
+     << "},\n  \"peak_rss_mb\": ";
+  AppendJsonNumber(os, benchutil::PeakRssMb());
+  os << "\n}\n";
 }
 
 }  // namespace
@@ -387,6 +391,8 @@ int main(int argc, char** argv) {
               << nodes << ")\n";
   }
 
+  std::cout << "peak RSS " << FormatDouble(benchutil::PeakRssMb(), 0)
+            << " MB\n";
   if (!json_out.empty()) {
     WriteJson(json_out, nodes, servers, seed, rows, legacy_ms, simd_ms,
               speedup, identical);

@@ -1,0 +1,479 @@
+// Distance-oracle report: sublinear-memory solves at client scales no
+// dense matrix can reach, plus the accuracy envelope of the estimated
+// backends.
+//
+//   bench_oracle [--clients=0] [--substrate-nodes=5000] [--servers=16]
+//                [--parity-nodes=1000] [--quality-nodes=2000]
+//                [--landmarks=16] [--seed=2011] [--rss-budget-mb=0]
+//                [--json-out=path]
+//
+// Three phases:
+//   1. parity — rows backend vs the dense matrix on a Waxman graph:
+//      the Problem blocks (every client-to-server and server-to-server
+//      distance) must match BITWISE, and greedy must return the identical
+//      assignment. This is the acceptance gate for using rows as a
+//      drop-in dense replacement.
+//   2. quality — landmark and coordinate backends plan an assignment on
+//      their estimates; the plan is then scored against ground truth
+//      (exact rows / the dense matrix). Reports the planned-vs-true
+//      objective gap and the median relative error of raw distance
+//      estimates, on a routed Waxman graph and a measured-style
+//      meridian-like matrix.
+//   3. scale — streaming client clouds (10k / 100k / 1M clients by
+//      default) attached to a --substrate-nodes Waxman substrate, solved
+//      end to end through the rows oracle. Records wall time, peak RSS,
+//      and the dense-equivalent footprint; the >= 100k cases must stay
+//      under 10% of dense (and under --rss-budget-mb when given).
+//
+// --clients=N runs a single scale case instead of the committed suite.
+// --json-out writes the machine-readable report committed as
+// BENCH_oracle.json.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util/experiment.h"
+#include "bench_util/rss.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "core/greedy.h"
+#include "core/metrics.h"
+#include "core/nearest_server.h"
+#include "core/problem.h"
+#include "data/streaming.h"
+#include "data/synthetic.h"
+#include "data/waxman.h"
+#include "net/distance_oracle.h"
+#include "net/graph.h"
+#include "obs/json.h"
+#include "placement/placement.h"
+
+namespace {
+
+using namespace diaca;
+
+struct ParityResult {
+  std::int32_t nodes = 0;
+  bool blocks_bitwise = false;
+  bool assignment_identical = false;
+  bool objective_bitwise = false;
+  std::int64_t row_builds = 0;
+};
+
+struct QualityResult {
+  const char* substrate = "";
+  const char* backend = "";
+  double exact_d = 0.0;    // greedy objective planned on exact distances
+  double planned_d = 0.0;  // objective the estimated plan BELIEVES it has
+  double true_d = 0.0;     // ground-truth objective of the estimated plan
+  double gap = 0.0;        // (true_d - exact_d) / exact_d
+  double median_rel_err = 0.0;
+  // lower <= truth <= upper on sampled pairs. Guaranteed only on routed
+  // graphs; measured-style matrices violate the triangle inequality, so
+  // there we just report the violation fraction.
+  bool sandwich_ok = true;
+  double sandwich_violations = 0.0;
+};
+
+struct ScaleResult {
+  std::int64_t clients = 0;
+  double build_ms = 0.0;
+  double greedy_ms = 0.0;
+  double nearest_ms = 0.0;
+  double greedy_d = 0.0;
+  double nearest_d = 0.0;
+  double peak_rss_mb = 0.0;
+  double dense_equiv_mb = 0.0;
+  double rss_fraction = 0.0;
+  std::int64_t row_builds = 0;
+};
+
+bool BitwiseProblemEqual(const core::Problem& a, const core::Problem& b) {
+  if (a.num_clients() != b.num_clients() ||
+      a.num_servers() != b.num_servers()) {
+    return false;
+  }
+  for (core::ClientIndex c = 0; c < a.num_clients(); ++c) {
+    for (core::ServerIndex s = 0; s < a.num_servers(); ++s) {
+      if (a.cs(c, s) != b.cs(c, s)) return false;
+    }
+  }
+  for (core::ServerIndex x = 0; x < a.num_servers(); ++x) {
+    for (core::ServerIndex y = 0; y < a.num_servers(); ++y) {
+      if (a.ss(x, y) != b.ss(x, y)) return false;
+    }
+  }
+  return true;
+}
+
+ParityResult RunParity(std::int32_t nodes, std::uint64_t seed) {
+  ParityResult r;
+  r.nodes = nodes;
+  data::WaxmanParams params;
+  params.num_nodes = nodes;
+  const net::Graph graph = data::GenerateWaxmanTopology(params, seed);
+  const net::LatencyMatrix matrix = graph.AllPairsShortestPaths();
+
+  net::OracleOptions opt;
+  opt.backend = net::OracleBackend::kRows;
+  opt.row_cache_capacity = 8;  // force evictions: results must not care
+  const net::DistanceOracle rows = net::DistanceOracle::FromGraph(graph, opt);
+
+  const std::vector<net::NodeIndex> servers =
+      placement::KCenterGreedy(matrix, std::min<std::int32_t>(20, nodes / 4));
+  const core::Problem dense_problem =
+      core::Problem::WithClientsEverywhere(matrix, servers);
+  const core::Problem rows_problem =
+      core::Problem::WithClientsEverywhere(rows, servers);
+
+  r.blocks_bitwise = BitwiseProblemEqual(dense_problem, rows_problem);
+  const core::Assignment a_dense = core::GreedyAssign(dense_problem);
+  const core::Assignment a_rows = core::GreedyAssign(rows_problem);
+  r.assignment_identical = a_dense.server_of == a_rows.server_of;
+  r.objective_bitwise =
+      core::MaxInteractionPathLength(dense_problem, a_dense) ==
+      core::MaxInteractionPathLength(rows_problem, a_rows);
+  r.row_builds = rows.stats().row_builds;
+  return r;
+}
+
+// Median of |est - true| / true over a deterministic sample of pairs.
+// `sandwich_violations` gets the fraction of sampled pairs where the
+// landmark bounds fail to bracket the truth (nonzero only when the
+// underlying distances violate the triangle inequality).
+double MedianRelErr(const net::DistanceOracle& est,
+                    const net::DistanceOracle& truth, std::uint64_t seed,
+                    double* sandwich_violations) {
+  Rng rng(seed);
+  const net::NodeIndex n = truth.size();
+  std::vector<double> errs;
+  std::int64_t checked = 0;
+  std::int64_t violated = 0;
+  constexpr std::int32_t kPairs = 4000;
+  for (std::int32_t i = 0; i < kPairs; ++i) {
+    const auto u = static_cast<net::NodeIndex>(
+        rng.NextBounded(static_cast<std::uint64_t>(n)));
+    const auto v = static_cast<net::NodeIndex>(
+        rng.NextBounded(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    const double t = truth.Distance(u, v);
+    if (t <= 0.0) continue;
+    errs.push_back(std::abs(est.Distance(u, v) - t) / t);
+    // The landmark sandwich is a certificate; coords bounds are the point
+    // estimate on both sides and are exempt.
+    if (est.backend() == net::OracleBackend::kLandmarks) {
+      const auto [lo, hi] = est.DistanceBounds(u, v);
+      ++checked;
+      if (!(lo <= t + 1e-9 && t <= hi + 1e-9)) ++violated;
+    }
+  }
+  *sandwich_violations =
+      checked > 0 ? static_cast<double>(violated) / checked : 0.0;
+  std::sort(errs.begin(), errs.end());
+  return errs.empty() ? 0.0 : errs[errs.size() / 2];
+}
+
+// Plan on `est`, score against `truth`; exact_d is the greedy objective
+// when planning directly on the truth (the best this pipeline does).
+QualityResult RunQualityCase(const char* substrate_name,
+                             const net::DistanceOracle& est,
+                             const net::DistanceOracle& truth,
+                             std::span<const net::NodeIndex> servers,
+                             std::uint64_t seed) {
+  QualityResult q;
+  q.substrate = substrate_name;
+  q.backend = net::OracleBackendName(est.backend());
+
+  const core::Problem exact_problem =
+      core::Problem::WithClientsEverywhere(truth, servers);
+  const core::Assignment exact_a = core::GreedyAssign(exact_problem);
+  q.exact_d = core::MaxInteractionPathLength(exact_problem, exact_a);
+
+  const core::Problem est_problem =
+      core::Problem::WithClientsEverywhere(est, servers);
+  const core::Assignment est_a = core::GreedyAssign(est_problem);
+  q.planned_d = core::MaxInteractionPathLength(est_problem, est_a);
+  q.true_d = core::MaxInteractionPathLengthExact(truth, est_problem, est_a);
+  q.gap = q.exact_d > 0.0 ? (q.true_d - q.exact_d) / q.exact_d : 0.0;
+
+  q.median_rel_err =
+      MedianRelErr(est, truth, seed ^ 0x5151, &q.sandwich_violations);
+  q.sandwich_ok = q.sandwich_violations == 0.0;
+  return q;
+}
+
+ScaleResult RunScale(const data::ClientCloudParams& params, std::int32_t k,
+                     std::uint64_t seed) {
+  ScaleResult r;
+  r.clients = params.num_clients;
+  Timer build;
+  const net::Graph graph =
+      data::GenerateWaxmanTopology(params.substrate, seed);
+  net::OracleOptions opt;
+  opt.backend = net::OracleBackend::kRows;
+  opt.row_cache_capacity = static_cast<std::size_t>(k) + 1;
+  const net::DistanceOracle oracle = net::DistanceOracle::FromGraph(graph, opt);
+  const std::vector<net::NodeIndex> servers =
+      placement::KCenterFarthest(oracle, k);
+  const data::ClientCloud cloud =
+      data::BuildClientCloud(params, seed, oracle, servers);
+  r.build_ms = build.ElapsedMillis();
+
+  {
+    Timer t;
+    const core::Assignment a = core::GreedyAssign(cloud.problem);
+    r.greedy_ms = t.ElapsedMillis();
+    r.greedy_d = core::MaxInteractionPathLength(cloud.problem, a);
+  }
+  {
+    Timer t;
+    const core::Assignment a = core::NearestServerAssign(cloud.problem);
+    r.nearest_ms = t.ElapsedMillis();
+    r.nearest_d = core::MaxInteractionPathLength(cloud.problem, a);
+  }
+  r.peak_rss_mb = benchutil::PeakRssMb();
+  r.dense_equiv_mb = data::DenseEquivalentMb(params.substrate.num_nodes +
+                                             params.num_clients);
+  r.rss_fraction = r.peak_rss_mb / r.dense_equiv_mb;
+  r.row_builds = oracle.stats().row_builds;
+  return r;
+}
+
+void WriteJson(const std::string& path, std::uint64_t seed,
+               const ParityResult& parity,
+               const std::vector<QualityResult>& quality,
+               const std::vector<ScaleResult>& scale) {
+  std::ofstream os(path);
+  using obs::internal::AppendJsonNumber;
+  using obs::internal::AppendJsonString;
+  os << "{\n  \"seed\": " << seed << ",\n";
+  os << "  \"parity\": {\"nodes\": " << parity.nodes
+     << ", \"blocks_bitwise\": " << (parity.blocks_bitwise ? "true" : "false")
+     << ", \"assignment_identical\": "
+     << (parity.assignment_identical ? "true" : "false")
+     << ", \"objective_bitwise\": "
+     << (parity.objective_bitwise ? "true" : "false")
+     << ", \"row_builds\": " << parity.row_builds << "},\n";
+  os << "  \"quality\": [\n";
+  for (std::size_t i = 0; i < quality.size(); ++i) {
+    const QualityResult& q = quality[i];
+    os << "    {\"substrate\": ";
+    AppendJsonString(os, q.substrate);
+    os << ", \"backend\": ";
+    AppendJsonString(os, q.backend);
+    os << ", \"exact_d\": ";
+    AppendJsonNumber(os, q.exact_d);
+    os << ", \"planned_d\": ";
+    AppendJsonNumber(os, q.planned_d);
+    os << ", \"true_d\": ";
+    AppendJsonNumber(os, q.true_d);
+    os << ",\n     \"quality_gap\": ";
+    AppendJsonNumber(os, q.gap);
+    os << ", \"median_rel_err\": ";
+    AppendJsonNumber(os, q.median_rel_err);
+    os << ", \"sandwich_violation_frac\": ";
+    AppendJsonNumber(os, q.sandwich_violations);
+    os << "}"
+       << (i + 1 < quality.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"scale\": [\n";
+  for (std::size_t i = 0; i < scale.size(); ++i) {
+    const ScaleResult& s = scale[i];
+    os << "    {\"clients\": " << s.clients << ", \"build_ms\": ";
+    AppendJsonNumber(os, s.build_ms);
+    os << ", \"greedy_ms\": ";
+    AppendJsonNumber(os, s.greedy_ms);
+    os << ", \"nearest_ms\": ";
+    AppendJsonNumber(os, s.nearest_ms);
+    os << ",\n     \"greedy_d\": ";
+    AppendJsonNumber(os, s.greedy_d);
+    os << ", \"nearest_d\": ";
+    AppendJsonNumber(os, s.nearest_d);
+    os << ", \"row_builds\": " << s.row_builds;
+    os << ",\n     \"peak_rss_mb\": ";
+    AppendJsonNumber(os, s.peak_rss_mb);
+    os << ", \"dense_equiv_mb\": ";
+    AppendJsonNumber(os, s.dense_equiv_mb);
+    os << ", \"rss_fraction\": ";
+    AppendJsonNumber(os, s.rss_fraction);
+    os << "}" << (i + 1 < scale.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv,
+                    {"clients", "substrate-nodes", "servers", "parity-nodes",
+                     "quality-nodes", "landmarks", "seed", "rss-budget-mb",
+                     "json-out"});
+  const std::int64_t clients_flag = flags.GetInt("clients", 0);
+  const auto substrate_nodes =
+      static_cast<std::int32_t>(flags.GetInt("substrate-nodes", 5000));
+  const auto servers = static_cast<std::int32_t>(flags.GetInt("servers", 16));
+  const auto parity_nodes =
+      static_cast<std::int32_t>(flags.GetInt("parity-nodes", 1000));
+  const auto quality_nodes =
+      static_cast<std::int32_t>(flags.GetInt("quality-nodes", 2000));
+  const auto num_landmarks =
+      static_cast<std::int32_t>(flags.GetInt("landmarks", 16));
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 2011));
+  const double rss_budget_mb = flags.GetDouble("rss-budget-mb", 0.0);
+  const std::string json_out = flags.GetString("json-out", "");
+  bool ok = true;
+
+  // --- Phase 1: rows-vs-dense parity.
+  const ParityResult parity = RunParity(parity_nodes, seed);
+  std::cout << "parity (" << parity.nodes << "-node waxman): blocks "
+            << (parity.blocks_bitwise ? "bitwise" : "DIFFER") << ", greedy "
+            << (parity.assignment_identical ? "identical" : "DIFFERS")
+            << ", objective "
+            << (parity.objective_bitwise ? "bitwise" : "DIFFERS") << ", "
+            << parity.row_builds << " row builds\n";
+  ok &= benchutil::CheckShape(
+      parity.blocks_bitwise,
+      "rows backend matches dense matrix bitwise on every problem block");
+  ok &= benchutil::CheckShape(
+      parity.assignment_identical && parity.objective_bitwise,
+      "greedy on rows-backed problem reproduces the dense solve exactly");
+
+  // --- Phase 2: estimated-backend quality, on a routed graph and a
+  // measured-style matrix.
+  std::vector<QualityResult> quality;
+  {
+    data::WaxmanParams params;
+    params.num_nodes = quality_nodes;
+    const net::Graph graph = data::GenerateWaxmanTopology(params, seed + 1);
+    net::OracleOptions rows_opt;
+    rows_opt.backend = net::OracleBackend::kRows;
+    rows_opt.row_cache_capacity = static_cast<std::size_t>(quality_nodes);
+    const net::DistanceOracle truth =
+        net::DistanceOracle::FromGraph(graph, rows_opt);
+    const std::vector<net::NodeIndex> sv =
+        placement::KCenterFarthest(truth, servers);
+    for (const net::OracleBackend backend :
+         {net::OracleBackend::kLandmarks, net::OracleBackend::kCoords}) {
+      net::OracleOptions opt;
+      opt.backend = backend;
+      opt.num_landmarks = num_landmarks;
+      opt.coord_beacons = num_landmarks;
+      opt.seed = seed;
+      const net::DistanceOracle est =
+          net::DistanceOracle::FromGraph(graph, opt);
+      quality.push_back(RunQualityCase("waxman", est, truth, sv, seed));
+    }
+  }
+  {
+    data::SyntheticParams params = data::SyntheticParams::MeridianLike();
+    params.num_nodes = std::min<std::int32_t>(quality_nodes, 1500);
+    const net::LatencyMatrix matrix =
+        data::GenerateSyntheticInternet(params, seed + 2);
+    const net::DistanceOracle truth =
+        net::DistanceOracle::FromMatrix(matrix);
+    const std::vector<net::NodeIndex> sv =
+        placement::KCenterFarthest(truth, servers);
+    for (const net::OracleBackend backend :
+         {net::OracleBackend::kLandmarks, net::OracleBackend::kCoords}) {
+      net::OracleOptions opt;
+      opt.backend = backend;
+      opt.num_landmarks = num_landmarks;
+      opt.coord_beacons = num_landmarks;
+      opt.seed = seed;
+      const net::DistanceOracle est =
+          net::DistanceOracle::FromMatrix(matrix, opt);
+      quality.push_back(RunQualityCase("meridian-like", est, truth, sv, seed));
+    }
+  }
+  Table qtable({"substrate", "backend", "exact-D", "planned-D", "true-D",
+                "gap", "med-rel-err", "tiv-frac"});
+  bool graph_sandwich = true;
+  for (const QualityResult& q : quality) {
+    if (std::string(q.substrate) == "waxman") graph_sandwich &= q.sandwich_ok;
+    qtable.Row()
+        .Cell(q.substrate)
+        .Cell(q.backend)
+        .Cell(FormatDouble(q.exact_d, 1))
+        .Cell(FormatDouble(q.planned_d, 1))
+        .Cell(FormatDouble(q.true_d, 1))
+        .Cell(FormatDouble(q.gap, 3))
+        .Cell(FormatDouble(q.median_rel_err, 3))
+        .Cell(FormatDouble(q.sandwich_violations, 3));
+  }
+  std::cout << "estimated-backend quality (plan on estimate, score on "
+               "truth):\n";
+  qtable.Print(std::cout);
+  ok &= benchutil::CheckShape(
+      graph_sandwich,
+      "landmark bounds sandwich the true distance on every sampled pair of "
+      "the routed graph (matrix substrates may violate the triangle "
+      "inequality)");
+  for (const QualityResult& q : quality) {
+    ok &= benchutil::CheckShape(
+        std::isfinite(q.true_d) && q.true_d > 0.0,
+        std::string("finite quality evaluation for ") + q.substrate + "/" +
+            q.backend);
+  }
+
+  // --- Phase 3: streaming scale on the rows backend.
+  std::vector<std::int64_t> scales;
+  if (clients_flag > 0) {
+    scales.push_back(clients_flag);
+  } else {
+    scales = {10000, 100000, 1000000};
+  }
+  std::vector<ScaleResult> scale;
+  Table stable({"clients", "build-s", "greedy-s", "nearest-s", "greedy-D",
+                "nearest-D", "rss-MB", "dense-MB", "fraction"});
+  for (const std::int64_t m : scales) {
+    data::ClientCloudParams params;
+    params.substrate.num_nodes = substrate_nodes;
+    params.num_clients = m;
+    const ScaleResult r = RunScale(params, servers, seed);
+    scale.push_back(r);
+    stable.Row()
+        .Cell(std::to_string(r.clients))
+        .Cell(FormatDouble(r.build_ms / 1e3, 2))
+        .Cell(FormatDouble(r.greedy_ms / 1e3, 2))
+        .Cell(FormatDouble(r.nearest_ms / 1e3, 2))
+        .Cell(FormatDouble(r.greedy_d, 1))
+        .Cell(FormatDouble(r.nearest_d, 1))
+        .Cell(FormatDouble(r.peak_rss_mb, 0))
+        .Cell(FormatDouble(r.dense_equiv_mb, 0))
+        .Cell(FormatDouble(r.rss_fraction, 6));
+  }
+  std::cout << "streaming scale (" << substrate_nodes << "-node substrate, "
+            << servers << " servers, rows backend):\n";
+  stable.Print(std::cout);
+  for (const ScaleResult& r : scale) {
+    if (r.clients >= 100000) {
+      ok &= benchutil::CheckShape(
+          r.rss_fraction < 0.10,
+          "peak RSS under 10% of the dense-equivalent footprint at " +
+              std::to_string(r.clients) + " clients");
+    }
+    ok &= benchutil::CheckShape(
+        r.greedy_d <= r.nearest_d + 1e-9,
+        "greedy no worse than nearest-server at " +
+            std::to_string(r.clients) + " clients");
+    if (rss_budget_mb > 0.0) {
+      ok &= benchutil::CheckShape(
+          r.peak_rss_mb <= rss_budget_mb,
+          "peak RSS within the --rss-budget-mb=" +
+              std::to_string(static_cast<std::int64_t>(rss_budget_mb)) +
+              " hard budget at " + std::to_string(r.clients) + " clients");
+    }
+  }
+
+  if (!json_out.empty()) {
+    WriteJson(json_out, seed, parity, quality, scale);
+    std::cout << "wrote " << json_out << "\n";
+  }
+  return ok ? 0 : 1;
+}

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "bench_util/experiment.h"
+#include "bench_util/rss.h"
 #include "common/error.h"
 #include "common/flags.h"
 #include "common/rng.h"
@@ -168,7 +169,9 @@ void WriteJson(const std::string& path, std::uint64_t seed,
         << ", \"snapshot_retries\": " << c.snapshot_retries << "}"
         << (i + 1 < sessions.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n  \"peak_rss_mb\": ";
+  num(benchutil::PeakRssMb());
+  out << "\n}\n";
   if (!out) throw Error("write failed for '" + path + "'");
 }
 
@@ -407,6 +410,8 @@ int main(int argc, char** argv) {
   ok &= benchutil::CheckShape(total_lost == 0,
                               "no acknowledged operation is ever lost");
 
+  std::cout << "peak RSS " << FormatDouble(benchutil::PeakRssMb(), 0)
+            << " MB\n";
   if (!json_out.empty()) {
     WriteJson(json_out, seed, num_servers, solver_cases, session_cases);
     std::cout << "wrote " << json_out << "\n";

@@ -6,8 +6,11 @@
 # bench_kernels smoke (JSON-validated), then the concurrency tests (thread
 # pool + parallel determinism grid) again under ThreadSanitizer, and
 # finally the fault-tolerance suite (`resilience` label: fault plans,
-# repair solver, resilient sessions, malformed-corpus loaders) again under
-# AddressSanitizer+UBSan.
+# repair solver, resilient sessions, malformed-corpus loaders) and the
+# distance-oracle suite (`oracle` label: lazy-row bit parity, LRU cache,
+# streaming clouds, concurrent queries) again under ThreadSanitizer and
+# AddressSanitizer+UBSan. A bench_oracle smoke proves a 100k-client solve
+# through the rows backend stays inside a hard RSS budget.
 # Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -32,6 +35,17 @@ cmake -DJSON_FILE="$obs_dir/trace.json" -P scripts/check_json.cmake
 ./build/bench/bench_apsp --nodes=256 --servers=10 --reps=1 --tile=32 \
   --json-out="$obs_dir/bench_apsp_smoke.json" > "$obs_dir/bench_apsp.log"
 cmake -DJSON_FILE="$obs_dir/bench_apsp_smoke.json" -P scripts/check_json.cmake
+
+# Distance-oracle smoke at real scale: 100k clients on a 2000-node
+# substrate solved end to end through the lazy-rows backend. The dense
+# equivalent is ~80 GB; the run must finish inside 2 GB of peak RSS (the
+# binary enforces the budget and the <10% dense fraction) and emit a
+# parseable JSON report.
+./build/bench/bench_oracle --clients=100000 --substrate-nodes=2000 \
+  --parity-nodes=500 --quality-nodes=500 --rss-budget-mb=2048 \
+  --json-out="$obs_dir/bench_oracle_smoke.json" > "$obs_dir/bench_oracle.log"
+cmake -DJSON_FILE="$obs_dir/bench_oracle_smoke.json" \
+  -P scripts/check_json.cmake
 
 # Vectorized build: the kernel property suite, the APSP engine suite, and
 # the backend/thread determinism grid must also pass with the AVX2 code
@@ -61,11 +75,16 @@ done
 
 if ! $skip_tsan; then
   cmake -B build-tsan -S . -DDIACA_SANITIZE=thread
-  cmake --build build-tsan -j --target parallel_test resilience_test
+  cmake --build build-tsan -j --target parallel_test resilience_test \
+    oracle_test
   ctest --test-dir build-tsan -L tsan --output-on-failure
   # The fault-injection suite under TSan: faulted sessions must stay
   # bit-deterministic across thread counts without data races.
   ctest --test-dir build-tsan -L resilience -E smoke_ --output-on-failure
+  # The oracle suite under TSan: the LRU row cache is the one shared
+  # mutable structure on the query path; concurrent lookups must be
+  # race-free and bit-deterministic.
+  ctest --test-dir build-tsan -L oracle -E smoke_ --output-on-failure
 fi
 
 # ASan+UBSan lane: the fault-tolerance suite exercises the failure paths
@@ -73,6 +92,9 @@ fi
 # bugs would hide.
 if ! $skip_asan; then
   cmake -B build-asan -S . -DDIACA_SANITIZE=address
-  cmake --build build-asan -j --target resilience_test
+  cmake --build build-asan -j --target resilience_test oracle_test
   ctest --test-dir build-asan -L resilience -E smoke_ --output-on-failure
+  # The oracle suite under ASan+UBSan: row buffers, cache eviction, and
+  # the streaming problem builders are where lifetime bugs would hide.
+  ctest --test-dir build-asan -L oracle -E smoke_ --output-on-failure
 fi

@@ -1,0 +1,23 @@
+#include "bench_util/rss.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace diaca::benchutil {
+
+double PeakRssMb() {
+#if defined(__APPLE__)
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#elif defined(__unix__)
+  struct rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB
+#else
+  return 0.0;
+#endif
+}
+
+}  // namespace diaca::benchutil

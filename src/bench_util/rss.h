@@ -1,0 +1,12 @@
+// Process peak-RSS sampling, shared by every bench so memory numbers are
+// measured one way (getrusage ru_maxrss) and reported in one unit (MiB).
+#pragma once
+
+namespace diaca::benchutil {
+
+/// Peak resident set size of this process so far, in MiB. ru_maxrss is a
+/// high-water mark: it never decreases, so call sites measure "peak up to
+/// and including this phase". Returns 0.0 on platforms without getrusage.
+double PeakRssMb();
+
+}  // namespace diaca::benchutil

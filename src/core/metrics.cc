@@ -90,6 +90,63 @@ double MaxInteractionPathLength(const Problem& problem, const Assignment& a) {
   return MaxPathFromEccentricities(problem, far);
 }
 
+double MaxInteractionPathLengthExact(const net::DistanceOracle& oracle,
+                                     const Problem& problem,
+                                     const Assignment& a) {
+  DIACA_CHECK_MSG(a.IsComplete(), "assignment must be complete");
+  DIACA_CHECK_MSG(oracle.exact(),
+                  "ground-truth evaluation needs an exact oracle backend "
+                  "(dense or rows)");
+  const std::int32_t num_clients = problem.num_clients();
+  const std::int32_t num_servers = problem.num_servers();
+  // Bucket clients by their assigned server so each server row is scanned
+  // only against its own clients (one pass, O(|C|) total).
+  std::vector<std::vector<ClientIndex>> assigned(
+      static_cast<std::size_t>(num_servers));
+  for (ClientIndex c = 0; c < num_clients; ++c) {
+    assigned[static_cast<std::size_t>(a[c])].push_back(c);
+  }
+  // One oracle row per used server yields both the true eccentricity and
+  // the true server-to-server distances. Transient memory: O(|U| * n)
+  // for the ss block rows, one full row at a time.
+  std::vector<double> far(static_cast<std::size_t>(num_servers), -1.0);
+  std::vector<std::vector<double>> ss_true(
+      static_cast<std::size_t>(num_servers));
+  std::vector<double> row(static_cast<std::size_t>(oracle.size()));
+  for (ServerIndex s = 0; s < num_servers; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    if (assigned[si].empty()) continue;
+    oracle.FillRow(problem.server_node(s), row);
+    for (ClientIndex c : assigned[si]) {
+      far[si] = std::max(
+          far[si], row[static_cast<std::size_t>(problem.client_node(c))]);
+    }
+    auto& ss_row = ss_true[si];
+    ss_row.resize(static_cast<std::size_t>(num_servers));
+    for (ServerIndex t = 0; t < num_servers; ++t) {
+      ss_row[static_cast<std::size_t>(t)] =
+          s == t ? 0.0
+                 : row[static_cast<std::size_t>(problem.server_node(t))];
+    }
+  }
+  // Same (f1 + d) + f2 association as MaxPathFromEccentricities.
+  double best = 0.0;
+  for (ServerIndex s1 = 0; s1 < num_servers; ++s1) {
+    const double f1 = far[static_cast<std::size_t>(s1)];
+    if (f1 < 0.0) continue;
+    for (ServerIndex s2 = s1; s2 < num_servers; ++s2) {
+      const double f2 = far[static_cast<std::size_t>(s2)];
+      if (f2 < 0.0) continue;
+      best = std::max(
+          best,
+          (f1 + ss_true[static_cast<std::size_t>(s1)]
+                       [static_cast<std::size_t>(s2)]) +
+              f2);
+    }
+  }
+  return best;
+}
+
 double MaxServerReach(const Problem& problem, std::span<const double> far,
                       ServerIndex s) {
   // (0 + row[t]) + far[t] == row[t] + far[t] bit-for-bit: latencies are

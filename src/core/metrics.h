@@ -32,6 +32,18 @@ std::vector<double> ServerEccentricities(const Problem& problem,
 /// Requires a complete assignment.
 double MaxInteractionPathLength(const Problem& problem, const Assignment& a);
 
+/// MaxInteractionPathLength evaluated against ground-truth distances from
+/// an exact oracle rather than the problem's stored blocks. This is how
+/// plans made on estimated distances (landmark / coordinate backends) are
+/// scored: build the problem and assignment on the estimate, then measure
+/// the real D it achieves. Costs |used servers| oracle row queries plus
+/// one pass over the clients; never materializes a matrix. Requires
+/// oracle.exact(), a complete assignment, and problem node ids that live
+/// in the oracle (no virtual streaming ids).
+double MaxInteractionPathLengthExact(const net::DistanceOracle& oracle,
+                                     const Problem& problem,
+                                     const Assignment& a);
+
 /// Incremental view used by the iterative algorithms: given eccentricities
 /// (far) over used servers, the maximum path length touching server `s`
 /// for a client at distance `dist` from s is

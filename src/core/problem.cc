@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace diaca::core {
 
@@ -17,6 +18,14 @@ void CheckNodes(std::span<const net::NodeIndex> nodes, net::NodeIndex n,
   for (net::NodeIndex v : nodes) {
     DIACA_CHECK_MSG(v >= 0 && v < n,
                     kind << " node " << v << " outside matrix of size " << n);
+    DIACA_CHECK_MSG(seen.insert(v).second, "duplicate " << kind << " node " << v);
+  }
+}
+
+void CheckDistinct(std::span<const net::NodeIndex> nodes, const char* kind) {
+  DIACA_CHECK_MSG(!nodes.empty(), kind << " list must not be empty");
+  std::unordered_set<net::NodeIndex> seen;
+  for (net::NodeIndex v : nodes) {
     DIACA_CHECK_MSG(seen.insert(v).second, "duplicate " << kind << " node " << v);
   }
 }
@@ -54,12 +63,126 @@ Problem::Problem(const net::LatencyMatrix& matrix,
   }
 }
 
+Problem::Problem(const net::DistanceOracle& oracle,
+                 std::span<const net::NodeIndex> server_nodes,
+                 std::span<const net::NodeIndex> client_nodes) {
+  // Dense-backed oracles take the historical matrix path untouched, so
+  // existing results stay bit-identical by construction.
+  if (const net::LatencyMatrix* m = oracle.dense_matrix()) {
+    *this = Problem(*m, server_nodes, client_nodes);
+    return;
+  }
+  CheckNodes(server_nodes, oracle.size(), "server");
+  CheckNodes(client_nodes, oracle.size(), "client");
+  num_servers_ = static_cast<std::int32_t>(server_nodes.size());
+  num_clients_ = static_cast<std::int32_t>(client_nodes.size());
+  server_stride_ = simd::PaddedStride(static_cast<std::size_t>(num_servers_));
+  server_nodes_.assign(server_nodes.begin(), server_nodes.end());
+  client_nodes_.assign(client_nodes.begin(), client_nodes.end());
+
+  // Phase 1: the |S| server rows, each an independent oracle query
+  // (Dijkstra build on the rows backend). This is the only transient
+  // super-block state: O(|S| * n) doubles, freed before returning.
+  const auto n = static_cast<std::size_t>(oracle.size());
+  std::vector<std::vector<double>> server_rows(
+      static_cast<std::size_t>(num_servers_));
+  GlobalPool().ParallelFor(
+      0, num_servers_, 1, [&](std::int64_t sb, std::int64_t se) {
+        for (std::int64_t s = sb; s < se; ++s) {
+          auto& row = server_rows[static_cast<std::size_t>(s)];
+          row.resize(n);
+          oracle.FillRow(server_nodes_[static_cast<std::size_t>(s)], row);
+        }
+      });
+
+  // Phase 2: gather the retained blocks out of the server rows. Each
+  // chunk writes only its own d_cs_ rows, so the loop is trivially
+  // parallel and the output is independent of chunking.
+  d_cs_.assign(static_cast<std::size_t>(num_clients_) * server_stride_, 0.0);
+  GlobalPool().ParallelFor(
+      0, num_clients_, 1024, [&](std::int64_t cb, std::int64_t ce) {
+        for (std::int64_t c = cb; c < ce; ++c) {
+          const auto node = static_cast<std::size_t>(
+              client_nodes_[static_cast<std::size_t>(c)]);
+          double* out = d_cs_.data() + static_cast<std::size_t>(c) * server_stride_;
+          for (ServerIndex s = 0; s < num_servers_; ++s) {
+            out[s] = server_rows[static_cast<std::size_t>(s)][node];
+          }
+        }
+      });
+
+  d_ss_.assign(static_cast<std::size_t>(num_servers_) * server_stride_, 0.0);
+  for (ServerIndex a = 0; a < num_servers_; ++a) {
+    double* out = d_ss_.data() + static_cast<std::size_t>(a) * server_stride_;
+    const auto& row = server_rows[static_cast<std::size_t>(a)];
+    for (ServerIndex b = 0; b < num_servers_; ++b) {
+      out[b] = a == b ? 0.0
+                      : row[static_cast<std::size_t>(
+                            server_nodes_[static_cast<std::size_t>(b)])];
+    }
+  }
+}
+
 Problem Problem::WithClientsEverywhere(
     const net::LatencyMatrix& matrix,
     std::span<const net::NodeIndex> server_nodes) {
   std::vector<net::NodeIndex> all(static_cast<std::size_t>(matrix.size()));
   std::iota(all.begin(), all.end(), 0);
   return Problem(matrix, server_nodes, all);
+}
+
+Problem Problem::WithClientsEverywhere(
+    const net::DistanceOracle& oracle,
+    std::span<const net::NodeIndex> server_nodes) {
+  std::vector<net::NodeIndex> all(static_cast<std::size_t>(oracle.size()));
+  std::iota(all.begin(), all.end(), 0);
+  return Problem(oracle, server_nodes, all);
+}
+
+Problem Problem::FromBlocks(std::vector<net::NodeIndex> server_nodes,
+                            std::vector<net::NodeIndex> client_nodes,
+                            std::span<const double> d_cs,
+                            std::span<const double> d_ss) {
+  CheckDistinct(server_nodes, "server");
+  CheckDistinct(client_nodes, "client");
+  Problem p;
+  p.num_servers_ = static_cast<std::int32_t>(server_nodes.size());
+  p.num_clients_ = static_cast<std::int32_t>(client_nodes.size());
+  const auto s_count = static_cast<std::size_t>(p.num_servers_);
+  const auto c_count = static_cast<std::size_t>(p.num_clients_);
+  DIACA_CHECK_MSG(d_cs.size() == c_count * s_count,
+                  "d_cs block is " << d_cs.size() << " doubles, expected "
+                                   << c_count * s_count);
+  DIACA_CHECK_MSG(d_ss.size() == s_count * s_count,
+                  "d_ss block is " << d_ss.size() << " doubles, expected "
+                                   << s_count * s_count);
+  p.server_stride_ = simd::PaddedStride(s_count);
+  p.server_nodes_ = std::move(server_nodes);
+  p.client_nodes_ = std::move(client_nodes);
+  p.d_cs_.assign(c_count * p.server_stride_, 0.0);
+  for (std::size_t c = 0; c < c_count; ++c) {
+    const double* in = d_cs.data() + c * s_count;
+    double* out = p.d_cs_.data() + c * p.server_stride_;
+    for (std::size_t s = 0; s < s_count; ++s) {
+      DIACA_CHECK_MSG(d_cs[c * s_count + s] >= 0.0,
+                      "negative client-to-server latency at (" << c << ", "
+                                                               << s << ")");
+      out[s] = in[s];
+    }
+  }
+  p.d_ss_.assign(s_count * p.server_stride_, 0.0);
+  for (std::size_t a = 0; a < s_count; ++a) {
+    const double* in = d_ss.data() + a * s_count;
+    double* out = p.d_ss_.data() + a * p.server_stride_;
+    for (std::size_t b = 0; b < s_count; ++b) {
+      DIACA_CHECK_MSG(in[b] >= 0.0, "negative server-to-server latency at ("
+                                        << a << ", " << b << ")");
+      DIACA_CHECK_MSG(a != b || in[b] == 0.0,
+                      "non-zero server-to-server diagonal at " << a);
+      out[b] = in[b];
+    }
+  }
+  return p;
 }
 
 }  // namespace diaca::core

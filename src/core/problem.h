@@ -13,6 +13,7 @@
 
 #include "common/simd/simd.h"
 #include "core/types.h"
+#include "net/distance_oracle.h"
 #include "net/latency_matrix.h"
 
 namespace diaca::core {
@@ -23,6 +24,18 @@ class Problem {
   /// and clients. Throws diaca::Error if the lists are empty, contain
   /// duplicates, or reference nodes outside the matrix.
   Problem(const net::LatencyMatrix& matrix,
+          std::span<const net::NodeIndex> server_nodes,
+          std::span<const net::NodeIndex> client_nodes);
+
+  /// Build from a distance oracle without ever materializing an O(n^2)
+  /// matrix: only the |S| server rows are queried (each client-to-server
+  /// and server-to-server distance lives on some server row), so the
+  /// transient footprint is O(|S| * n) and the retained blocks are
+  /// O((|C| + |S|) * |S|) exactly as with the matrix constructor. A
+  /// dense-backed oracle delegates to the matrix constructor, so results
+  /// are bit-identical to the historical path; a rows-backed oracle
+  /// produces the same bits via canonical Dijkstra rows.
+  Problem(const net::DistanceOracle& oracle,
           std::span<const net::NodeIndex> server_nodes,
           std::span<const net::NodeIndex> client_nodes);
 
@@ -76,7 +89,25 @@ class Problem {
       const net::LatencyMatrix& matrix,
       std::span<const net::NodeIndex> server_nodes);
 
+  /// Oracle-backed variant of WithClientsEverywhere.
+  static Problem WithClientsEverywhere(
+      const net::DistanceOracle& oracle,
+      std::span<const net::NodeIndex> server_nodes);
+
+  /// Assemble a problem directly from pre-computed latency blocks, for
+  /// streaming builders that never hold a full matrix (data/streaming.h).
+  /// `d_cs` is |C| x |S| row-major (client-to-server), `d_ss` is |S| x |S|
+  /// row-major (server-to-server, symmetric, zero diagonal). Node ids are
+  /// carried through as labels only and may exceed any matrix size
+  /// (virtual client ids); duplicates between the two lists are still
+  /// rejected within each list.
+  static Problem FromBlocks(std::vector<net::NodeIndex> server_nodes,
+                            std::vector<net::NodeIndex> client_nodes,
+                            std::span<const double> d_cs,
+                            std::span<const double> d_ss);
+
  private:
+  Problem() = default;
   std::int32_t num_servers_;
   std::int32_t num_clients_;
   std::size_t server_stride_;  // simd::PaddedStride(num_servers_)

@@ -199,4 +199,39 @@ net::LatencyMatrix LoadTriplesMatrix(const std::string& path) {
   return m;
 }
 
+net::Graph LoadGraphTriples(const std::string& path) {
+  LineReader reader(OpenForRead(path), path, "graph triples");
+  std::int64_t max_id = -1;
+  std::vector<std::tuple<std::int64_t, std::int64_t, double>> edges;
+  std::string line;
+  while (reader.Next(&line)) {
+    std::istringstream fields(line);
+    std::int64_t u = 0;
+    std::int64_t v = 0;
+    double length = 0.0;
+    if (!(fields >> u >> v >> length)) {
+      reader.Fail("expected 'u v length_ms', got '" + line + "'");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      reader.Fail("trailing tokens after 'u v length_ms' in '" + line + "'");
+    }
+    if (u < 0 || v < 0) reader.Fail("negative node id");
+    if (u == v) reader.Fail("self-loop (" + std::to_string(u) + ")");
+    if (!std::isfinite(length) || length <= 0.0) {
+      reader.Fail("length must be finite and positive, got " +
+                  std::to_string(length));
+    }
+    max_id = std::max({max_id, u, v});
+    edges.emplace_back(u, v, length);
+  }
+  if (max_id < 1) reader.FailFile("no data");
+  net::Graph g(static_cast<net::NodeIndex>(max_id + 1));
+  for (const auto& [u, v, length] : edges) {
+    g.AddEdge(static_cast<net::NodeIndex>(u), static_cast<net::NodeIndex>(v),
+              length);
+  }
+  return g;
+}
+
 }  // namespace diaca::data

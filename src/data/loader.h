@@ -13,6 +13,7 @@
 
 #include <string>
 
+#include "net/graph.h"
 #include "net/latency_matrix.h"
 
 namespace diaca::data {
@@ -26,5 +27,14 @@ void SaveDenseMatrix(const net::LatencyMatrix& m, const std::string& path);
 /// Load a triples-format matrix. Throws diaca::Error on IO/format errors
 /// or if any pair is missing.
 net::LatencyMatrix LoadTriplesMatrix(const std::string& path);
+
+/// Load a *sparse* graph from the same `u v length_ms` triples layout:
+/// each line is one undirected link, pairs may be absent (that is the
+/// point — the file is an edge list, not a matrix), and repeated pairs
+/// become parallel links (shortest wins during routing). The node count
+/// is one more than the largest id seen. This is the substrate input for
+/// the sublinear distance-oracle backends, which never want the routed
+/// closure materialized. Throws diaca::Error on IO/format errors.
+net::Graph LoadGraphTriples(const std::string& path);
 
 }  // namespace diaca::data

@@ -1,0 +1,411 @@
+#include "net/distance_oracle.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <functional>
+#include <limits>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "net/apsp.h"
+#include "net/graph.h"
+#include "net/vivaldi.h"
+#include "obs/obs.h"
+
+namespace diaca::net {
+
+namespace {
+
+// Process default, kDense until overridden (CLI --distances / benches).
+std::atomic<int> g_default_oracle{static_cast<int>(OracleBackend::kDense)};
+
+using RowProvider = std::function<std::vector<double>(NodeIndex)>;
+
+// Deterministic farthest-point (maxmin) pivot selection: start at node 0,
+// repeatedly add the node maximizing the distance to the chosen set (ties
+// to the lowest index). Returns the pivots and their rows. Seed-free and
+// thread-free, so the pivot set is a pure function of the distances.
+void SelectFarthestPoints(NodeIndex n, std::int32_t k,
+                          const RowProvider& row_of,
+                          std::vector<NodeIndex>* pivots,
+                          std::vector<std::vector<double>>* rows) {
+  pivots->clear();
+  rows->clear();
+  std::vector<double> to_set(static_cast<std::size_t>(n),
+                             std::numeric_limits<double>::infinity());
+  NodeIndex next = 0;
+  for (std::int32_t i = 0; i < k; ++i) {
+    pivots->push_back(next);
+    rows->push_back(row_of(next));
+    const std::vector<double>& row = rows->back();
+    NodeIndex best = -1;
+    double best_dist = -1.0;
+    for (NodeIndex v = 0; v < n; ++v) {
+      auto& d = to_set[static_cast<std::size_t>(v)];
+      d = std::min(d, row[static_cast<std::size_t>(v)]);
+      if (d > best_dist) {
+        best_dist = d;
+        best = v;
+      }
+    }
+    next = best;
+  }
+}
+
+}  // namespace
+
+const char* OracleBackendName(OracleBackend backend) {
+  switch (backend) {
+    case OracleBackend::kDense:
+      return "dense";
+    case OracleBackend::kRows:
+      return "rows";
+    case OracleBackend::kLandmarks:
+      return "landmarks";
+    case OracleBackend::kCoords:
+      return "coords";
+  }
+  return "unknown";
+}
+
+OracleBackend ParseOracleBackend(const std::string& name) {
+  if (name == "dense") return OracleBackend::kDense;
+  if (name == "rows") return OracleBackend::kRows;
+  if (name == "landmarks") return OracleBackend::kLandmarks;
+  if (name == "coords") return OracleBackend::kCoords;
+  throw Error("unknown distance backend '" + name +
+              "' (expected dense|rows|landmarks|coords)");
+}
+
+OracleBackend DefaultOracleBackend() {
+  return static_cast<OracleBackend>(
+      g_default_oracle.load(std::memory_order_relaxed));
+}
+
+void SetDefaultOracleBackend(OracleBackend backend) {
+  g_default_oracle.store(static_cast<int>(backend), std::memory_order_relaxed);
+}
+
+struct DistanceOracle::Impl {
+  OracleBackend backend = OracleBackend::kDense;
+  NodeIndex n = 0;
+  OracleOptions options;
+
+  // kDense.
+  std::optional<LatencyMatrix> dense;
+
+  // kRows: adjacency copy + LRU row cache (most recent at the front).
+  std::optional<Graph> graph;
+  mutable std::mutex mu;
+  mutable std::list<std::pair<NodeIndex, std::vector<double>>> lru;
+  mutable std::unordered_map<NodeIndex, decltype(lru)::iterator> lru_index;
+
+  // kLandmarks / kCoords pivot and beacon ids; landmark_rows is k rows of
+  // n doubles, row-major, only populated for kLandmarks.
+  std::vector<NodeIndex> pivots;
+  std::vector<std::vector<double>> landmark_rows;
+  std::optional<VivaldiSystem> vivaldi;
+
+  mutable std::atomic<std::int64_t> hits{0};
+  mutable std::atomic<std::int64_t> misses{0};
+  mutable std::atomic<std::int64_t> builds{0};
+  mutable std::atomic<std::int64_t> evictions{0};
+
+  std::vector<double> BuildRow(NodeIndex u) const {
+    builds.fetch_add(1, std::memory_order_relaxed);
+    DIACA_OBS_COUNT("net.oracle.row_builds", 1);
+    std::vector<double> row = graph->CanonicalShortestPathsFrom(u);
+    for (NodeIndex v = 0; v < n; ++v) {
+      if (!std::isfinite(row[static_cast<std::size_t>(v)])) {
+        throw Error("graph is disconnected: no path " + std::to_string(u) +
+                    " -> " + std::to_string(v));
+      }
+    }
+    return row;
+  }
+
+  // Copy row u into out, serving from / refreshing the LRU cache.
+  void RowsFill(NodeIndex u, std::span<double> out) const {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      const auto it = lru_index.find(u);
+      if (it != lru_index.end()) {
+        hits.fetch_add(1, std::memory_order_relaxed);
+        DIACA_OBS_COUNT("net.oracle.cache_hits", 1);
+        lru.splice(lru.begin(), lru, it->second);
+        std::copy(it->second->second.begin(), it->second->second.end(),
+                  out.begin());
+        return;
+      }
+    }
+    misses.fetch_add(1, std::memory_order_relaxed);
+    DIACA_OBS_COUNT("net.oracle.cache_misses", 1);
+    std::vector<double> row = BuildRow(u);  // outside the lock
+    std::copy(row.begin(), row.end(), out.begin());
+    std::lock_guard<std::mutex> lock(mu);
+    if (lru_index.find(u) != lru_index.end()) return;  // raced: keep theirs
+    lru.emplace_front(u, std::move(row));
+    lru_index.emplace(u, lru.begin());
+    while (lru.size() > options.row_cache_capacity) {
+      evictions.fetch_add(1, std::memory_order_relaxed);
+      DIACA_OBS_COUNT("net.oracle.cache_evictions", 1);
+      lru_index.erase(lru.back().first);
+      lru.pop_back();
+    }
+  }
+
+  double RowsDistance(NodeIndex u, NodeIndex v) const {
+    // Serve from either endpoint's cached row (rows are canonical, so
+    // row_u[v] == row_v[u] bit-for-bit); build u's row on a double miss.
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      for (const NodeIndex w : {u, v}) {
+        const auto it = lru_index.find(w);
+        if (it != lru_index.end()) {
+          hits.fetch_add(1, std::memory_order_relaxed);
+          DIACA_OBS_COUNT("net.oracle.cache_hits", 1);
+          lru.splice(lru.begin(), lru, it->second);
+          return it->second->second[static_cast<std::size_t>(w == u ? v : u)];
+        }
+      }
+    }
+    misses.fetch_add(1, std::memory_order_relaxed);
+    DIACA_OBS_COUNT("net.oracle.cache_misses", 1);
+    std::vector<double> row = BuildRow(u);
+    const double d = row[static_cast<std::size_t>(v)];
+    std::lock_guard<std::mutex> lock(mu);
+    if (lru_index.find(u) == lru_index.end()) {
+      lru.emplace_front(u, std::move(row));
+      lru_index.emplace(u, lru.begin());
+      while (lru.size() > options.row_cache_capacity) {
+        evictions.fetch_add(1, std::memory_order_relaxed);
+        DIACA_OBS_COUNT("net.oracle.cache_evictions", 1);
+        lru_index.erase(lru.back().first);
+        lru.pop_back();
+      }
+    }
+    return d;
+  }
+
+  DistanceOracle::Bounds LandmarkBounds(NodeIndex u, NodeIndex v) const {
+    if (u == v) return {0.0, 0.0};
+    double upper = std::numeric_limits<double>::infinity();
+    double lower = 0.0;
+    for (std::size_t i = 0; i < pivots.size(); ++i) {
+      const std::vector<double>& row = landmark_rows[i];
+      const double du = row[static_cast<std::size_t>(u)];
+      const double dv = row[static_cast<std::size_t>(v)];
+      // A pivot at an endpoint pins the sandwich to the exact distance
+      // (du or dv is 0, so upper == lower == the row value).
+      upper = std::min(upper, du + dv);
+      lower = std::max(lower, std::abs(du - dv));
+    }
+    return {lower, upper};
+  }
+
+  // Shared sketch construction over any exact row source; `row_of` must
+  // return canonical rows (matrix rows or canonical Dijkstra rows).
+  void BuildSketch(const RowProvider& row_of);
+};
+
+DistanceOracle::DistanceOracle(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+DistanceOracle::~DistanceOracle() = default;
+DistanceOracle::DistanceOracle(DistanceOracle&&) noexcept = default;
+DistanceOracle& DistanceOracle::operator=(DistanceOracle&&) noexcept = default;
+
+void DistanceOracle::Impl::BuildSketch(const RowProvider& row_of) {
+  Impl& impl = *this;
+  const OracleOptions& opt = impl.options;
+  if (impl.backend == OracleBackend::kLandmarks) {
+    const std::int32_t k =
+        std::min<std::int32_t>(std::max<std::int32_t>(opt.num_landmarks, 1),
+                               impl.n);
+    SelectFarthestPoints(impl.n, k, row_of, &impl.pivots, &impl.landmark_rows);
+    return;
+  }
+  DIACA_CHECK(impl.backend == OracleBackend::kCoords);
+  const std::int32_t b = std::min<std::int32_t>(
+      std::max<std::int32_t>(opt.coord_beacons, 1), impl.n - 1);
+  std::vector<std::vector<double>> beacon_rows;
+  SelectFarthestPoints(impl.n, b, row_of, &impl.pivots, &beacon_rows);
+  VivaldiParams params;
+  params.dimensions = opt.coord_dimensions;
+  impl.vivaldi.emplace(impl.n, params, opt.seed);
+  // Beacon-driven fit: each round, every node observes its latency to one
+  // deterministic-pseudorandom beacon (real coordinate systems measure
+  // against a beacon set exactly like this). The schedule depends only on
+  // (seed, rounds, beacons, n), never on thread count.
+  Rng rng(opt.seed ^ 0x9e3779b97f4a7c15ull);
+  const std::int32_t rounds = std::max<std::int32_t>(opt.coord_rounds, 1);
+  for (std::int32_t round = 0; round < rounds; ++round) {
+    for (NodeIndex u = 0; u < impl.n; ++u) {
+      const auto j = static_cast<std::size_t>(
+          rng.NextBounded(static_cast<std::uint64_t>(b)));
+      const NodeIndex beacon = impl.pivots[j];
+      if (beacon == u) continue;
+      const double d = beacon_rows[j][static_cast<std::size_t>(u)];
+      if (d > 0.0) impl.vivaldi->Observe(u, beacon, d);
+    }
+  }
+  // Beacon rows are fit scaffolding only; the retained state is O(n * d).
+}
+
+DistanceOracle DistanceOracle::FromMatrix(LatencyMatrix matrix) {
+  auto impl = std::make_unique<Impl>();
+  impl->backend = OracleBackend::kDense;
+  impl->n = matrix.size();
+  impl->options.backend = OracleBackend::kDense;
+  impl->dense.emplace(std::move(matrix));
+  return DistanceOracle(std::move(impl));
+}
+
+DistanceOracle DistanceOracle::FromMatrix(const LatencyMatrix& matrix,
+                                          const OracleOptions& options) {
+  if (options.backend == OracleBackend::kDense) return FromMatrix(matrix);
+  DIACA_CHECK_MSG(options.backend != OracleBackend::kRows,
+                  "the rows backend needs a sparse graph; construct it "
+                  "with DistanceOracle::FromGraph");
+  auto impl = std::make_unique<Impl>();
+  impl->backend = options.backend;
+  impl->n = matrix.size();
+  impl->options = options;
+  const RowProvider row_of = [&matrix](NodeIndex u) {
+    const double* row = matrix.Row(u);
+    return std::vector<double>(row, row + matrix.size());
+  };
+  impl->BuildSketch(row_of);
+  return DistanceOracle(std::move(impl));
+}
+
+DistanceOracle DistanceOracle::FromGraph(const Graph& graph,
+                                         const OracleOptions& options) {
+  if (options.backend == OracleBackend::kDense) {
+    return FromMatrix(graph.AllPairsShortestPaths());
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->backend = options.backend;
+  impl->n = graph.size();
+  impl->options = options;
+  impl->options.row_cache_capacity =
+      std::max<std::size_t>(options.row_cache_capacity, 1);
+  if (options.backend == OracleBackend::kRows) {
+    impl->graph.emplace(graph);
+    return DistanceOracle(std::move(impl));
+  }
+  const RowProvider row_of = [&graph](NodeIndex u) {
+    std::vector<double> row = graph.CanonicalShortestPathsFrom(u);
+    for (double d : row) {
+      if (!std::isfinite(d)) {
+        throw Error("graph is disconnected: no path from " +
+                    std::to_string(u));
+      }
+    }
+    return row;
+  };
+  impl->BuildSketch(row_of);
+  return DistanceOracle(std::move(impl));
+}
+
+NodeIndex DistanceOracle::size() const { return impl_->n; }
+
+OracleBackend DistanceOracle::backend() const { return impl_->backend; }
+
+bool DistanceOracle::exact() const {
+  return impl_->backend == OracleBackend::kDense ||
+         impl_->backend == OracleBackend::kRows;
+}
+
+double DistanceOracle::Distance(NodeIndex u, NodeIndex v) const {
+  DIACA_CHECK(u >= 0 && u < impl_->n && v >= 0 && v < impl_->n);
+  if (u == v) return 0.0;
+  switch (impl_->backend) {
+    case OracleBackend::kDense:
+      return (*impl_->dense)(u, v);
+    case OracleBackend::kRows:
+      return impl_->RowsDistance(u, v);
+    case OracleBackend::kLandmarks:
+      return impl_->LandmarkBounds(u, v).upper;
+    case OracleBackend::kCoords:
+      return impl_->vivaldi->Predict(u, v);
+  }
+  return 0.0;
+}
+
+void DistanceOracle::FillRow(NodeIndex u, std::span<double> out) const {
+  DIACA_CHECK(u >= 0 && u < impl_->n);
+  DIACA_CHECK_MSG(out.size() >= static_cast<std::size_t>(impl_->n),
+                  "FillRow needs room for " << impl_->n << " distances");
+  switch (impl_->backend) {
+    case OracleBackend::kDense: {
+      const double* row = impl_->dense->Row(u);
+      std::copy(row, row + impl_->n, out.begin());
+      return;
+    }
+    case OracleBackend::kRows:
+      impl_->RowsFill(u, out);
+      return;
+    case OracleBackend::kLandmarks: {
+      for (NodeIndex v = 0; v < impl_->n; ++v) {
+        out[static_cast<std::size_t>(v)] =
+            v == u ? 0.0 : impl_->LandmarkBounds(u, v).upper;
+      }
+      return;
+    }
+    case OracleBackend::kCoords: {
+      for (NodeIndex v = 0; v < impl_->n; ++v) {
+        out[static_cast<std::size_t>(v)] =
+            v == u ? 0.0 : impl_->vivaldi->Predict(u, v);
+      }
+      return;
+    }
+  }
+}
+
+DistanceOracle::Bounds DistanceOracle::DistanceBounds(NodeIndex u,
+                                                      NodeIndex v) const {
+  DIACA_CHECK(u >= 0 && u < impl_->n && v >= 0 && v < impl_->n);
+  if (u == v) return {0.0, 0.0};
+  switch (impl_->backend) {
+    case OracleBackend::kDense:
+    case OracleBackend::kRows: {
+      const double d = Distance(u, v);
+      return {d, d};
+    }
+    case OracleBackend::kLandmarks:
+      return impl_->LandmarkBounds(u, v);
+    case OracleBackend::kCoords: {
+      // No certificate — the point estimate on both sides; the error
+      // envelope is measured per substrate (bench_oracle).
+      const double d = impl_->vivaldi->Predict(u, v);
+      return {d, d};
+    }
+  }
+  return {0.0, 0.0};
+}
+
+std::span<const NodeIndex> DistanceOracle::landmarks() const {
+  return impl_->pivots;
+}
+
+const LatencyMatrix* DistanceOracle::dense_matrix() const {
+  return impl_->dense.has_value() ? &*impl_->dense : nullptr;
+}
+
+OracleStats DistanceOracle::stats() const {
+  OracleStats s;
+  s.row_cache_hits = impl_->hits.load(std::memory_order_relaxed);
+  s.row_cache_misses = impl_->misses.load(std::memory_order_relaxed);
+  s.row_builds = impl_->builds.load(std::memory_order_relaxed);
+  s.row_evictions = impl_->evictions.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace diaca::net

@@ -1,0 +1,166 @@
+// Pluggable distance layer: sublinear-memory alternatives to the dense
+// all-pairs LatencyMatrix.
+//
+// The paper's evaluation materializes the full O(n^2) latency matrix
+// before any assignment runs; at 10k nodes that is already 763 MB and
+// minutes of APSP for a 29 ms solve, and at the 100k-1M-client scales
+// real DIAs operate at it is simply impossible. DistanceOracle replaces
+// "materialize all pairs" with four interchangeable backends behind one
+// query interface:
+//
+//   * kDense     — adopts a complete LatencyMatrix. Exact, O(1) queries,
+//                  O(n^2) memory. The historical default; every existing
+//                  result is produced by this backend unchanged.
+//   * kRows      — lazy per-source Dijkstra rows over the sparse
+//                  substrate graph, kept in an LRU-bounded row cache.
+//                  Exact: each row is the canonical Dijkstra row (see
+//                  Graph::CanonicalShortestPathsFrom), so the values are
+//                  bit-identical to the dense Dijkstra matrix entries.
+//                  O(m log n) per row build, O(cache * n) memory. The
+//                  backend assignment solves run on: s server rows cost
+//                  O(s * n) instead of O(n^2).
+//   * kLandmarks — k pivot nodes (farthest-point sampled) with
+//                  precomputed exact rows. Queries return the classic
+//                  triangle-inequality sandwich: upper bound
+//                  min_L d(u,L)+d(L,v), lower bound max_L |d(u,L)-d(L,v)|;
+//                  Distance() reports the upper bound. Exact whenever one
+//                  endpoint is a landmark. O(k * n) memory.
+//   * kCoords    — Vivaldi network coordinates (net/vivaldi.h) fitted
+//                  against beacon rows. O(n * d) memory, constant-time
+//                  estimates, no error guarantee (the bench measures the
+//                  envelope per substrate).
+//
+// Thread safety: all query methods are safe to call concurrently; the
+// rows backend guards its LRU with a mutex and builds rows outside the
+// lock. Query results never depend on cache state, thread count, or
+// query order, so everything downstream stays bit-deterministic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/latency_matrix.h"
+
+namespace diaca::net {
+
+class Graph;
+
+enum class OracleBackend {
+  kDense = 0,      ///< Full matrix in memory (exact, the historical path).
+  kRows = 1,       ///< Lazy per-source Dijkstra rows + LRU cache (exact).
+  kLandmarks = 2,  ///< k-pivot sketch with upper/lower bounds.
+  kCoords = 3,     ///< Vivaldi coordinate estimates.
+};
+
+/// "dense" | "rows" | "landmarks" | "coords".
+const char* OracleBackendName(OracleBackend backend);
+
+/// Inverse of OracleBackendName. Throws diaca::Error on unknown names,
+/// listing the valid set.
+OracleBackend ParseOracleBackend(const std::string& name);
+
+/// Process-wide default consumed by oracle-aware front ends (the CLI's
+/// --distances flag, benches). kDense until overridden, mirroring the
+/// SetDefaultApspBackend pattern.
+OracleBackend DefaultOracleBackend();
+void SetDefaultOracleBackend(OracleBackend backend);
+
+struct OracleOptions {
+  OracleBackend backend = OracleBackend::kRows;
+  /// Rows backend: number of rows the LRU cache retains. Each row is
+  /// size() doubles. Capacity never affects query results, only rebuild
+  /// frequency.
+  std::size_t row_cache_capacity = 128;
+  /// Landmarks backend: number of pivots (farthest-point sampled,
+  /// deterministic; clamped to size()).
+  std::int32_t num_landmarks = 16;
+  /// Coords backend: beacon nodes measured against (clamped to size()),
+  /// observation rounds, and the Vivaldi embedding dimension.
+  std::int32_t coord_beacons = 16;
+  std::int32_t coord_rounds = 48;
+  std::int32_t coord_dimensions = 3;
+  /// Seed for the coords fit (beacon observation schedule + Vivaldi
+  /// initialization). Landmark selection is seed-free (deterministic
+  /// farthest-point from node 0).
+  std::uint64_t seed = 2011;
+};
+
+/// Monotonic query-layer counters (also exported as net.oracle.* obs
+/// metrics). Hits/misses only move on the rows backend.
+struct OracleStats {
+  std::int64_t row_cache_hits = 0;
+  std::int64_t row_cache_misses = 0;
+  std::int64_t row_builds = 0;
+  std::int64_t row_evictions = 0;
+};
+
+class DistanceOracle {
+ public:
+  /// Dense backend adopting a complete matrix (the historical path).
+  static DistanceOracle FromMatrix(LatencyMatrix matrix);
+
+  /// Sketch backends over a measured matrix: kLandmarks / kCoords compress
+  /// the matrix into an O(k*n) / O(n*d) sketch and do NOT retain it;
+  /// kDense copies it. kRows needs a graph and throws here.
+  static DistanceOracle FromMatrix(const LatencyMatrix& matrix,
+                                   const OracleOptions& options);
+
+  /// Graph-backed backends. kRows keeps an adjacency copy (O(n + m)) and
+  /// builds rows on demand; kLandmarks / kCoords run their pivot/beacon
+  /// Dijkstras up front and drop the graph; kDense materializes the full
+  /// matrix via the default APSP engine. Throws diaca::Error if the graph
+  /// is disconnected (detected lazily for kRows, at the first row build).
+  static DistanceOracle FromGraph(const Graph& graph,
+                                  const OracleOptions& options);
+
+  ~DistanceOracle();
+  DistanceOracle(DistanceOracle&&) noexcept;
+  DistanceOracle& operator=(DistanceOracle&&) noexcept;
+  DistanceOracle(const DistanceOracle&) = delete;
+  DistanceOracle& operator=(const DistanceOracle&) = delete;
+
+  NodeIndex size() const;
+  OracleBackend backend() const;
+
+  /// True for backends whose answers equal the dense matrix bit-for-bit
+  /// (kDense, kRows).
+  bool exact() const;
+
+  /// Distance estimate between two nodes, in milliseconds. Exact backends
+  /// return the dense-matrix value; kLandmarks returns its upper bound;
+  /// kCoords the coordinate prediction. Symmetric, zero on the diagonal.
+  double Distance(NodeIndex u, NodeIndex v) const;
+
+  /// All distances from u, written to out[0..size()). For the rows
+  /// backend this is the primary bulk interface: one cache lookup or one
+  /// row build, then a copy.
+  void FillRow(NodeIndex u, std::span<double> out) const;
+
+  struct Bounds {
+    double lower;
+    double upper;
+  };
+  /// Certified sandwich lower <= d(u,v) <= upper for exact and landmark
+  /// backends. kCoords has no guarantee: both sides carry the point
+  /// estimate and the error envelope must be measured (bench_oracle).
+  Bounds DistanceBounds(NodeIndex u, NodeIndex v) const;
+
+  /// Pivot node ids (kLandmarks) or beacon ids (kCoords); empty otherwise.
+  std::span<const NodeIndex> landmarks() const;
+
+  /// The adopted matrix (kDense), nullptr otherwise. Lets dense-path
+  /// consumers (core::Problem) keep their historical bit-exact fast path.
+  const LatencyMatrix* dense_matrix() const;
+
+  OracleStats stats() const;
+
+ private:
+  struct Impl;
+  explicit DistanceOracle(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace diaca::net

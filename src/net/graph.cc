@@ -45,6 +45,49 @@ std::vector<double> Graph::ShortestPathsFrom(NodeIndex source) const {
   return dist;
 }
 
+std::vector<double> Graph::CanonicalShortestPathsFrom(NodeIndex source) const {
+  DIACA_CHECK(source >= 0 && source < n_);
+  const auto n = static_cast<std::size_t>(n_);
+  std::vector<double> dist(n, kInfinity);
+  // Shortest-path tree: predecessor toward the source and the length of
+  // the arc that reached each node, for the canonical re-summation below.
+  std::vector<NodeIndex> parent(n, -1);
+  std::vector<double> arc_len(n, 0.0);
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  using Item = std::pair<double, NodeIndex>;  // (distance, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;  // stale entry
+    for (const Arc& arc : adj_[static_cast<std::size_t>(u)]) {
+      const double nd = d + arc.length;
+      const auto to = static_cast<std::size_t>(arc.to);
+      if (nd < dist[to]) {
+        dist[to] = nd;
+        parent[to] = u;
+        arc_len[to] = arc.length;
+        heap.emplace(nd, arc.to);
+      }
+    }
+  }
+  // Canonical direction for v < source is v -> source: walk the tree
+  // chain from v and accumulate left-to-right, reproducing the partial
+  // sums a Dijkstra rooted at v computes along the same path.
+  for (NodeIndex v = 0; v < source; ++v) {
+    if (parent[static_cast<std::size_t>(v)] < 0) continue;  // unreachable
+    double sum = 0.0;
+    NodeIndex w = v;
+    while (w != source) {
+      sum += arc_len[static_cast<std::size_t>(w)];
+      w = parent[static_cast<std::size_t>(w)];
+    }
+    dist[static_cast<std::size_t>(v)] = sum;
+  }
+  return dist;
+}
+
 LatencyMatrix Graph::AllPairsShortestPaths() const {
   DIACA_OBS_SPAN("net.graph.apsp");
   // Routed through the APSP engine: the process-default backend (kAuto

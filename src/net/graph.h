@@ -43,6 +43,19 @@ class Graph {
   /// Unreachable nodes get +infinity.
   std::vector<double> ShortestPathsFrom(NodeIndex source) const;
 
+  /// ShortestPathsFrom with canonical rounding: entry v carries the path
+  /// sum accumulated from the lower-indexed endpoint of {source, v} —
+  /// exactly the association order the dense APSP Dijkstra uses when it
+  /// fills the (min, max) cell from source min. For v > source that is
+  /// the plain Dijkstra value; for v < source the shortest-path-tree arc
+  /// chain is re-summed from v's end. The two directions differ only in
+  /// last-ulp association, so this row is bit-identical to the dense
+  /// matrix row whenever the shortest path is unique at ulp resolution
+  /// (always, for substrates with continuous random weights; trivially,
+  /// for dyadic integer weights where the sums are exact). The rows
+  /// distance-oracle backend is built on this.
+  std::vector<double> CanonicalShortestPathsFrom(NodeIndex source) const;
+
   /// All-pairs shortest paths as a LatencyMatrix. Throws diaca::Error if
   /// the graph is disconnected (the system model requires every pair of
   /// nodes to be able to communicate).

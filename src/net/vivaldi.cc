@@ -34,9 +34,12 @@ double VivaldiSystem::Predict(NodeIndex u, NodeIndex v) const {
     const double diff = xu[d] - xv[d];
     sq += diff * diff;
   }
+  // Group the heights so the sum is bit-symmetric in (u, v): commutative
+  // addition makes h_u + h_v exact under swap, while the left-to-right
+  // association sqrt + h_u + h_v is not.
   const double prediction = std::sqrt(sq) +
-                            height_[static_cast<std::size_t>(u)] +
-                            height_[static_cast<std::size_t>(v)];
+                            (height_[static_cast<std::size_t>(u)] +
+                             height_[static_cast<std::size_t>(v)]);
   return std::max(prediction, params_.min_prediction_ms);
 }
 

@@ -172,6 +172,36 @@ std::vector<NodeIndex> KCenterGreedy(const LatencyMatrix& m, std::int32_t k) {
   return centers;  // insertion order: prefixes are smaller-budget answers
 }
 
+std::vector<NodeIndex> KCenterFarthest(const net::DistanceOracle& oracle,
+                                       std::int32_t k) {
+  const NodeIndex n = oracle.size();
+  DIACA_CHECK_MSG(k >= 1 && k <= n, "server budget " << k << " out of range for "
+                                                     << n << " nodes");
+  std::vector<NodeIndex> centers;
+  centers.reserve(static_cast<std::size_t>(k));
+  std::vector<double> dist(static_cast<std::size_t>(n),
+                           std::numeric_limits<double>::infinity());
+  std::vector<double> row(static_cast<std::size_t>(n));
+  NodeIndex next = 0;
+  for (std::int32_t step = 0; step < k; ++step) {
+    centers.push_back(next);
+    oracle.FillRow(next, row);
+    NodeIndex farthest = -1;
+    double best = -1.0;
+    for (NodeIndex u = 0; u < n; ++u) {
+      auto& d = dist[static_cast<std::size_t>(u)];
+      d = std::min(d, row[static_cast<std::size_t>(u)]);
+      if (d > best) {
+        best = d;
+        farthest = u;
+      }
+    }
+    next = farthest;
+  }
+  std::sort(centers.begin(), centers.end());
+  return centers;
+}
+
 double KCenterObjective(const LatencyMatrix& m,
                         std::span<const NodeIndex> centers) {
   DIACA_CHECK(!centers.empty());

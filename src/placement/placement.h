@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "net/distance_oracle.h"
 #include "net/latency_matrix.h"
 
 namespace diaca::placement {
@@ -42,5 +43,14 @@ std::vector<net::NodeIndex> KCenterGreedy(const net::LatencyMatrix& m,
 /// compare placements and in tests.
 double KCenterObjective(const net::LatencyMatrix& m,
                         std::span<const net::NodeIndex> centers);
+
+/// Farthest-point K-center over a distance oracle (Gonzalez's classic
+/// 2-approximation): start at node 0, repeatedly add the node farthest
+/// from the chosen set (ties toward the lower id). Needs only k oracle
+/// rows — O(k * n) time and transient memory, no matrix — so it is the
+/// placement used on substrates too large to materialize. With a dense
+/// oracle it matches farthest-point selection on the matrix exactly.
+std::vector<net::NodeIndex> KCenterFarthest(const net::DistanceOracle& oracle,
+                                            std::int32_t k);
 
 }  // namespace diaca::placement

@@ -120,6 +120,37 @@ TEST(ProblemTest, RejectsDuplicatesAndOutOfRange) {
   EXPECT_THROW(Problem(m, ok, oob), Error);
 }
 
+TEST(ProblemTest, FromBlocksBuildsStreamedProblems) {
+  // Client ids past any matrix size are fine: node ids are labels here.
+  const std::vector<net::NodeIndex> servers = {0, 3};
+  const std::vector<net::NodeIndex> clients = {100, 101, 102};
+  const std::vector<double> d_cs = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  const std::vector<double> d_ss = {0.0, 7.0, 7.0, 0.0};
+  const Problem p = Problem::FromBlocks(servers, clients, d_cs, d_ss);
+  EXPECT_EQ(p.num_clients(), 3);
+  EXPECT_EQ(p.num_servers(), 2);
+  EXPECT_EQ(p.client_node(2), 102);
+  EXPECT_EQ(p.cs(1, 1), 4.0);
+  EXPECT_EQ(p.ss(0, 1), 7.0);
+  EXPECT_EQ(p.ss(1, 1), 0.0);
+}
+
+TEST(ProblemTest, FromBlocksValidatesShapes) {
+  const std::vector<net::NodeIndex> servers = {0, 1};
+  const std::vector<net::NodeIndex> clients = {2, 3};
+  const std::vector<double> d_ss = {0.0, 1.0, 1.0, 0.0};
+  const std::vector<double> short_cs = {1.0, 2.0, 3.0};
+  EXPECT_THROW(Problem::FromBlocks(servers, clients, short_cs, d_ss), Error);
+  const std::vector<double> negative_cs = {1.0, 2.0, 3.0, -4.0};
+  EXPECT_THROW(Problem::FromBlocks(servers, clients, negative_cs, d_ss),
+               Error);
+  const std::vector<double> bad_diag = {1.0, 1.0, 1.0, 0.0};
+  const std::vector<double> d_cs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_THROW(Problem::FromBlocks(servers, clients, d_cs, bad_diag), Error);
+  const std::vector<net::NodeIndex> dup = {2, 2};
+  EXPECT_THROW(Problem::FromBlocks(servers, dup, d_cs, d_ss), Error);
+}
+
 TEST(AssignmentTest, CompletenessAndEquality) {
   Assignment a(3);
   EXPECT_FALSE(a.IsComplete());

@@ -98,6 +98,32 @@ TEST(VivaldiTest, NodeErrorConvergesBelowOne) {
   }
 }
 
+TEST(VivaldiTest, PredictionErrorConvergesUnderBeaconSchedule) {
+  // The distance oracle's coords backend fits against a small beacon set
+  // (each round, every node observes one random beacon) instead of full
+  // gossip. The prediction error under that sparser schedule must still
+  // converge: strictly better than the early fit, and within a bounded
+  // median relative error on an embeddable world.
+  const LatencyMatrix truth = EmbeddableWorld(60, 13);
+  const std::vector<NodeIndex> beacons = {0, 7, 14, 21, 28, 35, 42, 49};
+  const auto fit = [&](std::int32_t rounds) {
+    VivaldiSystem vivaldi(60, {}, 14);
+    Rng rng(15);
+    for (std::int32_t r = 0; r < rounds; ++r) {
+      for (NodeIndex u = 0; u < 60; ++u) {
+        const NodeIndex b = beacons[rng.NextBounded(beacons.size())];
+        if (b == u) continue;
+        vivaldi.Observe(u, b, truth(u, b));
+      }
+    }
+    return vivaldi.MedianRelativeError(truth);
+  };
+  const double early = fit(2);
+  const double converged = fit(48);
+  EXPECT_LT(converged, early);
+  EXPECT_LT(converged, 0.30);
+}
+
 TEST(VivaldiTest, RejectsInvalidUse) {
   EXPECT_THROW(VivaldiSystem(1, {}, 1), Error);
   VivaldiSystem vivaldi(5, {}, 1);

@@ -22,17 +22,21 @@
 #include <string>
 #include <vector>
 
+#include "bench_util/rss.h"
 #include "common/error.h"
 #include "common/flags.h"
 #include "common/table.h"
+#include "common/timer.h"
 #include "core/lower_bound.h"
 #include "core/metrics.h"
 #include "core/solver_registry.h"
 #include "core/sync_schedule.h"
 #include "data/loader.h"
+#include "data/streaming.h"
 #include "dia/dynamic_session.h"
 #include "dia/session.h"
 #include "net/apsp.h"
+#include "net/distance_oracle.h"
 #include "data/synthetic.h"
 #include "placement/placement.h"
 #include "sim/faults.h"
@@ -43,20 +47,32 @@ using namespace diaca;
 
 int Usage() {
   std::cerr <<
-      "usage: diaca <generate|place|assign|evaluate|schedule|simulate>\n"
+      "usage: diaca <generate|place|assign|evaluate|schedule|simulate|cloud>\n"
       "             [flags]\n"
       "  generate --out=FILE [--dataset=meridian|mit|small] [--nodes=N]\n"
       "           [--clusters=K] [--seed=S]\n"
       "  place    --matrix=FILE --servers=K --out=FILE\n"
       "           [--method=random|kcenter-a|kcenter-b] [--seed=S]\n"
-      "  assign   --matrix=FILE --servers=FILE --out=FILE\n"
+      "  assign   {--matrix=FILE | --graph=FILE} --servers=FILE --out=FILE\n"
       "           [--algorithm=nearest|lfb|greedy|dg|single|exact]\n"
       "           [--capacity=N]\n"
-      "  evaluate --matrix=FILE --servers=FILE --assignment=FILE\n"
+      "  evaluate {--matrix=FILE | --graph=FILE} --servers=FILE\n"
+      "           --assignment=FILE\n"
       "  schedule --matrix=FILE --servers=FILE --assignment=FILE\n"
       "  simulate --matrix=FILE --servers=FILE --assignment=FILE\n"
       "           [--duration-ms=T] [--ops-per-second=R] [--seed=S]\n"
       "           [--failover=repair|resolve|nearest]\n"
+      "  cloud    [--nodes=N] [--clients=M] [--servers=K] [--seed=S]\n"
+      "           [--algorithm=...] — streaming build + solve of a client\n"
+      "           cloud attached to a Waxman substrate; never holds an\n"
+      "           O(n^2) matrix (reports peak RSS vs dense equivalent)\n"
+      "  --graph=FILE takes a sparse `u v length_ms` edge list and routes\n"
+      "  distances through the --distances oracle backend instead of a\n"
+      "  dense matrix:\n"
+      "  --distances=dense|rows|landmarks|coords (dense: historical full\n"
+      "  matrix; rows: exact lazy Dijkstra rows, sublinear memory;\n"
+      "  landmarks/coords: estimates — evaluate also reports the true\n"
+      "  path length), --row-cache=N and --landmarks=K tune the oracle.\n"
       "  every command also accepts --threads=N,\n"
       "  --apsp=auto|dijkstra|blocked (all-pairs shortest-path backend\n"
       "  for graph substrates), --faults=SPEC (inject server crashes,\n"
@@ -65,6 +81,16 @@ int Usage() {
       "  and reports the degradation timeline), --metrics-out=FILE\n"
       "  (metrics JSON at exit) and --trace-out=FILE (Chrome trace)\n";
   return 2;
+}
+
+net::OracleOptions OracleOptionsFromFlags(const Flags& flags) {
+  net::OracleOptions opt;
+  opt.backend = net::DefaultOracleBackend();
+  opt.row_cache_capacity =
+      static_cast<std::size_t>(flags.GetInt("row-cache", 128));
+  opt.num_landmarks = static_cast<std::int32_t>(flags.GetInt("landmarks", 16));
+  opt.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  return opt;
 }
 
 std::vector<net::NodeIndex> LoadNodeList(const std::string& path,
@@ -160,6 +186,29 @@ int CmdPlace(const Flags& flags) {
   return 0;
 }
 
+// Substrate resolution shared by assign/evaluate: --matrix loads the
+// historical dense format; --graph loads a sparse edge list and routes
+// every distance through the --distances oracle backend (so a rows-backend
+// run never materializes the O(n^2) closure).
+core::Problem LoadProblemForSolve(const Flags& flags) {
+  const std::string graph_path = flags.GetString("graph", "");
+  if (!graph_path.empty()) {
+    DIACA_CHECK_MSG(flags.GetString("matrix", "").empty(),
+                    "--matrix and --graph are mutually exclusive");
+    const net::Graph graph = data::LoadGraphTriples(graph_path);
+    const net::DistanceOracle oracle =
+        net::DistanceOracle::FromGraph(graph, OracleOptionsFromFlags(flags));
+    const auto servers =
+        LoadNodeList(flags.GetString("servers", ""), oracle.size());
+    return core::Problem::WithClientsEverywhere(oracle, servers);
+  }
+  const net::LatencyMatrix matrix =
+      data::LoadDenseMatrix(flags.GetString("matrix", ""));
+  const auto servers =
+      LoadNodeList(flags.GetString("servers", ""), matrix.size());
+  return core::Problem::WithClientsEverywhere(matrix, servers);
+}
+
 int CmdAssign(const Flags& flags) {
   // Validate the algorithm name before the (possibly large) matrix load,
   // so a typo fails fast with the valid set.
@@ -169,14 +218,9 @@ int CmdAssign(const Flags& flags) {
     throw Error("unknown algorithm '" + algorithm + "' (expected " +
                 registry.NamesJoined() + ")");
   }
-  const net::LatencyMatrix matrix =
-      data::LoadDenseMatrix(flags.GetString("matrix", ""));
-  const auto servers =
-      LoadNodeList(flags.GetString("servers", ""), matrix.size());
   const std::string out = flags.GetString("out", "");
   DIACA_CHECK_MSG(!out.empty(), "--out is required");
-  const core::Problem problem =
-      core::Problem::WithClientsEverywhere(matrix, servers);
+  const core::Problem problem = LoadProblemForSolve(flags);
   core::SolveOptions options;
   options.assign.capacity = static_cast<std::int32_t>(flags.GetInt(
       "capacity", core::AssignOptions::kUnlimitedCapacity));
@@ -189,19 +233,33 @@ int CmdAssign(const Flags& flags) {
 }
 
 int CmdEvaluate(const Flags& flags) {
-  const net::LatencyMatrix matrix =
-      data::LoadDenseMatrix(flags.GetString("matrix", ""));
-  const auto servers =
-      LoadNodeList(flags.GetString("servers", ""), matrix.size());
-  const core::Problem problem =
-      core::Problem::WithClientsEverywhere(matrix, servers);
+  const core::Problem problem = LoadProblemForSolve(flags);
   const core::Assignment a =
       LoadAssignment(flags.GetString("assignment", ""), problem);
   const double d = core::MaxInteractionPathLength(problem, a);
+  // On an estimated backend the problem blocks hold approximations, so d
+  // is the *planned* objective; score the plan against ground truth with
+  // exact rows over the same graph (|S| Dijkstras, no matrix).
+  double true_d = d;
+  const std::string graph_path = flags.GetString("graph", "");
+  const bool estimated =
+      !graph_path.empty() &&
+      net::DefaultOracleBackend() != net::OracleBackend::kDense &&
+      net::DefaultOracleBackend() != net::OracleBackend::kRows;
+  if (estimated) {
+    net::OracleOptions rows = OracleOptionsFromFlags(flags);
+    rows.backend = net::OracleBackend::kRows;
+    const net::DistanceOracle truth = net::DistanceOracle::FromGraph(
+        data::LoadGraphTriples(graph_path), rows);
+    true_d = core::MaxInteractionPathLengthExact(truth, problem, a);
+  }
   const double lb = core::InteractivityLowerBound(problem);
   const double lb3 = core::TripleEnhancedLowerBound(problem);
   Table table({"metric", "value"});
   table.Row().Cell("max interaction path (ms)").Cell(d);
+  if (estimated) {
+    table.Row().Cell("max interaction path, true (ms)").Cell(true_d);
+  }
   table.Row().Cell("mean interaction path (ms)").Cell(
       core::MeanInteractionPathLength(problem, a));
   table.Row().Cell("pairwise lower bound (ms)").Cell(lb);
@@ -328,6 +386,65 @@ int CmdSchedule(const Flags& flags) {
   return 0;
 }
 
+// Streaming client-cloud pipeline: Waxman substrate + M attached clients,
+// rows-oracle distances, farthest-point placement, one solver run. The
+// point is what it never does — materialize anything O(n^2) — so the
+// report closes with peak RSS against the dense-equivalent footprint.
+int CmdCloud(const Flags& flags) {
+  const std::string algorithm = flags.GetString("algorithm", "greedy");
+  const core::SolverRegistry& registry = core::SolverRegistry::Default();
+  if (!registry.Has(algorithm)) {
+    throw Error("unknown algorithm '" + algorithm + "' (expected " +
+                registry.NamesJoined() + ")");
+  }
+  data::ClientCloudParams params;
+  params.substrate.num_nodes =
+      static_cast<std::int32_t>(flags.GetInt("nodes", 2000));
+  params.num_clients = flags.GetInt("clients", 100000);
+  const auto k = static_cast<std::int32_t>(flags.GetInt("servers", 16));
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+
+  Timer build;
+  const net::Graph graph =
+      data::GenerateWaxmanTopology(params.substrate, seed);
+  // The cloud pipeline exists for the sublinear path, so it defaults to
+  // rows even though the process default is dense; an explicit
+  // --distances still wins.
+  net::OracleOptions opt = OracleOptionsFromFlags(flags);
+  if (!flags.Has("distances")) opt.backend = net::OracleBackend::kRows;
+  const net::DistanceOracle oracle = net::DistanceOracle::FromGraph(graph, opt);
+  const auto server_nodes = placement::KCenterFarthest(oracle, k);
+  const data::ClientCloud cloud =
+      data::BuildClientCloud(params, seed, oracle, server_nodes);
+  const double build_ms = build.ElapsedMillis();
+
+  Timer solve;
+  const core::SolveResult result =
+      registry.Solve(algorithm, cloud.problem, core::SolveOptions{});
+  const double solve_ms = solve.ElapsedMillis();
+
+  const double rss_mb = benchutil::PeakRssMb();
+  const double dense_mb = data::DenseEquivalentMb(
+      params.substrate.num_nodes + params.num_clients);
+  const net::OracleStats stats = oracle.stats();
+  Table table({"metric", "value"});
+  table.Row().Cell("substrate nodes").Cell(
+      static_cast<std::int64_t>(params.substrate.num_nodes));
+  table.Row().Cell("clients").Cell(params.num_clients);
+  table.Row().Cell("servers").Cell(static_cast<std::int64_t>(k));
+  table.Row().Cell("distances backend").Cell(
+      net::OracleBackendName(opt.backend));
+  table.Row().Cell("build (ms)").Cell(build_ms);
+  table.Row().Cell(algorithm + " solve (ms)").Cell(solve_ms);
+  table.Row().Cell("max interaction path (ms)").Cell(result.stats.max_len);
+  table.Row().Cell("oracle row builds").Cell(stats.row_builds);
+  table.Row().Cell("peak RSS (MB)").Cell(rss_mb);
+  table.Row().Cell("dense-equivalent matrix (MB)").Cell(dense_mb);
+  table.Row().Cell("RSS / dense equivalent").Cell(rss_mb / dense_mb);
+  table.Print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -338,15 +455,19 @@ int main(int argc, char** argv) {
                       {"out", "dataset", "nodes", "clusters", "seed", "matrix",
                        "servers", "method", "algorithm", "capacity",
                        "assignment", "duration-ms", "ops-per-second", "apsp",
-                       "failover"});
+                       "failover", "distances", "graph", "clients",
+                       "row-cache", "landmarks"});
     net::SetDefaultApspBackend(
         net::ParseApspBackend(flags.GetString("apsp", "auto")));
+    net::SetDefaultOracleBackend(
+        net::ParseOracleBackend(flags.GetString("distances", "dense")));
     if (command == "generate") return CmdGenerate(flags);
     if (command == "place") return CmdPlace(flags);
     if (command == "assign") return CmdAssign(flags);
     if (command == "evaluate") return CmdEvaluate(flags);
     if (command == "schedule") return CmdSchedule(flags);
     if (command == "simulate") return CmdSimulate(flags);
+    if (command == "cloud") return CmdCloud(flags);
     return Usage();
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
