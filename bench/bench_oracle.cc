@@ -5,7 +5,7 @@
 //   bench_oracle [--clients=0] [--substrate-nodes=5000] [--servers=16]
 //                [--parity-nodes=1000] [--quality-nodes=2000]
 //                [--landmarks=16] [--seed=2011] [--rss-budget-mb=0]
-//                [--json-out=path]
+//                [--tiled-servers=0] [--json-out=path]
 //
 // Three phases:
 //   1. parity — rows backend vs the dense matrix on a Waxman graph:
@@ -24,6 +24,18 @@
 //      end to end through the rows oracle. Records wall time, peak RSS,
 //      and the dense-equivalent footprint; the >= 100k cases must stay
 //      under 10% of dense (and under --rss-budget-mb when given).
+//   4. tiled — the same cloud solved twice at the largest client scale
+//      (--tiled-servers servers; 0 = auto: 1000 at the 1M committed
+//      scale, 64 otherwise): once streaming the client block through
+//      core::OracleTileView (never materializing |C|x|S|) and once with
+//      the materialized block. The assignments must be identical; the
+//      report records the runtime ratio, the tiled stage's peak RSS, and
+//      the block footprint the streamed run avoided. This phase runs
+//      LAST — peak RSS is process-monotonic, and the materialized
+//      control's multi-GB block would poison every scale-phase RSS
+//      reading that came after it; the scale footprints (hundreds of
+//      MB) are in turn negligible next to the tiled stage's own
+//      multi-GB working set at the committed 1M x 1000 shape.
 //
 // --clients=N runs a single scale case instead of the committed suite.
 // --json-out writes the machine-readable report committed as
@@ -208,6 +220,86 @@ QualityResult RunQualityCase(const char* substrate_name,
   return q;
 }
 
+struct TiledResult {
+  std::int64_t clients = 0;
+  std::int32_t servers = 0;
+  double tiled_build_ms = 0.0;
+  double tiled_greedy_ms = 0.0;
+  double tiled_rss_mb = 0.0;  // peak RSS at the end of the tiled stage
+  double mat_build_ms = 0.0;
+  double mat_greedy_ms = 0.0;
+  double mat_rss_mb = 0.0;
+  double runtime_ratio = 0.0;   // tiled greedy / materialized greedy
+  double block_equiv_mb = 0.0;  // the |C| x stride block tiling avoided
+  std::int64_t tiles_loaded = 0;
+  double tile_pool_peak_mb = 0.0;
+  bool assignment_identical = false;
+  bool objective_bitwise = false;
+};
+
+// Tiled solve first, materialized control second: PeakRssMb() never
+// decreases, so the tiled reading must be taken before the |C| x |S|
+// block is ever allocated in this process.
+TiledResult RunTiled(std::int32_t substrate_nodes, std::int64_t clients,
+                     std::int32_t k, std::uint64_t seed) {
+  TiledResult r;
+  r.clients = clients;
+  r.servers = k;
+  data::ClientCloudParams params;
+  params.substrate.num_nodes = substrate_nodes;
+  params.num_clients = clients;
+  params.materialize_block = false;
+
+  const net::Graph graph =
+      data::GenerateWaxmanTopology(params.substrate, seed);
+  net::OracleOptions opt;
+  opt.backend = net::OracleBackend::kRows;
+  opt.row_cache_capacity = static_cast<std::size_t>(k) + 1;
+  const net::DistanceOracle oracle = net::DistanceOracle::FromGraph(graph, opt);
+  const std::vector<net::NodeIndex> servers =
+      placement::KCenterFarthest(oracle, k);
+
+  core::Assignment tiled_a(0);
+  double tiled_d = 0.0;
+  {
+    Timer build;
+    const data::ClientCloud cloud =
+        data::BuildClientCloud(params, seed, oracle, servers);
+    r.tiled_build_ms = build.ElapsedMillis();
+    r.block_equiv_mb =
+        static_cast<double>(clients) *
+        static_cast<double>(cloud.problem.client_block().server_stride()) *
+        sizeof(double) / (1024.0 * 1024.0);
+    Timer t;
+    tiled_a = core::GreedyAssign(cloud.problem);
+    r.tiled_greedy_ms = t.ElapsedMillis();
+    tiled_d = core::MaxInteractionPathLength(cloud.problem, tiled_a);
+    const core::ClientBlockStats stats = cloud.problem.client_block().stats();
+    r.tiles_loaded = stats.tiles_loaded;
+    r.tile_pool_peak_mb =
+        static_cast<double>(stats.tile_bytes_peak) / (1024.0 * 1024.0);
+  }
+  r.tiled_rss_mb = benchutil::PeakRssMb();
+
+  params.materialize_block = true;
+  {
+    Timer build;
+    const data::ClientCloud cloud =
+        data::BuildClientCloud(params, seed, oracle, servers);
+    r.mat_build_ms = build.ElapsedMillis();
+    Timer t;
+    const core::Assignment mat_a = core::GreedyAssign(cloud.problem);
+    r.mat_greedy_ms = t.ElapsedMillis();
+    r.assignment_identical = mat_a.server_of == tiled_a.server_of;
+    r.objective_bitwise =
+        core::MaxInteractionPathLength(cloud.problem, mat_a) == tiled_d;
+  }
+  r.mat_rss_mb = benchutil::PeakRssMb();
+  r.runtime_ratio =
+      r.mat_greedy_ms > 0.0 ? r.tiled_greedy_ms / r.mat_greedy_ms : 0.0;
+  return r;
+}
+
 ScaleResult RunScale(const data::ClientCloudParams& params, std::int32_t k,
                      std::uint64_t seed) {
   ScaleResult r;
@@ -248,6 +340,7 @@ ScaleResult RunScale(const data::ClientCloudParams& params, std::int32_t k,
 void WriteJson(const std::string& path, std::uint64_t seed,
                const ParityResult& parity,
                const std::vector<QualityResult>& quality,
+               const TiledResult& tiled,
                const std::vector<ScaleResult>& scale) {
   std::ofstream os(path);
   using obs::internal::AppendJsonNumber;
@@ -282,7 +375,32 @@ void WriteJson(const std::string& path, std::uint64_t seed,
     os << "}"
        << (i + 1 < quality.size() ? "," : "") << "\n";
   }
-  os << "  ],\n  \"scale\": [\n";
+  os << "  ],\n";
+  os << "  \"tiled\": {\"clients\": " << tiled.clients
+     << ", \"servers\": " << tiled.servers << ", \"tiled_build_ms\": ";
+  AppendJsonNumber(os, tiled.tiled_build_ms);
+  os << ", \"tiled_greedy_ms\": ";
+  AppendJsonNumber(os, tiled.tiled_greedy_ms);
+  os << ", \"tiled_rss_mb\": ";
+  AppendJsonNumber(os, tiled.tiled_rss_mb);
+  os << ",\n   \"materialized_build_ms\": ";
+  AppendJsonNumber(os, tiled.mat_build_ms);
+  os << ", \"materialized_greedy_ms\": ";
+  AppendJsonNumber(os, tiled.mat_greedy_ms);
+  os << ", \"materialized_rss_mb\": ";
+  AppendJsonNumber(os, tiled.mat_rss_mb);
+  os << ",\n   \"runtime_ratio\": ";
+  AppendJsonNumber(os, tiled.runtime_ratio);
+  os << ", \"block_equiv_mb\": ";
+  AppendJsonNumber(os, tiled.block_equiv_mb);
+  os << ", \"tiles_loaded\": " << tiled.tiles_loaded
+     << ", \"tile_pool_peak_mb\": ";
+  AppendJsonNumber(os, tiled.tile_pool_peak_mb);
+  os << ",\n   \"assignment_identical\": "
+     << (tiled.assignment_identical ? "true" : "false")
+     << ", \"objective_bitwise\": "
+     << (tiled.objective_bitwise ? "true" : "false") << "},\n";
+  os << "  \"scale\": [\n";
   for (std::size_t i = 0; i < scale.size(); ++i) {
     const ScaleResult& s = scale[i];
     os << "    {\"clients\": " << s.clients << ", \"build_ms\": ";
@@ -313,7 +431,7 @@ int main(int argc, char** argv) {
   const Flags flags(argc, argv,
                     {"clients", "substrate-nodes", "servers", "parity-nodes",
                      "quality-nodes", "landmarks", "seed", "rss-budget-mb",
-                     "json-out"});
+                     "tiled-servers", "json-out"});
   const std::int64_t clients_flag = flags.GetInt("clients", 0);
   const auto substrate_nodes =
       static_cast<std::int32_t>(flags.GetInt("substrate-nodes", 5000));
@@ -326,6 +444,8 @@ int main(int argc, char** argv) {
       static_cast<std::int32_t>(flags.GetInt("landmarks", 16));
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 2011));
   const double rss_budget_mb = flags.GetDouble("rss-budget-mb", 0.0);
+  const auto tiled_servers_flag =
+      static_cast<std::int32_t>(flags.GetInt("tiled-servers", 0));
   const std::string json_out = flags.GetString("json-out", "");
   bool ok = true;
 
@@ -421,13 +541,15 @@ int main(int argc, char** argv) {
             q.backend);
   }
 
-  // --- Phase 3: streaming scale on the rows backend.
   std::vector<std::int64_t> scales;
   if (clients_flag > 0) {
     scales.push_back(clients_flag);
   } else {
     scales = {10000, 100000, 1000000};
   }
+
+  // --- Phase 3: tiled vs materialized client block at the largest scale.
+  // --- Phase 3: streaming scale on the rows backend.
   std::vector<ScaleResult> scale;
   Table stable({"clients", "build-s", "greedy-s", "nearest-s", "greedy-D",
                 "nearest-D", "rss-MB", "dense-MB", "fraction"});
@@ -471,8 +593,52 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Phase 4: tiled vs materialized client block at the largest scale.
+  // Auto server count: 1000 at the committed 1M scale so the avoided
+  // block is the acceptance shape (1M x 1000 -> 7.6 GB); 64 at smaller
+  // smoke scales to keep the materialized control cheap.
+  const std::int32_t tiled_servers =
+      tiled_servers_flag > 0 ? tiled_servers_flag
+                             : (scales.back() >= 1000000 ? 1000 : 64);
+  const TiledResult tiled =
+      RunTiled(substrate_nodes, scales.back(), tiled_servers, seed);
+  std::cout << "tiled client block (" << tiled.clients << " clients, "
+            << tiled.servers << " servers): greedy "
+            << (tiled.assignment_identical ? "identical" : "DIFFERS")
+            << ", objective "
+            << (tiled.objective_bitwise ? "bitwise" : "DIFFERS") << "\n";
+  Table ttable({"block", "build-s", "greedy-s", "rss-MB"});
+  ttable.Row()
+      .Cell("tiled")
+      .Cell(FormatDouble(tiled.tiled_build_ms / 1e3, 2))
+      .Cell(FormatDouble(tiled.tiled_greedy_ms / 1e3, 2))
+      .Cell(FormatDouble(tiled.tiled_rss_mb, 0));
+  ttable.Row()
+      .Cell("materialized")
+      .Cell(FormatDouble(tiled.mat_build_ms / 1e3, 2))
+      .Cell(FormatDouble(tiled.mat_greedy_ms / 1e3, 2))
+      .Cell(FormatDouble(tiled.mat_rss_mb, 0));
+  ttable.Print(std::cout);
+  std::cout << "  runtime ratio " << FormatDouble(tiled.runtime_ratio, 2)
+            << "x, block equivalent " << FormatDouble(tiled.block_equiv_mb, 0)
+            << " MB avoided, " << tiled.tiles_loaded << " tiles ("
+            << FormatDouble(tiled.tile_pool_peak_mb, 1) << " MB pool peak)\n";
+  ok &= benchutil::CheckShape(
+      tiled.assignment_identical && tiled.objective_bitwise,
+      "greedy on the streamed client block reproduces the materialized "
+      "solve exactly");
+  // At smoke scales the avoided block (tens of MB) drowns in the RSS the
+  // earlier phases already accumulated, so the memory claim is only
+  // checkable at the committed multi-GB shape.
+  if (tiled.block_equiv_mb >= 1024.0) {
+    ok &= benchutil::CheckShape(
+        tiled.tiled_rss_mb < tiled.block_equiv_mb,
+        "tiled-phase peak RSS below the |C| x |S| block equivalent it "
+        "streams instead of materializing");
+  }
+
   if (!json_out.empty()) {
-    WriteJson(json_out, seed, parity, quality, scale);
+    WriteJson(json_out, seed, parity, quality, tiled, scale);
     std::cout << "wrote " << json_out << "\n";
   }
   return ok ? 0 : 1;

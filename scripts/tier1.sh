@@ -47,6 +47,14 @@ cmake -DJSON_FILE="$obs_dir/bench_apsp_smoke.json" -P scripts/check_json.cmake
 cmake -DJSON_FILE="$obs_dir/bench_oracle_smoke.json" \
   -P scripts/check_json.cmake
 
+# Tiled client-block smoke at full scale: 1M clients x 64 servers solved
+# greedily without ever materializing the |C|x|S| block (488 MB). The
+# --rss-budget-mb gate pins peak RSS strictly below that block size, so
+# the streamed view provably costs less memory than the block it
+# replaces (measured ~330 MB; the CLI exits non-zero on breach).
+./build/tools/diaca cloud --nodes=2000 --clients=1000000 --servers=64 \
+  --block=tiled --rss-budget-mb=440 > "$obs_dir/cloud_tiled.log"
+
 # Vectorized build: the kernel property suite, the APSP engine suite, and
 # the backend/thread determinism grid must also pass with the AVX2 code
 # paths compiled in (they auto-fall back to portable when the CPU lacks

@@ -1,0 +1,18 @@
+// One-PR deprecation shims.
+//
+// DIACA_DEPRECATED marks an API kept alive for exactly one PR while its
+// call sites migrate (the GreedyStats -> SolveStats pattern): the old
+// entry point keeps working bit-for-bit, the compiler flags every
+// remaining consumer, and the next PR deletes it. The macro spelling is
+// grep-able, so `grep -rn DIACA_DEPRECATED src/` lists the whole
+// migration surface.
+#pragma once
+
+#define DIACA_DEPRECATED(msg) [[deprecated(msg)]]
+
+/// Suppress the warning around a call site that exercises a deprecated
+/// shim on purpose (its regression test).
+#define DIACA_SUPPRESS_DEPRECATED_BEGIN \
+  _Pragma("GCC diagnostic push")        \
+      _Pragma("GCC diagnostic ignored \"-Wdeprecated-declarations\"")
+#define DIACA_SUPPRESS_DEPRECATED_END _Pragma("GCC diagnostic pop")

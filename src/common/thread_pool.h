@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <future>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -72,6 +73,15 @@ class ThreadPool {
   Extremum ParallelMaxReduce(std::int64_t begin, std::int64_t end,
                              std::int64_t grain,
                              const std::function<double(std::int64_t)>& score);
+
+  /// Run `fn` as a standalone one-shot job on a pool worker and return a
+  /// future that becomes ready when it finishes (rethrowing fn's
+  /// exception on get()). On a pool of size 1 — no workers — fn runs
+  /// inline before Submit returns, so callers overlapping a Submit with
+  /// their own work degrade to the serial order instead of deadlocking.
+  /// Used by the tile prefetcher (core::ClientBlockView), which must never
+  /// let a queued-but-never-run job stall a traversal.
+  std::future<void> Submit(std::function<void()> fn);
 
  private:
   struct Job;

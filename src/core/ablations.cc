@@ -34,7 +34,7 @@ Assignment BestSingleServerAssign(const Problem& problem,
     }
     double far = 0.0;
     for (ClientIndex c = 0; c < problem.num_clients(); ++c) {
-      far = std::max(far, problem.cs(c, s));
+      far = std::max(far, problem.client_block().cs(c, s));
     }
     if (far < best_far) {
       best_far = far;
@@ -69,7 +69,7 @@ Assignment SingleClientGreedyAssign(const Problem& problem,
       const double reach = MaxServerReach(problem, far, s);
       for (ClientIndex c = 0; c < num_clients; ++c) {
         if (a[c] != kUnassigned) continue;
-        const double d = problem.cs(c, s);
+        const double d = problem.client_block().cs(c, s);
         const double len =
             std::max({2.0 * d, assigned > 0 ? d + reach : 0.0, max_len});
         if (len < best_len) {
@@ -83,7 +83,7 @@ Assignment SingleClientGreedyAssign(const Problem& problem,
     a[best_client] = best_server;
     far[static_cast<std::size_t>(best_server)] =
         std::max(far[static_cast<std::size_t>(best_server)],
-                 problem.cs(best_client, best_server));
+                 problem.client_block().cs(best_client, best_server));
     ++load[static_cast<std::size_t>(best_server)];
     max_len = best_len;
   }
@@ -104,7 +104,7 @@ std::vector<TopTwo> ComputeTopTwo(const Problem& problem, const Assignment& a) {
   std::vector<TopTwo> tops(static_cast<std::size_t>(problem.num_servers()));
   for (ClientIndex c = 0; c < problem.num_clients(); ++c) {
     TopTwo& top = tops[static_cast<std::size_t>(a[c])];
-    const double d = problem.cs(c, a[c]);
+    const double d = problem.client_block().cs(c, a[c]);
     if (d > top.first) {
       top.second = top.first;
       top.first = d;
@@ -173,7 +173,7 @@ LocalSearchResult FullLocalSearchAssign(const Problem& problem,
     for (ClientIndex c = 0; c < problem.num_clients(); ++c) {
       const ServerIndex home = a[c];
       const TopTwo& top = tops[static_cast<std::size_t>(home)];
-      const double d_home = problem.cs(c, home);
+      const double d_home = problem.client_block().cs(c, home);
       const bool is_top = d_home >= top.first;
       // Eccentricities with c removed (only c's home entry can change).
       const double home_far_excl =

@@ -1,0 +1,384 @@
+#include "core/client_block_view.h"
+
+#include <algorithm>
+#include <cstring>
+#include <future>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "common/simd/simd.h"
+#include "common/thread_pool.h"
+#include "obs/obs.h"
+
+namespace diaca::core {
+
+ClientBlockView::ClientBlockView(std::int32_t num_clients,
+                                 std::int32_t num_servers,
+                                 const TileOptions& tile)
+    : num_clients_(num_clients),
+      num_servers_(num_servers),
+      server_stride_(
+          simd::PaddedStride(static_cast<std::size_t>(num_servers))),
+      tile_(tile) {
+  DIACA_CHECK_MSG(num_clients > 0, "client block needs at least one client");
+  DIACA_CHECK_MSG(num_servers > 0, "client block needs at least one server");
+}
+
+void ClientBlockView::FillRow(ClientIndex c, double* out) const {
+  if (raw_block_ != nullptr) {
+    std::memcpy(out,
+                raw_block_ + static_cast<std::size_t>(c) * server_stride_,
+                server_stride_ * sizeof(double));
+    return;
+  }
+  FillRowSlow(c, out);
+  rows_filled_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ClientBlockView::GatherColumn(ServerIndex s, const ClientIndex* ids,
+                                   std::size_t count, double* out) const {
+  if (raw_block_ != nullptr) {
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = raw_block_[static_cast<std::size_t>(ids[i]) * server_stride_ +
+                          static_cast<std::size_t>(s)];
+    }
+  } else {
+    GatherColumnSlow(s, ids, count, out);
+  }
+  columns_gathered_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ClientBlockView::FillColumn(ServerIndex s, double* out) const {
+  if (raw_block_ != nullptr) {
+    const double* p = raw_block_ + static_cast<std::size_t>(s);
+    for (std::int32_t c = 0; c < num_clients_; ++c) {
+      out[c] = p[static_cast<std::size_t>(c) * server_stride_];
+    }
+    columns_gathered_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  FillColumnSlow(s, out);
+  columns_gathered_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ClientBlockView::BumpTileBytesPeak(std::int64_t live_bytes) const {
+  std::int64_t seen = tile_bytes_peak_.load(std::memory_order_relaxed);
+  while (live_bytes > seen &&
+         !tile_bytes_peak_.compare_exchange_weak(seen, live_bytes,
+                                                 std::memory_order_relaxed)) {
+  }
+}
+
+void ClientBlockView::ForEachTile(
+    const std::function<void(const ClientTile&)>& fn) const {
+  if (raw_block_ != nullptr) {
+    // Zero-copy: the resident block IS the one tile.
+    fn(ClientTile{0, num_clients_, raw_block_, server_stride_});
+    return;
+  }
+  DIACA_OBS_SPAN("core.view.tiles");
+  const std::int32_t tile_clients =
+      std::clamp(tile_.tile_clients, 1, num_clients_);
+  ThreadPool& pool = GlobalPool();
+  // One tile of lookahead; a pool of 1 buffer (or a threadless pool)
+  // degrades to synchronous generation.
+  const bool prefetch = tile_.pool_tiles >= 2 && pool.num_threads() > 1 &&
+                        tile_clients < num_clients_;
+  const std::size_t tile_doubles =
+      static_cast<std::size_t>(tile_clients) * server_stride_;
+  std::vector<std::vector<double>> ring(prefetch ? 2 : 1);
+  for (auto& buf : ring) buf.resize(tile_doubles);
+  BumpTileBytesPeak(static_cast<std::int64_t>(ring.size() * tile_doubles *
+                                              sizeof(double)));
+
+  const auto fill = [&](std::int32_t begin, double* buf) -> ClientTile {
+    const std::int32_t end = std::min(num_clients_, begin + tile_clients);
+    FillTileSlow(begin, end, buf);
+    tiles_loaded_.fetch_add(1, std::memory_order_relaxed);
+    return ClientTile{begin, end, buf, server_stride_};
+  };
+
+  // If fn throws while a prefetch is in flight, the worker still holds
+  // pointers into `ring` and `next` — the guard waits it out before the
+  // stack unwinds.
+  struct PrefetchGuard {
+    std::future<void>* pending = nullptr;
+    ~PrefetchGuard() {
+      if (pending != nullptr && pending->valid()) pending->wait();
+    }
+  };
+
+  std::size_t cur = 0;
+  ClientTile current = fill(0, ring[cur].data());
+  for (std::int32_t begin = 0; begin < num_clients_; begin += tile_clients) {
+    const std::int32_t next_begin = begin + tile_clients;
+    ClientTile next{};
+    std::future<void> pending;
+    PrefetchGuard guard{&pending};
+    if (prefetch && next_begin < num_clients_) {
+      double* next_buf = ring[1 - cur].data();
+      pending = pool.Submit(
+          [&next, next_begin, next_buf, &fill] { next = fill(next_begin, next_buf); });
+    }
+    fn(current);
+    if (next_begin >= num_clients_) break;
+    if (pending.valid()) {
+      pending.get();  // waits; rethrows a failed prefetch
+      current = next;
+      cur = 1 - cur;
+    } else {
+      current = fill(next_begin, ring[cur].data());
+    }
+  }
+}
+
+std::vector<double> ClientBlockView::MaterializeBlock() const {
+  std::vector<double> block(static_cast<std::size_t>(num_clients_) *
+                            server_stride_);
+  if (raw_block_ != nullptr) {
+    std::memcpy(block.data(), raw_block_, block.size() * sizeof(double));
+    return block;
+  }
+  ForEachTile([&](const ClientTile& tile) {
+    std::memcpy(block.data() +
+                    static_cast<std::size_t>(tile.begin) * server_stride_,
+                tile.data,
+                static_cast<std::size_t>(tile.end - tile.begin) *
+                    server_stride_ * sizeof(double));
+  });
+  return block;
+}
+
+ClientBlockStats ClientBlockView::stats() const {
+  ClientBlockStats s;
+  s.tiles_loaded = tiles_loaded_.load(std::memory_order_relaxed);
+  s.rows_filled = rows_filled_.load(std::memory_order_relaxed);
+  s.columns_gathered = columns_gathered_.load(std::memory_order_relaxed);
+  s.tile_bytes_peak = tile_bytes_peak_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// MaterializedView
+
+MaterializedView::MaterializedView(std::int32_t num_clients,
+                                   std::int32_t num_servers,
+                                   std::vector<double> padded_block)
+    : ClientBlockView(num_clients, num_servers, TileOptions{}),
+      block_(std::move(padded_block)) {
+  DIACA_CHECK_MSG(
+      block_.size() == static_cast<std::size_t>(num_clients) * server_stride_,
+      "padded block is " << block_.size() << " doubles, expected "
+                         << static_cast<std::size_t>(num_clients) *
+                                server_stride_);
+  raw_block_ = block_.data();
+}
+
+// The Slow hooks are unreachable while raw_block_ is set, but they stay
+// correct implementations rather than traps.
+double MaterializedView::CsSlow(ClientIndex c, ServerIndex s) const {
+  return block_[static_cast<std::size_t>(c) * server_stride_ +
+                static_cast<std::size_t>(s)];
+}
+
+void MaterializedView::FillRowSlow(ClientIndex c, double* out) const {
+  std::memcpy(out, block_.data() + static_cast<std::size_t>(c) * server_stride_,
+              server_stride_ * sizeof(double));
+}
+
+void MaterializedView::GatherColumnSlow(ServerIndex s, const ClientIndex* ids,
+                                        std::size_t count, double* out) const {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = block_[static_cast<std::size_t>(ids[i]) * server_stride_ +
+                    static_cast<std::size_t>(s)];
+  }
+}
+
+void MaterializedView::FillColumnSlow(ServerIndex s, double* out) const {
+  const double* p = block_.data() + static_cast<std::size_t>(s);
+  for (std::int32_t c = 0; c < num_clients_; ++c) {
+    out[c] = p[static_cast<std::size_t>(c) * server_stride_];
+  }
+}
+
+void MaterializedView::FillTileSlow(ClientIndex begin, ClientIndex end,
+                                    double* out) const {
+  std::memcpy(out, block_.data() + static_cast<std::size_t>(begin) * server_stride_,
+              static_cast<std::size_t>(end - begin) * server_stride_ *
+                  sizeof(double));
+}
+
+// ---------------------------------------------------------------------------
+// OracleTileView
+
+OracleTileView::OracleTileView(std::int32_t num_clients,
+                               std::int32_t num_servers,
+                               const TileOptions& tile)
+    : ClientBlockView(num_clients, num_servers, tile) {}
+
+std::shared_ptr<OracleTileView> OracleTileView::FromOracle(
+    const net::DistanceOracle& oracle,
+    std::span<const net::NodeIndex> server_nodes,
+    std::span<const net::NodeIndex> client_nodes, const TileOptions& tile) {
+  return Build(oracle, server_nodes, client_nodes, {}, tile);
+}
+
+std::shared_ptr<OracleTileView> OracleTileView::FromAttachments(
+    const net::DistanceOracle& oracle,
+    std::span<const net::NodeIndex> server_nodes,
+    std::span<const net::NodeIndex> attach, std::span<const double> access_ms,
+    const TileOptions& tile) {
+  DIACA_CHECK_MSG(attach.size() == access_ms.size(),
+                  "attach list has " << attach.size() << " clients but "
+                                     << access_ms.size() << " access delays");
+  return Build(oracle, server_nodes, attach, access_ms, tile);
+}
+
+std::shared_ptr<OracleTileView> OracleTileView::Build(
+    const net::DistanceOracle& oracle,
+    std::span<const net::NodeIndex> server_nodes,
+    std::span<const net::NodeIndex> attach_nodes,
+    std::span<const double> access_ms, const TileOptions& tile) {
+  DIACA_OBS_SPAN("core.view.build");
+  const net::NodeIndex n = oracle.size();
+  DIACA_CHECK_MSG(!server_nodes.empty(), "server list must not be empty");
+  DIACA_CHECK_MSG(!attach_nodes.empty(), "client list must not be empty");
+  for (net::NodeIndex s : server_nodes) {
+    DIACA_CHECK_MSG(s >= 0 && s < n,
+                    "server node " << s << " outside substrate of size " << n);
+  }
+  const auto num_clients = static_cast<std::int32_t>(attach_nodes.size());
+  const auto num_servers = static_cast<std::int32_t>(server_nodes.size());
+  auto view = std::shared_ptr<OracleTileView>(
+      new OracleTileView(num_clients, num_servers, tile));
+  const std::size_t stride = view->server_stride_;
+
+  // Distinct attachment nodes in first-appearance order: the synthesized
+  // state scales with the substrate, never with |C|.
+  view->base_row_.resize(attach_nodes.size());
+  std::vector<net::NodeIndex> node_of_row;
+  {
+    std::unordered_map<net::NodeIndex, std::int32_t> row_of;
+    row_of.reserve(static_cast<std::size_t>(n));
+    for (std::size_t c = 0; c < attach_nodes.size(); ++c) {
+      const net::NodeIndex node = attach_nodes[c];
+      DIACA_CHECK_MSG(node >= 0 && node < n, "client node "
+                                                 << node
+                                                 << " outside substrate of size "
+                                                 << n);
+      const auto [it, inserted] = row_of.try_emplace(
+          node, static_cast<std::int32_t>(node_of_row.size()));
+      if (inserted) node_of_row.push_back(node);
+      view->base_row_[c] = it->second;
+    }
+  }
+  view->num_rows_ = static_cast<std::int32_t>(node_of_row.size());
+  view->access_.assign(access_ms.begin(), access_ms.end());
+
+  const auto rows = static_cast<std::size_t>(view->num_rows_);
+  view->node_rows_.assign(rows * stride, 0.0);
+  view->server_cols_.assign(static_cast<std::size_t>(num_servers) * rows, 0.0);
+  view->ss_block_.assign(
+      static_cast<std::size_t>(num_servers) * static_cast<std::size_t>(num_servers),
+      0.0);
+
+  // One oracle row per server — the only shortest-path work. Each task
+  // owns its server's column/row slots, so the fan-out is write-disjoint.
+  GlobalPool().ParallelFor(
+      0, num_servers, 1, [&](std::int64_t sb, std::int64_t se) {
+        std::vector<double> row(static_cast<std::size_t>(n));
+        for (std::int64_t s = sb; s < se; ++s) {
+          const auto si = static_cast<std::size_t>(s);
+          oracle.FillRow(server_nodes[si], row);
+          double* col = view->server_cols_.data() + si * rows;
+          for (std::size_t r = 0; r < rows; ++r) {
+            const double d = row[static_cast<std::size_t>(node_of_row[r])];
+            col[r] = d;
+            view->node_rows_[r * stride + si] = d;
+          }
+          double* ss = view->ss_block_.data() +
+                       si * static_cast<std::size_t>(num_servers);
+          for (std::int32_t b = 0; b < num_servers; ++b) {
+            ss[static_cast<std::size_t>(b)] =
+                s == b ? 0.0
+                       : row[static_cast<std::size_t>(
+                             server_nodes[static_cast<std::size_t>(b)])];
+          }
+        }
+      });
+  return view;
+}
+
+double OracleTileView::CsSlow(ClientIndex c, ServerIndex s) const {
+  const double base =
+      server_cols_[static_cast<std::size_t>(s) *
+                       static_cast<std::size_t>(num_rows_) +
+                   static_cast<std::size_t>(base_row_[static_cast<std::size_t>(c)])];
+  // Same operand order as the materialized build: access + substrate leg.
+  return access_.empty() ? base
+                         : access_[static_cast<std::size_t>(c)] + base;
+}
+
+void OracleTileView::FillRowSlow(ClientIndex c, double* out) const {
+  const double* base =
+      node_rows_.data() +
+      static_cast<std::size_t>(base_row_[static_cast<std::size_t>(c)]) *
+          server_stride_;
+  if (access_.empty()) {
+    std::memcpy(out, base, server_stride_ * sizeof(double));
+    return;
+  }
+  const double access = access_[static_cast<std::size_t>(c)];
+  for (std::int32_t s = 0; s < num_servers_; ++s) {
+    out[s] = access + base[s];
+  }
+  for (std::size_t s = static_cast<std::size_t>(num_servers_);
+       s < server_stride_; ++s) {
+    out[s] = 0.0;  // pad lanes stay inert for max/sum kernels
+  }
+}
+
+void OracleTileView::GatherColumnSlow(ServerIndex s, const ClientIndex* ids,
+                                      std::size_t count, double* out) const {
+  const double* col = server_cols_.data() +
+                      static_cast<std::size_t>(s) *
+                          static_cast<std::size_t>(num_rows_);
+  if (access_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = col[static_cast<std::size_t>(
+          base_row_[static_cast<std::size_t>(ids[i])])];
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto c = static_cast<std::size_t>(ids[i]);
+    out[i] = access_[c] +
+             col[static_cast<std::size_t>(base_row_[c])];
+  }
+}
+
+void OracleTileView::FillColumnSlow(ServerIndex s, double* out) const {
+  const double* col = server_cols_.data() +
+                      static_cast<std::size_t>(s) *
+                          static_cast<std::size_t>(num_rows_);
+  if (access_.empty()) {
+    for (std::int32_t c = 0; c < num_clients_; ++c) {
+      out[c] = col[static_cast<std::size_t>(
+          base_row_[static_cast<std::size_t>(c)])];
+    }
+    return;
+  }
+  for (std::int32_t c = 0; c < num_clients_; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    out[c] = access_[ci] + col[static_cast<std::size_t>(base_row_[ci])];
+  }
+}
+
+void OracleTileView::FillTileSlow(ClientIndex begin, ClientIndex end,
+                                  double* out) const {
+  for (ClientIndex c = begin; c < end; ++c) {
+    FillRowSlow(c, out + static_cast<std::size_t>(c - begin) * server_stride_);
+  }
+}
+
+}  // namespace diaca::core

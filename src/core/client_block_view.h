@@ -1,0 +1,277 @@
+// Tiled client-block view: the solver-facing contract for the |C| x |S|
+// client-to-server latency block.
+//
+// PR 6 broke the O(n^2) substrate wall with net::DistanceOracle, but
+// Problem still materialized the full client block, so at 1M clients x
+// 1k servers the assignment step itself retained the ~8 GB the oracle
+// was built to avoid. ClientBlockView redesigns that contract: solvers no
+// longer assume a resident block; they consume the data through
+//
+//   * ForEachTile(fn)        — sequential, ascending tiles of padded
+//                              client rows (the row-major pass every
+//                              heuristic is built from);
+//   * cs(c, s) / FillRow(c)  — random access for spot lookups and
+//                              row-at-a-time consumers;
+//   * GatherColumn / FillColumn — column access for the server-major
+//                              passes (greedy candidate lists, LFB batch
+//                              scans).
+//
+// Two backends implement it:
+//
+//   * MaterializedView — wraps the padded d_cs block Problem has always
+//     carried. Every accessor resolves to the same loads the solvers used
+//     to issue against Problem::cs_row, so results are bit-identical to
+//     the historical path and ForEachTile emits one zero-copy tile.
+//   * OracleTileView — never holds the block. It retains only the |S|
+//     substrate server rows (gathered once from a net::DistanceOracle,
+//     O((n + |C|) + n * |S|) state, independent of |C| x |S|) and
+//     synthesizes client rows on demand: tiles are generated into a small
+//     reusable buffer pool, and while a solver scans the current tile the
+//     next one is prefetched on the thread pool. Because every
+//     synthesized double is computed from the same operands the
+//     materialized build used (d(c,s) = access(c) + row_s[attach(c)], a
+//     single IEEE addition), assignments are bit-identical across the two
+//     backends at every tile size, pool size, and thread count.
+//
+// Thread safety: views are shared const (Problem copies alias one view).
+// All accessors are safe to call concurrently; the usage counters are
+// relaxed atomics. ForEachTile itself is a single-consumer traversal —
+// callers parallelize *inside* fn over the tile's rows, not across tiles.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/types.h"
+#include "net/distance_oracle.h"
+
+namespace diaca::core {
+
+/// One contiguous run of client rows, padded exactly like the
+/// materialized block: stride >= num_servers, pad lanes 0.0.
+struct ClientTile {
+  ClientIndex begin = 0;
+  ClientIndex end = 0;
+  const double* data = nullptr;  ///< (end - begin) rows of `stride` doubles
+  std::size_t stride = 0;
+
+  /// Row of client c (absolute index; begin <= c < end).
+  const double* row(ClientIndex c) const {
+    return data + static_cast<std::size_t>(c - begin) * stride;
+  }
+};
+
+/// Monotonic usage counters, snapshotted by SolverRegistry::Solve into
+/// SolveStats (tiles_loaded / tile_bytes_peak deltas per solve).
+struct ClientBlockStats {
+  /// Tiles synthesized by a lazy backend (0 on MaterializedView: its
+  /// tiles are zero-copy aliases, not loads).
+  std::int64_t tiles_loaded = 0;
+  /// Client rows synthesized outside tile traversals (FillRow on a lazy
+  /// backend).
+  std::int64_t rows_filled = 0;
+  /// Column accesses served (GatherColumn + FillColumn, both backends).
+  std::int64_t columns_gathered = 0;
+  /// High-water bytes of live tile-pool buffers across all traversals
+  /// (0 on MaterializedView). The memory the tiling actually costs.
+  std::int64_t tile_bytes_peak = 0;
+};
+
+/// Tile sizing for lazy backends (MaterializedView ignores it: its one
+/// tile is the whole block, zero-copy).
+struct TileOptions {
+  /// Client rows per tile. Clamped to [1, |C|]. The default keeps a tile
+  /// around 4 MB at 64 servers — big enough to amortize the per-tile
+  /// fan-out, small enough to stay cache- and budget-friendly (see
+  /// docs/performance.md).
+  std::int32_t tile_clients = 8192;
+  /// Buffers in the reusable tile pool. 1 disables prefetch; >= 2 lets
+  /// the next tile synthesize on the thread pool while the current one is
+  /// scanned (one tile ahead — deeper pools are clamped to 2).
+  std::int32_t pool_tiles = 2;
+};
+
+class ClientBlockView {
+ public:
+  virtual ~ClientBlockView() = default;
+  ClientBlockView(const ClientBlockView&) = delete;
+  ClientBlockView& operator=(const ClientBlockView&) = delete;
+
+  std::int32_t num_clients() const { return num_clients_; }
+  std::int32_t num_servers() const { return num_servers_; }
+
+  /// Doubles between consecutive rows: simd::PaddedStride(num_servers()),
+  /// pad lanes 0.0 — the layout the SIMD kernels run on.
+  std::size_t server_stride() const { return server_stride_; }
+
+  /// True when the whole padded block is resident (raw_block() != nullptr).
+  bool materialized() const { return raw_block_ != nullptr; }
+
+  /// The resident padded block, or nullptr on lazy backends. Fast paths
+  /// that need contiguous multi-row access branch on this once and fall
+  /// back to tiles.
+  const double* raw_block() const { return raw_block_; }
+
+  /// Client-to-server latency d(c, s). O(1) on both backends (lazy
+  /// backends compute one addition); inline load when materialized.
+  double cs(ClientIndex c, ServerIndex s) const {
+    if (raw_block_ != nullptr) {
+      return raw_block_[static_cast<std::size_t>(c) * server_stride_ +
+                        static_cast<std::size_t>(s)];
+    }
+    return CsSlow(c, s);
+  }
+
+  /// Write client c's padded row into out[0..server_stride()): the
+  /// num_servers() latencies then 0.0 pad lanes.
+  void FillRow(ClientIndex c, double* out) const;
+
+  /// out[i] = cs(ids[i], s) for i in [0, count) — the server-major gather
+  /// the greedy candidate lists stream.
+  void GatherColumn(ServerIndex s, const ClientIndex* ids, std::size_t count,
+                    double* out) const;
+
+  /// out[c] = cs(c, s) for every client — the full-column scan of the LFB
+  /// batch collection.
+  void FillColumn(ServerIndex s, double* out) const;
+
+  /// Visit ascending, disjoint tiles covering every client exactly once.
+  /// MaterializedView emits one zero-copy tile; lazy backends synthesize
+  /// TileOptions-sized tiles through the buffer pool, prefetching one
+  /// ahead on the global pool when it has workers. Tile data is valid
+  /// only during fn; fn runs on the calling thread.
+  void ForEachTile(const std::function<void(const ClientTile&)>& fn) const;
+
+  /// The full padded block as a fresh vector (|C| rows of
+  /// server_stride()). The escape hatch for consumers that genuinely need
+  /// random row access over the whole block (the exact solver's
+  /// branch-and-bound); O(|C| x |S|) memory by definition — callers own
+  /// that trade.
+  std::vector<double> MaterializeBlock() const;
+
+  ClientBlockStats stats() const;
+
+ protected:
+  ClientBlockView(std::int32_t num_clients, std::int32_t num_servers,
+                  const TileOptions& tile);
+
+  /// Lazy-backend hooks; never called while raw_block_ is set.
+  virtual double CsSlow(ClientIndex c, ServerIndex s) const = 0;
+  virtual void FillRowSlow(ClientIndex c, double* out) const = 0;
+  virtual void GatherColumnSlow(ServerIndex s, const ClientIndex* ids,
+                                std::size_t count, double* out) const = 0;
+  /// Full column without an id list (out[c] = cs(c, s) for all clients).
+  virtual void FillColumnSlow(ServerIndex s, double* out) const = 0;
+  /// Fill rows [begin, end) into `out` ((end - begin) * stride doubles,
+  /// pads included).
+  virtual void FillTileSlow(ClientIndex begin, ClientIndex end,
+                            double* out) const = 0;
+
+  std::int32_t num_clients_;
+  std::int32_t num_servers_;
+  std::size_t server_stride_;
+  TileOptions tile_;
+  /// Set by MaterializedView; nullptr on lazy backends.
+  const double* raw_block_ = nullptr;
+
+ private:
+  void BumpTileBytesPeak(std::int64_t live_bytes) const;
+
+  mutable std::atomic<std::int64_t> tiles_loaded_{0};
+  mutable std::atomic<std::int64_t> rows_filled_{0};
+  mutable std::atomic<std::int64_t> columns_gathered_{0};
+  mutable std::atomic<std::int64_t> tile_bytes_peak_{0};
+};
+
+/// The historical backend: owns the padded |C| x server_stride block.
+class MaterializedView final : public ClientBlockView {
+ public:
+  /// Adopts `padded_block`: num_clients rows of PaddedStride(num_servers)
+  /// doubles, pad lanes 0.0 (the layout Problem's constructors build).
+  MaterializedView(std::int32_t num_clients, std::int32_t num_servers,
+                   std::vector<double> padded_block);
+
+ protected:
+  double CsSlow(ClientIndex c, ServerIndex s) const override;
+  void FillRowSlow(ClientIndex c, double* out) const override;
+  void GatherColumnSlow(ServerIndex s, const ClientIndex* ids,
+                        std::size_t count, double* out) const override;
+  void FillColumnSlow(ServerIndex s, double* out) const override;
+  void FillTileSlow(ClientIndex begin, ClientIndex end,
+                    double* out) const override;
+
+ private:
+  std::vector<double> block_;
+};
+
+/// The streaming backend: synthesizes client rows from O(n * |S|) server
+///-row state pulled once from a distance oracle.
+class OracleTileView final : public ClientBlockView {
+ public:
+  /// Clients sitting directly on substrate nodes:
+  /// d(c, s) = d_substrate(client_nodes[c], server_nodes[s]). Matches the
+  /// matrix/oracle Problem constructors bit-for-bit (exact oracle
+  /// backends; estimated backends match an estimated materialized build).
+  /// Queries |S| oracle rows at construction, then drops the oracle.
+  static std::shared_ptr<OracleTileView> FromOracle(
+      const net::DistanceOracle& oracle,
+      std::span<const net::NodeIndex> server_nodes,
+      std::span<const net::NodeIndex> client_nodes,
+      const TileOptions& tile = {});
+
+  /// Attached clients (the streaming-cloud shape, data/streaming.h):
+  /// d(c, s) = access_ms[c] + d_substrate(attach[c], server_nodes[s]).
+  /// The addition uses the same operand order as the materialized cloud
+  /// build, so the synthesized block is bit-identical to it.
+  static std::shared_ptr<OracleTileView> FromAttachments(
+      const net::DistanceOracle& oracle,
+      std::span<const net::NodeIndex> server_nodes,
+      std::span<const net::NodeIndex> attach, std::span<const double> access_ms,
+      const TileOptions& tile = {});
+
+  /// The |S| x |S| server block captured during construction (dense
+  /// row-major, zero diagonal) — Problem::FromView consumes it so the
+  /// oracle is queried exactly once.
+  std::span<const double> server_block() const { return ss_block_; }
+
+ protected:
+  double CsSlow(ClientIndex c, ServerIndex s) const override;
+  void FillRowSlow(ClientIndex c, double* out) const override;
+  void GatherColumnSlow(ServerIndex s, const ClientIndex* ids,
+                        std::size_t count, double* out) const override;
+  void FillColumnSlow(ServerIndex s, double* out) const override;
+  void FillTileSlow(ClientIndex begin, ClientIndex end,
+                    double* out) const override;
+
+ private:
+  OracleTileView(std::int32_t num_clients, std::int32_t num_servers,
+                 const TileOptions& tile);
+  static std::shared_ptr<OracleTileView> Build(
+      const net::DistanceOracle& oracle,
+      std::span<const net::NodeIndex> server_nodes,
+      std::span<const net::NodeIndex> attach_nodes,
+      std::span<const double> access_ms, const TileOptions& tile);
+
+  /// base_row_[c]: index of client c's substrate node among the distinct
+  /// attachment nodes (first-appearance order).
+  std::vector<std::int32_t> base_row_;
+  /// Per-client access delay; empty when clients sit on substrate nodes
+  /// (no addition is performed, preserving the matrix path's bits).
+  std::vector<double> access_;
+  /// Node-major server distances: one padded row (server_stride doubles,
+  /// pads 0.0) per distinct attachment node — row/tile fills stream it.
+  std::vector<double> node_rows_;
+  /// Server-major mirror: |S| rows of num_rows_ doubles — column gathers
+  /// stay inside one compact row instead of striding node_rows_.
+  std::vector<double> server_cols_;
+  /// |S| x |S| dense server block (see server_block()).
+  std::vector<double> ss_block_;
+  std::int32_t num_rows_ = 0;  ///< distinct attachment nodes
+};
+
+}  // namespace diaca::core

@@ -22,20 +22,42 @@ std::vector<double> EccentricitiesExcluding(const Problem& problem,
                                             ClientIndex exclude) {
   std::vector<double> far(static_cast<std::size_t>(problem.num_servers()), -1.0);
   // The eccentricity fold, split around the excluded client.
-  const double* cs = problem.cs_row(0);
-  const std::size_t stride = problem.server_stride();
-  simd::MaxAbsorbScatter(far.data(), a.server_of.data(), cs, stride, 0,
-                         exclude);
-  simd::MaxAbsorbScatter(far.data(), a.server_of.data(), cs, stride,
-                         static_cast<std::int64_t>(exclude) + 1,
-                         problem.num_clients());
+  const ClientBlockView& view = problem.client_block();
+  if (const double* cs = view.raw_block()) {
+    const std::size_t stride = problem.server_stride();
+    simd::MaxAbsorbScatter(far.data(), a.server_of.data(), cs, stride, 0,
+                           exclude);
+    simd::MaxAbsorbScatter(far.data(), a.server_of.data(), cs, stride,
+                           static_cast<std::int64_t>(exclude) + 1,
+                           problem.num_clients());
+    return far;
+  }
+  // Streamed block: same split, tile by tile, with ranges relative to the
+  // tile base (the kernel indexes rows from its cs pointer).
+  view.ForEachTile([&](const ClientTile& tile) {
+    const std::int64_t tb = tile.begin;
+    const std::int64_t len = tile.end - tile.begin;
+    const auto* assign = a.server_of.data() + static_cast<std::size_t>(tb);
+    const std::int64_t lo_end =
+        std::min<std::int64_t>(tile.end, exclude) - tb;
+    if (lo_end > 0) {
+      simd::MaxAbsorbScatter(far.data(), assign, tile.data, tile.stride, 0,
+                             lo_end);
+    }
+    const std::int64_t hi_begin =
+        std::max<std::int64_t>(tb, static_cast<std::int64_t>(exclude) + 1) - tb;
+    if (hi_begin < len) {
+      simd::MaxAbsorbScatter(far.data(), assign, tile.data, tile.stride,
+                             hi_begin, len);
+    }
+  });
   return far;
 }
 
 double PathLengthIfMoved(const Problem& problem, ClientIndex c,
                          ServerIndex candidate,
                          std::span<const double> far_excl) {
-  const double d = problem.cs(c, candidate);
+  const double d = problem.client_block().cs(c, candidate);
   // Self path 2d: c -> candidate -> candidate -> c; the fold adds the
   // best path through a used server, (d + row[t]) + far[t] — the same
   // association the former serial loop carried.
@@ -94,7 +116,7 @@ DgResult DistributedGreedyAssign(const Problem& problem,
       const ServerIndex current = a[c];
       {
         const std::vector<double> far = ServerEccentricities(problem, a);
-        const double d = problem.cs(c, current);
+        const double d = problem.client_block().cs(c, current);
         const double via_c =
             std::max(2.0 * d, d + MaxServerReach(problem, far, current));
         if (via_c < max_len - kEps) continue;

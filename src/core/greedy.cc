@@ -31,6 +31,14 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
   const std::int32_t num_servers = problem.num_servers();
   CheckCapacityFeasible(problem, options);
   ThreadPool& pool = GlobalPool();
+  const ClientBlockView& view = problem.client_block();
+  // On a streamed block the resident per-server distance arrays would
+  // re-materialize |S| copies of the very block the view avoids, so only
+  // the client-index lists persist (4 bytes/entry instead of 12) and each
+  // round re-gathers the surviving distances through the view's compact
+  // server-major path. The gathered doubles are the same values the
+  // resident arrays would hold, so the scans are bit-identical.
+  const bool streamed = !view.materialized();
 
   // Preprocessing: per-server client lists sorted by distance (ties by
   // client index, making every later step deterministic). Alongside each
@@ -41,23 +49,31 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
   std::vector<std::vector<ClientIndex>> lists(
       static_cast<std::size_t>(num_servers));
   std::vector<std::vector<double>> dist_lists(
-      static_cast<std::size_t>(num_servers));
+      streamed ? 0 : static_cast<std::size_t>(num_servers));
   pool.ParallelFor(0, num_servers, 1, [&](std::int64_t b, std::int64_t e) {
+    thread_local std::vector<double> sort_scratch;
     for (std::int64_t si = b; si < e; ++si) {
       const auto s = static_cast<ServerIndex>(si);
       auto& list = lists[static_cast<std::size_t>(si)];
-      auto& dist = dist_lists[static_cast<std::size_t>(si)];
       list.resize(static_cast<std::size_t>(num_clients));
-      dist.resize(static_cast<std::size_t>(num_clients));
       for (ClientIndex c = 0; c < num_clients; ++c) {
-        dist[static_cast<std::size_t>(c)] = problem.cs(c, s);
         list[static_cast<std::size_t>(c)] = c;
       }
+      double* dist;
+      if (streamed) {
+        sort_scratch.resize(static_cast<std::size_t>(num_clients));
+        dist = sort_scratch.data();
+      } else {
+        auto& owned = dist_lists[static_cast<std::size_t>(si)];
+        owned.resize(static_cast<std::size_t>(num_clients));
+        dist = owned.data();
+      }
+      view.FillColumn(s, dist);
       // Stable radix sort with idx arriving ascending == lexicographic
       // (distance, client index): the exact tie-break of the former
       // comparator-on-indices sort, without the comparison-sort cost that
       // used to dominate the whole solve.
-      simd::RadixSortDistIndex(dist.data(), list.data(),
+      simd::RadixSortDistIndex(dist, list.data(),
                                static_cast<std::size_t>(num_clients));
     }
   });
@@ -77,20 +93,21 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
   // exact, so the cached values are bit-identical to a fresh scan.
   std::vector<double> reach(static_cast<std::size_t>(num_servers), 0.0);
   std::vector<ServerBest> bests(static_cast<std::size_t>(num_servers));
+  std::vector<double> batch_dist;  // caller-side gather for streamed batches
   double max_len = 0.0;
   std::int32_t num_assigned = 0;
 
   while (num_assigned < num_clients) {
     DIACA_OBS_SPAN("core.greedy.iteration");
-    // One task per server: compact the sorted list (and its distance
-    // array) in place, dropping clients assigned in earlier rounds — each
-    // assignment is skipped once and never rescanned, amortized O(1) per
-    // assigned client — then run the fused candidate kernel over the
-    // surviving distances. The deterministic min-reduce resolves cost
-    // ties by server index, and the kernel keeps the first minimal
-    // position, matching the serial (server, position) iteration order
-    // exactly. In the first round no server is used yet, so the reach
-    // term is dropped via reach = -infinity (2*d >= 0 always wins).
+    // One task per server: compact the sorted list (and, when resident,
+    // its distance array) in place, dropping clients assigned in earlier
+    // rounds — each assignment is skipped once and never rescanned,
+    // amortized O(1) per assigned client — then run the fused candidate
+    // kernel over the surviving distances. The deterministic min-reduce
+    // resolves cost ties by server index, and the kernel keeps the first
+    // minimal position, matching the serial (server, position) iteration
+    // order exactly. In the first round no server is used yet, so the
+    // reach term is dropped via reach = -infinity (2*d >= 0 always wins).
     const auto scan_server = [&](std::int64_t si) -> double {
       auto& best = bests[static_cast<std::size_t>(si)];
       best = ServerBest{};
@@ -98,23 +115,38 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
         return std::numeric_limits<double>::infinity();
       }
       auto& list = lists[static_cast<std::size_t>(si)];
-      auto& dist = dist_lists[static_cast<std::size_t>(si)];
       std::size_t write = 0;
-      for (std::size_t pos = 0; pos < list.size(); ++pos) {
-        const ClientIndex c = list[pos];
-        if (a[c] == kUnassigned) {
-          dist[write] = dist[pos];
-          list[write++] = c;
+      const double* dist_data;
+      if (streamed) {
+        for (std::size_t pos = 0; pos < list.size(); ++pos) {
+          const ClientIndex c = list[pos];
+          if (a[c] == kUnassigned) list[write++] = c;
         }
+        list.resize(write);
+        thread_local std::vector<double> scan_scratch;
+        scan_scratch.resize(write);
+        view.GatherColumn(static_cast<ServerIndex>(si), list.data(), write,
+                          scan_scratch.data());
+        dist_data = scan_scratch.data();
+      } else {
+        auto& dist = dist_lists[static_cast<std::size_t>(si)];
+        for (std::size_t pos = 0; pos < list.size(); ++pos) {
+          const ClientIndex c = list[pos];
+          if (a[c] == kUnassigned) {
+            dist[write] = dist[pos];
+            list[write++] = c;
+          }
+        }
+        list.resize(write);
+        dist.resize(write);
+        dist_data = dist.data();
       }
-      list.resize(write);
-      dist.resize(write);
 
       const double server_reach =
           num_assigned > 0 ? reach[static_cast<std::size_t>(si)]
                            : -std::numeric_limits<double>::infinity();
       const simd::CandidateResult r = simd::BestCandidate(
-          dist.data(), write, server_reach, max_len,
+          dist_data, write, server_reach, max_len,
           remaining[static_cast<std::size_t>(si)]);
       best.len = r.len;
       best.pos = r.pos;
@@ -130,16 +162,28 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
     // unassigned by construction; truncated to the farthest `take`
     // members under capacity.
     auto& list = lists[static_cast<std::size_t>(best_server)];
-    const auto& dist = dist_lists[static_cast<std::size_t>(best_server)];
     auto& room = remaining[static_cast<std::size_t>(best_server)];
     const auto batch_size = static_cast<std::size_t>(best.pos) + 1;
     const auto take =
         std::min<std::size_t>(batch_size, static_cast<std::size_t>(room));
     DIACA_CHECK(take >= 1);
     double& far_b = far[static_cast<std::size_t>(best_server)];
-    for (std::size_t i = batch_size - take; i < batch_size; ++i) {
-      a[list[i]] = best_server;
-      far_b = std::max(far_b, dist[i]);
+    const double* dist;
+    std::size_t dist_offset = batch_size - take;
+    if (streamed) {
+      // The scan's gather scratch lives on whichever pool lane ran the
+      // winning server; re-gather just the batch window here.
+      batch_dist.resize(take);
+      view.GatherColumn(best_server, list.data() + dist_offset, take,
+                        batch_dist.data());
+      dist = batch_dist.data();
+      dist_offset = 0;
+    } else {
+      dist = dist_lists[static_cast<std::size_t>(best_server)].data();
+    }
+    for (std::size_t i = 0; i < take; ++i) {
+      a[list[batch_size - take + i]] = best_server;
+      far_b = std::max(far_b, dist[dist_offset + i]);
       ++num_assigned;
     }
     if (options.capacitated()) room -= static_cast<std::int32_t>(take);

@@ -16,10 +16,12 @@ IncrementalEvaluator::IncrementalEvaluator(const Problem& problem,
   DIACA_CHECK_MSG(initial.IsComplete(),
                   "incremental evaluator needs a complete assignment");
   distances_.resize(static_cast<std::size_t>(problem.num_servers()));
-  for (ClientIndex c = 0; c < problem.num_clients(); ++c) {
-    distances_[static_cast<std::size_t>(assignment_[c])].insert(
-        problem.cs(c, assignment_[c]));
-  }
+  problem.client_block().ForEachTile([&](const ClientTile& tile) {
+    for (ClientIndex c = tile.begin; c < tile.end; ++c) {
+      const ServerIndex s = assignment_[c];
+      distances_[static_cast<std::size_t>(s)].insert(tile.row(c)[s]);
+    }
+  });
   // Initial scan with a no-op "move".
   max_pair_ = ScanAllPairs(/*c=*/0, assignment_[0], assignment_[0]);
 }
@@ -30,7 +32,7 @@ double IncrementalEvaluator::EffectiveFar(ServerIndex s, ClientIndex c,
   if (from == to) return Far(s);  // no-op move
   if (s == from) {
     const auto& set = distances_[static_cast<std::size_t>(from)];
-    const double d = problem_.cs(c, from);
+    const double d = problem_.client_block().cs(c, from);
     // c leaves: if it holds the maximum, the survivor max is next.
     if (d >= *set.rbegin()) {
       auto it = set.rbegin();
@@ -39,7 +41,7 @@ double IncrementalEvaluator::EffectiveFar(ServerIndex s, ClientIndex c,
     }
     return *set.rbegin();
   }
-  if (s == to) return std::max(Far(to), problem_.cs(c, to));
+  if (s == to) return std::max(Far(to), problem_.client_block().cs(c, to));
   return Far(s);
 }
 
@@ -137,10 +139,11 @@ double IncrementalEvaluator::ApplyMove(ClientIndex c, ServerIndex to) {
   if (to == from) return max_pair_.value;
   const PairMax new_max = Evaluate(c, to, nullptr);
   auto& from_set = distances_[static_cast<std::size_t>(from)];
-  const auto it = from_set.find(problem_.cs(c, from));
+  const auto it = from_set.find(problem_.client_block().cs(c, from));
   DIACA_CHECK(it != from_set.end());
   from_set.erase(it);
-  distances_[static_cast<std::size_t>(to)].insert(problem_.cs(c, to));
+  distances_[static_cast<std::size_t>(to)].insert(
+      problem_.client_block().cs(c, to));
   assignment_[c] = to;
   max_pair_ = new_max;
   return max_pair_.value;

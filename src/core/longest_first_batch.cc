@@ -23,33 +23,29 @@ struct Candidate {
   double distance;
 };
 
-// Nearest server among those with remaining capacity, given the saturation
-// mask (0.0 = open, +infinity = saturated); kUnassigned if none. The
-// masked min-plus scan keeps the first minimum — row[s] + 0.0 is exactly
-// row[s] — so it matches the former "first strict improvement over open
-// servers" loop bit-for-bit.
-ServerIndex NearestUnsaturated(const Problem& problem, ClientIndex c,
-                               std::span<const double> avail) {
-  const simd::ArgResult best =
-      simd::ArgMinPlusFirst(problem.cs_row(c), avail.data(), avail.size());
-  return best.index < 0 ? kUnassigned
-                        : static_cast<ServerIndex>(best.index);
-}
-
 Assignment Uncapacitated(const Problem& problem, SolveStats* stats) {
   const std::int32_t num_clients = problem.num_clients();
+  const ClientBlockView& view = problem.client_block();
+  const auto num_servers = static_cast<std::size_t>(problem.num_servers());
   std::vector<Candidate> order(static_cast<std::size_t>(num_clients));
-  // Per-client nearest-server lookups are independent O(|S|) scans — fan
-  // them out; each task writes only its own slots.
-  GlobalPool().ParallelFor(0, num_clients, 256,
-                           [&](std::int64_t b, std::int64_t e) {
-                             for (std::int64_t ci = b; ci < e; ++ci) {
-                               const auto c = static_cast<ClientIndex>(ci);
-                               const ServerIndex s = NearestServerOf(problem, c);
-                               order[static_cast<std::size_t>(ci)] = {
-                                   c, s, problem.cs(c, s)};
-                             }
-                           });
+  // Per-client nearest-server lookups are independent O(|S|) row scans:
+  // stream the block tile by tile, fanning each tile's rows out on the
+  // pool. Each task writes only its own slots, and the per-row kernel is
+  // the one the materialized path always ran, so the picks are
+  // backend-independent.
+  view.ForEachTile([&](const ClientTile& tile) {
+    GlobalPool().ParallelFor(tile.begin, tile.end, 256,
+                             [&](std::int64_t b, std::int64_t e) {
+                               for (std::int64_t ci = b; ci < e; ++ci) {
+                                 const auto c = static_cast<ClientIndex>(ci);
+                                 const double* row = tile.row(c);
+                                 const auto s = static_cast<ServerIndex>(
+                                     simd::ArgMinFirst(row, num_servers).index);
+                                 order[static_cast<std::size_t>(ci)] = {c, s,
+                                                                        row[s]};
+                               }
+                             });
+  });
   // Longest distance first; stable tie-break on client index.
   std::sort(order.begin(), order.end(), [](const Candidate& a, const Candidate& b) {
     return a.distance != b.distance ? a.distance > b.distance
@@ -57,14 +53,17 @@ Assignment Uncapacitated(const Problem& problem, SolveStats* stats) {
   });
 
   Assignment a(static_cast<std::size_t>(num_clients));
+  std::vector<double> column(static_cast<std::size_t>(num_clients));
   for (const Candidate& lead : order) {
     if (a[lead.client] != kUnassigned) continue;
     DIACA_OBS_SPAN("core.lfb.batch");
-    // Batch: every unassigned client no farther from lead.nearest than lead.
+    // Batch: every unassigned client no farther from lead.nearest than
+    // lead. One column fill per batch keeps the lazy backend on its
+    // compact server-major path instead of a per-client virtual lookup.
+    view.FillColumn(lead.nearest, column.data());
     std::int32_t batch_size = 0;
     for (ClientIndex c = 0; c < num_clients; ++c) {
-      if (a[c] == kUnassigned &&
-          problem.cs(c, lead.nearest) <= lead.distance) {
+      if (a[c] == kUnassigned && column[static_cast<std::size_t>(c)] <= lead.distance) {
         a[c] = lead.nearest;
         ++batch_size;
       }
@@ -79,6 +78,9 @@ Assignment Uncapacitated(const Problem& problem, SolveStats* stats) {
 Assignment Capacitated(const Problem& problem, const AssignOptions& options,
                        SolveStats* stats) {
   const std::int32_t num_clients = problem.num_clients();
+  const ClientBlockView& view = problem.client_block();
+  const std::size_t stride = view.server_stride();
+  const double* raw = view.raw_block();
   std::vector<std::int32_t> remaining(
       static_cast<std::size_t>(problem.num_servers()));
   for (ServerIndex s = 0; s < problem.num_servers(); ++s) {
@@ -88,6 +90,7 @@ Assignment Capacitated(const Problem& problem, const AssignOptions& options,
   std::vector<ServerIndex> nearest(static_cast<std::size_t>(num_clients),
                                    kUnassigned);
   std::vector<double> avail(static_cast<std::size_t>(problem.num_servers()));
+  std::vector<double> column(static_cast<std::size_t>(num_clients));
   std::int32_t unassigned = num_clients;
 
   while (unassigned > 0) {
@@ -98,19 +101,33 @@ Assignment Capacitated(const Problem& problem, const AssignOptions& options,
       avail[s] = remaining[s] > 0 ? 0.0 : kInf;
     }
     // Find the unassigned client whose distance to its nearest unsaturated
-    // server is longest. Each client is scored independently; the
-    // deterministic max-reduce keeps the lowest client index on distance
-    // ties, exactly like the serial ascending scan with a strict `>`.
+    // server is longest. The masked min-plus scan keeps the first minimum
+    // — row[s] + 0.0 is exactly row[s] — so each client's pick matches
+    // the former "first strict improvement over open servers" loop
+    // bit-for-bit, and the deterministic max-reduce keeps the lowest
+    // client index on distance ties, exactly like the serial ascending
+    // scan with a strict `>`.
     const ThreadPool::Extremum lead_pick = GlobalPool().ParallelMaxReduce(
         0, num_clients, 64, [&](std::int64_t ci) {
           const auto c = static_cast<ClientIndex>(ci);
           if (a[c] != kUnassigned) {
-            return -std::numeric_limits<double>::infinity();
+            return -kInf;
           }
-          const ServerIndex s = NearestUnsaturated(problem, c, avail);
-          DIACA_CHECK_MSG(s != kUnassigned, "all servers saturated early");
-          nearest[static_cast<std::size_t>(ci)] = s;
-          return problem.cs(c, s);
+          const double* row;
+          thread_local std::vector<double> scratch;
+          if (raw != nullptr) {
+            row = raw + static_cast<std::size_t>(c) * stride;
+          } else {
+            scratch.resize(stride);
+            view.FillRow(c, scratch.data());
+            row = scratch.data();
+          }
+          const simd::ArgResult best =
+              simd::ArgMinPlusFirst(row, avail.data(), avail.size());
+          DIACA_CHECK_MSG(best.index >= 0, "all servers saturated early");
+          nearest[static_cast<std::size_t>(ci)] =
+              static_cast<ServerIndex>(best.index);
+          return row[best.index];
         });
     DIACA_CHECK(lead_pick.index >= 0);
     const Candidate lead{
@@ -118,11 +135,14 @@ Assignment Capacitated(const Problem& problem, const AssignOptions& options,
         nearest[static_cast<std::size_t>(lead_pick.index)],
         lead_pick.value};
     // Batch of unassigned clients within lead.distance of the server,
-    // farthest first so the lead client itself is always included.
+    // farthest first so the lead client itself is always included. One
+    // column fill serves both the membership test and the sort key.
+    view.FillColumn(lead.nearest, column.data());
     std::vector<Candidate> batch;
     for (ClientIndex c = 0; c < num_clients; ++c) {
-      if (a[c] == kUnassigned && problem.cs(c, lead.nearest) <= lead.distance) {
-        batch.push_back({c, lead.nearest, problem.cs(c, lead.nearest)});
+      const double d = column[static_cast<std::size_t>(c)];
+      if (a[c] == kUnassigned && d <= lead.distance) {
+        batch.push_back({c, lead.nearest, d});
       }
     }
     std::sort(batch.begin(), batch.end(),

@@ -12,42 +12,85 @@ namespace diaca::core {
 
 namespace {
 
+// Row of client c: the resident row when materialized, else filled into
+// `scratch` through the view.
+const double* RowOf(const ClientBlockView& view, ClientIndex c,
+                    std::vector<double>& scratch) {
+  if (const double* raw = view.raw_block()) {
+    return raw + static_cast<std::size_t>(c) * view.server_stride();
+  }
+  scratch.resize(view.server_stride());
+  view.FillRow(c, scratch.data());
+  return scratch.data();
+}
+
 LowerBoundDetail ComputePairwise(const Problem& problem) {
   const std::int32_t num_clients = problem.num_clients();
   const std::int32_t num_servers = problem.num_servers();
   const auto sc = static_cast<std::size_t>(num_clients);
   const auto ss = static_cast<std::size_t>(num_servers);
+  const ClientBlockView& view = problem.client_block();
 
   // m[c][s'] = min_s d(c,s) + d(s,s'): cheapest way for client c's
   // operation to reach server s' through some ingress server s. Rows use
   // the problem's padded server stride so the min-plus kernels stream
   // aligned spans; the pad lanes keep their +infinity fill (the kernels
   // run over the |S| valid lanes only — a relaxed pad lane would hold
-  // stale finite junk and could win the reduce below).
+  // stale finite junk and could win the reduce below). The m matrix is
+  // the bound's own O(|C| x |S|) state, so the pairwise bound remains a
+  // resident-scale computation on every backend.
   const std::size_t stride = problem.server_stride();
   std::vector<double> m(sc * stride, std::numeric_limits<double>::infinity());
-  for (ClientIndex c = 0; c < num_clients; ++c) {
-    const double* cs_row = problem.cs_row(c);
-    double* m_row = m.data() + static_cast<std::size_t>(c) * stride;
-    for (ServerIndex s = 0; s < num_servers; ++s) {
-      simd::MinPlusAccumulate(m_row, problem.ss_row(s), cs_row[s], ss);
+  view.ForEachTile([&](const ClientTile& tile) {
+    for (ClientIndex c = tile.begin; c < tile.end; ++c) {
+      const double* cs_row = tile.row(c);
+      double* m_row = m.data() + static_cast<std::size_t>(c) * stride;
+      for (ServerIndex s = 0; s < num_servers; ++s) {
+        simd::MinPlusAccumulate(m_row, problem.ss_row(s), cs_row[s], ss);
+      }
     }
-  }
+  });
 
   // LB = max_{c,c'} min_{s'} m[c][s'] + d(s',c'). The pair function is
   // symmetric in (c, c'), so only ordered pairs c <= c' are scanned.
   LowerBoundDetail detail;
-  for (ClientIndex c = 0; c < num_clients; ++c) {
-    const double* m_row = m.data() + static_cast<std::size_t>(c) * stride;
-    for (ClientIndex c2 = c; c2 < num_clients; ++c2) {
-      const double best = simd::MinPlusReduce(m_row, problem.cs_row(c2), ss);
-      if (best > detail.value) {
-        detail.value = best;
-        detail.first = c;
-        detail.second = c2;
+  if (const double* raw = view.raw_block()) {
+    for (ClientIndex c = 0; c < num_clients; ++c) {
+      const double* m_row = m.data() + static_cast<std::size_t>(c) * stride;
+      for (ClientIndex c2 = c; c2 < num_clients; ++c2) {
+        const double best = simd::MinPlusReduce(
+            m_row, raw + static_cast<std::size_t>(c2) * stride, ss);
+        if (best > detail.value) {
+          detail.value = best;
+          detail.first = c;
+          detail.second = c2;
+        }
       }
     }
+    return detail;
   }
+  // Streamed block: iterate c2 tile-major so each client row is
+  // synthesized once, c inner. The strict `>` of the c-major loop keeps
+  // the lexicographically smallest pair attaining the max; the explicit
+  // lex tie-break below reproduces exactly that pair under the swapped
+  // iteration order, so both backends report identical witnesses.
+  view.ForEachTile([&](const ClientTile& tile) {
+    for (ClientIndex c2 = tile.begin; c2 < tile.end; ++c2) {
+      const double* cs2 = tile.row(c2);
+      for (ClientIndex c = 0; c <= c2; ++c) {
+        const double best = simd::MinPlusReduce(
+            m.data() + static_cast<std::size_t>(c) * stride, cs2, ss);
+        if (best > detail.value ||
+            (best == detail.value &&
+             (c < detail.first ||
+              (c == detail.first && c2 < detail.second)))) {
+          detail.value = best;
+          detail.first = c;
+          detail.second = c2;
+        }
+      }
+    }
+  });
   return detail;
 }
 
@@ -56,9 +99,11 @@ LowerBoundDetail ComputePairwise(const Problem& problem) {
 double TripleBound(const Problem& problem, ClientIndex a, ClientIndex b,
                    ClientIndex c, double stop_above) {
   const std::int32_t num_servers = problem.num_servers();
-  const double* da = problem.cs_row(a);
-  const double* db = problem.cs_row(b);
-  const double* dc = problem.cs_row(c);
+  const ClientBlockView& view = problem.client_block();
+  std::vector<double> scratch_a, scratch_b, scratch_c;
+  const double* da = RowOf(view, a, scratch_a);
+  const double* db = RowOf(view, b, scratch_b);
+  const double* dc = RowOf(view, c, scratch_c);
   double best = std::numeric_limits<double>::infinity();
   for (ServerIndex sa = 0; sa < num_servers; ++sa) {
     if (2.0 * da[sa] >= best) continue;

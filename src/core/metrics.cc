@@ -44,7 +44,8 @@ double InteractionPathLength(const Problem& problem, const Assignment& a,
   const ServerIndex sj = a[cj];
   DIACA_CHECK_MSG(si != kUnassigned && sj != kUnassigned,
                   "interaction path requires assigned clients");
-  return problem.cs(ci, si) + problem.ss(si, sj) + problem.cs(cj, sj);
+  const ClientBlockView& view = problem.client_block();
+  return view.cs(ci, si) + problem.ss(si, sj) + view.cs(cj, sj);
 }
 
 std::vector<double> ServerEccentricities(const Problem& problem,
@@ -53,7 +54,19 @@ std::vector<double> ServerEccentricities(const Problem& problem,
   const std::int32_t num_clients = problem.num_clients();
   const auto num_servers = static_cast<std::size_t>(problem.num_servers());
   std::vector<double> far(num_servers, -1.0);
-  const double* cs = problem.cs_row(0);
+  const ClientBlockView& view = problem.client_block();
+  const double* cs = view.raw_block();
+  if (cs == nullptr) {
+    // Streamed block: fold each tile with the same scatter kernel the
+    // resident path runs. `max` is exact under any association, so the
+    // per-tile folds land on the same eccentricities bit-for-bit.
+    view.ForEachTile([&](const ClientTile& tile) {
+      simd::MaxAbsorbScatter(far.data(),
+                             a.server_of.data() + static_cast<std::size_t>(tile.begin),
+                             tile.data, tile.stride, 0, tile.end - tile.begin);
+    });
+    return far;
+  }
   const std::size_t cs_stride = problem.server_stride();
   ThreadPool& pool = GlobalPool();
   if (pool.num_threads() == 1 || num_clients <= kClientGrain) {
@@ -177,25 +190,27 @@ std::vector<ClientIndex> CriticalClients(const Problem& problem,
           MaxServerReach(problem, far, static_cast<ServerIndex>(s));
     }
   });
-  // Flag clients in parallel, collect in index order: the result is the
-  // same ascending list the serial loop produced.
+  // Flag clients in parallel inside each streamed tile, collect in index
+  // order: the result is the same ascending list the serial loop produced.
   std::vector<char> is_critical(static_cast<std::size_t>(num_clients), 0);
-  pool.ParallelFor(0, num_clients, kClientGrain,
-                   [&](std::int64_t b, std::int64_t e) {
-                     for (std::int64_t ci = b; ci < e; ++ci) {
-                       const auto c = static_cast<ClientIndex>(ci);
-                       const ServerIndex s = a[c];
-                       const double dcs = problem.cs(c, s);
-                       // c is an endpoint of a longest path iff its distance
-                       // plus the longest reach from its server (or its own
-                       // round trip) attains max_len.
-                       const double longest_via_c = std::max(
-                           2.0 * dcs, dcs + reach[static_cast<std::size_t>(s)]);
-                       if (longest_via_c >= max_len - tolerance) {
-                         is_critical[static_cast<std::size_t>(ci)] = 1;
+  problem.client_block().ForEachTile([&](const ClientTile& tile) {
+    pool.ParallelFor(tile.begin, tile.end, kClientGrain,
+                     [&](std::int64_t b, std::int64_t e) {
+                       for (std::int64_t ci = b; ci < e; ++ci) {
+                         const auto c = static_cast<ClientIndex>(ci);
+                         const ServerIndex s = a[c];
+                         const double dcs = tile.row(c)[s];
+                         // c is an endpoint of a longest path iff its distance
+                         // plus the longest reach from its server (or its own
+                         // round trip) attains max_len.
+                         const double longest_via_c = std::max(
+                             2.0 * dcs, dcs + reach[static_cast<std::size_t>(s)]);
+                         if (longest_via_c >= max_len - tolerance) {
+                           is_critical[static_cast<std::size_t>(ci)] = 1;
+                         }
                        }
-                     }
-                   });
+                     });
+  });
   std::vector<ClientIndex> critical;
   for (ClientIndex c = 0; c < num_clients; ++c) {
     if (is_critical[static_cast<std::size_t>(c)] != 0) critical.push_back(c);
@@ -215,13 +230,17 @@ double MeanInteractionPathLength(const Problem& problem,
                                  0.0);
   std::vector<double> load(static_cast<std::size_t>(problem.num_servers()), 0.0);
   double client_sum = 0.0;
-  for (ClientIndex c = 0; c < problem.num_clients(); ++c) {
-    const ServerIndex s = a[c];
-    const double d = problem.cs(c, s);
-    total_dist[static_cast<std::size_t>(s)] += d;
-    load[static_cast<std::size_t>(s)] += 1.0;
-    client_sum += d;
-  }
+  // Tiles ascend, so the accumulation order (and thus the floating-point
+  // sums) matches the former per-client loop on every backend.
+  problem.client_block().ForEachTile([&](const ClientTile& tile) {
+    for (ClientIndex c = tile.begin; c < tile.end; ++c) {
+      const ServerIndex s = a[c];
+      const double d = tile.row(c)[s];
+      total_dist[static_cast<std::size_t>(s)] += d;
+      load[static_cast<std::size_t>(s)] += 1.0;
+      client_sum += d;
+    }
+  });
   // The inner sum over s2 is a dot product of the s1 row with the load
   // vector: unused servers carry load 0.0, whose products vanish exactly,
   // so the full-range kernel equals the former used-set pair loop. Only

@@ -32,6 +32,38 @@ void CheckDistinct(std::span<const net::NodeIndex> nodes, const char* kind) {
 
 }  // namespace
 
+void Problem::AdoptServerBlock(std::span<const double> d_ss) {
+  const auto s_count = static_cast<std::size_t>(num_servers_);
+  DIACA_CHECK_MSG(d_ss.size() == s_count * s_count,
+                  "d_ss block is " << d_ss.size() << " doubles, expected "
+                                   << s_count * s_count);
+  d_ss_.assign(s_count * server_stride_, 0.0);
+  for (std::size_t a = 0; a < s_count; ++a) {
+    const double* in = d_ss.data() + a * s_count;
+    double* out = d_ss_.data() + a * server_stride_;
+    for (std::size_t b = 0; b < s_count; ++b) {
+      DIACA_CHECK_MSG(in[b] >= 0.0, "negative server-to-server latency at ("
+                                        << a << ", " << b << ")");
+      if (a == b) {
+        if (in[b] != 0.0) {
+          throw Error("d_ss diagonal entry (" + std::to_string(a) + ", " +
+                      std::to_string(a) + ") is " + std::to_string(in[b]) +
+                      " but server self-distance must be exactly zero");
+        }
+      } else if (in[b] != d_ss[b * s_count + a]) {
+        // Asymmetric inputs silently skewed every downstream objective
+        // (the pair folds assume d(s1,s2) == d(s2,s1)); reject loudly.
+        throw Error("d_ss is not symmetric: entry (" + std::to_string(a) +
+                    ", " + std::to_string(b) + ") = " + std::to_string(in[b]) +
+                    " but (" + std::to_string(b) + ", " + std::to_string(a) +
+                    ") = " + std::to_string(d_ss[b * s_count + a]) +
+                    " — server-to-server latencies must be symmetric");
+      }
+      out[b] = in[b];
+    }
+  }
+}
+
 Problem::Problem(const net::LatencyMatrix& matrix,
                  std::span<const net::NodeIndex> server_nodes,
                  std::span<const net::NodeIndex> client_nodes)
@@ -44,14 +76,17 @@ Problem::Problem(const net::LatencyMatrix& matrix,
   CheckNodes(server_nodes, matrix.size(), "server");
   CheckNodes(client_nodes, matrix.size(), "client");
 
-  d_cs_.assign(static_cast<std::size_t>(num_clients_) * server_stride_, 0.0);
+  std::vector<double> d_cs(
+      static_cast<std::size_t>(num_clients_) * server_stride_, 0.0);
   for (ClientIndex c = 0; c < num_clients_; ++c) {
     const double* row = matrix.Row(client_nodes_[static_cast<std::size_t>(c)]);
-    double* out = d_cs_.data() + static_cast<std::size_t>(c) * server_stride_;
+    double* out = d_cs.data() + static_cast<std::size_t>(c) * server_stride_;
     for (ServerIndex s = 0; s < num_servers_; ++s) {
       out[s] = row[server_nodes_[static_cast<std::size_t>(s)]];
     }
   }
+  client_block_ = std::make_shared<MaterializedView>(num_clients_, num_servers_,
+                                                     std::move(d_cs));
 
   d_ss_.assign(static_cast<std::size_t>(num_servers_) * server_stride_, 0.0);
   for (ServerIndex a = 0; a < num_servers_; ++a) {
@@ -96,20 +131,23 @@ Problem::Problem(const net::DistanceOracle& oracle,
       });
 
   // Phase 2: gather the retained blocks out of the server rows. Each
-  // chunk writes only its own d_cs_ rows, so the loop is trivially
+  // chunk writes only its own d_cs rows, so the loop is trivially
   // parallel and the output is independent of chunking.
-  d_cs_.assign(static_cast<std::size_t>(num_clients_) * server_stride_, 0.0);
+  std::vector<double> d_cs(
+      static_cast<std::size_t>(num_clients_) * server_stride_, 0.0);
   GlobalPool().ParallelFor(
       0, num_clients_, 1024, [&](std::int64_t cb, std::int64_t ce) {
         for (std::int64_t c = cb; c < ce; ++c) {
           const auto node = static_cast<std::size_t>(
               client_nodes_[static_cast<std::size_t>(c)]);
-          double* out = d_cs_.data() + static_cast<std::size_t>(c) * server_stride_;
+          double* out = d_cs.data() + static_cast<std::size_t>(c) * server_stride_;
           for (ServerIndex s = 0; s < num_servers_; ++s) {
             out[s] = server_rows[static_cast<std::size_t>(s)][node];
           }
         }
       });
+  client_block_ = std::make_shared<MaterializedView>(num_clients_, num_servers_,
+                                                     std::move(d_cs));
 
   d_ss_.assign(static_cast<std::size_t>(num_servers_) * server_stride_, 0.0);
   for (ServerIndex a = 0; a < num_servers_; ++a) {
@@ -121,6 +159,14 @@ Problem::Problem(const net::DistanceOracle& oracle,
                             server_nodes_[static_cast<std::size_t>(b)])];
     }
   }
+}
+
+const double* Problem::cs_row(ClientIndex c) const {
+  const double* raw = client_block_->raw_block();
+  DIACA_CHECK_MSG(raw != nullptr,
+                  "cs_row() needs a materialized client block; this problem "
+                  "streams tiles — iterate client_block().ForEachTile(...)");
+  return raw + static_cast<std::size_t>(c) * server_stride_;
 }
 
 Problem Problem::WithClientsEverywhere(
@@ -153,16 +199,13 @@ Problem Problem::FromBlocks(std::vector<net::NodeIndex> server_nodes,
   DIACA_CHECK_MSG(d_cs.size() == c_count * s_count,
                   "d_cs block is " << d_cs.size() << " doubles, expected "
                                    << c_count * s_count);
-  DIACA_CHECK_MSG(d_ss.size() == s_count * s_count,
-                  "d_ss block is " << d_ss.size() << " doubles, expected "
-                                   << s_count * s_count);
   p.server_stride_ = simd::PaddedStride(s_count);
   p.server_nodes_ = std::move(server_nodes);
   p.client_nodes_ = std::move(client_nodes);
-  p.d_cs_.assign(c_count * p.server_stride_, 0.0);
+  std::vector<double> padded(c_count * p.server_stride_, 0.0);
   for (std::size_t c = 0; c < c_count; ++c) {
     const double* in = d_cs.data() + c * s_count;
-    double* out = p.d_cs_.data() + c * p.server_stride_;
+    double* out = padded.data() + c * p.server_stride_;
     for (std::size_t s = 0; s < s_count; ++s) {
       DIACA_CHECK_MSG(d_cs[c * s_count + s] >= 0.0,
                       "negative client-to-server latency at (" << c << ", "
@@ -170,19 +213,50 @@ Problem Problem::FromBlocks(std::vector<net::NodeIndex> server_nodes,
       out[s] = in[s];
     }
   }
-  p.d_ss_.assign(s_count * p.server_stride_, 0.0);
-  for (std::size_t a = 0; a < s_count; ++a) {
-    const double* in = d_ss.data() + a * s_count;
-    double* out = p.d_ss_.data() + a * p.server_stride_;
-    for (std::size_t b = 0; b < s_count; ++b) {
-      DIACA_CHECK_MSG(in[b] >= 0.0, "negative server-to-server latency at ("
-                                        << a << ", " << b << ")");
-      DIACA_CHECK_MSG(a != b || in[b] == 0.0,
-                      "non-zero server-to-server diagonal at " << a);
-      out[b] = in[b];
-    }
-  }
+  p.client_block_ = std::make_shared<MaterializedView>(
+      p.num_clients_, p.num_servers_, std::move(padded));
+  p.AdoptServerBlock(d_ss);
   return p;
+}
+
+Problem Problem::FromView(std::shared_ptr<const ClientBlockView> view,
+                          std::vector<net::NodeIndex> server_nodes,
+                          std::vector<net::NodeIndex> client_nodes,
+                          std::span<const double> d_ss) {
+  DIACA_CHECK_MSG(view != nullptr, "client block view must not be null");
+  CheckDistinct(server_nodes, "server");
+  CheckDistinct(client_nodes, "client");
+  DIACA_CHECK_MSG(
+      view->num_servers() == static_cast<std::int32_t>(server_nodes.size()),
+      "view covers " << view->num_servers() << " servers but the node list has "
+                     << server_nodes.size());
+  DIACA_CHECK_MSG(
+      view->num_clients() == static_cast<std::int32_t>(client_nodes.size()),
+      "view covers " << view->num_clients() << " clients but the node list has "
+                     << client_nodes.size());
+  Problem p;
+  p.num_servers_ = view->num_servers();
+  p.num_clients_ = view->num_clients();
+  p.server_stride_ = view->server_stride();
+  p.server_nodes_ = std::move(server_nodes);
+  p.client_nodes_ = std::move(client_nodes);
+  p.client_block_ = std::move(view);
+  p.AdoptServerBlock(d_ss);
+  return p;
+}
+
+Problem Problem::FromOracleTiled(const net::DistanceOracle& oracle,
+                                 std::span<const net::NodeIndex> server_nodes,
+                                 std::span<const net::NodeIndex> client_nodes,
+                                 const TileOptions& tile) {
+  CheckNodes(server_nodes, oracle.size(), "server");
+  CheckNodes(client_nodes, oracle.size(), "client");
+  auto view =
+      OracleTileView::FromOracle(oracle, server_nodes, client_nodes, tile);
+  const std::span<const double> d_ss = view->server_block();
+  return FromView(std::move(view),
+                  {server_nodes.begin(), server_nodes.end()},
+                  {client_nodes.begin(), client_nodes.end()}, d_ss);
 }
 
 }  // namespace diaca::core

@@ -2,16 +2,23 @@
 //
 // A Problem is a view over a network latency matrix that fixes which nodes
 // are servers and which are clients (a node may be both, as in the paper's
-// evaluation where a client sits at every node). For cache-friendly hot
-// loops it pre-extracts the client-to-server block (|C| x |S|) and the
-// server-to-server block (|S| x |S|).
+// evaluation where a client sits at every node). The server-to-server
+// block (|S| x |S|) is always resident; the client-to-server block
+// (|C| x |S|) lives behind a core::ClientBlockView — materialized (the
+// historical padded block, bit-identical) or streamed in tiles from a
+// distance oracle (core/client_block_view.h). Solvers consume the client
+// block exclusively through client_block(); the direct cs()/cs_row()
+// accessors are one-PR deprecation shims.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "common/deprecated.h"
 #include "common/simd/simd.h"
+#include "core/client_block_view.h"
 #include "core/types.h"
 #include "net/distance_oracle.h"
 #include "net/latency_matrix.h"
@@ -34,7 +41,8 @@ class Problem {
   /// O((|C| + |S|) * |S|) exactly as with the matrix constructor. A
   /// dense-backed oracle delegates to the matrix constructor, so results
   /// are bit-identical to the historical path; a rows-backed oracle
-  /// produces the same bits via canonical Dijkstra rows.
+  /// produces the same bits via canonical Dijkstra rows. The client block
+  /// is materialized; use FromOracleTiled to stream it instead.
   Problem(const net::DistanceOracle& oracle,
           std::span<const net::NodeIndex> server_nodes,
           std::span<const net::NodeIndex> client_nodes);
@@ -48,10 +56,23 @@ class Problem {
   /// non-negative latency data (see common/simd/simd.h).
   std::size_t server_stride() const { return server_stride_; }
 
+  /// The client-to-server block. Solvers iterate its tiles / rows /
+  /// columns instead of assuming resident storage; see
+  /// core/client_block_view.h for the access vocabulary.
+  const ClientBlockView& client_block() const { return *client_block_; }
+
+  /// Shared handle to the block view (Problem copies alias one view, so
+  /// usage counters aggregate across copies).
+  std::shared_ptr<const ClientBlockView> client_block_ptr() const {
+    return client_block_;
+  }
+
   /// Client-to-server latency d(c, s).
+  DIACA_DEPRECATED(
+      "use client_block().cs(c, s) — solver code must not consume Problem's "
+      "client block directly (works on every backend)")
   double cs(ClientIndex c, ServerIndex s) const {
-    return d_cs_[static_cast<std::size_t>(c) * server_stride_ +
-                 static_cast<std::size_t>(s)];
+    return client_block_->cs(c, s);
   }
 
   /// Server-to-server latency d(s1, s2); zero when s1 == s2.
@@ -62,9 +83,12 @@ class Problem {
 
   /// Row of client c's latencies to all servers (num_servers() valid
   /// doubles, then server_stride() - num_servers() zero pad lanes).
-  const double* cs_row(ClientIndex c) const {
-    return d_cs_.data() + static_cast<std::size_t>(c) * server_stride_;
-  }
+  /// Requires a materialized block; tiled problems throw. New code
+  /// iterates client_block().ForEachTile(...) or fills a row scratch.
+  DIACA_DEPRECATED(
+      "use client_block().ForEachTile / FillRow — raw row pointers only "
+      "exist on the materialized backend")
+  const double* cs_row(ClientIndex c) const;
 
   /// Row of server a's latencies to all servers (num_servers() valid
   /// doubles, then server_stride() - num_servers() zero pad lanes).
@@ -97,23 +121,47 @@ class Problem {
   /// Assemble a problem directly from pre-computed latency blocks, for
   /// streaming builders that never hold a full matrix (data/streaming.h).
   /// `d_cs` is |C| x |S| row-major (client-to-server), `d_ss` is |S| x |S|
-  /// row-major (server-to-server, symmetric, zero diagonal). Node ids are
-  /// carried through as labels only and may exceed any matrix size
-  /// (virtual client ids); duplicates between the two lists are still
-  /// rejected within each list.
+  /// row-major (server-to-server). d_ss must be symmetric with a zero
+  /// diagonal and all latencies non-negative — violations throw
+  /// diaca::Error. Node ids are carried through as labels only and may
+  /// exceed any matrix size (virtual client ids); duplicates between the
+  /// two lists are still rejected within each list.
   static Problem FromBlocks(std::vector<net::NodeIndex> server_nodes,
                             std::vector<net::NodeIndex> client_nodes,
                             std::span<const double> d_cs,
                             std::span<const double> d_ss);
 
+  /// Assemble a problem around an existing client-block view (the
+  /// no-materialize path: data::BuildClientCloud hands solvers an
+  /// OracleTileView directly). `d_ss` is |S| x |S| dense row-major and
+  /// validated like FromBlocks. The view's client/server counts must
+  /// match the node lists.
+  static Problem FromView(std::shared_ptr<const ClientBlockView> view,
+                          std::vector<net::NodeIndex> server_nodes,
+                          std::vector<net::NodeIndex> client_nodes,
+                          std::span<const double> d_ss);
+
+  /// Oracle-backed problem whose client block streams in tiles instead of
+  /// materializing |C| x |S| (the tiled sibling of the oracle
+  /// constructor; assignments are bit-identical to it on exact backends).
+  static Problem FromOracleTiled(const net::DistanceOracle& oracle,
+                                 std::span<const net::NodeIndex> server_nodes,
+                                 std::span<const net::NodeIndex> client_nodes,
+                                 const TileOptions& tile = {});
+
  private:
   Problem() = default;
-  std::int32_t num_servers_;
-  std::int32_t num_clients_;
-  std::size_t server_stride_;  // simd::PaddedStride(num_servers_)
+  /// Shared d_ss ingestion (padding + symmetry/diagonal/sign checks).
+  void AdoptServerBlock(std::span<const double> d_ss);
+
+  std::int32_t num_servers_ = 0;
+  std::int32_t num_clients_ = 0;
+  std::size_t server_stride_ = 0;  // simd::PaddedStride(num_servers_)
   std::vector<net::NodeIndex> server_nodes_;
   std::vector<net::NodeIndex> client_nodes_;
-  std::vector<double> d_cs_;  // |C| rows of server_stride_ doubles, pads 0.0
+  /// |C| x server_stride_ client block, behind the view API. shared_ptr:
+  /// Problem stays copyable, copies alias the (const) view.
+  std::shared_ptr<const ClientBlockView> client_block_;
   std::vector<double> d_ss_;  // |S| rows of server_stride_ doubles, pads 0.0
 };
 

@@ -29,9 +29,9 @@ double InteractionPathWithProcessing(const Problem& problem,
   const ServerIndex si = a[ci];
   const ServerIndex sj = a[cj];
   DIACA_CHECK(si != kUnassigned && sj != kUnassigned);
-  return problem.cs(ci, si) + model.DelayOf(load[static_cast<std::size_t>(si)]) +
+  return problem.client_block().cs(ci, si) + model.DelayOf(load[static_cast<std::size_t>(si)]) +
          problem.ss(si, sj) + model.DelayOf(load[static_cast<std::size_t>(sj)]) +
-         problem.cs(cj, sj);
+         problem.client_block().cs(cj, sj);
 }
 
 double MaxInteractionPathWithProcessing(const Problem& problem,

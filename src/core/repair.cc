@@ -28,6 +28,7 @@ RepairResult RepairAssign(const Problem& problem, const Assignment& current,
   DIACA_CHECK_MSG(current.IsComplete(),
                   "repair: current assignment must be complete");
 
+  const ClientBlockView& view = problem.client_block();
   std::vector<char> is_failed(static_cast<std::size_t>(num_servers), 0);
   for (const ServerIndex s : options.failed) {
     DIACA_CHECK_MSG(s >= 0 && s < num_servers,
@@ -90,7 +91,7 @@ RepairResult RepairAssign(const Problem& problem, const Assignment& current,
     double nearest = std::numeric_limits<double>::infinity();
     for (ServerIndex s = 0; s < num_servers; ++s) {
       if (is_failed[static_cast<std::size_t>(s)] != 0) continue;
-      nearest = std::min(nearest, problem.cs(c, s));
+      nearest = std::min(nearest, view.cs(c, s));
     }
     orphan_order.emplace_back(nearest, c);
   }
@@ -118,7 +119,7 @@ RepairResult RepairAssign(const Problem& problem, const Assignment& current,
     double best_d = std::numeric_limits<double>::infinity();
     for (ServerIndex s = 0; s < num_servers; ++s) {
       if (is_failed[static_cast<std::size_t>(s)] != 0 || !has_room(s)) continue;
-      const double d = problem.cs(c, s);
+      const double d = view.cs(c, s);
       if (d < best_d) {
         best_d = d;
         best = s;
@@ -161,7 +162,7 @@ RepairResult RepairAssign(const Problem& problem, const Assignment& current,
       double witness_d = -1.0;
       for (const auto& [unused, c] : orphan_order) {
         if (eval.ServerOf(c) != anchor) continue;
-        const double d = problem.cs(c, anchor);
+        const double d = view.cs(c, anchor);
         if (d > witness_d) {
           witness_d = d;
           witness = c;
@@ -209,7 +210,7 @@ RepairResult RepairAssign(const Problem& problem, const Assignment& current,
       double witness_d = -1.0;
       for (ClientIndex c = 0; c < num_clients; ++c) {
         if (eval.ServerOf(c) != anchor) continue;
-        const double d = problem.cs(c, anchor);
+        const double d = view.cs(c, anchor);
         if (d > witness_d) {
           witness_d = d;
           witness = c;

@@ -23,6 +23,13 @@ struct SolveStats {
   std::int32_t modifications = 0;
   /// Branch-and-bound search nodes (exact solver).
   std::int64_t nodes_explored = 0;
+  /// Client-block tiles synthesized during the solve, including the final
+  /// objective evaluation (0 on a materialized block, whose tiles are
+  /// zero-copy). Snapshotted from ClientBlockStats by SolverRegistry.
+  std::int64_t tiles_loaded = 0;
+  /// High-water bytes of live tile-pool buffers on the problem's client
+  /// block (0 when materialized) — what streaming actually cost in memory.
+  std::int64_t tile_bytes_peak = 0;
   /// Maximum interaction path length of the returned assignment (ms),
   /// as computed by core::MaxInteractionPathLength.
   double max_len = 0.0;

@@ -125,8 +125,15 @@ SolveResult SolverRegistry::Solve(const std::string& name,
   obs::TraceSpan span(it->second.span_label.c_str());
   const std::int64_t start_ns = obs::NowNs();
 #endif
+  const ClientBlockStats block_before = problem.client_block().stats();
   SolveResult result = it->second.fn(problem, options);
   result.stats.max_len = MaxInteractionPathLength(problem, result.assignment);
+  // Tile usage attributable to this solve (counters are monotonic and the
+  // view may be shared across Problem copies, hence the delta); the bytes
+  // peak is a high-water mark, so it is reported absolute.
+  const ClientBlockStats block_after = problem.client_block().stats();
+  result.stats.tiles_loaded = block_after.tiles_loaded - block_before.tiles_loaded;
+  result.stats.tile_bytes_peak = block_after.tile_bytes_peak;
 #if DIACA_OBS
   // Solver-level metrics: an explicit target registry records always; the
   // default registry only when metrics are enabled. Off the hot path —
@@ -146,6 +153,12 @@ SolveResult SolverRegistry::Solve(const std::string& name,
     if (result.stats.nodes_explored > 0) {
       target->GetCounter(prefix + ".nodes_explored")
           .Add(result.stats.nodes_explored);
+    }
+    if (result.stats.tiles_loaded > 0) {
+      target->GetCounter(prefix + ".tiles_loaded")
+          .Add(result.stats.tiles_loaded);
+      target->GetGauge(prefix + ".tile_bytes_peak")
+          .Set(result.stats.tile_bytes_peak);
     }
     target->GetHistogram(prefix + ".solve_ms")
         .Record(static_cast<double>(obs::NowNs() - start_ns) / 1e6);

@@ -48,7 +48,7 @@ SyncFeasibility CheckSyncSchedule(const Problem& problem, const Assignment& a,
 
   for (ClientIndex c = 0; c < problem.num_clients(); ++c) {
     const ServerIndex home = a[c];
-    const double d_home = problem.cs(c, home);
+    const double d_home = problem.client_block().cs(c, home);
     // Constraint (i): operation from c reaches every server s before the
     // server's simulation time passes t + δ.
     const double* row = problem.ss_row(home);

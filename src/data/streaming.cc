@@ -45,6 +45,22 @@ ClientCloud BuildClientCloud(const ClientCloudParams& params,
         rng.NextLogNormal(params.access_mu, params.access_sigma));
   }
 
+  if (!params.materialize_block) {
+    // No-materialize path: hand the solvers an OracleTileView directly.
+    // The view pulls the same |S| canonical server rows the block fill
+    // below would and synthesizes client rows with the same single
+    // addition, so every solver lands on bit-identical assignments.
+    auto view = core::OracleTileView::FromAttachments(
+        oracle, servers, attach, access_ms, params.tile);
+    std::vector<net::NodeIndex> client_ids(num_clients);
+    std::iota(client_ids.begin(), client_ids.end(), n);
+    const std::span<const double> d_ss = view->server_block();
+    core::Problem problem = core::Problem::FromView(
+        std::move(view), servers, std::move(client_ids), d_ss);
+    return ClientCloud{std::move(servers), std::move(attach),
+                       std::move(access_ms), std::move(problem)};
+  }
+
   // The |S| substrate server rows — the only shortest-path work in the
   // whole build.
   std::vector<std::vector<double>> server_rows(num_servers);

@@ -84,6 +84,62 @@ OracleBackend ParseOracleBackend(const std::string& name) {
               "' (expected dense|rows|landmarks|coords)");
 }
 
+OracleOptions ParseOracleSpec(const std::string& spec) {
+  OracleOptions options;
+  const std::size_t colon = spec.find(':');
+  options.backend = ParseOracleBackend(spec.substr(0, colon));
+  if (colon == std::string::npos) return options;
+  const std::string args = spec.substr(colon + 1);
+  if (args.empty()) {
+    throw Error("oracle spec '" + spec +
+                "' has a ':' but no key=val arguments");
+  }
+  std::size_t pos = 0;
+  while (pos <= args.size()) {
+    const std::size_t comma = args.find(',', pos);
+    const std::string pair =
+        args.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? args.size() + 1 : comma + 1;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == pair.size()) {
+      throw Error("malformed oracle option '" + pair +
+                  "' (expected key=val) in spec '" + spec + "'");
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string val = pair.substr(eq + 1);
+    std::int64_t num = 0;
+    try {
+      std::size_t used = 0;
+      num = std::stoll(val, &used);
+      if (used != val.size()) throw std::invalid_argument(val);
+    } catch (const std::exception&) {
+      throw Error("oracle option '" + key + "' needs an integer, got '" + val +
+                  "'");
+    }
+    if (num <= 0) {
+      throw Error("oracle option '" + key + "' must be positive, got '" + val +
+                  "'");
+    }
+    if (key == "cache") {
+      options.row_cache_capacity = static_cast<std::size_t>(num);
+    } else if (key == "landmarks") {
+      options.num_landmarks = static_cast<std::int32_t>(num);
+    } else if (key == "beacons") {
+      options.coord_beacons = static_cast<std::int32_t>(num);
+    } else if (key == "rounds") {
+      options.coord_rounds = static_cast<std::int32_t>(num);
+    } else if (key == "dims") {
+      options.coord_dimensions = static_cast<std::int32_t>(num);
+    } else if (key == "seed") {
+      options.seed = static_cast<std::uint64_t>(num);
+    } else {
+      throw Error("unknown oracle option '" + key +
+                  "' (expected cache|landmarks|beacons|rounds|dims|seed)");
+    }
+  }
+  return options;
+}
+
 OracleBackend DefaultOracleBackend() {
   return static_cast<OracleBackend>(
       g_default_oracle.load(std::memory_order_relaxed));

@@ -88,6 +88,22 @@ struct OracleOptions {
   std::uint64_t seed = 2011;
 };
 
+/// Parse the CLI-facing oracle spec grammar
+///
+///   backend[:key=val[,key=val...]]
+///
+/// into OracleOptions. `backend` is an OracleBackendName; keys are
+///   cache=N      row_cache_capacity (rows backend)
+///   landmarks=K  num_landmarks
+///   beacons=N    coord_beacons
+///   rounds=N     coord_rounds
+///   dims=N       coord_dimensions
+///   seed=N       sketch seed
+/// Unknown backends, unknown keys, malformed pairs, and non-positive
+/// values throw diaca::Error naming the offending token. Examples:
+/// "dense", "rows:cache=256", "coords:beacons=32,rounds=64,seed=7".
+OracleOptions ParseOracleSpec(const std::string& spec);
+
 /// Monotonic query-layer counters (also exported as net.oracle.* obs
 /// metrics). Hits/misses only move on the rows backend.
 struct OracleStats {

@@ -120,7 +120,7 @@ class Runner {
     double far = -1.0;
     for (ClientIndex c : agents_[static_cast<std::size_t>(s)].clients) {
       if (c == exclude) continue;
-      far = std::max(far, problem_.cs(c, s));
+      far = std::max(far, problem_.client_block().cs(c, s));
     }
     return far;
   }
@@ -163,7 +163,7 @@ class Runner {
     if (f >= 0.0 &&
         LongestVia(*visit_token_, holder, f) >= visit_start_len_ - kEps) {
       for (ClientIndex c : agents_[static_cast<std::size_t>(holder)].clients) {
-        if (problem_.cs(c, holder) >= f - kEps) pending_critical_.push_back(c);
+        if (problem_.client_block().cs(c, holder) >= f - kEps) pending_critical_.push_back(c);
       }
     }
     ProcessNextCritical();
@@ -177,7 +177,7 @@ class Runner {
       // Re-check criticality: earlier moves in this visit may have changed
       // the tables (the client itself can only be moved by this holder).
       const double current_len = ComputeD(*visit_token_);
-      const double dist = problem_.cs(c, holder);
+      const double dist = problem_.client_block().cs(c, holder);
       if (LongestVia(*visit_token_, holder, dist) < current_len - kEps) {
         continue;
       }
@@ -212,7 +212,7 @@ class Runner {
             options_.CapacityOf(replier)) {
       len = std::numeric_limits<double>::infinity();
     } else {
-      len = LongestVia(adjusted, replier, problem_.cs(c, replier));
+      len = LongestVia(adjusted, replier, problem_.client_block().cs(c, replier));
     }
     SendMsg(Node(replier), Node(visit_holder_),
                   [this, replier, len]() { OnReply(replier, len); },

@@ -76,7 +76,7 @@ core::Assignment AssignmentFromCover(const CapInstance& cap,
     for (core::ClientIndex c = 0; c < cap.num_elements; ++c) {
       // Client c corresponds to element c; it belongs to Q_j iff a unit
       // link exists, i.e. distance 1.
-      if (a[c] == core::kUnassigned && cap.problem.cs(c, server) <= 1.0) {
+      if (a[c] == core::kUnassigned && cap.problem.client_block().cs(c, server) <= 1.0) {
         a[c] = server;
         used = true;
       }

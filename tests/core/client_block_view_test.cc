@@ -1,0 +1,456 @@
+// Tile-boundary property suite for the client-block view API: the
+// streamed OracleTileView must be bit-identical to the materialized
+// block at every tile size (including degenerate and off-by-one ones),
+// pool size, LRU capacity, and thread count, for every solver that
+// consumes the view. Also covers the view's traversal contract
+// (partition, padding, usage counters), the FromBlocks/FromView
+// validation, and the --oracle spec grammar.
+#include "core/client_block_view.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/error.h"
+#include "common/simd/simd.h"
+#include "common/thread_pool.h"
+#include "core/lower_bound.h"
+#include "core/metrics.h"
+#include "core/problem.h"
+#include "core/solver_registry.h"
+#include "data/streaming.h"
+#include "data/waxman.h"
+#include "net/distance_oracle.h"
+#include "net/graph.h"
+
+namespace diaca::core {
+namespace {
+
+constexpr std::int32_t kNodes = 64;
+constexpr std::int32_t kServers = 6;
+
+struct Substrate {
+  net::Graph graph;
+  net::DistanceOracle oracle;
+  std::vector<net::NodeIndex> servers;
+  std::vector<net::NodeIndex> clients;
+};
+
+Substrate MakeSubstrate(std::uint64_t seed = 5,
+                        std::size_t row_cache_capacity = 128) {
+  data::WaxmanParams wp;
+  wp.num_nodes = kNodes;
+  net::Graph graph = data::GenerateWaxmanTopology(wp, seed);
+  net::OracleOptions opt;
+  opt.backend = net::OracleBackend::kRows;
+  opt.row_cache_capacity = row_cache_capacity;
+  net::DistanceOracle oracle = net::DistanceOracle::FromGraph(graph, opt);
+  std::vector<net::NodeIndex> servers(static_cast<std::size_t>(kServers));
+  for (std::size_t s = 0; s < servers.size(); ++s) {
+    servers[s] = static_cast<net::NodeIndex>(s * 9);
+  }
+  std::vector<net::NodeIndex> clients(static_cast<std::size_t>(kNodes));
+  std::iota(clients.begin(), clients.end(), 0);
+  return Substrate{std::move(graph), std::move(oracle), std::move(servers),
+                   std::move(clients)};
+}
+
+// The tile sizes that exercise every boundary case: single-row tiles,
+// one SIMD pad width, exactly |C| (one tile), and |C| + 1 (clamped).
+std::vector<std::int32_t> BoundaryTileSizes(std::int32_t num_clients) {
+  return {1, static_cast<std::int32_t>(simd::kPadWidth), num_clients,
+          num_clients + 1};
+}
+
+TEST(ClientBlockViewTest, CellsMatchMaterializedBitForBit) {
+  const Substrate sub = MakeSubstrate();
+  const Problem dense =
+      Problem::WithClientsEverywhere(sub.oracle, sub.servers);
+  for (const std::int32_t tile_clients : BoundaryTileSizes(kNodes)) {
+    TileOptions tile;
+    tile.tile_clients = tile_clients;
+    const Problem tiled =
+        Problem::FromOracleTiled(sub.oracle, sub.servers, sub.clients, tile);
+    EXPECT_FALSE(tiled.client_block().materialized());
+    EXPECT_TRUE(dense.client_block().materialized());
+    for (ClientIndex c = 0; c < dense.num_clients(); ++c) {
+      for (ServerIndex s = 0; s < dense.num_servers(); ++s) {
+        ASSERT_EQ(dense.client_block().cs(c, s), tiled.client_block().cs(c, s))
+            << "c=" << c << " s=" << s << " tile=" << tile_clients;
+      }
+    }
+    for (ServerIndex a = 0; a < dense.num_servers(); ++a) {
+      for (ServerIndex b = 0; b < dense.num_servers(); ++b) {
+        ASSERT_EQ(dense.ss(a, b), tiled.ss(a, b));
+      }
+    }
+  }
+}
+
+// A dense-backed oracle must stream the same bits as a rows-backed one
+// (and as the materialized block): the tile view's contract is
+// backend-independent.
+TEST(ClientBlockViewTest, DenseOracleBackendStreamsIdenticalBits) {
+  const Substrate sub = MakeSubstrate();
+  const net::LatencyMatrix matrix = sub.graph.AllPairsShortestPaths();
+  const net::DistanceOracle dense_oracle =
+      net::DistanceOracle::FromMatrix(matrix);
+  const Problem materialized =
+      Problem::WithClientsEverywhere(matrix, sub.servers);
+  TileOptions tile;
+  tile.tile_clients = 7;  // does not divide |C|
+  const Problem via_dense = Problem::FromOracleTiled(
+      dense_oracle, sub.servers, sub.clients, tile);
+  const Problem via_rows =
+      Problem::FromOracleTiled(sub.oracle, sub.servers, sub.clients, tile);
+  for (ClientIndex c = 0; c < materialized.num_clients(); ++c) {
+    for (ServerIndex s = 0; s < materialized.num_servers(); ++s) {
+      ASSERT_EQ(materialized.client_block().cs(c, s),
+                via_dense.client_block().cs(c, s));
+      ASSERT_EQ(materialized.client_block().cs(c, s),
+                via_rows.client_block().cs(c, s));
+    }
+  }
+  for (const std::string& name : {"greedy", "lfb", "dg"}) {
+    const SolveResult want =
+        SolverRegistry::Default().Solve(name, materialized, SolveOptions{});
+    const SolveResult got_dense =
+        SolverRegistry::Default().Solve(name, via_dense, SolveOptions{});
+    const SolveResult got_rows =
+        SolverRegistry::Default().Solve(name, via_rows, SolveOptions{});
+    ASSERT_EQ(want.assignment.server_of, got_dense.assignment.server_of)
+        << name;
+    ASSERT_EQ(want.assignment.server_of, got_rows.assignment.server_of)
+        << name;
+  }
+}
+
+// The core property: every solver lands on the identical assignment (and
+// bit-identical objective) whether the client block is materialized or
+// streamed, across tile sizes straddling every boundary and both pool
+// configurations (prefetch on and off).
+TEST(ClientBlockViewTest, SolversBitIdenticalAcrossBackendsAndTileSizes) {
+  const Substrate sub = MakeSubstrate();
+  const Problem dense =
+      Problem::WithClientsEverywhere(sub.oracle, sub.servers);
+  const SolverRegistry& registry = SolverRegistry::Default();
+  const std::vector<std::string> solvers = {"nearest", "lfb", "greedy", "dg",
+                                            "single"};
+  std::vector<SolveResult> baseline;
+  for (const std::string& name : solvers) {
+    baseline.push_back(registry.Solve(name, dense, SolveOptions{}));
+  }
+  for (const std::int32_t tile_clients : BoundaryTileSizes(kNodes)) {
+    for (const std::int32_t pool_tiles : {1, 2}) {
+      TileOptions tile;
+      tile.tile_clients = tile_clients;
+      tile.pool_tiles = pool_tiles;
+      const Problem tiled =
+          Problem::FromOracleTiled(sub.oracle, sub.servers, sub.clients, tile);
+      for (std::size_t i = 0; i < solvers.size(); ++i) {
+        const SolveResult got =
+            registry.Solve(solvers[i], tiled, SolveOptions{});
+        ASSERT_EQ(baseline[i].assignment.server_of, got.assignment.server_of)
+            << solvers[i] << " tile=" << tile_clients
+            << " pool=" << pool_tiles;
+        ASSERT_EQ(baseline[i].stats.max_len, got.stats.max_len) << solvers[i];
+      }
+    }
+  }
+}
+
+TEST(ClientBlockViewTest, CapacitatedSolversBitIdenticalAcrossBackends) {
+  const Substrate sub = MakeSubstrate();
+  const Problem dense =
+      Problem::WithClientsEverywhere(sub.oracle, sub.servers);
+  SolveOptions options;
+  options.assign.capacity = kNodes / kServers + 2;
+  for (const std::int32_t tile_clients : BoundaryTileSizes(kNodes)) {
+    TileOptions tile;
+    tile.tile_clients = tile_clients;
+    const Problem tiled =
+        Problem::FromOracleTiled(sub.oracle, sub.servers, sub.clients, tile);
+    for (const std::string& name : {"nearest", "lfb", "greedy"}) {
+      const SolveResult want = SolverRegistry::Default().Solve(
+          name, dense, options);
+      const SolveResult got = SolverRegistry::Default().Solve(
+          name, tiled, options);
+      ASSERT_EQ(want.assignment.server_of, got.assignment.server_of)
+          << name << " tile=" << tile_clients;
+      ASSERT_LE(MaxServerLoad(tiled, got.assignment),
+                options.assign.capacity);
+    }
+  }
+}
+
+// An LRU cache smaller than one tile's worth of rows (capacity 1) cannot
+// change anything: the view pulls its server rows exactly once at
+// construction, and row values never depend on cache state.
+TEST(ClientBlockViewTest, TinyRowCacheDoesNotChangeBits) {
+  const Substrate roomy = MakeSubstrate(5, 128);
+  const Substrate tiny = MakeSubstrate(5, 1);
+  TileOptions tile;
+  tile.tile_clients = 1;  // every tile needs every row again
+  const Problem a =
+      Problem::FromOracleTiled(roomy.oracle, roomy.servers, roomy.clients,
+                               tile);
+  const Problem b =
+      Problem::FromOracleTiled(tiny.oracle, tiny.servers, tiny.clients, tile);
+  for (ClientIndex c = 0; c < a.num_clients(); ++c) {
+    for (ServerIndex s = 0; s < a.num_servers(); ++s) {
+      ASSERT_EQ(a.client_block().cs(c, s), b.client_block().cs(c, s));
+    }
+  }
+  const SolveResult ra =
+      SolverRegistry::Default().Solve("greedy", a, SolveOptions{});
+  const SolveResult rb =
+      SolverRegistry::Default().Solve("greedy", b, SolveOptions{});
+  EXPECT_EQ(ra.assignment.server_of, rb.assignment.server_of);
+}
+
+TEST(ClientBlockViewTest, SolversBitIdenticalAcrossThreadCounts) {
+  const Substrate sub = MakeSubstrate();
+  TileOptions tile;
+  tile.tile_clients = static_cast<std::int32_t>(simd::kPadWidth);
+  const Problem tiled =
+      Problem::FromOracleTiled(sub.oracle, sub.servers, sub.clients, tile);
+  for (const std::string& name : {"nearest", "lfb", "greedy", "dg"}) {
+    SetGlobalThreads(1);
+    const SolveResult serial =
+        SolverRegistry::Default().Solve(name, tiled, SolveOptions{});
+    SetGlobalThreads(4);
+    const SolveResult parallel =
+        SolverRegistry::Default().Solve(name, tiled, SolveOptions{});
+    SetGlobalThreads(0);
+    ASSERT_EQ(serial.assignment.server_of, parallel.assignment.server_of)
+        << name;
+    ASSERT_EQ(serial.stats.max_len, parallel.stats.max_len) << name;
+  }
+}
+
+// The exact solver and both lower bounds consume the view through
+// different access paths (MaterializeBlock, tile scans); all must agree
+// with the dense problem exactly.
+TEST(ClientBlockViewTest, ExactAndBoundsMatchAcrossBackends) {
+  data::WaxmanParams wp;
+  wp.num_nodes = 12;
+  const net::Graph graph = data::GenerateWaxmanTopology(wp, 9);
+  net::OracleOptions opt;
+  opt.backend = net::OracleBackend::kRows;
+  const net::DistanceOracle oracle =
+      net::DistanceOracle::FromGraph(graph, opt);
+  const std::vector<net::NodeIndex> servers = {0, 4, 8};
+  std::vector<net::NodeIndex> clients(12);
+  std::iota(clients.begin(), clients.end(), 0);
+  const Problem dense = Problem::WithClientsEverywhere(oracle, servers);
+  TileOptions tile;
+  tile.tile_clients = 5;  // does not divide 12
+  const Problem tiled =
+      Problem::FromOracleTiled(oracle, servers, clients, tile);
+
+  EXPECT_EQ(InteractivityLowerBound(dense), InteractivityLowerBound(tiled));
+  const LowerBoundDetail da = InteractivityLowerBoundDetailed(dense);
+  const LowerBoundDetail db = InteractivityLowerBoundDetailed(tiled);
+  EXPECT_EQ(da.value, db.value);
+  EXPECT_EQ(da.first, db.first);
+  EXPECT_EQ(da.second, db.second);
+  EXPECT_EQ(TripleEnhancedLowerBound(dense), TripleEnhancedLowerBound(tiled));
+
+  const SolveResult exact_dense =
+      SolverRegistry::Default().Solve("exact", dense, SolveOptions{});
+  const SolveResult exact_tiled =
+      SolverRegistry::Default().Solve("exact", tiled, SolveOptions{});
+  EXPECT_EQ(exact_dense.assignment.server_of, exact_tiled.assignment.server_of);
+  EXPECT_EQ(exact_dense.stats.max_len, exact_tiled.stats.max_len);
+
+  const core::Assignment& a = exact_dense.assignment;
+  EXPECT_EQ(MaxInteractionPathLength(dense, a),
+            MaxInteractionPathLength(tiled, a));
+  EXPECT_EQ(MeanInteractionPathLength(dense, a),
+            MeanInteractionPathLength(tiled, a));
+  EXPECT_EQ(ServerEccentricities(dense, a), ServerEccentricities(tiled, a));
+  const auto crit_dense = CriticalClients(dense, a);
+  const auto crit_tiled = CriticalClients(tiled, a);
+  EXPECT_EQ(crit_dense, crit_tiled);
+}
+
+TEST(ClientBlockViewTest, ForEachTilePartitionsClientsWithZeroPads) {
+  const Substrate sub = MakeSubstrate();
+  for (const std::int32_t tile_clients : BoundaryTileSizes(kNodes)) {
+    TileOptions tile;
+    tile.tile_clients = tile_clients;
+    const Problem tiled =
+        Problem::FromOracleTiled(sub.oracle, sub.servers, sub.clients, tile);
+    const ClientBlockView& view = tiled.client_block();
+    ClientIndex next = 0;
+    view.ForEachTile([&](const ClientTile& t) {
+      ASSERT_EQ(t.begin, next);
+      ASSERT_GT(t.end, t.begin);
+      ASSERT_LE(t.end - t.begin, std::max(tile_clients, 1));
+      ASSERT_EQ(t.stride, view.server_stride());
+      for (ClientIndex c = t.begin; c < t.end; ++c) {
+        const double* row = t.row(c);
+        for (ServerIndex s = 0; s < view.num_servers(); ++s) {
+          ASSERT_EQ(row[s], view.cs(c, s));
+        }
+        for (std::size_t p = static_cast<std::size_t>(view.num_servers());
+             p < t.stride; ++p) {
+          ASSERT_EQ(row[p], 0.0) << "pad lane " << p << " not zeroed";
+        }
+      }
+      next = t.end;
+    });
+    EXPECT_EQ(next, kNodes);
+  }
+}
+
+TEST(ClientBlockViewTest, SolveStatsCountTilesOnStreamedBackendOnly) {
+  const Substrate sub = MakeSubstrate();
+  const Problem dense =
+      Problem::WithClientsEverywhere(sub.oracle, sub.servers);
+  TileOptions tile;
+  tile.tile_clients = static_cast<std::int32_t>(simd::kPadWidth);
+  const Problem tiled =
+      Problem::FromOracleTiled(sub.oracle, sub.servers, sub.clients, tile);
+  const SolveResult rd =
+      SolverRegistry::Default().Solve("greedy", dense, SolveOptions{});
+  EXPECT_EQ(rd.stats.tiles_loaded, 0);
+  EXPECT_EQ(rd.stats.tile_bytes_peak, 0);
+  const SolveResult rt =
+      SolverRegistry::Default().Solve("greedy", tiled, SolveOptions{});
+  EXPECT_GT(rt.stats.tiles_loaded, 0);
+  EXPECT_GT(rt.stats.tile_bytes_peak, 0);
+  // Pool buffers are tile-sized: the peak is bounded by pool_tiles full
+  // tiles of padded rows.
+  const std::int64_t tile_bytes =
+      static_cast<std::int64_t>(tile.tile_clients) *
+      static_cast<std::int64_t>(tiled.client_block().server_stride()) *
+      static_cast<std::int64_t>(sizeof(double));
+  EXPECT_LE(rt.stats.tile_bytes_peak, 2 * tile_bytes);
+}
+
+TEST(ClientBlockViewTest, CloudBuildsIdenticalProblemWithoutMaterializing) {
+  data::ClientCloudParams params;
+  params.substrate.num_nodes = 50;
+  params.num_clients = 700;
+  net::OracleOptions opt;
+  opt.backend = net::OracleBackend::kRows;
+  const net::Graph graph = data::GenerateWaxmanTopology(params.substrate, 13);
+  const net::DistanceOracle oracle =
+      net::DistanceOracle::FromGraph(graph, opt);
+  const std::vector<net::NodeIndex> servers = {3, 17, 29, 41};
+
+  const data::ClientCloud mat =
+      data::BuildClientCloud(params, 13, oracle, servers);
+  params.materialize_block = false;
+  params.tile.tile_clients = 33;  // does not divide 700
+  const data::ClientCloud streamed =
+      data::BuildClientCloud(params, 13, oracle, servers);
+
+  EXPECT_TRUE(mat.problem.client_block().materialized());
+  EXPECT_FALSE(streamed.problem.client_block().materialized());
+  EXPECT_EQ(mat.attach, streamed.attach);
+  EXPECT_EQ(mat.access_ms, streamed.access_ms);
+  ASSERT_EQ(mat.problem.num_clients(), streamed.problem.num_clients());
+  for (ClientIndex c = 0; c < mat.problem.num_clients(); ++c) {
+    EXPECT_EQ(mat.problem.client_node(c), streamed.problem.client_node(c));
+    for (ServerIndex s = 0; s < mat.problem.num_servers(); ++s) {
+      ASSERT_EQ(mat.problem.client_block().cs(c, s),
+                streamed.problem.client_block().cs(c, s));
+    }
+  }
+  for (ServerIndex a = 0; a < mat.problem.num_servers(); ++a) {
+    for (ServerIndex b = 0; b < mat.problem.num_servers(); ++b) {
+      ASSERT_EQ(mat.problem.ss(a, b), streamed.problem.ss(a, b));
+    }
+  }
+  for (const std::string& name : {"nearest", "lfb", "greedy"}) {
+    const SolveResult want =
+        SolverRegistry::Default().Solve(name, mat.problem, SolveOptions{});
+    const SolveResult got = SolverRegistry::Default().Solve(
+        name, streamed.problem, SolveOptions{});
+    ASSERT_EQ(want.assignment.server_of, got.assignment.server_of) << name;
+    ASSERT_EQ(want.stats.max_len, got.stats.max_len) << name;
+  }
+}
+
+TEST(ClientBlockViewTest, FromBlocksRejectsAsymmetricServerBlock) {
+  const std::vector<double> d_cs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> good_ss = {0.0, 5.0, 5.0, 0.0};
+  EXPECT_NO_THROW(Problem::FromBlocks({100, 101}, {200, 201}, d_cs, good_ss));
+  const std::vector<double> asym_ss = {0.0, 5.0, 6.0, 0.0};
+  try {
+    Problem::FromBlocks({100, 101}, {200, 201}, d_cs, asym_ss);
+    FAIL() << "asymmetric d_ss must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("not symmetric"), std::string::npos)
+        << e.what();
+  }
+  const std::vector<double> diag_ss = {0.0, 5.0, 5.0, 0.5};
+  try {
+    Problem::FromBlocks({100, 101}, {200, 201}, d_cs, diag_ss);
+    FAIL() << "nonzero diagonal must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("self-distance"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ClientBlockViewTest, FromViewRejectsMismatchedNodeLists) {
+  const Substrate sub = MakeSubstrate();
+  auto view = OracleTileView::FromOracle(sub.oracle, sub.servers, sub.clients);
+  const std::span<const double> d_ss = view->server_block();
+  std::vector<net::NodeIndex> short_clients(sub.clients.begin(),
+                                            sub.clients.end() - 1);
+  EXPECT_THROW(
+      Problem::FromView(view, sub.servers, short_clients, d_ss), Error);
+  std::vector<net::NodeIndex> short_servers(sub.servers.begin(),
+                                            sub.servers.end() - 1);
+  EXPECT_THROW(
+      Problem::FromView(view, short_servers, sub.clients,
+                        d_ss.subspan(0, short_servers.size() *
+                                            short_servers.size())),
+      Error);
+}
+
+TEST(OracleSpecTest, ParsesBackendsAndOptions) {
+  const net::OracleOptions dense = net::ParseOracleSpec("dense");
+  EXPECT_EQ(dense.backend, net::OracleBackend::kDense);
+
+  const net::OracleOptions rows = net::ParseOracleSpec("rows:cache=256");
+  EXPECT_EQ(rows.backend, net::OracleBackend::kRows);
+  EXPECT_EQ(rows.row_cache_capacity, 256u);
+
+  const net::OracleOptions lm = net::ParseOracleSpec("landmarks:landmarks=4");
+  EXPECT_EQ(lm.backend, net::OracleBackend::kLandmarks);
+  EXPECT_EQ(lm.num_landmarks, 4);
+
+  const net::OracleOptions co =
+      net::ParseOracleSpec("coords:beacons=32,rounds=64,dims=2,seed=7");
+  EXPECT_EQ(co.backend, net::OracleBackend::kCoords);
+  EXPECT_EQ(co.coord_beacons, 32);
+  EXPECT_EQ(co.coord_rounds, 64);
+  EXPECT_EQ(co.coord_dimensions, 2);
+  EXPECT_EQ(co.seed, 7u);
+}
+
+TEST(OracleSpecTest, RejectsMalformedSpecs) {
+  EXPECT_THROW(net::ParseOracleSpec(""), Error);
+  EXPECT_THROW(net::ParseOracleSpec("bogus"), Error);
+  EXPECT_THROW(net::ParseOracleSpec("rows:"), Error);
+  EXPECT_THROW(net::ParseOracleSpec("rows:cache"), Error);
+  EXPECT_THROW(net::ParseOracleSpec("rows:cache="), Error);
+  EXPECT_THROW(net::ParseOracleSpec("rows:=256"), Error);
+  EXPECT_THROW(net::ParseOracleSpec("rows:cache=abc"), Error);
+  EXPECT_THROW(net::ParseOracleSpec("rows:cache=12x"), Error);
+  EXPECT_THROW(net::ParseOracleSpec("rows:cache=0"), Error);
+  EXPECT_THROW(net::ParseOracleSpec("rows:cache=-3"), Error);
+  EXPECT_THROW(net::ParseOracleSpec("rows:cache=1,"), Error);
+  EXPECT_THROW(net::ParseOracleSpec("rows:unknown=1"), Error);
+}
+
+}  // namespace
+}  // namespace diaca::core

@@ -63,16 +63,27 @@ int Usage() {
       "           [--duration-ms=T] [--ops-per-second=R] [--seed=S]\n"
       "           [--failover=repair|resolve|nearest]\n"
       "  cloud    [--nodes=N] [--clients=M] [--servers=K] [--seed=S]\n"
-      "           [--algorithm=...] — streaming build + solve of a client\n"
-      "           cloud attached to a Waxman substrate; never holds an\n"
-      "           O(n^2) matrix (reports peak RSS vs dense equivalent)\n"
+      "           [--algorithm=...] [--block=materialized|tiled]\n"
+      "           [--tile-clients=N] [--rss-budget-mb=MB] — streaming\n"
+      "           build + solve of a client cloud attached to a Waxman\n"
+      "           substrate; never holds an O(n^2) matrix (reports peak\n"
+      "           RSS vs dense equivalent; --block=tiled also skips the\n"
+      "           |C|x|S| client block)\n"
       "  --graph=FILE takes a sparse `u v length_ms` edge list and routes\n"
-      "  distances through the --distances oracle backend instead of a\n"
-      "  dense matrix:\n"
-      "  --distances=dense|rows|landmarks|coords (dense: historical full\n"
-      "  matrix; rows: exact lazy Dijkstra rows, sublinear memory;\n"
+      "  distances through the --oracle backend instead of a dense\n"
+      "  matrix:\n"
+      "  --oracle=BACKEND[:key=val,...] with BACKEND one of\n"
+      "  dense|rows|landmarks|coords (dense: historical full matrix;\n"
+      "  rows: exact lazy Dijkstra rows, sublinear memory;\n"
       "  landmarks/coords: estimates — evaluate also reports the true\n"
-      "  path length), --row-cache=N and --landmarks=K tune the oracle.\n"
+      "  path length) and keys cache=N, landmarks=K, beacons=N,\n"
+      "  rounds=N, dims=N, seed=N (grammar in docs/CLI.md; the legacy\n"
+      "  --distances/--row-cache/--landmarks spellings still work for\n"
+      "  one release and warn).\n"
+      "  assign/evaluate/cloud accept --block=materialized|tiled\n"
+      "  (tiled streams the client block through the oracle instead of\n"
+      "  materializing |C|x|S|; assignments are bit-identical) and\n"
+      "  --tile-clients=N (rows per streamed tile).\n"
       "  every command also accepts --threads=N,\n"
       "  --apsp=auto|dijkstra|blocked (all-pairs shortest-path backend\n"
       "  for graph substrates), --faults=SPEC (inject server crashes,\n"
@@ -83,7 +94,40 @@ int Usage() {
   return 2;
 }
 
+// True when the user picked an oracle backend on the command line (either
+// spelling); commands with a different built-in default (cloud) only
+// override when they did not.
+bool OracleConfiguredExplicitly(const Flags& flags) {
+  return flags.Has("oracle") || flags.Has("distances");
+}
+
+// Oracle configuration: the structured --oracle BACKEND[:key=val,...]
+// spec wins; the legacy --distances/--row-cache/--landmarks spellings
+// still resolve for one release, with a deprecation warning.
 net::OracleOptions OracleOptionsFromFlags(const Flags& flags) {
+  const bool has_spec = flags.Has("oracle");
+  const bool has_legacy = flags.Has("distances") || flags.Has("row-cache") ||
+                          flags.Has("landmarks");
+  if (has_spec && has_legacy) {
+    throw Error(
+        "--oracle and the legacy --distances/--row-cache/--landmarks flags "
+        "are mutually exclusive; fold everything into "
+        "--oracle BACKEND[:cache=N,landmarks=K,...]");
+  }
+  if (has_spec) {
+    const std::string spec = flags.GetString("oracle", "dense");
+    net::OracleOptions opt = net::ParseOracleSpec(spec);
+    // The sketch seed follows --seed unless the spec pins its own.
+    if (spec.find("seed=") == std::string::npos) {
+      opt.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+    }
+    return opt;
+  }
+  if (has_legacy) {
+    std::cerr << "warning: --distances/--row-cache/--landmarks are "
+                 "deprecated; use --oracle BACKEND[:cache=N,landmarks=K,...] "
+                 "(see docs/CLI.md)\n";
+  }
   net::OracleOptions opt;
   opt.backend = net::DefaultOracleBackend();
   opt.row_cache_capacity =
@@ -91,6 +135,22 @@ net::OracleOptions OracleOptionsFromFlags(const Flags& flags) {
   opt.num_landmarks = static_cast<std::int32_t>(flags.GetInt("landmarks", 16));
   opt.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
   return opt;
+}
+
+// --block=materialized|tiled (with --tile-clients sizing the streamed
+// tiles); returns true for tiled.
+bool TiledBlockRequested(const Flags& flags, core::TileOptions* tile) {
+  const std::string block = flags.GetString("block", "materialized");
+  if (block == "materialized") return false;
+  if (block != "tiled") {
+    throw Error("unknown --block mode '" + block +
+                "' (expected materialized|tiled)");
+  }
+  tile->tile_clients =
+      static_cast<std::int32_t>(flags.GetInt("tile-clients", 8192));
+  DIACA_CHECK_MSG(tile->tile_clients >= 1,
+                  "--tile-clients must be >= 1, got " << tile->tile_clients);
+  return true;
 }
 
 std::vector<net::NodeIndex> LoadNodeList(const std::string& path,
@@ -188,9 +248,13 @@ int CmdPlace(const Flags& flags) {
 
 // Substrate resolution shared by assign/evaluate: --matrix loads the
 // historical dense format; --graph loads a sparse edge list and routes
-// every distance through the --distances oracle backend (so a rows-backend
-// run never materializes the O(n^2) closure).
+// every distance through the --oracle backend (so a rows-backend run
+// never materializes the O(n^2) closure). --block=tiled additionally
+// skips the |C| x |S| client block: the problem streams tiles from the
+// oracle's server rows instead (bit-identical assignments).
 core::Problem LoadProblemForSolve(const Flags& flags) {
+  core::TileOptions tile;
+  const bool tiled = TiledBlockRequested(flags, &tile);
   const std::string graph_path = flags.GetString("graph", "");
   if (!graph_path.empty()) {
     DIACA_CHECK_MSG(flags.GetString("matrix", "").empty(),
@@ -200,7 +264,17 @@ core::Problem LoadProblemForSolve(const Flags& flags) {
         net::DistanceOracle::FromGraph(graph, OracleOptionsFromFlags(flags));
     const auto servers =
         LoadNodeList(flags.GetString("servers", ""), oracle.size());
+    if (tiled) {
+      std::vector<net::NodeIndex> clients(
+          static_cast<std::size_t>(oracle.size()));
+      std::iota(clients.begin(), clients.end(), 0);
+      return core::Problem::FromOracleTiled(oracle, servers, clients, tile);
+    }
     return core::Problem::WithClientsEverywhere(oracle, servers);
+  }
+  if (tiled) {
+    throw Error("--block=tiled needs --graph (a dense --matrix is already "
+                "materialized; tiling it would only add copies)");
   }
   const net::LatencyMatrix matrix =
       data::LoadDenseMatrix(flags.GetString("matrix", ""));
@@ -401,6 +475,7 @@ int CmdCloud(const Flags& flags) {
   params.substrate.num_nodes =
       static_cast<std::int32_t>(flags.GetInt("nodes", 2000));
   params.num_clients = flags.GetInt("clients", 100000);
+  params.materialize_block = !TiledBlockRequested(flags, &params.tile);
   const auto k = static_cast<std::int32_t>(flags.GetInt("servers", 16));
   const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
 
@@ -408,10 +483,12 @@ int CmdCloud(const Flags& flags) {
   const net::Graph graph =
       data::GenerateWaxmanTopology(params.substrate, seed);
   // The cloud pipeline exists for the sublinear path, so it defaults to
-  // rows even though the process default is dense; an explicit
-  // --distances still wins.
+  // rows even though the process default is dense; an explicit --oracle
+  // (or legacy --distances) still wins.
   net::OracleOptions opt = OracleOptionsFromFlags(flags);
-  if (!flags.Has("distances")) opt.backend = net::OracleBackend::kRows;
+  if (!OracleConfiguredExplicitly(flags)) {
+    opt.backend = net::OracleBackend::kRows;
+  }
   const net::DistanceOracle oracle = net::DistanceOracle::FromGraph(graph, opt);
   const auto server_nodes = placement::KCenterFarthest(oracle, k);
   const data::ClientCloud cloud =
@@ -434,14 +511,35 @@ int CmdCloud(const Flags& flags) {
   table.Row().Cell("servers").Cell(static_cast<std::int64_t>(k));
   table.Row().Cell("distances backend").Cell(
       net::OracleBackendName(opt.backend));
+  table.Row().Cell("client block").Cell(
+      params.materialize_block ? "materialized" : "tiled");
   table.Row().Cell("build (ms)").Cell(build_ms);
   table.Row().Cell(algorithm + " solve (ms)").Cell(solve_ms);
   table.Row().Cell("max interaction path (ms)").Cell(result.stats.max_len);
   table.Row().Cell("oracle row builds").Cell(stats.row_builds);
+  if (!params.materialize_block) {
+    table.Row().Cell("tiles loaded").Cell(result.stats.tiles_loaded);
+    table.Row().Cell("tile pool peak (MB)").Cell(
+        static_cast<double>(result.stats.tile_bytes_peak) / (1024.0 * 1024.0));
+    table.Row().Cell("client block equivalent (MB)").Cell(
+        static_cast<double>(params.num_clients) *
+        static_cast<double>(cloud.problem.client_block().server_stride()) *
+        sizeof(double) / (1024.0 * 1024.0));
+  }
   table.Row().Cell("peak RSS (MB)").Cell(rss_mb);
   table.Row().Cell("dense-equivalent matrix (MB)").Cell(dense_mb);
   table.Row().Cell("RSS / dense equivalent").Cell(rss_mb / dense_mb);
   table.Print(std::cout);
+  if (flags.Has("rss-budget-mb")) {
+    const double budget = flags.GetDouble("rss-budget-mb", 0.0);
+    if (rss_mb > budget) {
+      std::cerr << "error: peak RSS " << rss_mb << " MB exceeds --rss-budget-mb "
+                << budget << " MB\n";
+      return 1;
+    }
+    std::cout << "peak RSS within budget (" << rss_mb << " <= " << budget
+              << " MB)\n";
+  }
   return 0;
 }
 
@@ -456,11 +554,14 @@ int main(int argc, char** argv) {
                        "servers", "method", "algorithm", "capacity",
                        "assignment", "duration-ms", "ops-per-second", "apsp",
                        "failover", "distances", "graph", "clients",
-                       "row-cache", "landmarks"});
+                       "row-cache", "landmarks", "oracle", "block",
+                       "tile-clients", "rss-budget-mb"});
     net::SetDefaultApspBackend(
         net::ParseApspBackend(flags.GetString("apsp", "auto")));
     net::SetDefaultOracleBackend(
-        net::ParseOracleBackend(flags.GetString("distances", "dense")));
+        flags.Has("oracle")
+            ? net::ParseOracleSpec(flags.GetString("oracle", "dense")).backend
+            : net::ParseOracleBackend(flags.GetString("distances", "dense")));
     if (command == "generate") return CmdGenerate(flags);
     if (command == "place") return CmdPlace(flags);
     if (command == "assign") return CmdAssign(flags);
