@@ -46,7 +46,7 @@ using namespace diaca;
 // ---------------------------------------------------------------------------
 // Legacy baseline: the pre-kernel GreedyAssign, verbatim except for the
 // dropped observability spans. Every candidate term gathers through
-// problem.cs(list[pos], s) instead of a contiguous distance array, and the
+// problem.client_block().cs(list[pos], s) instead of a contiguous distance array, and the
 // reach refresh is a scalar loop — this is exactly what the kernel layer
 // replaced, so (legacy ms) / (kernel ms) is the end-to-end win.
 // ---------------------------------------------------------------------------
@@ -73,8 +73,8 @@ core::Assignment LegacyGreedyAssign(const core::Problem& problem,
       std::iota(list.begin(), list.end(), 0);
       std::sort(list.begin(), list.end(),
                 [&problem, s](core::ClientIndex a, core::ClientIndex b2) {
-                  const double da = problem.cs(a, s);
-                  const double db = problem.cs(b2, s);
+                  const double da = problem.client_block().cs(a, s);
+                  const double db = problem.client_block().cs(b2, s);
                   return da != db ? da < db : a < b2;
                 });
     }
@@ -113,7 +113,7 @@ core::Assignment LegacyGreedyAssign(const core::Problem& problem,
       const std::int32_t room = remaining[static_cast<std::size_t>(si)];
       double best_cost = std::numeric_limits<double>::infinity();
       for (std::size_t pos = 0; pos < list.size(); ++pos) {
-        const double d = problem.cs(list[pos], s);
+        const double d = problem.client_block().cs(list[pos], s);
         const double len = std::max(
             {2.0 * d, num_assigned > 0 ? d + server_reach : 0.0, max_len});
         const double delta_l = len - max_len;
@@ -142,7 +142,7 @@ core::Assignment LegacyGreedyAssign(const core::Problem& problem,
       a[list[i]] = best_server;
       far[static_cast<std::size_t>(best_server)] =
           std::max(far[static_cast<std::size_t>(best_server)],
-                   problem.cs(list[i], best_server));
+                   problem.client_block().cs(list[i], best_server));
       ++num_assigned;
     }
     if (options.capacitated()) room -= static_cast<std::int32_t>(take);

@@ -113,7 +113,7 @@ bool BitwiseProblemEqual(const core::Problem& a, const core::Problem& b) {
   }
   for (core::ClientIndex c = 0; c < a.num_clients(); ++c) {
     for (core::ServerIndex s = 0; s < a.num_servers(); ++s) {
-      if (a.cs(c, s) != b.cs(c, s)) return false;
+      if (a.client_block().cs(c, s) != b.client_block().cs(c, s)) return false;
     }
   }
   for (core::ServerIndex x = 0; x < a.num_servers(); ++x) {
@@ -232,7 +232,12 @@ struct TiledResult {
   double runtime_ratio = 0.0;   // tiled greedy / materialized greedy
   double block_equiv_mb = 0.0;  // the |C| x stride block tiling avoided
   std::int64_t tiles_loaded = 0;
+  std::int64_t tile_bytes_peak = 0;
   double tile_pool_peak_mb = 0.0;
+  // Per-stripe row-cache traffic during the tiled stage (build + greedy),
+  // one entry per shard of the rows oracle's striped LRU.
+  std::vector<std::int64_t> shard_hits;
+  std::vector<std::int64_t> shard_misses;
   bool assignment_identical = false;
   bool objective_bitwise = false;
 };
@@ -261,6 +266,7 @@ TiledResult RunTiled(std::int32_t substrate_nodes, std::int64_t clients,
 
   core::Assignment tiled_a(0);
   double tiled_d = 0.0;
+  const net::OracleStats before = oracle.stats();  // placement traffic
   {
     Timer build;
     const data::ClientCloud cloud =
@@ -276,8 +282,22 @@ TiledResult RunTiled(std::int32_t substrate_nodes, std::int64_t clients,
     tiled_d = core::MaxInteractionPathLength(cloud.problem, tiled_a);
     const core::ClientBlockStats stats = cloud.problem.client_block().stats();
     r.tiles_loaded = stats.tiles_loaded;
+    r.tile_bytes_peak = stats.tile_bytes_peak;
     r.tile_pool_peak_mb =
         static_cast<double>(stats.tile_bytes_peak) / (1024.0 * 1024.0);
+    // The tiled stage's own per-shard row-cache traffic, with the
+    // placement phase's warmup subtracted out.
+    const net::OracleStats after = oracle.stats();
+    for (std::size_t i = 0; i < after.shard_hits.size(); ++i) {
+      r.shard_hits.push_back(after.shard_hits[i] -
+                             (i < before.shard_hits.size()
+                                  ? before.shard_hits[i]
+                                  : 0));
+      r.shard_misses.push_back(after.shard_misses[i] -
+                               (i < before.shard_misses.size()
+                                    ? before.shard_misses[i]
+                                    : 0));
+    }
   }
   r.tiled_rss_mb = benchutil::PeakRssMb();
 
@@ -394,9 +414,25 @@ void WriteJson(const std::string& path, std::uint64_t seed,
   os << ", \"block_equiv_mb\": ";
   AppendJsonNumber(os, tiled.block_equiv_mb);
   os << ", \"tiles_loaded\": " << tiled.tiles_loaded
+     << ", \"tile_bytes_peak\": " << tiled.tile_bytes_peak
      << ", \"tile_pool_peak_mb\": ";
   AppendJsonNumber(os, tiled.tile_pool_peak_mb);
-  os << ",\n   \"assignment_identical\": "
+  os << ",\n   \"shard_hits\": [";
+  for (std::size_t i = 0; i < tiled.shard_hits.size(); ++i) {
+    os << (i ? ", " : "") << tiled.shard_hits[i];
+  }
+  os << "], \"shard_misses\": [";
+  for (std::size_t i = 0; i < tiled.shard_misses.size(); ++i) {
+    os << (i ? ", " : "") << tiled.shard_misses[i];
+  }
+  os << "], \"shard_hit_rate\": [";
+  for (std::size_t i = 0; i < tiled.shard_hits.size(); ++i) {
+    const double total =
+        static_cast<double>(tiled.shard_hits[i] + tiled.shard_misses[i]);
+    os << (i ? ", " : "");
+    AppendJsonNumber(os, total > 0.0 ? tiled.shard_hits[i] / total : 0.0);
+  }
+  os << "],\n   \"assignment_identical\": "
      << (tiled.assignment_identical ? "true" : "false")
      << ", \"objective_bitwise\": "
      << (tiled.objective_bitwise ? "true" : "false") << "},\n";
@@ -623,6 +659,11 @@ int main(int argc, char** argv) {
             << "x, block equivalent " << FormatDouble(tiled.block_equiv_mb, 0)
             << " MB avoided, " << tiled.tiles_loaded << " tiles ("
             << FormatDouble(tiled.tile_pool_peak_mb, 1) << " MB pool peak)\n";
+  std::cout << "  row-cache shards hit/miss:";
+  for (std::size_t i = 0; i < tiled.shard_hits.size(); ++i) {
+    std::cout << " " << tiled.shard_hits[i] << "/" << tiled.shard_misses[i];
+  }
+  std::cout << "\n";
   ok &= benchutil::CheckShape(
       tiled.assignment_identical && tiled.objective_bitwise,
       "greedy on the streamed client block reproduces the materialized "

@@ -108,8 +108,8 @@ core::Assignment NearestSurvivorPatch(const core::Problem& p,
     double best_d = std::numeric_limits<double>::infinity();
     for (core::ServerIndex s = 0; s < p.num_servers(); ++s) {
       if (down[static_cast<std::size_t>(s)] != 0) continue;
-      if (p.cs(c, s) < best_d) {
-        best_d = p.cs(c, s);
+      if (p.client_block().cs(c, s) < best_d) {
+        best_d = p.client_block().cs(c, s);
         best = s;
       }
     }

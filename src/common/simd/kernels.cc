@@ -150,14 +150,64 @@ void MinPlusTileUpdateScalar(double* c, std::size_t c_stride, const double* a,
   }
 }
 
+void BroadcastAddScalar(double* out, const double* row, double add,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = add + row[i];
+}
+
+// One gathered lane of the oracle-view column paths (kernels.h
+// GatherPlus / BestCandidateGather): the indirection chain
+// ids -> rows -> col with the optional access add, in the exact operand
+// order access + leg the view's scalar loops used.
+inline double GatherPlusLane(const double* col, const std::int32_t* rows,
+                             const double* access, const std::int32_t* ids,
+                             std::size_t i) {
+  const std::size_t c =
+      ids != nullptr ? static_cast<std::size_t>(ids[i]) : i;
+  const double leg = col[static_cast<std::size_t>(rows[c])];
+  return access != nullptr ? access[c] + leg : leg;
+}
+
+void GatherPlusScalar(double* out, const double* col,
+                      const std::int32_t* rows, const double* access,
+                      const std::int32_t* ids, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = GatherPlusLane(col, rows, access, ids, i);
+  }
+}
+
 CandidateResult BestCandidateScalar(const double* dists, std::size_t n,
                                     double reach, double max_len,
-                                    std::int32_t room) {
+                                    std::int32_t room, double cutoff) {
   const double room_d = static_cast<double>(room);
   CandidateResult best;
-  best.cost = kInf;
+  best.cost = cutoff;
   for (std::size_t p = 0; p < n; ++p) {
     const double d = dists[p];
+    const double len = std::max(std::max(2.0 * d, d + reach), max_len);
+    const double dn = std::min(static_cast<double>(p) + 1.0, room_d);
+    const double cost = (len - max_len) / dn;
+    if (cost < best.cost) {
+      best.cost = cost;
+      best.len = len;
+      best.pos = static_cast<std::int64_t>(p);
+    }
+  }
+  return best;
+}
+
+CandidateResult BestCandidateGatherScalar(const double* col,
+                                          const std::int32_t* rows,
+                                          const double* access,
+                                          const std::int32_t* ids,
+                                          std::size_t n, double reach,
+                                          double max_len, std::int32_t room,
+                                          double cutoff) {
+  const double room_d = static_cast<double>(room);
+  CandidateResult best;
+  best.cost = cutoff;
+  for (std::size_t p = 0; p < n; ++p) {
+    const double d = GatherPlusLane(col, rows, access, ids, p);
     const double len = std::max(std::max(2.0 * d, d + reach), max_len);
     const double dn = std::min(static_cast<double>(p) + 1.0, room_d);
     const double cost = (len - max_len) / dn;
@@ -290,9 +340,9 @@ inline double CandidateBlockBound(const double* dists, std::size_t p0,
 
 CandidateResult BestCandidatePortable(const double* dists, std::size_t n,
                                       double reach, double max_len,
-                                      std::int32_t room) {
+                                      std::int32_t room, double cutoff) {
   const double room_d = static_cast<double>(room);
-  double best_cost = kInf;
+  double best_cost = cutoff;
   for (std::size_t p0 = 0; p0 < n; p0 += kCandidateBlock) {
     const std::size_t p1 = std::min(n, p0 + kCandidateBlock);
     if (CandidateBlockBound(dists, p0, p1, reach, max_len, room_d) >=
@@ -314,8 +364,11 @@ CandidateResult BestCandidatePortable(const double* dists, std::size_t n,
     best_cost = std::min(best_cost, blk);
   }
   CandidateResult best;
-  best.cost = kInf;
-  if (n == 0) return best;
+  best.cost = cutoff;
+  // best_cost == cutoff means no candidate beat the seed (an update is
+  // always a strict decrease), so the rescan would match the cutoff
+  // value itself — return the no-find result instead.
+  if (n == 0 || !(best_cost < cutoff)) return best;
   // First-index rescan; a block whose bound exceeds best_cost strictly
   // cannot contain the (exact) match.
   for (std::size_t p0 = 0; p0 < n; p0 += kCandidateBlock) {
@@ -327,6 +380,120 @@ CandidateResult BestCandidatePortable(const double* dists, std::size_t n,
     }
     for (std::size_t p = p0; p < p1; ++p) {
       const double d = dists[p];
+      const double len = std::max(std::max(2.0 * d, d + reach), max_len);
+      const double dn = std::min(static_cast<double>(p) + 1.0, room_d);
+      if ((len - max_len) / dn == best_cost) {
+        best.cost = best_cost;
+        best.len = len;
+        best.pos = static_cast<std::int64_t>(p);
+        return best;
+      }
+    }
+  }
+  return best;
+}
+
+void BroadcastAddPortable(double* out, const double* row, double add,
+                          std::size_t n) {
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) out[i] = add + row[i];
+}
+
+void GatherPlusPortable(double* out, const double* col,
+                        const std::int32_t* rows, const double* access,
+                        const std::int32_t* ids, std::size_t n) {
+  // The four null-combinations are split so each loop body is
+  // branch-free and gather + at-most-one-add, which the vectorizer can
+  // widen with hardware gathers where available.
+  if (ids == nullptr) {
+    if (access == nullptr) {
+#pragma omp simd
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = col[static_cast<std::size_t>(rows[i])];
+      }
+      return;
+    }
+#pragma omp simd
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = access[i] + col[static_cast<std::size_t>(rows[i])];
+    }
+    return;
+  }
+  if (access == nullptr) {
+#pragma omp simd
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t c = static_cast<std::size_t>(ids[i]);
+      out[i] = col[static_cast<std::size_t>(rows[c])];
+    }
+    return;
+  }
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t c = static_cast<std::size_t>(ids[i]);
+    out[i] = access[c] + col[static_cast<std::size_t>(rows[c])];
+  }
+}
+
+CandidateResult BestCandidateGatherPortable(
+    const double* col, const std::int32_t* rows, const double* access,
+    const std::int32_t* ids, std::size_t n, double reach, double max_len,
+    std::int32_t room, double cutoff) {
+  const double room_d = static_cast<double>(room);
+  // The per-block stack buffer keeps the gathered block cache-resident for
+  // the vector min pass; pruned blocks are never gathered at all. The
+  // bound only needs the block's first (smallest) distance.
+  alignas(64) double buf[kCandidateBlock];
+  double best_cost = cutoff;
+  for (std::size_t p0 = 0; p0 < n; p0 += kCandidateBlock) {
+    const std::size_t p1 = std::min(n, p0 + kCandidateBlock);
+    const double d0 = GatherPlusLane(col, rows, access, ids, p0);
+    const double delta0 =
+        std::max(std::max(2.0 * d0, d0 + reach), max_len) - max_len;
+    const double bound =
+        delta0 / std::min(static_cast<double>(p1), room_d);
+    if (bound >= best_cost) {
+      if (static_cast<double>(p0) + 1.0 >= room_d) break;
+      continue;
+    }
+    const std::size_t len_blk = p1 - p0;
+    if (ids != nullptr) {
+      GatherPlusPortable(buf, col, rows, access, ids + p0, len_blk);
+    } else {
+      GatherPlusPortable(buf, col, rows + p0,
+                         access != nullptr ? access + p0 : nullptr, nullptr,
+                         len_blk);
+    }
+    double blk = kInf;
+#pragma omp simd reduction(min : blk)
+    for (std::size_t i = 0; i < len_blk; ++i) {
+      const double d = buf[i];
+      const double len = std::max(std::max(2.0 * d, d + reach), max_len);
+      const double dn =
+          std::min(static_cast<double>(p0 + i) + 1.0, room_d);
+      blk = std::min(blk, (len - max_len) / dn);
+    }
+    best_cost = std::min(best_cost, blk);
+  }
+  CandidateResult best;
+  best.cost = cutoff;
+  // See BestCandidatePortable: best_cost == cutoff means nothing beat
+  // the seeded incumbent.
+  if (n == 0 || !(best_cost < cutoff)) return best;
+  // First-index rescan; a block whose bound exceeds best_cost strictly
+  // cannot contain the (exact) match.
+  for (std::size_t p0 = 0; p0 < n; p0 += kCandidateBlock) {
+    const std::size_t p1 = std::min(n, p0 + kCandidateBlock);
+    const double d0 = GatherPlusLane(col, rows, access, ids, p0);
+    const double delta0 =
+        std::max(std::max(2.0 * d0, d0 + reach), max_len) - max_len;
+    const double bound =
+        delta0 / std::min(static_cast<double>(p1), room_d);
+    if (bound > best_cost) {
+      if (static_cast<double>(p0) + 1.0 >= room_d) break;
+      continue;
+    }
+    for (std::size_t p = p0; p < p1; ++p) {
+      const double d = GatherPlusLane(col, rows, access, ids, p);
       const double len = std::max(std::max(2.0 * d, d + reach), max_len);
       const double dn = std::min(static_cast<double>(p) + 1.0, room_d);
       if ((len - max_len) / dn == best_cost) {
@@ -484,11 +651,12 @@ double DotProduct(const double* a, const double* b, std::size_t n) {
 
 CandidateResult BestCandidate(const double* dists, std::size_t n,
                               double reach, double max_len,
-                              std::int32_t room) {
+                              std::int32_t room, double cutoff) {
   CountScan(8 * n);
-  DIACA_SIMD_DISPATCH(BestCandidateScalar(dists, n, reach, max_len, room),
-                      BestCandidatePortable(dists, n, reach, max_len, room),
-                      avx2::BestCandidate(dists, n, reach, max_len, room));
+  DIACA_SIMD_DISPATCH(
+      BestCandidateScalar(dists, n, reach, max_len, room, cutoff),
+      BestCandidatePortable(dists, n, reach, max_len, room, cutoff),
+      avx2::BestCandidate(dists, n, reach, max_len, room, cutoff));
 }
 
 void MinPlusTileUpdate(double* c, std::size_t c_stride, const double* a,
@@ -503,6 +671,37 @@ void MinPlusTileUpdate(double* c, std::size_t c_stride, const double* a,
                                 cols, depth),
       avx2::MinPlusTileUpdate(c, c_stride, a, a_stride, b, b_stride, rows,
                               cols, depth));
+}
+
+void BroadcastAdd(double* out, const double* row, double add, std::size_t n) {
+  CountScan(16 * n);
+  DIACA_SIMD_DISPATCH(BroadcastAddScalar(out, row, add, n),
+                      BroadcastAddPortable(out, row, add, n),
+                      avx2::BroadcastAdd(out, row, add, n));
+}
+
+void GatherPlus(double* out, const double* col, const std::int32_t* rows,
+                const double* access, const std::int32_t* ids, std::size_t n) {
+  CountScan(24 * n);
+  DIACA_SIMD_DISPATCH(GatherPlusScalar(out, col, rows, access, ids, n),
+                      GatherPlusPortable(out, col, rows, access, ids, n),
+                      avx2::GatherPlus(out, col, rows, access, ids, n));
+}
+
+CandidateResult BestCandidateGather(const double* col,
+                                    const std::int32_t* rows,
+                                    const double* access,
+                                    const std::int32_t* ids, std::size_t n,
+                                    double reach, double max_len,
+                                    std::int32_t room, double cutoff) {
+  CountScan(24 * n);
+  DIACA_SIMD_DISPATCH(
+      BestCandidateGatherScalar(col, rows, access, ids, n, reach, max_len,
+                                room, cutoff),
+      BestCandidateGatherPortable(col, rows, access, ids, n, reach, max_len,
+                                  room, cutoff),
+      avx2::BestCandidateGather(col, rows, access, ids, n, reach, max_len,
+                                room, cutoff));
 }
 
 #undef DIACA_SIMD_DISPATCH
@@ -526,13 +725,18 @@ void RadixSortDistIndex(double* dist, std::int32_t* idx, std::size_t n) {
   if (n < 2) return;
   // 16-byte entries keep key and payload on one cache line through the
   // scatter passes. No floating-point arithmetic happens here, so the
-  // result is exact on every backend by construction.
+  // result is exact on every backend by construction. The ping/pong
+  // scratch is thread-local: greedy preprocessing calls this once per
+  // server, and re-mapping two |C|-entry buffers per call used to cost
+  // more page faults than the sort itself.
   struct Entry {
     std::uint64_t key;
     std::uint64_t val;
   };
-  std::vector<Entry> ping(n);
-  std::vector<Entry> pong(n);
+  thread_local std::vector<Entry> ping;
+  thread_local std::vector<Entry> pong;
+  ping.resize(n);
+  pong.resize(n);
   // One read pass builds the histograms for all eight digit positions at
   // once; digit histograms are order-independent, so they stay valid for
   // every later pass regardless of how earlier passes permuted.
@@ -568,6 +772,69 @@ void RadixSortDistIndex(double* dist, std::int32_t* idx, std::size_t n) {
     idx[i] = static_cast<std::int32_t>(static_cast<std::uint32_t>(src[i].val));
   }
   CountScan((16 + 16 + 32 * passes_run) * n);
+}
+
+void ArgsortDistIndex(const double* dist, std::int32_t* idx, std::size_t n) {
+  if (n < 2) return;
+  // Two-level sort: a 4-pass LSD radix over the monotone float32
+  // narrowing of each key (8-byte entries — half the traffic and half
+  // the passes of the 64-bit sort above), then an exact fix-up that
+  // re-sorts every run of equal float32 keys by the full double and the
+  // index. double->float is monotone non-decreasing and the radix is
+  // stable, so runs are contiguous and the final order is exactly the
+  // lexicographic (dist, index) order RadixSortDistIndex produces.
+  struct Entry {
+    std::uint32_t key;
+    std::uint32_t val;
+  };
+  thread_local std::vector<Entry> ping;
+  thread_local std::vector<Entry> pong;
+  ping.resize(n);
+  pong.resize(n);
+  std::uint32_t hist[4][256] = {};
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = static_cast<std::uint32_t>(idx[i]);
+    const auto f = static_cast<float>(dist[v]);
+    std::uint32_t k;
+    std::memcpy(&k, &f, sizeof(k));
+    ping[i] = {k, v};
+    for (int p = 0; p < 4; ++p) ++hist[p][(k >> (8 * p)) & 0xff];
+  }
+  Entry* src = ping.data();
+  Entry* dst = pong.data();
+  std::size_t passes_run = 0;
+  for (int p = 0; p < 4; ++p) {
+    const std::uint32_t* h = hist[p];
+    if (h[(src[0].key >> (8 * p)) & 0xff] == n) continue;
+    ++passes_run;
+    std::uint32_t offsets[256];
+    std::uint32_t sum = 0;
+    for (int d = 0; d < 256; ++d) {
+      offsets[d] = sum;
+      sum += h[d];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[offsets[(src[i].key >> (8 * p)) & 0xff]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  std::size_t run = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (i < n && src[i].key == src[run].key) continue;
+    if (i - run > 1) {
+      std::sort(src + run, src + i, [&](const Entry& a, const Entry& b) {
+        const double da = dist[a.val];
+        const double db = dist[b.val];
+        if (da != db) return da < db;
+        return a.val < b.val;
+      });
+    }
+    run = i;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    idx[i] = static_cast<std::int32_t>(src[i].val);
+  }
+  CountScan((8 + 8 + 16 * passes_run) * n);
 }
 
 }  // namespace diaca::simd

@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 
 #include "common/simd/simd.h"
 
@@ -38,7 +39,7 @@ struct ArgResult {
 
 /// Result of the fused greedy candidate scan (see BestCandidate).
 struct CandidateResult {
-  double cost = 0.0;  // +infinity when pos == -1
+  double cost = 0.0;  // == the caller's cutoff when pos == -1
   double len = 0.0;
   std::int64_t pos = -1;
 };
@@ -90,15 +91,61 @@ double DotProduct(const double* a, const double* b, std::size_t n);
 /// strict <), its cost and len. Pass reach = -infinity to drop the reach
 /// term (first round: no server used yet). room >= 1.
 ///
+/// `cutoff` seeds the scan's incumbent: only candidates with
+/// cost < cutoff compete, and pos == -1 (cost == cutoff, len == 0) means
+/// no candidate beat it. When pos >= 0 the result is exactly the
+/// first-position minimum of the full list — bit-identical at every
+/// cutoff that the winner beats — because the seed only removes
+/// never-winning candidates. A caller holding a cross-server incumbent
+/// passes it here so the block pruning below fires from the FIRST block
+/// instead of only after the scan's own incumbent has tightened; the
+/// default +infinity cutoff is the original scan-everything behavior.
+///
 /// The ascending order is a real precondition, not just a hint: the
 /// vectorized backends prune whole blocks via the bound
 /// cost(p) >= rnd(delta(p0) / dn_max) — valid because delta(p) is
 /// non-decreasing in p for sorted dists and correctly-rounded division is
 /// monotone in both arguments, so skipped blocks provably contain no
 /// strict improvement (and in the first-index rescan, no exact match).
-CandidateResult BestCandidate(const double* dists, std::size_t n,
-                              double reach, double max_len,
-                              std::int32_t room);
+CandidateResult BestCandidate(
+    const double* dists, std::size_t n, double reach, double max_len,
+    std::int32_t room,
+    double cutoff = std::numeric_limits<double>::infinity());
+
+/// Broadcast-add, the tile-synthesis kernel of core::OracleTileView:
+/// out[i] = add + row[i] for i in [0, n) — one attached-node server row
+/// streamed with the client's access delay broadcast across the lanes.
+/// A single rounded add per lane in the fixed operand order add + row[i]
+/// (the order the materialized build used), so every backend, tile
+/// geometry and prefetch depth synthesizes identical bits.
+void BroadcastAdd(double* out, const double* row, double add, std::size_t n);
+
+/// Indexed gather-add, the column paths of core::OracleTileView:
+///   ids == nullptr: out[i] = access[i] + col[rows[i]]            (FillColumn)
+///   ids != nullptr: out[i] = access[ids[i]] + col[rows[ids[i]]]  (GatherColumn)
+/// access may be null, in which case the add is dropped entirely (a
+/// client attached with no access delay reads the raw substrate leg, not
+/// 0.0 + leg). Pure loads plus at most one rounded add per lane, so all
+/// backends are bit-identical.
+void GatherPlus(double* out, const double* col, const std::int32_t* rows,
+                const double* access, const std::int32_t* ids, std::size_t n);
+
+/// BestCandidate fused with the oracle-view gather: bit-identical to
+/// gathering d[i] = access[ids[i]] + col[rows[ids[i]]] (null access: the
+/// raw col leg) into a contiguous array and calling
+/// BestCandidate(d, n, reach, max_len, room, cutoff), but the vector
+/// backends materialize at most one 512-entry block at a time on the
+/// stack (cache-resident) and skip the gathers entirely for blocks the
+/// bound prunes — the candidate list is reduced while hot instead of
+/// being written to a |survivors| scratch and re-read. With a finite
+/// cutoff a losing server's scan touches only one gathered lane per
+/// block (the bound lane). Precondition: the gathered distances ascend
+/// (ids is a distance-sorted candidate list).
+CandidateResult BestCandidateGather(
+    const double* col, const std::int32_t* rows, const double* access,
+    const std::int32_t* ids, std::size_t n, double reach, double max_len,
+    std::int32_t room,
+    double cutoff = std::numeric_limits<double>::infinity());
 
 /// Blocked min-plus (tropical) tile update, the inner kernel of the
 /// cache-blocked Floyd–Warshall engine (net::ApspEngine):
@@ -139,5 +186,17 @@ void MaxAbsorbScatter(double* far, const std::int32_t* assign,
 /// comparison sorting dominated the solve. Precondition: every dist[i] is
 /// a non-negative finite double (the latency-matrix invariant).
 void RadixSortDistIndex(double* dist, std::int32_t* idx, std::size_t n);
+
+/// Argsort companion to RadixSortDistIndex: permutes idx so that
+/// (dist[idx[i]], idx[i]) ascends lexicographically, leaving dist
+/// untouched — for callers (the streamed greedy path) that only need the
+/// order, not the sorted copies. Internally a 4-pass radix over the
+/// monotone float32 narrowing of each key plus an exact double fix-up on
+/// equal-float runs, so the resulting order is bit-for-bit the one
+/// RadixSortDistIndex would produce on the gathered distances — at about
+/// a third of the memory traffic. Preconditions: dist entries indexed by
+/// idx are non-negative finite doubles, and idx arrives ascending within
+/// equal distances (e.g. the identity permutation).
+void ArgsortDistIndex(const double* dist, std::int32_t* idx, std::size_t n);
 
 }  // namespace diaca::simd

@@ -206,7 +206,7 @@ inline double BlockBound(const double* dists, std::size_t p0, std::size_t p1,
 
 CandidateResult BestCandidate(const double* dists, std::size_t n,
                               double reach, double max_len,
-                              std::int32_t room) {
+                              std::int32_t room, double cutoff) {
   const double room_d = static_cast<double>(room);
   const __m256d vreach = _mm256_set1_pd(reach);
   const __m256d vmax_len = _mm256_set1_pd(max_len);
@@ -214,7 +214,7 @@ CandidateResult BestCandidate(const double* dists, std::size_t n,
   const __m256d vtwo = _mm256_set1_pd(2.0);
   const __m256d vfour = _mm256_set1_pd(4.0);
   const __m256d vlane1 = _mm256_set_pd(4.0, 3.0, 2.0, 1.0);
-  double best_cost = kInf;
+  double best_cost = cutoff;
   for (std::size_t p0 = 0; p0 < n; p0 += kCandidateBlock) {
     const std::size_t p1 = std::min(n, p0 + kCandidateBlock);
     if (BlockBound(dists, p0, p1, reach, max_len, room_d) >= best_cost) {
@@ -249,8 +249,10 @@ CandidateResult BestCandidate(const double* dists, std::size_t n,
     best_cost = std::min(best_cost, blk);
   }
   CandidateResult best;
-  best.cost = kInf;
-  if (n == 0) return best;
+  best.cost = cutoff;
+  // best_cost == cutoff means no candidate beat the seeded incumbent
+  // (updates are strict decreases) — return the no-find result.
+  if (n == 0 || !(best_cost < cutoff)) return best;
   // First-index rescan: the serial-divide pass that used to dominate this
   // kernel; a block whose bound strictly exceeds best_cost cannot contain
   // the match, so almost all of it is skipped.
@@ -359,6 +361,182 @@ void MinPlusTileUpdate(double* c, std::size_t c_stride, const double* a,
       MinPlusUpdateRow(c + i * c_stride, a[i * a_stride + k], brow, cols);
     }
   }
+}
+
+void BroadcastAdd(double* out, const double* row, double add, std::size_t n) {
+  const __m256d vadd = _mm256_set1_pd(add);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i,
+                     _mm256_add_pd(vadd, _mm256_loadu_pd(row + i)));
+  }
+  for (; i < n; ++i) out[i] = add + row[i];
+}
+
+void GatherPlus(double* out, const double* col, const std::int32_t* rows,
+                const double* access, const std::int32_t* ids, std::size_t n) {
+  // Hardware gathers for the indirection chain; the adds keep the fixed
+  // access + leg operand order of the scalar reference (exact either way —
+  // one rounded add per lane).
+  std::size_t i = 0;
+  if (ids == nullptr) {
+    if (access == nullptr) {
+      for (; i + 4 <= n; i += 4) {
+        const __m128i vr = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(rows + i));
+        _mm256_storeu_pd(out + i, _mm256_i32gather_pd(col, vr, 8));
+      }
+      for (; i < n; ++i) out[i] = col[static_cast<std::size_t>(rows[i])];
+      return;
+    }
+    for (; i + 4 <= n; i += 4) {
+      const __m128i vr =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + i));
+      const __m256d leg = _mm256_i32gather_pd(col, vr, 8);
+      _mm256_storeu_pd(out + i,
+                       _mm256_add_pd(_mm256_loadu_pd(access + i), leg));
+    }
+    for (; i < n; ++i) {
+      out[i] = access[i] + col[static_cast<std::size_t>(rows[i])];
+    }
+    return;
+  }
+  if (access == nullptr) {
+    for (; i + 4 <= n; i += 4) {
+      const __m128i vc =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(ids + i));
+      const __m128i vr = _mm_i32gather_epi32(rows, vc, 4);
+      _mm256_storeu_pd(out + i, _mm256_i32gather_pd(col, vr, 8));
+    }
+    for (; i < n; ++i) {
+      const std::size_t c = static_cast<std::size_t>(ids[i]);
+      out[i] = col[static_cast<std::size_t>(rows[c])];
+    }
+    return;
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m128i vc =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ids + i));
+    const __m128i vr = _mm_i32gather_epi32(rows, vc, 4);
+    const __m256d leg = _mm256_i32gather_pd(col, vr, 8);
+    const __m256d acc = _mm256_i32gather_pd(access, vc, 8);
+    _mm256_storeu_pd(out + i, _mm256_add_pd(acc, leg));
+  }
+  for (; i < n; ++i) {
+    const std::size_t c = static_cast<std::size_t>(ids[i]);
+    out[i] = access[c] + col[static_cast<std::size_t>(rows[c])];
+  }
+}
+
+namespace {
+
+// One gathered lane of the candidate chain (see kernels.h GatherPlus);
+// identical expression to the scalar reference.
+inline double GatherLane(const double* col, const std::int32_t* rows,
+                         const double* access, const std::int32_t* ids,
+                         std::size_t i) {
+  const std::size_t c =
+      ids != nullptr ? static_cast<std::size_t>(ids[i]) : i;
+  const double leg = col[static_cast<std::size_t>(rows[c])];
+  return access != nullptr ? access[c] + leg : leg;
+}
+
+// Lanes [p0, p0 + len) of the gathered candidate list into buf.
+inline void GatherBlock(double* buf, const double* col,
+                        const std::int32_t* rows, const double* access,
+                        const std::int32_t* ids, std::size_t p0,
+                        std::size_t len) {
+  if (ids != nullptr) {
+    GatherPlus(buf, col, rows, access, ids + p0, len);
+  } else {
+    GatherPlus(buf, col, rows + p0,
+               access != nullptr ? access + p0 : nullptr, nullptr, len);
+  }
+}
+
+}  // namespace
+
+CandidateResult BestCandidateGather(const double* col,
+                                    const std::int32_t* rows,
+                                    const double* access,
+                                    const std::int32_t* ids, std::size_t n,
+                                    double reach, double max_len,
+                                    std::int32_t room, double cutoff) {
+  const double room_d = static_cast<double>(room);
+  const __m256d vreach = _mm256_set1_pd(reach);
+  const __m256d vmax_len = _mm256_set1_pd(max_len);
+  const __m256d vroom = _mm256_set1_pd(room_d);
+  const __m256d vtwo = _mm256_set1_pd(2.0);
+  const __m256d vfour = _mm256_set1_pd(4.0);
+  const __m256d vlane1 = _mm256_set_pd(4.0, 3.0, 2.0, 1.0);
+  // One cache-resident block of gathered distances at a time; pruned
+  // blocks never gather at all (the bound needs only the first lane).
+  alignas(64) double buf[kCandidateBlock];
+  double best_cost = cutoff;
+  for (std::size_t p0 = 0; p0 < n; p0 += kCandidateBlock) {
+    const std::size_t p1 = std::min(n, p0 + kCandidateBlock);
+    const double d0 = GatherLane(col, rows, access, ids, p0);
+    const double delta0 =
+        std::max(std::max(2.0 * d0, d0 + reach), max_len) - max_len;
+    if (delta0 / std::min(static_cast<double>(p1), room_d) >= best_cost) {
+      if (static_cast<double>(p0) + 1.0 >= room_d) break;
+      continue;
+    }
+    const std::size_t len_blk = p1 - p0;
+    GatherBlock(buf, col, rows, access, ids, p0, len_blk);
+    __m256d vpos1 =
+        _mm256_add_pd(vlane1, _mm256_set1_pd(static_cast<double>(p0)));
+    __m256d vbest = _mm256_set1_pd(kInf);
+    std::size_t i = 0;
+    for (; i + 4 <= len_blk; i += 4) {
+      const __m256d d = _mm256_loadu_pd(buf + i);
+      const __m256d len = _mm256_max_pd(
+          _mm256_max_pd(_mm256_mul_pd(vtwo, d), _mm256_add_pd(d, vreach)),
+          vmax_len);
+      const __m256d dn = _mm256_min_pd(vpos1, vroom);
+      const __m256d cost = _mm256_div_pd(_mm256_sub_pd(len, vmax_len), dn);
+      vbest = _mm256_min_pd(vbest, cost);
+      vpos1 = _mm256_add_pd(vpos1, vfour);
+    }
+    double blk = HorizontalMin(vbest);
+    for (; i < len_blk; ++i) {
+      const double d = buf[i];
+      const double len = std::max(std::max(2.0 * d, d + reach), max_len);
+      const double dn =
+          std::min(static_cast<double>(p0 + i) + 1.0, room_d);
+      blk = std::min(blk, (len - max_len) / dn);
+    }
+    best_cost = std::min(best_cost, blk);
+  }
+  CandidateResult best;
+  best.cost = cutoff;
+  // best_cost == cutoff means no candidate beat the seeded incumbent
+  // (updates are strict decreases) — return the no-find result.
+  if (n == 0 || !(best_cost < cutoff)) return best;
+  // First-index rescan; scalar gathers, but almost every block's bound
+  // strictly exceeds best_cost and is skipped after its first lane.
+  for (std::size_t p0 = 0; p0 < n; p0 += kCandidateBlock) {
+    const std::size_t p1 = std::min(n, p0 + kCandidateBlock);
+    const double d0 = GatherLane(col, rows, access, ids, p0);
+    const double delta0 =
+        std::max(std::max(2.0 * d0, d0 + reach), max_len) - max_len;
+    if (delta0 / std::min(static_cast<double>(p1), room_d) > best_cost) {
+      if (static_cast<double>(p0) + 1.0 >= room_d) break;
+      continue;
+    }
+    for (std::size_t p = p0; p < p1; ++p) {
+      const double d = GatherLane(col, rows, access, ids, p);
+      const double len = std::max(std::max(2.0 * d, d + reach), max_len);
+      const double dn = std::min(static_cast<double>(p) + 1.0, room_d);
+      if ((len - max_len) / dn == best_cost) {
+        best.cost = best_cost;
+        best.len = len;
+        best.pos = static_cast<std::int64_t>(p);
+        return best;
+      }
+    }
+  }
+  return best;
 }
 
 }  // namespace diaca::simd::avx2

@@ -79,8 +79,11 @@ class ThreadPool {
   /// exception on get()). On a pool of size 1 — no workers — fn runs
   /// inline before Submit returns, so callers overlapping a Submit with
   /// their own work degrade to the serial order instead of deadlocking.
-  /// Used by the tile prefetcher (core::ClientBlockView), which must never
-  /// let a queued-but-never-run job stall a traversal.
+  /// Used by the tile pipeline (core::ClientBlockView::ForEachTile), which
+  /// keeps prefetch_depth jobs in flight and must never let a
+  /// queued-but-never-run job stall a traversal; jobs submitted first are
+  /// dequeued first, so a depth-D pipeline's oldest tile is always the
+  /// next one a worker picks up.
   std::future<void> Submit(std::function<void()> fn);
 
  private:

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
 #include <future>
 #include <unordered_map>
 
 #include "common/error.h"
+#include "common/simd/kernels.h"
 #include "common/simd/simd.h"
 #include "common/thread_pool.h"
 #include "obs/obs.h"
@@ -69,6 +71,14 @@ void ClientBlockView::BumpTileBytesPeak(std::int64_t live_bytes) const {
   }
 }
 
+std::size_t ClientBlockView::NumTiles() const {
+  const std::int32_t tile_clients =
+      std::clamp(tile_.tile_clients, 1, num_clients_);
+  return (static_cast<std::size_t>(num_clients_) +
+          static_cast<std::size_t>(tile_clients) - 1) /
+         static_cast<std::size_t>(tile_clients);
+}
+
 void ClientBlockView::ForEachTile(
     const std::function<void(const ClientTile&)>& fn) const {
   if (raw_block_ != nullptr) {
@@ -79,57 +89,149 @@ void ClientBlockView::ForEachTile(
   DIACA_OBS_SPAN("core.view.tiles");
   const std::int32_t tile_clients =
       std::clamp(tile_.tile_clients, 1, num_clients_);
+  const auto total = static_cast<std::int64_t>(NumTiles());
   ThreadPool& pool = GlobalPool();
-  // One tile of lookahead; a pool of 1 buffer (or a threadless pool)
-  // degrades to synchronous generation.
-  const bool prefetch = tile_.pool_tiles >= 2 && pool.num_threads() > 1 &&
-                        tile_clients < num_clients_;
+  const std::int32_t pool_tiles = std::max(tile_.pool_tiles, 1);
+  const std::int32_t depth =
+      std::clamp(tile_.prefetch_depth, 0, pool_tiles - 1);
+  // A threadless pool (or depth 0, or a single tile) degrades to
+  // synchronous generation into one buffer.
+  const bool prefetch = depth >= 1 && pool.num_threads() > 1 && total > 1;
   const std::size_t tile_doubles =
       static_cast<std::size_t>(tile_clients) * server_stride_;
-  std::vector<std::vector<double>> ring(prefetch ? 2 : 1);
+  const auto buffers = static_cast<std::size_t>(
+      prefetch ? std::min<std::int64_t>(pool_tiles, total) : 1);
+  std::vector<std::vector<double>> ring(buffers);
   for (auto& buf : ring) buf.resize(tile_doubles);
-  BumpTileBytesPeak(static_cast<std::int64_t>(ring.size() * tile_doubles *
-                                              sizeof(double)));
+  BumpTileBytesPeak(
+      static_cast<std::int64_t>(buffers * tile_doubles * sizeof(double)));
 
-  const auto fill = [&](std::int32_t begin, double* buf) -> ClientTile {
+  const auto fill = [&](std::int64_t t, double* buf) -> ClientTile {
+    const auto begin = static_cast<std::int32_t>(
+        t * static_cast<std::int64_t>(tile_clients));
     const std::int32_t end = std::min(num_clients_, begin + tile_clients);
     FillTileSlow(begin, end, buf);
     tiles_loaded_.fetch_add(1, std::memory_order_relaxed);
     return ClientTile{begin, end, buf, server_stride_};
   };
 
-  // If fn throws while a prefetch is in flight, the worker still holds
-  // pointers into `ring` and `next` — the guard waits it out before the
-  // stack unwinds.
-  struct PrefetchGuard {
-    std::future<void>* pending = nullptr;
-    ~PrefetchGuard() {
-      if (pending != nullptr && pending->valid()) pending->wait();
+  if (!prefetch) {
+    for (std::int64_t t = 0; t < total; ++t) {
+      fn(fill(t, ring[0].data()));
     }
-  };
-
-  std::size_t cur = 0;
-  ClientTile current = fill(0, ring[cur].data());
-  for (std::int32_t begin = 0; begin < num_clients_; begin += tile_clients) {
-    const std::int32_t next_begin = begin + tile_clients;
-    ClientTile next{};
-    std::future<void> pending;
-    PrefetchGuard guard{&pending};
-    if (prefetch && next_begin < num_clients_) {
-      double* next_buf = ring[1 - cur].data();
-      pending = pool.Submit(
-          [&next, next_begin, next_buf, &fill] { next = fill(next_begin, next_buf); });
-    }
-    fn(current);
-    if (next_begin >= num_clients_) break;
-    if (pending.valid()) {
-      pending.get();  // waits; rethrows a failed prefetch
-      current = next;
-      cur = 1 - cur;
-    } else {
-      current = fill(next_begin, ring[cur].data());
-    }
+    return;
   }
+
+  // Depth-D pipeline: while fn scans tile t, tiles (t, t + depth] are in
+  // flight on the pool. Buffers rotate t % buffers with
+  // depth <= buffers - 1, so no in-flight synthesis ever aliases the tile
+  // being consumed; tile t + 1 + depth is only submitted after fn(t)
+  // returns, freeing t's buffer. If fn or a fill throws, the guard waits
+  // out every in-flight job (they hold pointers into `ring`/`slot`)
+  // before the stack unwinds; the future's get() rethrows fill failures.
+  std::vector<ClientTile> slot(buffers);
+  std::deque<std::future<void>> inflight;
+  struct PrefetchGuard {
+    std::deque<std::future<void>>* pending;
+    ~PrefetchGuard() {
+      for (auto& f : *pending) {
+        if (f.valid()) f.wait();
+      }
+    }
+  } guard{&inflight};
+  std::int64_t submitted = 0;
+  const auto submit_next = [&] {
+    const std::int64_t t = submitted++;
+    double* buf = ring[static_cast<std::size_t>(t) % buffers].data();
+    ClientTile* out = &slot[static_cast<std::size_t>(t) % buffers];
+    inflight.push_back(
+        pool.Submit([out, t, buf, &fill] { *out = fill(t, buf); }));
+  };
+  for (std::int64_t t = 0; t < total; ++t) {
+    while (submitted < total && submitted <= t + depth) submit_next();
+    inflight.front().get();
+    inflight.pop_front();
+    fn(slot[static_cast<std::size_t>(t) % buffers]);
+  }
+}
+
+void ClientBlockView::ForEachTile(
+    const std::function<void(const ClientTile&, std::size_t)>& fn) const {
+  const std::int32_t tile_clients =
+      std::clamp(tile_.tile_clients, 1, num_clients_);
+  const auto total = static_cast<std::int64_t>(NumTiles());
+  if (raw_block_ != nullptr) {
+    // Zero-copy partition of the resident block; each slot owns its rows.
+    GlobalPool().ParallelFor(0, total, 1, [&](std::int64_t tb,
+                                              std::int64_t te) {
+      for (std::int64_t t = tb; t < te; ++t) {
+        const auto begin = static_cast<std::int32_t>(
+            t * static_cast<std::int64_t>(tile_clients));
+        const std::int32_t end = std::min(num_clients_, begin + tile_clients);
+        fn(ClientTile{begin, end,
+                      raw_block_ +
+                          static_cast<std::size_t>(begin) * server_stride_,
+                      server_stride_},
+           static_cast<std::size_t>(t));
+      }
+    });
+    return;
+  }
+  DIACA_OBS_SPAN("core.view.tiles");
+  const std::size_t tile_doubles =
+      static_cast<std::size_t>(tile_clients) * server_stride_;
+  const auto tile_bytes =
+      static_cast<std::int64_t>(tile_doubles * sizeof(double));
+  // One synthesis buffer per concurrent chunk, charged against the pool
+  // peak while live.
+  std::atomic<std::int64_t> live{0};
+  GlobalPool().ParallelFor(0, total, 1, [&](std::int64_t tb,
+                                            std::int64_t te) {
+    std::vector<double> buf(tile_doubles);
+    BumpTileBytesPeak(live.fetch_add(tile_bytes, std::memory_order_relaxed) +
+                      tile_bytes);
+    for (std::int64_t t = tb; t < te; ++t) {
+      const auto begin = static_cast<std::int32_t>(
+          t * static_cast<std::int64_t>(tile_clients));
+      const std::int32_t end = std::min(num_clients_, begin + tile_clients);
+      FillTileSlow(begin, end, buf.data());
+      tiles_loaded_.fetch_add(1, std::memory_order_relaxed);
+      fn(ClientTile{begin, end, buf.data(), server_stride_},
+         static_cast<std::size_t>(t));
+    }
+    live.fetch_sub(tile_bytes, std::memory_order_relaxed);
+  });
+}
+
+simd::CandidateResult ClientBlockView::ScanCandidates(
+    ServerIndex s, const ClientIndex* ids, std::size_t count, double reach,
+    double max_len, std::int32_t room, double cutoff) const {
+  simd::CandidateResult r;
+  if (raw_block_ != nullptr) {
+    thread_local std::vector<double> scratch;
+    scratch.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      scratch[i] =
+          raw_block_[static_cast<std::size_t>(ids[i]) * server_stride_ +
+                     static_cast<std::size_t>(s)];
+    }
+    r = simd::BestCandidate(scratch.data(), count, reach, max_len, room,
+                            cutoff);
+  } else {
+    r = ScanCandidatesSlow(s, ids, count, reach, max_len, room, cutoff);
+  }
+  columns_gathered_.fetch_add(1, std::memory_order_relaxed);
+  return r;
+}
+
+simd::CandidateResult ClientBlockView::ScanCandidatesSlow(
+    ServerIndex s, const ClientIndex* ids, std::size_t count, double reach,
+    double max_len, std::int32_t room, double cutoff) const {
+  thread_local std::vector<double> scratch;
+  scratch.resize(count);
+  GatherColumnSlow(s, ids, count, scratch.data());
+  return simd::BestCandidate(scratch.data(), count, reach, max_len, room,
+                             cutoff);
 }
 
 std::vector<double> ClientBlockView::MaterializeBlock() const {
@@ -328,50 +430,45 @@ void OracleTileView::FillRowSlow(ClientIndex c, double* out) const {
     std::memcpy(out, base, server_stride_ * sizeof(double));
     return;
   }
-  const double access = access_[static_cast<std::size_t>(c)];
-  for (std::int32_t s = 0; s < num_servers_; ++s) {
-    out[s] = access + base[s];
-  }
+  // Broadcast-add over the whole padded row would pollute the pad lanes
+  // (access + 0.0 != 0.0), so the kernel covers the server lanes and the
+  // pads are re-zeroed — they stay inert for max/sum kernels.
+  simd::BroadcastAdd(out, base, access_[static_cast<std::size_t>(c)],
+                     static_cast<std::size_t>(num_servers_));
   for (std::size_t s = static_cast<std::size_t>(num_servers_);
        s < server_stride_; ++s) {
-    out[s] = 0.0;  // pad lanes stay inert for max/sum kernels
+    out[s] = 0.0;
   }
 }
 
 void OracleTileView::GatherColumnSlow(ServerIndex s, const ClientIndex* ids,
                                       std::size_t count, double* out) const {
-  const double* col = server_cols_.data() +
-                      static_cast<std::size_t>(s) *
-                          static_cast<std::size_t>(num_rows_);
-  if (access_.empty()) {
-    for (std::size_t i = 0; i < count; ++i) {
-      out[i] = col[static_cast<std::size_t>(
-          base_row_[static_cast<std::size_t>(ids[i])])];
-    }
-    return;
-  }
-  for (std::size_t i = 0; i < count; ++i) {
-    const auto c = static_cast<std::size_t>(ids[i]);
-    out[i] = access_[c] +
-             col[static_cast<std::size_t>(base_row_[c])];
-  }
+  simd::GatherPlus(out,
+                   server_cols_.data() + static_cast<std::size_t>(s) *
+                                             static_cast<std::size_t>(num_rows_),
+                   base_row_.data(),
+                   access_.empty() ? nullptr : access_.data(), ids, count);
 }
 
 void OracleTileView::FillColumnSlow(ServerIndex s, double* out) const {
-  const double* col = server_cols_.data() +
-                      static_cast<std::size_t>(s) *
-                          static_cast<std::size_t>(num_rows_);
-  if (access_.empty()) {
-    for (std::int32_t c = 0; c < num_clients_; ++c) {
-      out[c] = col[static_cast<std::size_t>(
-          base_row_[static_cast<std::size_t>(c)])];
-    }
-    return;
-  }
-  for (std::int32_t c = 0; c < num_clients_; ++c) {
-    const auto ci = static_cast<std::size_t>(c);
-    out[c] = access_[ci] + col[static_cast<std::size_t>(base_row_[ci])];
-  }
+  simd::GatherPlus(out,
+                   server_cols_.data() + static_cast<std::size_t>(s) *
+                                             static_cast<std::size_t>(num_rows_),
+                   base_row_.data(),
+                   access_.empty() ? nullptr : access_.data(), nullptr,
+                   static_cast<std::size_t>(num_clients_));
+}
+
+simd::CandidateResult OracleTileView::ScanCandidatesSlow(
+    ServerIndex s, const ClientIndex* ids, std::size_t count, double reach,
+    double max_len, std::int32_t room, double cutoff) const {
+  // Fused gather + pruned scan: candidate blocks the bound rejects are
+  // never even gathered (see simd::BestCandidateGather).
+  return simd::BestCandidateGather(
+      server_cols_.data() +
+          static_cast<std::size_t>(s) * static_cast<std::size_t>(num_rows_),
+      base_row_.data(), access_.empty() ? nullptr : access_.data(), ids,
+      count, reach, max_len, room, cutoff);
 }
 
 void OracleTileView::FillTileSlow(ClientIndex begin, ClientIndex end,

@@ -26,27 +26,32 @@
 //     substrate server rows (gathered once from a net::DistanceOracle,
 //     O((n + |C|) + n * |S|) state, independent of |C| x |S|) and
 //     synthesizes client rows on demand: tiles are generated into a small
-//     reusable buffer pool, and while a solver scans the current tile the
-//     next one is prefetched on the thread pool. Because every
-//     synthesized double is computed from the same operands the
-//     materialized build used (d(c,s) = access(c) + row_s[attach(c)], a
-//     single IEEE addition), assignments are bit-identical across the two
-//     backends at every tile size, pool size, and thread count.
+//     reusable buffer pool by the SIMD broadcast-add kernel, and while a
+//     solver scans the current tile up to prefetch_depth later tiles
+//     synthesize on the thread pool. Because every synthesized double is
+//     computed from the same operands the materialized build used
+//     (d(c,s) = access(c) + row_s[attach(c)], a single IEEE addition),
+//     assignments are bit-identical across the two backends at every tile
+//     size, pool size, prefetch depth, and thread count.
 //
 // Thread safety: views are shared const (Problem copies alias one view).
 // All accessors are safe to call concurrently; the usage counters are
-// relaxed atomics. ForEachTile itself is a single-consumer traversal —
-// callers parallelize *inside* fn over the tile's rows, not across tiles.
+// relaxed atomics. The sequential ForEachTile is a single-consumer
+// traversal delivering ascending tiles on the calling thread; the fused
+// overload (fn(tile, slot)) fans tiles out across the pool for in-place
+// per-tile reductions — see its contract for the determinism rules.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "common/simd/kernels.h"
 #include "core/types.h"
 #include "net/distance_oracle.h"
 
@@ -82,18 +87,23 @@ struct ClientBlockStats {
   std::int64_t tile_bytes_peak = 0;
 };
 
-/// Tile sizing for lazy backends (MaterializedView ignores it: its one
-/// tile is the whole block, zero-copy).
+/// Tile sizing for lazy backends (MaterializedView ignores it for the
+/// sequential traversal: its one tile is the whole block, zero-copy).
 struct TileOptions {
   /// Client rows per tile. Clamped to [1, |C|]. The default keeps a tile
   /// around 4 MB at 64 servers — big enough to amortize the per-tile
   /// fan-out, small enough to stay cache- and budget-friendly (see
   /// docs/performance.md).
   std::int32_t tile_clients = 8192;
-  /// Buffers in the reusable tile pool. 1 disables prefetch; >= 2 lets
-  /// the next tile synthesize on the thread pool while the current one is
-  /// scanned (one tile ahead — deeper pools are clamped to 2).
-  std::int32_t pool_tiles = 2;
+  /// Buffers in the reusable tile pool of the sequential traversal.
+  /// 1 disables prefetch; prefetch_depth is clamped to pool_tiles - 1, so
+  /// the default (3 buffers, depth 2) keeps two tiles synthesizing on the
+  /// thread pool while the consumer scans a third.
+  std::int32_t pool_tiles = 3;
+  /// Tiles synthesized ahead of the consumer in ForEachTile. Clamped to
+  /// [0, pool_tiles - 1]; 0 — or a threadless pool — degrades to
+  /// synchronous generation. Results are bit-identical at every depth.
+  std::int32_t prefetch_depth = 2;
 };
 
 class ClientBlockView {
@@ -142,10 +152,40 @@ class ClientBlockView {
 
   /// Visit ascending, disjoint tiles covering every client exactly once.
   /// MaterializedView emits one zero-copy tile; lazy backends synthesize
-  /// TileOptions-sized tiles through the buffer pool, prefetching one
-  /// ahead on the global pool when it has workers. Tile data is valid
-  /// only during fn; fn runs on the calling thread.
+  /// TileOptions-sized tiles through the buffer pool, keeping up to
+  /// prefetch_depth tiles in flight on the global pool when it has
+  /// workers. Tile data is valid only during fn; fn runs on the calling
+  /// thread, and tiles arrive in ascending order regardless of depth.
   void ForEachTile(const std::function<void(const ClientTile&)>& fn) const;
+
+  /// Fused traversal: every tile is handed to fn exactly once together
+  /// with its slot index in [0, NumTiles()), but tiles may arrive
+  /// CONCURRENTLY and OUT OF ORDER when the pool has workers — fn reduces
+  /// each tile while it is cache-resident instead of staging results for
+  /// a second pass. Callers keep determinism by writing per-client slots
+  /// (disjoint) or folding into per-slot state merged in ascending slot
+  /// order after the call (exact for max/min folds). Order-sensitive
+  /// consumers (float accumulation) must use the sequential overload.
+  /// MaterializedView partitions the resident block into zero-copy tiles.
+  void ForEachTile(
+      const std::function<void(const ClientTile&, std::size_t)>& fn) const;
+
+  /// Tiles the fused traversal delivers: ceil(|C| / clamped tile_clients).
+  std::size_t NumTiles() const;
+
+  /// Fused greedy candidate scan over ids[0..count) — bit-identical to
+  /// GatherColumn into a scratch array followed by simd::BestCandidate,
+  /// but lazy backends reduce the candidate distances while they are
+  /// cache-resident (OracleTileView prunes whole 512-entry blocks before
+  /// gathering them at all). `cutoff` seeds the kernel's incumbent (see
+  /// simd::BestCandidate): callers holding a cross-server incumbent pass
+  /// it so losing scans prune from the first block. Precondition: the ids
+  /// are sorted so their distances to s ascend (the greedy preprocessing
+  /// order).
+  simd::CandidateResult ScanCandidates(
+      ServerIndex s, const ClientIndex* ids, std::size_t count, double reach,
+      double max_len, std::int32_t room,
+      double cutoff = std::numeric_limits<double>::infinity()) const;
 
   /// The full padded block as a fresh vector (|C| rows of
   /// server_stride()). The escape hatch for consumers that genuinely need
@@ -171,6 +211,13 @@ class ClientBlockView {
   /// pads included).
   virtual void FillTileSlow(ClientIndex begin, ClientIndex end,
                             double* out) const = 0;
+  /// Candidate scan without a resident block. The default gathers through
+  /// GatherColumnSlow into a thread-local scratch and runs BestCandidate;
+  /// backends with structure to exploit (OracleTileView) override with a
+  /// fused kernel. Must return bits identical to the default.
+  virtual simd::CandidateResult ScanCandidatesSlow(
+      ServerIndex s, const ClientIndex* ids, std::size_t count, double reach,
+      double max_len, std::int32_t room, double cutoff) const;
 
   std::int32_t num_clients_;
   std::int32_t num_servers_;
@@ -247,6 +294,9 @@ class OracleTileView final : public ClientBlockView {
   void FillColumnSlow(ServerIndex s, double* out) const override;
   void FillTileSlow(ClientIndex begin, ClientIndex end,
                     double* out) const override;
+  simd::CandidateResult ScanCandidatesSlow(
+      ServerIndex s, const ClientIndex* ids, std::size_t count, double reach,
+      double max_len, std::int32_t room, double cutoff) const override;
 
  private:
   OracleTileView(std::int32_t num_clients, std::int32_t num_servers,

@@ -1,6 +1,8 @@
 #include "core/greedy.h"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
 #include <limits>
 #include <vector>
 
@@ -15,12 +17,42 @@ namespace diaca::core {
 
 namespace {
 
-// Per-server outcome of one round's candidate scan (written only by the
-// task that owns the server, read after the reduction).
-struct ServerBest {
-  double len = 0.0;
-  std::int64_t pos = -1;  // position of the chosen client in the list
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Geometric (rank, distance) snapshot of a server's sorted candidate
+// list, taken at its last compaction (or at preprocessing). Ranks are
+// 0, 1, 3, 7, ... 2^k-1 plus a one-past-the-end sentinel, so a 1M-entry
+// list needs 21 points. The snapshot turns the old one-point head bound
+// into a bracket-wise lower bound on the server's whole cost curve:
+// every *current* candidate with distance in [e_j, e_{j+1}) had rank
+// < r_{j+1} when the snapshot was taken, removals only shrink ranks, and
+// delta is non-decreasing in distance — so
+//
+//   cost(p) >= rnd(delta_now(e_j) / min(r_{j+1}, room, unassigned))
+//
+// holds for every current position p in bracket j even when the snapshot
+// is rounds stale (delta_now uses the CURRENT reach and max_len; staler
+// snapshots only loosen the bound, never break it). Correctly-rounded
+// division is monotone in both arguments, so the fl() evaluation of the
+// right-hand side is itself a valid lower bound — the same argument as
+// the scan kernel's block bound.
+struct Ladder {
+  std::int32_t count = 0;                // number of (rank, dist) points
+  std::array<std::int32_t, 24> rank{};   // rank[count] = stale length
+  std::array<double, 24> dist_at{};
 };
+
+void RebuildLadderRanks(Ladder& ladder, std::size_t len) {
+  ladder.count = 0;
+  std::size_t r = 0;
+  while (r < len && ladder.count < 23) {
+    ladder.rank[static_cast<std::size_t>(ladder.count++)] =
+        static_cast<std::int32_t>(r);
+    r = 2 * r + 1;
+  }
+  ladder.rank[static_cast<std::size_t>(ladder.count)] =
+      static_cast<std::int32_t>(len);
+}
 
 }  // namespace
 
@@ -34,22 +66,26 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
   const ClientBlockView& view = problem.client_block();
   // On a streamed block the resident per-server distance arrays would
   // re-materialize |S| copies of the very block the view avoids, so only
-  // the client-index lists persist (4 bytes/entry instead of 12) and each
-  // round re-gathers the surviving distances through the view's compact
-  // server-major path. The gathered doubles are the same values the
+  // the client-index lists persist (4 bytes/entry instead of 12) and the
+  // rounds scan through the view's fused gather kernel
+  // (ScanCandidates), which reduces each server's surviving distances
+  // while cache-resident. The gathered doubles are the same values the
   // resident arrays would hold, so the scans are bit-identical.
   const bool streamed = !view.materialized();
 
   // Preprocessing: per-server client lists sorted by distance (ties by
-  // client index, making every later step deterministic). Alongside each
-  // list a contiguous array of the distances themselves, compacted in
-  // lockstep — the candidate scan then streams plain doubles instead of
-  // gathering cs(list[pos], s) per element. The sorts are independent, so
-  // they fan out across the pool.
+  // client index, making every later step deterministic). The resident
+  // path keeps a contiguous array of the distances themselves, compacted
+  // in lockstep — the candidate scan then streams plain doubles; the
+  // streamed path only needs the ORDER (scans re-gather through the
+  // view), so it uses the cheaper float32-keyed argsort. Each sorted
+  // list also seeds the server's bound ladder. The sorts are
+  // independent, so they fan out across the pool.
   std::vector<std::vector<ClientIndex>> lists(
       static_cast<std::size_t>(num_servers));
   std::vector<std::vector<double>> dist_lists(
       streamed ? 0 : static_cast<std::size_t>(num_servers));
+  std::vector<Ladder> ladders(static_cast<std::size_t>(num_servers));
   pool.ParallelFor(0, num_servers, 1, [&](std::int64_t b, std::int64_t e) {
     thread_local std::vector<double> sort_scratch;
     for (std::int64_t si = b; si < e; ++si) {
@@ -69,12 +105,32 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
         dist = owned.data();
       }
       view.FillColumn(s, dist);
-      // Stable radix sort with idx arriving ascending == lexicographic
-      // (distance, client index): the exact tie-break of the former
-      // comparator-on-indices sort, without the comparison-sort cost that
-      // used to dominate the whole solve.
-      simd::RadixSortDistIndex(dist, list.data(),
+      Ladder& ladder = ladders[static_cast<std::size_t>(si)];
+      if (streamed) {
+        // Order only; dist stays client-indexed scratch, so the ladder
+        // reads it through the sorted list.
+        simd::ArgsortDistIndex(dist, list.data(),
                                static_cast<std::size_t>(num_clients));
+        RebuildLadderRanks(ladder, static_cast<std::size_t>(num_clients));
+        for (std::int32_t k = 0; k < ladder.count; ++k) {
+          ladder.dist_at[static_cast<std::size_t>(k)] =
+              dist[list[static_cast<std::size_t>(
+                  ladder.rank[static_cast<std::size_t>(k)])]];
+        }
+      } else {
+        // Stable radix sort with idx arriving ascending == lexicographic
+        // (distance, client index): the exact tie-break of the former
+        // comparator-on-indices sort, without the comparison-sort cost
+        // that used to dominate the whole solve.
+        simd::RadixSortDistIndex(dist, list.data(),
+                                 static_cast<std::size_t>(num_clients));
+        RebuildLadderRanks(ladder, static_cast<std::size_t>(num_clients));
+        for (std::int32_t k = 0; k < ladder.count; ++k) {
+          ladder.dist_at[static_cast<std::size_t>(k)] =
+              dist[static_cast<std::size_t>(
+                  ladder.rank[static_cast<std::size_t>(k)])];
+        }
+      }
     }
   });
 
@@ -92,45 +148,167 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
   // instead of the O(|S|^2) full recomputation. `max` over doubles is
   // exact, so the cached values are bit-identical to a fresh scan.
   std::vector<double> reach(static_cast<std::size_t>(num_servers), 0.0);
-  std::vector<ServerBest> bests(static_cast<std::size_t>(num_servers));
+  // Lazy compaction: head[s] is the position of server s's first
+  // not-yet-assigned client. A round only pays a full compaction + exact
+  // scan for servers whose cutoff-seeded stale scan (phase 2) cannot rule
+  // them out; everyone else costs a head advance (monotone, amortized by
+  // the list length), one ladder-bound evaluation, and a block-pruned
+  // stale scan that gathers one lane per 512-entry block.
+  std::vector<std::size_t> head(static_cast<std::size_t>(num_servers), 0);
+  std::vector<double> head_dist(static_cast<std::size_t>(num_servers), 0.0);
+  // Bound-sorted traversal order: evaluating the most promising server
+  // first makes the incumbent tight immediately, so the sorted suffix
+  // whose bounds cannot beat it is skipped in one break. Selection stays
+  // exactly the lexicographic (cost, server) minimum of the old serial
+  // sweep: a server is skipped only when its lower bound proves it can
+  // neither strictly improve the incumbent nor win an exact-tie on a
+  // smaller index.
+  struct BoundEntry {
+    double bound;
+    ServerIndex s;
+  };
+  std::vector<BoundEntry> order;
+  order.reserve(static_cast<std::size_t>(num_servers));
   std::vector<double> batch_dist;  // caller-side gather for streamed batches
   double max_len = 0.0;
   std::int32_t num_assigned = 0;
 
   while (num_assigned < num_clients) {
     DIACA_OBS_SPAN("core.greedy.iteration");
-    // One task per server: compact the sorted list (and, when resident,
-    // its distance array) in place, dropping clients assigned in earlier
-    // rounds — each assignment is skipped once and never rescanned,
-    // amortized O(1) per assigned client — then run the fused candidate
-    // kernel over the surviving distances. The deterministic min-reduce
-    // resolves cost ties by server index, and the kernel keeps the first
-    // minimal position, matching the serial (server, position) iteration
-    // order exactly. In the first round no server is used yet, so the
-    // reach term is dropped via reach = -infinity (2*d >= 0 always wins).
-    const auto scan_server = [&](std::int64_t si) -> double {
-      auto& best = bests[static_cast<std::size_t>(si)];
-      best = ServerBest{};
-      if (remaining[static_cast<std::size_t>(si)] <= 0) {
-        return std::numeric_limits<double>::infinity();
+    const std::int32_t unassigned_total = num_clients - num_assigned;
+    const double unassigned_d = static_cast<double>(unassigned_total);
+    // Phase 1: advance heads and evaluate every eligible server's ladder
+    // bound. In the first round no server is used yet, so the reach term
+    // is dropped via reach = -infinity (2*d >= 0 always wins).
+    order.clear();
+    for (ServerIndex s = 0; s < num_servers; ++s) {
+      const auto si = static_cast<std::size_t>(s);
+      const std::int32_t room = remaining[si];
+      if (room <= 0) continue;
+      auto& list = lists[si];
+      std::size_t& h = head[si];
+      // Every unassigned client appears in every list, so the head always
+      // lands on one before running off the end.
+      while (a[list[h]] != kUnassigned) ++h;
+      const double d_head =
+          streamed ? view.cs(list[h], s) : dist_lists[si][h];
+      head_dist[si] = d_head;
+      const double server_reach = num_assigned > 0 ? reach[si] : -kInf;
+      const double room_d = static_cast<double>(room);
+      const Ladder& ladder = ladders[si];
+      double bound = kInf;
+      for (std::int32_t k = 0; k < ladder.count; ++k) {
+        // Bracket 0 tightens to the current head distance (the smallest
+        // distance any current candidate can have); stale deeper points
+        // only loosen the bound (see Ladder above).
+        const double e =
+            k == 0 ? d_head : ladder.dist_at[static_cast<std::size_t>(k)];
+        const double delta =
+            std::max(std::max(2.0 * e, e + server_reach), max_len) - max_len;
+        const double dn = std::min(
+            static_cast<double>(ladder.rank[static_cast<std::size_t>(k + 1)]),
+            std::min(room_d, unassigned_d));
+        bound = std::min(bound, delta / dn);
+        if (bound == 0.0) break;  // costs are non-negative: global minimum
       }
-      auto& list = lists[static_cast<std::size_t>(si)];
-      std::size_t write = 0;
-      const double* dist_data;
+      order.push_back({bound, s});
+    }
+    std::sort(order.begin(), order.end(),
+              [](const BoundEntry& x, const BoundEntry& y) {
+                return x.bound != y.bound ? x.bound < y.bound : x.s < y.s;
+              });
+
+    // Phase 2: scan survivors in ascending bound order, seeding every
+    // kernel call with the incumbent as its cutoff. Each server is first
+    // scanned over its STALE suffix — the sorted list as of its last
+    // compaction, minus the advanced head, with already-assigned entries
+    // still present. That scan is a valid lower bound on the server's
+    // true (compacted) minimum: every current candidate sits at a stale
+    // position >= its true rank (entries only disappear), so its stale
+    // cost divides by a dn at least as large, and the extra assigned
+    // lanes only deepen the minimum further. A stale scan that cannot
+    // beat the cutoff therefore proves the exact scan could not either —
+    // the server is skipped without paying compaction, and with the
+    // seeded cutoff the kernel touches only one gathered lane per
+    // 512-entry block. Only a server whose stale scan DOES beat the
+    // cutoff compacts and rescans exactly.
+    simd::CandidateResult best;
+    best.cost = kInf;
+    ServerIndex best_server = -1;
+    double zero_d = 0.0;
+    bool zero_path = false;
+    for (const BoundEntry& entry : order) {
+      const ServerIndex s = entry.s;
+      const auto si = static_cast<std::size_t>(s);
+      // Bounds ascend, so the first entry that cannot strictly improve
+      // the incumbent (or exact-tie it from a smaller index) proves the
+      // same for the whole remaining suffix.
+      if (entry.bound > best.cost ||
+          (entry.bound == best.cost && best_server >= 0 &&
+           s > best_server)) {
+        break;
+      }
+      const std::int32_t room = remaining[si];
+      auto& list = lists[si];
+      std::size_t& h = head[si];
+      const double d_head = head_dist[si];
+      const double server_reach = num_assigned > 0 ? reach[si] : -kInf;
+      const double delta_head =
+          std::max(std::max(2.0 * d_head, d_head + server_reach), max_len) -
+          max_len;
+      if (delta_head == 0.0) {
+        // Zero fast-path: cost(0) = 0/dn = 0 exactly, the global minimum
+        // (costs are non-negative), at the kernel's first position — the
+        // batch is the head client alone. Any zero-delta server has a
+        // zero ladder bound, and the traversal visits equal bounds in
+        // ascending server order, so s is the lexicographic winner among
+        // them; a possible earlier survivor that scanned to an exact
+        // zero cost was not skipped and holds the incumbent, in which
+        // case the break above already fired for s > best_server.
+        best.cost = 0.0;
+        best.len = max_len;
+        best.pos = 0;
+        best_server = s;
+        zero_d = d_head;
+        zero_path = true;
+        break;
+      }
+      // Cutoff for this server: it must beat the incumbent strictly,
+      // except that a smaller-indexed server also wins an exact cost tie
+      // — widen that cutoff by one ulp so equal-cost candidates are
+      // found rather than pruned. A returned pos >= 0 then always means
+      // "new lexicographic (cost, server) winner".
+      const double cutoff =
+          best_server < 0
+              ? kInf
+              : (s < best_server ? std::nextafter(best.cost, kInf)
+                                 : best.cost);
+      const std::size_t stale_n = list.size() - h;
+      simd::CandidateResult r;
       if (streamed) {
-        for (std::size_t pos = 0; pos < list.size(); ++pos) {
+        r = view.ScanCandidates(s, list.data() + h, stale_n, server_reach,
+                                max_len, room, cutoff);
+      } else {
+        r = simd::BestCandidate(dist_lists[si].data() + h, stale_n,
+                                server_reach, max_len, room, cutoff);
+      }
+      if (r.pos < 0) continue;  // proven: exact minimum >= cutoff
+      // The stale suffix held something below the cutoff — compact the
+      // sorted list (and, when resident, its distance array) in place,
+      // dropping clients assigned in earlier rounds, and rescan exactly.
+      std::size_t write = 0;
+      if (streamed) {
+        for (std::size_t pos = h; pos < list.size(); ++pos) {
           const ClientIndex c = list[pos];
           if (a[c] == kUnassigned) list[write++] = c;
         }
         list.resize(write);
-        thread_local std::vector<double> scan_scratch;
-        scan_scratch.resize(write);
-        view.GatherColumn(static_cast<ServerIndex>(si), list.data(), write,
-                          scan_scratch.data());
-        dist_data = scan_scratch.data();
+        h = 0;
+        r = view.ScanCandidates(s, list.data(), write, server_reach, max_len,
+                                room, cutoff);
       } else {
-        auto& dist = dist_lists[static_cast<std::size_t>(si)];
-        for (std::size_t pos = 0; pos < list.size(); ++pos) {
+        auto& dist = dist_lists[si];
+        for (std::size_t pos = h; pos < list.size(); ++pos) {
           const ClientIndex c = list[pos];
           if (a[c] == kUnassigned) {
             dist[write] = dist[pos];
@@ -139,54 +317,66 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
         }
         list.resize(write);
         dist.resize(write);
-        dist_data = dist.data();
+        h = 0;
+        r = simd::BestCandidate(dist.data(), write, server_reach, max_len,
+                                room, cutoff);
       }
-
-      const double server_reach =
-          num_assigned > 0 ? reach[static_cast<std::size_t>(si)]
-                           : -std::numeric_limits<double>::infinity();
-      const simd::CandidateResult r = simd::BestCandidate(
-          dist_data, write, server_reach, max_len,
-          remaining[static_cast<std::size_t>(si)]);
-      best.len = r.len;
-      best.pos = r.pos;
-      return r.cost;
-    };
-    const ThreadPool::Extremum chosen =
-        pool.ParallelMinReduce(0, num_servers, 1, scan_server);
-    DIACA_CHECK_MSG(chosen.index >= 0, "no assignable pair found");
-    const auto best_server = static_cast<ServerIndex>(chosen.index);
-    const ServerBest& best = bests[static_cast<std::size_t>(best_server)];
+      // The compaction refreshed the list; re-seed the ladder from it so
+      // the next rounds' bounds start tight again.
+      Ladder& ladder = ladders[si];
+      RebuildLadderRanks(ladder, write);
+      for (std::int32_t k = 0; k < ladder.count; ++k) {
+        const auto rk =
+            static_cast<std::size_t>(ladder.rank[static_cast<std::size_t>(k)]);
+        ladder.dist_at[static_cast<std::size_t>(k)] =
+            streamed ? view.cs(list[rk], s) : dist_lists[si][rk];
+      }
+      if (r.pos < 0) continue;  // the stale bound was optimistic
+      best = r;
+      best_server = s;
+    }
+    DIACA_CHECK_MSG(best_server >= 0, "no assignable pair found");
 
     // Batch: the compacted prefix ending at the chosen client — all
     // unassigned by construction; truncated to the farthest `take`
-    // members under capacity.
+    // members under capacity. The zero fast-path winner skipped
+    // compaction, but its batch is the single head client.
     auto& list = lists[static_cast<std::size_t>(best_server)];
     auto& room = remaining[static_cast<std::size_t>(best_server)];
-    const auto batch_size = static_cast<std::size_t>(best.pos) + 1;
-    const auto take =
-        std::min<std::size_t>(batch_size, static_cast<std::size_t>(room));
-    DIACA_CHECK(take >= 1);
     double& far_b = far[static_cast<std::size_t>(best_server)];
-    const double* dist;
-    std::size_t dist_offset = batch_size - take;
-    if (streamed) {
-      // The scan's gather scratch lives on whichever pool lane ran the
-      // winning server; re-gather just the batch window here.
-      batch_dist.resize(take);
-      view.GatherColumn(best_server, list.data() + dist_offset, take,
-                        batch_dist.data());
-      dist = batch_dist.data();
-      dist_offset = 0;
-    } else {
-      dist = dist_lists[static_cast<std::size_t>(best_server)].data();
-    }
-    for (std::size_t i = 0; i < take; ++i) {
-      a[list[batch_size - take + i]] = best_server;
-      far_b = std::max(far_b, dist[dist_offset + i]);
+    std::size_t take = 1;
+    if (zero_path) {
+      std::size_t& h = head[static_cast<std::size_t>(best_server)];
+      a[list[h]] = best_server;
+      ++h;
+      far_b = std::max(far_b, zero_d);
       ++num_assigned;
+      if (options.capacitated()) --room;
+    } else {
+      const auto batch_size = static_cast<std::size_t>(best.pos) + 1;
+      take =
+          std::min<std::size_t>(batch_size, static_cast<std::size_t>(room));
+      DIACA_CHECK(take >= 1);
+      const double* dist;
+      std::size_t dist_offset = batch_size - take;
+      if (streamed) {
+        // The scan reduced in place without materializing the distances;
+        // re-gather just the batch window here.
+        batch_dist.resize(take);
+        view.GatherColumn(best_server, list.data() + dist_offset, take,
+                          batch_dist.data());
+        dist = batch_dist.data();
+        dist_offset = 0;
+      } else {
+        dist = dist_lists[static_cast<std::size_t>(best_server)].data();
+      }
+      for (std::size_t i = 0; i < take; ++i) {
+        a[list[batch_size - take + i]] = best_server;
+        far_b = std::max(far_b, dist[dist_offset + i]);
+        ++num_assigned;
+      }
+      if (options.capacitated()) room -= static_cast<std::int32_t>(take);
     }
-    if (options.capacitated()) room -= static_cast<std::int32_t>(take);
     max_len = std::max(max_len, best.len);
 
     // Only far(best_server) changed, and it only grew: fold it into every

@@ -29,22 +29,17 @@ Assignment Uncapacitated(const Problem& problem, SolveStats* stats) {
   const auto num_servers = static_cast<std::size_t>(problem.num_servers());
   std::vector<Candidate> order(static_cast<std::size_t>(num_clients));
   // Per-client nearest-server lookups are independent O(|S|) row scans:
-  // stream the block tile by tile, fanning each tile's rows out on the
-  // pool. Each task writes only its own slots, and the per-row kernel is
-  // the one the materialized path always ran, so the picks are
-  // backend-independent.
-  view.ForEachTile([&](const ClientTile& tile) {
-    GlobalPool().ParallelFor(tile.begin, tile.end, 256,
-                             [&](std::int64_t b, std::int64_t e) {
-                               for (std::int64_t ci = b; ci < e; ++ci) {
-                                 const auto c = static_cast<ClientIndex>(ci);
-                                 const double* row = tile.row(c);
-                                 const auto s = static_cast<ServerIndex>(
-                                     simd::ArgMinFirst(row, num_servers).index);
-                                 order[static_cast<std::size_t>(ci)] = {c, s,
-                                                                        row[s]};
-                               }
-                             });
+  // the fused traversal hands each tile to a pool lane, which reduces the
+  // rows while the tile is cache-resident. Each tile writes only its own
+  // order[] slots, and the per-row kernel is the one the materialized
+  // path always ran, so the picks are backend- and schedule-independent.
+  view.ForEachTile([&](const ClientTile& tile, std::size_t) {
+    for (ClientIndex c = tile.begin; c < tile.end; ++c) {
+      const double* row = tile.row(c);
+      const auto s =
+          static_cast<ServerIndex>(simd::ArgMinFirst(row, num_servers).index);
+      order[static_cast<std::size_t>(c)] = {c, s, row[s]};
+    }
   });
   // Longest distance first; stable tie-break on client index.
   std::sort(order.begin(), order.end(), [](const Candidate& a, const Candidate& b) {

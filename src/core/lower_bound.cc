@@ -39,9 +39,12 @@ LowerBoundDetail ComputePairwise(const Problem& problem) {
   // stale finite junk and could win the reduce below). The m matrix is
   // the bound's own O(|C| x |S|) state, so the pairwise bound remains a
   // resident-scale computation on every backend.
+  // The fill runs through the fused traversal: each tile is relaxed on a
+  // pool lane while cache-resident, and every client owns its m row, so
+  // the writes are disjoint and the result is schedule-independent.
   const std::size_t stride = problem.server_stride();
   std::vector<double> m(sc * stride, std::numeric_limits<double>::infinity());
-  view.ForEachTile([&](const ClientTile& tile) {
+  view.ForEachTile([&](const ClientTile& tile, std::size_t) {
     for (ClientIndex c = tile.begin; c < tile.end; ++c) {
       const double* cs_row = tile.row(c);
       double* m_row = m.data() + static_cast<std::size_t>(c) * stride;

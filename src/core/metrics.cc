@@ -57,14 +57,27 @@ std::vector<double> ServerEccentricities(const Problem& problem,
   const ClientBlockView& view = problem.client_block();
   const double* cs = view.raw_block();
   if (cs == nullptr) {
-    // Streamed block: fold each tile with the same scatter kernel the
-    // resident path runs. `max` is exact under any association, so the
-    // per-tile folds land on the same eccentricities bit-for-bit.
-    view.ForEachTile([&](const ClientTile& tile) {
-      simd::MaxAbsorbScatter(far.data(),
-                             a.server_of.data() + static_cast<std::size_t>(tile.begin),
-                             tile.data, tile.stride, 0, tile.end - tile.begin);
+    // Streamed block: the fused traversal folds every tile with the same
+    // scatter kernel the resident path runs, while the tile is still
+    // cache-resident; each slot owns a private buffer, merged in
+    // ascending slot order afterwards. `max` is exact under any
+    // association, so the eccentricities are bit-identical to the serial
+    // scan at every thread count.
+    std::vector<std::vector<double>> locals(view.NumTiles());
+    view.ForEachTile([&](const ClientTile& tile, std::size_t slot) {
+      auto& local = locals[slot];
+      local.assign(num_servers, -1.0);
+      simd::MaxAbsorbScatter(
+          local.data(),
+          a.server_of.data() + static_cast<std::size_t>(tile.begin),
+          tile.data, tile.stride, 0, tile.end - tile.begin);
     });
+    for (const std::vector<double>& local : locals) {
+      if (local.empty()) continue;
+      for (std::size_t s = 0; s < num_servers; ++s) {
+        far[s] = std::max(far[s], local[s]);
+      }
+    }
     return far;
   }
   const std::size_t cs_stride = problem.server_stride();
@@ -190,26 +203,25 @@ std::vector<ClientIndex> CriticalClients(const Problem& problem,
           MaxServerReach(problem, far, static_cast<ServerIndex>(s));
     }
   });
-  // Flag clients in parallel inside each streamed tile, collect in index
-  // order: the result is the same ascending list the serial loop produced.
+  // Flag clients tile by tile — the fused traversal reduces each tile on
+  // a pool lane while it is cache-resident; the flags are per-client
+  // (write-disjoint), and collecting them in index order yields the same
+  // ascending list the serial loop produced.
   std::vector<char> is_critical(static_cast<std::size_t>(num_clients), 0);
-  problem.client_block().ForEachTile([&](const ClientTile& tile) {
-    pool.ParallelFor(tile.begin, tile.end, kClientGrain,
-                     [&](std::int64_t b, std::int64_t e) {
-                       for (std::int64_t ci = b; ci < e; ++ci) {
-                         const auto c = static_cast<ClientIndex>(ci);
-                         const ServerIndex s = a[c];
-                         const double dcs = tile.row(c)[s];
-                         // c is an endpoint of a longest path iff its distance
-                         // plus the longest reach from its server (or its own
-                         // round trip) attains max_len.
-                         const double longest_via_c = std::max(
-                             2.0 * dcs, dcs + reach[static_cast<std::size_t>(s)]);
-                         if (longest_via_c >= max_len - tolerance) {
-                           is_critical[static_cast<std::size_t>(ci)] = 1;
-                         }
-                       }
-                     });
+  problem.client_block().ForEachTile([&](const ClientTile& tile,
+                                         std::size_t) {
+    for (ClientIndex c = tile.begin; c < tile.end; ++c) {
+      const ServerIndex s = a[c];
+      const double dcs = tile.row(c)[s];
+      // c is an endpoint of a longest path iff its distance plus the
+      // longest reach from its server (or its own round trip) attains
+      // max_len.
+      const double longest_via_c =
+          std::max(2.0 * dcs, dcs + reach[static_cast<std::size_t>(s)]);
+      if (longest_via_c >= max_len - tolerance) {
+        is_critical[static_cast<std::size_t>(c)] = 1;
+      }
+    }
   });
   std::vector<ClientIndex> critical;
   for (ClientIndex c = 0; c < num_clients; ++c) {

@@ -161,14 +161,6 @@ Problem::Problem(const net::DistanceOracle& oracle,
   }
 }
 
-const double* Problem::cs_row(ClientIndex c) const {
-  const double* raw = client_block_->raw_block();
-  DIACA_CHECK_MSG(raw != nullptr,
-                  "cs_row() needs a materialized client block; this problem "
-                  "streams tiles — iterate client_block().ForEachTile(...)");
-  return raw + static_cast<std::size_t>(c) * server_stride_;
-}
-
 Problem Problem::WithClientsEverywhere(
     const net::LatencyMatrix& matrix,
     std::span<const net::NodeIndex> server_nodes) {

@@ -6,9 +6,9 @@
 // block (|S| x |S|) is always resident; the client-to-server block
 // (|C| x |S|) lives behind a core::ClientBlockView — materialized (the
 // historical padded block, bit-identical) or streamed in tiles from a
-// distance oracle (core/client_block_view.h). Solvers consume the client
-// block exclusively through client_block(); the direct cs()/cs_row()
-// accessors are one-PR deprecation shims.
+// distance oracle (core/client_block_view.h). All client-block access —
+// element, row, column, tile — goes through client_block(); Problem
+// itself only exposes the resident server-to-server block.
 #pragma once
 
 #include <cstddef>
@@ -16,7 +16,6 @@
 #include <span>
 #include <vector>
 
-#include "common/deprecated.h"
 #include "common/simd/simd.h"
 #include "core/client_block_view.h"
 #include "core/types.h"
@@ -67,28 +66,11 @@ class Problem {
     return client_block_;
   }
 
-  /// Client-to-server latency d(c, s).
-  DIACA_DEPRECATED(
-      "use client_block().cs(c, s) — solver code must not consume Problem's "
-      "client block directly (works on every backend)")
-  double cs(ClientIndex c, ServerIndex s) const {
-    return client_block_->cs(c, s);
-  }
-
   /// Server-to-server latency d(s1, s2); zero when s1 == s2.
   double ss(ServerIndex a, ServerIndex b) const {
     return d_ss_[static_cast<std::size_t>(a) * server_stride_ +
                  static_cast<std::size_t>(b)];
   }
-
-  /// Row of client c's latencies to all servers (num_servers() valid
-  /// doubles, then server_stride() - num_servers() zero pad lanes).
-  /// Requires a materialized block; tiled problems throw. New code
-  /// iterates client_block().ForEachTile(...) or fills a row scratch.
-  DIACA_DEPRECATED(
-      "use client_block().ForEachTile / FillRow — raw row pointers only "
-      "exist on the materialized backend")
-  const double* cs_row(ClientIndex c) const;
 
   /// Row of server a's latencies to all servers (num_servers() valid
   /// doubles, then server_stride() - num_servers() zero pad lanes).

@@ -7,10 +7,13 @@
 #include <functional>
 #include <limits>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "common/error.h"
 #include "common/rng.h"
@@ -122,6 +125,8 @@ OracleOptions ParseOracleSpec(const std::string& spec) {
     }
     if (key == "cache") {
       options.row_cache_capacity = static_cast<std::size_t>(num);
+    } else if (key == "shards") {
+      options.row_cache_shards = static_cast<std::size_t>(num);
     } else if (key == "landmarks") {
       options.num_landmarks = static_cast<std::int32_t>(num);
     } else if (key == "beacons") {
@@ -133,8 +138,9 @@ OracleOptions ParseOracleSpec(const std::string& spec) {
     } else if (key == "seed") {
       options.seed = static_cast<std::uint64_t>(num);
     } else {
-      throw Error("unknown oracle option '" + key +
-                  "' (expected cache|landmarks|beacons|rounds|dims|seed)");
+      throw Error(
+          "unknown oracle option '" + key +
+          "' (expected cache|shards|landmarks|beacons|rounds|dims|seed)");
     }
   }
   return options;
@@ -157,11 +163,27 @@ struct DistanceOracle::Impl {
   // kDense.
   std::optional<LatencyMatrix> dense;
 
-  // kRows: adjacency copy + LRU row cache (most recent at the front).
+  // kRows: adjacency copy + striped LRU row cache. Rows live in the
+  // shard `node % shards.size()`, most recent at the shard's front; each
+  // shard has its own mutex so concurrent traversals touching different
+  // rows do not serialize on one cache lock. Rows build outside any
+  // lock; a raced insert keeps the first copy (rows are canonical, so
+  // both copies are bit-identical anyway).
   std::optional<Graph> graph;
-  mutable std::mutex mu;
-  mutable std::list<std::pair<NodeIndex, std::vector<double>>> lru;
-  mutable std::unordered_map<NodeIndex, decltype(lru)::iterator> lru_index;
+  struct RowShard {
+    using Lru = std::list<std::pair<NodeIndex, std::vector<double>>>;
+    std::mutex mu;
+    Lru lru;
+    std::unordered_map<NodeIndex, Lru::iterator> index;
+    std::atomic<std::int64_t> hits{0};
+    std::atomic<std::int64_t> misses{0};
+    // Pre-built net.oracle.shard<k>.cache_{hits,misses} metric names so
+    // the hot path never formats strings.
+    std::string hits_metric;
+    std::string misses_metric;
+  };
+  mutable std::vector<std::unique_ptr<RowShard>> shards;
+  std::size_t shard_capacity = 0;
 
   // kLandmarks / kCoords pivot and beacon ids; landmark_rows is k rows of
   // n doubles, row-major, only populated for kLandmarks.
@@ -187,66 +209,84 @@ struct DistanceOracle::Impl {
     return row;
   }
 
+  RowShard& ShardOf(NodeIndex u) const {
+    return *shards[static_cast<std::size_t>(u) % shards.size()];
+  }
+
+  void CountHit(RowShard& shard) const {
+    hits.fetch_add(1, std::memory_order_relaxed);
+    shard.hits.fetch_add(1, std::memory_order_relaxed);
+    DIACA_OBS_COUNT("net.oracle.cache_hits", 1);
+    if (obs::MetricsEnabled()) {
+      obs::Registry::Default().GetCounter(shard.hits_metric).Add(1);
+    }
+  }
+
+  void CountMiss(RowShard& shard) const {
+    misses.fetch_add(1, std::memory_order_relaxed);
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+    DIACA_OBS_COUNT("net.oracle.cache_misses", 1);
+    if (obs::MetricsEnabled()) {
+      obs::Registry::Default().GetCounter(shard.misses_metric).Add(1);
+    }
+  }
+
+  // Insert a freshly built row into its shard; a raced duplicate keeps
+  // the first copy. Evicts from the shard's own tail past its stripe
+  // capacity.
+  void InsertRow(RowShard& shard, NodeIndex u, std::vector<double> row) const {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.index.find(u) != shard.index.end()) return;  // raced: keep theirs
+    shard.lru.emplace_front(u, std::move(row));
+    shard.index.emplace(u, shard.lru.begin());
+    while (shard.lru.size() > shard_capacity) {
+      evictions.fetch_add(1, std::memory_order_relaxed);
+      DIACA_OBS_COUNT("net.oracle.cache_evictions", 1);
+      shard.index.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+    }
+  }
+
   // Copy row u into out, serving from / refreshing the LRU cache.
   void RowsFill(NodeIndex u, std::span<double> out) const {
+    RowShard& shard = ShardOf(u);
     {
-      std::lock_guard<std::mutex> lock(mu);
-      const auto it = lru_index.find(u);
-      if (it != lru_index.end()) {
-        hits.fetch_add(1, std::memory_order_relaxed);
-        DIACA_OBS_COUNT("net.oracle.cache_hits", 1);
-        lru.splice(lru.begin(), lru, it->second);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const auto it = shard.index.find(u);
+      if (it != shard.index.end()) {
+        CountHit(shard);
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
         std::copy(it->second->second.begin(), it->second->second.end(),
                   out.begin());
         return;
       }
     }
-    misses.fetch_add(1, std::memory_order_relaxed);
-    DIACA_OBS_COUNT("net.oracle.cache_misses", 1);
+    CountMiss(shard);
     std::vector<double> row = BuildRow(u);  // outside the lock
     std::copy(row.begin(), row.end(), out.begin());
-    std::lock_guard<std::mutex> lock(mu);
-    if (lru_index.find(u) != lru_index.end()) return;  // raced: keep theirs
-    lru.emplace_front(u, std::move(row));
-    lru_index.emplace(u, lru.begin());
-    while (lru.size() > options.row_cache_capacity) {
-      evictions.fetch_add(1, std::memory_order_relaxed);
-      DIACA_OBS_COUNT("net.oracle.cache_evictions", 1);
-      lru_index.erase(lru.back().first);
-      lru.pop_back();
-    }
+    InsertRow(shard, u, std::move(row));
   }
 
   double RowsDistance(NodeIndex u, NodeIndex v) const {
     // Serve from either endpoint's cached row (rows are canonical, so
     // row_u[v] == row_v[u] bit-for-bit); build u's row on a double miss.
-    {
-      std::lock_guard<std::mutex> lock(mu);
-      for (const NodeIndex w : {u, v}) {
-        const auto it = lru_index.find(w);
-        if (it != lru_index.end()) {
-          hits.fetch_add(1, std::memory_order_relaxed);
-          DIACA_OBS_COUNT("net.oracle.cache_hits", 1);
-          lru.splice(lru.begin(), lru, it->second);
-          return it->second->second[static_cast<std::size_t>(w == u ? v : u)];
-        }
+    // The endpoints live in (possibly) different shards, locked one at a
+    // time — never nested, so shard order cannot deadlock.
+    for (const NodeIndex w : {u, v}) {
+      RowShard& shard = ShardOf(w);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      const auto it = shard.index.find(w);
+      if (it != shard.index.end()) {
+        CountHit(shard);
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return it->second->second[static_cast<std::size_t>(w == u ? v : u)];
       }
     }
-    misses.fetch_add(1, std::memory_order_relaxed);
-    DIACA_OBS_COUNT("net.oracle.cache_misses", 1);
+    RowShard& shard = ShardOf(u);
+    CountMiss(shard);
     std::vector<double> row = BuildRow(u);
     const double d = row[static_cast<std::size_t>(v)];
-    std::lock_guard<std::mutex> lock(mu);
-    if (lru_index.find(u) == lru_index.end()) {
-      lru.emplace_front(u, std::move(row));
-      lru_index.emplace(u, lru.begin());
-      while (lru.size() > options.row_cache_capacity) {
-        evictions.fetch_add(1, std::memory_order_relaxed);
-        DIACA_OBS_COUNT("net.oracle.cache_evictions", 1);
-        lru_index.erase(lru.back().first);
-        lru.pop_back();
-      }
-    }
+    InsertRow(shard, u, std::move(row));
     return d;
   }
 
@@ -352,8 +392,22 @@ DistanceOracle DistanceOracle::FromGraph(const Graph& graph,
   impl->options = options;
   impl->options.row_cache_capacity =
       std::max<std::size_t>(options.row_cache_capacity, 1);
+  impl->options.row_cache_shards =
+      std::max<std::size_t>(options.row_cache_shards, 1);
   if (options.backend == OracleBackend::kRows) {
     impl->graph.emplace(graph);
+    const std::size_t num_shards = impl->options.row_cache_shards;
+    impl->shard_capacity =
+        (impl->options.row_cache_capacity + num_shards - 1) / num_shards;
+    impl->shards.reserve(num_shards);
+    for (std::size_t i = 0; i < num_shards; ++i) {
+      auto shard = std::make_unique<Impl::RowShard>();
+      shard->hits_metric =
+          "net.oracle.shard" + std::to_string(i) + ".cache_hits";
+      shard->misses_metric =
+          "net.oracle.shard" + std::to_string(i) + ".cache_misses";
+      impl->shards.push_back(std::move(shard));
+    }
     return DistanceOracle(std::move(impl));
   }
   const RowProvider row_of = [&graph](NodeIndex u) {
@@ -461,6 +515,12 @@ OracleStats DistanceOracle::stats() const {
   s.row_cache_misses = impl_->misses.load(std::memory_order_relaxed);
   s.row_builds = impl_->builds.load(std::memory_order_relaxed);
   s.row_evictions = impl_->evictions.load(std::memory_order_relaxed);
+  s.shard_hits.reserve(impl_->shards.size());
+  s.shard_misses.reserve(impl_->shards.size());
+  for (const auto& shard : impl_->shards) {
+    s.shard_hits.push_back(shard->hits.load(std::memory_order_relaxed));
+    s.shard_misses.push_back(shard->misses.load(std::memory_order_relaxed));
+  }
   return s;
 }
 

@@ -31,9 +31,12 @@
 //                  envelope per substrate).
 //
 // Thread safety: all query methods are safe to call concurrently; the
-// rows backend guards its LRU with a mutex and builds rows outside the
-// lock. Query results never depend on cache state, thread count, or
-// query order, so everything downstream stays bit-deterministic.
+// rows backend stripes its LRU across row_cache_shards independent
+// shards (shard = node % shards, one mutex each) and builds rows outside
+// any lock, so concurrent traversals touching different rows do not
+// serialize on a single cache lock. Query results never depend on cache
+// state, shard count, thread count, or query order, so everything
+// downstream stays bit-deterministic.
 #pragma once
 
 #include <cstdint>
@@ -74,6 +77,11 @@ struct OracleOptions {
   /// size() doubles. Capacity never affects query results, only rebuild
   /// frequency.
   std::size_t row_cache_capacity = 128;
+  /// Rows backend: number of independent LRU stripes (shard = node %
+  /// shards, one mutex each). Each shard retains
+  /// ceil(row_cache_capacity / shards) rows. Sharding never affects query
+  /// results, only lock contention and the eviction pattern.
+  std::size_t row_cache_shards = 4;
   /// Landmarks backend: number of pivots (farthest-point sampled,
   /// deterministic; clamped to size()).
   std::int32_t num_landmarks = 16;
@@ -94,6 +102,7 @@ struct OracleOptions {
 ///
 /// into OracleOptions. `backend` is an OracleBackendName; keys are
 ///   cache=N      row_cache_capacity (rows backend)
+///   shards=N     row_cache_shards (rows backend)
 ///   landmarks=K  num_landmarks
 ///   beacons=N    coord_beacons
 ///   rounds=N     coord_rounds
@@ -101,16 +110,22 @@ struct OracleOptions {
 ///   seed=N       sketch seed
 /// Unknown backends, unknown keys, malformed pairs, and non-positive
 /// values throw diaca::Error naming the offending token. Examples:
-/// "dense", "rows:cache=256", "coords:beacons=32,rounds=64,seed=7".
+/// "dense", "rows:cache=256,shards=8", "coords:beacons=32,rounds=64,seed=7".
 OracleOptions ParseOracleSpec(const std::string& spec);
 
 /// Monotonic query-layer counters (also exported as net.oracle.* obs
-/// metrics). Hits/misses only move on the rows backend.
+/// metrics; per-shard splits additionally as
+/// net.oracle.shard<k>.cache_{hits,misses}). Hits/misses only move on
+/// the rows backend.
 struct OracleStats {
   std::int64_t row_cache_hits = 0;
   std::int64_t row_cache_misses = 0;
   std::int64_t row_builds = 0;
   std::int64_t row_evictions = 0;
+  /// Per-stripe hit/miss splits (rows backend: one entry per cache
+  /// shard, summing to the totals above; empty otherwise).
+  std::vector<std::int64_t> shard_hits;
+  std::vector<std::int64_t> shard_misses;
 };
 
 class DistanceOracle {

@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 #include <vector>
 
@@ -323,13 +325,105 @@ TEST(ClientBlockViewTest, SolveStatsCountTilesOnStreamedBackendOnly) {
       SolverRegistry::Default().Solve("greedy", tiled, SolveOptions{});
   EXPECT_GT(rt.stats.tiles_loaded, 0);
   EXPECT_GT(rt.stats.tile_bytes_peak, 0);
-  // Pool buffers are tile-sized: the peak is bounded by pool_tiles full
-  // tiles of padded rows.
+  // Pool buffers are tile-sized: the sequential pipeline holds at most
+  // pool_tiles buffers, the fused traversal at most one per pool lane.
   const std::int64_t tile_bytes =
       static_cast<std::int64_t>(tile.tile_clients) *
       static_cast<std::int64_t>(tiled.client_block().server_stride()) *
       static_cast<std::int64_t>(sizeof(double));
-  EXPECT_LE(rt.stats.tile_bytes_peak, 2 * tile_bytes);
+  const std::int64_t max_buffers = std::max<std::int64_t>(
+      tile.pool_tiles, GlobalPool().num_threads());
+  EXPECT_LE(rt.stats.tile_bytes_peak, max_buffers * tile_bytes);
+}
+
+// The tile-pipeline determinism grid: every combination of prefetch
+// depth, buffer-pool size, thread count, and row-cache shard count must
+// produce the identical greedy assignment, bit-identical objective, and
+// bit-identical eccentricity fold. The pipeline only reorders WHEN tiles
+// are synthesized, never WHAT they contain, so nothing downstream may
+// move.
+TEST(ClientBlockViewTest, PipelineGridBitIdenticalAcrossDepthPoolThreadsShards) {
+  const Substrate sub = MakeSubstrate();
+  const Problem dense =
+      Problem::WithClientsEverywhere(sub.oracle, sub.servers);
+  const SolveResult want =
+      SolverRegistry::Default().Solve("greedy", dense, SolveOptions{});
+  const std::vector<double> want_ecc =
+      ServerEccentricities(dense, want.assignment);
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3}}) {
+    net::OracleOptions opt;
+    opt.backend = net::OracleBackend::kRows;
+    opt.row_cache_capacity = 8;  // force eviction churn under the grid
+    opt.row_cache_shards = shards;
+    const net::DistanceOracle oracle =
+        net::DistanceOracle::FromGraph(sub.graph, opt);
+    for (const std::int32_t pool_tiles : {1, 2, 4}) {
+      for (const std::int32_t depth : {0, 1, 3}) {
+        for (const int threads : {1, 4}) {
+          SetGlobalThreads(threads);
+          TileOptions tile;
+          tile.tile_clients = 9;  // does not divide |C|
+          tile.pool_tiles = pool_tiles;
+          tile.prefetch_depth = depth;
+          const Problem tiled = Problem::FromOracleTiled(
+              oracle, sub.servers, sub.clients, tile);
+          const SolveResult got =
+              SolverRegistry::Default().Solve("greedy", tiled, SolveOptions{});
+          ASSERT_EQ(want.assignment.server_of, got.assignment.server_of)
+              << "shards=" << shards << " pool=" << pool_tiles
+              << " depth=" << depth << " threads=" << threads;
+          ASSERT_EQ(want.stats.max_len, got.stats.max_len)
+              << "shards=" << shards << " pool=" << pool_tiles
+              << " depth=" << depth << " threads=" << threads;
+          ASSERT_EQ(want_ecc, ServerEccentricities(tiled, got.assignment))
+              << "shards=" << shards << " pool=" << pool_tiles
+              << " depth=" << depth << " threads=" << threads;
+        }
+      }
+    }
+  }
+  SetGlobalThreads(0);
+}
+
+// Re-entrant view use while a prefetching traversal is in flight: a
+// GatherColumn issued from inside the visitor (the exact shape of the
+// greedy batch re-gather) must return the same bits the materialized
+// block holds, while the traversal's own tiles stay exact. Runs under
+// the oracle label's TSan lane, so a racy pipeline fails loudly here.
+TEST(ClientBlockViewTest, GatherColumnDuringForEachTileStaysExact) {
+  const Substrate sub = MakeSubstrate(5, 2);  // tiny cache: rows churn
+  const Problem dense =
+      Problem::WithClientsEverywhere(sub.oracle, sub.servers);
+  TileOptions tile;
+  tile.tile_clients = 8;
+  tile.pool_tiles = 3;
+  tile.prefetch_depth = 2;
+  const Problem tiled =
+      Problem::FromOracleTiled(sub.oracle, sub.servers, sub.clients, tile);
+  const ClientBlockView& view = tiled.client_block();
+
+  std::vector<double> want_col(static_cast<std::size_t>(kNodes));
+  for (ClientIndex c = 0; c < kNodes; ++c) {
+    want_col[static_cast<std::size_t>(c)] = dense.client_block().cs(c, 0);
+  }
+  std::vector<ClientIndex> ids(static_cast<std::size_t>(kNodes));
+  std::iota(ids.begin(), ids.end(), 0);
+
+  std::atomic<std::int64_t> mismatches{0};
+  view.ForEachTile([&](const ClientTile& t, std::size_t) {
+    std::vector<double> col(static_cast<std::size_t>(kNodes));
+    view.GatherColumn(0, ids.data(), ids.size(), col.data());
+    for (std::size_t i = 0; i < col.size(); ++i) {
+      if (col[i] != want_col[i]) mismatches.fetch_add(1);
+    }
+    for (ClientIndex c = t.begin; c < t.end; ++c) {
+      const double* row = t.row(c);
+      for (ServerIndex s = 0; s < view.num_servers(); ++s) {
+        if (row[s] != dense.client_block().cs(c, s)) mismatches.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(ClientBlockViewTest, CloudBuildsIdenticalProblemWithoutMaterializing) {
@@ -420,9 +514,11 @@ TEST(OracleSpecTest, ParsesBackendsAndOptions) {
   const net::OracleOptions dense = net::ParseOracleSpec("dense");
   EXPECT_EQ(dense.backend, net::OracleBackend::kDense);
 
-  const net::OracleOptions rows = net::ParseOracleSpec("rows:cache=256");
+  const net::OracleOptions rows =
+      net::ParseOracleSpec("rows:cache=256,shards=8");
   EXPECT_EQ(rows.backend, net::OracleBackend::kRows);
   EXPECT_EQ(rows.row_cache_capacity, 256u);
+  EXPECT_EQ(rows.row_cache_shards, 8u);
 
   const net::OracleOptions lm = net::ParseOracleSpec("landmarks:landmarks=4");
   EXPECT_EQ(lm.backend, net::OracleBackend::kLandmarks);
@@ -448,6 +544,7 @@ TEST(OracleSpecTest, RejectsMalformedSpecs) {
   EXPECT_THROW(net::ParseOracleSpec("rows:cache=12x"), Error);
   EXPECT_THROW(net::ParseOracleSpec("rows:cache=0"), Error);
   EXPECT_THROW(net::ParseOracleSpec("rows:cache=-3"), Error);
+  EXPECT_THROW(net::ParseOracleSpec("rows:shards=0"), Error);
   EXPECT_THROW(net::ParseOracleSpec("rows:cache=1,"), Error);
   EXPECT_THROW(net::ParseOracleSpec("rows:unknown=1"), Error);
 }

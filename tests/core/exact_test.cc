@@ -69,7 +69,7 @@ TEST(ExactTest, SingleClientPicksItsRoundTripMinimizer) {
   const auto result = ExactAssign(p);
   ASSERT_TRUE(result.has_value());
   double best = 1e18;
-  for (ServerIndex s = 0; s < 4; ++s) best = std::min(best, 2.0 * p.cs(0, s));
+  for (ServerIndex s = 0; s < 4; ++s) best = std::min(best, 2.0 * p.client_block().cs(0, s));
   EXPECT_NEAR(result->max_len, best, 1e-9);
 }
 

@@ -89,7 +89,7 @@ TEST_P(LfbPropertyTest, ClientsNotOnNearestServerAreNotFarthest) {
   const auto far = ServerEccentricities(p, a);
   for (ClientIndex c = 0; c < p.num_clients(); ++c) {
     if (a[c] != NearestServerOf(p, c)) {
-      EXPECT_LE(p.cs(c, a[c]), far[static_cast<std::size_t>(a[c])] + 1e-12);
+      EXPECT_LE(p.client_block().cs(c, a[c]), far[static_cast<std::size_t>(a[c])] + 1e-12);
     }
   }
 }

@@ -20,7 +20,7 @@ double BruteForceLowerBound(const Problem& p) {
       double best = std::numeric_limits<double>::infinity();
       for (ServerIndex s = 0; s < p.num_servers(); ++s) {
         for (ServerIndex t = 0; t < p.num_servers(); ++t) {
-          best = std::min(best, p.cs(c, s) + p.ss(s, t) + p.cs(c2, t));
+          best = std::min(best, p.client_block().cs(c, s) + p.ss(s, t) + p.client_block().cs(c2, t));
         }
       }
       lb = std::max(lb, best);

@@ -131,7 +131,7 @@ TEST(NearestServerTest, UncapacitatedMinimizesClientServerDistance) {
   const Assignment a = NearestServerAssign(p);
   for (ClientIndex c = 0; c < p.num_clients(); ++c) {
     for (ServerIndex s = 0; s < p.num_servers(); ++s) {
-      EXPECT_LE(p.cs(c, a[c]), p.cs(c, s) + 1e-12);
+      EXPECT_LE(p.client_block().cs(c, a[c]), p.client_block().cs(c, s) + 1e-12);
     }
   }
 }

@@ -19,8 +19,8 @@ TEST(ProblemTest, ExtractsBlocksCorrectly) {
   const Problem p(m, servers, clients);
   EXPECT_EQ(p.num_servers(), 3);
   EXPECT_EQ(p.num_clients(), 4);
-  EXPECT_DOUBLE_EQ(p.cs(0, 0), m(0, 2));
-  EXPECT_DOUBLE_EQ(p.cs(3, 2), m(9, 7));
+  EXPECT_DOUBLE_EQ(p.client_block().cs(0, 0), m(0, 2));
+  EXPECT_DOUBLE_EQ(p.client_block().cs(3, 2), m(9, 7));
   EXPECT_DOUBLE_EQ(p.ss(0, 1), m(2, 5));
   EXPECT_DOUBLE_EQ(p.ss(2, 2), 0.0);
   EXPECT_EQ(p.server_node(1), 5);
@@ -33,10 +33,12 @@ TEST(ProblemTest, RowAccessorsMatchElements) {
   const std::vector<net::NodeIndex> servers{1, 4};
   const std::vector<net::NodeIndex> clients{0, 2, 6};
   const Problem p(m, servers, clients);
+  const double* raw = p.client_block().raw_block();
+  ASSERT_NE(raw, nullptr);
   for (ClientIndex c = 0; c < p.num_clients(); ++c) {
-    const double* row = p.cs_row(c);
+    const double* row = raw + static_cast<std::size_t>(c) * p.server_stride();
     for (ServerIndex s = 0; s < p.num_servers(); ++s) {
-      EXPECT_DOUBLE_EQ(row[s], p.cs(c, s));
+      EXPECT_DOUBLE_EQ(row[s], p.client_block().cs(c, s));
     }
   }
   for (ServerIndex a = 0; a < p.num_servers(); ++a) {
@@ -55,8 +57,10 @@ TEST(ProblemTest, RowsArePaddedToServerStride) {
   EXPECT_EQ(p.server_stride(), simd::PaddedStride(5));
   EXPECT_GT(p.server_stride(), static_cast<std::size_t>(p.num_servers()));
   // Pad lanes beyond |S| hold the 0.0 sentinel on every cs and ss row.
+  const double* raw = p.client_block().raw_block();
+  ASSERT_NE(raw, nullptr);
   for (ClientIndex c = 0; c < p.num_clients(); ++c) {
-    const double* row = p.cs_row(c);
+    const double* row = raw + static_cast<std::size_t>(c) * p.server_stride();
     for (std::size_t lane = static_cast<std::size_t>(p.num_servers());
          lane < p.server_stride(); ++lane) {
       EXPECT_EQ(row[lane], 0.0) << "cs row " << c << " lane " << lane;
@@ -71,7 +75,7 @@ TEST(ProblemTest, RowsArePaddedToServerStride) {
   }
   // Consecutive rows are stride apart, so Row(c+1) starts exactly at the
   // end of row c's padded span.
-  EXPECT_EQ(p.cs_row(1), p.cs_row(0) + p.server_stride());
+  EXPECT_EQ(p.client_block().server_stride(), p.server_stride());
   EXPECT_EQ(p.ss_row(1), p.ss_row(0) + p.server_stride());
 }
 
@@ -82,9 +86,9 @@ TEST(ProblemTest, NodeMayBeBothServerAndClient) {
   const std::vector<net::NodeIndex> clients{0, 1, 2, 3, 4};
   const Problem p(m, servers, clients);
   // A colocated client-server pair has distance zero.
-  EXPECT_DOUBLE_EQ(p.cs(0, 0), 0.0);
-  EXPECT_DOUBLE_EQ(p.cs(1, 1), 0.0);
-  EXPECT_GT(p.cs(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(p.client_block().cs(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(p.client_block().cs(1, 1), 0.0);
+  EXPECT_GT(p.client_block().cs(1, 0), 0.0);
 }
 
 TEST(ProblemTest, WithClientsEverywhere) {
@@ -130,7 +134,7 @@ TEST(ProblemTest, FromBlocksBuildsStreamedProblems) {
   EXPECT_EQ(p.num_clients(), 3);
   EXPECT_EQ(p.num_servers(), 2);
   EXPECT_EQ(p.client_node(2), 102);
-  EXPECT_EQ(p.cs(1, 1), 4.0);
+  EXPECT_EQ(p.client_block().cs(1, 1), 4.0);
   EXPECT_EQ(p.ss(0, 1), 7.0);
   EXPECT_EQ(p.ss(1, 1), 0.0);
 }

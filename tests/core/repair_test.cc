@@ -31,8 +31,8 @@ Assignment NearestSurvivorPatch(const Problem& p, const Assignment& current,
     double best_d = std::numeric_limits<double>::infinity();
     for (ServerIndex s = 0; s < p.num_servers(); ++s) {
       if (down[static_cast<std::size_t>(s)] != 0) continue;
-      if (p.cs(c, s) < best_d) {
-        best_d = p.cs(c, s);
+      if (p.client_block().cs(c, s) < best_d) {
+        best_d = p.client_block().cs(c, s);
         best = s;
       }
     }

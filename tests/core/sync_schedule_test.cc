@@ -80,7 +80,7 @@ TEST(SyncScheduleTest, OffsetFormulaMatchesPaper) {
     double longest_ingress = 0.0;
     for (ClientIndex c = 0; c < p.num_clients(); ++c) {
       longest_ingress =
-          std::max(longest_ingress, p.cs(c, a[c]) + p.ss(a[c], s));
+          std::max(longest_ingress, p.client_block().cs(c, a[c]) + p.ss(a[c], s));
     }
     EXPECT_NEAR(schedule.server_offset[static_cast<std::size_t>(s)],
                 max_path - longest_ingress, 1e-9);

@@ -20,8 +20,8 @@ TEST(TripleBoundTest, DetailedBoundReportsArgmaxPair) {
   double pair_bound = std::numeric_limits<double>::infinity();
   for (ServerIndex s = 0; s < p.num_servers(); ++s) {
     for (ServerIndex t = 0; t < p.num_servers(); ++t) {
-      pair_bound = std::min(pair_bound, p.cs(detail.first, s) + p.ss(s, t) +
-                                            p.cs(detail.second, t));
+      pair_bound = std::min(pair_bound, p.client_block().cs(detail.first, s) + p.ss(s, t) +
+                                            p.client_block().cs(detail.second, t));
     }
   }
   EXPECT_NEAR(pair_bound, detail.value, 1e-9);

@@ -72,7 +72,7 @@ TEST(StreamingTest, BlocksMatchDenseBruteForce) {
     const auto at = b.cloud.attach[static_cast<std::size_t>(c)];
     const double access = b.cloud.access_ms[static_cast<std::size_t>(c)];
     for (core::ServerIndex s = 0; s < p.num_servers(); ++s) {
-      ASSERT_EQ(p.cs(c, s),
+      ASSERT_EQ(p.client_block().cs(c, s),
                 access + dense(at, b.servers[static_cast<std::size_t>(s)]));
     }
   }
@@ -99,7 +99,7 @@ TEST(StreamingTest, DeterministicAcrossThreadCounts) {
   const core::Problem& pp = parallel.cloud.problem;
   for (core::ClientIndex c = 0; c < ps.num_clients(); ++c) {
     for (core::ServerIndex s = 0; s < ps.num_servers(); ++s) {
-      ASSERT_EQ(ps.cs(c, s), pp.cs(c, s));
+      ASSERT_EQ(ps.client_block().cs(c, s), pp.client_block().cs(c, s));
     }
   }
 }

@@ -122,6 +122,53 @@ TEST(DistanceOracleTest, StatsCountersTrackCacheBehavior) {
   EXPECT_GE(s.row_cache_hits, 1);
 }
 
+// The striped cache routes node u to shard u % shards; the per-shard
+// splits must account for every hit and miss the totals report.
+TEST(DistanceOracleTest, ShardStatsSumToTotalsAndRouteByNode) {
+  const Graph graph = SmallWaxman(60, 2);
+  OracleOptions opt = RowsOptions(8);
+  opt.row_cache_shards = 4;
+  const DistanceOracle rows = DistanceOracle::FromGraph(graph, opt);
+  std::vector<double> row(60);
+  rows.FillRow(0, row);  // miss on shard 0
+  rows.FillRow(0, row);  // hit on shard 0
+  rows.FillRow(1, row);  // miss on shard 1
+  const OracleStats s = rows.stats();
+  ASSERT_EQ(s.shard_hits.size(), 4u);
+  ASSERT_EQ(s.shard_misses.size(), 4u);
+  std::int64_t hit_sum = 0;
+  std::int64_t miss_sum = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    hit_sum += s.shard_hits[i];
+    miss_sum += s.shard_misses[i];
+  }
+  EXPECT_EQ(hit_sum, s.row_cache_hits);
+  EXPECT_EQ(miss_sum, s.row_cache_misses);
+  EXPECT_EQ(s.shard_hits[0], 1);
+  EXPECT_EQ(s.shard_misses[0], 1);
+  EXPECT_EQ(s.shard_misses[1], 1);
+  EXPECT_EQ(s.shard_hits[1], 0);
+}
+
+// Shard count is a concurrency knob, never a semantic one: answers match
+// bitwise between a single-stripe and a many-stripe cache even when both
+// churn.
+TEST(DistanceOracleTest, ShardCountNeverChangesAnswers) {
+  const Graph graph = SmallWaxman(80, 5);
+  OracleOptions one = RowsOptions(4);
+  one.row_cache_shards = 1;
+  OracleOptions many = RowsOptions(4);
+  many.row_cache_shards = 8;
+  const DistanceOracle a = DistanceOracle::FromGraph(graph, one);
+  const DistanceOracle b = DistanceOracle::FromGraph(graph, many);
+  Rng rng(21);
+  for (int i = 0; i < 2000; ++i) {
+    const auto u = static_cast<NodeIndex>(rng.NextBounded(80));
+    const auto v = static_cast<NodeIndex>(rng.NextBounded(80));
+    ASSERT_EQ(a.Distance(u, v), b.Distance(u, v));
+  }
+}
+
 TEST(DistanceOracleTest, ExactnessFlagPerBackend) {
   const Graph graph = SmallWaxman(40, 4);
   OracleOptions opt;
@@ -208,7 +255,7 @@ TEST(DistanceOracleTest, ProblemFromRowsOracleBitwiseEqualsDense) {
   ASSERT_EQ(pd.num_servers(), pr.num_servers());
   for (core::ClientIndex c = 0; c < pd.num_clients(); ++c) {
     for (core::ServerIndex s = 0; s < pd.num_servers(); ++s) {
-      ASSERT_EQ(pd.cs(c, s), pr.cs(c, s));
+      ASSERT_EQ(pd.client_block().cs(c, s), pr.client_block().cs(c, s));
     }
   }
   for (core::ServerIndex a = 0; a < pd.num_servers(); ++a) {
@@ -226,7 +273,7 @@ TEST(DistanceOracleTest, ProblemFromRowsOracleBitwiseEqualsDense) {
       core::Problem::WithClientsEverywhere(dense_oracle, servers);
   for (core::ClientIndex c = 0; c < pd.num_clients(); ++c) {
     for (core::ServerIndex s = 0; s < pd.num_servers(); ++s) {
-      ASSERT_EQ(pd.cs(c, s), po.cs(c, s));
+      ASSERT_EQ(pd.client_block().cs(c, s), po.client_block().cs(c, s));
     }
   }
 }

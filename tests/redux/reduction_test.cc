@@ -28,8 +28,8 @@ TEST(ReductionTest, Fig3NetworkShape) {
   EXPECT_EQ(cap.problem.num_servers(), 9);  // 3 groups x 3 subsets
   // Client c1 (element 0) links only to the subset-1 servers: distance 1.
   for (std::int32_t l = 0; l < 3; ++l) {
-    EXPECT_DOUBLE_EQ(cap.problem.cs(0, cap.ServerOf(l, 0)), 1.0);
-    EXPECT_GE(cap.problem.cs(0, cap.ServerOf(l, 1)), 2.0);
+    EXPECT_DOUBLE_EQ(cap.problem.client_block().cs(0, cap.ServerOf(l, 0)), 1.0);
+    EXPECT_GE(cap.problem.client_block().cs(0, cap.ServerOf(l, 1)), 2.0);
   }
   // Servers in different groups are adjacent; same group: distance 2.
   EXPECT_DOUBLE_EQ(cap.problem.ss(cap.ServerOf(0, 0), cap.ServerOf(1, 2)), 1.0);
@@ -115,8 +115,8 @@ TEST(ReductionTest, AssignmentDistanceIsOneForLinkedPairsOnly) {
   const CapInstance cap = BuildCapInstance(PaperExample(), 2);
   // Element 2 belongs to subset 2 only.
   for (std::int32_t l = 0; l < 2; ++l) {
-    EXPECT_DOUBLE_EQ(cap.problem.cs(2, cap.ServerOf(l, 2)), 1.0);
-    EXPECT_GE(cap.problem.cs(2, cap.ServerOf(l, 0)), 2.0);
+    EXPECT_DOUBLE_EQ(cap.problem.client_block().cs(2, cap.ServerOf(l, 2)), 1.0);
+    EXPECT_GE(cap.problem.client_block().cs(2, cap.ServerOf(l, 0)), 2.0);
   }
 }
 

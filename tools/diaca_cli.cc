@@ -76,14 +76,16 @@ int Usage() {
       "  dense|rows|landmarks|coords (dense: historical full matrix;\n"
       "  rows: exact lazy Dijkstra rows, sublinear memory;\n"
       "  landmarks/coords: estimates — evaluate also reports the true\n"
-      "  path length) and keys cache=N, landmarks=K, beacons=N,\n"
-      "  rounds=N, dims=N, seed=N (grammar in docs/CLI.md; the legacy\n"
-      "  --distances/--row-cache/--landmarks spellings still work for\n"
-      "  one release and warn).\n"
+      "  path length) and keys cache=N, shards=N, landmarks=K,\n"
+      "  beacons=N, rounds=N, dims=N, seed=N (grammar in docs/CLI.md;\n"
+      "  the legacy --distances/--row-cache/--landmarks spellings still\n"
+      "  work for one release and warn).\n"
       "  assign/evaluate/cloud accept --block=materialized|tiled\n"
       "  (tiled streams the client block through the oracle instead of\n"
-      "  materializing |C|x|S|; assignments are bit-identical) and\n"
-      "  --tile-clients=N (rows per streamed tile).\n"
+      "  materializing |C|x|S|; assignments are bit-identical),\n"
+      "  --tile-clients=N (rows per streamed tile) and --tile-depth=N\n"
+      "  (tile builds kept in flight ahead of the consumer; 0 disables\n"
+      "  prefetch).\n"
       "  every command also accepts --threads=N,\n"
       "  --apsp=auto|dijkstra|blocked (all-pairs shortest-path backend\n"
       "  for graph substrates), --faults=SPEC (inject server crashes,\n"
@@ -150,6 +152,14 @@ bool TiledBlockRequested(const Flags& flags, core::TileOptions* tile) {
       static_cast<std::int32_t>(flags.GetInt("tile-clients", 8192));
   DIACA_CHECK_MSG(tile->tile_clients >= 1,
                   "--tile-clients must be >= 1, got " << tile->tile_clients);
+  // --tile-depth=N keeps N tile builds in flight ahead of the consumer
+  // (pool of N + 1 buffers); 0 disables prefetch. Results are identical
+  // at every depth — the knob only trades memory for overlap.
+  const auto depth =
+      static_cast<std::int32_t>(flags.GetInt("tile-depth", 2));
+  DIACA_CHECK_MSG(depth >= 0, "--tile-depth must be >= 0, got " << depth);
+  tile->prefetch_depth = depth;
+  tile->pool_tiles = depth + 1;
   return true;
 }
 
@@ -555,7 +565,7 @@ int main(int argc, char** argv) {
                        "assignment", "duration-ms", "ops-per-second", "apsp",
                        "failover", "distances", "graph", "clients",
                        "row-cache", "landmarks", "oracle", "block",
-                       "tile-clients", "rss-budget-mb"});
+                       "tile-clients", "tile-depth", "rss-budget-mb"});
     net::SetDefaultApspBackend(
         net::ParseApspBackend(flags.GetString("apsp", "auto")));
     net::SetDefaultOracleBackend(
