@@ -13,12 +13,16 @@
 //      distance) must match BITWISE, and greedy must return the identical
 //      assignment. This is the acceptance gate for using rows as a
 //      drop-in dense replacement.
-//   2. quality — landmark and coordinate backends plan an assignment on
-//      their estimates; the plan is then scored against ground truth
-//      (exact rows / the dense matrix). Reports the planned-vs-true
-//      objective gap and the median relative error of raw distance
-//      estimates, on a routed Waxman graph and a measured-style
-//      meridian-like matrix.
+//   2. quality — landmark, coordinate, and hub-label backends plan an
+//      assignment on their estimates; the plan is then scored against
+//      ground truth (exact rows / the dense matrix). Reports the
+//      planned-vs-true objective gap, the median relative error of raw
+//      distance estimates, and the sandwich violation fraction both raw
+//      (pre-repair) and as served by DistanceBounds (post-repair), on a
+//      routed Waxman graph and a measured-style meridian-like matrix.
+//      Hub labels must match the exact rows up to re-association; the
+//      repaired landmark sandwich must hold near its calibrated
+//      quantile even where the raw one collapses.
 //   3. scale — streaming client clouds (10k / 100k / 1M clients by
 //      default) attached to a --substrate-nodes Waxman substrate, solved
 //      end to end through the rows oracle. Records wall time, peak RSS,
@@ -28,9 +32,12 @@
 //      (--tiled-servers servers; 0 = auto: 1000 at the 1M committed
 //      scale, 64 otherwise): once streaming the client block through
 //      core::OracleTileView (never materializing |C|x|S|) and once with
-//      the materialized block. The assignments must be identical; the
-//      report records the runtime ratio, the tiled stage's peak RSS, and
-//      the block footprint the streamed run avoided. This phase runs
+//      the materialized block, plus an unpruned streamed control that
+//      certifies bound pruning as a pure accelerator (identical
+//      assignment, bitwise objective, tiles_pruned > 0, prune_speedup
+//      reported). The assignments must be identical; the report records
+//      the runtime ratio, the tiled stage's peak RSS, and the block
+//      footprint the streamed run avoided. This phase runs
 //      LAST — peak RSS is process-monotonic, and the materialized
 //      control's multi-GB block would poison every scale-phase RSS
 //      reading that came after it; the scale footprints (hundreds of
@@ -86,11 +93,15 @@ struct QualityResult {
   double true_d = 0.0;     // ground-truth objective of the estimated plan
   double gap = 0.0;        // (true_d - exact_d) / exact_d
   double median_rel_err = 0.0;
-  // lower <= truth <= upper on sampled pairs. Guaranteed only on routed
-  // graphs; measured-style matrices violate the triangle inequality, so
-  // there we just report the violation fraction.
+  // lower <= truth <= upper on sampled pairs, reported both for the raw
+  // sketch sandwich and for the repaired one DistanceBounds serves.
+  // Raw bounds are guaranteed only on routed (metric) graphs;
+  // measured-style matrices violate the triangle inequality and break
+  // them wholesale. The repaired sandwich must hold near its calibrated
+  // quantile on every substrate.
   bool sandwich_ok = true;
-  double sandwich_violations = 0.0;
+  double sandwich_violations = 0.0;      // post-repair (DistanceBounds)
+  double sandwich_violations_raw = 0.0;  // pre-repair (RawDistanceBounds)
 };
 
 struct ScaleResult {
@@ -156,17 +167,20 @@ ParityResult RunParity(std::int32_t nodes, std::uint64_t seed) {
 }
 
 // Median of |est - true| / true over a deterministic sample of pairs.
-// `sandwich_violations` gets the fraction of sampled pairs where the
-// landmark bounds fail to bracket the truth (nonzero only when the
-// underlying distances violate the triangle inequality).
+// `sandwich_violations` / `raw_violations` get the fraction of sampled
+// pairs where the repaired / raw sketch bounds fail to bracket the
+// truth (nonzero for raw bounds whenever the underlying distances
+// violate the triangle inequality; the repaired fraction must stay near
+// the calibrated quantile).
 double MedianRelErr(const net::DistanceOracle& est,
                     const net::DistanceOracle& truth, std::uint64_t seed,
-                    double* sandwich_violations) {
+                    double* sandwich_violations, double* raw_violations) {
   Rng rng(seed);
   const net::NodeIndex n = truth.size();
   std::vector<double> errs;
   std::int64_t checked = 0;
   std::int64_t violated = 0;
+  std::int64_t raw_violated = 0;
   constexpr std::int32_t kPairs = 4000;
   for (std::int32_t i = 0; i < kPairs; ++i) {
     const auto u = static_cast<net::NodeIndex>(
@@ -177,16 +191,21 @@ double MedianRelErr(const net::DistanceOracle& est,
     const double t = truth.Distance(u, v);
     if (t <= 0.0) continue;
     errs.push_back(std::abs(est.Distance(u, v) - t) / t);
-    // The landmark sandwich is a certificate; coords bounds are the point
-    // estimate on both sides and are exempt.
-    if (est.backend() == net::OracleBackend::kLandmarks) {
+    // The landmark and hub-label sandwiches are certificates; coords
+    // bounds are the point estimate on both sides and are exempt.
+    if (est.backend() == net::OracleBackend::kLandmarks ||
+        est.backend() == net::OracleBackend::kHubLabels) {
       const auto [lo, hi] = est.DistanceBounds(u, v);
+      const auto [rlo, rhi] = est.RawDistanceBounds(u, v);
       ++checked;
       if (!(lo <= t + 1e-9 && t <= hi + 1e-9)) ++violated;
+      if (!(rlo <= t + 1e-9 && t <= rhi + 1e-9)) ++raw_violated;
     }
   }
   *sandwich_violations =
       checked > 0 ? static_cast<double>(violated) / checked : 0.0;
+  *raw_violations =
+      checked > 0 ? static_cast<double>(raw_violated) / checked : 0.0;
   std::sort(errs.begin(), errs.end());
   return errs.empty() ? 0.0 : errs[errs.size() / 2];
 }
@@ -215,7 +234,8 @@ QualityResult RunQualityCase(const char* substrate_name,
   q.gap = q.exact_d > 0.0 ? (q.true_d - q.exact_d) / q.exact_d : 0.0;
 
   q.median_rel_err =
-      MedianRelErr(est, truth, seed ^ 0x5151, &q.sandwich_violations);
+      MedianRelErr(est, truth, seed ^ 0x5151, &q.sandwich_violations,
+                   &q.sandwich_violations_raw);
   q.sandwich_ok = q.sandwich_violations == 0.0;
   return q;
 }
@@ -234,6 +254,14 @@ struct TiledResult {
   std::int64_t tiles_loaded = 0;
   std::int64_t tile_bytes_peak = 0;
   double tile_pool_peak_mb = 0.0;
+  // Bound-driven filter-and-refine telemetry: the pruned streamed solve
+  // vs an unpruned streamed control. Pruning must be a pure
+  // accelerator — identical assignment, bitwise objective — and must
+  // actually engage (tiles_pruned > 0).
+  std::int64_t tiles_pruned = 0;
+  double unpruned_greedy_ms = 0.0;
+  double prune_speedup = 0.0;  // unpruned greedy / pruned greedy
+  bool prune_identical = false;
   // Per-stripe row-cache traffic during the tiled stage (build + greedy),
   // one entry per shard of the rows oracle's striped LRU.
   std::vector<std::int64_t> shard_hits;
@@ -282,6 +310,7 @@ TiledResult RunTiled(std::int32_t substrate_nodes, std::int64_t clients,
     tiled_d = core::MaxInteractionPathLength(cloud.problem, tiled_a);
     const core::ClientBlockStats stats = cloud.problem.client_block().stats();
     r.tiles_loaded = stats.tiles_loaded;
+    r.tiles_pruned = stats.tiles_pruned;
     r.tile_bytes_peak = stats.tile_bytes_peak;
     r.tile_pool_peak_mb =
         static_cast<double>(stats.tile_bytes_peak) / (1024.0 * 1024.0);
@@ -300,6 +329,24 @@ TiledResult RunTiled(std::int32_t substrate_nodes, std::int64_t clients,
     }
   }
   r.tiled_rss_mb = benchutil::PeakRssMb();
+
+  // Unpruned streamed control: bound pruning must change nothing but the
+  // wall clock.
+  {
+    const data::ClientCloud cloud =
+        data::BuildClientCloud(params, seed, oracle, servers);
+    core::AssignOptions no_prune;
+    no_prune.bound_pruning = false;
+    Timer t;
+    const core::Assignment a = core::GreedyAssign(cloud.problem, no_prune);
+    r.unpruned_greedy_ms = t.ElapsedMillis();
+    r.prune_identical =
+        a.server_of == tiled_a.server_of &&
+        core::MaxInteractionPathLength(cloud.problem, a) == tiled_d;
+  }
+  r.prune_speedup = r.tiled_greedy_ms > 0.0
+                        ? r.unpruned_greedy_ms / r.tiled_greedy_ms
+                        : 0.0;
 
   params.materialize_block = true;
   {
@@ -390,6 +437,8 @@ void WriteJson(const std::string& path, std::uint64_t seed,
     AppendJsonNumber(os, q.gap);
     os << ", \"median_rel_err\": ";
     AppendJsonNumber(os, q.median_rel_err);
+    os << ", \"sandwich_violation_frac_raw\": ";
+    AppendJsonNumber(os, q.sandwich_violations_raw);
     os << ", \"sandwich_violation_frac\": ";
     AppendJsonNumber(os, q.sandwich_violations);
     os << "}"
@@ -417,6 +466,13 @@ void WriteJson(const std::string& path, std::uint64_t seed,
      << ", \"tile_bytes_peak\": " << tiled.tile_bytes_peak
      << ", \"tile_pool_peak_mb\": ";
   AppendJsonNumber(os, tiled.tile_pool_peak_mb);
+  os << ",\n   \"tiles_pruned\": " << tiled.tiles_pruned
+     << ", \"unpruned_greedy_ms\": ";
+  AppendJsonNumber(os, tiled.unpruned_greedy_ms);
+  os << ", \"prune_speedup\": ";
+  AppendJsonNumber(os, tiled.prune_speedup);
+  os << ", \"pruned_vs_unpruned_identical\": "
+     << (tiled.prune_identical ? "true" : "false");
   os << ",\n   \"shard_hits\": [";
   for (std::size_t i = 0; i < tiled.shard_hits.size(); ++i) {
     os << (i ? ", " : "") << tiled.shard_hits[i];
@@ -514,8 +570,11 @@ int main(int argc, char** argv) {
         net::DistanceOracle::FromGraph(graph, rows_opt);
     const std::vector<net::NodeIndex> sv =
         placement::KCenterFarthest(truth, servers);
+    // Hub labels only build from a sparse graph, so they appear on the
+    // routed substrate but not the measured matrix below.
     for (const net::OracleBackend backend :
-         {net::OracleBackend::kLandmarks, net::OracleBackend::kCoords}) {
+         {net::OracleBackend::kLandmarks, net::OracleBackend::kCoords,
+          net::OracleBackend::kHubLabels}) {
       net::OracleOptions opt;
       opt.backend = backend;
       opt.num_landmarks = num_landmarks;
@@ -548,7 +607,7 @@ int main(int argc, char** argv) {
     }
   }
   Table qtable({"substrate", "backend", "exact-D", "planned-D", "true-D",
-                "gap", "med-rel-err", "tiv-frac"});
+                "gap", "med-rel-err", "tiv-raw", "tiv-repaired"});
   bool graph_sandwich = true;
   for (const QualityResult& q : quality) {
     if (std::string(q.substrate) == "waxman") graph_sandwich &= q.sandwich_ok;
@@ -560,6 +619,7 @@ int main(int argc, char** argv) {
         .Cell(FormatDouble(q.true_d, 1))
         .Cell(FormatDouble(q.gap, 3))
         .Cell(FormatDouble(q.median_rel_err, 3))
+        .Cell(FormatDouble(q.sandwich_violations_raw, 3))
         .Cell(FormatDouble(q.sandwich_violations, 3));
   }
   std::cout << "estimated-backend quality (plan on estimate, score on "
@@ -567,14 +627,29 @@ int main(int argc, char** argv) {
   qtable.Print(std::cout);
   ok &= benchutil::CheckShape(
       graph_sandwich,
-      "landmark bounds sandwich the true distance on every sampled pair of "
-      "the routed graph (matrix substrates may violate the triangle "
+      "sketch bounds sandwich the true distance on every sampled pair of "
+      "the routed graph (raw matrix substrates may violate the triangle "
       "inequality)");
   for (const QualityResult& q : quality) {
     ok &= benchutil::CheckShape(
         std::isfinite(q.true_d) && q.true_d > 0.0,
         std::string("finite quality evaluation for ") + q.substrate + "/" +
             q.backend);
+    if (std::string(q.backend) == "hublabels") {
+      ok &= benchutil::CheckShape(
+          q.median_rel_err < 1e-9,
+          "hub-label distances match the exact rows up to re-association");
+    }
+    // The repaired sandwich must stay near its calibrated quantile even
+    // where the raw certificate collapses (meridian-like raw violation
+    // is ~95%).
+    if (std::string(q.backend) == "landmarks") {
+      ok &= benchutil::CheckShape(
+          q.sandwich_violations <= 0.05,
+          std::string("repaired landmark sandwich holds on ") + q.substrate +
+              " (raw violation " + FormatDouble(q.sandwich_violations_raw, 3) +
+              ", repaired " + FormatDouble(q.sandwich_violations, 3) + ")");
+    }
   }
 
   std::vector<std::int64_t> scales;
@@ -659,6 +734,11 @@ int main(int argc, char** argv) {
             << "x, block equivalent " << FormatDouble(tiled.block_equiv_mb, 0)
             << " MB avoided, " << tiled.tiles_loaded << " tiles ("
             << FormatDouble(tiled.tile_pool_peak_mb, 1) << " MB pool peak)\n";
+  std::cout << "  filter-and-refine: " << tiled.tiles_pruned
+            << " tiles pruned, unpruned control "
+            << FormatDouble(tiled.unpruned_greedy_ms / 1e3, 2) << " s ("
+            << FormatDouble(tiled.prune_speedup, 2) << "x speedup), results "
+            << (tiled.prune_identical ? "identical" : "DIFFER") << "\n";
   std::cout << "  row-cache shards hit/miss:";
   for (std::size_t i = 0; i < tiled.shard_hits.size(); ++i) {
     std::cout << " " << tiled.shard_hits[i] << "/" << tiled.shard_misses[i];
@@ -668,6 +748,13 @@ int main(int argc, char** argv) {
       tiled.assignment_identical && tiled.objective_bitwise,
       "greedy on the streamed client block reproduces the materialized "
       "solve exactly");
+  ok &= benchutil::CheckShape(
+      tiled.prune_identical,
+      "bound pruning changes neither the assignment nor the objective "
+      "(bitwise) on the streamed solve");
+  ok &= benchutil::CheckShape(
+      tiled.tiles_pruned > 0,
+      "bound pruning engages on the streamed solve (tiles_pruned > 0)");
   // At smoke scales the avoided block (tens of MB) drowns in the RSS the
   // earlier phases already accumulated, so the memory claim is only
   // checkable at the committed multi-GB shape.

@@ -10,7 +10,9 @@
 # distance-oracle suite (`oracle` label: lazy-row bit parity, LRU cache,
 # streaming clouds, concurrent queries) again under ThreadSanitizer and
 # AddressSanitizer+UBSan. A bench_oracle smoke proves a 100k-client solve
-# through the rows backend stays inside a hard RSS budget.
+# through the rows backend stays inside a hard RSS budget, and a
+# filter-and-refine smoke proves bound pruning on the landmark backend
+# changes nothing but the wall clock (objective stable, tiles pruned).
 # Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -57,6 +59,34 @@ cmake -DJSON_FILE="$obs_dir/bench_oracle_smoke.json" \
 ./build/tools/diaca cloud --nodes=2000 --clients=1000000 --servers=64 \
   --block=tiled --tile-depth=4 --rss-budget-mb=440 \
   > "$obs_dir/cloud_tiled.log"
+
+# Filter-and-refine smoke: the 100k-client cloud on the landmark-sketch
+# backend, solved with bound pruning on and off. Pruning must be a pure
+# accelerator: the objective must not move, and the pruned run must
+# actually skip work (tiles pruned > 0). The bench_oracle smoke above
+# additionally verifies the pruned-vs-unpruned assignment and objective
+# bitwise (unformatted doubles) on the rows backend.
+prune_cmd=(./build/tools/diaca cloud --nodes=2000 --clients=100000
+  --servers=16 --block=tiled --oracle=landmarks:landmarks=16)
+"${prune_cmd[@]}" --prune=on > "$obs_dir/cloud_prune_on.log"
+"${prune_cmd[@]}" --prune=off > "$obs_dir/cloud_prune_off.log"
+d_on=$(grep 'max interaction path' "$obs_dir/cloud_prune_on.log")
+d_off=$(grep 'max interaction path' "$obs_dir/cloud_prune_off.log")
+if [ "$d_on" != "$d_off" ]; then
+  echo "FAIL: bound pruning changed the objective: '$d_on' vs '$d_off'" >&2
+  exit 1
+fi
+pruned=$(grep 'tiles pruned' "$obs_dir/cloud_prune_on.log" | awk '{print $NF}')
+if [ "${pruned:-0}" -eq 0 ]; then
+  echo "FAIL: bound pruning never engaged (tiles pruned == 0)" >&2
+  exit 1
+fi
+unpruned=$(grep 'tiles pruned' "$obs_dir/cloud_prune_off.log" \
+  | awk '{print $NF}')
+if [ "${unpruned:-0}" -ne 0 ]; then
+  echo "FAIL: --prune=off still reports pruned tiles ($unpruned)" >&2
+  exit 1
+fi
 
 # Vectorized build: the kernel property suite, the APSP engine suite, and
 # the backend/thread determinism grid must also pass with the AVX2 code

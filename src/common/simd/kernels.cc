@@ -182,11 +182,13 @@ CandidateResult BestCandidateScalar(const double* dists, std::size_t n,
   const double room_d = static_cast<double>(room);
   CandidateResult best;
   best.cost = cutoff;
+  best.lb = kInf;
   for (std::size_t p = 0; p < n; ++p) {
     const double d = dists[p];
     const double len = std::max(std::max(2.0 * d, d + reach), max_len);
     const double dn = std::min(static_cast<double>(p) + 1.0, room_d);
     const double cost = (len - max_len) / dn;
+    best.lb = std::min(best.lb, cost);
     if (cost < best.cost) {
       best.cost = cost;
       best.len = len;
@@ -206,11 +208,13 @@ CandidateResult BestCandidateGatherScalar(const double* col,
   const double room_d = static_cast<double>(room);
   CandidateResult best;
   best.cost = cutoff;
+  best.lb = kInf;
   for (std::size_t p = 0; p < n; ++p) {
     const double d = GatherPlusLane(col, rows, access, ids, p);
     const double len = std::max(std::max(2.0 * d, d + reach), max_len);
     const double dn = std::min(static_cast<double>(p) + 1.0, room_d);
     const double cost = (len - max_len) / dn;
+    best.lb = std::min(best.lb, cost);
     if (cost < best.cost) {
       best.cost = cost;
       best.len = len;
@@ -338,19 +342,36 @@ inline double CandidateBlockBound(const double* dists, std::size_t p0,
   return delta0 / std::min(static_cast<double>(p1), room_d);
 }
 
+// Blocks covering [p0, n) — what a bound-certified break leaves untouched.
+inline std::int64_t BlocksFrom(std::size_t p0, std::size_t n) {
+  return static_cast<std::int64_t>((n - p0 + kCandidateBlock - 1) /
+                                   kCandidateBlock);
+}
+
 CandidateResult BestCandidatePortable(const double* dists, std::size_t n,
                                       double reach, double max_len,
                                       std::int32_t room, double cutoff) {
   const double room_d = static_cast<double>(room);
   double best_cost = cutoff;
+  double lbmin = kInf;
+  std::int64_t pruned = 0;
   for (std::size_t p0 = 0; p0 < n; p0 += kCandidateBlock) {
     const std::size_t p1 = std::min(n, p0 + kCandidateBlock);
-    if (CandidateBlockBound(dists, p0, p1, reach, max_len, room_d) >=
-        best_cost) {
+    const double bound =
+        CandidateBlockBound(dists, p0, p1, reach, max_len, room_d);
+    // Every cost in the block is >= its bound, so the running min of the
+    // block bounds certifies CandidateResult::lb over the whole list.
+    lbmin = std::min(lbmin, bound);
+    if (bound >= best_cost) {
       // No strict improvement possible in this block. Once dn is capped at
       // room, costs are non-decreasing from here on, so nothing later can
-      // improve either.
-      if (static_cast<double>(p0) + 1.0 >= room_d) break;
+      // improve either — and for the same reason this block's bound also
+      // lower-bounds the untouched suffix, keeping lbmin certified.
+      if (static_cast<double>(p0) + 1.0 >= room_d) {
+        pruned += BlocksFrom(p0, n);
+        break;
+      }
+      ++pruned;
       continue;
     }
     double blk = kInf;
@@ -365,6 +386,8 @@ CandidateResult BestCandidatePortable(const double* dists, std::size_t n,
   }
   CandidateResult best;
   best.cost = cutoff;
+  best.blocks_pruned = pruned;
+  best.lb = lbmin;
   // best_cost == cutoff means no candidate beat the seed (an update is
   // always a strict decrease), so the rescan would match the cutoff
   // value itself — return the no-find result instead.
@@ -444,6 +467,8 @@ CandidateResult BestCandidateGatherPortable(
   // bound only needs the block's first (smallest) distance.
   alignas(64) double buf[kCandidateBlock];
   double best_cost = cutoff;
+  double lbmin = kInf;
+  std::int64_t pruned = 0;
   for (std::size_t p0 = 0; p0 < n; p0 += kCandidateBlock) {
     const std::size_t p1 = std::min(n, p0 + kCandidateBlock);
     const double d0 = GatherPlusLane(col, rows, access, ids, p0);
@@ -451,8 +476,15 @@ CandidateResult BestCandidateGatherPortable(
         std::max(std::max(2.0 * d0, d0 + reach), max_len) - max_len;
     const double bound =
         delta0 / std::min(static_cast<double>(p1), room_d);
+    // See BestCandidatePortable: block bounds certify lb, including over
+    // the suffix a room-capped break leaves untouched.
+    lbmin = std::min(lbmin, bound);
     if (bound >= best_cost) {
-      if (static_cast<double>(p0) + 1.0 >= room_d) break;
+      if (static_cast<double>(p0) + 1.0 >= room_d) {
+        pruned += BlocksFrom(p0, n);
+        break;
+      }
+      ++pruned;
       continue;
     }
     const std::size_t len_blk = p1 - p0;
@@ -476,6 +508,8 @@ CandidateResult BestCandidateGatherPortable(
   }
   CandidateResult best;
   best.cost = cutoff;
+  best.blocks_pruned = pruned;
+  best.lb = lbmin;
   // See BestCandidatePortable: best_cost == cutoff means nothing beat
   // the seeded incumbent.
   if (n == 0 || !(best_cost < cutoff)) return best;
@@ -835,6 +869,90 @@ void ArgsortDistIndex(const double* dist, std::int32_t* idx, std::size_t n) {
     idx[i] = static_cast<std::int32_t>(src[i].val);
   }
   CountScan((8 + 8 + 16 * passes_run) * n);
+}
+
+void ArgsortGatherDistIndex(const double* col, const std::int32_t* rows,
+                            const double* access, std::int32_t* idx,
+                            std::size_t n) {
+  if (n == 0) return;
+  if (n == 1) {
+    idx[0] = 0;
+    return;
+  }
+  // Pass A: gather each key once (col is node-indexed and substrate-sized,
+  // so the random reads stay cache-resident) and record the exact range.
+  // The gathered doubles park in a client-indexed scratch so the later
+  // passes and the tie fix-up never re-walk the indirection chain.
+  thread_local std::vector<double> dvals;
+  dvals.resize(n);
+  if (access != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) {
+      dvals[i] = access[i] + col[static_cast<std::size_t>(rows[i])];
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      dvals[i] = col[static_cast<std::size_t>(rows[i])];
+    }
+  }
+  // Same two-level scheme as ArgsortDistIndex: a 4-pass LSD radix over
+  // the monotone float32 narrowing of each key (nonnegative distances,
+  // so the raw float bits sort ascending as unsigned), then an exact
+  // fix-up re-sorting each run of equal float32 keys by (double, index).
+  // The 256-bin passes keep the scatter's write streams cache-resident,
+  // which a coarser quantized key with wider histograms does not.
+  struct Entry {
+    std::uint32_t key;
+    std::uint32_t val;
+  };
+  thread_local std::vector<Entry> ping;
+  thread_local std::vector<Entry> pong;
+  ping.resize(n);
+  pong.resize(n);
+  std::uint32_t hist[4][256] = {};
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto f = static_cast<float>(dvals[i]);
+    std::uint32_t k;
+    std::memcpy(&k, &f, sizeof(k));
+    ping[i] = {k, static_cast<std::uint32_t>(i)};
+    for (int p = 0; p < 4; ++p) ++hist[p][(k >> (8 * p)) & 0xff];
+  }
+  Entry* src = ping.data();
+  Entry* dst = pong.data();
+  std::size_t passes_run = 0;
+  for (int p = 0; p < 4; ++p) {
+    const std::uint32_t* h = hist[p];
+    if (h[(src[0].key >> (8 * p)) & 0xff] == n) continue;  // identity pass
+    ++passes_run;
+    std::uint32_t offsets[256];
+    std::uint32_t sum = 0;
+    for (int d = 0; d < 256; ++d) {
+      offsets[d] = sum;
+      sum += h[d];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[offsets[(src[i].key >> (8 * p)) & 0xff]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  // Exact fix-up: the radix is stable and vals entered ascending, so an
+  // equal-key run only needs re-sorting when its doubles actually differ.
+  std::size_t run = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (i < n && src[i].key == src[run].key) continue;
+    if (i - run > 1) {
+      std::sort(src + run, src + i, [&](const Entry& a, const Entry& b) {
+        const double da = dvals[a.val];
+        const double db = dvals[b.val];
+        if (da != db) return da < db;
+        return a.val < b.val;
+      });
+    }
+    run = i;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    idx[i] = static_cast<std::int32_t>(src[i].val);
+  }
+  CountScan((16 + 8 + 16 * passes_run) * n);
 }
 
 }  // namespace diaca::simd

@@ -42,6 +42,23 @@ struct CandidateResult {
   double cost = 0.0;  // == the caller's cutoff when pos == -1
   double len = 0.0;
   std::int64_t pos = -1;
+  /// 512-entry candidate blocks the bound certified-skipped without
+  /// touching (gathering) their lanes. Advisory telemetry for the
+  /// filter-and-refine counters: the scalar reference backend scans
+  /// element-wise and always reports 0, so unlike cost/len/pos this field
+  /// is NOT part of the cross-backend determinism contract.
+  std::int64_t blocks_pruned = 0;
+  /// Certified lower bound on the exact minimum cost over ALL n lanes,
+  /// independent of the cutoff: the min over every block's bound (each
+  /// bound is <= every cost in its block — the same fl-monotonicity
+  /// argument the pruning relies on; the scalar reference reports the
+  /// exact minimum itself). On a miss this can sit far ABOVE the cutoff
+  /// — e.g. a server nowhere near the incumbent — and callers may
+  /// memoize it to skip future scans entirely. Like blocks_pruned, its
+  /// VALUE is backend-dependent (tightness varies); only its soundness
+  /// is contractual, so it must never feed the solution itself, only
+  /// control-flow that is already order-independent.
+  double lb = 0.0;
 };
 
 /// max over i in [0, n) with far[i] >= 0 of (base + row[i]) + far[i];
@@ -198,5 +215,23 @@ void RadixSortDistIndex(double* dist, std::int32_t* idx, std::size_t n);
 /// idx are non-negative finite doubles, and idx arrives ascending within
 /// equal distances (e.g. the identity permutation).
 void ArgsortDistIndex(const double* dist, std::int32_t* idx, std::size_t n);
+
+/// Fused gather + argsort for the streamed greedy preprocessing: writes
+/// into idx the permutation of [0, n) that sorts the oracle-view column
+///   d(i) = access[i] + col[rows[i]]     (null access: the raw col leg)
+/// ascending, ties by index — bit-for-bit the order ArgsortDistIndex
+/// produces on the gathered column, without ever materializing it. idx is
+/// output-only (no identity pre-fill needed). Internally a 2-pass 11-bit
+/// LSD radix over a monotone quantization of each key — the quantization
+/// scale is derived from the column's exact min/max, so the mapping (a
+/// correctly-rounded subtract + multiply of non-negative finite doubles)
+/// is monotone non-decreasing and ties are repaired by an exact
+/// (double, index) re-sort of equal-key runs. Integer permutation work
+/// plus monotone key maps only: one implementation, every backend and
+/// thread count bit-identical. Preconditions: gathered distances are
+/// non-negative finite doubles (the latency-matrix invariant).
+void ArgsortGatherDistIndex(const double* col, const std::int32_t* rows,
+                            const double* access, std::int32_t* idx,
+                            std::size_t n);
 
 }  // namespace diaca::simd

@@ -202,6 +202,12 @@ inline double BlockBound(const double* dists, std::size_t p0, std::size_t p1,
   return delta0 / std::min(static_cast<double>(p1), room_d);
 }
 
+// Blocks covering [p0, n) — what a bound-certified break leaves untouched.
+inline std::int64_t BlocksFrom(std::size_t p0, std::size_t n) {
+  return static_cast<std::int64_t>((n - p0 + kCandidateBlock - 1) /
+                                   kCandidateBlock);
+}
+
 }  // namespace
 
 CandidateResult BestCandidate(const double* dists, std::size_t n,
@@ -215,12 +221,23 @@ CandidateResult BestCandidate(const double* dists, std::size_t n,
   const __m256d vfour = _mm256_set1_pd(4.0);
   const __m256d vlane1 = _mm256_set_pd(4.0, 3.0, 2.0, 1.0);
   double best_cost = cutoff;
+  double lbmin = kInf;
+  std::int64_t pruned = 0;
   for (std::size_t p0 = 0; p0 < n; p0 += kCandidateBlock) {
     const std::size_t p1 = std::min(n, p0 + kCandidateBlock);
-    if (BlockBound(dists, p0, p1, reach, max_len, room_d) >= best_cost) {
+    const double bound = BlockBound(dists, p0, p1, reach, max_len, room_d);
+    // Every cost in the block is >= its bound, so the running min of the
+    // block bounds certifies CandidateResult::lb (a room-capped break's
+    // untouched suffix is covered by the same monotonicity).
+    lbmin = std::min(lbmin, bound);
+    if (bound >= best_cost) {
       // Nothing in this block can strictly improve; once dn is capped at
       // room, costs are non-decreasing, so later blocks cannot either.
-      if (static_cast<double>(p0) + 1.0 >= room_d) break;
+      if (static_cast<double>(p0) + 1.0 >= room_d) {
+        pruned += BlocksFrom(p0, n);
+        break;
+      }
+      ++pruned;
       continue;
     }
     // dn lanes start at p + 1 = [p0+1, p0+2, p0+3, p0+4] (exact integer
@@ -250,6 +267,8 @@ CandidateResult BestCandidate(const double* dists, std::size_t n,
   }
   CandidateResult best;
   best.cost = cutoff;
+  best.blocks_pruned = pruned;
+  best.lb = lbmin;
   // best_cost == cutoff means no candidate beat the seeded incumbent
   // (updates are strict decreases) — return the no-find result.
   if (n == 0 || !(best_cost < cutoff)) return best;
@@ -473,13 +492,23 @@ CandidateResult BestCandidateGather(const double* col,
   // blocks never gather at all (the bound needs only the first lane).
   alignas(64) double buf[kCandidateBlock];
   double best_cost = cutoff;
+  double lbmin = kInf;
+  std::int64_t pruned = 0;
   for (std::size_t p0 = 0; p0 < n; p0 += kCandidateBlock) {
     const std::size_t p1 = std::min(n, p0 + kCandidateBlock);
     const double d0 = GatherLane(col, rows, access, ids, p0);
     const double delta0 =
         std::max(std::max(2.0 * d0, d0 + reach), max_len) - max_len;
-    if (delta0 / std::min(static_cast<double>(p1), room_d) >= best_cost) {
-      if (static_cast<double>(p0) + 1.0 >= room_d) break;
+    const double bound = delta0 / std::min(static_cast<double>(p1), room_d);
+    // See BestCandidate above: block bounds certify lb, including the
+    // suffix a room-capped break leaves untouched.
+    lbmin = std::min(lbmin, bound);
+    if (bound >= best_cost) {
+      if (static_cast<double>(p0) + 1.0 >= room_d) {
+        pruned += BlocksFrom(p0, n);
+        break;
+      }
+      ++pruned;
       continue;
     }
     const std::size_t len_blk = p1 - p0;
@@ -510,6 +539,8 @@ CandidateResult BestCandidateGather(const double* col,
   }
   CandidateResult best;
   best.cost = cutoff;
+  best.blocks_pruned = pruned;
+  best.lb = lbmin;
   // best_cost == cutoff means no candidate beat the seeded incumbent
   // (updates are strict decreases) — return the no-find result.
   if (n == 0 || !(best_cost < cutoff)) return best;

@@ -1,9 +1,11 @@
 #include "core/client_block_view.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <deque>
 #include <future>
+#include <limits>
 #include <unordered_map>
 
 #include "common/error.h"
@@ -61,6 +63,29 @@ void ClientBlockView::FillColumn(ServerIndex s, double* out) const {
   }
   FillColumnSlow(s, out);
   columns_gathered_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ClientBlockView::SortColumnIds(ServerIndex s, ClientIndex* ids) const {
+  SortColumnIdsSlow(s, ids);
+  columns_gathered_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ClientBlockView::SortColumnIdsSlow(ServerIndex s,
+                                        ClientIndex* ids) const {
+  thread_local std::vector<double> scratch;
+  scratch.resize(static_cast<std::size_t>(num_clients_));
+  if (raw_block_ != nullptr) {
+    const double* p = raw_block_ + static_cast<std::size_t>(s);
+    for (std::int32_t c = 0; c < num_clients_; ++c) {
+      scratch[static_cast<std::size_t>(c)] =
+          p[static_cast<std::size_t>(c) * server_stride_];
+    }
+  } else {
+    FillColumnSlow(s, scratch.data());
+  }
+  for (std::int32_t c = 0; c < num_clients_; ++c) ids[c] = c;
+  simd::ArgsortDistIndex(scratch.data(), ids,
+                         static_cast<std::size_t>(num_clients_));
 }
 
 void ClientBlockView::BumpTileBytesPeak(std::int64_t live_bytes) const {
@@ -206,6 +231,10 @@ void ClientBlockView::ForEachTile(
 simd::CandidateResult ClientBlockView::ScanCandidates(
     ServerIndex s, const ClientIndex* ids, std::size_t count, double reach,
     double max_len, std::int32_t room, double cutoff) const {
+  // Pruning off: drop the caller's incumbent seed so the scan does the
+  // full exact work (the kernel's own certified tightening remains — that
+  // is baseline behavior, not the filter layer).
+  if (!tile_.bound_pruning) cutoff = std::numeric_limits<double>::infinity();
   simd::CandidateResult r;
   if (raw_block_ != nullptr) {
     thread_local std::vector<double> scratch;
@@ -219,6 +248,12 @@ simd::CandidateResult ClientBlockView::ScanCandidates(
                             cutoff);
   } else {
     r = ScanCandidatesSlow(s, ids, count, reach, max_len, room, cutoff);
+    // Blocks the bound rejected were never gathered — synthesis avoided.
+    // Materialized scans avoid nothing (data is resident), so only lazy
+    // backends count.
+    if (tile_.bound_pruning && r.blocks_pruned > 0) {
+      tiles_pruned_.fetch_add(r.blocks_pruned, std::memory_order_relaxed);
+    }
   }
   columns_gathered_.fetch_add(1, std::memory_order_relaxed);
   return r;
@@ -232,6 +267,163 @@ simd::CandidateResult ClientBlockView::ScanCandidatesSlow(
   GatherColumnSlow(s, ids, count, scratch.data());
   return simd::BestCandidate(scratch.data(), count, reach, max_len, room,
                              cutoff);
+}
+
+void ClientBlockView::CountPrunedTiles(std::int64_t n) const {
+  tiles_pruned_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void ClientBlockView::ForEachTileBounded(
+    const std::function<bool(const TileBounds&)>& pred,
+    const std::function<void(const ClientTile&)>& fn) const {
+  // Nothing to avoid on a resident block, and pruning-off must do the
+  // full exact work: both ignore pred entirely.
+  if (raw_block_ != nullptr || !tile_.bound_pruning) {
+    ForEachTile(fn);
+    return;
+  }
+  DIACA_OBS_SPAN("core.view.tiles");
+  const std::int32_t tile_clients =
+      std::clamp(tile_.tile_clients, 1, num_clients_);
+  const std::size_t total = NumTiles();
+  const std::size_t tile_doubles =
+      static_cast<std::size_t>(tile_clients) * server_stride_;
+  std::vector<double> buf;  // allocated on first surviving tile
+  for (std::size_t t = 0; t < total; ++t) {
+    const TileBounds tb = TileBoundsOf(t);
+    if (!pred(tb)) {
+      tiles_pruned_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (buf.empty()) {
+      buf.resize(tile_doubles);
+      BumpTileBytesPeak(
+          static_cast<std::int64_t>(tile_doubles * sizeof(double)));
+    }
+    FillTileSlow(tb.begin, tb.end, buf.data());
+    tiles_loaded_.fetch_add(1, std::memory_order_relaxed);
+    fn(ClientTile{tb.begin, tb.end, buf.data(), server_stride_});
+  }
+}
+
+ClientBlockView::ColumnAggregate ClientBlockView::ColumnBounds(
+    ServerIndex s) const {
+  std::call_once(col_bounds_once_, [&] {
+    col_bounds_.resize(static_cast<std::size_t>(num_servers_));
+    for (ServerIndex i = 0; i < num_servers_; ++i) {
+      col_bounds_[static_cast<std::size_t>(i)] = ColumnBoundsSlow(i);
+    }
+  });
+  return col_bounds_[static_cast<std::size_t>(s)];
+}
+
+ClientBlockView::ColumnAggregate ClientBlockView::ColumnBoundsSlow(
+    ServerIndex s) const {
+  // No backend structure: one exact column pass. Backends with an access
+  // leg override (here the aggregates would double-count it against
+  // TileAccessRange); the default's TileAccessRange is {0, 0}, so
+  // fl(0 + lower) == lower keeps the sandwich exact.
+  thread_local std::vector<double> scratch;
+  scratch.resize(static_cast<std::size_t>(num_clients_));
+  if (raw_block_ != nullptr) {
+    const double* p = raw_block_ + static_cast<std::size_t>(s);
+    for (std::int32_t c = 0; c < num_clients_; ++c) {
+      scratch[static_cast<std::size_t>(c)] =
+          p[static_cast<std::size_t>(c) * server_stride_];
+    }
+  } else {
+    FillColumnSlow(s, scratch.data());
+  }
+  ColumnAggregate agg{scratch[0], scratch[0]};
+  for (std::int32_t c = 1; c < num_clients_; ++c) {
+    const double d = scratch[static_cast<std::size_t>(c)];
+    agg.lower = std::min(agg.lower, d);
+    agg.upper = std::max(agg.upper, d);
+  }
+  return agg;
+}
+
+void ClientBlockView::TileAccessRange(std::size_t /*t*/, double* lo,
+                                      double* hi) const {
+  *lo = 0.0;
+  *hi = 0.0;
+}
+
+TileBounds ClientBlockView::TileBoundsOf(std::size_t t) const {
+  const std::int32_t tile_clients =
+      std::clamp(tile_.tile_clients, 1, num_clients_);
+  TileBounds tb;
+  tb.begin = static_cast<ClientIndex>(t * static_cast<std::size_t>(tile_clients));
+  tb.end = std::min(num_clients_, tb.begin + tile_clients);
+  TileAccessRange(t, &tb.access_min, &tb.access_max);
+  return tb;
+}
+
+void ClientBlockView::GatherAssigned(const ServerIndex* assign,
+                                     double* out) const {
+  GatherAssignedSlow(assign, out);
+  columns_gathered_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ClientBlockView::GatherAssignedSlow(const ServerIndex* assign,
+                                         double* out) const {
+  for (std::int32_t c = 0; c < num_clients_; ++c) {
+    const ServerIndex s = assign[c];
+    out[c] = s >= 0 ? cs(c, s) : -1.0;
+  }
+}
+
+void ClientBlockView::FoldAssignedMax(const ServerIndex* assign,
+                                      double* far) const {
+  if (raw_block_ != nullptr) {
+    simd::MaxAbsorbScatter(far, assign, raw_block_, server_stride_, 0,
+                           num_clients_);
+    return;
+  }
+  FoldAssignedMaxSlow(assign, far);
+}
+
+void ClientBlockView::FoldAssignedMaxSlow(const ServerIndex* assign,
+                                          double* far) const {
+  // Unpruned sparse fold: one exact gather of the assigned diagonal, then
+  // the serial ascending max pass (exact under any association, but kept
+  // serial and ascending so the fold is order-identical to the scatter).
+  thread_local std::vector<double> diag;
+  diag.resize(static_cast<std::size_t>(num_clients_));
+  GatherAssignedSlow(assign, diag.data());
+  for (std::int32_t c = 0; c < num_clients_; ++c) {
+    const ServerIndex s = assign[c];
+    if (s < 0) continue;
+    far[s] = std::max(far[s], diag[static_cast<std::size_t>(c)]);
+  }
+}
+
+void ClientBlockView::FillNearest(ServerIndex* server_out,
+                                  double* dist_out) const {
+  FillNearestSlow(server_out, dist_out);
+  columns_gathered_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ClientBlockView::FillNearestSlow(ServerIndex* server_out,
+                                      double* dist_out) const {
+  const auto scan = [&](const double* row, std::int32_t c) {
+    const simd::ArgResult r =
+        simd::ArgMinFirst(row, static_cast<std::size_t>(num_servers_));
+    server_out[c] = static_cast<ServerIndex>(r.index);
+    dist_out[c] = r.value;
+  };
+  if (raw_block_ != nullptr) {
+    for (std::int32_t c = 0; c < num_clients_; ++c) {
+      scan(raw_block_ + static_cast<std::size_t>(c) * server_stride_, c);
+    }
+    return;
+  }
+  thread_local std::vector<double> row;
+  row.resize(server_stride_);
+  for (std::int32_t c = 0; c < num_clients_; ++c) {
+    FillRowSlow(c, row.data());
+    scan(row.data(), c);
+  }
 }
 
 std::vector<double> ClientBlockView::MaterializeBlock() const {
@@ -257,6 +449,7 @@ ClientBlockStats ClientBlockView::stats() const {
   s.rows_filled = rows_filled_.load(std::memory_order_relaxed);
   s.columns_gathered = columns_gathered_.load(std::memory_order_relaxed);
   s.tile_bytes_peak = tile_bytes_peak_.load(std::memory_order_relaxed);
+  s.tiles_pruned = tiles_pruned_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -380,6 +573,8 @@ std::shared_ptr<OracleTileView> OracleTileView::Build(
   const auto rows = static_cast<std::size_t>(view->num_rows_);
   view->node_rows_.assign(rows * stride, 0.0);
   view->server_cols_.assign(static_cast<std::size_t>(num_servers) * rows, 0.0);
+  view->col_min_.assign(static_cast<std::size_t>(num_servers), 0.0);
+  view->col_max_.assign(static_cast<std::size_t>(num_servers), 0.0);
   view->ss_block_.assign(
       static_cast<std::size_t>(num_servers) * static_cast<std::size_t>(num_servers),
       0.0);
@@ -393,11 +588,17 @@ std::shared_ptr<OracleTileView> OracleTileView::Build(
           const auto si = static_cast<std::size_t>(s);
           oracle.FillRow(server_nodes[si], row);
           double* col = view->server_cols_.data() + si * rows;
+          double cmin = std::numeric_limits<double>::infinity();
+          double cmax = -std::numeric_limits<double>::infinity();
           for (std::size_t r = 0; r < rows; ++r) {
             const double d = row[static_cast<std::size_t>(node_of_row[r])];
             col[r] = d;
             view->node_rows_[r * stride + si] = d;
+            cmin = std::min(cmin, d);
+            cmax = std::max(cmax, d);
           }
+          view->col_min_[si] = cmin;
+          view->col_max_[si] = cmax;
           double* ss = view->ss_block_.data() +
                        si * static_cast<std::size_t>(num_servers);
           for (std::int32_t b = 0; b < num_servers; ++b) {
@@ -408,6 +609,30 @@ std::shared_ptr<OracleTileView> OracleTileView::Build(
           }
         }
       });
+
+  // Exact access range per logical tile (the TileBounds sandwich); one
+  // O(|C|) pass, skipped entirely on the no-access (matrix) shape.
+  if (!view->access_.empty()) {
+    const std::size_t total = view->NumTiles();
+    view->tile_access_min_.resize(total);
+    view->tile_access_max_.resize(total);
+    const std::int32_t tile_clients =
+        std::clamp(tile.tile_clients, 1, num_clients);
+    for (std::size_t t = 0; t < total; ++t) {
+      const auto begin =
+          static_cast<std::size_t>(t) * static_cast<std::size_t>(tile_clients);
+      const auto end = std::min(static_cast<std::size_t>(num_clients),
+                                begin + static_cast<std::size_t>(tile_clients));
+      double lo = view->access_[begin];
+      double hi = lo;
+      for (std::size_t c = begin + 1; c < end; ++c) {
+        lo = std::min(lo, view->access_[c]);
+        hi = std::max(hi, view->access_[c]);
+      }
+      view->tile_access_min_[t] = lo;
+      view->tile_access_max_[t] = hi;
+    }
+  }
   return view;
 }
 
@@ -475,6 +700,183 @@ void OracleTileView::FillTileSlow(ClientIndex begin, ClientIndex end,
                                   double* out) const {
   for (ClientIndex c = begin; c < end; ++c) {
     FillRowSlow(c, out + static_cast<std::size_t>(c - begin) * server_stride_);
+  }
+}
+
+ClientBlockView::ColumnAggregate OracleTileView::ColumnBoundsSlow(
+    ServerIndex s) const {
+  // Exact substrate-leg aggregates from the build; composed with the tile
+  // access range by one monotone IEEE add each.
+  return ColumnAggregate{col_min_[static_cast<std::size_t>(s)],
+                         col_max_[static_cast<std::size_t>(s)]};
+}
+
+void OracleTileView::TileAccessRange(std::size_t t, double* lo,
+                                     double* hi) const {
+  if (tile_access_min_.empty()) {
+    *lo = 0.0;
+    *hi = 0.0;
+    return;
+  }
+  *lo = tile_access_min_[t];
+  *hi = tile_access_max_[t];
+}
+
+void OracleTileView::GatherAssignedSlow(const ServerIndex* assign,
+                                        double* out) const {
+  const auto rows = static_cast<std::size_t>(num_rows_);
+  const double* cols = server_cols_.data();
+  const std::int32_t* base = base_row_.data();
+  if (access_.empty()) {
+    for (std::int32_t c = 0; c < num_clients_; ++c) {
+      const ServerIndex s = assign[c];
+      out[c] = s >= 0 ? cols[static_cast<std::size_t>(s) * rows +
+                             static_cast<std::size_t>(base[c])]
+                      : -1.0;
+    }
+    return;
+  }
+  for (std::int32_t c = 0; c < num_clients_; ++c) {
+    const ServerIndex s = assign[c];
+    out[c] = s >= 0 ? access_[static_cast<std::size_t>(c)] +
+                          cols[static_cast<std::size_t>(s) * rows +
+                               static_cast<std::size_t>(base[c])]
+                    : -1.0;
+  }
+}
+
+void OracleTileView::FoldAssignedMaxSlow(const ServerIndex* assign,
+                                         double* far) const {
+  // Bounds-first fold over the logical tile grid. A tile is skippable
+  // when every assigned client already satisfies
+  //   fl(access(c) + col_max[a_c]) <= far[a_c]:
+  // then d(c, a_c) <= that bound <= far[a_c], and since far only grows
+  // during the fold the max is a no-op for the whole tile — skipping is
+  // bit-identical. The test touches only cache-resident arrays (access,
+  // assign, col_max, far); surviving tiles refine through the direct
+  // assigned gather, so no tile is ever synthesized here.
+  const std::int32_t tile_clients =
+      std::clamp(tile_.tile_clients, 1, num_clients_);
+  const auto rows = static_cast<std::size_t>(num_rows_);
+  const double* cols = server_cols_.data();
+  const std::int32_t* base = base_row_.data();
+  const bool prune = bound_pruning();
+  std::int64_t pruned = 0;
+  for (std::int32_t begin = 0; begin < num_clients_; begin += tile_clients) {
+    const std::int32_t end = std::min(num_clients_, begin + tile_clients);
+    if (prune) {
+      bool skip = true;
+      for (std::int32_t c = begin; c < end; ++c) {
+        const ServerIndex s = assign[c];
+        if (s < 0) continue;
+        const double hi =
+            access_.empty()
+                ? col_max_[static_cast<std::size_t>(s)]
+                : access_[static_cast<std::size_t>(c)] +
+                      col_max_[static_cast<std::size_t>(s)];
+        if (!(hi <= far[s])) {
+          skip = false;
+          break;
+        }
+      }
+      if (skip) {
+        ++pruned;
+        continue;
+      }
+    }
+    for (std::int32_t c = begin; c < end; ++c) {
+      const ServerIndex s = assign[c];
+      if (s < 0) continue;
+      const double leg = cols[static_cast<std::size_t>(s) * rows +
+                              static_cast<std::size_t>(base[c])];
+      const double d =
+          access_.empty() ? leg : access_[static_cast<std::size_t>(c)] + leg;
+      far[s] = std::max(far[s], d);
+    }
+  }
+  if (pruned > 0) CountPrunedTiles(pruned);
+}
+
+void OracleTileView::SortColumnIdsSlow(ServerIndex s, ClientIndex* ids) const {
+  simd::ArgsortGatherDistIndex(
+      server_cols_.data() +
+          static_cast<std::size_t>(s) * static_cast<std::size_t>(num_rows_),
+      base_row_.data(), access_.empty() ? nullptr : access_.data(), ids,
+      static_cast<std::size_t>(num_clients_));
+}
+
+void OracleTileView::BuildNearestIndex() const {
+  // Per attachment node: exact column minimum m_r, its first server, and
+  // the ascending candidate list of servers within the ulp-collapse
+  // window. Soundness of the window: if fl(a + col_s) == fl(a + m_r) for
+  // some access a in [0, amax], both sums round to the same v, so
+  // col_s - m_r <= ulp(v) <= ulp(fl(amax + m_r)) (fl and ulp are
+  // monotone for non-negative doubles). W doubles that bound and the
+  // threshold is widened one more ulp against the rounding of m_r + W —
+  // over-inclusion only costs refine time, never correctness.
+  const auto rows = static_cast<std::size_t>(num_rows_);
+  const auto servers = static_cast<std::size_t>(num_servers_);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  node_min_.resize(rows);
+  node_argmin_.resize(rows);
+  cand_begin_.assign(rows + 1, 0);
+  cand_list_.clear();
+  double amax = 0.0;
+  for (const double a : access_) amax = std::max(amax, a);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = node_rows_.data() + r * server_stride_;
+    const simd::ArgResult m = simd::ArgMinFirst(row, servers);
+    node_min_[r] = m.value;
+    node_argmin_[r] = static_cast<ServerIndex>(m.index);
+    if (!access_.empty()) {
+      const double vmax = amax + m.value;
+      const double w = 2.0 * (std::nextafter(vmax, kInf) - vmax);
+      const double threshold = std::nextafter(m.value + w, kInf);
+      for (std::size_t s = 0; s < servers; ++s) {
+        if (row[s] <= threshold) {
+          cand_list_.push_back(static_cast<ServerIndex>(s));
+        }
+      }
+    }
+    cand_begin_[r + 1] = static_cast<std::int32_t>(cand_list_.size());
+  }
+}
+
+void OracleTileView::FillNearestSlow(ServerIndex* server_out,
+                                     double* dist_out) const {
+  std::call_once(nearest_once_, [&] { BuildNearestIndex(); });
+  const std::int32_t* base = base_row_.data();
+  if (access_.empty()) {
+    // No per-client rounding: every client on node r shares its exact
+    // column minimum and first-index winner.
+    for (std::int32_t c = 0; c < num_clients_; ++c) {
+      const auto r = static_cast<std::size_t>(base[c]);
+      server_out[c] = node_argmin_[r];
+      dist_out[c] = node_min_[r];
+    }
+    return;
+  }
+  for (std::int32_t c = 0; c < num_clients_; ++c) {
+    const auto r = static_cast<std::size_t>(base[c]);
+    const double a = access_[static_cast<std::size_t>(c)];
+    const double dmin = a + node_min_[r];
+    const std::int32_t b = cand_begin_[r];
+    const std::int32_t e = cand_begin_[r + 1];
+    ServerIndex winner = node_argmin_[r];
+    if (e - b > 1) {
+      // Lowest-index server whose rounded sum collapses onto the minimum;
+      // the argmin itself is always a candidate, so the scan never fails.
+      const double* row = node_rows_.data() + r * server_stride_;
+      for (std::int32_t i = b; i < e; ++i) {
+        const ServerIndex s = cand_list_[static_cast<std::size_t>(i)];
+        if (a + row[static_cast<std::size_t>(s)] == dmin) {
+          winner = s;
+          break;
+        }
+      }
+    }
+    server_out[c] = winner;
+    dist_out[c] = dmin;
   }
 }
 

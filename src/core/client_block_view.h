@@ -48,6 +48,7 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -85,6 +86,15 @@ struct ClientBlockStats {
   /// High-water bytes of live tile-pool buffers across all traversals
   /// (0 on MaterializedView). The memory the tiling actually costs.
   std::int64_t tile_bytes_peak = 0;
+  /// Synthesis units a certified bound skipped without touching their
+  /// exact values: whole tiles rejected by a ForEachTileBounded /
+  /// FoldAssignedMax predicate plus 512-entry candidate blocks the
+  /// cutoff-seeded ScanCandidates never gathered. Always 0 on
+  /// MaterializedView (its data is resident — nothing is avoided) and
+  /// under the scalar SIMD backend (which scans element-wise); unlike the
+  /// solver outputs this counter is telemetry, not part of the
+  /// bit-determinism contract.
+  std::int64_t tiles_pruned = 0;
 };
 
 /// Tile sizing for lazy backends (MaterializedView ignores it for the
@@ -104,6 +114,28 @@ struct TileOptions {
   /// [0, pool_tiles - 1]; 0 — or a threadless pool — degrades to
   /// synchronous generation. Results are bit-identical at every depth.
   std::int32_t prefetch_depth = 2;
+  /// Master switch for the certified filter-and-refine paths (bounded
+  /// tile traversal skips, cutoff-seeded candidate scans, assigned-fold
+  /// tile rejection). Off forces every bound-gated path to do the full
+  /// exact work — slower, bit-identical output — which is how the tier-1
+  /// smoke validates the certification.
+  bool bound_pruning = true;
+};
+
+/// Cheap certified aggregates of one logical tile, handed to
+/// ForEachTileBounded predicates BEFORE the tile is synthesized. Combined
+/// with ColumnBounds they sandwich every cell exactly:
+///   fl(access_min + ColumnBounds(s).lower) <= d(c, s)
+///                                          <= fl(access_max + ColumnBounds(s).upper)
+/// for every client c in [begin, end) — monotone IEEE adds of exact
+/// aggregates, so the sandwich holds bitwise with no slack term.
+struct TileBounds {
+  ClientIndex begin = 0;
+  ClientIndex end = 0;
+  /// Exact min/max access delay over the tile's clients; both 0.0 when
+  /// clients sit directly on substrate nodes (no access leg is added).
+  double access_min = 0.0;
+  double access_max = 0.0;
 };
 
 class ClientBlockView {
@@ -150,6 +182,13 @@ class ClientBlockView {
   /// batch collection.
   void FillColumn(ServerIndex s, double* out) const;
 
+  /// Writes into ids[0..num_clients()) the permutation of all clients
+  /// sorted ascending by (cs(c, s), c) — bit-for-bit the order
+  /// simd::RadixSortDistIndex produces on the full column, but lazy
+  /// backends fuse the gather into the sort (simd::ArgsortGatherDistIndex)
+  /// and never materialize the column. The greedy preprocessing order.
+  void SortColumnIds(ServerIndex s, ClientIndex* ids) const;
+
   /// Visit ascending, disjoint tiles covering every client exactly once.
   /// MaterializedView emits one zero-copy tile; lazy backends synthesize
   /// TileOptions-sized tiles through the buffer pool, keeping up to
@@ -172,6 +211,62 @@ class ClientBlockView {
 
   /// Tiles the fused traversal delivers: ceil(|C| / clamped tile_clients).
   std::size_t NumTiles() const;
+
+  /// Bounds-first sequential traversal (filter-and-refine): before tile t
+  /// is synthesized, pred(TileBounds of t) decides whether its exact
+  /// values can matter — false skips synthesis entirely (counted in
+  /// ClientBlockStats::tiles_pruned), true refines by synthesizing the
+  /// tile and handing it to fn like ForEachTile. The caller's predicate
+  /// must be CERTIFIED: it may only reject a tile when the TileBounds
+  /// sandwich proves fn's result cannot change, so the traversal output
+  /// is bit-identical to ForEachTile at every pruning rate. A
+  /// MaterializedView — whose tiles are zero-copy, nothing to avoid — and
+  /// a view with bound_pruning disabled ignore pred and visit every tile.
+  void ForEachTileBounded(
+      const std::function<bool(const TileBounds&)>& pred,
+      const std::function<void(const ClientTile&)>& fn) const;
+
+  /// Exact min/max of column s over the clients' attachment structure:
+  /// every cs(c, s) satisfies
+  ///   fl(access(c) + lower) <= cs(c, s) <= fl(access(c) + upper)
+  /// (equality-tight when clients sit on nodes). OracleTileView
+  /// precomputes these per server at build; MaterializedView derives them
+  /// from the resident block on first use (cached). The doubles are exact
+  /// column aggregates — no estimation slack — so bounds composed from
+  /// them by monotone IEEE ops are certified.
+  struct ColumnAggregate {
+    double lower = 0.0;
+    double upper = 0.0;
+  };
+  ColumnAggregate ColumnBounds(ServerIndex s) const;
+
+  /// TileBounds of logical tile t (the grid NumTiles() defines).
+  TileBounds TileBoundsOf(std::size_t t) const;
+
+  /// out[c] = cs(c, assign[c]) for every client with assign[c] >= 0
+  /// (out[c] = -1.0 otherwise — the repo-wide "unused" sentinel). The
+  /// sparse exact gather of the assigned diagonal: O(|C|) loads instead
+  /// of synthesizing O(|C| x |S|) tiles.
+  void GatherAssigned(const ServerIndex* assign, double* out) const;
+
+  /// Eccentricity fold, bounds-first: far[s] = max(far[s], cs(c, s)) over
+  /// every client with assign[c] == s, bit-identical to the full
+  /// MaxAbsorbScatter pass at any pruning rate (max is exact, and a
+  /// skipped tile is certified to leave every far[s] unchanged:
+  /// fl(access(c) + ColumnBounds(a_c).upper) <= far[a_c] held for each of
+  /// its clients, and far only grows). Pruned tile ranges count into
+  /// tiles_pruned; surviving tiles refine through the sparse assigned
+  /// gather, never tile synthesis.
+  void FoldAssignedMax(const ServerIndex* assign, double* far) const;
+
+  /// Per-client nearest server, bit-identical to running
+  /// simd::ArgMinFirst over every exact row: server_out[c] = the LOWEST
+  /// server index attaining min_s cs(c, s), dist_out[c] = that minimum.
+  /// OracleTileView factorizes the scan per attachment node (each node's
+  /// column minimum plus an ulp-window candidate set refined exactly per
+  /// client), turning the O(|C| x |S|) row scans into
+  /// O(n x |S| + |C|) work.
+  void FillNearest(ServerIndex* server_out, double* dist_out) const;
 
   /// Fused greedy candidate scan over ids[0..count) — bit-identical to
   /// GatherColumn into a scratch array followed by simd::BestCandidate,
@@ -196,6 +291,13 @@ class ClientBlockView {
 
   ClientBlockStats stats() const;
 
+  /// Credit `n` 512-entry candidate blocks as pruned-without-synthesis.
+  /// Solvers call this when a certified bound retires a whole would-be
+  /// exact scan before any kernel ran (the greedy dense filter): the
+  /// scan's blocks never existed, so only the caller knows how many were
+  /// avoided. Telemetry only — feeds ClientBlockStats::tiles_pruned.
+  void CountPrunedTiles(std::int64_t n) const;
+
  protected:
   ClientBlockView(std::int32_t num_clients, std::int32_t num_servers,
                   const TileOptions& tile);
@@ -218,6 +320,25 @@ class ClientBlockView {
   virtual simd::CandidateResult ScanCandidatesSlow(
       ServerIndex s, const ClientIndex* ids, std::size_t count, double reach,
       double max_len, std::int32_t room, double cutoff) const;
+  /// Column aggregate without backend structure: one FillColumn pass.
+  virtual ColumnAggregate ColumnBoundsSlow(ServerIndex s) const;
+  /// Exact access-delay range of logical tile t; the default (no access
+  /// structure) reports {0, 0}, which keeps TileBounds conservative only
+  /// on backends that never prune anyway.
+  virtual void TileAccessRange(std::size_t t, double* lo, double* hi) const;
+  /// Assigned-diagonal gather; default walks cs().
+  virtual void GatherAssignedSlow(const ServerIndex* assign,
+                                  double* out) const;
+  /// Eccentricity fold; default is the unpruned sparse gather + max pass.
+  virtual void FoldAssignedMaxSlow(const ServerIndex* assign,
+                                   double* far) const;
+  /// Nearest-server scan; default is FillRow + simd::ArgMinFirst per row.
+  virtual void FillNearestSlow(ServerIndex* server_out,
+                               double* dist_out) const;
+  /// Sorted-column permutation; default is FillColumn + ArgsortDistIndex.
+  virtual void SortColumnIdsSlow(ServerIndex s, ClientIndex* ids) const;
+
+  bool bound_pruning() const { return tile_.bound_pruning; }
 
   std::int32_t num_clients_;
   std::int32_t num_servers_;
@@ -233,6 +354,9 @@ class ClientBlockView {
   mutable std::atomic<std::int64_t> rows_filled_{0};
   mutable std::atomic<std::int64_t> columns_gathered_{0};
   mutable std::atomic<std::int64_t> tile_bytes_peak_{0};
+  mutable std::atomic<std::int64_t> tiles_pruned_{0};
+  mutable std::once_flag col_bounds_once_;
+  mutable std::vector<ColumnAggregate> col_bounds_;
 };
 
 /// The historical backend: owns the padded |C| x server_stride block.
@@ -297,6 +421,15 @@ class OracleTileView final : public ClientBlockView {
   simd::CandidateResult ScanCandidatesSlow(
       ServerIndex s, const ClientIndex* ids, std::size_t count, double reach,
       double max_len, std::int32_t room, double cutoff) const override;
+  ColumnAggregate ColumnBoundsSlow(ServerIndex s) const override;
+  void TileAccessRange(std::size_t t, double* lo, double* hi) const override;
+  void GatherAssignedSlow(const ServerIndex* assign,
+                          double* out) const override;
+  void FoldAssignedMaxSlow(const ServerIndex* assign,
+                           double* far) const override;
+  void FillNearestSlow(ServerIndex* server_out,
+                       double* dist_out) const override;
+  void SortColumnIdsSlow(ServerIndex s, ClientIndex* ids) const override;
 
  private:
   OracleTileView(std::int32_t num_clients, std::int32_t num_servers,
@@ -322,6 +455,27 @@ class OracleTileView final : public ClientBlockView {
   /// |S| x |S| dense server block (see server_block()).
   std::vector<double> ss_block_;
   std::int32_t num_rows_ = 0;  ///< distinct attachment nodes
+
+  /// Exact per-server column aggregates over the attachment nodes
+  /// (ColumnBounds numerators), computed once at build.
+  std::vector<double> col_min_;
+  std::vector<double> col_max_;
+  /// Exact per-logical-tile access-delay range (empty when clients sit on
+  /// substrate nodes), computed once at build on the NumTiles() grid.
+  std::vector<double> tile_access_min_;
+  std::vector<double> tile_access_max_;
+
+  /// Factorized nearest-server structure (FillNearest), built lazily on
+  /// first use: per attachment node, its column minimum, and the
+  /// ascending list of servers whose column entry sits within the
+  /// ulp-collapse window of that minimum — the only servers any client on
+  /// the node could tie with under IEEE rounding of access + leg.
+  void BuildNearestIndex() const;
+  mutable std::once_flag nearest_once_;
+  mutable std::vector<double> node_min_;
+  mutable std::vector<ServerIndex> node_argmin_;
+  mutable std::vector<std::int32_t> cand_begin_;  ///< num_rows_ + 1 offsets
+  mutable std::vector<ServerIndex> cand_list_;
 };
 
 }  // namespace diaca::core

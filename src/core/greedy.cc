@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -35,7 +36,12 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // snapshots only loosen the bound, never break it). Correctly-rounded
 // division is monotone in both arguments, so the fl() evaluation of the
 // right-hand side is itself a valid lower bound — the same argument as
-// the scan kernel's block bound.
+// the scan kernel's block bound. One further relaxation also holds,
+// which the bucket seeding below leans on: replacing any e_j by a LOWER
+// bound on the distance at snapshot rank r_j keeps the bracket
+// classification conservative (a candidate's bracket can only move
+// down, where delta is smaller), so the bound stays certified — just
+// looser.
 struct Ladder {
   std::int32_t count = 0;                // number of (rank, dist) points
   std::array<std::int32_t, 24> rank{};   // rank[count] = stale length
@@ -54,6 +60,53 @@ void RebuildLadderRanks(Ladder& ladder, std::size_t len) {
       static_cast<std::int32_t>(len);
 }
 
+// ---- Bucket-refined candidate lists (streamed backends) ---------------
+//
+// Fully sorting every server's column up front costs ~20ms per
+// 1M-client column even through the fused radix kernel — the dominant
+// share of a large streamed solve — yet measured runs show only a few
+// dozen servers ever win a round; the other ~95% of the sorted order
+// serves nothing but bound proofs. The streamed path therefore never
+// sorts a whole column. One O(|C|) counting pass groups each server's
+// clients into kBuckets distance-monotone buckets (value-linear between
+// the column's min and max) and records each bucket's EXACT distance
+// minimum and boundary ranks. That structure alone certifies everything
+// the round loop needs from a loser:
+//
+//   * fl((d - dmin) * inv) is non-decreasing in d, and equal distances
+//     always share a bucket — so concatenating buckets in order, with
+//     each bucket internally sorted by (distance, client), IS the exact
+//     global (distance, client) sort. Bucket boundaries are exact
+//     ranks; a bucket's min bounds every distance inside it.
+//   * A scan prunes a whole bucket when delta(bucket_min) / min(end
+//     rank, room) cannot beat the running incumbent — the same
+//     fl-monotone argument as the kernel's 512-lane block bound, at
+//     bucket granularity, without gathering a single lane.
+//
+// Only a bucket the bound cannot retire is *refined*: its lanes are
+// gathered and radix-sorted by (distance, client) in place — exact
+// ranks from then on — and the flag is permanent, so refinement work is
+// monotone and concentrates on the handful of buckets near each
+// round's winning cost. Unsorted buckets keep ids in ascending client
+// order (the counting scatter is stable), which is exactly the
+// stability the radix sort needs to land the lexicographic tie-break.
+//
+// Selection stays bit-identical to the flat sorted list because every
+// skip is justified by a certified lower bound against the running
+// strict-< incumbent (positions in later buckets lose cost ties by
+// construction), and every lane that can matter is evaluated with its
+// exact rank and the kernel's exact per-lane expressions.
+constexpr std::int32_t kBuckets = 8192;
+constexpr std::int32_t kSuper = 64;  // buckets per super-group
+
+struct BucketList {
+  std::vector<ClientIndex> perm;    // bucket-grouped ids (see bsorted)
+  std::vector<std::int32_t> boff;   // kBuckets + 1 bucket offsets
+  std::vector<double> bmin;         // certified per-bucket distance min
+  std::vector<double> smin;         // per super-group min of bmin
+  std::vector<char> bsorted;        // bucket refined to exact order?
+};
+
 }  // namespace
 
 Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
@@ -66,58 +119,333 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
   const ClientBlockView& view = problem.client_block();
   // On a streamed block the resident per-server distance arrays would
   // re-materialize |S| copies of the very block the view avoids, so only
-  // the client-index lists persist (4 bytes/entry instead of 12) and the
-  // rounds scan through the view's fused gather kernel
-  // (ScanCandidates), which reduces each server's surviving distances
-  // while cache-resident. The gathered doubles are the same values the
-  // resident arrays would hold, so the scans are bit-identical.
+  // client-index permutations persist (4 bytes/entry instead of 12) and
+  // the rounds gather distances through the view while cache-resident.
+  // The gathered doubles are the same values the resident arrays would
+  // hold, so the evaluations are bit-identical.
   const bool streamed = !view.materialized();
 
-  // Preprocessing: per-server client lists sorted by distance (ties by
-  // client index, making every later step deterministic). The resident
-  // path keeps a contiguous array of the distances themselves, compacted
-  // in lockstep — the candidate scan then streams plain doubles; the
-  // streamed path only needs the ORDER (scans re-gather through the
-  // view), so it uses the cheaper float32-keyed argsort. Each sorted
-  // list also seeds the server's bound ladder. The sorts are
-  // independent, so they fan out across the pool.
+  Assignment a(static_cast<std::size_t>(num_clients));
+  std::vector<std::size_t> head(static_cast<std::size_t>(num_servers), 0);
+  std::vector<std::int32_t> hbucket(
+      streamed ? static_cast<std::size_t>(num_servers) : 0, 0);
+  std::vector<double> head_dist(static_cast<std::size_t>(num_servers), 0.0);
   std::vector<std::vector<ClientIndex>> lists(
-      static_cast<std::size_t>(num_servers));
+      streamed ? 0 : static_cast<std::size_t>(num_servers));
   std::vector<std::vector<double>> dist_lists(
       streamed ? 0 : static_cast<std::size_t>(num_servers));
+  std::vector<BucketList> bucket_lists(
+      streamed ? static_cast<std::size_t>(num_servers) : 0);
   std::vector<Ladder> ladders(static_cast<std::size_t>(num_servers));
+  std::vector<double> lane_scratch;  // phase-2 gather scratch (serial)
+  const bool prune = options.bound_pruning;
+
+  // Refine bucket b of server s to exact (distance, client) order. If
+  // the head sat inside the bucket, the shuffle may have moved assigned
+  // entries past it — re-run the advance from the bucket's start (every
+  // position before the bucket is already assigned).
+  const auto sort_bucket = [&](ServerIndex s, BucketList& bl, std::int32_t b,
+                               std::size_t& h, std::int32_t& hb) {
+    const auto lo = static_cast<std::size_t>(bl.boff[static_cast<std::size_t>(b)]);
+    const auto hi =
+        static_cast<std::size_t>(bl.boff[static_cast<std::size_t>(b) + 1]);
+    lane_scratch.resize(hi - lo);
+    view.GatherColumn(s, bl.perm.data() + lo, hi - lo, lane_scratch.data());
+    simd::RadixSortDistIndex(lane_scratch.data(), bl.perm.data() + lo,
+                             hi - lo);
+    bl.bsorted[static_cast<std::size_t>(b)] = 1;
+    if (h >= lo && h < hi) {
+      h = lo;
+      while (a[bl.perm[h]] != kUnassigned) ++h;
+      while (bl.boff[static_cast<std::size_t>(hb) + 1] <=
+             static_cast<std::int32_t>(h)) {
+        ++hb;
+      }
+    }
+  };
+
+  // Bucket-level candidate scan: bit-identical to gathering the whole
+  // bucket-ordered list and running simd::BestCandidate over positions
+  // [h, end). The cost curve's minimum usually sits DEEP in the list
+  // (large denominators), so a position-order walk keeps its incumbent
+  // loose across the entire prefix and refines everything on the way —
+  // the traversal is best-first instead: all super-group bounds are
+  // computed up front, the most promising group (then bucket) is
+  // evaluated first, and the incumbent is near-exact after one bucket,
+  // retiring the rest on their bounds without touching a lane.
+  //
+  // Best-first evaluation order changes nothing the flat kernel would
+  // return: lane updates keep (cost, position) lexicographic minima
+  // (strictly better cost, or equal cost at a smaller position), and a
+  // region is skipped only when its certified bound proves it holds
+  // neither — which is exactly the first minimizer the position-order
+  // kernel keeps. Refining the bucket that holds the head can move h
+  // (see sort_bucket), which shifts every position; the scan restarts,
+  // and restarts are bounded by the monotone sorted flags.
+  std::array<double, kBuckets / kSuper> super_bound;
+  std::array<double, kSuper> bucket_bound;
+  const auto scan_buckets = [&](ServerIndex s, BucketList& bl, std::size_t& h,
+                                std::int32_t& hb, double reach_s, double mlen,
+                                std::int32_t room, double cutoff) {
+    constexpr std::int32_t kNumSuper = kBuckets / kSuper;
+    const double room_d = static_cast<double>(room);
+    const auto bound_of = [&](double e, double dn_ub) {
+      const double len = std::max(std::max(2.0 * e, e + reach_s), mlen);
+      return (len - mlen) / std::min(dn_ub, room_d);
+    };
+    simd::CandidateResult best;
+    for (bool rescan = true; rescan;) {
+      rescan = false;
+      best = simd::CandidateResult{};
+      best.cost = cutoff;
+      best.lb = kInf;
+      const auto hh = static_cast<std::int32_t>(h);
+      std::int64_t evaluated = 0;
+      for (std::int32_t g = 0; g < kNumSuper; ++g) {
+        const std::int32_t gend =
+            bl.boff[static_cast<std::size_t>(g + 1) * kSuper];
+        const std::int32_t gbeg =
+            std::max(bl.boff[static_cast<std::size_t>(g) * kSuper], hh);
+        if (gend <= hh || gend == gbeg) {
+          super_bound[static_cast<std::size_t>(g)] = kInf;
+          continue;
+        }
+        const double gb = bound_of(bl.smin[static_cast<std::size_t>(g)],
+                                   static_cast<double>(gend - hh));
+        super_bound[static_cast<std::size_t>(g)] = gb;
+        best.lb = std::min(best.lb, gb);
+      }
+      while (!rescan) {
+        // Most promising unprocessed super-group. A group is worth
+        // processing only if its bound could still strictly improve the
+        // incumbent, or exactly tie it from a smaller position.
+        std::int32_t g = -1;
+        double gb = kInf;
+        for (std::int32_t j = 0; j < kNumSuper; ++j) {
+          if (super_bound[static_cast<std::size_t>(j)] < gb) {
+            gb = super_bound[static_cast<std::size_t>(j)];
+            g = j;
+          }
+        }
+        if (g < 0 || gb > best.cost) break;
+        const std::int32_t gfirst =
+            std::max(bl.boff[static_cast<std::size_t>(g) * kSuper], hh) - hh;
+        if (gb == best.cost && (best.pos < 0 || gfirst >= best.pos)) {
+          super_bound[static_cast<std::size_t>(g)] = kInf;
+          continue;
+        }
+        for (std::int32_t j = 0; j < kSuper; ++j) {
+          const std::int32_t b = g * kSuper + j;
+          const std::int32_t e1 = bl.boff[static_cast<std::size_t>(b) + 1];
+          const std::int32_t b0 =
+              std::max(bl.boff[static_cast<std::size_t>(b)], hh);
+          bucket_bound[static_cast<std::size_t>(j)] =
+              e1 <= hh || e1 == b0
+                  ? kInf
+                  : bound_of(bl.bmin[static_cast<std::size_t>(b)],
+                             static_cast<double>(e1 - hh));
+        }
+        while (!rescan) {
+          std::int32_t j = -1;
+          double bb = kInf;
+          for (std::int32_t jj = 0; jj < kSuper; ++jj) {
+            if (bucket_bound[static_cast<std::size_t>(jj)] < bb) {
+              bb = bucket_bound[static_cast<std::size_t>(jj)];
+              j = jj;
+            }
+          }
+          if (j < 0 || bb > best.cost) break;
+          const std::int32_t b = g * kSuper + j;
+          const std::int32_t b0 =
+              std::max(bl.boff[static_cast<std::size_t>(b)], hh);
+          if (bb == best.cost && (best.pos < 0 || b0 - hh >= best.pos)) {
+            bucket_bound[static_cast<std::size_t>(j)] = kInf;
+            continue;
+          }
+          if (!bl.bsorted[static_cast<std::size_t>(b)]) {
+            const std::size_t h_before = h;
+            sort_bucket(s, bl, b, h, hb);
+            if (h != h_before) {
+              rescan = true;
+              break;
+            }
+          }
+          const std::int32_t e1 = bl.boff[static_cast<std::size_t>(b) + 1];
+          const auto cnt = static_cast<std::size_t>(e1 - b0);
+          lane_scratch.resize(cnt);
+          view.GatherColumn(s, bl.perm.data() + b0, cnt,
+                            lane_scratch.data());
+          evaluated += e1 - b0;
+          // Stale scans may lower-bound through assigned entries, but
+          // evaluating them wastes lanes and lets a drained bucket's
+          // stale minimum keep its bound alive round after round. Skip
+          // them, and refresh the bucket minimum to the exact min over
+          // the entries that still exist: positions before the window
+          // start precede the head and are assigned, so the window's
+          // unassigned lanes ARE the bucket's current population (a
+          // fully drained bucket pins to +inf and is bound-pruned
+          // forever after).
+          double fresh_min = kInf;
+          for (std::size_t i = 0; i < cnt; ++i) {
+            if (a[bl.perm[static_cast<std::size_t>(b0) + i]] != kUnassigned) {
+              continue;
+            }
+            const double d = lane_scratch[i];
+            fresh_min = std::min(fresh_min, d);
+            const double len = std::max(std::max(2.0 * d, d + reach_s), mlen);
+            const double dn = std::min(
+                static_cast<double>(b0 - hh) + static_cast<double>(i) + 1.0,
+                room_d);
+            const double cost = (len - mlen) / dn;
+            if (cost < best.cost ||
+                (cost == best.cost && best.pos >= 0 &&
+                 b0 - hh + static_cast<std::int64_t>(i) < best.pos)) {
+              best.cost = cost;
+              best.len = len;
+              best.pos = b0 - hh + static_cast<std::int64_t>(i);
+            }
+          }
+          bl.bmin[static_cast<std::size_t>(b)] = fresh_min;
+          bucket_bound[static_cast<std::size_t>(j)] = kInf;
+        }
+        if (rescan) break;
+        double sm = kInf;
+        for (std::int32_t b = g * kSuper; b < (g + 1) * kSuper; ++b) {
+          sm = std::min(sm, bl.bmin[static_cast<std::size_t>(b)]);
+        }
+        bl.smin[static_cast<std::size_t>(g)] = sm;
+        super_bound[static_cast<std::size_t>(g)] = kInf;
+      }
+      if (!rescan) {
+        const std::int64_t window =
+            bl.boff[kBuckets] - hh;
+        const std::int64_t pruned = window - evaluated;
+        if (pruned > 0) {
+          best.blocks_pruned = (pruned + 511) / 512;
+          if (prune) view.CountPrunedTiles(best.blocks_pruned);
+        }
+      }
+    }
+    return best;
+  };
+
+  // Drop assigned entries bucket-by-bucket (stable, so sorted buckets
+  // stay sorted and unsorted ones keep ascending client order) and
+  // refresh the boundary ranks. Bucket minima stay as-is: removals only
+  // raise the true minimum, so the stale value remains certified.
+  const auto compact_buckets = [&](BucketList& bl, std::size_t& h,
+                                   std::int32_t& hb) {
+    std::size_t write = 0;
+    for (std::int32_t b = 0; b < kBuckets; ++b) {
+      const auto lo = static_cast<std::size_t>(bl.boff[static_cast<std::size_t>(b)]);
+      const auto hi =
+          static_cast<std::size_t>(bl.boff[static_cast<std::size_t>(b) + 1]);
+      bl.boff[static_cast<std::size_t>(b)] = static_cast<std::int32_t>(write);
+      for (std::size_t pos = lo; pos < hi; ++pos) {
+        const ClientIndex c = bl.perm[pos];
+        if (a[c] == kUnassigned) bl.perm[write++] = c;
+      }
+    }
+    bl.boff[kBuckets] = static_cast<std::int32_t>(write);
+    bl.perm.resize(write);
+    h = 0;
+    hb = 0;
+  };
+
+  // Ladder snapshot off the bucket structure: a rank inside a refined
+  // bucket reads its exact distance; inside an unsorted bucket the
+  // bucket minimum stands in (a certified lower bound, which the Ladder
+  // argument allows).
+  const auto seed_ladder_buckets = [&](ServerIndex s, Ladder& ladder,
+                                       const BucketList& bl) {
+    RebuildLadderRanks(ladder, bl.perm.size());
+    std::int32_t j = 0;
+    for (std::int32_t k = 0; k < ladder.count; ++k) {
+      const std::int32_t r = ladder.rank[static_cast<std::size_t>(k)];
+      while (bl.boff[static_cast<std::size_t>(j) + 1] <= r) ++j;
+      ladder.dist_at[static_cast<std::size_t>(k)] =
+          bl.bsorted[static_cast<std::size_t>(j)]
+              ? view.cs(bl.perm[static_cast<std::size_t>(r)], s)
+              : bl.bmin[static_cast<std::size_t>(j)];
+    }
+  };
+
+  // Preprocessing. The resident path sorts every column once (radix over
+  // the owned distance array) and keeps distances compacted in lockstep.
+  // The streamed path builds the bucket structure instead — one column
+  // pass per server, no sort (see the bucket note above).
   pool.ParallelFor(0, num_servers, 1, [&](std::int64_t b, std::int64_t e) {
-    thread_local std::vector<double> sort_scratch;
+    static thread_local std::vector<double> col;
+    static thread_local std::vector<std::uint16_t> bins;
+    static thread_local std::vector<std::int32_t> cursor;
     for (std::int64_t si = b; si < e; ++si) {
       const auto s = static_cast<ServerIndex>(si);
-      auto& list = lists[static_cast<std::size_t>(si)];
-      list.resize(static_cast<std::size_t>(num_clients));
-      for (ClientIndex c = 0; c < num_clients; ++c) {
-        list[static_cast<std::size_t>(c)] = c;
-      }
-      double* dist;
-      if (streamed) {
-        sort_scratch.resize(static_cast<std::size_t>(num_clients));
-        dist = sort_scratch.data();
-      } else {
-        auto& owned = dist_lists[static_cast<std::size_t>(si)];
-        owned.resize(static_cast<std::size_t>(num_clients));
-        dist = owned.data();
-      }
-      view.FillColumn(s, dist);
       Ladder& ladder = ladders[static_cast<std::size_t>(si)];
       if (streamed) {
-        // Order only; dist stays client-indexed scratch, so the ladder
-        // reads it through the sorted list.
-        simd::ArgsortDistIndex(dist, list.data(),
-                               static_cast<std::size_t>(num_clients));
-        RebuildLadderRanks(ladder, static_cast<std::size_t>(num_clients));
-        for (std::int32_t k = 0; k < ladder.count; ++k) {
-          ladder.dist_at[static_cast<std::size_t>(k)] =
-              dist[list[static_cast<std::size_t>(
-                  ladder.rank[static_cast<std::size_t>(k)])]];
+        BucketList& bl = bucket_lists[static_cast<std::size_t>(si)];
+        const auto n = static_cast<std::size_t>(num_clients);
+        col.resize(n);
+        view.FillColumn(s, col.data());
+        double dmin = kInf, dmax = -kInf;
+        for (std::size_t i = 0; i < n; ++i) {
+          dmin = std::min(dmin, col[i]);
+          dmax = std::max(dmax, col[i]);
         }
+        const double range = dmax - dmin;
+        const double inv = range > 0.0 && std::isfinite(range)
+                               ? static_cast<double>(kBuckets) / range
+                               : 0.0;
+        bins.resize(n);
+        bl.boff.assign(kBuckets + 1, 0);
+        bl.bmin.assign(kBuckets, kInf);
+        for (std::size_t i = 0; i < n; ++i) {
+          // fl((d - dmin) * inv) is non-decreasing in d, so the clamp
+          // keeps buckets distance-monotone with equal values always
+          // co-located — the property the exactness argument needs.
+          auto q = static_cast<std::int64_t>((col[i] - dmin) * inv);
+          q = std::clamp<std::int64_t>(q, 0, kBuckets - 1);
+          bins[i] = static_cast<std::uint16_t>(q);
+          ++bl.boff[static_cast<std::size_t>(q) + 1];
+          bl.bmin[static_cast<std::size_t>(q)] =
+              std::min(bl.bmin[static_cast<std::size_t>(q)], col[i]);
+        }
+        for (std::size_t j = 1; j <= kBuckets; ++j) {
+          bl.boff[j] += bl.boff[j - 1];
+        }
+        bl.perm.resize(n);
+        cursor.assign(bl.boff.begin(), bl.boff.begin() + kBuckets);
+        for (std::size_t i = 0; i < n; ++i) {
+          bl.perm[static_cast<std::size_t>(
+              cursor[bins[i]]++)] = static_cast<ClientIndex>(i);
+        }
+        bl.bsorted.assign(kBuckets, 0);
+        bl.smin.assign(kBuckets / kSuper, kInf);
+        for (std::int32_t j = 0; j < kBuckets; ++j) {
+          auto& sm = bl.smin[static_cast<std::size_t>(j / kSuper)];
+          sm = std::min(sm, bl.bmin[static_cast<std::size_t>(j)]);
+        }
+        // Ladder off the fresh buckets (nothing refined yet, so every
+        // point reads a bucket minimum) and the exact column minimum as
+        // the standing head bound.
+        RebuildLadderRanks(ladder, n);
+        std::int32_t j = 0;
+        for (std::int32_t k = 0; k < ladder.count; ++k) {
+          const std::int32_t r = ladder.rank[static_cast<std::size_t>(k)];
+          while (bl.boff[static_cast<std::size_t>(j) + 1] <= r) ++j;
+          ladder.dist_at[static_cast<std::size_t>(k)] =
+              bl.bmin[static_cast<std::size_t>(j)];
+        }
+        head_dist[static_cast<std::size_t>(si)] = dmin;
       } else {
+        auto& list = lists[static_cast<std::size_t>(si)];
+        list.resize(static_cast<std::size_t>(num_clients));
+        for (ClientIndex c = 0; c < num_clients; ++c) {
+          list[static_cast<std::size_t>(c)] = c;
+        }
+        auto& owned = dist_lists[static_cast<std::size_t>(si)];
+        owned.resize(static_cast<std::size_t>(num_clients));
+        double* dist = owned.data();
+        view.FillColumn(s, dist);
         // Stable radix sort with idx arriving ascending == lexicographic
         // (distance, client index): the exact tie-break of the former
         // comparator-on-indices sort, without the comparison-sort cost
@@ -134,7 +462,6 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
     }
   });
 
-  Assignment a(static_cast<std::size_t>(num_clients));
   std::vector<double> far(static_cast<std::size_t>(num_servers), -1.0);
   std::vector<std::int32_t> remaining(static_cast<std::size_t>(num_servers));
   for (ServerIndex s = 0; s < num_servers; ++s) {
@@ -148,14 +475,23 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
   // instead of the O(|S|^2) full recomputation. `max` over doubles is
   // exact, so the cached values are bit-identical to a fresh scan.
   std::vector<double> reach(static_cast<std::size_t>(num_servers), 0.0);
-  // Lazy compaction: head[s] is the position of server s's first
-  // not-yet-assigned client. A round only pays a full compaction + exact
-  // scan for servers whose cutoff-seeded stale scan (phase 2) cannot rule
-  // them out; everyone else costs a head advance (monotone, amortized by
-  // the list length), one ladder-bound evaluation, and a block-pruned
-  // stale scan that gathers one lane per 512-entry block.
-  std::vector<std::size_t> head(static_cast<std::size_t>(num_servers), 0);
-  std::vector<double> head_dist(static_cast<std::size_t>(num_servers), 0.0);
+  // Proven-cost memo: a phase-2 scan that missed its cutoff c proved this
+  // server's exact minimum cost was >= c at the max_len it ran under (a
+  // hit proved it EQUAL to the returned cost). Between rounds, at fixed
+  // max_len, a server's minimum only grows — removals and shrinking
+  // room/unassigned shrink every dn, reach growth raises every delta — so
+  // the proof stays valid; max_len growth m0 -> m1 lowers each delta by at
+  // most (m1 - m0) and dn >= 1, so
+  //   lb = fl-down(proven - fl-up(m1 - m0))
+  // (outward-rounded via nextafter on both steps) is a certified lower
+  // bound under the new max_len. Folded into the phase-1 bound with max(),
+  // it lets losing servers skip even the bucket-bound stale scan.
+  // The zero fast-path invariant survives: delta_head == 0 forces the
+  // exact minimum to 0, so any valid memo bound is <= 0 there and the
+  // max() leaves the ladder's 0 bound in place.
+  std::vector<double> proven_cost(static_cast<std::size_t>(num_servers),
+                                  -kInf);
+  std::vector<double> proven_mlen(static_cast<std::size_t>(num_servers), 0.0);
   // Bound-sorted traversal order: evaluating the most promising server
   // first makes the incumbent tight immediately, so the sorted suffix
   // whose bounds cannot beat it is skipped in one break. Selection stays
@@ -185,13 +521,30 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
       const auto si = static_cast<std::size_t>(s);
       const std::int32_t room = remaining[si];
       if (room <= 0) continue;
-      auto& list = lists[si];
       std::size_t& h = head[si];
-      // Every unassigned client appears in every list, so the head always
-      // lands on one before running off the end.
-      while (a[list[h]] != kUnassigned) ++h;
-      const double d_head =
-          streamed ? view.cs(list[h], s) : dist_lists[si][h];
+      double d_head;
+      if (streamed) {
+        BucketList& bl = bucket_lists[si];
+        // Every unassigned client appears in every list, so the head
+        // always lands on one before running off the end.
+        while (a[bl.perm[h]] != kUnassigned) ++h;
+        std::int32_t& hb = hbucket[si];
+        while (bl.boff[static_cast<std::size_t>(hb) + 1] <=
+               static_cast<std::int32_t>(h)) {
+          ++hb;
+        }
+        // Inside a refined bucket the head's distance is exact (and the
+        // true global head's — earlier buckets are exhausted, later ones
+        // only hold larger distances); otherwise the bucket minimum is
+        // the certified stand-in.
+        d_head = bl.bsorted[static_cast<std::size_t>(hb)]
+                     ? view.cs(bl.perm[h], s)
+                     : bl.bmin[static_cast<std::size_t>(hb)];
+      } else {
+        auto& list = lists[si];
+        while (a[list[h]] != kUnassigned) ++h;
+        d_head = dist_lists[si][h];
+      }
       head_dist[si] = d_head;
       const double server_reach = num_assigned > 0 ? reach[si] : -kInf;
       const double room_d = static_cast<double>(room);
@@ -211,6 +564,14 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
         bound = std::min(bound, delta / dn);
         if (bound == 0.0) break;  // costs are non-negative: global minimum
       }
+      if (prune && proven_cost[si] != -kInf) {
+        double lb = proven_cost[si];
+        if (max_len != proven_mlen[si]) {
+          const double dm = std::nextafter(max_len - proven_mlen[si], kInf);
+          lb = std::nextafter(lb - dm, -kInf);
+        }
+        bound = std::max(bound, lb);
+      }
       order.push_back({bound, s});
     }
     std::sort(order.begin(), order.end(),
@@ -219,8 +580,8 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
               });
 
     // Phase 2: scan survivors in ascending bound order, seeding every
-    // kernel call with the incumbent as its cutoff. Each server is first
-    // scanned over its STALE suffix — the sorted list as of its last
+    // scan with the incumbent as its cutoff. Each server is first
+    // scanned over its STALE suffix — the bucket list as of its last
     // compaction, minus the advanced head, with already-assigned entries
     // still present. That scan is a valid lower bound on the server's
     // true (compacted) minimum: every current candidate sits at a stale
@@ -229,9 +590,9 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
     // lanes only deepen the minimum further. A stale scan that cannot
     // beat the cutoff therefore proves the exact scan could not either —
     // the server is skipped without paying compaction, and with the
-    // seeded cutoff the kernel touches only one gathered lane per
-    // 512-entry block. Only a server whose stale scan DOES beat the
-    // cutoff compacts and rescans exactly.
+    // seeded cutoff the scan retires all but a handful of buckets on
+    // their bounds. Only a server whose stale scan DOES beat the cutoff
+    // compacts and rescans exactly.
     simd::CandidateResult best;
     best.cost = kInf;
     ServerIndex best_server = -1;
@@ -249,16 +610,36 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
         break;
       }
       const std::int32_t room = remaining[si];
-      auto& list = lists[si];
       std::size_t& h = head[si];
-      const double d_head = head_dist[si];
       const double server_reach = num_assigned > 0 ? reach[si] : -kInf;
-      const double delta_head =
+      double d_head = head_dist[si];
+      double delta_head =
           std::max(std::max(2.0 * d_head, d_head + server_reach), max_len) -
           max_len;
+      if (streamed && delta_head == 0.0) {
+        // The head bound can sit below the true head distance while the
+        // head's bucket is unrefined — a zero there is only a hint.
+        // Refine until the head lands in a sorted bucket (so d_head is
+        // the true head's exact distance) or the zero disappears; the
+        // sorted flags make this terminate.
+        BucketList& bl = bucket_lists[si];
+        std::int32_t& hb = hbucket[si];
+        while (delta_head == 0.0 &&
+               !bl.bsorted[static_cast<std::size_t>(hb)]) {
+          sort_bucket(s, bl, hb, h, hb);
+          d_head = bl.bsorted[static_cast<std::size_t>(hb)]
+                       ? view.cs(bl.perm[h], s)
+                       : bl.bmin[static_cast<std::size_t>(hb)];
+          head_dist[si] = d_head;
+          delta_head = std::max(
+                           std::max(2.0 * d_head, d_head + server_reach),
+                           max_len) -
+                       max_len;
+        }
+      }
       if (delta_head == 0.0) {
         // Zero fast-path: cost(0) = 0/dn = 0 exactly, the global minimum
-        // (costs are non-negative), at the kernel's first position — the
+        // (costs are non-negative), at the scan's first position — the
         // batch is the head client alone. Any zero-delta server has a
         // zero ladder bound, and the traversal visits equal bounds in
         // ascending server order, so s is the lexicographic winner among
@@ -279,35 +660,42 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
       // found rather than pruned. A returned pos >= 0 then always means
       // "new lexicographic (cost, server) winner".
       const double cutoff =
-          best_server < 0
+          !prune || best_server < 0
               ? kInf
               : (s < best_server ? std::nextafter(best.cost, kInf)
                                  : best.cost);
-      const std::size_t stale_n = list.size() - h;
       simd::CandidateResult r;
       if (streamed) {
-        r = view.ScanCandidates(s, list.data() + h, stale_n, server_reach,
-                                max_len, room, cutoff);
+        r = scan_buckets(s, bucket_lists[si], h, hbucket[si], server_reach,
+                         max_len, room, cutoff);
       } else {
-        r = simd::BestCandidate(dist_lists[si].data() + h, stale_n,
-                                server_reach, max_len, room, cutoff);
-      }
-      if (r.pos < 0) continue;  // proven: exact minimum >= cutoff
-      // The stale suffix held something below the cutoff — compact the
-      // sorted list (and, when resident, its distance array) in place,
-      // dropping clients assigned in earlier rounds, and rescan exactly.
-      std::size_t write = 0;
-      if (streamed) {
-        for (std::size_t pos = h; pos < list.size(); ++pos) {
-          const ClientIndex c = list[pos];
-          if (a[c] == kUnassigned) list[write++] = c;
-        }
-        list.resize(write);
-        h = 0;
-        r = view.ScanCandidates(s, list.data(), write, server_reach, max_len,
+        r = simd::BestCandidate(dist_lists[si].data() + h,
+                                lists[si].size() - h, server_reach, max_len,
                                 room, cutoff);
+      }
+      if (r.pos < 0) {
+        // Proven: exact minimum >= max(cutoff, scan lb). The certified
+        // bucket-bound minimum can sit far above the cutoff for a server
+        // nowhere near the incumbent — memoizing it keeps such servers
+        // out of phase 2 until max_len growth erodes the proof.
+        if (prune) {
+          proven_cost[si] =
+              cutoff == kInf ? r.lb : std::max(cutoff, r.lb);
+          proven_mlen[si] = max_len;
+        }
+        continue;
+      }
+      // The stale suffix held something below the cutoff — compact,
+      // dropping clients assigned in earlier rounds, and rescan exactly.
+      if (streamed) {
+        compact_buckets(bucket_lists[si], h, hbucket[si]);
+        r = scan_buckets(s, bucket_lists[si], h, hbucket[si], server_reach,
+                         max_len, room, cutoff);
+        seed_ladder_buckets(s, ladders[si], bucket_lists[si]);
       } else {
+        auto& list = lists[si];
         auto& dist = dist_lists[si];
+        std::size_t write = 0;
         for (std::size_t pos = h; pos < list.size(); ++pos) {
           const ClientIndex c = list[pos];
           if (a[c] == kUnassigned) {
@@ -320,20 +708,40 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
         h = 0;
         r = simd::BestCandidate(dist.data(), write, server_reach, max_len,
                                 room, cutoff);
+        // The compaction refreshed the list; re-seed the ladder from it
+        // so the next rounds' bounds start tight again.
+        Ladder& ladder = ladders[si];
+        RebuildLadderRanks(ladder, write);
+        for (std::int32_t k = 0; k < ladder.count; ++k) {
+          const auto rk = static_cast<std::size_t>(
+              ladder.rank[static_cast<std::size_t>(k)]);
+          ladder.dist_at[static_cast<std::size_t>(k)] = dist[rk];
+        }
       }
-      // The compaction refreshed the list; re-seed the ladder from it so
-      // the next rounds' bounds start tight again.
-      Ladder& ladder = ladders[si];
-      RebuildLadderRanks(ladder, write);
-      for (std::int32_t k = 0; k < ladder.count; ++k) {
-        const auto rk =
-            static_cast<std::size_t>(ladder.rank[static_cast<std::size_t>(k)]);
-        ladder.dist_at[static_cast<std::size_t>(k)] =
-            streamed ? view.cs(list[rk], s) : dist_lists[si][rk];
+      if (r.pos < 0) {
+        // The stale bound was optimistic, but the miss is the same proof.
+        if (prune) {
+          proven_cost[si] =
+              cutoff == kInf ? r.lb : std::max(cutoff, r.lb);
+          proven_mlen[si] = max_len;
+        }
+        continue;
       }
-      if (r.pos < 0) continue;  // the stale bound was optimistic
-      best = r;
-      best_server = s;
+      // Exact scan: r.cost IS this server's minimum — the tightest memo.
+      if (prune) {
+        proven_cost[si] = r.cost;
+        proven_mlen[si] = max_len;
+      }
+      // With pruning on, the cutoff already encodes the incumbent (a hit
+      // means "new lexicographic (cost, server) winner"), making this
+      // comparison a tautology. With pruning off every infinite-cutoff
+      // scan hits, so the explicit comparison is what keeps the round's
+      // winner the lexicographic minimum rather than the last scanned.
+      if (best_server < 0 || r.cost < best.cost ||
+          (r.cost == best.cost && s < best_server)) {
+        best = r;
+        best_server = s;
+      }
     }
     DIACA_CHECK_MSG(best_server >= 0, "no assignable pair found");
 
@@ -341,13 +749,15 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
     // unassigned by construction; truncated to the farthest `take`
     // members under capacity. The zero fast-path winner skipped
     // compaction, but its batch is the single head client.
-    auto& list = lists[static_cast<std::size_t>(best_server)];
-    auto& room = remaining[static_cast<std::size_t>(best_server)];
-    double& far_b = far[static_cast<std::size_t>(best_server)];
+    const auto bsi = static_cast<std::size_t>(best_server);
+    auto& room = remaining[bsi];
+    double& far_b = far[bsi];
     std::size_t take = 1;
     if (zero_path) {
-      std::size_t& h = head[static_cast<std::size_t>(best_server)];
-      a[list[h]] = best_server;
+      std::size_t& h = head[bsi];
+      const ClientIndex c =
+          streamed ? bucket_lists[bsi].perm[h] : lists[bsi][h];
+      a[c] = best_server;
       ++h;
       far_b = std::max(far_b, zero_d);
       ++num_assigned;
@@ -357,21 +767,41 @@ Assignment GreedyAssign(const Problem& problem, const AssignOptions& options,
       take =
           std::min<std::size_t>(batch_size, static_cast<std::size_t>(room));
       DIACA_CHECK(take >= 1);
+      const std::size_t lo_r = batch_size - take;
+      const ClientIndex* batch_ids;
       const double* dist;
-      std::size_t dist_offset = batch_size - take;
+      std::size_t dist_offset = lo_r;
       if (streamed) {
+        BucketList& bl = bucket_lists[bsi];
+        // Capacity truncation can cut into a bucket; the window's upper
+        // end is inside the winner's bucket, which the scan refined. If
+        // the lower end splits an unrefined bucket, refine it so the
+        // boundary falls on exact ranks — the window's interior buckets
+        // need no order (the batch assigns a set; far takes a max).
+        std::int32_t b = 0;
+        while (bl.boff[static_cast<std::size_t>(b) + 1] <=
+               static_cast<std::int32_t>(lo_r)) {
+          ++b;
+        }
+        if (static_cast<std::size_t>(
+                bl.boff[static_cast<std::size_t>(b)]) < lo_r &&
+            !bl.bsorted[static_cast<std::size_t>(b)]) {
+          sort_bucket(best_server, bl, b, head[bsi], hbucket[bsi]);
+        }
+        batch_ids = bl.perm.data();
         // The scan reduced in place without materializing the distances;
         // re-gather just the batch window here.
         batch_dist.resize(take);
-        view.GatherColumn(best_server, list.data() + dist_offset, take,
+        view.GatherColumn(best_server, bl.perm.data() + lo_r, take,
                           batch_dist.data());
         dist = batch_dist.data();
         dist_offset = 0;
       } else {
-        dist = dist_lists[static_cast<std::size_t>(best_server)].data();
+        batch_ids = lists[bsi].data();
+        dist = dist_lists[bsi].data();
       }
       for (std::size_t i = 0; i < take; ++i) {
-        a[list[batch_size - take + i]] = best_server;
+        a[batch_ids[lo_r + i]] = best_server;
         far_b = std::max(far_b, dist[dist_offset + i]);
         ++num_assigned;
       }

@@ -26,21 +26,19 @@ struct Candidate {
 Assignment Uncapacitated(const Problem& problem, SolveStats* stats) {
   const std::int32_t num_clients = problem.num_clients();
   const ClientBlockView& view = problem.client_block();
-  const auto num_servers = static_cast<std::size_t>(problem.num_servers());
   std::vector<Candidate> order(static_cast<std::size_t>(num_clients));
-  // Per-client nearest-server lookups are independent O(|S|) row scans:
-  // the fused traversal hands each tile to a pool lane, which reduces the
-  // rows while the tile is cache-resident. Each tile writes only its own
-  // order[] slots, and the per-row kernel is the one the materialized
-  // path always ran, so the picks are backend- and schedule-independent.
-  view.ForEachTile([&](const ClientTile& tile, std::size_t) {
-    for (ClientIndex c = tile.begin; c < tile.end; ++c) {
-      const double* row = tile.row(c);
-      const auto s =
-          static_cast<ServerIndex>(simd::ArgMinFirst(row, num_servers).index);
-      order[static_cast<std::size_t>(c)] = {c, s, row[s]};
+  // The view's factorized nearest scan: the same (server, distance) pick
+  // ArgMinFirst made per exact row, but a lazy backend answers per
+  // attachment node instead of synthesizing O(|C| x |S|) tiles.
+  {
+    std::vector<ServerIndex> near(static_cast<std::size_t>(num_clients));
+    std::vector<double> dist(static_cast<std::size_t>(num_clients));
+    view.FillNearest(near.data(), dist.data());
+    for (ClientIndex c = 0; c < num_clients; ++c) {
+      order[static_cast<std::size_t>(c)] = {c, near[static_cast<std::size_t>(c)],
+                                            dist[static_cast<std::size_t>(c)]};
     }
-  });
+  }
   // Longest distance first; stable tie-break on client index.
   std::sort(order.begin(), order.end(), [](const Candidate& a, const Candidate& b) {
     return a.distance != b.distance ? a.distance > b.distance

@@ -77,23 +77,67 @@ LowerBoundDetail ComputePairwise(const Problem& problem) {
   // the lexicographically smallest pair attaining the max; the explicit
   // lex tie-break below reproduces exactly that pair under the swapped
   // iteration order, so both backends report identical witnesses.
-  view.ForEachTile([&](const ClientTile& tile) {
-    for (ClientIndex c2 = tile.begin; c2 < tile.end; ++c2) {
-      const double* cs2 = tile.row(c2);
-      for (ClientIndex c = 0; c <= c2; ++c) {
-        const double best = simd::MinPlusReduce(
-            m.data() + static_cast<std::size_t>(c) * stride, cs2, ss);
-        if (best > detail.value ||
-            (best == detail.value &&
-             (c < detail.first ||
-              (c == detail.first && c2 < detail.second)))) {
-          detail.value = best;
-          detail.first = c;
-          detail.second = c2;
+  //
+  // Filter-and-refine over the pair grid. Each m row's minimum lane gives
+  // a certified per-pair upper bound with zero slack:
+  //   best(c, c2) = min_{s'} fl(m[c][s'] + cs2[s'])
+  //               <= fl(m_min[c] + cs2[s_star[c]])   (that very lane)
+  // so a pair whose bound loses to the incumbent — or exactly ties it
+  // from a lex-greater pair, which the update below would reject anyway —
+  // skips the |S|-lane reduce for two loads and an add. Lifting cs2 to
+  // the TileBounds sandwich (cs2[s] <= fl(access_max + col_upper[s]))
+  // turns the same bound into a whole-tile rejection test evaluated
+  // BEFORE the tile is synthesized; tiles are only skipped on a strict
+  // loss, so the surviving traversal reports bit-identical value AND
+  // witness at any pruning rate.
+  std::vector<double> m_min(sc);
+  std::vector<ServerIndex> m_star(sc);
+  for (std::size_t c = 0; c < sc; ++c) {
+    const simd::ArgResult r = simd::ArgMinFirst(m.data() + c * stride, ss);
+    m_min[c] = r.value;
+    m_star[c] = static_cast<ServerIndex>(r.index);
+  }
+  view.ForEachTileBounded(
+      [&](const TileBounds& tb) {
+        for (ClientIndex c = 0; c < tb.end; ++c) {
+          const double up =
+              tb.access_max +
+              view.ColumnBounds(m_star[static_cast<std::size_t>(c)]).upper;
+          // Strict loss only: a bound-tying pair could still take the
+          // witness from a lex-greater incumbent.
+          if (m_min[static_cast<std::size_t>(c)] + up >= detail.value) {
+            return true;  // some pair in this tile could still win
+          }
         }
-      }
-    }
-  });
+        return false;
+      },
+      [&](const ClientTile& tile) {
+        for (ClientIndex c2 = tile.begin; c2 < tile.end; ++c2) {
+          const double* cs2 = tile.row(c2);
+          for (ClientIndex c = 0; c <= c2; ++c) {
+            const double ub =
+                m_min[static_cast<std::size_t>(c)] +
+                cs2[static_cast<std::size_t>(
+                    m_star[static_cast<std::size_t>(c)])];
+            if (ub < detail.value) continue;
+            if (ub == detail.value &&
+                !(c < detail.first ||
+                  (c == detail.first && c2 < detail.second))) {
+              continue;
+            }
+            const double best = simd::MinPlusReduce(
+                m.data() + static_cast<std::size_t>(c) * stride, cs2, ss);
+            if (best > detail.value ||
+                (best == detail.value &&
+                 (c < detail.first ||
+                  (c == detail.first && c2 < detail.second)))) {
+              detail.value = best;
+              detail.first = c;
+              detail.second = c2;
+            }
+          }
+        }
+      });
   return detail;
 }
 

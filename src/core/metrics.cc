@@ -57,27 +57,12 @@ std::vector<double> ServerEccentricities(const Problem& problem,
   const ClientBlockView& view = problem.client_block();
   const double* cs = view.raw_block();
   if (cs == nullptr) {
-    // Streamed block: the fused traversal folds every tile with the same
-    // scatter kernel the resident path runs, while the tile is still
-    // cache-resident; each slot owns a private buffer, merged in
-    // ascending slot order afterwards. `max` is exact under any
-    // association, so the eccentricities are bit-identical to the serial
-    // scan at every thread count.
-    std::vector<std::vector<double>> locals(view.NumTiles());
-    view.ForEachTile([&](const ClientTile& tile, std::size_t slot) {
-      auto& local = locals[slot];
-      local.assign(num_servers, -1.0);
-      simd::MaxAbsorbScatter(
-          local.data(),
-          a.server_of.data() + static_cast<std::size_t>(tile.begin),
-          tile.data, tile.stride, 0, tile.end - tile.begin);
-    });
-    for (const std::vector<double>& local : locals) {
-      if (local.empty()) continue;
-      for (std::size_t s = 0; s < num_servers; ++s) {
-        far[s] = std::max(far[s], local[s]);
-      }
-    }
+    // Streamed block: the view's bounds-first fold reads only the
+    // assigned diagonal (one value per client, never a synthesized tile)
+    // and certified-skips whole tile ranges once the running maxima
+    // dominate them — bit-identical to the full scatter because max is
+    // exact and skipped clients provably cannot raise it.
+    view.FoldAssignedMax(a.server_of.data(), far.data());
     return far;
   }
   const std::size_t cs_stride = problem.server_stride();
@@ -203,29 +188,22 @@ std::vector<ClientIndex> CriticalClients(const Problem& problem,
           MaxServerReach(problem, far, static_cast<ServerIndex>(s));
     }
   });
-  // Flag clients tile by tile — the fused traversal reduces each tile on
-  // a pool lane while it is cache-resident; the flags are per-client
-  // (write-disjoint), and collecting them in index order yields the same
-  // ascending list the serial loop produced.
-  std::vector<char> is_critical(static_cast<std::size_t>(num_clients), 0);
-  problem.client_block().ForEachTile([&](const ClientTile& tile,
-                                         std::size_t) {
-    for (ClientIndex c = tile.begin; c < tile.end; ++c) {
-      const ServerIndex s = a[c];
-      const double dcs = tile.row(c)[s];
-      // c is an endpoint of a longest path iff its distance plus the
-      // longest reach from its server (or its own round trip) attains
-      // max_len.
-      const double longest_via_c =
-          std::max(2.0 * dcs, dcs + reach[static_cast<std::size_t>(s)]);
-      if (longest_via_c >= max_len - tolerance) {
-        is_critical[static_cast<std::size_t>(c)] = 1;
-      }
-    }
-  });
+  // Only the assigned diagonal matters, so gather it in one O(|C|) pass
+  // (no tile is ever synthesized) and flag clients in ascending order —
+  // the same values, hence the same list, the former tile traversal
+  // produced.
+  std::vector<double> dcs(static_cast<std::size_t>(num_clients));
+  problem.client_block().GatherAssigned(a.server_of.data(), dcs.data());
   std::vector<ClientIndex> critical;
   for (ClientIndex c = 0; c < num_clients; ++c) {
-    if (is_critical[static_cast<std::size_t>(c)] != 0) critical.push_back(c);
+    const ServerIndex s = a[c];
+    const double d = dcs[static_cast<std::size_t>(c)];
+    // c is an endpoint of a longest path iff its distance plus the
+    // longest reach from its server (or its own round trip) attains
+    // max_len.
+    const double longest_via_c =
+        std::max(2.0 * d, d + reach[static_cast<std::size_t>(s)]);
+    if (longest_via_c >= max_len - tolerance) critical.push_back(c);
   }
   return critical;
 }
@@ -242,17 +220,22 @@ double MeanInteractionPathLength(const Problem& problem,
                                  0.0);
   std::vector<double> load(static_cast<std::size_t>(problem.num_servers()), 0.0);
   double client_sum = 0.0;
-  // Tiles ascend, so the accumulation order (and thus the floating-point
-  // sums) matches the former per-client loop on every backend.
-  problem.client_block().ForEachTile([&](const ClientTile& tile) {
-    for (ClientIndex c = tile.begin; c < tile.end; ++c) {
+  // One sparse gather of the assigned diagonal, accumulated in ascending
+  // client order — the same values in the same order as the former tile
+  // traversal, so the floating-point sums are bit-identical on every
+  // backend without synthesizing a single tile.
+  {
+    std::vector<double> dcs(
+        static_cast<std::size_t>(problem.num_clients()));
+    problem.client_block().GatherAssigned(a.server_of.data(), dcs.data());
+    for (ClientIndex c = 0; c < problem.num_clients(); ++c) {
       const ServerIndex s = a[c];
-      const double d = tile.row(c)[s];
+      const double d = dcs[static_cast<std::size_t>(c)];
       total_dist[static_cast<std::size_t>(s)] += d;
       load[static_cast<std::size_t>(s)] += 1.0;
       client_sum += d;
     }
-  });
+  }
   // The inner sum over s2 is a dot product of the s1 row with the load
   // vector: unused servers carry load 0.0, whose products vanish exactly,
   // so the full-range kernel equals the former used-set pair loop. Only

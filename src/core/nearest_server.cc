@@ -35,14 +35,11 @@ Assignment NearestServerAssign(const Problem& problem,
   const auto num_servers = static_cast<std::size_t>(problem.num_servers());
 
   if (!options.capacitated()) {
-    // One streaming pass: each tile's rows see the exact kernel the
-    // materialized path ran, so the pick is backend-independent.
-    view.ForEachTile([&](const ClientTile& tile) {
-      for (ClientIndex c = tile.begin; c < tile.end; ++c) {
-        a[c] = static_cast<ServerIndex>(
-            simd::ArgMinFirst(tile.row(c), num_servers).index);
-      }
-    });
+    // The view's factorized nearest scan: bit-identical to ArgMinFirst
+    // over every exact row, but a lazy backend answers per attachment
+    // node instead of synthesizing O(|C| x |S|) tiles.
+    std::vector<double> dist(static_cast<std::size_t>(problem.num_clients()));
+    view.FillNearest(a.server_of.data(), dist.data());
     return a;
   }
 

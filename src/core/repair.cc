@@ -85,13 +85,17 @@ RepairResult RepairAssign(const Problem& problem, const Assignment& current,
   // lower client index, so the order — and everything downstream — is
   // deterministic.
   std::vector<std::pair<double, ClientIndex>> orphan_order;
+  std::vector<double> row(view.server_stride());
   for (ClientIndex c = 0; c < num_clients; ++c) {
     if (is_failed[static_cast<std::size_t>(current[c])] == 0) continue;
     is_orphan[static_cast<std::size_t>(c)] = 1;
+    // One row fill per orphan: the masked min then runs over a resident
+    // row instead of |S| virtual spot lookups.
+    view.FillRow(c, row.data());
     double nearest = std::numeric_limits<double>::infinity();
     for (ServerIndex s = 0; s < num_servers; ++s) {
       if (is_failed[static_cast<std::size_t>(s)] != 0) continue;
-      nearest = std::min(nearest, view.cs(c, s));
+      nearest = std::min(nearest, row[static_cast<std::size_t>(s)]);
     }
     orphan_order.emplace_back(nearest, c);
   }
@@ -117,9 +121,10 @@ RepairResult RepairAssign(const Problem& problem, const Assignment& current,
   for (const auto& [unused, c] : orphan_order) {
     ServerIndex best = kUnassigned;
     double best_d = std::numeric_limits<double>::infinity();
+    view.FillRow(c, row.data());
     for (ServerIndex s = 0; s < num_servers; ++s) {
       if (is_failed[static_cast<std::size_t>(s)] != 0 || !has_room(s)) continue;
-      const double d = view.cs(c, s);
+      const double d = row[static_cast<std::size_t>(s)];
       if (d < best_d) {
         best_d = d;
         best = s;

@@ -30,6 +30,12 @@ struct SolveStats {
   /// High-water bytes of live tile-pool buffers on the problem's client
   /// block (0 when materialized) — what streaming actually cost in memory.
   std::int64_t tile_bytes_peak = 0;
+  /// Synthesis units (tiles + 512-entry candidate blocks) the certified
+  /// filter-and-refine bounds skipped without computing their exact
+  /// values. Telemetry, not part of the determinism contract: 0 on a
+  /// materialized block and under the scalar SIMD backend. Snapshotted
+  /// from ClientBlockStats by SolverRegistry.
+  std::int64_t tiles_pruned = 0;
   /// Maximum interaction path length of the returned assignment (ms),
   /// as computed by core::MaxInteractionPathLength.
   double max_len = 0.0;

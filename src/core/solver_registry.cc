@@ -134,6 +134,8 @@ SolveResult SolverRegistry::Solve(const std::string& name,
   const ClientBlockStats block_after = problem.client_block().stats();
   result.stats.tiles_loaded = block_after.tiles_loaded - block_before.tiles_loaded;
   result.stats.tile_bytes_peak = block_after.tile_bytes_peak;
+  result.stats.tiles_pruned =
+      block_after.tiles_pruned - block_before.tiles_pruned;
 #if DIACA_OBS
   // Solver-level metrics: an explicit target registry records always; the
   // default registry only when metrics are enabled. Off the hot path —
@@ -159,6 +161,10 @@ SolveResult SolverRegistry::Solve(const std::string& name,
           .Add(result.stats.tiles_loaded);
       target->GetGauge(prefix + ".tile_bytes_peak")
           .Set(result.stats.tile_bytes_peak);
+    }
+    if (result.stats.tiles_pruned > 0) {
+      target->GetCounter(prefix + ".tiles_pruned")
+          .Add(result.stats.tiles_pruned);
     }
     target->GetHistogram(prefix + ".solve_ms")
         .Record(static_cast<double>(obs::NowNs() - start_ns) / 1e6);

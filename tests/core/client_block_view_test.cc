@@ -309,7 +309,7 @@ TEST(ClientBlockViewTest, ForEachTilePartitionsClientsWithZeroPads) {
   }
 }
 
-TEST(ClientBlockViewTest, SolveStatsCountTilesOnStreamedBackendOnly) {
+TEST(ClientBlockViewTest, GreedySolveSynthesizesNoTilesOnStreamedBackend) {
   const Substrate sub = MakeSubstrate();
   const Problem dense =
       Problem::WithClientsEverywhere(sub.oracle, sub.servers);
@@ -321,19 +321,21 @@ TEST(ClientBlockViewTest, SolveStatsCountTilesOnStreamedBackendOnly) {
       SolverRegistry::Default().Solve("greedy", dense, SolveOptions{});
   EXPECT_EQ(rd.stats.tiles_loaded, 0);
   EXPECT_EQ(rd.stats.tile_bytes_peak, 0);
+  EXPECT_EQ(rd.stats.tiles_pruned, 0);  // resident data: nothing avoided
+  const ClientBlockStats before = tiled.client_block().stats();
   const SolveResult rt =
       SolverRegistry::Default().Solve("greedy", tiled, SolveOptions{});
-  EXPECT_GT(rt.stats.tiles_loaded, 0);
-  EXPECT_GT(rt.stats.tile_bytes_peak, 0);
-  // Pool buffers are tile-sized: the sequential pipeline holds at most
-  // pool_tiles buffers, the fused traversal at most one per pool lane.
-  const std::int64_t tile_bytes =
-      static_cast<std::int64_t>(tile.tile_clients) *
-      static_cast<std::int64_t>(tiled.client_block().server_stride()) *
-      static_cast<std::int64_t>(sizeof(double));
-  const std::int64_t max_buffers = std::max<std::int64_t>(
-      tile.pool_tiles, GlobalPool().num_threads());
-  EXPECT_LE(rt.stats.tile_bytes_peak, max_buffers * tile_bytes);
+  // The bounds-first greedy never synthesizes a tile on a lazy backend:
+  // preprocessing sorts through the fused gather argsort, the rounds scan
+  // through ScanCandidates, batches re-gather single columns, and the
+  // objective fold reads only the assigned diagonal.
+  EXPECT_EQ(rt.stats.tiles_loaded, 0);
+  EXPECT_EQ(rt.stats.tile_bytes_peak, 0);
+  const ClientBlockStats after = tiled.client_block().stats();
+  EXPECT_GT(after.columns_gathered, before.columns_gathered);
+  // Identical output is the other half of the contract.
+  EXPECT_EQ(rt.assignment.server_of, rd.assignment.server_of);
+  EXPECT_EQ(rt.stats.max_len, rd.stats.max_len);
 }
 
 // The tile-pipeline determinism grid: every combination of prefetch
@@ -531,6 +533,35 @@ TEST(OracleSpecTest, ParsesBackendsAndOptions) {
   EXPECT_EQ(co.coord_rounds, 64);
   EXPECT_EQ(co.coord_dimensions, 2);
   EXPECT_EQ(co.seed, 7u);
+
+  const net::OracleOptions hl =
+      net::ParseOracleSpec("hublabels:k=32,rsamples=512,rq=995,seed=9");
+  EXPECT_EQ(hl.backend, net::OracleBackend::kHubLabels);
+  EXPECT_EQ(hl.hub_order_anchors, 32);
+  EXPECT_EQ(hl.repair_samples, 512);
+  EXPECT_EQ(hl.repair_permille, 995);
+  EXPECT_EQ(hl.seed, 9u);
+}
+
+// A key another backend owns must not be swallowed silently —
+// "rows:landmarks=32" configures nothing and would read like a working
+// sketch config. The error names the backend's own key list.
+TEST(OracleSpecTest, RejectsKeysOwnedByOtherBackends) {
+  EXPECT_THROW(net::ParseOracleSpec("rows:landmarks=4"), Error);
+  EXPECT_THROW(net::ParseOracleSpec("dense:cache=8"), Error);
+  EXPECT_THROW(net::ParseOracleSpec("landmarks:cache=8"), Error);
+  EXPECT_THROW(net::ParseOracleSpec("coords:k=4"), Error);
+  EXPECT_THROW(net::ParseOracleSpec("hublabels:landmarks=4"), Error);
+  EXPECT_THROW(net::ParseOracleSpec("hublabels:beacons=4"), Error);
+  EXPECT_THROW(net::ParseOracleSpec("landmarks:rq=1001"), Error);
+  try {
+    net::ParseOracleSpec("rows:landmarks=4");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("cache|shards|seed"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rows"), std::string::npos) << msg;
+  }
 }
 
 TEST(OracleSpecTest, RejectsMalformedSpecs) {

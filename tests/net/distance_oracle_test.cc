@@ -97,7 +97,12 @@ TEST(DistanceOracleTest, RowsBitwiseEqualsDenseOnDyadicWeights) {
 
 TEST(DistanceOracleTest, TinyLruCapacityNeverChangesAnswers) {
   const Graph graph = SmallWaxman(80, 5);
-  const DistanceOracle big = DistanceOracle::FromGraph(graph, RowsOptions(80));
+  // One stripe so capacity 80 provably retains all 80 rows: the hashed
+  // stripe routing does not split a multi-stripe cache's capacity evenly
+  // across node ids, only per stripe.
+  OracleOptions big_opt = RowsOptions(80);
+  big_opt.row_cache_shards = 1;
+  const DistanceOracle big = DistanceOracle::FromGraph(graph, big_opt);
   const DistanceOracle tiny = DistanceOracle::FromGraph(graph, RowsOptions(1));
   Rng rng(9);
   for (int i = 0; i < 2000; ++i) {
@@ -122,32 +127,37 @@ TEST(DistanceOracleTest, StatsCountersTrackCacheBehavior) {
   EXPECT_GE(s.row_cache_hits, 1);
 }
 
-// The striped cache routes node u to shard u % shards; the per-shard
-// splits must account for every hit and miss the totals report.
-TEST(DistanceOracleTest, ShardStatsSumToTotalsAndRouteByNode) {
+// The striped cache routes node u to stripe splitmix64(u) % shards; the
+// per-shard splits must account for every hit and miss the totals
+// report, and a strided node set must spread across stripes (the old
+// u % shards routing piled every shards-th id onto stripe 0, which
+// serialized the typical every-k-th-server access pattern on one lock).
+TEST(DistanceOracleTest, ShardStatsSumToTotalsAndSpreadStridedIds) {
   const Graph graph = SmallWaxman(60, 2);
-  OracleOptions opt = RowsOptions(8);
+  OracleOptions opt = RowsOptions(60);
   opt.row_cache_shards = 4;
   const DistanceOracle rows = DistanceOracle::FromGraph(graph, opt);
   std::vector<double> row(60);
-  rows.FillRow(0, row);  // miss on shard 0
-  rows.FillRow(0, row);  // hit on shard 0
-  rows.FillRow(1, row);  // miss on shard 1
+  for (NodeIndex u = 0; u < 60; u += 4) rows.FillRow(u, row);  // 15 misses
+  for (NodeIndex u = 0; u < 60; u += 4) rows.FillRow(u, row);  // 15 hits
   const OracleStats s = rows.stats();
   ASSERT_EQ(s.shard_hits.size(), 4u);
   ASSERT_EQ(s.shard_misses.size(), 4u);
   std::int64_t hit_sum = 0;
   std::int64_t miss_sum = 0;
+  std::int32_t stripes_touched = 0;
   for (std::size_t i = 0; i < 4; ++i) {
     hit_sum += s.shard_hits[i];
     miss_sum += s.shard_misses[i];
+    stripes_touched += s.shard_misses[i] > 0 ? 1 : 0;
   }
   EXPECT_EQ(hit_sum, s.row_cache_hits);
   EXPECT_EQ(miss_sum, s.row_cache_misses);
-  EXPECT_EQ(s.shard_hits[0], 1);
-  EXPECT_EQ(s.shard_misses[0], 1);
-  EXPECT_EQ(s.shard_misses[1], 1);
-  EXPECT_EQ(s.shard_hits[1], 0);
+  EXPECT_EQ(s.row_cache_misses, 15);
+  EXPECT_EQ(s.row_cache_hits, 15);
+  // Every probed id is 0 mod 4; modulo routing would put all 15 rows on
+  // stripe 0. The mixed hash must touch more than one stripe.
+  EXPECT_GE(stripes_touched, 2);
 }
 
 // Shard count is a concurrency knob, never a semantic one: answers match
@@ -344,6 +354,70 @@ TEST(DistanceOracleTest, ConcurrentQueriesAreExactAndRaceFree) {
   EXPECT_GE(s.row_builds, 1);
   EXPECT_GE(s.row_cache_hits, 1);
   EXPECT_GE(s.row_evictions, 1);
+}
+
+// Pruned labeling is complete on connected graphs: every query must land
+// within re-association distance (the label path re-adds the two half
+// sums in hub order) of the canonical Dijkstra value, and the metric
+// substrate must pin both repair scales to exactly 1.0 so the bounds
+// sandwich is the raw one.
+TEST(DistanceOracleTest, HubLabelsMatchDenseWithinReassociation) {
+  const Graph graph = SmallWaxman(100, 6);
+  const LatencyMatrix dense = graph.AllPairsShortestPaths();
+  OracleOptions opt;
+  opt.backend = OracleBackend::kHubLabels;
+  const DistanceOracle hl = DistanceOracle::FromGraph(graph, opt);
+  EXPECT_FALSE(hl.exact());
+  EXPECT_EQ(hl.backend(), OracleBackend::kHubLabels);
+  for (NodeIndex u = 0; u < graph.size(); ++u) {
+    for (NodeIndex v = 0; v < graph.size(); ++v) {
+      const double d = hl.Distance(u, v);
+      const double truth = dense(u, v);
+      ASSERT_NEAR(d, truth, 1e-12 * std::max(1.0, truth))
+          << "pair " << u << "," << v;
+      const auto [lo, hi] = hl.DistanceBounds(u, v);
+      ASSERT_EQ(lo, d);
+      ASSERT_EQ(hi, d);
+    }
+  }
+  const OracleStats s = hl.stats();
+  EXPECT_EQ(s.repair_upper_scale, 1.0);
+  EXPECT_EQ(s.repair_lower_scale, 1.0);
+  // The sublinear-memory witness: far fewer label entries than the n^2/2
+  // pairs a dense matrix stores.
+  EXPECT_GT(s.hub_label_entries, graph.size());
+  EXPECT_LT(s.hub_label_entries,
+            static_cast<std::int64_t>(graph.size()) * graph.size() / 2);
+}
+
+TEST(DistanceOracleTest, HubLabelsFillRowMatchesPairQueries) {
+  const Graph graph = SmallWaxman(60, 11);
+  OracleOptions opt;
+  opt.backend = OracleBackend::kHubLabels;
+  const DistanceOracle hl = DistanceOracle::FromGraph(graph, opt);
+  std::vector<double> row(60);
+  for (NodeIndex u = 0; u < 60; u += 7) {
+    hl.FillRow(u, row);
+    ASSERT_EQ(row[static_cast<std::size_t>(u)], 0.0);
+    for (NodeIndex v = 0; v < 60; ++v) {
+      ASSERT_EQ(row[static_cast<std::size_t>(v)],
+                u == v ? 0.0 : hl.Distance(u, v));
+    }
+  }
+}
+
+TEST(DistanceOracleTest, HubLabelsNeedGraphAndConnectivity) {
+  LatencyMatrix m(4);
+  for (NodeIndex i = 0; i < 4; ++i) {
+    for (NodeIndex j = i + 1; j < 4; ++j) m.Set(i, j, 1.0 + i + j);
+  }
+  OracleOptions opt;
+  opt.backend = OracleBackend::kHubLabels;
+  EXPECT_THROW(DistanceOracle::FromMatrix(m, opt), Error);
+  Graph split(4);
+  split.AddEdge(0, 1, 1.0);
+  split.AddEdge(2, 3, 1.0);
+  EXPECT_THROW(DistanceOracle::FromGraph(split, opt), Error);
 }
 
 }  // namespace

@@ -73,19 +73,24 @@ int Usage() {
       "  distances through the --oracle backend instead of a dense\n"
       "  matrix:\n"
       "  --oracle=BACKEND[:key=val,...] with BACKEND one of\n"
-      "  dense|rows|landmarks|coords (dense: historical full matrix;\n"
-      "  rows: exact lazy Dijkstra rows, sublinear memory;\n"
+      "  dense|rows|landmarks|coords|hublabels (dense: historical full\n"
+      "  matrix; rows: exact lazy Dijkstra rows, sublinear memory;\n"
+      "  hublabels: pruned 2-hop labels, exact up to re-association;\n"
       "  landmarks/coords: estimates — evaluate also reports the true\n"
-      "  path length) and keys cache=N, shards=N, landmarks=K,\n"
-      "  beacons=N, rounds=N, dims=N, seed=N (grammar in docs/CLI.md;\n"
-      "  the legacy --distances/--row-cache/--landmarks spellings still\n"
-      "  work for one release and warn).\n"
+      "  path length). Each backend takes only its own keys: cache=N,\n"
+      "  shards=N (rows), landmarks=K, rsamples=N, rq=N (landmarks),\n"
+      "  beacons=N, rounds=N, dims=N (coords), k=N, rsamples=N, rq=N\n"
+      "  (hublabels), seed=N (all; grammar in docs/CLI.md; the legacy\n"
+      "  --distances/--row-cache/--landmarks spellings still work for\n"
+      "  one release and warn).\n"
       "  assign/evaluate/cloud accept --block=materialized|tiled\n"
       "  (tiled streams the client block through the oracle instead of\n"
       "  materializing |C|x|S|; assignments are bit-identical),\n"
-      "  --tile-clients=N (rows per streamed tile) and --tile-depth=N\n"
+      "  --tile-clients=N (rows per streamed tile), --tile-depth=N\n"
       "  (tile builds kept in flight ahead of the consumer; 0 disables\n"
-      "  prefetch).\n"
+      "  prefetch), and --prune=on|off (bound-driven filter-and-refine\n"
+      "  in the solvers; results are bit-identical either way, off only\n"
+      "  disables the accelerator — see docs/performance.md).\n"
       "  every command also accepts --threads=N,\n"
       "  --apsp=auto|dijkstra|blocked (all-pairs shortest-path backend\n"
       "  for graph substrates), --faults=SPEC (inject server crashes,\n"
@@ -160,7 +165,18 @@ bool TiledBlockRequested(const Flags& flags, core::TileOptions* tile) {
   DIACA_CHECK_MSG(depth >= 0, "--tile-depth must be >= 0, got " << depth);
   tile->prefetch_depth = depth;
   tile->pool_tiles = depth + 1;
+  tile->bound_pruning = flags.GetString("prune", "on") != "off";
   return true;
+}
+
+// --prune=on|off (default on): bound-driven filter-and-refine in the
+// solvers and the tile view. A pure accelerator — results are
+// bit-identical either way.
+bool PruneRequested(const Flags& flags) {
+  const std::string prune = flags.GetString("prune", "on");
+  if (prune == "on") return true;
+  if (prune == "off") return false;
+  throw Error("unknown --prune mode '" + prune + "' (expected on|off)");
 }
 
 std::vector<net::NodeIndex> LoadNodeList(const std::string& path,
@@ -308,6 +324,7 @@ int CmdAssign(const Flags& flags) {
   core::SolveOptions options;
   options.assign.capacity = static_cast<std::int32_t>(flags.GetInt(
       "capacity", core::AssignOptions::kUnlimitedCapacity));
+  options.assign.bound_pruning = PruneRequested(flags);
 
   const core::SolveResult result = registry.Solve(algorithm, problem, options);
   SaveAssignment(out, problem, result.assignment);
@@ -506,8 +523,10 @@ int CmdCloud(const Flags& flags) {
   const double build_ms = build.ElapsedMillis();
 
   Timer solve;
+  core::SolveOptions solve_options;
+  solve_options.assign.bound_pruning = PruneRequested(flags);
   const core::SolveResult result =
-      registry.Solve(algorithm, cloud.problem, core::SolveOptions{});
+      registry.Solve(algorithm, cloud.problem, solve_options);
   const double solve_ms = solve.ElapsedMillis();
 
   const double rss_mb = benchutil::PeakRssMb();
@@ -529,6 +548,7 @@ int CmdCloud(const Flags& flags) {
   table.Row().Cell("oracle row builds").Cell(stats.row_builds);
   if (!params.materialize_block) {
     table.Row().Cell("tiles loaded").Cell(result.stats.tiles_loaded);
+    table.Row().Cell("tiles pruned").Cell(result.stats.tiles_pruned);
     table.Row().Cell("tile pool peak (MB)").Cell(
         static_cast<double>(result.stats.tile_bytes_peak) / (1024.0 * 1024.0));
     table.Row().Cell("client block equivalent (MB)").Cell(
@@ -565,7 +585,8 @@ int main(int argc, char** argv) {
                        "assignment", "duration-ms", "ops-per-second", "apsp",
                        "failover", "distances", "graph", "clients",
                        "row-cache", "landmarks", "oracle", "block",
-                       "tile-clients", "tile-depth", "rss-budget-mb"});
+                       "tile-clients", "tile-depth", "prune",
+                       "rss-budget-mb"});
     net::SetDefaultApspBackend(
         net::ParseApspBackend(flags.GetString("apsp", "auto")));
     net::SetDefaultOracleBackend(
