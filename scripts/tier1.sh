@@ -13,6 +13,9 @@
 # through the rows backend stays inside a hard RSS budget, and a
 # filter-and-refine smoke proves bound pruning on the landmark backend
 # changes nothing but the wall clock (objective stable, tiles pruned).
+# A churn control-plane smoke re-optimizes 10k clients across 50 churn
+# epochs (plus a server crash) under a hard migration cap, and the churn
+# suite (`churn` label) runs again under both sanitizers.
 # Usage: scripts/tier1.sh [--skip-tsan] [--skip-asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -88,6 +91,21 @@ if [ "${unpruned:-0}" -ne 0 ]; then
   exit 1
 fi
 
+# Churn control-plane smoke at real scale: 10k clients over 50 epochs of
+# arrivals/departures/mobility plus a mid-run server crash, re-optimized
+# under a hard migration cap. The CLI exits non-zero if the cap is ever
+# exceeded; the epoch-timeline JSON must parse.
+./build/tools/diaca churn --nodes=2000 --clients=10000 --servers=16 \
+  --epochs=50 --churn="arrive@60; depart@0.004; move@0.002" \
+  --migration-cap=16 --hysteresis=2 --oracle-every=10 \
+  --faults="crash@12500-20500:n3" \
+  --json-out="$obs_dir/churn_smoke.json" > "$obs_dir/churn_smoke.log"
+cmake -DJSON_FILE="$obs_dir/churn_smoke.json" -P scripts/check_json.cmake
+if ! grep -q 'migration cap honored' "$obs_dir/churn_smoke.log"; then
+  echo "FAIL: churn smoke did not report the migration cap as honored" >&2
+  exit 1
+fi
+
 # Vectorized build: the kernel property suite, the APSP engine suite, and
 # the backend/thread determinism grid must also pass with the AVX2 code
 # paths compiled in (they auto-fall back to portable when the CPU lacks
@@ -117,7 +135,7 @@ done
 if ! $skip_tsan; then
   cmake -B build-tsan -S . -DDIACA_SANITIZE=thread
   cmake --build build-tsan -j --target parallel_test resilience_test \
-    oracle_test
+    oracle_test churn_test
   ctest --test-dir build-tsan -L tsan --output-on-failure
   # The fault-injection suite under TSan: faulted sessions must stay
   # bit-deterministic across thread counts without data races.
@@ -126,6 +144,10 @@ if ! $skip_tsan; then
   # mutable structure on the query path; concurrent lookups must be
   # race-free and bit-deterministic.
   ctest --test-dir build-tsan -L oracle -E smoke_ --output-on-failure
+  # The churn suite under TSan: the control plane runs the parallel
+  # evaluators epoch after epoch; the thread-count determinism contract
+  # must hold without races.
+  ctest --test-dir build-tsan -L churn -E smoke_ --output-on-failure
 fi
 
 # ASan+UBSan lane: the fault-tolerance suite exercises the failure paths
@@ -133,9 +155,14 @@ fi
 # bugs would hide.
 if ! $skip_asan; then
   cmake -B build-asan -S . -DDIACA_SANITIZE=address
-  cmake --build build-asan -j --target resilience_test oracle_test
+  cmake --build build-asan -j --target resilience_test oracle_test \
+    churn_test
   ctest --test-dir build-asan -L resilience -E smoke_ --output-on-failure
   # The oracle suite under ASan+UBSan: row buffers, cache eviction, and
   # the streaming problem builders are where lifetime bugs would hide.
   ctest --test-dir build-asan -L oracle -E smoke_ --output-on-failure
+  # The churn suite under ASan+UBSan: membership add/remove churns the
+  # partial evaluator's index structures every epoch — use-after-free
+  # territory if the lifecycle is wrong.
+  ctest --test-dir build-asan -L churn -E smoke_ --output-on-failure
 fi

@@ -12,18 +12,27 @@ namespace diaca::core {
 
 IncrementalEvaluator::IncrementalEvaluator(const Problem& problem,
                                            const Assignment& initial)
-    : problem_(problem), assignment_(initial) {
+    : IncrementalEvaluator(problem, initial, AllowPartial{}) {
   DIACA_CHECK_MSG(initial.IsComplete(),
                   "incremental evaluator needs a complete assignment");
+}
+
+IncrementalEvaluator::IncrementalEvaluator(const Problem& problem,
+                                           const Assignment& initial,
+                                           AllowPartial)
+    : problem_(problem), assignment_(initial) {
   distances_.resize(static_cast<std::size_t>(problem.num_servers()));
   problem.client_block().ForEachTile([&](const ClientTile& tile) {
     for (ClientIndex c = tile.begin; c < tile.end; ++c) {
       const ServerIndex s = assignment_[c];
+      if (s == kUnassigned) continue;  // inactive until AddClient
       distances_[static_cast<std::size_t>(s)].insert(tile.row(c)[s]);
+      ++active_;
     }
   });
-  // Initial scan with a no-op "move".
-  max_pair_ = ScanAllPairs(/*c=*/0, assignment_[0], assignment_[0]);
+  // Initial scan with a no-op "move" (from == to short-circuits
+  // EffectiveFar to the plain multiset eccentricities).
+  max_pair_ = ScanAllPairs(/*c=*/0, kUnassigned, kUnassigned);
 }
 
 double IncrementalEvaluator::EffectiveFar(ServerIndex s, ClientIndex c,
@@ -93,6 +102,7 @@ IncrementalEvaluator::PairMax IncrementalEvaluator::ScanTouching(
   const auto num_servers = static_cast<std::size_t>(problem_.num_servers());
   const std::span<const double> eff = MaterializeEffectiveFar(c, from, to);
   for (ServerIndex anchor : {from, to}) {
+    if (anchor < 0) continue;  // attach/detach legs pass kUnassigned
     const double fa = eff[static_cast<std::size_t>(anchor)];
     if (fa < 0.0) continue;
     const simd::ArgResult r = simd::ArgMaxPlusFirst(
@@ -109,6 +119,8 @@ IncrementalEvaluator::PairMax IncrementalEvaluator::ScanTouching(
 IncrementalEvaluator::PairMax IncrementalEvaluator::Evaluate(
     ClientIndex c, ServerIndex to, bool* used_full_rescan) const {
   const ServerIndex from = assignment_[c];
+  DIACA_CHECK_MSG(from != kUnassigned,
+                  "move of inactive client " << c << " (use EvaluateAdd)");
   if (to == from) {
     if (used_full_rescan != nullptr) *used_full_rescan = false;
     return max_pair_;
@@ -146,6 +158,55 @@ double IncrementalEvaluator::ApplyMove(ClientIndex c, ServerIndex to) {
       problem_.client_block().cs(c, to));
   assignment_[c] = to;
   max_pair_ = new_max;
+  return max_pair_.value;
+}
+
+double IncrementalEvaluator::EvaluateAdd(ClientIndex c, ServerIndex to) const {
+  DIACA_CHECK_MSG(assignment_[c] == kUnassigned,
+                  "EvaluateAdd of active client " << c
+                                                  << " (use EvaluateMove)");
+  // An attachment only raises far(to); every pair avoiding `to` is
+  // unchanged, so the cached maximum competes only with pairs touching
+  // `to` — no full rescan, ever. The kUnassigned "from" leg is skipped
+  // by the touching scan and matches no server in EffectiveFar.
+  const PairMax touching = ScanTouching(c, kUnassigned, to);
+  return std::max(max_pair_.value, touching.value);
+}
+
+double IncrementalEvaluator::AddClient(ClientIndex c, ServerIndex to) {
+  DIACA_CHECK_MSG(assignment_[c] == kUnassigned,
+                  "AddClient of active client " << c);
+  DIACA_CHECK(to >= 0 && to < problem_.num_servers());
+  const PairMax touching = ScanTouching(c, kUnassigned, to);
+  if (max_pair_.a == kUnassigned || touching.value > max_pair_.value) {
+    max_pair_ = touching;
+  }
+  distances_[static_cast<std::size_t>(to)].insert(
+      problem_.client_block().cs(c, to));
+  assignment_[c] = to;
+  ++active_;
+  return max_pair_.value;
+}
+
+double IncrementalEvaluator::RemoveClient(ClientIndex c) {
+  const ServerIndex from = assignment_[c];
+  DIACA_CHECK_MSG(from != kUnassigned, "RemoveClient of inactive client " << c);
+  if (max_pair_.a == from || max_pair_.b == from) {
+    // far(from) may fall, taking the cached maximum with it: rescan with
+    // the detachment applied virtually (EffectiveFar's from-leg drops c's
+    // distance; the kUnassigned "to" matches no server).
+    ++full_rescans_;
+    DIACA_OBS_COUNT("core.incremental.cache_misses", 1);
+    max_pair_ = ScanAllPairs(c, from, kUnassigned);
+  }
+  // Otherwise pairs avoiding `from` are untouched and pairs touching it
+  // only fall, so the cached maximum stands exactly.
+  auto& from_set = distances_[static_cast<std::size_t>(from)];
+  const auto it = from_set.find(problem_.client_block().cs(c, from));
+  DIACA_CHECK(it != from_set.end());
+  from_set.erase(it);
+  assignment_[c] = kUnassigned;
+  --active_;
   return max_pair_.value;
 }
 

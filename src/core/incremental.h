@@ -26,17 +26,47 @@ namespace diaca::core {
 
 class IncrementalEvaluator {
  public:
+  /// Tag selecting the partial-assignment constructor below.
+  struct AllowPartial {};
+
   /// Build from a complete assignment. O(|C| log |C| + |U|^2).
   IncrementalEvaluator(const Problem& problem, const Assignment& initial);
 
-  /// Current maximum interaction path length.
+  /// Build from a possibly-partial assignment: kUnassigned rows are
+  /// inactive clients that do not participate in the objective until
+  /// attached via AddClient. The churn control plane uses this to keep
+  /// one evaluator alive across the whole instance space while only the
+  /// current members count.
+  IncrementalEvaluator(const Problem& problem, const Assignment& initial,
+                       AllowPartial);
+
+  /// Current maximum interaction path length (over active clients).
   double CurrentMax() const { return max_pair_.value; }
 
   /// Objective if client c moved to server `to` (no state change).
+  /// c must be active.
   double EvaluateMove(ClientIndex c, ServerIndex to) const;
 
-  /// Apply the move for real and return the new objective.
+  /// Apply the move for real and return the new objective. c must be
+  /// active.
   double ApplyMove(ClientIndex c, ServerIndex to);
+
+  /// Objective if the inactive client c were attached to `to` (no state
+  /// change). O(|S|) always: an attachment can only raise far(to), so
+  /// the cached maximum never needs a full rescan.
+  double EvaluateAdd(ClientIndex c, ServerIndex to) const;
+
+  /// Attach the inactive client c to `to` and return the new objective.
+  double AddClient(ClientIndex c, ServerIndex to);
+
+  /// Detach the active client c (its row becomes kUnassigned) and return
+  /// the new objective. Full rescan only when c's server is an argmax
+  /// pair endpoint.
+  double RemoveClient(ClientIndex c);
+
+  /// Whether client c currently participates in the objective.
+  bool IsActive(ClientIndex c) const { return assignment_[c] != kUnassigned; }
+  std::int32_t num_active() const { return active_; }
 
   /// Current assignment (kept in sync with the applied moves).
   const Assignment& assignment() const { return assignment_; }
@@ -97,6 +127,7 @@ class IncrementalEvaluator {
   /// evaluator is single-caller by contract, like the rest of its state).
   mutable std::vector<double> eff_buf_;
   PairMax max_pair_;
+  std::int32_t active_ = 0;
   mutable std::int64_t full_rescans_ = 0;
 };
 

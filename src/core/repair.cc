@@ -255,7 +255,118 @@ RepairResult RepairAssign(const Problem& problem, const Assignment& current,
   result.stats.modifications = result.repair.orphans +
                                result.repair.orphan_improvements +
                                result.repair.migrations;
+  result.stats.migrations = result.repair.migrations;
+  result.stats.orphans_rehomed = result.repair.orphans;
   result.stats.max_len = eval.CurrentMax();
+  return result;
+}
+
+ReoptimizeResult ProposeReoptimization(const Problem& problem,
+                                       const IncrementalEvaluator& eval,
+                                       const ReoptimizeOptions& options) {
+  DIACA_OBS_SPAN("core.reoptimize");
+  const std::int32_t num_clients = problem.num_clients();
+  const std::int32_t num_servers = problem.num_servers();
+  DIACA_CHECK_MSG(options.down.empty() ||
+                      options.down.size() ==
+                          static_cast<std::size_t>(num_servers),
+                  "reoptimize: down mask size " << options.down.size()
+                                                << " != " << num_servers
+                                                << " servers");
+  DIACA_CHECK_MSG(options.min_gain > 0.0,
+                  "reoptimize: min_gain must be positive");
+  auto is_down = [&](ServerIndex s) {
+    return !options.down.empty() && options.down[static_cast<std::size_t>(s)];
+  };
+
+  ReoptimizeResult result;
+  result.projected_max_len = eval.CurrentMax();
+  if (options.max_moves <= 0) return result;
+
+  // All proposals are scored and applied on a scratch copy, so move k's
+  // gain is exact given moves 0..k-1; the caller's evaluator is untouched
+  // (hysteresis may decide not to apply anything).
+  IncrementalEvaluator scratch(eval);
+  const ClientBlockView& view = problem.client_block();
+  const bool capacitated = options.assign.capacitated();
+  std::vector<std::int32_t> load(static_cast<std::size_t>(num_servers), 0);
+  if (capacitated) {
+    for (ClientIndex c = 0; c < num_clients; ++c) {
+      if (scratch.IsActive(c)) {
+        ++load[static_cast<std::size_t>(scratch.ServerOf(c))];
+      }
+    }
+  }
+  auto has_room = [&](ServerIndex s) {
+    return !capacitated ||
+           load[static_cast<std::size_t>(s)] < options.assign.CapacityOf(s);
+  };
+
+  // The bottleneck loop of RepairAssign's bounded-migration phase, with
+  // two deadline twists: every candidate evaluation is charged against
+  // eval_budget, and exhaustion aborts the round without applying its
+  // partial best (a half-scanned round could differ from the full scan's
+  // choice, and serving a worse-vetted move under deadline pressure is
+  // exactly what graceful degradation exists to avoid).
+  while (static_cast<std::int32_t>(result.moves.size()) < options.max_moves) {
+    const ServerIndex pair_a = scratch.MaxPairFirst();
+    if (pair_a == kUnassigned) break;
+    const ServerIndex pair_b = scratch.MaxPairSecond();
+    ClientIndex best_client = -1;
+    ServerIndex best_target = kUnassigned;
+    double best_value = scratch.CurrentMax() - options.min_gain;
+    bool out_of_budget = false;
+    std::vector<ServerIndex> anchors{pair_a};
+    if (pair_b != pair_a && pair_b != kUnassigned) anchors.push_back(pair_b);
+    for (const ServerIndex anchor : anchors) {
+      // The anchor's witness: its farthest active client (first on ties).
+      ClientIndex witness = -1;
+      double witness_d = -1.0;
+      for (ClientIndex c = 0; c < num_clients; ++c) {
+        if (!scratch.IsActive(c) || scratch.ServerOf(c) != anchor) continue;
+        const double d = view.cs(c, anchor);
+        if (d > witness_d) {
+          witness_d = d;
+          witness = c;
+        }
+      }
+      if (witness < 0) continue;
+      for (ServerIndex s = 0; s < num_servers; ++s) {
+        if (s == anchor || is_down(s) || !has_room(s)) continue;
+        if (options.eval_budget >= 0 &&
+            result.evaluations >= options.eval_budget) {
+          out_of_budget = true;
+          break;
+        }
+        ++result.evaluations;
+        const double value = scratch.EvaluateMove(witness, s);
+        if (value < best_value) {
+          best_value = value;
+          best_client = witness;
+          best_target = s;
+        }
+      }
+      if (out_of_budget) break;
+    }
+    if (out_of_budget) {
+      result.budget_exhausted = true;
+      break;
+    }
+    if (best_client < 0) break;  // local optimum under min_gain
+    const ServerIndex from = scratch.ServerOf(best_client);
+    const double before = scratch.CurrentMax();
+    const double after = scratch.ApplyMove(best_client, best_target);
+    if (capacitated) {
+      --load[static_cast<std::size_t>(from)];
+      ++load[static_cast<std::size_t>(best_target)];
+    }
+    result.moves.push_back(
+        MoveProposal{best_client, from, best_target, before - after});
+  }
+  result.projected_max_len = scratch.CurrentMax();
+  DIACA_OBS_COUNT("reoptimize.proposals",
+                  static_cast<std::int64_t>(result.moves.size()));
+  DIACA_OBS_COUNT("reoptimize.evaluations", result.evaluations);
   return result;
 }
 

@@ -65,4 +65,56 @@ struct RepairResult {
 RepairResult RepairAssign(const Problem& problem, const Assignment& current,
                           const RepairOptions& options);
 
+class IncrementalEvaluator;
+
+/// One proposed migration from the budgeted re-optimizer. Proposals are
+/// sequential: the gain of move k assumes moves 0..k-1 were applied.
+struct MoveProposal {
+  ClientIndex client = -1;
+  ServerIndex from = kUnassigned;
+  ServerIndex to = kUnassigned;
+  /// Objective drop when applied in sequence order (ms, >= min_gain).
+  double gain = 0.0;
+};
+
+struct ReoptimizeOptions {
+  AssignOptions assign;
+  /// Per-server down mask (empty = all up). Down servers are never
+  /// proposed as targets; clients already on them are not touched either
+  /// (re-homing off a dead server is repair's job, not optimization).
+  std::vector<char> down;
+  /// Hard cap on proposals (the per-epoch migration SLO).
+  std::int32_t max_moves = 0;
+  /// A move must lower the objective by at least this much to be
+  /// proposed (the control plane's hysteresis epsilon).
+  double min_gain = 1e-9;
+  /// Deterministic work deadline: candidate evaluations allowed (< 0 =
+  /// unlimited). Deliberately not wall-clock — a wall-clock deadline
+  /// would break bit-identical results across thread counts.
+  std::int64_t eval_budget = -1;
+};
+
+struct ReoptimizeResult {
+  /// Moves in application order (apply all, in order, or none).
+  std::vector<MoveProposal> moves;
+  std::int64_t evaluations = 0;
+  /// True when the eval budget ran out before the bottleneck loop
+  /// reached a local optimum or the move cap; the caller should treat
+  /// the epoch as degraded.
+  bool budget_exhausted = false;
+  /// Objective after applying every proposed move.
+  double projected_max_len = 0.0;
+};
+
+/// Propose up to `options.max_moves` single-client migrations that each
+/// strictly lower the maximum interaction path length by at least
+/// `options.min_gain`, spending the budget on the clients with the
+/// largest projected interactivity gain (the argmax-pair witnesses, as in
+/// RepairAssign's bounded-migration phase). `eval` is copied; the
+/// caller's evaluator is not modified. Deterministic in (problem, eval
+/// state, options) at every thread count.
+ReoptimizeResult ProposeReoptimization(const Problem& problem,
+                                       const IncrementalEvaluator& eval,
+                                       const ReoptimizeOptions& options);
+
 }  // namespace diaca::core

@@ -36,6 +36,13 @@ struct SolveStats {
   /// materialized block and under the scalar SIMD backend. Snapshotted
   /// from ClientBlockStats by SolverRegistry.
   std::int64_t tiles_pruned = 0;
+  /// Clients moved off a healthy server (repair's bounded-migration
+  /// phase, the churn control plane's capped re-optimization). Orphan
+  /// re-homes forced by a failure are counted separately below — a
+  /// migration SLO must not be consumed by liveness moves.
+  std::int32_t migrations = 0;
+  /// Orphans re-homed off a failed server (repair solver).
+  std::int32_t orphans_rehomed = 0;
   /// Maximum interaction path length of the returned assignment (ms),
   /// as computed by core::MaxInteractionPathLength.
   double max_len = 0.0;

@@ -156,6 +156,13 @@ SolveResult SolverRegistry::Solve(const std::string& name,
       target->GetCounter(prefix + ".nodes_explored")
           .Add(result.stats.nodes_explored);
     }
+    if (result.stats.migrations > 0) {
+      target->GetCounter(prefix + ".migrations").Add(result.stats.migrations);
+    }
+    if (result.stats.orphans_rehomed > 0) {
+      target->GetCounter(prefix + ".orphans_rehomed")
+          .Add(result.stats.orphans_rehomed);
+    }
     if (result.stats.tiles_loaded > 0) {
       target->GetCounter(prefix + ".tiles_loaded")
           .Add(result.stats.tiles_loaded);

@@ -199,6 +199,40 @@ std::vector<std::string_view> SplitSpec(std::string_view text, char sep) {
   }
 }
 
+/// Which kinds consume a single-letter argument key — the misplaced-key
+/// diagnostic names the owner ("'x' belongs to spike"), mirroring the
+/// oracle spec's per-backend key ownership.
+const char* SpecKeyOwners(char key) {
+  switch (key) {
+    case 'n': return "crash, spike, and part";
+    case 'x': return "spike";
+    case 'p': return "loss";
+    default: return nullptr;
+  }
+}
+
+/// Reject argument keys the kind does not consume. A key another kind
+/// owns would otherwise fail with a generic shape error ("loss@1-2:x0.5"
+/// reads like a working loss config); instead the error lists the kind's
+/// own key set and where the stray key actually belongs.
+void CheckSpecKeys(std::string_view item, std::string_view kind,
+                   const char* valid_keys, std::string_view allowed,
+                   std::span<const std::string_view> args) {
+  for (const std::string_view arg : args) {
+    const char key = arg.empty() ? '\0' : arg.front();
+    if (allowed.find(key) != std::string_view::npos) continue;
+    if (SpecKeyOwners(key) != nullptr) {
+      SpecFail(item, std::string("key '") + key + "' is not valid for " +
+                         std::string(kind) + " (valid keys: " + valid_keys +
+                         "; '" + key + "' belongs to " + SpecKeyOwners(key) +
+                         ")");
+    }
+    SpecFail(item, "unknown key '" + std::string(arg) + "' for " +
+                       std::string(kind) + " (valid keys: " + valid_keys +
+                       ")");
+  }
+}
+
 void ParseSpecItem(std::string_view item, FaultPlan& plan) {
   const auto at = item.find('@');
   if (at == std::string_view::npos) {
@@ -207,40 +241,47 @@ void ParseSpecItem(std::string_view item, FaultPlan& plan) {
   const std::string_view kind = item.substr(0, at);
   // Everything after '@': the time range, then ':'-separated arguments.
   const std::vector<std::string_view> parts = SplitSpec(item.substr(at + 1), ':');
+  const std::span<const std::string_view> args(parts.data() + 1,
+                                               parts.size() - 1);
   if (kind == "crash") {
-    if (parts.size() != 2) SpecFail(item, "expected crash@T[-T]:nINDEX");
+    CheckSpecKeys(item, kind, "n (the crashed node)", "n", args);
+    if (args.size() != 1) SpecFail(item, "expected crash@T[-T]:nINDEX");
     const auto [start, end] =
         ParseSpecRange(parts[0], item, FaultPlan::kNever);
-    plan.Crash(ParseSpecNode(parts[1], item), start, end);
+    plan.Crash(ParseSpecNode(args[0], item), start, end);
   } else if (kind == "spike") {
-    if (parts.size() != 2 && parts.size() != 3) {
+    CheckSpecKeys(item, kind,
+                  "x (the multiplier), n (the spiked node, optional)", "xn",
+                  args);
+    if (args.size() != 1 && args.size() != 2) {
       SpecFail(item, "expected spike@T-T:xMULT[:nINDEX]");
     }
     const auto [start, end] = ParseSpecRange(parts[0], item, -1.0);
-    if (parts[1].empty() || parts[1].front() != 'x') {
-      SpecFail(item, "expected the multiplier as xMULT");
+    if (args[0].empty() || args[0].front() != 'x') {
+      SpecFail(item, "expected the multiplier as xMULT (the multiplier "
+                     "comes before the node)");
     }
-    const double mult = ParseSpecDouble(parts[1].substr(1), item, "multiplier");
+    const double mult = ParseSpecDouble(args[0].substr(1), item, "multiplier");
     const net::NodeIndex node =
-        parts.size() == 3 ? ParseSpecNode(parts[2], item) : FaultPlan::kAllNodes;
+        args.size() == 2 ? ParseSpecNode(args[1], item) : FaultPlan::kAllNodes;
     plan.Spike(start, end, mult, node);
   } else if (kind == "loss") {
-    if (parts.size() != 2) SpecFail(item, "expected loss@T-T:pPROB");
+    CheckSpecKeys(item, kind, "p (the loss probability)", "p", args);
+    if (args.size() != 1) SpecFail(item, "expected loss@T-T:pPROB");
     const auto [start, end] = ParseSpecRange(parts[0], item, -1.0);
-    if (parts[1].empty() || parts[1].front() != 'p') {
-      SpecFail(item, "expected the probability as pPROB");
-    }
     plan.LossBurst(start, end,
-                   ParseSpecDouble(parts[1].substr(1), item, "probability"));
+                   ParseSpecDouble(args[0].substr(1), item, "probability"));
   } else if (kind == "part") {
-    if (parts.size() != 2) SpecFail(item, "expected part@T-T:nA,nB");
+    CheckSpecKeys(item, kind, "n,n (the partitioned node pair)", "n", args);
+    if (args.size() != 1) SpecFail(item, "expected part@T-T:nA,nB");
     const auto [start, end] = ParseSpecRange(parts[0], item, -1.0);
-    const std::vector<std::string_view> pair = SplitSpec(parts[1], ',');
+    const std::vector<std::string_view> pair = SplitSpec(args[0], ',');
     if (pair.size() != 2) SpecFail(item, "expected two nodes as nA,nB");
     plan.Partition(start, end, ParseSpecNode(pair[0], item),
                    ParseSpecNode(pair[1], item));
   } else {
-    SpecFail(item, "unknown fault kind '" + std::string(kind) + "'");
+    SpecFail(item, "unknown fault kind '" + std::string(kind) +
+                       "' (expected crash|spike|loss|part)");
   }
 }
 

@@ -1,5 +1,7 @@
 #include "core/incremental.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "common/error.h"
@@ -129,6 +131,88 @@ TEST(IncrementalTest, RejectsIncompleteAssignment) {
   const Problem p = test::RandomProblem(5, 2, rng);
   Assignment partial(static_cast<std::size_t>(p.num_clients()));
   EXPECT_THROW(IncrementalEvaluator(p, partial), Error);
+}
+
+// --- partial assignments (the churn control plane's working state) ---------
+
+// Reference objective over just the attached clients.
+double PartialMaxPath(const Problem& p, const Assignment& a) {
+  double best = 0.0;
+  for (ClientIndex i = 0; i < p.num_clients(); ++i) {
+    if (a[i] == kUnassigned) continue;
+    for (ClientIndex j = i; j < p.num_clients(); ++j) {
+      if (a[j] == kUnassigned) continue;
+      best = std::max(best, InteractionPathLength(p, a, i, j));
+    }
+  }
+  return best;
+}
+
+TEST(IncrementalPartialTest, AddRemoveMoveTracksReference) {
+  // Differential test of the membership lifecycle: arrivals, departures,
+  // and migrations over a partial assignment always agree with the
+  // from-scratch member-only objective.
+  Rng rng(21);
+  const Problem p = test::RandomProblem(18, 4, rng);
+  Assignment a(static_cast<std::size_t>(p.num_clients()));
+  IncrementalEvaluator eval(p, a, IncrementalEvaluator::AllowPartial{});
+  EXPECT_EQ(eval.num_active(), 0);
+  EXPECT_DOUBLE_EQ(eval.CurrentMax(), 0.0);
+  for (int step = 0; step < 120; ++step) {
+    const ClientIndex c =
+        static_cast<ClientIndex>(rng.NextBounded(static_cast<std::uint64_t>(p.num_clients())));
+    const ServerIndex s =
+        static_cast<ServerIndex>(rng.NextBounded(static_cast<std::uint64_t>(p.num_servers())));
+    if (!eval.IsActive(c)) {
+      // EvaluateAdd predicts without mutating; AddClient commits.
+      const double predicted = eval.EvaluateAdd(c, s);
+      EXPECT_EQ(eval.assignment()[c], kUnassigned);
+      EXPECT_DOUBLE_EQ(eval.AddClient(c, s), predicted);
+      a[c] = s;
+    } else if (rng.NextBounded(2) == 0) {
+      eval.RemoveClient(c);
+      a[c] = kUnassigned;
+    } else {
+      eval.ApplyMove(c, s);
+      a[c] = s;
+    }
+    EXPECT_NEAR(eval.CurrentMax(), PartialMaxPath(p, a), 1e-9)
+        << "step " << step;
+    std::int32_t active = 0;
+    for (ClientIndex i = 0; i < p.num_clients(); ++i) {
+      active += a[i] != kUnassigned ? 1 : 0;
+      EXPECT_EQ(eval.IsActive(i), a[i] != kUnassigned);
+    }
+    EXPECT_EQ(eval.num_active(), active);
+  }
+}
+
+TEST(IncrementalPartialTest, SelfPairCountsForALoneClient) {
+  // With a single attached client the objective is its self-pair path
+  // d(c, s) + 0 + d(s, c), never zero.
+  Rng rng(23);
+  const Problem p = test::RandomProblem(10, 3, rng);
+  Assignment a(static_cast<std::size_t>(p.num_clients()));
+  IncrementalEvaluator eval(p, a, IncrementalEvaluator::AllowPartial{});
+  eval.AddClient(2, 1);
+  EXPECT_DOUBLE_EQ(eval.CurrentMax(), 2.0 * p.client_block().cs(2, 1));
+  // Removing the last member drains the objective back to zero.
+  eval.RemoveClient(2);
+  EXPECT_DOUBLE_EQ(eval.CurrentMax(), 0.0);
+  EXPECT_EQ(eval.num_active(), 0);
+}
+
+TEST(IncrementalPartialTest, LifecycleMisuseThrows) {
+  Rng rng(25);
+  const Problem p = test::RandomProblem(8, 2, rng);
+  Assignment a(static_cast<std::size_t>(p.num_clients()));
+  a[0] = 0;
+  IncrementalEvaluator eval(p, a, IncrementalEvaluator::AllowPartial{});
+  EXPECT_THROW(eval.AddClient(0, 1), Error);       // already active
+  EXPECT_THROW(eval.EvaluateAdd(0, 1), Error);
+  EXPECT_THROW(eval.RemoveClient(3), Error);       // never attached
+  EXPECT_THROW((void)eval.EvaluateMove(3, 1), Error);
+  EXPECT_THROW(eval.ApplyMove(3, 1), Error);
 }
 
 }  // namespace

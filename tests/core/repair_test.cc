@@ -9,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "core/greedy.h"
+#include "core/incremental.h"
 #include "core/metrics.h"
 #include "core/nearest_server.h"
 #include "core/solver_registry.h"
@@ -175,6 +177,132 @@ TEST(RepairTest, DeterministicAcrossRuns) {
   const RepairResult b = RepairAssign(p, before, options);
   EXPECT_EQ(a.assignment, b.assignment);
   EXPECT_EQ(a.repair.evaluations, b.repair.evaluations);
+}
+
+TEST(RepairTest, FailedServerWithZeroClientsIsANoOp) {
+  // A crash of a server nobody was assigned to must repair to the exact
+  // same assignment — zero orphans, zero migrations, no surprises.
+  Rng rng(89);
+  const Problem p = test::RandomProblem(20, 4, rng);
+  Assignment before = GreedyAssign(p);
+  for (ClientIndex c = 0; c < p.num_clients(); ++c) {
+    if (before[c] == 3) before[c] = 0;  // empty out server 3
+  }
+  RepairOptions options;
+  options.failed = {3};
+  const RepairResult result = RepairAssign(p, before, options);
+  EXPECT_EQ(result.assignment, before);
+  EXPECT_EQ(result.repair.orphans, 0);
+  EXPECT_EQ(result.repair.migrations, 0);
+}
+
+TEST(ReoptimizeTest, ProposalsLowerTheObjectiveBySequentialGains) {
+  Rng rng(97);
+  const Problem p = test::RandomProblem(30, 5, rng);
+  const Assignment start = NearestServerAssign(p);
+  IncrementalEvaluator eval(p, start);
+  ReoptimizeOptions options;
+  options.max_moves = 4;
+  const ReoptimizeResult result = ProposeReoptimization(p, eval, options);
+  ASSERT_GT(result.moves.size(), 0u);  // nearest-server leaves headroom
+  // The caller's evaluator is untouched; replaying the move sequence
+  // reproduces each sequential gain and the projected objective.
+  EXPECT_EQ(eval.assignment(), start);
+  IncrementalEvaluator replay = eval;
+  for (const MoveProposal& move : result.moves) {
+    EXPECT_GE(move.gain, options.min_gain);
+    EXPECT_EQ(replay.ServerOf(move.client), move.from);
+    const double before = replay.CurrentMax();
+    replay.ApplyMove(move.client, move.to);
+    EXPECT_NEAR(replay.CurrentMax(), before - move.gain, 1e-9);
+  }
+  EXPECT_NEAR(replay.CurrentMax(), result.projected_max_len, 1e-9);
+  EXPECT_GT(result.evaluations, 0);
+}
+
+TEST(ReoptimizeTest, DownServersAreNeverTouched) {
+  Rng rng(101);
+  const Problem p = test::RandomProblem(30, 5, rng);
+  IncrementalEvaluator eval(p, NearestServerAssign(p));
+  ReoptimizeOptions options;
+  options.max_moves = 8;
+  options.down.assign(static_cast<std::size_t>(p.num_servers()), 0);
+  options.down[2] = 1;
+  const ReoptimizeResult result = ProposeReoptimization(p, eval, options);
+  for (const MoveProposal& move : result.moves) {
+    EXPECT_NE(move.to, 2);
+    EXPECT_NE(move.from, 2);  // re-homing off a dead server is repair's job
+  }
+}
+
+TEST(ReoptimizeTest, MaxMovesAndMinGainBound) {
+  Rng rng(103);
+  const Problem p = test::RandomProblem(30, 5, rng);
+  IncrementalEvaluator eval(p, NearestServerAssign(p));
+  ReoptimizeOptions one;
+  one.max_moves = 1;
+  EXPECT_LE(ProposeReoptimization(p, eval, one).moves.size(), 1u);
+  // An unreachable gain threshold silences every proposal.
+  ReoptimizeOptions impossible;
+  impossible.max_moves = 8;
+  impossible.min_gain = 1e12;
+  const ReoptimizeResult none = ProposeReoptimization(p, eval, impossible);
+  EXPECT_TRUE(none.moves.empty());
+  EXPECT_FALSE(none.budget_exhausted);
+  EXPECT_NEAR(none.projected_max_len, eval.CurrentMax(), 1e-12);
+}
+
+TEST(ReoptimizeTest, ExhaustedBudgetDiscardsThePartialRound) {
+  Rng rng(107);
+  const Problem p = test::RandomProblem(30, 5, rng);
+  IncrementalEvaluator eval(p, NearestServerAssign(p));
+  ReoptimizeOptions starved;
+  starved.max_moves = 4;
+  starved.eval_budget = 1;  // cannot even finish scoring one client
+  const ReoptimizeResult result = ProposeReoptimization(p, eval, starved);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_TRUE(result.moves.empty());
+  EXPECT_LE(result.evaluations, p.num_servers());
+}
+
+TEST(ReoptimizeTest, DeterministicAcrossThreadsAndSeeds) {
+  // The determinism grid: for every seed, every thread count must produce
+  // the byte-identical proposal stream, round after round.
+  for (std::uint64_t seed : {211u, 223u, 227u}) {
+    Rng rng(seed);
+    const Problem p = test::RandomProblem(40, 6, rng);
+    const Assignment start = NearestServerAssign(p);
+    std::vector<std::vector<MoveProposal>> rounds_by_threads;
+    std::vector<std::int64_t> evals_by_threads;
+    for (int threads : {1, 4}) {
+      SetGlobalThreads(threads);
+      IncrementalEvaluator eval(p, start);
+      std::vector<MoveProposal> all_moves;
+      std::int64_t evaluations = 0;
+      for (int round = 0; round < 3; ++round) {  // epoch-over-epoch
+        ReoptimizeOptions options;
+        options.max_moves = 2;
+        const ReoptimizeResult result = ProposeReoptimization(p, eval, options);
+        evaluations += result.evaluations;
+        for (const MoveProposal& move : result.moves) {
+          eval.ApplyMove(move.client, move.to);
+          all_moves.push_back(move);
+        }
+      }
+      rounds_by_threads.push_back(std::move(all_moves));
+      evals_by_threads.push_back(evaluations);
+    }
+    SetGlobalThreads(0);
+    ASSERT_EQ(rounds_by_threads[0].size(), rounds_by_threads[1].size())
+        << "seed " << seed;
+    for (std::size_t i = 0; i < rounds_by_threads[0].size(); ++i) {
+      EXPECT_EQ(rounds_by_threads[0][i].client, rounds_by_threads[1][i].client);
+      EXPECT_EQ(rounds_by_threads[0][i].from, rounds_by_threads[1][i].from);
+      EXPECT_EQ(rounds_by_threads[0][i].to, rounds_by_threads[1][i].to);
+      EXPECT_EQ(rounds_by_threads[0][i].gain, rounds_by_threads[1][i].gain);
+    }
+    EXPECT_EQ(evals_by_threads[0], evals_by_threads[1]) << "seed " << seed;
+  }
 }
 
 TEST(RepairTest, RegistryRequiresInitialAndFailedSet) {

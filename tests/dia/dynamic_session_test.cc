@@ -209,6 +209,86 @@ TEST(DynamicSessionTest, LeaveValidation) {
       Error);
 }
 
+TEST(DynamicSessionTest, JoinAndLeaveAtTheSameBoundary) {
+  // One client hands the session to another at a single epoch boundary:
+  // the leave is processed before the join, so the membership never
+  // empties even when they cross at the same instant.
+  const Fixture f(12);
+  auto members = f.AllClients();
+  const core::ClientIndex joiner = members.back();
+  members.pop_back();
+  const core::ClientIndex leaver = members.front();
+  std::vector<MembershipEvent> events{
+      {2000.0, leaver, MembershipKind::kLeave},
+      {2000.0, joiner, MembershipKind::kJoin}};
+  const DynamicDiaSession session(f.matrix, f.problem, members, events,
+                                  f.Params());
+  const DynamicSessionReport report = session.Run();
+  // Whether the two events share one boundary or get back-to-back
+  // epochs, the crossing is valid and history converges.
+  EXPECT_GE(report.epochs, 2);
+  EXPECT_LE(report.epochs, 3);
+  EXPECT_GT(report.snapshot_ops_transferred, 0u);
+  EXPECT_TRUE(report.final_states_converged);
+  // The crossing also works down at the minimum population: a two-member
+  // session where one leaves exactly as a third joins stays valid.
+  std::vector<core::ClientIndex> pair{members[0], members[1]};
+  std::vector<MembershipEvent> cross{
+      {1500.0, members[0], MembershipKind::kLeave},
+      {1500.0, joiner, MembershipKind::kJoin}};
+  const DynamicDiaSession tiny(f.matrix, f.problem, pair, cross, f.Params());
+  EXPECT_TRUE(tiny.Run().final_states_converged);
+}
+
+TEST(DynamicSessionTest, BottleneckClientDepartureNeverRaisesDelta) {
+  // Find the bottleneck client of the static assignment (an endpoint of
+  // the argmax interaction pair) and remove it mid-session: the final
+  // epoch's δ over the survivors cannot exceed the full-membership δ.
+  const Fixture f(13, /*nodes=*/16, /*servers=*/3);
+  const auto members = f.AllClients();
+  const DynamicDiaSession full(f.matrix, f.problem, members, {}, f.Params());
+  const DynamicSessionReport base = full.Run();
+  const core::Assignment assignment =
+      core::DistributedGreedyAssign(f.problem).assignment;
+  core::ClientIndex bottleneck = 0;
+  double worst = -1.0;
+  for (core::ClientIndex i = 0; i < f.problem.num_clients(); ++i) {
+    for (core::ClientIndex j = i; j < f.problem.num_clients(); ++j) {
+      const double len =
+          core::InteractionPathLength(f.problem, assignment, i, j);
+      if (len > worst) {
+        worst = len;
+        bottleneck = i;
+      }
+    }
+  }
+  std::vector<MembershipEvent> events{
+      {2000.0, bottleneck, MembershipKind::kLeave}};
+  const DynamicDiaSession session(f.matrix, f.problem, members, events,
+                                  f.Params());
+  const DynamicSessionReport report = session.Run();
+  EXPECT_EQ(report.epochs, 2);
+  EXPECT_TRUE(report.final_states_converged);
+  EXPECT_LE(report.final_epoch_delta, base.final_epoch_delta + 1e-9);
+}
+
+TEST(DynamicSessionTest, BackToBackFailureEpochsBothRecover) {
+  // Two servers die in consecutive epochs; each failover re-homes the
+  // orphans onto the shrinking survivor set and history still converges.
+  const Fixture f(14, /*nodes=*/15, /*servers=*/3);
+  const auto members = f.AllClients();
+  std::vector<ServerFailure> failures{{1500.0, 0}, {2500.0, 1}};
+  const DynamicDiaSession session(f.matrix, f.problem, members, {},
+                                  f.Params(), failures);
+  const DynamicSessionReport report = session.Run();
+  ASSERT_EQ(report.failovers.size(), 2u);
+  EXPECT_GT(report.min_intact_fraction, 0.0);
+  EXPECT_TRUE(report.final_states_converged);
+  // After both crashes every member must be homed on the lone survivor,
+  // so the final δ is the worst client-2-server-2-client path through it.
+  EXPECT_GT(report.final_epoch_delta, 0.0);
+}
+
 class DynamicSessionPropertyTest
     : public ::testing::TestWithParam<std::uint64_t> {};
 

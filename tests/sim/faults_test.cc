@@ -149,6 +149,66 @@ TEST(FaultSpecTest, MalformedItemsNameTheItem) {
   }
 }
 
+// Each kind owns its key set; a stray key names both the kind's valid
+// keys and the kind the key actually belongs to, so "loss@1-2:x0.5"
+// fails with "use spike for x" instead of a generic shape error.
+TEST(FaultSpecTest, MisplacedKeysNameTheOwningKind) {
+  struct Case {
+    const char* spec;
+    const char* expect_a;
+    const char* expect_b;
+  };
+  for (const Case& c : {
+           Case{"crash@100:x2", "key 'x' is not valid for crash",
+                "'x' belongs to spike"},
+           Case{"crash@100:p0.5", "key 'p' is not valid for crash",
+                "'p' belongs to loss"},
+           Case{"loss@1-2:n1", "key 'n' is not valid for loss",
+                "'n' belongs to crash, spike, and part"},
+           Case{"spike@1-2:x2:p0.1", "key 'p' is not valid for spike",
+                "'p' belongs to loss"},
+           Case{"part@1-2:x3", "key 'x' is not valid for part",
+                "'x' belongs to spike"},
+       }) {
+    try {
+      ParseFaultSpec(c.spec);
+      FAIL() << "expected Error for '" << c.spec << "'";
+    } catch (const Error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find(c.expect_a), std::string::npos)
+          << c.spec << " -> " << msg;
+      EXPECT_NE(msg.find(c.expect_b), std::string::npos)
+          << c.spec << " -> " << msg;
+    }
+  }
+}
+
+TEST(FaultSpecTest, UnknownKeysListTheValidSet) {
+  struct Case {
+    const char* spec;
+    const char* expect;
+  };
+  for (const Case& c : {
+           Case{"crash@100:q7",
+                "unknown key 'q7' for crash (valid keys: n (the crashed "
+                "node))"},
+           Case{"spike@1-2:x2:z9",
+                "unknown key 'z9' for spike"},
+           Case{"loss@1-2:frac0.5",
+                "unknown key 'frac0.5' for loss (valid keys: p (the loss "
+                "probability))"},
+           Case{"part@1-2:q1,q2", "unknown key 'q1,q2' for part"},
+       }) {
+    try {
+      ParseFaultSpec(c.spec);
+      FAIL() << "expected Error for '" << c.spec << "'";
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(c.expect), std::string::npos)
+          << c.spec << " -> " << e.what();
+    }
+  }
+}
+
 TEST(FaultSpecTest, GlobalPlanFollowsTheFlagStore) {
   SetGlobalFaultSpec("");
   EXPECT_EQ(GlobalFaultPlan(), nullptr);

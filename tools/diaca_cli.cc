@@ -31,10 +31,14 @@
 #include "core/metrics.h"
 #include "core/solver_registry.h"
 #include "core/sync_schedule.h"
+#include "data/churn.h"
 #include "data/loader.h"
 #include "data/streaming.h"
+#include "data/waxman.h"
+#include "dia/control_plane.h"
 #include "dia/dynamic_session.h"
 #include "dia/session.h"
+#include "obs/json.h"
 #include "net/apsp.h"
 #include "net/distance_oracle.h"
 #include "data/synthetic.h"
@@ -47,7 +51,8 @@ using namespace diaca;
 
 int Usage() {
   std::cerr <<
-      "usage: diaca <generate|place|assign|evaluate|schedule|simulate|cloud>\n"
+      "usage: diaca "
+      "<generate|place|assign|evaluate|schedule|simulate|cloud|churn>\n"
       "             [flags]\n"
       "  generate --out=FILE [--dataset=meridian|mit|small] [--nodes=N]\n"
       "           [--clusters=K] [--seed=S]\n"
@@ -69,6 +74,16 @@ int Usage() {
       "           substrate; never holds an O(n^2) matrix (reports peak\n"
       "           RSS vs dense equivalent; --block=tiled also skips the\n"
       "           |C|x|S| client block)\n"
+      "  churn    [--nodes=N] [--clients=M] [--servers=K] [--seed=S]\n"
+      "           [--epochs=E] [--epoch-ms=T] [--churn=SPEC]\n"
+      "           [--migration-cap=N] [--hysteresis=K] [--hysteresis-eps=E]\n"
+      "           [--deadline-evals=N] [--oracle-every=E] [--capacity=N]\n"
+      "           [--json-out=FILE] — online control plane: epoch loop\n"
+      "           over a seeded churn trace with capped migrations,\n"
+      "           hysteresis, and graceful degradation (docs/CLI.md;\n"
+      "           --churn items: arrive@R; depart@P; move@P;\n"
+      "           flash@E-E:xF; wave@P:aF; until@E — --faults crash\n"
+      "           node indices name server slots here)\n"
       "  --graph=FILE takes a sparse `u v length_ms` edge list and routes\n"
       "  distances through the --oracle backend instead of a dense\n"
       "  matrix:\n"
@@ -573,6 +588,133 @@ int CmdCloud(const Flags& flags) {
   return 0;
 }
 
+// Online control plane: Waxman substrate, K-center servers, a seeded
+// churn trace, then the epoch loop under the migration-cap / hysteresis /
+// deadline SLOs. --faults joins in as chaos (crash node indices name
+// server slots 0..K-1 here, not substrate nodes). --json-out dumps the
+// per-epoch timeline for scripts and CI.
+int CmdChurn(const Flags& flags) {
+  data::ChurnParams churn;
+  if (flags.Has("churn")) {
+    churn = data::ParseChurnSpec(flags.GetString("churn", ""));
+  }
+  churn.epochs = static_cast<std::int32_t>(
+      flags.GetInt("epochs", churn.epochs));
+  const auto initial = static_cast<std::int32_t>(flags.GetInt("clients", 10000));
+  const auto k = static_cast<std::int32_t>(flags.GetInt("servers", 16));
+  const auto seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+
+  Timer build;
+  data::WaxmanParams substrate;
+  substrate.num_nodes = static_cast<std::int32_t>(flags.GetInt("nodes", 2000));
+  const net::Graph graph = data::GenerateWaxmanTopology(substrate, seed);
+  // Sublinear path by default, like cloud; an explicit --oracle wins.
+  net::OracleOptions opt = OracleOptionsFromFlags(flags);
+  if (!OracleConfiguredExplicitly(flags)) {
+    opt.backend = net::OracleBackend::kRows;
+  }
+  const net::DistanceOracle oracle = net::DistanceOracle::FromGraph(graph, opt);
+  const auto server_nodes = placement::KCenterFarthest(oracle, k);
+  const data::ChurnTrace trace =
+      data::GenerateChurnTrace(churn, initial, oracle.size(), seed);
+  const data::ChurnProblem instance =
+      data::BuildChurnProblem(trace, oracle, server_nodes);
+  const double build_ms = build.ElapsedMillis();
+
+  dia::ControlPlaneParams params;
+  params.assign.capacity = static_cast<std::int32_t>(flags.GetInt(
+      "capacity", core::AssignOptions::kUnlimitedCapacity));
+  params.migration_cap =
+      static_cast<std::int32_t>(flags.GetInt("migration-cap", 16));
+  params.hysteresis_epochs =
+      static_cast<std::int32_t>(flags.GetInt("hysteresis", 2));
+  params.hysteresis_eps = flags.GetDouble("hysteresis-eps", 1e-6);
+  params.deadline_evals = flags.GetInt("deadline-evals", -1);
+  params.epoch_ms = flags.GetDouble("epoch-ms", 1000.0);
+  params.oracle_every =
+      static_cast<std::int32_t>(flags.GetInt("oracle-every", 0));
+  params.faults = sim::GlobalFaultPlan();
+
+  Timer run;
+  const dia::ControlPlane plane(instance.problem, trace, params);
+  const dia::ControlPlaneReport report = plane.Run();
+  const double run_ms = run.ElapsedMillis();
+
+  const dia::ControlEpochReport& last = report.epochs.back();
+  Table table({"metric", "value"});
+  table.Row().Cell("epochs").Cell(
+      static_cast<std::int64_t>(report.epochs.size()));
+  table.Row().Cell("initial members").Cell(
+      static_cast<std::int64_t>(trace.initial_count));
+  table.Row().Cell("peak members").Cell(
+      static_cast<std::int64_t>(trace.peak_active));
+  table.Row().Cell("client instances").Cell(
+      static_cast<std::int64_t>(trace.instances.size()));
+  table.Row().Cell("final members").Cell(
+      static_cast<std::int64_t>(last.members));
+  table.Row().Cell("migrations (capped)").Cell(report.total_migrations);
+  table.Row().Cell("max migrations / epoch").Cell(
+      static_cast<std::int64_t>(report.max_migrations_per_epoch));
+  table.Row().Cell("migration cap").Cell(
+      static_cast<std::int64_t>(params.migration_cap));
+  table.Row().Cell("forced moves (liveness)").Cell(report.total_forced_moves);
+  table.Row().Cell("degraded epochs").Cell(
+      static_cast<std::int64_t>(report.degraded_epochs));
+  table.Row().Cell("longest degraded run").Cell(
+      static_cast<std::int64_t>(report.longest_degraded_run));
+  table.Row().Cell("epochs to recover").Cell(
+      static_cast<std::int64_t>(report.recover_epochs));
+  table.Row().Cell("candidate evaluations").Cell(report.total_evaluations);
+  table.Row().Cell("final objective (ms)").Cell(last.objective);
+  table.Row().Cell("build (ms)").Cell(build_ms);
+  table.Row().Cell("run (ms)").Cell(run_ms);
+  table.Print(std::cout);
+  std::cout << (report.cap_ever_exceeded ? "migration cap EXCEEDED\n"
+                                         : "migration cap honored\n")
+            << (report.converged ? "assignment converged\n"
+                                 : "assignment NOT converged\n");
+
+  const std::string json_out = flags.GetString("json-out", "");
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    if (!out) throw Error("cannot open '" + json_out + "' for writing");
+    using obs::internal::AppendJsonNumber;
+    using obs::internal::AppendJsonString;
+    out << "{\n  \"migration_cap\": " << params.migration_cap
+        << ",\n  \"hysteresis_epochs\": " << params.hysteresis_epochs
+        << ",\n  \"cap_ever_exceeded\": "
+        << (report.cap_ever_exceeded ? "true" : "false")
+        << ",\n  \"converged\": " << (report.converged ? "true" : "false")
+        << ",\n  \"degraded_epochs\": " << report.degraded_epochs
+        << ",\n  \"recover_epochs\": " << report.recover_epochs
+        << ",\n  \"total_migrations\": " << report.total_migrations
+        << ",\n  \"total_forced_moves\": " << report.total_forced_moves
+        << ",\n  \"epochs\": [\n";
+    for (std::size_t i = 0; i < report.epochs.size(); ++i) {
+      const dia::ControlEpochReport& e = report.epochs[i];
+      out << "    {\"epoch\": " << e.epoch << ", \"members\": " << e.members
+          << ", \"servers_up\": " << e.servers_up
+          << ", \"arrivals\": " << e.arrivals
+          << ", \"departures\": " << e.departures
+          << ", \"moves\": " << e.mobility_moves
+          << ", \"migrations\": " << e.migrations
+          << ", \"forced_moves\": " << e.forced_moves
+          << ", \"stranded\": " << e.stranded
+          << ", \"degraded\": " << (e.degraded ? "true" : "false")
+          << ", \"reason\": ";
+      AppendJsonString(out, dia::DegradedReasonName(e.reason));
+      out << ", \"evaluations\": " << e.evaluations << ", \"objective\": ";
+      AppendJsonNumber(out, e.objective);
+      out << ", \"oracle_objective\": ";
+      AppendJsonNumber(out, e.oracle_objective);
+      out << "}" << (i + 1 < report.epochs.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "wrote epoch timeline to " << json_out << "\n";
+  }
+  return report.cap_ever_exceeded ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -586,7 +728,9 @@ int main(int argc, char** argv) {
                        "failover", "distances", "graph", "clients",
                        "row-cache", "landmarks", "oracle", "block",
                        "tile-clients", "tile-depth", "prune",
-                       "rss-budget-mb"});
+                       "rss-budget-mb", "epochs", "epoch-ms", "churn",
+                       "migration-cap", "hysteresis", "hysteresis-eps",
+                       "deadline-evals", "oracle-every", "json-out"});
     net::SetDefaultApspBackend(
         net::ParseApspBackend(flags.GetString("apsp", "auto")));
     net::SetDefaultOracleBackend(
@@ -600,6 +744,7 @@ int main(int argc, char** argv) {
     if (command == "schedule") return CmdSchedule(flags);
     if (command == "simulate") return CmdSimulate(flags);
     if (command == "cloud") return CmdCloud(flags);
+    if (command == "churn") return CmdChurn(flags);
     return Usage();
   } catch (const Error& e) {
     std::cerr << "error: " << e.what() << "\n";
